@@ -1,0 +1,390 @@
+//! A moldable list scheduler over a flat processor pool.
+//!
+//! The mixed-parallelism heuristics of the paper's related work (CPA,
+//! CPR — Radulescu et al.) split scheduling into an *allocation* phase
+//! (how many processors per moldable task) and a *list-scheduling*
+//! phase (when and where each task runs). This module provides the
+//! second phase for the Ocean-Atmosphere workload: scenario chains
+//! whose main tasks carry per-scenario allocations, plus
+//! single-processor post tasks.
+//!
+//! Policy (deterministic, documented):
+//!
+//! * main tasks are started in strict priority order — the scenario
+//!   with the most *remaining work* first (its remaining chain is the
+//!   bottom level); if the top-priority ready main does not fit in the
+//!   free processors, no lower-priority main jumps the queue;
+//! * post tasks backfill: any processor left free after the main pass
+//!   takes a queued post (FIFO). `TP ≪ TG`, so this cheap backfilling
+//!   never distorts the comparison materially.
+//!
+//! Unlike the paper's group scheduler, processors are a fungible pool:
+//! a main may run on any `alloc` free processors. Capacity and
+//! dependences are validated after the fact by [`validate`].
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::timing::TimingTable;
+use oa_sched::params::Instance;
+use oa_workflow::moldable::MoldableSpec;
+
+/// Per-scenario allocation vector for the main tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allocations(pub Vec<u32>);
+
+impl Allocations {
+    /// Uniform allocation for `ns` scenarios.
+    pub fn uniform(ns: u32, alloc: u32) -> Self {
+        Self(vec![alloc; ns as usize])
+    }
+}
+
+/// One scheduled task (lightweight record for validation and metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ListRecord {
+    /// Scenario index.
+    pub scenario: u32,
+    /// Month index.
+    pub month: u32,
+    /// Whether this is a main task (else post).
+    pub main: bool,
+    /// Processors occupied.
+    pub procs: u32,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// Outcome of a list-scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ListSchedule {
+    /// The instance scheduled.
+    pub instance: Instance,
+    /// All task records.
+    pub records: Vec<ListRecord>,
+    /// Campaign makespan.
+    pub makespan: f64,
+}
+
+/// Errors from list scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListError {
+    /// An allocation is outside 4..=11.
+    BadAllocation {
+        /// Scenario index.
+        scenario: u32,
+        /// Requested allocation.
+        alloc: u32,
+    },
+    /// An allocation exceeds the machine.
+    DoesNotFit {
+        /// Scenario index.
+        scenario: u32,
+        /// Requested allocation.
+        alloc: u32,
+        /// Processors available.
+        resources: u32,
+    },
+    /// Wrong allocation-vector length.
+    WrongArity {
+        /// Expected value.
+        expect: usize,
+        /// Actual value.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListError::BadAllocation { scenario, alloc } => {
+                write!(f, "scenario {scenario}: allocation {alloc} outside 4..=11")
+            }
+            ListError::DoesNotFit { scenario, alloc, resources } => {
+                write!(f, "scenario {scenario}: allocation {alloc} > {resources} processors")
+            }
+            ListError::WrongArity { expect, got } => {
+                write!(f, "allocation vector has {got} entries, instance needs {expect}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Done {
+    Main(u32),
+    Post,
+}
+
+/// Runs the list scheduler.
+pub fn list_schedule(
+    inst: Instance,
+    table: &TimingTable,
+    allocs: &Allocations,
+) -> Result<ListSchedule, ListError> {
+    if allocs.0.len() != inst.ns as usize {
+        return Err(ListError::WrongArity { expect: inst.ns as usize, got: allocs.0.len() });
+    }
+    let spec = MoldableSpec::pcr();
+    for (s, &a) in allocs.0.iter().enumerate() {
+        if !spec.accepts(a) {
+            return Err(ListError::BadAllocation { scenario: s as u32, alloc: a });
+        }
+        if a > inst.r {
+            return Err(ListError::DoesNotFit { scenario: s as u32, alloc: a, resources: inst.r });
+        }
+    }
+
+    let tp = table.post_secs();
+    let dur: Vec<f64> = allocs.0.iter().map(|&a| table.main_secs(a)).collect();
+
+    // Scenario state.
+    let mut months_done = vec![0u32; inst.ns as usize];
+    let mut running = vec![false; inst.ns as usize];
+    let mut free = inst.r;
+    // Completion events.
+    let mut events: BinaryHeap<Reverse<(Time, u32, Done)>> = BinaryHeap::new();
+    let mut posts: VecDeque<(f64, u32, u32)> = VecDeque::new(); // (ready, scenario, month)
+    let mut records = Vec::with_capacity(inst.nbtasks() as usize * 2);
+    let mut makespan = 0.0f64;
+
+    // Remaining-work priority: (nm − done) × dur; recomputed on demand
+    // since allocations are per-scenario constants.
+    let remaining = |s: usize, months_done: &[u32]| {
+        (inst.nm - months_done[s]) as f64 * dur[s] + tp
+    };
+
+    let mut now = 0.0f64;
+    loop {
+        // Start mains in strict priority order.
+        loop {
+            let mut best: Option<usize> = None;
+            for s in 0..inst.ns as usize {
+                if running[s] || months_done[s] >= inst.nm {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (rb, rs) = (remaining(b, &months_done), remaining(s, &months_done));
+                        rs > rb + 1e-12 || (rs > rb - 1e-12 && s < b)
+                    }
+                };
+                if better {
+                    best = Some(s);
+                }
+            }
+            let Some(s) = best else { break };
+            if allocs.0[s] > free {
+                break; // strict order: the head blocks
+            }
+            free -= allocs.0[s];
+            running[s] = true;
+            let end = now + dur[s];
+            records.push(ListRecord {
+                scenario: s as u32,
+                month: months_done[s],
+                main: true,
+                procs: allocs.0[s],
+                start: now,
+                end,
+            });
+            events.push(Reverse((Time(end), s as u32, Done::Main(months_done[s]))));
+        }
+        // Backfill posts on whatever is left.
+        while free > 0 {
+            let Some(&(ready, s, m)) = posts.front() else { break };
+            debug_assert!(ready <= now + 1e-9);
+            posts.pop_front();
+            free -= 1;
+            let end = now + tp;
+            records.push(ListRecord { scenario: s, month: m, main: false, procs: 1, start: now, end });
+            events.push(Reverse((Time(end), s, Done::Post)));
+        }
+
+        // Advance time.
+        let Some(Reverse((Time(t), s, done))) = events.pop() else { break };
+        now = t;
+        makespan = makespan.max(t);
+        match done {
+            Done::Main(m) => {
+                let s = s as usize;
+                free += allocs.0[s];
+                running[s] = false;
+                months_done[s] += 1;
+                posts.push_back((t, s as u32, m));
+            }
+            Done::Post => free += 1,
+        }
+    }
+
+    Ok(ListSchedule { instance: inst, records, makespan })
+}
+
+/// Validates a list schedule: every task exactly once, dependences
+/// respected, processor capacity never exceeded.
+pub fn validate(s: &ListSchedule) -> Result<(), String> {
+    let inst = s.instance;
+    let n = inst.nbtasks() as usize;
+    let idx = |sc: u32, m: u32| sc as usize * inst.nm as usize + m as usize;
+    let mut main_seen = vec![0u8; n];
+    let mut post_seen = vec![0u8; n];
+    let mut main_iv = vec![(0.0f64, 0.0f64); n];
+    for r in &s.records {
+        let i = idx(r.scenario, r.month);
+        if r.main {
+            main_seen[i] += 1;
+            main_iv[i] = (r.start, r.end);
+        } else {
+            post_seen[i] += 1;
+        }
+        if r.end <= r.start {
+            return Err(format!("empty interval for s{}m{}", r.scenario, r.month));
+        }
+    }
+    if main_seen.iter().any(|&c| c != 1) || post_seen.iter().any(|&c| c != 1) {
+        return Err("wrong multiplicity".into());
+    }
+    const TOL: f64 = 1e-9;
+    for sc in 0..inst.ns {
+        for m in 1..inst.nm {
+            if main_iv[idx(sc, m)].0 + TOL < main_iv[idx(sc, m - 1)].1 {
+                return Err(format!("chain violated at s{sc}m{m}"));
+            }
+        }
+    }
+    for r in s.records.iter().filter(|r| !r.main) {
+        if r.start + TOL < main_iv[idx(r.scenario, r.month)].1 {
+            return Err(format!("post before main at s{}m{}", r.scenario, r.month));
+        }
+    }
+    // Capacity sweep.
+    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(s.records.len() * 2);
+    for r in &s.records {
+        deltas.push((r.start, r.procs as i64));
+        deltas.push((r.end, -(r.procs as i64)));
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut used = 0i64;
+    for (t, d) in deltas {
+        used += d;
+        if used > inst.r as i64 {
+            return Err(format!("capacity exceeded at t={t}: {used} > {}", inst.r));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+
+    fn reference() -> TimingTable {
+        PcrModel::reference().table(1.0).unwrap()
+    }
+
+    fn flat(tg: f64, tp: f64) -> TimingTable {
+        TimingTable::new([tg; 8], tp).unwrap()
+    }
+
+    #[test]
+    fn single_chain_runs_back_to_back() {
+        let inst = Instance::new(1, 4, 10);
+        let s = list_schedule(inst, &flat(100.0, 10.0), &Allocations::uniform(1, 4)).unwrap();
+        validate(&s).unwrap();
+        assert_eq!(s.makespan, 410.0);
+    }
+
+    #[test]
+    fn two_chains_share_the_pool() {
+        // R = 8 fits two mains of 4 concurrently.
+        let inst = Instance::new(2, 3, 8);
+        let s = list_schedule(inst, &flat(100.0, 10.0), &Allocations::uniform(2, 4)).unwrap();
+        validate(&s).unwrap();
+        assert_eq!(s.makespan, 310.0);
+    }
+
+    #[test]
+    fn head_of_line_blocking_is_respected() {
+        // R = 11: one main of 8 runs; a main of 4 cannot start even
+        // though it is ready (strict order, both same priority at t=0 →
+        // scenario 0 first). Scenario 1 (alloc 4) would fit in the
+        // remaining 3? No: 11 − 8 = 3 < 4, so true blocking anyway;
+        // check serialization.
+        let inst = Instance::new(2, 2, 11);
+        let allocs = Allocations(vec![8, 4]);
+        let s = list_schedule(inst, &flat(100.0, 10.0), &allocs).unwrap();
+        validate(&s).unwrap();
+        // Chains interleave: s0m0 [0,100], s1m0 [100,200], …
+        assert!(s.makespan >= 400.0);
+    }
+
+    #[test]
+    fn posts_backfill_free_processors() {
+        let inst = Instance::new(1, 3, 5);
+        let s = list_schedule(inst, &flat(100.0, 10.0), &Allocations::uniform(1, 4)).unwrap();
+        validate(&s).unwrap();
+        // Posts of months 0 and 1 run on the 5th processor while the
+        // next month runs: makespan = 300 + 10 (last post).
+        assert_eq!(s.makespan, 310.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_allocations() {
+        let inst = Instance::new(2, 2, 10);
+        assert!(matches!(
+            list_schedule(inst, &reference(), &Allocations(vec![3, 4])),
+            Err(ListError::BadAllocation { .. })
+        ));
+        assert!(matches!(
+            list_schedule(inst, &reference(), &Allocations(vec![11, 4])),
+            Err(ListError::DoesNotFit { .. })
+        ));
+        assert!(matches!(
+            list_schedule(inst, &reference(), &Allocations(vec![4])),
+            Err(ListError::WrongArity { .. })
+        ));
+    }
+
+    #[test]
+    fn longest_remaining_chain_goes_first() {
+        // Unequal allocations ⇒ unequal chain lengths; the slow chain
+        // (smaller alloc, longer remaining work) must get priority.
+        let inst = Instance::new(2, 5, 8);
+        let allocs = Allocations(vec![4, 8]);
+        let t = reference();
+        let s = list_schedule(inst, &t, &allocs).unwrap();
+        validate(&s).unwrap();
+        let first = s.records.iter().min_by(|a, b| a.start.total_cmp(&b.start)).unwrap();
+        assert_eq!(first.scenario, 0, "slow chain should start first");
+    }
+
+    #[test]
+    fn tampered_schedule_fails_validation() {
+        let inst = Instance::new(2, 2, 8);
+        let mut s = list_schedule(inst, &flat(50.0, 5.0), &Allocations::uniform(2, 4)).unwrap();
+        s.records[0].end = s.records[0].start;
+        assert!(validate(&s).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Related-work comparison: the paper's Section 3 claims, measured.
+//!
+//! CPA, batched CPR, faithful CPR and the one-DAG-at-a-time strawman
+//! versus the paper's basic and knapsack heuristics, across a resource
+//! sweep. The paper argues (Section 3.2) that single-critical-path
+//! heuristics do not fit this workload; this binary quantifies the
+//! claim.
+//!
+//! Run: `cargo run --release -p oa-bench --bin baselines_compare [--fast]`
+
+use oa_baselines::{cpa, cpr, cpr_batched, one_dag_at_a_time};
+use oa_bench::{fast_mode, row, write_json};
+use oa_platform::prelude::*;
+use oa_sched::prelude::*;
+
+fn main() {
+    let (ns, nm) = (10u32, if fast_mode() { 60 } else { 240 });
+    let table = reference_cluster(120).timing;
+
+    println!("== Baselines vs the paper's heuristics (NS = {ns}, NM = {nm}) ==");
+    println!("(makespans in hours; smaller is better)\n");
+    let widths = [5usize, 10, 10, 10, 10, 10, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "R".into(),
+                "basic".into(),
+                "knapsack".into(),
+                "CPA".into(),
+                "CPR-b".into(),
+                "CPR-1".into(),
+                "1-by-1".into(),
+            ],
+            &widths
+        )
+    );
+
+    #[derive(serde::Serialize)]
+    struct Point {
+        r: u32,
+        basic: f64,
+        knapsack: f64,
+        cpa: f64,
+        cpr_batched: f64,
+        cpr_single: f64,
+        one_by_one: f64,
+    }
+    let mut series = Vec::new();
+    let rs: Vec<u32> = (12..=120).step_by(12).collect();
+    for &r in &rs {
+        let inst = Instance::new(ns, nm, r);
+        let p = Point {
+            r,
+            basic: Heuristic::Basic.makespan(inst, &table).expect("feasible"),
+            knapsack: Heuristic::Knapsack.makespan(inst, &table).expect("feasible"),
+            cpa: cpa(inst, &table).expect("feasible").makespan,
+            cpr_batched: cpr_batched(inst, &table).expect("feasible").schedule.makespan,
+            cpr_single: cpr(inst, &table).expect("feasible").schedule.makespan,
+            one_by_one: one_dag_at_a_time(inst, &table).expect("feasible").makespan,
+        };
+        let h = |x: f64| format!("{:.1}", x / 3600.0);
+        println!(
+            "{}",
+            row(
+                &[
+                    r.to_string(),
+                    h(p.basic),
+                    h(p.knapsack),
+                    h(p.cpa),
+                    h(p.cpr_batched),
+                    h(p.cpr_single),
+                    h(p.one_by_one),
+                ],
+                &widths
+            )
+        );
+        series.push(p);
+    }
+
+    // Section 3 claims, quantified.
+    let knap_beats_cpa =
+        series.iter().filter(|p| p.knapsack <= p.cpa * 1.001).count();
+    let cpr_stuck = series.iter().filter(|p| p.cpr_single >= p.cpr_batched).count();
+    let naive_ratio: f64 = series
+        .iter()
+        .map(|p| p.one_by_one / p.knapsack)
+        .sum::<f64>()
+        / series.len() as f64;
+    println!(
+        "\nknapsack ≤ CPA on {knap_beats_cpa}/{} resource counts",
+        series.len()
+    );
+    println!(
+        "faithful CPR never beats the batched adaptation ({cpr_stuck}/{}) — the multi-critical-path plateau of §3.2",
+        series.len()
+    );
+    println!("one-DAG-at-a-time is on average {naive_ratio:.1}× slower than the knapsack grouping");
+    write_json("baselines_compare", &series);
+}

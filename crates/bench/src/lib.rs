@@ -1,0 +1,151 @@
+//! # oa-bench — experiment harness
+//!
+//! Shared plumbing for the figure-regeneration binaries (one per paper
+//! figure/table, see `src/bin/`) and the Criterion micro-benchmarks
+//! (`benches/`): summary statistics, tabular output, JSON result dumps
+//! and a scoped-thread parallel sweep helper.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// Mean and population standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Stats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Computes [`Stats`]; panics on an empty sample.
+pub fn stats(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "stats of an empty sample");
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Stats { mean, stddev: var.sqrt(), min, max }
+}
+
+/// Runs `f` over every item of `inputs` on `workers` scoped threads,
+/// preserving input order in the output. The figure sweeps are
+/// embarrassingly parallel over resource counts; this keeps the
+/// binaries fast without pulling a task-pool dependency.
+pub fn par_sweep<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(workers.min(n));
+    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (inp, slot) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (i, o) in inp.iter().zip(slot.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+}
+
+/// Number of sweep workers: physical parallelism minus one, at least 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+}
+
+/// Writes `value` as pretty JSON under `results/<name>.json` (creating
+/// the directory) and reports the path on stdout.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(value).expect("results are serializable");
+            if f.write_all(json.as_bytes()).is_ok() {
+                println!("# wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// True when the binary got the `--fast` flag: shrink sweeps for smoke
+/// runs (CI, `cargo run` without release).
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// Formats a row of columns padded to `widths`.
+pub fn row(cols: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (i, c) in cols.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        s.push_str(&format!("{c:>w$} "));
+    }
+    s.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = stats(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 2.0);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn stats_empty_panics() {
+        stats(&[]);
+    }
+
+    #[test]
+    fn par_sweep_preserves_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = par_sweep(inputs.clone(), 4, |&x| x * x);
+        let expect: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_sweep_single_worker() {
+        let out = par_sweep(vec![1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_sweep_empty() {
+        let out: Vec<i32> = par_sweep(Vec::<i32>::new(), 3, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn row_formatting() {
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a   bb");
+    }
+}

@@ -1,0 +1,163 @@
+//! A small typed flag parser (the workspace's allowed dependency list
+//! has no CLI crate; the surface here is tiny).
+//!
+//! Grammar: `oa <command> [--flag value]... [--switch]...`. Flags may
+//! appear in any order; unknown flags are errors so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: the command word plus its flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional word).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse/lookup errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// `--flag` at end of line with no value.
+    MissingValue(String),
+    /// A word that is not a `--flag`.
+    Unexpected(String),
+    /// A flag the command does not know.
+    UnknownFlag(String),
+    /// A flag value that does not parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// Expected value.
+        expect: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no command given; try `oa help`"),
+            ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
+            ArgError::Unexpected(w) => write!(f, "unexpected argument {w:?}"),
+            ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
+            ArgError::BadValue { flag, value, expect } => {
+                write!(f, "--{flag} {value:?}: expected {expect}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Switch-style flags (no value).
+const SWITCHES: &[&str] = &["per-proc", "staging", "json", "all", "fused"];
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter();
+        let command = it.next().ok_or(ArgError::NoCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::NoCommand);
+        }
+        let mut flags = BTreeMap::new();
+        let mut switches = Vec::new();
+        while let Some(word) = it.next() {
+            let Some(name) = word.strip_prefix("--") else {
+                return Err(ArgError::Unexpected(word));
+            };
+            if SWITCHES.contains(&name) {
+                switches.push(name.to_string());
+                continue;
+            }
+            let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            flags.insert(name.to_string(), value);
+        }
+        Ok(Self { command, flags, switches })
+    }
+
+    /// A `u32` flag with a default.
+    pub fn u32_or(&self, flag: &str, default: u32) -> Result<u32, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expect: "a positive integer",
+            }),
+        }
+    }
+
+    /// A string flag with a default.
+    pub fn str_or(&self, flag: &str, default: &str) -> String {
+        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Errors on any flag not in `allowed` (switches included).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::UnknownFlag(k.clone()));
+            }
+        }
+        for s in &self.switches {
+            if !allowed.contains(&s.as_str()) {
+                return Err(ArgError::UnknownFlag(s.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let a = parse(&["plan", "--r", "53", "--heuristic", "knapsack", "--json"]).unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.u32_or("r", 0).unwrap(), 53);
+        assert_eq!(a.str_or("heuristic", "basic"), "knapsack");
+        assert!(a.switch("json"));
+        assert!(!a.switch("staging"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["plan"]).unwrap();
+        assert_eq!(a.u32_or("ns", 10).unwrap(), 10);
+        assert_eq!(a.str_or("cluster", "reference"), "reference");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&[]), Err(ArgError::NoCommand));
+        assert_eq!(parse(&["--r", "5"]), Err(ArgError::NoCommand));
+        assert_eq!(parse(&["plan", "--r"]), Err(ArgError::MissingValue("r".into())));
+        assert_eq!(parse(&["plan", "oops"]), Err(ArgError::Unexpected("oops".into())));
+        let a = parse(&["plan", "--r", "many"]).unwrap();
+        assert!(matches!(a.u32_or("r", 1), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = parse(&["plan", "--bogus", "1"]).unwrap();
+        assert_eq!(a.check_known(&["r", "ns"]), Err(ArgError::UnknownFlag("bogus".into())));
+        let a = parse(&["plan", "--r", "5"]).unwrap();
+        assert!(a.check_known(&["r"]).is_ok());
+    }
+}

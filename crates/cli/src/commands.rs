@@ -1,0 +1,489 @@
+//! The `oa` subcommands. Every command renders to a `String` so the
+//! test suite can assert output without spawning processes.
+
+use oa_middleware::prelude::*;
+use oa_platform::prelude::*;
+use oa_sched::prelude::*;
+use oa_sim::prelude::*;
+
+use crate::args::{ArgError, Args};
+
+/// Command-level errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// The command word is not known.
+    UnknownCommand(String),
+    /// A domain error (infeasible instance, unknown cluster, …).
+    Domain(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `oa help`"),
+            CliError::Domain(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Entry point: dispatches `argv` (without program name) to a command.
+pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> {
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(ArgError::NoCommand) => return Ok(help()),
+        Err(e) => return Err(e.into()),
+    };
+    match args.command.as_str() {
+        "help" => Ok(help()),
+        "plan" => plan(&args),
+        "gantt" => gantt(&args),
+        "grid" => grid_cmd(&args),
+        "table" => table_cmd(&args),
+        "campaign" => campaign(&args),
+        "import" => import(&args),
+        "profile" => profile_cmd(&args),
+        "dot" => dot_cmd(&args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn help() -> String {
+    "\
+oa — Ocean-Atmosphere grid scheduling (Caniou et al., 2008 reproduction)
+
+USAGE: oa <command> [--flag value]...
+
+COMMANDS
+  plan      choose a grouping and report makespans
+            --ns N --nm N --r N --cluster NAME [--heuristic H | --all] [--json]
+  gantt     render a schedule as ASCII art
+            --ns N --nm N --r N --heuristic H --width N [--per-proc]
+  table     print a cluster's timing table
+            --cluster NAME
+  grid      plan + execute a campaign across the preset grid
+            --ns N --nm N --clusters N --resources N --heuristic H [--staging]
+  campaign  run a campaign through the DIET-like middleware
+            --ns N --nm N --clusters N --resources N --heuristic H
+  import    parse a benchmark file and plan on the measured grid
+            --file PATH --ns N --nm N --heuristic H
+  profile   occupancy profile of a schedule (busy processors over time)
+            --ns N --nm N --r N --heuristic H
+  dot       Graphviz DOT of the application DAG (pipe into `dot -Tsvg`)
+            --ns N --nm N [--fused]
+  help      this text
+
+HEURISTICS: basic, redistribute (Improvement 1), nopost (Improvement 2),
+            knapsack (Improvement 3, default), knapsack-greedy
+CLUSTERS:   reference (default), sagittaire, capricorne, chinqchint,
+            grillon, grelon
+"
+    .to_string()
+}
+
+fn heuristic_of(name: &str) -> Result<Heuristic, CliError> {
+    Ok(match name {
+        "basic" => Heuristic::Basic,
+        "redistribute" | "gain1" => Heuristic::RedistributeIdle,
+        "nopost" | "gain2" => Heuristic::NoPostReservation,
+        "knapsack" | "gain3" => Heuristic::Knapsack,
+        "knapsack-greedy" => Heuristic::KnapsackGreedy,
+        other => return Err(CliError::Domain(format!("unknown heuristic {other:?}"))),
+    })
+}
+
+fn cluster_of(name: &str, resources: u32) -> Result<Cluster, CliError> {
+    if resources < 4 {
+        return Err(CliError::Domain(format!(
+            "a cluster needs at least 4 processors to run any pcr, got {resources}"
+        )));
+    }
+    if name == "reference" {
+        return Ok(reference_cluster(resources));
+    }
+    if PRESET_CLUSTERS.iter().any(|(n, _, _, _)| *n == name) {
+        return Ok(preset_cluster(name, resources));
+    }
+    Err(CliError::Domain(format!(
+        "unknown cluster {name:?} (try reference, sagittaire, …, grelon)"
+    )))
+}
+
+fn plan(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "r", "cluster", "heuristic", "all", "json"])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 1800)?;
+    let r = args.u32_or("r", 53)?;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+    let inst = Instance::new(ns, nm, r);
+
+    let heuristics: Vec<Heuristic> = if args.switch("all") {
+        Heuristic::PAPER.to_vec()
+    } else {
+        vec![heuristic_of(&args.str_or("heuristic", "knapsack"))?]
+    };
+
+    let mut out = format!(
+        "cluster {} · R = {r} · NS = {ns} · NM = {nm}\n",
+        cluster.name
+    );
+    let mut rows = Vec::new();
+    for h in heuristics {
+        let grouping = h
+            .grouping(inst, &cluster.timing)
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        let est = estimate(inst, &cluster.timing, &grouping)
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        out.push_str(&format!(
+            "{:<26} {:<26} {:>10.1} h  util {:>5.1}%\n",
+            h.label(),
+            grouping.to_string(),
+            est.makespan / 3600.0,
+            est.utilization(inst) * 100.0
+        ));
+        rows.push((h.label(), grouping.to_string(), est.makespan));
+    }
+    if args.switch("json") {
+        let json: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|(h, g, m)| {
+                serde_json::json!({ "heuristic": h, "grouping": g, "makespan_secs": m })
+            })
+            .collect();
+        out.push_str(&serde_json::to_string_pretty(&json).expect("serializable"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn gantt(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "r", "cluster", "heuristic", "width", "per-proc"])?;
+    let ns = args.u32_or("ns", 4)?;
+    let nm = args.u32_or("nm", 12)?;
+    let r = args.u32_or("r", 26)?;
+    let width = args.u32_or("width", 76)? as usize;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let inst = Instance::new(ns, nm, r);
+    let grouping =
+        h.grouping(inst, &cluster.timing).map_err(|e| CliError::Domain(e.to_string()))?;
+    let schedule = execute_default(inst, &cluster.timing, &grouping)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    schedule.validate().map_err(|e| CliError::Domain(e.to_string()))?;
+    Ok(format!(
+        "{h} → {grouping}\n{}",
+        render(&schedule, GanttOptions { width, by_group: !args.switch("per-proc") }),
+        h = h.label()
+    ))
+}
+
+fn table_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["cluster"])?;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), 16)?;
+    let mut out = format!("timing table of {} (seconds)\n", cluster.name);
+    out.push_str("  G      T[G]\n");
+    for g in 4..=11u32 {
+        out.push_str(&format!("{g:>3} {:>9.1}\n", cluster.timing.main_secs(g)));
+    }
+    out.push_str(&format!("post {:>8.1}\n", cluster.timing.post_secs()));
+    Ok(out)
+}
+
+fn preset_grid(clusters: u32, resources: u32) -> Result<Grid, CliError> {
+    if clusters == 0 || clusters > PRESET_CLUSTERS.len() as u32 {
+        return Err(CliError::Domain(format!(
+            "--clusters must be 1..={}, got {clusters}",
+            PRESET_CLUSTERS.len()
+        )));
+    }
+    Ok(benchmark_grid(resources).take(clusters as usize))
+}
+
+fn grid_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "clusters", "resources", "heuristic", "staging"])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 1800)?;
+    let clusters = args.u32_or("clusters", 5)?;
+    let resources = args.u32_or("resources", 30)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let grid = preset_grid(clusters, resources)?;
+
+    let outcome = if args.switch("staging") {
+        let links = vec![Link::gigabit(); grid.len()];
+        run_grid_with_staging(&grid, h, ns, nm, ExecConfig::default(), &links, &StagingModel::default())
+    } else {
+        run_grid(&grid, h, ns, nm, ExecConfig::default())
+    }
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+
+    let mut out = format!(
+        "grid of {clusters} × {resources} processors · {} · NS = {ns} · NM = {nm}\n",
+        h.label()
+    );
+    for c in &outcome.clusters {
+        out.push_str(&format!(
+            "  {:<12} scenarios {:?} → {:.1} h\n",
+            grid.cluster(c.cluster).name,
+            c.scenarios,
+            c.makespan() / 3600.0
+        ));
+    }
+    out.push_str(&format!(
+        "grid makespan: {:.1} h ({:.0} s)\n",
+        outcome.makespan / 3600.0,
+        outcome.makespan
+    ));
+    Ok(out)
+}
+
+fn campaign(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "clusters", "resources", "heuristic"])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 120)?;
+    let clusters = args.u32_or("clusters", 5)?;
+    let resources = args.u32_or("resources", 30)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let grid = preset_grid(clusters, resources)?;
+
+    let deployment = Deployment::new(&grid, h);
+    let report = deployment
+        .client()
+        .submit(ns, nm)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let mut out = format!("campaign #{} through the middleware:\n", report.request);
+    for e in &report.trace {
+        out.push_str(&format!("  {e:?}\n"));
+    }
+    for r in &report.reports {
+        out.push_str(&format!(
+            "  {:<12} {} scenario(s)  {}  {:.1} h\n",
+            grid.cluster(r.cluster).name,
+            r.scenarios.len(),
+            r.grouping,
+            r.makespan / 3600.0
+        ));
+    }
+    out.push_str(&format!(
+        "grid makespan: {:.1} h ({:.0} s)\n",
+        report.makespan / 3600.0,
+        report.makespan
+    ));
+    Ok(out)
+}
+
+fn import(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["file", "ns", "nm", "heuristic"])?;
+    let path = args.str_or("file", "");
+    if path.is_empty() {
+        return Err(CliError::Domain("--file is required".into()));
+    }
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 120)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Domain(format!("cannot read {path:?}: {e}")))?;
+    let grid = parse_grid(&text).map_err(|e| CliError::Domain(e.to_string()))?;
+
+    let mut out = format!("imported {} cluster(s) from {path}\n", grid.len());
+    for (_, c) in grid.iter() {
+        out.push_str(&format!(
+            "  {:<12} {:>4} procs  T[11] = {:.0} s\n",
+            c.name,
+            c.resources,
+            c.timing.main_secs(11)
+        ));
+    }
+    let outcome = run_grid(&grid, h, ns, nm, ExecConfig::default())
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    out.push_str(&format!(
+        "campaign NS = {ns}, NM = {nm} via {}: makespan {:.1} h\n",
+        h.label(),
+        outcome.makespan / 3600.0
+    ));
+    Ok(out)
+}
+
+fn profile_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "r", "cluster", "heuristic"])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 24)?;
+    let r = args.u32_or("r", 53)?;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let inst = Instance::new(ns, nm, r);
+    let grouping =
+        h.grouping(inst, &cluster.timing).map_err(|e| CliError::Domain(e.to_string()))?;
+    let schedule = execute_default(inst, &cluster.timing, &grouping)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let p = oa_sim::profile::profile(&schedule);
+    let mut out = format!(
+        "occupancy of {} on {} procs (makespan {:.1} h)\n",
+        h.label(),
+        r,
+        schedule.makespan / 3600.0
+    );
+    out.push_str(&format!(
+        "mean busy {:.1} / {r}  peak {}  idle {:.0} proc·h\n",
+        p.mean_busy(),
+        p.peak_busy(),
+        p.idle_proc_secs() / 3600.0
+    ));
+    // A coarse textual histogram: 10 buckets over the horizon.
+    let horizon = schedule.makespan.max(1e-9);
+    out.push_str("time-bucket occupancy (mains+posts, % of R):\n");
+    for b in 0..10 {
+        let (lo, hi) = (horizon * b as f64 / 10.0, horizon * (b as f64 + 1.0) / 10.0);
+        let mut busy = 0.0;
+        for s in &p.steps {
+            let overlap = (s.end.min(hi) - s.start.max(lo)).max(0.0);
+            busy += s.busy() as f64 * overlap;
+        }
+        let pct = busy / ((hi - lo) * r as f64) * 100.0;
+        let bar = "#".repeat((pct / 2.5) as usize);
+        out.push_str(&format!("{:>3}0% {:>5.1}% |{bar}\n", b, pct));
+    }
+    Ok(out)
+}
+
+fn dot_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["ns", "nm", "fused"])?;
+    let ns = args.u32_or("ns", 2)?;
+    let nm = args.u32_or("nm", 2)?;
+    let shape = oa_workflow::chain::ExperimentShape::new(ns, nm);
+    Ok(if args.switch("fused") {
+        oa_workflow::dot::fused_dot(&oa_workflow::fusion::build_fused(shape))
+    } else {
+        oa_workflow::dot::experiment_dot(&oa_workflow::chain::build_experiment(shape))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oa(words: &[&str]) -> Result<String, CliError> {
+        run(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = oa(&["help"]).unwrap();
+        for c in ["plan", "gantt", "table", "grid", "campaign"] {
+            assert!(h.contains(c), "missing {c}");
+        }
+        // No args → help too.
+        assert_eq!(oa(&[]).unwrap(), h);
+    }
+
+    #[test]
+    fn plan_paper_example() {
+        let out = oa(&["plan", "--r", "53", "--all", "--nm", "120"]).unwrap();
+        assert!(out.contains("7×7 | post:4"), "{out}");
+        assert!(out.contains("3×8 + 4×7 | post:1"), "{out}");
+        assert!(out.contains("gain3-knapsack"));
+    }
+
+    #[test]
+    fn plan_json_output() {
+        let out = oa(&["plan", "--r", "24", "--nm", "12", "--json"]).unwrap();
+        assert!(out.contains("\"makespan_secs\""));
+    }
+
+    #[test]
+    fn gantt_renders() {
+        let out = oa(&["gantt", "--ns", "2", "--nm", "3", "--r", "12", "--width", "40"]).unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn table_prints_all_group_sizes() {
+        let out = oa(&["table", "--cluster", "grelon"]).unwrap();
+        assert!(out.contains("grelon"));
+        assert!(out.lines().count() >= 10);
+    }
+
+    #[test]
+    fn grid_and_campaign_agree() {
+        let g = oa(&["grid", "--nm", "24", "--resources", "25"]).unwrap();
+        let c = oa(&["campaign", "--nm", "24", "--resources", "25"]).unwrap();
+        let pick = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("grid makespan"))
+                .expect("makespan line")
+                .to_string()
+        };
+        assert_eq!(pick(&g), pick(&c));
+    }
+
+    #[test]
+    fn staging_switch_increases_makespan_slightly() {
+        let plain = oa(&["grid", "--nm", "24", "--resources", "25"]).unwrap();
+        let staged = oa(&["grid", "--nm", "24", "--resources", "25", "--staging"]).unwrap();
+        assert_ne!(plain, staged);
+    }
+
+    #[test]
+    fn import_round_trip_through_a_file() {
+        let grid = benchmark_grid(24).take(2);
+        let text = render_grid(&grid);
+        let path = std::env::temp_dir().join("oa-cli-import-test.bench");
+        std::fs::write(&path, text).unwrap();
+        let out = oa(&["import", "--file", path.to_str().unwrap(), "--ns", "4", "--nm", "12"])
+            .unwrap();
+        assert!(out.contains("imported 2 cluster(s)"));
+        assert!(out.contains("sagittaire"));
+        assert!(out.contains("makespan"));
+        std::fs::remove_file(&path).ok();
+        // Missing file and missing flag are domain errors.
+        assert!(matches!(oa(&["import"]), Err(CliError::Domain(_))));
+        assert!(matches!(
+            oa(&["import", "--file", "/nonexistent/x.bench"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn profile_reports_occupancy() {
+        let out = oa(&["profile", "--ns", "4", "--nm", "6", "--r", "20"]).unwrap();
+        assert!(out.contains("mean busy"));
+        assert!(out.contains("time-bucket"));
+        assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn dot_outputs_graphviz() {
+        let plain = oa(&["dot", "--ns", "1", "--nm", "2"]).unwrap();
+        assert!(plain.starts_with("digraph"));
+        assert!(plain.contains("s0m0:caif"));
+        let fused = oa(&["dot", "--ns", "1", "--nm", "2", "--fused"]).unwrap();
+        assert!(fused.contains("s0m1:post"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(oa(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(oa(&["plan", "--bogus", "1"]), Err(CliError::Args(_))));
+        assert!(matches!(
+            oa(&["plan", "--heuristic", "nope"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(
+            oa(&["plan", "--cluster", "mars"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(oa(&["grid", "--clusters", "9"]), Err(CliError::Domain(_))));
+        // R too small for any group.
+        assert!(matches!(oa(&["plan", "--r", "3", "--nm", "2"]), Err(CliError::Domain(_))));
+    }
+}

@@ -1,0 +1,16 @@
+//! `oa` — the command-line front end. See `oa help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match oa_cli::run(std::env::args().skip(1)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("oa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Event-driven makespan estimation for generic workloads.
+//!
+//! The same policy as [`crate::estimate`] — least-advanced-first
+//! assignment, largest idle group first, surplus-group disbanding,
+//! FIFO trailing tasks — generalized to arbitrary allocation ranges,
+//! arbitrary per-unit blocking time `unit_secs(g)` and arbitrary
+//! trailing work. On an Ocean-Atmosphere-shaped workload it returns
+//! exactly what `crate::estimate` returns (property-tested in
+//! `generic::tests`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use super::workload::Workload;
+
+/// Totally ordered `f64` heap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A processor division for a generic workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Groups {
+    /// Group sizes (each within the workload's allocation range),
+    /// kept sorted descending.
+    sizes: Vec<u32>,
+    /// Processors dedicated to trailing work.
+    pub pool: u32,
+}
+
+/// Errors from generic grouping validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupsError {
+    /// A size is outside the workload's allocation range.
+    BadSize(u32),
+    /// More processors used than available.
+    OverSubscribed {
+        /// Processors requested.
+        used: u64,
+        /// Processors available.
+        available: u32,
+    },
+    /// More groups than chains.
+    TooManyGroups {
+        /// Groups in the grouping.
+        groups: usize,
+        /// Chains in the workload.
+        chains: u32,
+    },
+    /// No groups.
+    NoGroups,
+}
+
+impl std::fmt::Display for GroupsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupsError::BadSize(g) => write!(f, "group size {g} outside the workload's range"),
+            GroupsError::OverSubscribed { used, available } => {
+                write!(f, "{used} processors used, {available} available")
+            }
+            GroupsError::TooManyGroups { groups, chains } => {
+                write!(f, "{groups} groups for {chains} chains")
+            }
+            GroupsError::NoGroups => write!(f, "no groups"),
+        }
+    }
+}
+
+impl std::error::Error for GroupsError {}
+
+impl Groups {
+    /// Builds a canonical (descending) grouping.
+    pub fn new(mut sizes: Vec<u32>, pool: u32) -> Self {
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        Self { sizes, pool }
+    }
+
+    /// Group sizes, largest first.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Processors inside groups.
+    pub fn main_procs(&self) -> u64 {
+        self.sizes.iter().map(|&g| g as u64).sum()
+    }
+
+    /// Validates against a workload and a processor budget.
+    pub fn validate(&self, w: &Workload, r: u32) -> Result<(), GroupsError> {
+        if self.sizes.is_empty() {
+            return Err(GroupsError::NoGroups);
+        }
+        let range = w.alloc_range();
+        for &g in &self.sizes {
+            if !range.accepts(g) {
+                return Err(GroupsError::BadSize(g));
+            }
+        }
+        let used = self.main_procs() + self.pool as u64;
+        if used > r as u64 {
+            return Err(GroupsError::OverSubscribed { used, available: r });
+        }
+        if self.sizes.len() > w.chains as usize {
+            return Err(GroupsError::TooManyGroups {
+                groups: self.sizes.len(),
+                chains: w.chains,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Estimation result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenericEstimate {
+    /// Campaign makespan, seconds.
+    pub makespan: f64,
+    /// Last blocking-phase completion.
+    pub main_finish: f64,
+    /// Last trailing-task completion (equals `main_finish` when the
+    /// workload has no trailing work).
+    pub trailing_finish: f64,
+}
+
+/// Simulates `w` on `r` processors divided as `groups`.
+pub fn estimate_generic(
+    w: &Workload,
+    r: u32,
+    groups: &Groups,
+) -> Result<GenericEstimate, GroupsError> {
+    groups.validate(w, r)?;
+    let sizes: Vec<u32> = groups.sizes().to_vec();
+    let durs: Vec<f64> = sizes.iter().map(|&g| w.unit_secs(g)).collect();
+    let tp = w.trailing_secs();
+    let units = w.units;
+
+    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
+    let mut running: Vec<Option<u32>> = vec![None; sizes.len()];
+    let mut waiting: BinaryHeap<Reverse<(u32, u32)>> =
+        (0..w.chains).map(|c| Reverse((0, c))).collect();
+    let mut done: Vec<u32> = vec![0; w.chains as usize];
+    let mut unfinished = w.chains as usize;
+    let mut idle: Vec<usize> = (0..sizes.len()).collect();
+    idle.sort_unstable_by_key(|&g| (sizes[g], g));
+    let mut alive = sizes.len();
+
+    let mut trailing_ready: Vec<f64> = Vec::with_capacity(w.nbtasks() as usize);
+    let mut pool: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
+    for _ in 0..groups.pool {
+        pool.push(Reverse(Time(0.0)));
+    }
+
+    let assign = |now: f64,
+                  idle: &mut Vec<usize>,
+                  waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
+                  running: &mut Vec<Option<u32>>,
+                  alive: &mut usize,
+                  unfinished: usize,
+                  pool: &mut BinaryHeap<Reverse<Time>>| {
+        while !idle.is_empty() {
+            let Some(&Reverse((_, c))) = waiting.peek() else { break };
+            let g = idle.pop().expect("non-empty");
+            waiting.pop();
+            running[g] = Some(c);
+            busy.push(Reverse((Time(now + durs[g]), g)));
+        }
+        while !idle.is_empty() && *alive > unfinished {
+            let g = idle.remove(0);
+            *alive -= 1;
+            for _ in 0..sizes[g] {
+                pool.push(Reverse(Time(now)));
+            }
+        }
+    };
+
+    assign(0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+
+    let mut main_finish = 0.0f64;
+    while let Some(Reverse((Time(t), g))) = busy.pop() {
+        let c = running[g].take().expect("busy group runs a chain");
+        done[c as usize] += 1;
+        main_finish = t;
+        trailing_ready.push(t);
+        if done[c as usize] == units {
+            unfinished -= 1;
+        } else {
+            waiting.push(Reverse((done[c as usize], c)));
+        }
+        let pos = idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)).unwrap_err();
+        idle.insert(pos, g);
+        assign(t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+    }
+
+    let mut trailing_finish = main_finish;
+    if tp > 0.0 {
+        debug_assert!(!pool.is_empty(), "groups disband eventually");
+        for ready in trailing_ready {
+            let Reverse(Time(avail)) = pool.pop().expect("pool non-empty");
+            let start = if avail > ready { avail } else { ready };
+            let fin = start + tp;
+            if fin > trailing_finish {
+                trailing_finish = fin;
+            }
+            pool.push(Reverse(Time(fin)));
+        }
+    }
+
+    Ok(GenericEstimate {
+        makespan: main_finish.max(trailing_finish),
+        main_finish,
+        trailing_finish,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::workload::{Phase, PhaseTime};
+    use oa_workflow::moldable::MoldableSpec;
+
+    fn tiny() -> Workload {
+        Workload::new(
+            2,
+            3,
+            vec![
+                Phase {
+                    name: "solve".into(),
+                    time: PhaseTime::Moldable {
+                        range: MoldableSpec { min_procs: 2, max_procs: 3 },
+                        table: vec![100.0, 80.0],
+                    },
+                    blocking: true,
+                },
+                Phase { name: "report".into(), time: PhaseTime::Sequential(10.0), blocking: false },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn two_chains_two_groups() {
+        let w = tiny();
+        let g = Groups::new(vec![3, 2], 1);
+        let e = estimate_generic(&w, 6, &g).unwrap();
+        // Fast group does 3 units of chain A in 240; slow group 300.
+        assert_eq!(e.main_finish, 300.0);
+        assert_eq!(e.makespan, 310.0);
+    }
+
+    #[test]
+    fn no_trailing_work() {
+        let w = Workload::new(
+            2,
+            2,
+            vec![Phase {
+                name: "only".into(),
+                time: PhaseTime::Sequential(50.0),
+                blocking: true,
+            }],
+        )
+        .unwrap();
+        let g = Groups::new(vec![1, 1], 0);
+        let e = estimate_generic(&w, 2, &g).unwrap();
+        assert_eq!(e.makespan, 100.0);
+        assert_eq!(e.trailing_finish, e.main_finish);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let w = tiny();
+        assert_eq!(
+            estimate_generic(&w, 6, &Groups::new(vec![], 2)).unwrap_err(),
+            GroupsError::NoGroups
+        );
+        assert_eq!(
+            estimate_generic(&w, 6, &Groups::new(vec![4], 0)).unwrap_err(),
+            GroupsError::BadSize(4)
+        );
+        assert_eq!(
+            estimate_generic(&w, 4, &Groups::new(vec![3, 2], 0)).unwrap_err(),
+            GroupsError::OverSubscribed { used: 5, available: 4 }
+        );
+        assert_eq!(
+            estimate_generic(&w, 9, &Groups::new(vec![3, 3, 3], 0)).unwrap_err(),
+            GroupsError::TooManyGroups { groups: 3, chains: 2 }
+        );
+    }
+
+    #[test]
+    fn matches_specialized_estimator_on_oa_workloads() {
+        use crate::estimate::estimate;
+        use crate::grouping::Grouping;
+        use crate::params::Instance;
+        use oa_platform::speedup::PcrModel;
+
+        let table = PcrModel::reference().table(1.0).unwrap();
+        for (ns, nm, r) in [(10u32, 24u32, 53u32), (3, 10, 30), (7, 13, 90)] {
+            let w = Workload::ocean_atmosphere(ns, nm, &table);
+            let inst = Instance::new(ns, nm, r);
+            for (sizes, pool) in [
+                (vec![7u32; (r / 7).min(ns) as usize], r - 7 * (r / 7).min(ns)),
+                (vec![11, 4], r - 15),
+            ] {
+                let oa = Grouping::new(sizes.clone(), pool);
+                let gen = Groups::new(sizes, pool);
+                let a = estimate(inst, &table, &oa).unwrap();
+                let b = estimate_generic(&w, r, &gen).unwrap();
+                assert!(
+                    (a.makespan - b.makespan).abs() < 1e-9,
+                    "ns={ns} nm={nm} r={r}: {} vs {}",
+                    a.makespan,
+                    b.makespan
+                );
+            }
+        }
+    }
+}

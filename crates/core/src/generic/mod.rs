@@ -1,0 +1,23 @@
+//! The paper's stated future work, implemented: "extending the present
+//! work to a generic heuristic that can schedule the same kind of
+//! workflow, made of independent chains of identical DAGs composed of
+//! moldable tasks" (Conclusion).
+//!
+//! * [`workload`] — the generic chain-of-units model: blocking and
+//!   trailing phases, arbitrary moldable allocation ranges, with the
+//!   Ocean-Atmosphere campaign as the canonical instance;
+//! * [`estimate`] — the event estimator generalized to that model;
+//! * [`heuristic`] — the basic sweep and the knapsack grouping over an
+//!   arbitrary range.
+//!
+//! Specialization tests pin the generic path to the Ocean-Atmosphere
+//! path: on OA-shaped workloads both produce identical groupings and
+//! identical makespans.
+
+pub mod estimate;
+pub mod heuristic;
+pub mod workload;
+
+pub use estimate::{estimate_generic, GenericEstimate, Groups, GroupsError};
+pub use heuristic::{balanced_generic, basic_generic, knapsack_generic, solve, GenericError};
+pub use workload::{Phase, PhaseTime, Workload, WorkloadError};

@@ -1,0 +1,377 @@
+//! Generic workload model: independent chains of identical DAGs of
+//! moldable tasks.
+//!
+//! The paper's conclusion sketches the extension this module
+//! implements: "a generic heuristic that can schedule the same kind of
+//! workflow, made of independent chains of identical DAGs composed of
+//! moldable tasks." A *workload* is `chains` independent chains of
+//! `units` identical units; a unit is an ordered list of *phases*:
+//!
+//! * **blocking** phases gate the next unit of the chain (like `pcr`
+//!   and the pre-processing folded into it);
+//! * **non-blocking** phases only depend on the blocking prefix of
+//!   their own unit and can trail behind (like the post-processing).
+//!
+//! Each phase is either *moldable* — a per-allocation duration table
+//! over an arbitrary processor range — or *sequential* (one
+//! processor). All blocking moldable phases of a unit execute
+//! back-to-back on the same processor group, so a group of size `g`
+//! spends `unit_secs(g)` per unit; the trailing non-blocking
+//! sequential work forms the generalized "post" task.
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::timing::TimingTable;
+use oa_workflow::moldable::MoldableSpec;
+
+/// Duration model of one phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseTime {
+    /// Constant duration, independent of processors (sequential phase).
+    Sequential(f64),
+    /// Moldable: `table[i]` is the duration on `range.min_procs + i`
+    /// processors.
+    Moldable {
+        /// Legal allocation range.
+        range: MoldableSpec,
+        /// Per-allocation durations.
+        table: Vec<f64>,
+    },
+}
+
+/// One phase of a unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Duration model.
+    pub time: PhaseTime,
+    /// Whether the next unit of the chain waits for this phase.
+    pub blocking: bool,
+}
+
+/// Validation errors for generic workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// No phase at all.
+    NoPhases,
+    /// No blocking phase: units would all be independent, which this
+    /// scheduler does not model (use one chain of one unit per task).
+    NoBlockingPhase,
+    /// A non-blocking phase is moldable — trailing phases run on the
+    /// sequential pool, so they must be sequential.
+    MoldableTrailing {
+        /// Phase name.
+        phase: String,
+    },
+    /// A moldable table length disagrees with its range.
+    TableMismatch {
+        /// Phase name.
+        phase: String,
+        /// Expected value.
+        expect: usize,
+        /// Actual value.
+        got: usize,
+    },
+    /// A duration is not positive and finite.
+    BadDuration {
+        /// Phase name.
+        phase: String,
+        /// Offending value.
+        value: f64,
+    },
+    /// A moldable table increases with processors.
+    NotMonotone {
+        /// Phase name.
+        phase: String,
+    },
+    /// Two moldable blocking phases declare different ranges; one group
+    /// runs them all, so ranges must agree.
+    RangeMismatch {
+        /// Phase name.
+        phase: String,
+    },
+    /// Degenerate chain counts.
+    EmptyShape,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NoPhases => write!(f, "workload has no phases"),
+            WorkloadError::NoBlockingPhase => write!(f, "workload has no blocking phase"),
+            WorkloadError::MoldableTrailing { phase } => {
+                write!(f, "non-blocking phase {phase:?} is moldable")
+            }
+            WorkloadError::TableMismatch { phase, expect, got } => {
+                write!(f, "phase {phase:?}: table has {got} entries, range needs {expect}")
+            }
+            WorkloadError::BadDuration { phase, value } => {
+                write!(f, "phase {phase:?}: duration {value} is not positive/finite")
+            }
+            WorkloadError::NotMonotone { phase } => {
+                write!(f, "phase {phase:?}: duration increases with processors")
+            }
+            WorkloadError::RangeMismatch { phase } => {
+                write!(f, "phase {phase:?}: moldable range differs from earlier phases")
+            }
+            WorkloadError::EmptyShape => write!(f, "chains and units must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A generic workload: `chains` × `units` identical units.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Number of independent chains (`NS` in the paper).
+    pub chains: u32,
+    /// Units per chain (`NM`).
+    pub units: u32,
+    /// The phases of one unit, in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Builds and validates a workload.
+    pub fn new(chains: u32, units: u32, phases: Vec<Phase>) -> Result<Self, WorkloadError> {
+        if chains == 0 || units == 0 {
+            return Err(WorkloadError::EmptyShape);
+        }
+        if phases.is_empty() {
+            return Err(WorkloadError::NoPhases);
+        }
+        if !phases.iter().any(|p| p.blocking) {
+            return Err(WorkloadError::NoBlockingPhase);
+        }
+        let mut range: Option<MoldableSpec> = None;
+        for p in &phases {
+            match &p.time {
+                PhaseTime::Sequential(d) => {
+                    if !(d.is_finite() && *d > 0.0) {
+                        return Err(WorkloadError::BadDuration { phase: p.name.clone(), value: *d });
+                    }
+                }
+                PhaseTime::Moldable { range: r, table } => {
+                    if !p.blocking {
+                        return Err(WorkloadError::MoldableTrailing { phase: p.name.clone() });
+                    }
+                    if table.len() != r.len() {
+                        return Err(WorkloadError::TableMismatch {
+                            phase: p.name.clone(),
+                            expect: r.len(),
+                            got: table.len(),
+                        });
+                    }
+                    for d in table {
+                        if !(d.is_finite() && *d > 0.0) {
+                            return Err(WorkloadError::BadDuration {
+                                phase: p.name.clone(),
+                                value: *d,
+                            });
+                        }
+                    }
+                    if table.windows(2).any(|w| w[0] < w[1]) {
+                        return Err(WorkloadError::NotMonotone { phase: p.name.clone() });
+                    }
+                    match range {
+                        None => range = Some(*r),
+                        Some(prev) if prev == *r => {}
+                        Some(_) => {
+                            return Err(WorkloadError::RangeMismatch { phase: p.name.clone() })
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self { chains, units, phases })
+    }
+
+    /// The moldable allocation range of the unit (defaults to a
+    /// one-processor "range" when every phase is sequential).
+    pub fn alloc_range(&self) -> MoldableSpec {
+        self.phases
+            .iter()
+            .find_map(|p| match &p.time {
+                PhaseTime::Moldable { range, .. } => Some(*range),
+                PhaseTime::Sequential(_) => None,
+            })
+            .unwrap_or(MoldableSpec { min_procs: 1, max_procs: 1 })
+    }
+
+    /// Time a group of `g` processors spends on the blocking phases of
+    /// one unit — the generic `T[G]`.
+    pub fn unit_secs(&self, g: u32) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.blocking)
+            .map(|p| match &p.time {
+                PhaseTime::Sequential(d) => *d,
+                PhaseTime::Moldable { range, table } => {
+                    let i = range
+                        .index_of(g)
+                        .unwrap_or_else(|| panic!("allocation {g} outside range"));
+                    table[i]
+                }
+            })
+            .sum()
+    }
+
+    /// Duration of the trailing (non-blocking, sequential) work of one
+    /// unit — the generic `TP`. Zero when every phase blocks.
+    pub fn trailing_secs(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| !p.blocking)
+            .map(|p| match &p.time {
+                PhaseTime::Sequential(d) => *d,
+                PhaseTime::Moldable { .. } => unreachable!("validated: trailing is sequential"),
+            })
+            .sum()
+    }
+
+    /// Total unit count, the generic `nbtasks`.
+    pub fn nbtasks(&self) -> u64 {
+        self.chains as u64 * self.units as u64
+    }
+
+    /// The Ocean-Atmosphere campaign as a generic workload: pre + `pcr`
+    /// fused into one blocking moldable phase (from `table`), the three
+    /// post tasks as one trailing sequential phase.
+    pub fn ocean_atmosphere(ns: u32, nm: u32, table: &TimingTable) -> Self {
+        let range = MoldableSpec::pcr();
+        let main: Vec<f64> = range.allocations().map(|g| table.main_secs(g)).collect();
+        Self::new(
+            ns,
+            nm,
+            vec![
+                Phase {
+                    name: "main".into(),
+                    time: PhaseTime::Moldable { range, table: main },
+                    blocking: true,
+                },
+                Phase {
+                    name: "post".into(),
+                    time: PhaseTime::Sequential(table.post_secs()),
+                    blocking: false,
+                },
+            ],
+        )
+        .expect("the OA workload is well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+
+    fn moldable(name: &str, lo: u32, hi: u32, times: Vec<f64>, blocking: bool) -> Phase {
+        Phase {
+            name: name.into(),
+            time: PhaseTime::Moldable {
+                range: MoldableSpec { min_procs: lo, max_procs: hi },
+                table: times,
+            },
+            blocking,
+        }
+    }
+
+    fn seq(name: &str, d: f64, blocking: bool) -> Phase {
+        Phase { name: name.into(), time: PhaseTime::Sequential(d), blocking }
+    }
+
+    #[test]
+    fn oa_workload_matches_the_fused_model() {
+        let t = PcrModel::reference().table(1.0).unwrap();
+        let w = Workload::ocean_atmosphere(10, 1800, &t);
+        assert_eq!(w.nbtasks(), 18_000);
+        assert_eq!(w.alloc_range(), MoldableSpec::pcr());
+        for g in 4..=11 {
+            assert_eq!(w.unit_secs(g), t.main_secs(g));
+        }
+        assert_eq!(w.trailing_secs(), t.post_secs());
+    }
+
+    #[test]
+    fn multi_phase_unit_sums_blocking_times() {
+        // A unit = moldable solve (2..=4 procs) + blocking sequential
+        // checkpoint + trailing sequential analysis + trailing archive.
+        let w = Workload::new(
+            3,
+            5,
+            vec![
+                moldable("solve", 2, 4, vec![90.0, 60.0, 50.0], true),
+                seq("checkpoint", 10.0, true),
+                seq("analysis", 7.0, false),
+                seq("archive", 3.0, false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.unit_secs(2), 100.0);
+        assert_eq!(w.unit_secs(4), 60.0);
+        assert_eq!(w.trailing_secs(), 10.0);
+        assert_eq!(w.alloc_range().allocations().collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_workloads() {
+        assert_eq!(Workload::new(0, 1, vec![seq("a", 1.0, true)]), Err(WorkloadError::EmptyShape));
+        assert_eq!(Workload::new(1, 1, vec![]), Err(WorkloadError::NoPhases));
+        assert_eq!(
+            Workload::new(1, 1, vec![seq("a", 1.0, false)]),
+            Err(WorkloadError::NoBlockingPhase)
+        );
+        assert!(matches!(
+            Workload::new(1, 1, vec![moldable("m", 2, 3, vec![5.0, 4.0], false), seq("b", 1.0, true)]),
+            Err(WorkloadError::MoldableTrailing { .. })
+        ));
+        assert!(matches!(
+            Workload::new(1, 1, vec![moldable("m", 2, 3, vec![5.0], true)]),
+            Err(WorkloadError::TableMismatch { expect: 2, got: 1, .. })
+        ));
+        assert!(matches!(
+            Workload::new(1, 1, vec![moldable("m", 2, 3, vec![4.0, 5.0], true)]),
+            Err(WorkloadError::NotMonotone { .. })
+        ));
+        assert!(matches!(
+            Workload::new(1, 1, vec![seq("a", -1.0, true)]),
+            Err(WorkloadError::BadDuration { .. })
+        ));
+        assert!(matches!(
+            Workload::new(
+                1,
+                1,
+                vec![
+                    moldable("m", 2, 3, vec![5.0, 4.0], true),
+                    moldable("n", 2, 4, vec![5.0, 4.0, 3.0], true),
+                ]
+            ),
+            Err(WorkloadError::RangeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fully_sequential_workload_is_legal() {
+        let w = Workload::new(2, 3, vec![seq("step", 5.0, true)]).unwrap();
+        assert_eq!(w.alloc_range().allocations().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(w.unit_secs(1), 5.0);
+        assert_eq!(w.trailing_secs(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = PcrModel::reference().table(1.0).unwrap();
+        let w = Workload::ocean_atmosphere(2, 3, &t);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        // JSON float printing can drop the last ulp; compare with a
+        // tolerance rather than bitwise.
+        assert_eq!((back.chains, back.units), (w.chains, w.units));
+        for g in 4..=11 {
+            assert!((back.unit_secs(g) - w.unit_secs(g)).abs() < 1e-9);
+        }
+        assert_eq!(back.trailing_secs(), w.trailing_secs());
+    }
+}

@@ -1,0 +1,81 @@
+//! Exhaustive oracle for tests.
+//!
+//! Enumerates every feasible count vector. Exponential — only for tiny
+//! instances inside the test suite, where it anchors the property tests
+//! comparing the DP and branch-and-bound solvers.
+
+use crate::problem::{Problem, Solution};
+
+/// Exhaustively finds the optimal value (with the same fewer-resources,
+/// fewer-copies tie-break as the DP). Panics if the search space
+/// exceeds `limit` states — a guard against accidentally running the
+/// oracle on real instances.
+pub fn brute_force(p: &Problem, limit: u64) -> Solution {
+    let bounds: Vec<u32> = (0..p.items.len()).map(|i| p.effective_bound(i)).collect();
+    let states: u64 = bounds.iter().fold(1u64, |acc, &b| acc.saturating_mul(b as u64 + 1));
+    assert!(states <= limit, "brute force space {states} exceeds limit {limit}");
+
+    let mut best = Solution::empty(p.items.len());
+    let mut counts = vec![0u32; p.items.len()];
+    loop {
+        if let Some(s) = Solution::from_counts(p, counts.clone()) {
+            let eps = 1e-12 * (1.0 + best.value.abs());
+            let better = s.value > best.value + eps
+                || (s.value >= best.value - eps && (s.cost, s.copies) < (best.cost, best.copies));
+            if better {
+                best = s;
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == counts.len() {
+                return best;
+            }
+            if counts[i] < bounds[i] {
+                counts[i] += 1;
+                break;
+            }
+            counts[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::solve_dp;
+    use crate::problem::Item;
+
+    #[test]
+    fn oracle_matches_dp_value_on_small_instances() {
+        let items = vec![Item::new(2, 3.0, 3), Item::new(3, 4.0, 3), Item::new(5, 9.0, 3)];
+        for cap in 0..=15 {
+            for card in 0..=5 {
+                let p = Problem::new(items.clone(), cap, card);
+                let d = solve_dp(&p);
+                let b = brute_force(&p, 1_000_000);
+                assert!(
+                    (d.value - b.value).abs() < 1e-9,
+                    "cap={cap} card={card}: dp={} brute={}",
+                    d.value,
+                    b.value
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds limit")]
+    fn oracle_refuses_large_spaces() {
+        let items = vec![Item::new(1, 1.0, 1000); 8];
+        brute_force(&Problem::new(items, 1000, 1000), 1_000);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(vec![], 5, 5);
+        assert_eq!(brute_force(&p, 10).value, 0.0);
+    }
+}

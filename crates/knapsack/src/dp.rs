@@ -1,0 +1,188 @@
+//! Exact dynamic program for the bounded knapsack with a cardinality
+//! constraint.
+//!
+//! State: `dp[c][k]` = best value using at most `c` resources and at
+//! most `k` copies, considering items `0..i`. Items are processed one
+//! kind at a time and every copy count `0..=bound` is tried, giving
+//! `O(kinds × capacity × max_items × bound)` time — with the paper's
+//! sizes (8 kinds, `R ≤ ~1000`, `NS ≈ 10`) well under a millisecond.
+//!
+//! Ties on value are broken toward **fewer resources**, then **fewer
+//! copies**: a grouping that achieves the same throughput with spare
+//! processors leaves them to post-processing, which can only help the
+//! makespan. The tie-break also makes the solver deterministic, which
+//! the reproduction relies on.
+
+use crate::problem::{Problem, Solution};
+
+/// Tolerance for value comparisons: `1/T` values differ by parts in
+/// `1e-4`, accumulated over ≤ a few dozen copies, so `1e-12` relative
+/// is far below signal while absorbing float associativity.
+const EPS: f64 = 1e-12;
+
+#[inline]
+fn better(value: f64, cost: u32, copies: u32, best: (f64, u32, u32)) -> bool {
+    let (bv, bc, bk) = best;
+    if value > bv + EPS * (1.0 + bv.abs()) {
+        return true;
+    }
+    if value < bv - EPS * (1.0 + bv.abs()) {
+        return false;
+    }
+    (cost, copies) < (bc, bk)
+}
+
+/// Solves the instance exactly. Always returns a feasible solution
+/// (the empty selection when nothing fits).
+pub fn solve_dp(p: &Problem) -> Solution {
+    let kinds = p.items.len();
+    let cap = p.capacity as usize;
+    let card = p.max_items as usize;
+    // dp and companion tables indexed [c * (card+1) + k].
+    let cells = (cap + 1) * (card + 1);
+    let idx = |c: usize, k: usize| c * (card + 1) + k;
+    let mut value = vec![0.0f64; cells];
+    let mut cost = vec![0u32; cells];
+    let mut copies = vec![0u32; cells];
+    // choice[i][cell] = copies of item i taken at this cell.
+    let mut choice = vec![vec![0u16; cells]; kinds];
+
+    let mut next_value = vec![0.0f64; cells];
+    let mut next_cost = vec![0u32; cells];
+    let mut next_copies = vec![0u32; cells];
+
+    for (i, it) in p.items.iter().enumerate() {
+        let bound = p.effective_bound(i) as usize;
+        for c in 0..=cap {
+            for k in 0..=card {
+                let mut best = (f64::NEG_INFINITY, u32::MAX, u32::MAX);
+                let mut best_n = 0usize;
+                let n_max = bound.min(c / it.cost as usize).min(k);
+                for n in 0..=n_max {
+                    let pc = c - n * it.cost as usize;
+                    let pk = k - n;
+                    let j = idx(pc, pk);
+                    let v = value[j] + n as f64 * it.value;
+                    let tc = cost[j] + n as u32 * it.cost;
+                    let tk = copies[j] + n as u32;
+                    if better(v, tc, tk, best) {
+                        best = (v, tc, tk);
+                        best_n = n;
+                    }
+                }
+                let j = idx(c, k);
+                next_value[j] = best.0;
+                next_cost[j] = best.1;
+                next_copies[j] = best.2;
+                choice[i][j] = best_n as u16;
+            }
+        }
+        std::mem::swap(&mut value, &mut next_value);
+        std::mem::swap(&mut cost, &mut next_cost);
+        std::mem::swap(&mut copies, &mut next_copies);
+    }
+
+    // Reconstruct from the full-budget cell.
+    let mut counts = vec![0u32; kinds];
+    let (mut c, mut k) = (cap, card);
+    for i in (0..kinds).rev() {
+        let n = choice[i][idx(c, k)] as u32;
+        counts[i] = n;
+        c -= (n * p.items[i].cost) as usize;
+        k -= n as usize;
+    }
+    Solution::from_counts(p, counts).expect("DP reconstruction is feasible by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Item;
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(vec![], 10, 10);
+        let s = solve_dp(&p);
+        assert_eq!(s.value, 0.0);
+        assert!(s.counts.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_selects_nothing() {
+        let p = Problem::new(vec![Item::new(4, 1.0, 10)], 0, 10);
+        assert_eq!(solve_dp(&p).copies, 0);
+    }
+
+    #[test]
+    fn zero_cardinality_selects_nothing() {
+        let p = Problem::new(vec![Item::new(4, 1.0, 10)], 100, 0);
+        assert_eq!(solve_dp(&p).copies, 0);
+    }
+
+    #[test]
+    fn single_item_fills_capacity() {
+        let p = Problem::new(vec![Item::new(3, 1.0, 100)], 10, 100);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![3]);
+        assert_eq!(s.cost, 9);
+    }
+
+    #[test]
+    fn cardinality_binds_before_capacity() {
+        let p = Problem::new(vec![Item::new(3, 1.0, 100)], 100, 4);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![4]);
+    }
+
+    #[test]
+    fn prefers_dense_items_under_cardinality() {
+        // With at most 2 copies total, two big items beat many smalls.
+        let p = Problem::new(vec![Item::new(1, 1.0, 100), Item::new(10, 5.0, 100)], 20, 2);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![0, 2]);
+        assert_eq!(s.value, 10.0);
+    }
+
+    #[test]
+    fn classic_tradeoff() {
+        // cost/value: a=(4, 4.5), b=(5, 5.0). Capacity 13, ≤3 copies.
+        // 2a+1b = cost 13, value 14 beats 1a+1b (9.5) and 2b (10).
+        let p = Problem::new(vec![Item::new(4, 4.5, 9), Item::new(5, 5.0, 9)], 13, 3);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![2, 1]);
+        assert!((s.value - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_ties_prefer_cheaper() {
+        // Same value, different cost: pick the cheap one.
+        let p = Problem::new(vec![Item::new(7, 1.0, 1), Item::new(3, 1.0, 1)], 10, 1);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![0, 1]);
+        assert_eq!(s.cost, 3);
+    }
+
+    #[test]
+    fn per_item_bounds_respected() {
+        let p = Problem::new(vec![Item::new(2, 10.0, 2), Item::new(2, 1.0, 100)], 10, 10);
+        let s = solve_dp(&p);
+        assert_eq!(s.counts, vec![2, 3]);
+    }
+
+    #[test]
+    fn paper_shaped_instance() {
+        // Group sizes 4..=11, value 1/T[G] with the reference Amdahl
+        // table, R = 53, NS = 10 → the optimum packs 53 processors.
+        let t = [7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0];
+        let items: Vec<Item> =
+            (0..8).map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10)).collect();
+        let p = Problem::new(items, 53, 10);
+        let s = solve_dp(&p);
+        assert!(s.is_valid_for(&p));
+        assert!(s.cost <= 53);
+        assert!(s.copies <= 10);
+        // The knapsack must beat the basic grouping's 7 groups of 7
+        // (value 7/2102) on throughput.
+        assert!(s.value >= 7.0 / 2102.0 - 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Greedy baseline: highest value density first.
+//!
+//! Not exact — used as an ablation baseline to quantify what the exact
+//! DP buys the scheduler, and as a lower bound inside the
+//! branch-and-bound solver.
+
+use crate::problem::{Problem, Solution};
+
+/// Greedily picks items by decreasing `value / cost` (ties: lower cost
+/// first, then lower index), taking as many copies as fit.
+pub fn solve_greedy(p: &Problem) -> Solution {
+    let mut order: Vec<usize> = (0..p.items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = p.items[a].value / p.items[a].cost as f64;
+        let db = p.items[b].value / p.items[b].cost as f64;
+        db.total_cmp(&da)
+            .then(p.items[a].cost.cmp(&p.items[b].cost))
+            .then(a.cmp(&b))
+    });
+    let mut counts = vec![0u32; p.items.len()];
+    let mut cap = p.capacity;
+    let mut card = p.max_items;
+    for i in order {
+        if card == 0 {
+            break;
+        }
+        let it = &p.items[i];
+        let n = it.max_copies.min(card).min(cap / it.cost);
+        counts[i] = n;
+        cap -= n * it.cost;
+        card -= n;
+    }
+    Solution::from_counts(p, counts).expect("greedy never exceeds the budgets")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::solve_dp;
+    use crate::problem::Item;
+
+    #[test]
+    fn greedy_is_feasible() {
+        let p = Problem::new(vec![Item::new(4, 2.0, 10), Item::new(7, 3.0, 10)], 25, 4);
+        let s = solve_greedy(&p);
+        assert!(s.is_valid_for(&p));
+    }
+
+    #[test]
+    fn greedy_matches_dp_on_easy_instance() {
+        let p = Problem::new(vec![Item::new(5, 10.0, 10), Item::new(5, 1.0, 10)], 20, 10);
+        assert_eq!(solve_greedy(&p).counts, solve_dp(&p).counts);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // Density favors the 7-cost item (10/7 ≈ 1.43 > 1.4), but two
+        // 5-cost items fill capacity 10 exactly for value 14.
+        let p = Problem::new(vec![Item::new(7, 10.0, 10), Item::new(5, 7.0, 10)], 10, 10);
+        let g = solve_greedy(&p);
+        let d = solve_dp(&p);
+        assert!(g.value < d.value);
+        assert_eq!(d.counts, vec![0, 2]);
+    }
+
+    #[test]
+    fn greedy_respects_cardinality() {
+        let p = Problem::new(vec![Item::new(1, 1.0, 100)], 100, 3);
+        assert_eq!(solve_greedy(&p).copies, 3);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(vec![], 5, 5);
+        assert_eq!(solve_greedy(&p).value, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! # oa-knapsack — the knapsack core of the paper's best heuristic
+//!
+//! "The optimal repartition of the R processors in groups on which the
+//! multiprocessor tasks should be executed can be viewed as an instance
+//! of the Knapsack problem with an extra constraint." (paper,
+//! Section 4.2, Improvement 3)
+//!
+//! The instance is a *bounded knapsack with a cardinality constraint*:
+//! maximize `Σ nᵢ·vᵢ` subject to `Σ nᵢ·cᵢ ≤ capacity` and
+//! `Σ nᵢ ≤ max_items`. Three solvers are provided:
+//!
+//! * [`dp::solve_dp`] — exact dynamic program (the one the scheduler
+//!   uses), deterministic tie-breaking toward cheaper selections;
+//! * [`branch_bound::solve_branch_bound`] — independent exact solver
+//!   used to cross-check the DP;
+//! * [`greedy::solve_greedy`] — density-ordered baseline for ablations.
+//!
+//! [`brute::brute_force`] is a test-only oracle for tiny instances.
+//!
+//! ```
+//! use oa_knapsack::{Item, Problem, solve_dp};
+//!
+//! // Groups of 4..=11 processors, value = 1/T[G], R = 53, NS = 10.
+//! let t = [7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0];
+//! let items: Vec<Item> = (0..8).map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10)).collect();
+//! let best = solve_dp(&Problem::new(items, 53, 10));
+//! assert!(best.cost <= 53 && best.copies <= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod brute;
+pub mod dp;
+pub mod greedy;
+pub mod problem;
+
+pub use branch_bound::solve_branch_bound;
+pub use brute::brute_force;
+pub use dp::solve_dp;
+pub use greedy::solve_greedy;
+pub use problem::{Item, Problem, Solution};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_problem() -> impl Strategy<Value = Problem> {
+        let item = (1u32..=12, 0.0f64..10.0, 0u32..=4)
+            .prop_map(|(cost, value, max)| Item::new(cost, value, max));
+        (proptest::collection::vec(item, 0..5), 0u32..=30, 0u32..=6)
+            .prop_map(|(items, capacity, max_items)| Problem::new(items, capacity, max_items))
+    }
+
+    proptest! {
+        #[test]
+        fn dp_matches_brute_force(p in arb_problem()) {
+            let d = solve_dp(&p);
+            let b = brute_force(&p, 10_000_000);
+            prop_assert!((d.value - b.value).abs() <= 1e-9 * (1.0 + b.value.abs()),
+                "dp={} brute={}", d.value, b.value);
+            // Same tie-break ⇒ identical selections.
+            prop_assert_eq!(d.counts, b.counts);
+        }
+
+        #[test]
+        fn branch_bound_matches_dp_value(p in arb_problem()) {
+            let d = solve_dp(&p);
+            let bb = solve_branch_bound(&p);
+            prop_assert!((d.value - bb.value).abs() <= 1e-9 * (1.0 + d.value.abs()),
+                "dp={} bb={}", d.value, bb.value);
+        }
+
+        #[test]
+        fn solutions_are_always_feasible(p in arb_problem()) {
+            prop_assert!(solve_dp(&p).is_valid_for(&p));
+            prop_assert!(solve_greedy(&p).is_valid_for(&p));
+            prop_assert!(solve_branch_bound(&p).is_valid_for(&p));
+        }
+
+        #[test]
+        fn greedy_never_beats_exact(p in arb_problem()) {
+            let d = solve_dp(&p);
+            let g = solve_greedy(&p);
+            prop_assert!(g.value <= d.value + 1e-9 * (1.0 + d.value.abs()));
+        }
+
+        #[test]
+        fn more_capacity_never_hurts(p in arb_problem()) {
+            let base = solve_dp(&p).value;
+            let mut bigger = p.clone();
+            bigger.capacity += 5;
+            prop_assert!(solve_dp(&bigger).value + 1e-9 >= base);
+        }
+
+        #[test]
+        fn more_cardinality_never_hurts(p in arb_problem()) {
+            let base = solve_dp(&p).value;
+            let mut bigger = p.clone();
+            bigger.max_items += 2;
+            prop_assert!(solve_dp(&bigger).value + 1e-9 >= base);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Problem statement: bounded knapsack with a cardinality constraint.
+//!
+//! The paper (Section 4.2, Improvement 3) models the division of `R`
+//! processors into multiprocessor groups as a knapsack: the *items*
+//! are the eight possible group sizes (4 to 11 processors), an item's
+//! *cost* is its processor count, its *value* is `1 / T[G]` — the
+//! fraction of a main-processing task completed per second by such a
+//! group — and two constraints apply: total cost at most `R`, and at
+//! most `NS` groups in total (no more than `NS` tasks can ever run
+//! simultaneously).
+//!
+//! This module states the problem in those terms but stays generic so
+//! it can be tested independently of the application.
+
+use serde::{Deserialize, Serialize};
+
+/// One item kind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Item {
+    /// Resource cost per copy (processors per group).
+    pub cost: u32,
+    /// Value per copy (`1 / T[G]`; any non-negative finite number).
+    pub value: f64,
+    /// Maximum number of copies of this item (defaults to the
+    /// cardinality bound in the scheduler's use).
+    pub max_copies: u32,
+}
+
+impl Item {
+    /// Creates an item; panics on zero cost or non-finite/negative value
+    /// (zero-cost items make the problem unbounded in spirit).
+    pub fn new(cost: u32, value: f64, max_copies: u32) -> Self {
+        assert!(cost > 0, "item cost must be positive");
+        assert!(value.is_finite() && value >= 0.0, "item value must be finite and ≥ 0");
+        Self { cost, value, max_copies }
+    }
+}
+
+/// A bounded knapsack instance with a cardinality constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Problem {
+    /// The item kinds.
+    pub items: Vec<Item>,
+    /// Total resource budget (`R`).
+    pub capacity: u32,
+    /// Maximum total number of copies across all items (`NS`).
+    pub max_items: u32,
+}
+
+impl Problem {
+    /// Creates a problem.
+    pub fn new(items: Vec<Item>, capacity: u32, max_items: u32) -> Self {
+        Self { items, capacity, max_items }
+    }
+
+    /// Effective per-item copy bound: the declared bound clamped by the
+    /// cardinality constraint and by how many copies fit in the budget.
+    pub fn effective_bound(&self, i: usize) -> u32 {
+        let it = &self.items[i];
+        it.max_copies.min(self.max_items).min(self.capacity / it.cost)
+    }
+}
+
+/// A selection: `counts[i]` copies of item `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Copies per item kind.
+    pub counts: Vec<u32>,
+    /// Total value of the selection.
+    pub value: f64,
+    /// Total cost of the selection.
+    pub cost: u32,
+    /// Total number of copies.
+    pub copies: u32,
+}
+
+impl Solution {
+    /// The empty selection for a problem with `n` item kinds.
+    pub fn empty(n: usize) -> Self {
+        Self { counts: vec![0; n], value: 0.0, cost: 0, copies: 0 }
+    }
+
+    /// Recomputes totals from `counts` against `p`, verifying
+    /// feasibility. Returns `None` if infeasible.
+    pub fn from_counts(p: &Problem, counts: Vec<u32>) -> Option<Self> {
+        if counts.len() != p.items.len() {
+            return None;
+        }
+        let mut value = 0.0;
+        let mut cost: u64 = 0;
+        let mut copies: u64 = 0;
+        for (n, it) in counts.iter().zip(&p.items) {
+            if *n > it.max_copies {
+                return None;
+            }
+            value += *n as f64 * it.value;
+            cost += *n as u64 * it.cost as u64;
+            copies += *n as u64;
+        }
+        if cost > p.capacity as u64 || copies > p.max_items as u64 {
+            return None;
+        }
+        Some(Self { counts, value, cost: cost as u32, copies: copies as u32 })
+    }
+
+    /// Whether this selection is feasible for `p` and its cached totals
+    /// are consistent.
+    pub fn is_valid_for(&self, p: &Problem) -> bool {
+        match Self::from_counts(p, self.counts.clone()) {
+            Some(s) => {
+                (s.value - self.value).abs() <= 1e-9 * (1.0 + self.value.abs())
+                    && s.cost == self.cost
+                    && s.copies == self.copies
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_validation() {
+        let it = Item::new(4, 0.25, 10);
+        assert_eq!(it.cost, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must be positive")]
+    fn zero_cost_item_panics() {
+        Item::new(0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_value_panics() {
+        Item::new(1, f64::NAN, 1);
+    }
+
+    #[test]
+    fn effective_bounds() {
+        let p = Problem::new(vec![Item::new(4, 1.0, 100), Item::new(11, 2.0, 100)], 40, 5);
+        assert_eq!(p.effective_bound(0), 5); // cardinality clamps
+        assert_eq!(p.effective_bound(1), 3); // capacity clamps: ⌊40/11⌋
+    }
+
+    #[test]
+    fn from_counts_checks_feasibility() {
+        let p = Problem::new(vec![Item::new(4, 1.0, 10), Item::new(5, 2.0, 10)], 20, 4);
+        let s = Solution::from_counts(&p, vec![2, 2]).unwrap();
+        assert_eq!(s.cost, 18);
+        assert_eq!(s.copies, 4);
+        assert_eq!(s.value, 6.0);
+        assert!(s.is_valid_for(&p));
+        // Over capacity.
+        assert!(Solution::from_counts(&p, vec![5, 1]).is_none());
+        // Over cardinality.
+        assert!(Solution::from_counts(&p, vec![3, 2]).is_none());
+        // Wrong arity.
+        assert!(Solution::from_counts(&p, vec![1]).is_none());
+        // Over per-item bound.
+        let q = Problem::new(vec![Item::new(1, 1.0, 2)], 100, 100);
+        assert!(Solution::from_counts(&q, vec![3]).is_none());
+    }
+
+    #[test]
+    fn tampered_solution_is_invalid() {
+        let p = Problem::new(vec![Item::new(4, 1.0, 10)], 20, 4);
+        let mut s = Solution::from_counts(&p, vec![2]).unwrap();
+        s.value = 99.0;
+        assert!(!s.is_valid_for(&p));
+    }
+}

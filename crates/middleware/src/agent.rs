@@ -1,0 +1,168 @@
+//! The master agent: orchestrates the 6-step protocol of Figure 9.
+//!
+//! DIET's agent hierarchy (MA → LAs → SeDs) routes requests to servers;
+//! with one agent level — enough for a handful of clusters — the MA
+//! broadcasts the performance query, gathers the vectors, runs
+//! Algorithm 1, dispatches the assignments and gathers the reports.
+
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use oa_sched::hetero::{repartition, PerformanceVector};
+
+use crate::protocol::{
+    AgentMsg, CampaignReport, ExecReport, ExecRequest, PerfRequest, ProtocolEvent, SedMsg,
+};
+
+/// How long the agent waits for each SeD answer before declaring it
+/// missing (steps 3 and 6). Virtual execution is instantaneous, so this
+/// only guards against crashed SeD threads.
+pub const SED_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The master agent: owns the channel ends toward every SeD.
+pub struct MasterAgent {
+    seds: Vec<Sender<SedMsg>>,
+    from_seds: Receiver<AgentMsg>,
+    next_request: u64,
+}
+
+/// Errors the agent can report to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// No SeD is registered.
+    NoSeds,
+    /// Every registered SeD priced itself out (infinite vectors) or
+    /// timed out.
+    NoUsableCluster,
+    /// The deployment behind this client has been torn down.
+    Terminated,
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::NoSeds => write!(f, "no SeD registered with the agent"),
+            AgentError::NoUsableCluster => write!(f, "no cluster can run the campaign"),
+            AgentError::Terminated => write!(f, "the deployment has been shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+impl MasterAgent {
+    /// Creates an agent over channel ends to its SeDs.
+    pub fn new(seds: Vec<Sender<SedMsg>>, from_seds: Receiver<AgentMsg>) -> Self {
+        Self { seds, from_seds, next_request: 1 }
+    }
+
+    /// Runs one full campaign: the six protocol steps.
+    pub fn submit(&mut self, ns: u32, nm: u32) -> Result<CampaignReport, AgentError> {
+        if self.seds.is_empty() {
+            return Err(AgentError::NoSeds);
+        }
+        let request = self.next_request;
+        self.next_request += 1;
+        let n = self.seds.len();
+        let mut trace = vec![ProtocolEvent::RequestReceived { request, ns, nm }];
+
+        // Step 2: broadcast the performance query.
+        let mut live = vec![false; n];
+        for (i, tx) in self.seds.iter().enumerate() {
+            let sent = tx.send(SedMsg::Perf(PerfRequest { request, ns, nm })).is_ok();
+            live[i] = sent;
+            if sent {
+                trace.push(ProtocolEvent::PerfQueried {
+                    cluster: oa_platform::cluster::ClusterId(i as u32),
+                });
+            }
+        }
+
+        // Step 3: gather vectors (missing SeDs get infinite vectors so
+        // Algorithm 1 never assigns them work).
+        let expected = live.iter().filter(|&&l| l).count();
+        let mut vectors: Vec<Option<PerformanceVector>> = vec![None; n];
+        let mut received = 0;
+        while received < expected {
+            match self.from_seds.recv_timeout(SED_TIMEOUT) {
+                Ok(AgentMsg::Perf(reply)) if reply.request == request => {
+                    let i = reply.cluster.index();
+                    trace.push(ProtocolEvent::PerfReceived { cluster: reply.cluster });
+                    vectors[i] = Some(reply.vector);
+                    received += 1;
+                }
+                Ok(_) => continue, // stale message from an older request
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let vectors: Vec<PerformanceVector> = (0..n)
+            .map(|i| {
+                vectors[i].clone().unwrap_or_else(|| {
+                    let cluster = oa_platform::cluster::ClusterId(i as u32);
+                    trace.push(ProtocolEvent::PerfMissing { cluster });
+                    PerformanceVector { cluster, makespans: vec![f64::INFINITY; ns as usize] }
+                })
+            })
+            .collect();
+        if vectors.iter().all(|v| v.makespans.iter().all(|m| m.is_infinite())) {
+            return Err(AgentError::NoUsableCluster);
+        }
+
+        // Step 4: Algorithm 1.
+        let plan = repartition(&vectors);
+        trace.push(ProtocolEvent::RepartitionComputed { nb_dags: plan.nb_dags.clone() });
+
+        // Step 5: dispatch.
+        let mut pending = 0;
+        for (i, tx) in self.seds.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let cluster = oa_platform::cluster::ClusterId(i as u32);
+            let scenarios = plan.scenarios_of(cluster);
+            trace.push(ProtocolEvent::ExecSent { cluster, scenarios: scenarios.len() as u32 });
+            if tx.send(SedMsg::Exec(ExecRequest { request, scenarios, nm })).is_ok() {
+                pending += 1;
+            }
+        }
+
+        // Step 6: gather reports.
+        let mut reports: Vec<ExecReport> = Vec::with_capacity(pending);
+        while reports.len() < pending {
+            match self.from_seds.recv_timeout(SED_TIMEOUT) {
+                Ok(AgentMsg::Report(rep)) if rep.request == request => {
+                    trace.push(ProtocolEvent::ReportReceived {
+                        cluster: rep.cluster,
+                        makespan: rep.makespan,
+                    });
+                    reports.push(rep);
+                }
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+        reports.sort_by_key(|r| r.cluster);
+        let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
+        Ok(CampaignReport { request, reports, makespan, trace })
+    }
+
+    /// Sends `Shutdown` to every SeD.
+    pub fn shutdown(&self) {
+        for tx in &self.seds {
+            let _ = tx.send(SedMsg::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_seds_is_an_error() {
+        let (_tx, rx) = crossbeam::channel::unbounded();
+        let mut ma = MasterAgent::new(vec![], rx);
+        assert_eq!(ma.submit(2, 3), Err(AgentError::NoSeds));
+    }
+}

@@ -1,0 +1,124 @@
+//! SeD-side performance-vector caching.
+//!
+//! Step 2 of the protocol prices a campaign by computing `NS` makespans
+//! with the plugin heuristic — for the improved heuristics that means
+//! dozens of event simulations per request. Real middleware caches
+//! such estimations: the vector depends only on `(NS, NM)` (the
+//! cluster and plugin are fixed per SeD), so repeated campaigns with
+//! the same shape — the common case for an ensemble service — hit the
+//! cache.
+//!
+//! The cache is a small LRU keyed by `(ns, nm)`; determinism keeps
+//! entries valid for the SeD's lifetime (tables never change while
+//! deployed), so there is no invalidation protocol.
+
+use std::collections::VecDeque;
+
+use oa_sched::hetero::PerformanceVector;
+
+/// A tiny LRU cache for performance vectors.
+pub struct VectorCache {
+    capacity: usize,
+    entries: VecDeque<((u32, u32), PerformanceVector)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl VectorCache {
+    /// Creates a cache holding at most `capacity` vectors.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache is a bug magnet");
+        Self { capacity, entries: VecDeque::new(), hits: 0, misses: 0 }
+    }
+
+    /// Looks up `(ns, nm)`, computing and inserting on miss.
+    pub fn get_or_compute(
+        &mut self,
+        ns: u32,
+        nm: u32,
+        compute: impl FnOnce() -> PerformanceVector,
+    ) -> PerformanceVector {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == (ns, nm)) {
+            self.hits += 1;
+            // Move to the front (most recently used).
+            let entry = self.entries.remove(pos).expect("position came from iter");
+            self.entries.push_front(entry.clone());
+            return entry.1;
+        }
+        self.misses += 1;
+        let vector = compute();
+        if self.entries.len() == self.capacity {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(((ns, nm), vector.clone()));
+        vector
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::cluster::ClusterId;
+
+    fn vector(tag: f64) -> PerformanceVector {
+        PerformanceVector { cluster: ClusterId(0), makespans: vec![tag] }
+    }
+
+    #[test]
+    fn caches_and_counts() {
+        let mut c = VectorCache::new(4);
+        let a = c.get_or_compute(10, 100, || vector(1.0));
+        let b = c.get_or_compute(10, 100, || panic!("must hit the cache"));
+        assert_eq!(a, b);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_miss() {
+        let mut c = VectorCache::new(4);
+        c.get_or_compute(10, 100, || vector(1.0));
+        c.get_or_compute(10, 200, || vector(2.0));
+        c.get_or_compute(9, 100, || vector(3.0));
+        assert_eq!(c.stats(), (0, 3));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = VectorCache::new(2);
+        c.get_or_compute(1, 1, || vector(1.0));
+        c.get_or_compute(2, 2, || vector(2.0));
+        // Touch (1,1) so (2,2) becomes the LRU victim.
+        c.get_or_compute(1, 1, || panic!("hit"));
+        c.get_or_compute(3, 3, || vector(3.0));
+        assert_eq!(c.len(), 2);
+        // (2,2) was evicted: recomputation happens (and this insert
+        // evicts (1,1), the LRU at that point).
+        let v = c.get_or_compute(2, 2, || vector(20.0));
+        assert_eq!(v.makespans, vec![20.0]);
+        // (3,3) survived as the most recent entry before the insert.
+        c.get_or_compute(3, 3, || panic!("hit"));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        VectorCache::new(0);
+    }
+}

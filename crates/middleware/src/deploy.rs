@@ -1,0 +1,256 @@
+//! Deployment: wire a grid of SeDs to a master agent and hand the user
+//! client handles.
+//!
+//! One OS thread per SeD (clusters answer queries concurrently, as on
+//! the real grid), one thread for the master agent, channels as the
+//! network. Any number of [`Client`] handles may submit concurrently —
+//! the agent serializes campaigns (the protocol is a sequential
+//! six-step exchange) but callers never coordinate with each other.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+
+use oa_platform::cluster::ClusterId;
+use oa_platform::grid::Grid;
+use oa_sched::heuristics::Heuristic;
+
+use crate::agent::{AgentError, MasterAgent};
+use crate::plugin::{HeuristicPlugin, SchedulerPlugin};
+use crate::protocol::CampaignReport;
+use crate::sed::Sed;
+
+/// A client-to-agent submission.
+struct Submission {
+    ns: u32,
+    nm: u32,
+    reply: Sender<Result<CampaignReport, AgentError>>,
+}
+
+/// What the agent thread receives.
+enum Command {
+    /// A campaign to run.
+    Submit(Submission),
+    /// Orderly shutdown (sent by `Deployment::drop`; client clones may
+    /// outlive the deployment, so channel closure alone cannot signal
+    /// termination).
+    Quit,
+}
+
+/// A running middleware deployment.
+pub struct Deployment {
+    commands: Sender<Command>,
+    agent: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Deployment {
+    /// Deploys one SeD per cluster of `grid`, all using `heuristic`.
+    pub fn new(grid: &Grid, heuristic: Heuristic) -> Self {
+        Self::with_plugins(grid, |_, _| Box::new(HeuristicPlugin(heuristic)))
+    }
+
+    /// Deploys with a custom plugin per cluster (fault injection,
+    /// mixed heuristics, …).
+    pub fn with_plugins(
+        grid: &Grid,
+        mut make_plugin: impl FnMut(ClusterId, &oa_platform::cluster::Cluster) -> Box<dyn SchedulerPlugin>,
+    ) -> Self {
+        let (to_agent, from_seds) = unbounded();
+        let mut sed_txs = Vec::with_capacity(grid.len());
+        let mut workers = Vec::with_capacity(grid.len());
+        for (id, cluster) in grid.iter() {
+            let (tx, rx) = unbounded();
+            let sed = Sed::new(id, cluster.clone(), make_plugin(id, cluster));
+            let agent_tx = to_agent.clone();
+            workers.push(std::thread::spawn(move || sed.serve(rx, agent_tx)));
+            sed_txs.push(tx);
+        }
+
+        let (commands, inbox) = unbounded::<Command>();
+        let agent = std::thread::spawn(move || {
+            let mut agent = MasterAgent::new(sed_txs, from_seds);
+            while let Ok(Command::Submit(Submission { ns, nm, reply })) = inbox.recv() {
+                // A dropped reply channel just means the client gave up.
+                let _ = reply.send(agent.submit(ns, nm));
+            }
+            agent.shutdown();
+        });
+
+        Deployment { commands, agent: Some(agent), workers }
+    }
+
+    /// A client bound to this deployment. Clients are cheap; create one
+    /// per thread.
+    pub fn client(&self) -> Client {
+        Client { commands: self.commands.clone() }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        // Client clones may still hold senders, so closure of the
+        // channel cannot signal the agent — send an explicit Quit.
+        let _ = self.commands.send(Command::Quit);
+        if let Some(agent) = self.agent.take() {
+            let _ = agent.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Client facade: submits campaigns through the deployment's agent.
+/// Clonable and `Send` — many threads may hold clients. A client that
+/// outlives its deployment gets [`AgentError::Terminated`] on submit.
+#[derive(Clone)]
+pub struct Client {
+    commands: Sender<Command>,
+}
+
+impl Client {
+    /// Runs a campaign of `ns` scenarios × `nm` months (steps 1–6) and
+    /// returns the consolidated report. Blocks until the agent answers.
+    pub fn submit(&self, ns: u32, nm: u32) -> Result<CampaignReport, AgentError> {
+        let (reply, result) = bounded(1);
+        self.commands
+            .send(Command::Submit(Submission { ns, nm, reply }))
+            .map_err(|_| AgentError::Terminated)?;
+        result.recv().map_err(|_| AgentError::Terminated)?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::UnavailablePlugin;
+    use crate::protocol::ProtocolEvent;
+    use oa_platform::presets::benchmark_grid;
+    use oa_sched::hetero::{grid_performance, repartition};
+
+    #[test]
+    fn end_to_end_campaign() {
+        let grid = benchmark_grid(30);
+        let deployment = Deployment::new(&grid, Heuristic::Knapsack);
+        let report = deployment.client().submit(10, 12).unwrap();
+        assert!(report.makespan > 0.0);
+        let total: usize = report.reports.iter().map(|r| r.scenarios.len()).sum();
+        assert_eq!(total, 10);
+        // The trace walks the six steps in order.
+        assert!(matches!(report.trace[0], ProtocolEvent::RequestReceived { ns: 10, nm: 12, .. }));
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| matches!(e, ProtocolEvent::RepartitionComputed { .. })));
+    }
+
+    #[test]
+    fn middleware_agrees_with_direct_planning() {
+        // The protocol must reproduce exactly what the in-process
+        // planner (oa-sched + oa-sim) computes.
+        let grid = benchmark_grid(25);
+        let deployment = Deployment::new(&grid, Heuristic::Knapsack);
+        let report = deployment.client().submit(8, 10).unwrap();
+
+        let vectors = grid_performance(&grid, Heuristic::Knapsack, 8, 10);
+        let plan = repartition(&vectors);
+        let predicted = plan.predicted_makespan(&vectors);
+        assert!((report.makespan - predicted).abs() < 1e-6);
+        for rep in &report.reports {
+            let expect = plan.scenarios_of(rep.cluster);
+            assert_eq!(rep.scenarios, expect, "cluster {:?}", rep.cluster);
+        }
+    }
+
+    #[test]
+    fn campaigns_are_sequentially_numbered() {
+        let grid = benchmark_grid(20).take(2);
+        let deployment = Deployment::new(&grid, Heuristic::Basic);
+        let client = deployment.client();
+        let a = client.submit(3, 5).unwrap();
+        let b = client.submit(3, 5).unwrap();
+        assert_eq!(b.request, a.request + 1);
+        assert_eq!(a.makespan, b.makespan); // deterministic
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let grid = benchmark_grid(25).take(3);
+        let deployment = Deployment::new(&grid, Heuristic::Knapsack);
+        let mut joins = Vec::new();
+        for i in 0..6u32 {
+            let client = deployment.client();
+            joins.push(std::thread::spawn(move || {
+                let ns = 2 + i % 3;
+                client.submit(ns, 8).expect("usable grid")
+            }));
+        }
+        let reports: Vec<CampaignReport> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        // Every request got a distinct id and a complete answer.
+        let mut ids: Vec<u64> = reports.iter().map(|r| r.request).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+        for r in &reports {
+            assert!(r.makespan > 0.0);
+        }
+        // Same (ns, nm) ⇒ identical makespan regardless of interleaving.
+        let by_ns = |ns: u32| {
+            reports
+                .iter()
+                .filter(|r| r.reports.iter().map(|x| x.scenarios.len() as u32).sum::<u32>() == ns)
+                .map(|r| r.makespan)
+                .collect::<Vec<_>>()
+        };
+        for ns in 2..=4 {
+            let ms = by_ns(ns);
+            assert!(ms.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "ns={ns}: {ms:?}");
+        }
+    }
+
+    #[test]
+    fn unavailable_cluster_gets_no_work() {
+        let grid = benchmark_grid(30);
+        let deployment = Deployment::with_plugins(&grid, |id, _| {
+            if id.index() == 0 {
+                Box::new(UnavailablePlugin)
+            } else {
+                Box::new(HeuristicPlugin(Heuristic::Knapsack))
+            }
+        });
+        let report = deployment.client().submit(6, 8).unwrap();
+        let r0 = report.reports.iter().find(|r| r.cluster.index() == 0).unwrap();
+        assert!(r0.scenarios.is_empty());
+        let total: usize = report.reports.iter().map(|r| r.scenarios.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn all_clusters_unavailable_is_an_error() {
+        let grid = benchmark_grid(30).take(2);
+        let deployment = Deployment::with_plugins(&grid, |_, _| Box::new(UnavailablePlugin));
+        assert_eq!(deployment.client().submit(2, 2), Err(AgentError::NoUsableCluster));
+    }
+
+    #[test]
+    fn faster_clusters_receive_more_scenarios() {
+        let grid = benchmark_grid(40);
+        let deployment = Deployment::new(&grid, Heuristic::Knapsack);
+        let report = deployment.client().submit(10, 24).unwrap();
+        let fastest = report.reports.iter().find(|r| r.cluster.index() == 0).unwrap();
+        let slowest = report.reports.iter().find(|r| r.cluster.index() == 4).unwrap();
+        assert!(fastest.scenarios.len() >= slowest.scenarios.len());
+    }
+
+    #[test]
+    fn clients_survive_deployment_teardown_gracefully() {
+        let client = {
+            let grid = benchmark_grid(20).take(1);
+            let deployment = Deployment::new(&grid, Heuristic::Basic);
+            deployment.client()
+            // deployment dropped here
+        };
+        assert_eq!(client.submit(1, 1), Err(AgentError::Terminated));
+    }
+}

@@ -1,0 +1,51 @@
+//! # oa-middleware — a DIET-like grid middleware substrate
+//!
+//! The paper deploys Ocean-Atmosphere through the DIET middleware on
+//! Grid'5000; its Figure 9 describes a six-step submission protocol
+//! (request → per-cluster performance vectors → repartition → dispatch
+//! → execution → reports). This crate implements that protocol as a
+//! real concurrent system:
+//!
+//! * [`protocol`] — the serializable message types and the protocol
+//!   trace;
+//! * [`plugin`] — SeD-side scheduler plugins (the paper's heuristics,
+//!   plus a fault-injection plugin);
+//! * [`sed`] — the server daemon fronting one cluster (its own thread,
+//!   virtual-time execution through `oa-sim`);
+//! * [`agent`] — the master agent running the six steps with timeouts
+//!   and degraded-mode handling;
+//! * [`deploy`] — wiring: one thread per SeD, channels as the network,
+//!   a [`deploy::Client`] facade.
+//!
+//! ```
+//! use oa_middleware::prelude::*;
+//! use oa_platform::prelude::*;
+//! use oa_sched::prelude::*;
+//!
+//! let grid = benchmark_grid(30);
+//! let deployment = Deployment::new(&grid, Heuristic::Knapsack);
+//! let report = deployment.client().submit(10, 12).unwrap();
+//! assert_eq!(report.reports.iter().map(|r| r.scenarios.len()).sum::<usize>(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod cache;
+pub mod deploy;
+pub mod plugin;
+pub mod protocol;
+pub mod sed;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::agent::{AgentError, MasterAgent};
+    pub use crate::deploy::{Client, Deployment};
+    pub use crate::plugin::{HeuristicPlugin, SchedulerPlugin, UnavailablePlugin};
+    pub use crate::protocol::{
+        AgentMsg, CampaignReport, ExecReport, ExecRequest, PerfReply, PerfRequest, ProtocolEvent,
+        SedMsg,
+    };
+    pub use crate::cache::VectorCache;
+    pub use crate::sed::Sed;
+}

@@ -1,0 +1,174 @@
+//! Wire protocol of the DIET-like middleware.
+//!
+//! The paper deploys Ocean-Atmosphere through the DIET grid middleware
+//! (Figure 9). The submission protocol has six steps:
+//!
+//! 1. the client sends a request with `NS` and `NM`;
+//! 2. each cluster computes its performance vector (makespan of
+//!    `1..=NS` simulations, knapsack model);
+//! 3. the clusters return the vectors;
+//! 4. the client computes the repartition (Algorithm 1);
+//! 5. the client sends each cluster its set of simulations;
+//! 6. each cluster executes its assignment.
+//!
+//! Here the "network" is crossbeam channels between threads; every
+//! message is a plain serializable struct so the protocol could move to
+//! a real transport unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::cluster::ClusterId;
+use oa_sched::hetero::PerformanceVector;
+
+/// Step 1/2: ask a SeD for its performance vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfRequest {
+    /// Request correlation id.
+    pub request: u64,
+    /// Number of scenarios the campaign wants to run.
+    pub ns: u32,
+    /// Months per scenario.
+    pub nm: u32,
+}
+
+/// Step 3: a SeD's answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReply {
+    /// Request correlation id.
+    pub request: u64,
+    /// The answering cluster.
+    pub cluster: ClusterId,
+    /// Predicted makespans for `1..=NS` scenarios.
+    pub vector: PerformanceVector,
+}
+
+/// Step 5: assignment of scenarios to one cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecRequest {
+    /// Request correlation id.
+    pub request: u64,
+    /// Global scenario ids to run on this cluster.
+    pub scenarios: Vec<u32>,
+    /// Months per scenario.
+    pub nm: u32,
+}
+
+/// Step 6: execution report from one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Request correlation id.
+    pub request: u64,
+    /// The reporting cluster.
+    pub cluster: ClusterId,
+    /// Scenarios it ran.
+    pub scenarios: Vec<u32>,
+    /// Simulated (virtual-time) makespan of the local schedule, seconds.
+    pub makespan: f64,
+    /// The grouping the cluster used, rendered (`"3×8 + 4×7 | post:1"`).
+    pub grouping: String,
+}
+
+/// Messages a SeD accepts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SedMsg {
+    /// Performance-vector query (step 2).
+    Perf(PerfRequest),
+    /// Execution order (step 6).
+    Exec(ExecRequest),
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Messages the master agent accepts from SeDs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentMsg {
+    /// Step 3 reply.
+    Perf(PerfReply),
+    /// Step 6 report.
+    Report(ExecReport),
+}
+
+/// The client's view of a completed campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Correlation id of the request.
+    pub request: u64,
+    /// Per-cluster execution reports (clusters with no work answer with
+    /// an empty scenario list and zero makespan).
+    pub reports: Vec<ExecReport>,
+    /// Grid makespan: slowest cluster.
+    pub makespan: f64,
+    /// Protocol trace (for inspection/debugging; Figure 9 steps).
+    pub trace: Vec<ProtocolEvent>,
+}
+
+/// One protocol step, as observed by the master agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolEvent {
+    /// Step 1: request received.
+    RequestReceived {
+        /// Request correlation id.
+        request: u64,
+        /// Scenario count.
+        ns: u32,
+        /// Months per scenario.
+        nm: u32,
+    },
+    /// Step 2: vector query sent to a cluster.
+    PerfQueried {
+        /// Cluster concerned.
+        cluster: ClusterId,
+    },
+    /// Step 3: vector received.
+    PerfReceived {
+        /// Cluster concerned.
+        cluster: ClusterId,
+    },
+    /// Step 3 (degraded): a cluster failed to answer; excluded.
+    PerfMissing {
+        /// Cluster concerned.
+        cluster: ClusterId,
+    },
+    /// Step 4: repartition computed, `nb_dags[cluster]` counts.
+    RepartitionComputed {
+        /// Scenarios per cluster.
+        nb_dags: Vec<u32>,
+    },
+    /// Step 5: execution order sent.
+    ExecSent {
+        /// Cluster concerned.
+        cluster: ClusterId,
+        /// Number of scenarios.
+        scenarios: u32,
+    },
+    /// Step 6: report received.
+    ReportReceived {
+        /// Cluster concerned.
+        cluster: ClusterId,
+        /// Reported makespan, seconds.
+        makespan: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_through_serde() {
+        let req = PerfRequest { request: 7, ns: 10, nm: 1800 };
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(serde_json::from_str::<PerfRequest>(&json).unwrap(), req);
+
+        let msg = SedMsg::Exec(ExecRequest { request: 7, scenarios: vec![1, 4], nm: 12 });
+        let json = serde_json::to_string(&msg).unwrap();
+        assert_eq!(serde_json::from_str::<SedMsg>(&json).unwrap(), msg);
+    }
+
+    #[test]
+    fn protocol_events_serialize() {
+        let e = ProtocolEvent::RepartitionComputed { nb_dags: vec![3, 7] };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("RepartitionComputed"));
+    }
+}

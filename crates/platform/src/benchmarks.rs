@@ -1,0 +1,171 @@
+//! Synthetic benchmarking harness.
+//!
+//! The paper's timing tables come from running the real application on
+//! each cluster ("The times have been obtained by performing
+//! benchmarks", Section 2). We have no Grid'5000, so this module plays
+//! the role of the benchmark campaign: it "runs" `pcr` at every group
+//! size on a cluster model, perturbs the measurement with bounded
+//! multiplicative noise, repeats, aggregates (median), and emits the
+//! [`TimingTable`] plus a fitted [`PcrModel`]. This keeps the rest
+//! of the pipeline identical to the paper's: heuristics only ever see
+//! measured tables, never the generator.
+
+use rand::distr::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::moldable::MoldableSpec;
+use oa_workflow::task::NUM_GROUP_SIZES;
+
+use crate::speedup::{fit, PcrModel};
+use crate::timing::{TimingError, TimingTable};
+
+/// Configuration of a synthetic benchmark campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkConfig {
+    /// Repetitions per group size (the median is kept).
+    pub repetitions: usize,
+    /// Half-width of the multiplicative noise: a measurement is the
+    /// true duration times a uniform factor in `[1 − noise, 1 + noise]`.
+    pub noise: f64,
+    /// RNG seed — campaigns are reproducible.
+    pub seed: u64,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        Self { repetitions: 5, noise: 0.02, seed: 0x0cea_a702_0080 }
+    }
+}
+
+/// One measured sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Group size benchmarked.
+    pub group: u32,
+    /// Measured duration, seconds.
+    pub secs: f64,
+}
+
+/// Outcome of a benchmark campaign on one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Every raw sample, in measurement order.
+    pub samples: Vec<Sample>,
+    /// Median-aggregated timing table.
+    pub table: TimingTable,
+    /// Moldable model fitted to the samples (pcr part, pre stripped);
+    /// `None` when the noise produced an unphysical (non-monotone) fit.
+    pub fitted: Option<PcrModel>,
+}
+
+/// Runs a synthetic campaign against ground-truth model `truth` scaled
+/// by `speed_factor`, with post-processing measured alongside.
+pub fn run_campaign(
+    truth: &PcrModel,
+    speed_factor: f64,
+    config: BenchmarkConfig,
+) -> Result<CampaignResult, TimingError> {
+    assert!(config.repetitions > 0, "at least one repetition required");
+    assert!((0.0..0.5).contains(&config.noise), "noise must be in [0, 0.5)");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let noise_dist = Uniform::new_inclusive(1.0 - config.noise, 1.0 + config.noise)
+        .expect("noise bounds are ordered");
+    let spec = MoldableSpec::pcr();
+    let true_table = truth.table(speed_factor)?;
+
+    let mut samples = Vec::with_capacity(spec.len() * config.repetitions);
+    let mut medians = [0.0f64; NUM_GROUP_SIZES];
+    for (i, g) in spec.allocations().enumerate() {
+        let mut runs: Vec<f64> = (0..config.repetitions)
+            .map(|_| true_table.main_secs(g) * noise_dist.sample(&mut rng))
+            .collect();
+        for &secs in &runs {
+            samples.push(Sample { group: g, secs });
+        }
+        runs.sort_by(f64::total_cmp);
+        medians[i] = runs[runs.len() / 2];
+    }
+    // Monotonize: noise can invert neighbouring entries; a running
+    // minimum restores the physical non-increasing shape.
+    for i in 1..NUM_GROUP_SIZES {
+        medians[i] = medians[i].min(medians[i - 1]);
+    }
+    let post = true_table.post_secs() * noise_dist.sample(&mut rng);
+    let table = TimingTable::new(medians, post)?;
+
+    // Fit on pcr times: strip the (scaled) pre-processing constant.
+    let pre = 2.0 * speed_factor;
+    let fit_samples: Vec<(u32, f64)> =
+        samples.iter().map(|s| (s.group, (s.secs - pre).max(1e-9))).collect();
+    // Heavy noise can make the least-squares curve non-monotone, which
+    // `fit` rejects — the table is still usable, so report `None`
+    // rather than failing the campaign.
+    let fitted = fit(&fit_samples);
+    Ok(CampaignResult { samples, table, fitted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_campaign_reproduces_truth() {
+        let truth = PcrModel::reference();
+        let cfg = BenchmarkConfig { repetitions: 1, noise: 0.0, seed: 1 };
+        let r = run_campaign(&truth, 1.0, cfg).unwrap();
+        let expect = truth.table(1.0).unwrap();
+        for g in 4..=11 {
+            assert!((r.table.main_secs(g) - expect.main_secs(g)).abs() < 1e-9);
+        }
+        assert!((r.table.post_secs() - 180.0).abs() < 1e-9);
+        let fitted = r.fitted.expect("noiseless fit always succeeds");
+        assert!((fitted.seq_secs - truth.seq_secs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn noisy_campaign_stays_close() {
+        let truth = PcrModel::reference();
+        let cfg = BenchmarkConfig { repetitions: 7, noise: 0.05, seed: 42 };
+        let r = run_campaign(&truth, 1.2, cfg).unwrap();
+        let expect = truth.table(1.2).unwrap();
+        for g in 4..=11 {
+            let rel = (r.table.main_secs(g) - expect.main_secs(g)).abs() / expect.main_secs(g);
+            assert!(rel < 0.06, "G={g}: {rel}");
+        }
+        assert_eq!(r.samples.len(), 7 * 8);
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let truth = PcrModel::reference();
+        let cfg = BenchmarkConfig::default();
+        let a = run_campaign(&truth, 1.0, cfg).unwrap();
+        let b = run_campaign(&truth, 1.0, cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_is_always_monotone_despite_noise() {
+        let truth = PcrModel::new(50.0, 400.0, 0.0); // shallow curve: noise easily inverts
+        for seed in 0..20 {
+            let cfg = BenchmarkConfig { repetitions: 3, noise: 0.2, seed };
+            let r = run_campaign(&truth, 1.0, cfg).unwrap();
+            let arr = r.table.main_array();
+            for i in 1..arr.len() {
+                assert!(arr[i] <= arr[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repetition")]
+    fn zero_repetitions_panics() {
+        let _ = run_campaign(&PcrModel::reference(), 1.0, BenchmarkConfig {
+            repetitions: 0,
+            noise: 0.0,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,143 @@
+//! Grids: federations of heterogeneous clusters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{Cluster, ClusterId};
+
+/// A grid: an ordered collection of clusters (Grid'5000 in the paper).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Grid {
+    clusters: Vec<Cluster>,
+}
+
+impl Grid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A grid from parts.
+    pub fn from_clusters(clusters: Vec<Cluster>) -> Self {
+        Self { clusters }
+    }
+
+    /// Adds a cluster, returning its id.
+    pub fn add(&mut self, cluster: Cluster) -> ClusterId {
+        let id = ClusterId(self.clusters.len() as u32);
+        self.clusters.push(cluster);
+        id
+    }
+
+    /// Number of clusters, `n`.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the grid has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The cluster behind `id`.
+    pub fn cluster(&self, id: ClusterId) -> &Cluster {
+        &self.clusters[id.index()]
+    }
+
+    /// All clusters in id order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Iterator over `(id, cluster)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
+        self.clusters.iter().enumerate().map(|(i, c)| (ClusterId(i as u32), c))
+    }
+
+    /// Total processors across the grid.
+    pub fn total_resources(&self) -> u64 {
+        self.clusters.iter().map(|c| c.resources as u64).sum()
+    }
+
+    /// Fastest cluster by headline `T[11]`, if any.
+    pub fn fastest(&self) -> Option<ClusterId> {
+        self.iter()
+            .min_by(|a, b| a.1.headline_secs().total_cmp(&b.1.headline_secs()))
+            .map(|(id, _)| id)
+    }
+
+    /// Slowest cluster by headline `T[11]`, if any.
+    pub fn slowest(&self) -> Option<ClusterId> {
+        self.iter()
+            .max_by(|a, b| a.1.headline_secs().total_cmp(&b.1.headline_secs()))
+            .map(|(id, _)| id)
+    }
+
+    /// A copy of the grid where every cluster has `resources`
+    /// processors — the uniform-size sweeps of Figure 10 ("Clusters
+    /// have all the same number of resources").
+    pub fn with_uniform_resources(&self, resources: u32) -> Self {
+        Self {
+            clusters: self.clusters.iter().map(|c| c.with_resources(resources)).collect(),
+        }
+    }
+
+    /// A copy restricted to the first `n` clusters.
+    pub fn take(&self, n: usize) -> Self {
+        Self { clusters: self.clusters.iter().take(n).cloned().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup::PcrModel;
+
+    fn grid() -> Grid {
+        let m = PcrModel::reference();
+        Grid::from_clusters(vec![
+            Cluster::from_model("a", 20, &m, 1.2).unwrap(),
+            Cluster::from_model("b", 30, &m, 0.95).unwrap(),
+            Cluster::from_model("c", 40, &m, 1.05).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let g = grid();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.total_resources(), 90);
+        assert_eq!(g.cluster(ClusterId(1)).name, "b");
+    }
+
+    #[test]
+    fn fastest_and_slowest() {
+        let g = grid();
+        assert_eq!(g.fastest(), Some(ClusterId(1)));
+        assert_eq!(g.slowest(), Some(ClusterId(0)));
+        assert_eq!(Grid::new().fastest(), None);
+    }
+
+    #[test]
+    fn uniform_resources() {
+        let g = grid().with_uniform_resources(25);
+        assert!(g.clusters().iter().all(|c| c.resources == 25));
+        assert_eq!(g.total_resources(), 75);
+    }
+
+    #[test]
+    fn take_prefix() {
+        let g = grid().take(2);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.cluster(ClusterId(0)).name, "a");
+    }
+
+    #[test]
+    fn add_assigns_sequential_ids() {
+        let mut g = Grid::new();
+        let m = PcrModel::reference();
+        let a = g.add(Cluster::from_model("x", 10, &m, 1.0).unwrap());
+        let b = g.add(Cluster::from_model("y", 10, &m, 1.0).unwrap());
+        assert_eq!((a, b), (ClusterId(0), ClusterId(1)));
+    }
+}

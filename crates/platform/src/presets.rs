@@ -1,0 +1,172 @@
+//! The five benchmark clusters used by the paper's simulations.
+//!
+//! Section 6: "we benchmarked the execution time of the application on
+//! numerous clusters of Grid'5000 [...] the fastest cluster executes one
+//! main-processing task on 11 resources in 1177 seconds while the
+//! slowest needs 1622 seconds", and Section 4.3 runs the homogeneous
+//! simulations "on clusters with different computing powers".
+//!
+//! The paper does not publish the five intermediate tables, so we span
+//! the published extremes with evenly-spread `T[11]` values. Each
+//! preset carries its *own* curve shape — different sequential shares
+//! and interconnect overheads — because the paper's clusters are
+//! different machines, not rescaled copies of one machine: the
+//! cross-cluster variance of the gains (the error bars of Figure 8)
+//! comes precisely from that shape diversity. Cluster names are
+//! Grid'5000 clusters of the 2008 era. The headline constraint
+//! (1177/1622) is asserted by tests and by the `fig1_tasks` binary of
+//! `oa-bench`.
+
+use crate::cluster::Cluster;
+use crate::grid::Grid;
+use crate::speedup::PcrModel;
+use crate::timing::TimingTable;
+
+use oa_workflow::moldable::MoldableSpec;
+use oa_workflow::task::{FUSED_POST_SECS, NUM_GROUP_SIZES, PCR_REF_SECS};
+
+/// `T[11]` of the fastest benchmarked cluster, seconds (paper, §6).
+pub const FASTEST_T11: f64 = 1177.0;
+/// `T[11]` of the slowest benchmarked cluster, seconds (paper, §6).
+pub const SLOWEST_T11: f64 = 1622.0;
+
+/// Per-cluster profile: `(name, pcr T[11] seconds, sequential seconds,
+/// per-processor communication seconds)`. The parallel work follows
+/// from the calibration `T(11) = seq + par/8 + 8·comm`.
+pub const PRESET_CLUSTERS: [(&str, f64, f64, f64); 5] = [
+    // Fast nodes, fast Myrinet-class interconnect.
+    ("sagittaire", FASTEST_T11, 260.0, 28.0),
+    // Close to the reference machine of Figure 1.
+    ("capricorne", 1288.0, 305.0, 41.0),
+    // Mid-speed nodes, mid interconnect.
+    ("chinqchint", 1399.0, 335.0, 47.0),
+    // Slower nodes; ethernet-class network.
+    ("grillon", 1510.0, 365.0, 54.0),
+    // Slowest nodes and network of the five.
+    ("grelon", SLOWEST_T11, 395.0, 60.0),
+];
+
+/// Default processor count given to preset clusters; sweeps override it
+/// via [`Grid::with_uniform_resources`].
+pub const DEFAULT_RESOURCES: u32 = 64;
+
+/// The [`PcrModel`] of one preset cluster.
+pub fn preset_model(name: &str) -> PcrModel {
+    let (_, t11, seq, comm) = PRESET_CLUSTERS
+        .iter()
+        .find(|(n, _, _, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown preset cluster {name:?}"));
+    let par = (t11 - seq - 8.0 * comm) * 8.0;
+    PcrModel::new(*seq, par, *comm)
+}
+
+/// Builds one preset cluster by name. Panics on unknown names.
+pub fn preset_cluster(name: &str, resources: u32) -> Cluster {
+    let (_, t11, _, _) = PRESET_CLUSTERS
+        .iter()
+        .find(|(n, _, _, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown preset cluster {name:?}"));
+    let model = preset_model(name);
+    // Post-processing is sequential I/O-bound work: scale it with the
+    // cluster's overall speed ratio.
+    let post = FUSED_POST_SECS * t11 / PCR_REF_SECS;
+    let mut main = [0.0f64; NUM_GROUP_SIZES];
+    for (i, g) in MoldableSpec::pcr().allocations().enumerate() {
+        main[i] = model.main_secs(g);
+    }
+    let timing = TimingTable::new(main, post).expect("preset profiles are physical");
+    Cluster::new(name, resources, timing)
+}
+
+/// The five-cluster benchmark grid of Sections 4.3 and 6.
+pub fn benchmark_grid(resources_per_cluster: u32) -> Grid {
+    Grid::from_clusters(
+        PRESET_CLUSTERS
+            .iter()
+            .map(|(name, _, _, _)| preset_cluster(name, resources_per_cluster))
+            .collect(),
+    )
+}
+
+/// A single-cluster "reference" platform whose `pcr` on 11 processors
+/// takes the 1260 s benchmarked in Figure 1.
+pub fn reference_cluster(resources: u32) -> Cluster {
+    Cluster::from_model("reference", resources, &PcrModel::reference(), 1.0)
+        .expect("reference model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_match_paper() {
+        let g = benchmark_grid(64);
+        let fast = g.cluster(g.fastest().unwrap());
+        let slow = g.cluster(g.slowest().unwrap());
+        // headline_secs is the *fused* main: pcr T[11] + 2 s of pre.
+        assert!((fast.headline_secs() - (FASTEST_T11 + 2.0)).abs() < 1e-6);
+        assert!((slow.headline_secs() - (SLOWEST_T11 + 2.0)).abs() < 1e-6);
+        assert!(fast.name == "sagittaire");
+        assert!(slow.name == "grelon");
+    }
+
+    #[test]
+    fn pcr_11_durations_span_1177_to_1622() {
+        // Strip the 2 s of pre-processing to recover pcr time.
+        for (name, t11, _, _) in PRESET_CLUSTERS {
+            let c = preset_cluster(name, 16);
+            let pcr11 = c.timing.main_secs(11) - 2.0;
+            assert!((pcr11 - t11).abs() < 1e-6, "{name}: {pcr11} vs {t11}");
+        }
+    }
+
+    #[test]
+    fn preset_shapes_differ_beyond_scaling() {
+        // The ratio T[4]/T[11] must vary across clusters — the gains'
+        // cross-cluster variance in Figure 8 depends on it.
+        let ratios: Vec<f64> = PRESET_CLUSTERS
+            .iter()
+            .map(|(name, _, _, _)| {
+                let c = preset_cluster(name, 16);
+                c.timing.main_secs(4) / c.timing.main_secs(11)
+            })
+            .collect();
+        let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.05, "preset curves are near-identical: {ratios:?}");
+    }
+
+    #[test]
+    fn five_clusters_sorted_slower_and_slower() {
+        let g = benchmark_grid(32);
+        let mut prev = 0.0;
+        for (_, c) in g.iter() {
+            assert!(c.headline_secs() > prev);
+            prev = c.headline_secs();
+        }
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown preset cluster")]
+    fn unknown_preset_panics() {
+        preset_cluster("nonexistent", 8);
+    }
+
+    #[test]
+    fn reference_cluster_headline() {
+        let c = reference_cluster(53);
+        assert!((c.headline_secs() - 1262.0).abs() < 1e-9);
+        assert_eq!(c.resources, 53);
+    }
+
+    #[test]
+    fn post_duration_scales_with_cluster_speed() {
+        let fast = preset_cluster("sagittaire", 8);
+        let slow = preset_cluster("grelon", 8);
+        assert!(fast.timing.post_secs() < slow.timing.post_secs());
+        // Reference post is 180 s; factors are ~0.934 and ~1.287.
+        assert!((fast.timing.post_secs() - 180.0 * (1177.0 / 1260.0)).abs() < 1e-6);
+    }
+}

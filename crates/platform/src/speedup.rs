@@ -1,0 +1,296 @@
+//! Moldable execution-time model for `process_coupled_run`.
+//!
+//! In the chosen configuration of the climate model (paper, Section 2)
+//! only the ARPEGE atmosphere is MPI-parallel; OPA, TRIP and the OASIS
+//! coupler are sequential and occupy one processor each. A `pcr` on `G`
+//! processors therefore devotes `p = G − 3` processors to the
+//! atmosphere, and "with more than 8 processors, the speedup stops" —
+//! which bounds `G` at 11. We model
+//!
+//! ```text
+//! T_pcr(G) = seq_secs + par_secs / p + comm_secs · p,   p = G − 3
+//! ```
+//!
+//! an Amdahl term plus a linear MPI-communication overhead. The
+//! overhead term matters: a pure `seq + par/p` curve decays too fast
+//! between `G = 7` and `G = 11` and makes the basic heuristic pick
+//! `G = 10` for the paper's `R = 53, NS = 10` example, whereas the
+//! paper's *measured* table picks `G = 7`. The reference calibration
+//! below (`seq = 300, par = 5120, comm = 40`, giving
+//! `T_pcr(11) = 1260 s` as benchmarked in Figure 1) reproduces the
+//! published grouping choice — see `oa-sched::analytic` tests.
+
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::fusion::fused_main_secs;
+use oa_workflow::moldable::MoldableSpec;
+use oa_workflow::task::{FUSED_POST_SECS, NUM_GROUP_SIZES, PCR_REF_SECS};
+
+use crate::timing::{TimingError, TimingTable};
+
+/// Moldable time model for `pcr`: Amdahl plus linear communication
+/// overhead over the atmosphere's `G − 3` processors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcrModel {
+    /// Time of the sequential components (OPA + TRIP + OASIS +
+    /// coupler synchronization), seconds.
+    pub seq_secs: f64,
+    /// Aggregate parallel atmosphere work, seconds × processors.
+    pub par_secs: f64,
+    /// Per-processor MPI communication overhead, seconds/processor.
+    pub comm_secs: f64,
+}
+
+impl Default for PcrModel {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+impl PcrModel {
+    /// Creates a model; panics on non-finite or negative parameters.
+    pub fn new(seq_secs: f64, par_secs: f64, comm_secs: f64) -> Self {
+        assert!(seq_secs.is_finite() && seq_secs >= 0.0, "seq_secs must be ≥ 0");
+        assert!(par_secs.is_finite() && par_secs > 0.0, "par_secs must be > 0");
+        assert!(comm_secs.is_finite() && comm_secs >= 0.0, "comm_secs must be ≥ 0");
+        let m = Self { seq_secs, par_secs, comm_secs };
+        // The comm term must not defeat Amdahl within the legal range:
+        // T must stay non-increasing over G ∈ 4..=11.
+        for g in 4..11 {
+            assert!(
+                m.pcr_secs(g) >= m.pcr_secs(g + 1),
+                "model is not non-increasing between G={g} and G={}",
+                g + 1
+            );
+        }
+        m
+    }
+
+    /// The reference calibration: `T_pcr(11) = 1260 s` (the Figure 1
+    /// benchmark), with a curve flat enough past `G = 7` to reproduce
+    /// the paper's grouping choices.
+    pub fn reference() -> Self {
+        // 300 + 5120/8 + 40·8 = 1260.
+        let m = Self::new(300.0, 5120.0, 40.0);
+        debug_assert!((m.pcr_secs(11) - PCR_REF_SECS).abs() < 1e-9);
+        m
+    }
+
+    /// `pcr` duration on a group of `group` processors (`4..=11`).
+    pub fn pcr_secs(&self, group: u32) -> f64 {
+        assert!(
+            MoldableSpec::pcr().accepts(group),
+            "pcr accepts 4..=11 processors, got {group}"
+        );
+        // The atmosphere scales over G − 3 processors, capped at 8 —
+        // the cap is unreachable within 4..=11 but guards future specs.
+        let p = (group - 3).min(8) as f64;
+        self.seq_secs + self.par_secs / p + self.comm_secs * p
+    }
+
+    /// Fused main duration (`caif` + `mp` + `pcr`) on `group` processors.
+    pub fn main_secs(&self, group: u32) -> f64 {
+        fused_main_secs(self.pcr_secs(group))
+    }
+
+    /// Parallel speedup relative to the smallest allocation.
+    pub fn speedup(&self, group: u32) -> f64 {
+        self.pcr_secs(4) / self.pcr_secs(group)
+    }
+
+    /// A copy with all three parameters multiplied by `factor` —
+    /// uniformly slower or faster hardware.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        Self::new(self.seq_secs * factor, self.par_secs * factor, self.comm_secs * factor)
+    }
+
+    /// Materializes the timing table for a cluster whose processors are
+    /// `speed_factor` times slower than the reference (1.0 = reference;
+    /// the paper's five clusters span roughly 0.93–1.29).
+    pub fn table(&self, speed_factor: f64) -> Result<TimingTable, TimingError> {
+        assert!(speed_factor.is_finite() && speed_factor > 0.0, "speed factor must be positive");
+        let mut main = [0.0; NUM_GROUP_SIZES];
+        let spec = MoldableSpec::pcr();
+        for (i, g) in spec.allocations().enumerate() {
+            main[i] = self.main_secs(g) * speed_factor;
+        }
+        TimingTable::new(main, FUSED_POST_SECS * speed_factor)
+    }
+}
+
+/// Fits a [`PcrModel`] to measured `(group, pcr_secs)` samples by
+/// ordinary least squares on the three basis functions
+/// `{1, 1/p, p}` with `p = G − 3`. Returns `None` when the system is
+/// underdetermined (fewer than three distinct group sizes) or the fit
+/// is unphysical (non-positive parallel work, increasing curve).
+pub fn fit(samples: &[(u32, f64)]) -> Option<PcrModel> {
+    let spec = MoldableSpec::pcr();
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|(g, t)| spec.accepts(*g) && t.is_finite() && *t > 0.0)
+        .map(|&(g, t)| ((g - 3) as f64, t))
+        .collect();
+    {
+        let mut distinct: Vec<u64> = pts.iter().map(|p| p.0.to_bits()).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < 3 {
+            return None;
+        }
+    }
+    // Normal equations for basis φ = (1, 1/p, p).
+    let mut a = [[0.0f64; 3]; 3];
+    let mut b = [0.0f64; 3];
+    for &(p, t) in &pts {
+        let phi = [1.0, 1.0 / p, p];
+        for i in 0..3 {
+            for j in 0..3 {
+                a[i][j] += phi[i] * phi[j];
+            }
+            b[i] += phi[i] * t;
+        }
+    }
+    let x = solve3(a, b)?;
+    let (seq, par, comm) = (x[0].max(0.0), x[1], x[2].max(0.0));
+    if par <= 0.0 || !seq.is_finite() || !comm.is_finite() {
+        return None;
+    }
+    // Reject fits whose curve increases somewhere in range.
+    let m = PcrModel { seq_secs: seq, par_secs: par, comm_secs: comm };
+    for g in 4..11 {
+        if m.pcr_secs(g) < m.pcr_secs(g + 1) {
+            return None;
+        }
+    }
+    Some(m)
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting. Returns `None` on (near-)singular systems.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (x, p) in a[row].iter_mut().zip(pivot_row).skip(col) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for row in (0..3).rev() {
+        let mut s = b[row];
+        for k in row + 1..3 {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_hits_paper_benchmark() {
+        let m = PcrModel::reference();
+        assert!((m.pcr_secs(11) - 1260.0).abs() < 1e-9);
+        assert!((m.main_secs(11) - 1262.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_group_size() {
+        let m = PcrModel::reference();
+        let mut prev = f64::INFINITY;
+        for g in 4..=11 {
+            let t = m.pcr_secs(g);
+            assert!(t < prev, "T[{g}] = {t} ≥ T[{}] = {prev}", g - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn speedup_is_bounded_by_atmosphere_share() {
+        let m = PcrModel::reference();
+        // Ideal speedup from 1 to 8 atmosphere procs is 8; overheads cap it.
+        assert!(m.speedup(11) > 1.0);
+        assert!(m.speedup(11) < 8.0);
+        assert_eq!(m.speedup(4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "4..=11")]
+    fn out_of_range_allocation_panics() {
+        PcrModel::reference().pcr_secs(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-increasing")]
+    fn runaway_comm_term_rejected() {
+        // Huge comm overhead would make T increase with G.
+        PcrModel::new(100.0, 100.0, 500.0);
+    }
+
+    #[test]
+    fn scaled_model() {
+        let m = PcrModel::reference().scaled(1.5);
+        assert!((m.pcr_secs(11) - 1890.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_scales_with_speed_factor() {
+        let m = PcrModel::reference();
+        let t1 = m.table(1.0).unwrap();
+        let t2 = m.table(1.5).unwrap();
+        assert!((t2.main_secs(7) / t1.main_secs(7) - 1.5).abs() < 1e-9);
+        assert!((t2.post_secs() - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_exact_model() {
+        let m = PcrModel::new(400.0, 7000.0, 25.0);
+        let samples: Vec<(u32, f64)> = (4..=11).map(|g| (g, m.pcr_secs(g))).collect();
+        let f = fit(&samples).unwrap();
+        assert!((f.seq_secs - 400.0).abs() < 1e-6);
+        assert!((f.par_secs - 7000.0).abs() < 1e-6);
+        assert!((f.comm_secs - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(fit(&[]).is_none());
+        assert!(fit(&[(7, 100.0)]).is_none());
+        assert!(fit(&[(7, 100.0), (8, 90.0)]).is_none());
+        assert!(fit(&[(7, 100.0), (7, 101.0), (7, 99.0)]).is_none());
+        // Out-of-range samples are filtered.
+        assert!(fit(&[(1, 100.0), (2, 50.0), (3, 25.0)]).is_none());
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let m = PcrModel::reference();
+        // ±1% deterministic "noise".
+        let samples: Vec<(u32, f64)> = (4..=11)
+            .map(|g| (g, m.pcr_secs(g) * if g % 2 == 0 { 1.01 } else { 0.99 }))
+            .collect();
+        let f = fit(&samples).unwrap();
+        assert!((f.pcr_secs(11) - m.pcr_secs(11)).abs() / m.pcr_secs(11) < 0.05);
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, 4.0, 5.0]);
+        assert_eq!(x, Some([3.0, 4.0, 5.0]));
+        // Singular system.
+        assert_eq!(solve3([[1.0, 1.0, 1.0]; 3], [1.0, 1.0, 1.0]), None);
+    }
+}

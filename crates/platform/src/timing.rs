@@ -1,0 +1,211 @@
+//! Per-cluster timing tables.
+//!
+//! The scheduling heuristics consume exactly two things about a
+//! platform: `T[G]`, the duration of a fused main-processing task on a
+//! group of `G ∈ 4..=11` processors, and `TP`, the duration of a fused
+//! post-processing task. The paper obtains these by benchmarking the
+//! application on each Grid'5000 cluster; here they come from the
+//! [`crate::speedup`] model or from the synthetic benchmark harness
+//! ([`crate::benchmarks`]).
+
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::moldable::MoldableSpec;
+use oa_workflow::task::NUM_GROUP_SIZES;
+
+/// Errors raised when validating a timing table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// A duration is zero, negative, NaN or infinite.
+    NonPositive {
+        /// Group size concerned.
+        group: Option<u32>,
+        /// Offending value.
+        value: f64,
+    },
+    /// `T[G]` increased with `G` — more processors must never slow the
+    /// task down in this model.
+    NotMonotone {
+        /// Group size concerned.
+        group: u32,
+        /// Offending value.
+        value: f64,
+        /// Duration at the next size.
+        next: f64,
+    },
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::NonPositive { group: Some(g), value } => {
+                write!(f, "T[{g}] = {value} is not a positive finite duration")
+            }
+            TimingError::NonPositive { group: None, value } => {
+                write!(f, "TP = {value} is not a positive finite duration")
+            }
+            TimingError::NotMonotone { group, value, next } => {
+                write!(f, "T[{group}] = {value} < T[{}] = {next}: table not non-increasing", group + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Benchmark results for one cluster: the moldable main-task durations
+/// for every legal group size, plus the post-task duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingTable {
+    /// `main[i]` is `T[4 + i]`, the fused main duration on `4 + i`
+    /// processors, in seconds. Includes pre-processing and data access,
+    /// per Section 4.1 of the paper.
+    main: [f64; NUM_GROUP_SIZES],
+    /// `TP`: fused post-processing duration, seconds.
+    post: f64,
+}
+
+impl TimingTable {
+    /// Builds and validates a table. `main[i]` is `T[4 + i]`.
+    pub fn new(main: [f64; NUM_GROUP_SIZES], post: f64) -> Result<Self, TimingError> {
+        let spec = MoldableSpec::pcr();
+        for (i, &t) in main.iter().enumerate() {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(TimingError::NonPositive {
+                    group: Some(spec.allocation_at(i).unwrap()),
+                    value: t,
+                });
+            }
+        }
+        if !(post.is_finite() && post > 0.0) {
+            return Err(TimingError::NonPositive { group: None, value: post });
+        }
+        for i in 0..NUM_GROUP_SIZES - 1 {
+            if main[i] < main[i + 1] {
+                return Err(TimingError::NotMonotone {
+                    group: spec.allocation_at(i).unwrap(),
+                    value: main[i],
+                    next: main[i + 1],
+                });
+            }
+        }
+        Ok(Self { main, post })
+    }
+
+    /// `T[G]` for `G ∈ 4..=11`. Panics on an out-of-range group size —
+    /// callers iterate [`MoldableSpec::allocations`] so this is a logic
+    /// error, not an input error.
+    #[inline]
+    pub fn main_secs(&self, group: u32) -> f64 {
+        let i = MoldableSpec::pcr()
+            .index_of(group)
+            .unwrap_or_else(|| panic!("group size {group} outside 4..=11"));
+        self.main[i]
+    }
+
+    /// `TP`, the post-processing duration.
+    #[inline]
+    pub fn post_secs(&self) -> f64 {
+        self.post
+    }
+
+    /// The raw `T[4..=11]` array (index 0 ↔ `G = 4`).
+    pub fn main_array(&self) -> &[f64; NUM_GROUP_SIZES] {
+        &self.main
+    }
+
+    /// `⌊T[G] / TP⌋`: how many post tasks one processor completes while
+    /// a group of `G` runs one main task. Central to Equations 3–5.
+    pub fn posts_per_main(&self, group: u32) -> u64 {
+        (self.main_secs(group) / self.post) as u64
+    }
+
+    /// The group size with the best *efficiency* `1 / (G · T[G])` —
+    /// informational; the heuristics optimize makespan, not efficiency.
+    pub fn most_efficient_group(&self) -> u32 {
+        MoldableSpec::pcr()
+            .allocations()
+            .min_by(|&a, &b| {
+                (a as f64 * self.main_secs(a)).total_cmp(&(b as f64 * self.main_secs(b)))
+            })
+            .expect("pcr spec is non-empty")
+    }
+
+    /// Scales every duration by `factor` (used to derive slower or
+    /// faster clusters from the reference table).
+    pub fn scaled(&self, factor: f64) -> Result<Self, TimingError> {
+        let mut main = self.main;
+        for t in &mut main {
+            *t *= factor;
+        }
+        Self::new(main, self.post * factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TimingTable {
+        TimingTable::new([7140.0, 3780.0, 2660.0, 2100.0, 1764.0, 1540.0, 1380.0, 1260.0], 180.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = table();
+        assert_eq!(t.main_secs(4), 7140.0);
+        assert_eq!(t.main_secs(11), 1260.0);
+        assert_eq!(t.post_secs(), 180.0);
+        assert_eq!(t.posts_per_main(11), 7);
+        assert_eq!(t.posts_per_main(4), 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 4..=11")]
+    fn out_of_range_group_panics() {
+        table().main_secs(12);
+    }
+
+    #[test]
+    fn rejects_non_positive() {
+        let e = TimingTable::new([0.0; 8], 180.0).unwrap_err();
+        assert!(matches!(e, TimingError::NonPositive { group: Some(4), .. }));
+        let e = TimingTable::new([1.0; 8], f64::NAN).unwrap_err();
+        assert!(matches!(e, TimingError::NonPositive { group: None, .. }));
+    }
+
+    #[test]
+    fn rejects_non_monotone() {
+        let e = TimingTable::new([8.0, 7.0, 6.0, 5.0, 6.0, 4.0, 3.0, 2.0], 1.0).unwrap_err();
+        assert!(matches!(e, TimingError::NotMonotone { group: 7, .. }));
+    }
+
+    #[test]
+    fn flat_tables_are_legal() {
+        // Non-increasing allows equal plateaus (speedup "stops").
+        TimingTable::new([5.0; 8], 1.0).unwrap();
+    }
+
+    #[test]
+    fn scaling() {
+        let t = table().scaled(2.0).unwrap();
+        assert_eq!(t.main_secs(11), 2520.0);
+        assert_eq!(t.post_secs(), 360.0);
+    }
+
+    #[test]
+    fn most_efficient_group_balances_serial_overhead() {
+        // G·T[G] for this table: 28560, 18900, 15960, 14700, 14112,
+        // 13860, 13800, 13860 — minimal at G = 10: the three sequential
+        // components waste a smaller share of large groups, until the
+        // atmosphere's diminishing returns win again at G = 11.
+        assert_eq!(table().most_efficient_group(), 10);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = TimingTable::new([1.0; 8], -1.0).unwrap_err();
+        assert!(e.to_string().contains("TP"));
+    }
+}

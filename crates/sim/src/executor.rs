@@ -1,0 +1,341 @@
+//! The cluster executor: runs a campaign under a grouping and records
+//! the complete schedule.
+//!
+//! Implements the same policy as `oa-sched::estimate` (least-advanced-
+//! first assignment, largest-idle-group-first, surplus-group
+//! disbanding, FIFO posts), but with concrete processor placement and
+//! full task records — plus alternative scenario-selection policies for
+//! the ablation benches.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::timing::TimingTable;
+use oa_sched::grouping::{Grouping, GroupingError};
+use oa_sched::params::Instance;
+use oa_workflow::fusion::FusedTask;
+
+use crate::schedule::{ProcRange, Schedule, TaskRecord};
+
+/// Totally ordered `f64` heap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// How a freed group chooses among waiting scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScenarioPolicy {
+    /// The paper's policy: the scenario with the fewest completed
+    /// months ("the month of the less advanced simulation waiting").
+    #[default]
+    LeastAdvanced,
+    /// First-come-first-served over readiness events.
+    RoundRobin,
+    /// Adversarial ablation: the most advanced scenario first.
+    MostAdvanced,
+}
+
+/// Scenario queue supporting the three policies.
+enum Waiting {
+    Least(BinaryHeap<Reverse<(u32, u32)>>),
+    Fifo(VecDeque<u32>),
+    Most(BinaryHeap<(u32, u32)>),
+}
+
+impl Waiting {
+    fn new(policy: ScenarioPolicy, ns: u32) -> Self {
+        match policy {
+            ScenarioPolicy::LeastAdvanced => {
+                Waiting::Least((0..ns).map(|s| Reverse((0, s))).collect())
+            }
+            ScenarioPolicy::RoundRobin => Waiting::Fifo((0..ns).collect()),
+            ScenarioPolicy::MostAdvanced => Waiting::Most((0..ns).map(|s| (0, s)).collect()),
+        }
+    }
+
+    fn push(&mut self, months_done: u32, s: u32) {
+        match self {
+            Waiting::Least(h) => h.push(Reverse((months_done, s))),
+            Waiting::Fifo(q) => q.push_back(s),
+            Waiting::Most(h) => h.push((months_done, s)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        match self {
+            Waiting::Least(h) => h.pop().map(|Reverse((_, s))| s),
+            Waiting::Fifo(q) => q.pop_front(),
+            Waiting::Most(h) => h.pop().map(|(_, s)| s),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Waiting::Least(h) => h.is_empty(),
+            Waiting::Fifo(q) => q.is_empty(),
+            Waiting::Most(h) => h.is_empty(),
+        }
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Scenario-selection policy.
+    pub policy: ScenarioPolicy,
+}
+
+/// Runs the campaign and returns the complete schedule.
+pub fn execute(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: ExecConfig,
+) -> Result<Schedule, GroupingError> {
+    grouping.validate(inst)?;
+    let sizes: Vec<u32> = grouping.groups().to_vec();
+    let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
+    let tp = table.post_secs();
+    let nm = inst.nm;
+
+    // Processor layout: groups first (descending sizes, canonical),
+    // then the dedicated post pool; any remainder stays idle forever.
+    let mut bases: Vec<u32> = Vec::with_capacity(sizes.len());
+    let mut acc = 0u32;
+    for &g in &sizes {
+        bases.push(acc);
+        acc += g;
+    }
+    let post_base = acc;
+
+    let mut records: Vec<TaskRecord> =
+        Vec::with_capacity(inst.nbtasks() as usize * 2);
+
+    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
+    let mut running: Vec<Option<(u32, f64)>> = vec![None; sizes.len()]; // (scenario, start)
+    let mut waiting = Waiting::new(config.policy, inst.ns);
+    let mut months_done: Vec<u32> = vec![0; inst.ns as usize];
+    let mut unfinished = inst.ns as usize;
+    let mut idle: Vec<usize> = (0..sizes.len()).collect();
+    idle.sort_unstable_by_key(|&g| (sizes[g], g));
+    let mut alive = sizes.len();
+
+    // Post machinery: ready queue (filled in completion order) and the
+    // processor pool (avail, proc id).
+    let mut post_ready: Vec<(f64, FusedTask)> = Vec::with_capacity(inst.nbtasks() as usize);
+    let mut post_pool: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    for p in 0..grouping.post_procs {
+        post_pool.push(Reverse((Time(0.0), post_base + p)));
+    }
+
+    let assign = |now: f64,
+                  idle: &mut Vec<usize>,
+                  waiting: &mut Waiting,
+                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
+                  running: &mut Vec<Option<(u32, f64)>>,
+                  alive: &mut usize,
+                  unfinished: usize,
+                  post_pool: &mut BinaryHeap<Reverse<(Time, u32)>>| {
+        while !idle.is_empty() && !waiting.is_empty() {
+            let g = idle.pop().expect("non-empty"); // largest idle group
+            let s = waiting.pop().expect("non-empty");
+            running[g] = Some((s, now));
+            busy.push(Reverse((Time(now + durs[g]), g)));
+        }
+        while !idle.is_empty() && *alive > unfinished {
+            let g = idle.remove(0); // smallest idle group disbands
+            *alive -= 1;
+            for p in 0..sizes[g] {
+                post_pool.push(Reverse((Time(now), bases[g] + p)));
+            }
+        }
+    };
+
+    assign(
+        0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+        &mut post_pool,
+    );
+
+    let mut main_finish = 0.0f64;
+    while let Some(Reverse((Time(t), g))) = busy.pop() {
+        let (s, started) = running[g].take().expect("busy group has a scenario");
+        let month = months_done[s as usize];
+        months_done[s as usize] += 1;
+        main_finish = t;
+        records.push(TaskRecord {
+            task: FusedTask::main(s, month),
+            procs: ProcRange { first: bases[g], count: sizes[g] },
+            start: started,
+            end: t,
+            group: Some(g as u32),
+        });
+        post_ready.push((t, FusedTask::post(s, month)));
+        if months_done[s as usize] == nm {
+            unfinished -= 1;
+        } else {
+            waiting.push(months_done[s as usize], s);
+        }
+        let pos = idle
+            .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
+            .unwrap_err();
+        idle.insert(pos, g);
+        assign(
+            t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+            &mut post_pool,
+        );
+    }
+    debug_assert_eq!(unfinished, 0);
+
+    // Posts: FIFO on the pool; earliest-available processor first.
+    let mut post_finish = 0.0f64;
+    for (ready, task) in post_ready {
+        let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
+        let start = if avail > ready { avail } else { ready };
+        let end = start + tp;
+        post_finish = post_finish.max(end);
+        records.push(TaskRecord {
+            task,
+            procs: ProcRange::single(proc),
+            start,
+            end,
+            group: None,
+        });
+        post_pool.push(Reverse((Time(end), proc)));
+    }
+
+    Ok(Schedule {
+        instance: inst,
+        records,
+        makespan: main_finish.max(post_finish),
+    })
+}
+
+/// Executes with the paper's default policy.
+pub fn execute_default(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+) -> Result<Schedule, GroupingError> {
+    execute(inst, table, grouping, ExecConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+    use oa_sched::estimate::estimate;
+    use oa_sched::heuristics::Heuristic;
+    use oa_platform::timing::TimingTable;
+
+    fn reference() -> TimingTable {
+        PcrModel::reference().table(1.0).unwrap()
+    }
+
+    fn flat(tg: f64, tp: f64) -> TimingTable {
+        TimingTable::new([tg; 8], tp).unwrap()
+    }
+
+    #[test]
+    fn schedule_validates_and_matches_estimate() {
+        let t = reference();
+        for r in [13, 23, 37, 53, 80, 111] {
+            let inst = Instance::new(7, 9, r);
+            for h in Heuristic::PAPER {
+                let g = h.grouping(inst, &t).unwrap();
+                let sched = execute_default(inst, &t, &g).unwrap();
+                sched.validate().unwrap_or_else(|e| panic!("{h:?} R={r}: {e}"));
+                let est = estimate(inst, &t, &g).unwrap();
+                assert!(
+                    (sched.makespan - est.makespan).abs() < 1e-6,
+                    "{h:?} R={r}: sim {} vs estimate {}",
+                    sched.makespan,
+                    est.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_counts() {
+        let inst = Instance::new(3, 4, 20);
+        let g = Grouping::uniform(4, 3, 2);
+        let s = execute_default(inst, &flat(100.0, 10.0), &g).unwrap();
+        assert_eq!(s.records.len(), 24);
+        assert_eq!(s.mains().count(), 12);
+        assert_eq!(s.posts().count(), 12);
+    }
+
+    #[test]
+    fn months_of_one_scenario_are_sequential() {
+        let inst = Instance::new(2, 6, 12);
+        let g = Grouping::uniform(4, 2, 1);
+        let s = execute_default(inst, &flat(50.0, 5.0), &g).unwrap();
+        for sc in 0..2 {
+            let mut months: Vec<(u32, f64)> = s
+                .mains()
+                .filter(|r| r.task.scenario == sc)
+                .map(|r| (r.task.month, r.start))
+                .collect();
+            months.sort_by_key(|&(m, _)| m);
+            for w in months.windows(2) {
+                assert!(w[0].1 < w[1].1, "month {} not before {}", w[0].0, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn dedicated_post_procs_have_expected_ids() {
+        let inst = Instance::new(2, 2, 10);
+        let g = Grouping::uniform(4, 2, 2);
+        let s = execute_default(inst, &flat(100.0, 10.0), &g).unwrap();
+        // Groups use procs 0..8, posts 8..10 (until disband time).
+        for r in s.posts() {
+            assert!(r.procs.first >= 8 || r.start >= 200.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_robin_policy_still_valid() {
+        let inst = Instance::new(5, 7, 23);
+        let t = reference();
+        let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
+        let s = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::RoundRobin }).unwrap();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn most_advanced_policy_is_no_better_than_least_advanced() {
+        // Unfair scheduling can only hurt (or tie) the makespan here:
+        // finishing one scenario early starves the others' parallelism.
+        let t = reference();
+        let inst = Instance::new(6, 12, 30);
+        let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
+        let fair = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::LeastAdvanced })
+            .unwrap()
+            .makespan;
+        let unfair = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::MostAdvanced })
+            .unwrap()
+            .makespan;
+        assert!(unfair + 1e-9 >= fair, "unfair {unfair} < fair {fair}");
+    }
+
+    #[test]
+    fn invalid_grouping_rejected() {
+        let inst = Instance::new(2, 2, 10);
+        let g = Grouping::uniform(11, 2, 0);
+        assert!(execute_default(inst, &reference(), &g).is_err());
+    }
+}

@@ -1,0 +1,451 @@
+//! Failure injection: group crashes and checkpoint-based recovery.
+//!
+//! The application is checkpointed by construction — "the results from
+//! the nth monthly simulation are the starting point of the (n+1)th" —
+//! so a crashed group costs at most one month of work per scenario: the
+//! scenario resumes from its last completed month on another group.
+//! This module quantifies that resilience. A [`FaultPlan`] kills groups
+//! at given times; the executor replays the paper's policy around the
+//! losses, under two recovery models:
+//!
+//! * [`Recovery::MonthlyCheckpoint`] — the real application: only the
+//!   in-flight month is lost;
+//! * [`Recovery::RestartScenario`] — a counterfactual without restart
+//!   files: the victim scenario loses *all* completed months.
+//!
+//! A curiosity the property tests surfaced: with *heterogeneous*
+//! groups, a failure can shorten the campaign — killing a slow group
+//! re-homes its scenario onto a faster group, a move the
+//! non-preemptive least-advanced policy would never make on its own.
+//! (This is an argument for work-stealing between groups, not for
+//! crashing machines.)
+//!
+//! Dead groups never return and their processors do not join the
+//! post-processing pool (the hardware is gone). Failures addressed to
+//! a group that already disbanded are ignored — the machines left the
+//! group before dying, and post-pool shrinkage is a second-order
+//! effect this model does not track.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::timing::TimingTable;
+use oa_sched::grouping::{Grouping, GroupingError};
+use oa_sched::params::Instance;
+
+/// Totally ordered `f64` heap key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// What a crashed scenario resumes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Recovery {
+    /// Resume from the last completed month (the application's restart
+    /// files — the realistic model).
+    #[default]
+    MonthlyCheckpoint,
+    /// Restart the scenario from month 0 (counterfactual: no
+    /// checkpoints).
+    RestartScenario,
+}
+
+/// A failure plan: `(group index, time)` pairs. Group indices refer to
+/// the canonical (descending-size) order of the grouping.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Failures to inject.
+    pub failures: Vec<(usize, f64)>,
+}
+
+impl FaultPlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kills group `g` at `time`.
+    pub fn kill(mut self, g: usize, time: f64) -> Self {
+        self.failures.push((g, time));
+        self
+    }
+}
+
+/// Outcome of a faulty execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultyOutcome {
+    /// The campaign completed.
+    Completed {
+        /// Campaign makespan, seconds.
+        makespan: f64,
+        /// Processor-seconds of work destroyed by crashes.
+        lost_proc_secs: f64,
+        /// Months whose in-flight run was lost (re-executed later).
+        months_lost: u32,
+    },
+    /// Every group died with months still unscheduled.
+    Stranded {
+        /// Months completed before the grid went dark.
+        completed_months: u64,
+    },
+}
+
+/// Executes `inst` under `grouping` with failures from `plan`.
+pub fn estimate_with_failures(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    plan: &FaultPlan,
+    recovery: Recovery,
+) -> Result<FaultyOutcome, GroupingError> {
+    grouping.validate(inst)?;
+    let sizes: Vec<u32> = grouping.groups().to_vec();
+    let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
+    let tp = table.post_secs();
+    let nm = inst.nm;
+
+    let mut failures = plan.failures.clone();
+    failures.sort_by(|a, b| a.1.total_cmp(&b.1));
+    for &(g, t) in &failures {
+        assert!(g < sizes.len(), "failure targets group {g}, grouping has {}", sizes.len());
+        assert!(t.is_finite() && t >= 0.0, "failure time must be a finite non-negative instant");
+    }
+    let mut next_failure = 0usize;
+
+    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+    // (scenario, start time); None = idle.
+    let mut running: Vec<Option<(u32, f64)>> = vec![None; sizes.len()];
+    let mut dead = vec![false; sizes.len()];
+    let mut waiting: BinaryHeap<Reverse<(u32, u32)>> =
+        (0..inst.ns).map(|s| Reverse((0, s))).collect();
+    let mut months_done = vec![0u32; inst.ns as usize];
+    let mut unfinished = inst.ns as usize;
+    let mut idle: Vec<usize> = (0..sizes.len()).collect();
+    idle.sort_unstable_by_key(|&g| (sizes[g], g));
+    let mut alive = sizes.len();
+
+    let mut post_ready: Vec<f64> = Vec::with_capacity(inst.nbtasks() as usize);
+    // The post pool only collects completed posts' processors: dedicated
+    // ones plus *surviving* disbanded groups.
+    let mut pool: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
+    for _ in 0..grouping.post_procs {
+        pool.push(Reverse(Time(0.0)));
+    }
+
+    let mut main_finish = 0.0f64;
+    let mut lost_proc_secs = 0.0f64;
+    let mut months_lost = 0u32;
+
+    // One assignment + disband pass; mirrors `oa_sched::estimate`.
+    macro_rules! assign {
+        ($now:expr) => {{
+            while !idle.is_empty() && unfinished > 0 {
+                let Some(&Reverse((_, s))) = waiting.peek() else { break };
+                let g = idle.pop().expect("non-empty");
+                waiting.pop();
+                running[g] = Some((s, $now));
+                busy.push(Reverse((Time($now + durs[g]), g)));
+            }
+            while !idle.is_empty() && alive > unfinished {
+                let g = idle.remove(0);
+                alive -= 1;
+                for _ in 0..sizes[g] {
+                    pool.push(Reverse(Time($now)));
+                }
+            }
+        }};
+    }
+
+    assign!(0.0);
+
+    loop {
+        // Choose the next event: completion or failure.
+        let completion_time = busy.peek().map(|Reverse((Time(t), _))| *t);
+        let failure_time = failures.get(next_failure).map(|&(_, t)| t);
+        match (completion_time, failure_time) {
+            (None, None) => break,
+            (Some(_), Some(tf)) if tf <= completion_time.expect("some") => {
+                process_failure(
+                    &failures[next_failure],
+                    &mut dead,
+                    &mut running,
+                    &mut idle,
+                    &mut alive,
+                    &mut waiting,
+                    &mut months_done,
+                    &sizes,
+                    recovery,
+                    &mut lost_proc_secs,
+                    &mut months_lost,
+                );
+                next_failure += 1;
+                let tf = failures[next_failure - 1].1;
+                assign!(tf);
+            }
+            (None, Some(_)) => {
+                process_failure(
+                    &failures[next_failure],
+                    &mut dead,
+                    &mut running,
+                    &mut idle,
+                    &mut alive,
+                    &mut waiting,
+                    &mut months_done,
+                    &sizes,
+                    recovery,
+                    &mut lost_proc_secs,
+                    &mut months_lost,
+                );
+                next_failure += 1;
+                let tf = failures[next_failure - 1].1;
+                if alive == 0 && unfinished > 0 {
+                    // Nothing can run the remaining months.
+                    let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
+                    return Ok(FaultyOutcome::Stranded { completed_months: completed });
+                }
+                assign!(tf);
+            }
+            (Some(_), _) => {
+                let Reverse((Time(t), g)) = busy.pop().expect("peeked");
+                if dead[g] {
+                    continue; // stale completion of a crashed group
+                }
+                let (s, _started) = running[g].take().expect("busy group has a scenario");
+                months_done[s as usize] += 1;
+                main_finish = t;
+                post_ready.push(t);
+                if months_done[s as usize] == nm {
+                    unfinished -= 1;
+                } else {
+                    waiting.push(Reverse((months_done[s as usize], s)));
+                }
+                let pos =
+                    idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)).unwrap_err();
+                idle.insert(pos, g);
+                assign!(t);
+            }
+        }
+        if unfinished > 0 && alive == 0 && busy.is_empty() {
+            let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
+            return Ok(FaultyOutcome::Stranded { completed_months: completed });
+        }
+    }
+
+    if unfinished > 0 {
+        let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
+        return Ok(FaultyOutcome::Stranded { completed_months: completed });
+    }
+
+    // Posts: FIFO on the pool; if the pool is empty every group died
+    // exactly at the end — posts are stranded only if no capacity at
+    // all exists.
+    if pool.is_empty() {
+        let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
+        return Ok(FaultyOutcome::Stranded { completed_months: completed });
+    }
+    let mut post_finish = 0.0f64;
+    for ready in post_ready {
+        let Reverse(Time(avail)) = pool.pop().expect("non-empty");
+        let start = if avail > ready { avail } else { ready };
+        let fin = start + tp;
+        post_finish = post_finish.max(fin);
+        pool.push(Reverse(Time(fin)));
+    }
+
+    Ok(FaultyOutcome::Completed {
+        makespan: main_finish.max(post_finish),
+        lost_proc_secs,
+        months_lost,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_failure(
+    failure: &(usize, f64),
+    dead: &mut [bool],
+    running: &mut [Option<(u32, f64)>],
+    idle: &mut Vec<usize>,
+    alive: &mut usize,
+    waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
+    months_done: &mut [u32],
+    sizes: &[u32],
+    recovery: Recovery,
+    lost_proc_secs: &mut f64,
+    months_lost: &mut u32,
+) {
+    let &(g, tf) = failure;
+    if dead[g] {
+        return; // double kill: no-op
+    }
+    // A group that already disbanded is not in `idle` nor `running`;
+    // its processors belong to the post pool now — ignore (documented).
+    if let Some((s, started)) = running[g].take() {
+        // In-flight month lost.
+        *lost_proc_secs += (tf - started).max(0.0) * sizes[g] as f64;
+        *months_lost += 1;
+        match recovery {
+            Recovery::MonthlyCheckpoint => {}
+            Recovery::RestartScenario => {
+                months_done[s as usize] = 0;
+            }
+        }
+        waiting.push(Reverse((months_done[s as usize], s)));
+        dead[g] = true;
+        *alive -= 1;
+    } else {
+        let pos = match idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)) {
+            Ok(p) | Err(p) => p,
+        };
+        if pos < idle.len() && idle[pos] == g {
+            idle.remove(pos);
+            dead[g] = true;
+            *alive -= 1;
+        }
+        // else: the group already disbanded — ignore.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_default;
+    use oa_platform::presets::reference_cluster;
+    use oa_platform::timing::TimingTable;
+    use oa_sched::heuristics::Heuristic;
+
+    fn flat(tg: f64, tp: f64) -> TimingTable {
+        TimingTable::new([tg; 8], tp).unwrap()
+    }
+
+    #[test]
+    fn no_failures_matches_the_plain_executor() {
+        let inst = Instance::new(6, 10, 40);
+        let t = reference_cluster(40).timing;
+        let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
+        let plain = execute_default(inst, &t, &g).unwrap().makespan;
+        let faulty =
+            estimate_with_failures(inst, &t, &g, &FaultPlan::none(), Recovery::MonthlyCheckpoint)
+                .unwrap();
+        match faulty {
+            FaultyOutcome::Completed { makespan, lost_proc_secs, months_lost } => {
+                assert!((makespan - plain).abs() < 1e-9);
+                assert_eq!(lost_proc_secs, 0.0);
+                assert_eq!(months_lost, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_crash_loses_at_most_one_month_with_checkpoints() {
+        let inst = Instance::new(4, 6, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 4, 0);
+        // Kill group 0 mid-month at t = 150.
+        let plan = FaultPlan::none().kill(0, 150.0);
+        let out =
+            estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        match out {
+            FaultyOutcome::Completed { makespan, lost_proc_secs, months_lost } => {
+                assert_eq!(months_lost, 1);
+                assert!((lost_proc_secs - 50.0 * 4.0).abs() < 1e-9);
+                // 24 months on 3 surviving groups, one month redone:
+                // strictly worse than failure-free, still finite.
+                let clean = execute_default(inst, &t, &g).unwrap().makespan;
+                assert!(makespan > clean);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoints_beat_scenario_restarts() {
+        let inst = Instance::new(4, 8, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 4, 0);
+        // Crash late: the victim scenario has real progress to lose.
+        let plan = FaultPlan::none().kill(0, 650.0);
+        let ck = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        let rs = estimate_with_failures(inst, &t, &g, &plan, Recovery::RestartScenario).unwrap();
+        let (FaultyOutcome::Completed { makespan: a, .. }, FaultyOutcome::Completed { makespan: b, .. }) =
+            (ck, rs)
+        else {
+            panic!("both should complete");
+        };
+        assert!(a < b, "checkpointed {a} should beat restart {b}");
+    }
+
+    #[test]
+    fn all_groups_dead_strands_the_campaign() {
+        let inst = Instance::new(3, 10, 12);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 3, 0);
+        let plan = FaultPlan::none().kill(0, 50.0).kill(1, 50.0).kill(2, 150.0);
+        let out =
+            estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        match out {
+            FaultyOutcome::Stranded { completed_months } => {
+                // One month completed (the survivor's first) at t = 100.
+                assert_eq!(completed_months, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_kill_is_idempotent() {
+        let inst = Instance::new(3, 4, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 3, 4);
+        let once = FaultPlan::none().kill(1, 120.0);
+        let twice = FaultPlan::none().kill(1, 120.0).kill(1, 200.0);
+        let a = estimate_with_failures(inst, &t, &g, &once, Recovery::MonthlyCheckpoint).unwrap();
+        let b = estimate_with_failures(inst, &t, &g, &twice, Recovery::MonthlyCheckpoint).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn late_failure_of_disbanded_group_is_harmless() {
+        let inst = Instance::new(2, 2, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 2, 0);
+        // Campaign ends by t = 200 + posts; kill at t = 10000.
+        let plan = FaultPlan::none().kill(0, 10_000.0);
+        let out = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        let clean = execute_default(inst, &t, &g).unwrap().makespan;
+        match out {
+            FaultyOutcome::Completed { makespan, months_lost, .. } => {
+                assert!((makespan - clean).abs() < 1e-9);
+                assert_eq!(months_lost, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failure targets group")]
+    fn out_of_range_group_panics() {
+        let inst = Instance::new(2, 2, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 2, 0);
+        let _ = estimate_with_failures(
+            inst,
+            &t,
+            &g,
+            &FaultPlan::none().kill(9, 1.0),
+            Recovery::MonthlyCheckpoint,
+        );
+    }
+}

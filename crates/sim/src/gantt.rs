@@ -1,0 +1,151 @@
+//! ASCII Gantt rendering of schedules — the textual equivalent of the
+//! paper's Figures 3–6 (hatched main-task rectangles, post-processing
+//! fills, overpassing tails).
+
+use oa_workflow::task::TaskKind;
+
+use crate::schedule::Schedule;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Total character columns for the time axis.
+    pub width: usize,
+    /// Collapse each multiprocessor group to one row (`true`, default)
+    /// or draw every processor as its own row.
+    pub by_group: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        Self { width: 72, by_group: true }
+    }
+}
+
+/// Renders the schedule as an ASCII Gantt chart.
+///
+/// Main tasks are drawn as `#` (hatched, as in the paper's figures),
+/// post tasks as `.`, idle time as spaces. One row per group plus one
+/// row per pool processor that ever ran a post.
+pub fn render(schedule: &Schedule, opts: GanttOptions) -> String {
+    if schedule.records.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let horizon = schedule.makespan.max(1e-9);
+    let width = opts.width.max(10);
+    let scale = width as f64 / horizon;
+
+    // Row keying: by group index for mains; by first processor for
+    // posts / per-proc mode.
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    enum RowKey {
+        Group(u32),
+        Proc(u32),
+    }
+
+    let mut rows: std::collections::BTreeMap<RowKey, Vec<char>> = std::collections::BTreeMap::new();
+    let mut paint = |key: RowKey, start: f64, end: f64, ch: char| {
+        let row = rows.entry(key).or_insert_with(|| vec![' '; width]);
+        let a = (start * scale).floor() as usize;
+        let b = ((end * scale).ceil() as usize).min(width);
+        for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+            *cell = ch;
+        }
+    };
+
+    for r in &schedule.records {
+        match (r.task.kind, r.group, opts.by_group) {
+            (TaskKind::FusedMain, Some(g), true) => paint(RowKey::Group(g), r.start, r.end, '#'),
+            (TaskKind::FusedMain, _, _) => {
+                for p in r.procs.iter() {
+                    paint(RowKey::Proc(p), r.start, r.end, '#');
+                }
+            }
+            (_, _, _) => paint(RowKey::Proc(r.procs.first), r.start, r.end, '.'),
+        }
+    }
+
+    let mut out = String::new();
+    let hours = schedule.makespan / 3600.0;
+    out.push_str(&format!(
+        "makespan: {:.0} s ({hours:.1} h)  [#'=main  .'=post]\n",
+        schedule.makespan
+    ));
+    for (key, row) in rows {
+        let label = match key {
+            RowKey::Group(g) => format!("grp{g:<3}"),
+            RowKey::Proc(p) => format!("cpu{p:<3}"),
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders with default options.
+pub fn render_default(schedule: &Schedule) -> String {
+    render(schedule, GanttOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_default;
+    use oa_platform::timing::TimingTable;
+    use oa_sched::grouping::Grouping;
+    use oa_sched::params::Instance;
+
+    fn small_schedule() -> Schedule {
+        let inst = Instance::new(2, 3, 9);
+        let t = TimingTable::new([100.0; 8], 30.0).unwrap();
+        execute_default(inst, &t, &Grouping::uniform(4, 2, 1)).unwrap()
+    }
+
+    #[test]
+    fn renders_all_groups_and_post_procs() {
+        let s = small_schedule();
+        let g = render_default(&s);
+        assert!(g.contains("grp0"));
+        assert!(g.contains("grp1"));
+        assert!(g.contains("cpu8")); // dedicated post proc
+        assert!(g.contains('#'));
+        assert!(g.contains('.'));
+    }
+
+    #[test]
+    fn group_rows_are_mostly_full() {
+        // Both groups run 3 mains back to back: rows nearly solid '#'.
+        let s = small_schedule();
+        let g = render(&s, GanttOptions { width: 60, by_group: true });
+        let grp0 = g.lines().find(|l| l.starts_with("grp0")).unwrap();
+        let hashes = grp0.chars().filter(|&c| c == '#').count();
+        assert!(hashes > 40, "group row too sparse: {hashes}");
+    }
+
+    #[test]
+    fn per_proc_mode_expands_groups() {
+        let s = small_schedule();
+        let g = render(&s, GanttOptions { width: 40, by_group: false });
+        // 9 processors → at least 8 busy rows (the idle one may be absent).
+        let rows = g.lines().filter(|l| l.starts_with("cpu")).count();
+        assert!(rows >= 8, "{rows} rows");
+        assert!(!g.contains("grp"));
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = Schedule { instance: Instance::new(1, 1, 4), records: vec![], makespan: 0.0 };
+        assert_eq!(render_default(&s), "(empty schedule)\n");
+    }
+
+    #[test]
+    fn header_reports_makespan() {
+        let s = small_schedule();
+        let g = render_default(&s);
+        let first = g.lines().next().unwrap();
+        assert!(first.contains("makespan"));
+        assert!(first.contains(&format!("{:.0} s", s.makespan)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Grid-level execution: run a scenario repartition across clusters.
+//!
+//! This is the simulation backend of Section 6: given the repartition
+//! computed by Algorithm 1, each cluster independently schedules its
+//! subset of scenarios with a grouping heuristic (step 6 of Figure 9);
+//! the grid makespan is the slowest cluster's makespan. Scenarios never
+//! migrate — "once a scenario has been scheduled on a cluster, it can
+//! not change location" (Section 5).
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::cluster::ClusterId;
+use oa_platform::grid::Grid;
+use oa_sched::hetero::{grid_performance, repartition, Repartition};
+use oa_sched::heuristics::{Heuristic, HeuristicError};
+use oa_sched::params::Instance;
+
+use crate::executor::{execute, ExecConfig};
+use crate::schedule::Schedule;
+
+/// One cluster's part of a grid execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Which cluster.
+    pub cluster: ClusterId,
+    /// Global scenario ids this cluster ran (local id = index here).
+    pub scenarios: Vec<u32>,
+    /// The local schedule (scenario ids are *local*), if any scenarios
+    /// were assigned.
+    pub schedule: Option<Schedule>,
+}
+
+impl ClusterOutcome {
+    /// Local makespan (0 when the cluster ran nothing).
+    pub fn makespan(&self) -> f64 {
+        self.schedule.as_ref().map_or(0.0, |s| s.makespan)
+    }
+}
+
+/// Outcome of a full grid execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridOutcome {
+    /// The repartition that was executed.
+    pub repartition: Repartition,
+    /// Per-cluster outcomes, in cluster-id order.
+    pub clusters: Vec<ClusterOutcome>,
+    /// Grid makespan: the slowest cluster.
+    pub makespan: f64,
+}
+
+/// Plans (via Algorithm 1 on `heuristic`'s performance vectors) and
+/// executes `ns` scenarios of `nm` months on `grid`.
+pub fn run_grid(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    config: ExecConfig,
+) -> Result<GridOutcome, HeuristicError> {
+    let vectors = grid_performance(grid, heuristic, ns, nm);
+    let plan = repartition(&vectors);
+    execute_repartition(grid, &plan, heuristic, nm, config)
+}
+
+/// Executes an existing repartition on `grid`.
+pub fn execute_repartition(
+    grid: &Grid,
+    plan: &Repartition,
+    heuristic: Heuristic,
+    nm: u32,
+    config: ExecConfig,
+) -> Result<GridOutcome, HeuristicError> {
+    let mut clusters = Vec::with_capacity(grid.len());
+    let mut makespan = 0.0f64;
+    for (id, cluster) in grid.iter() {
+        let scenarios = plan.scenarios_of(id);
+        let schedule = if scenarios.is_empty() {
+            None
+        } else {
+            let inst = Instance::new(scenarios.len() as u32, nm, cluster.resources);
+            let grouping = heuristic.grouping(inst, &cluster.timing)?;
+            let sched = execute(inst, &cluster.timing, &grouping, config)
+                .expect("heuristics build valid groupings");
+            makespan = makespan.max(sched.makespan);
+            Some(sched)
+        };
+        clusters.push(ClusterOutcome { cluster: id, scenarios, schedule });
+    }
+    Ok(GridOutcome { repartition: plan.clone(), clusters, makespan })
+}
+
+/// Like [`run_grid`], but charges wide-area staging costs per cluster
+/// (stage-in before the first month, final repatriation after the last
+/// one) using one [`crate::transfer::Link`] per cluster.
+pub fn run_grid_with_staging(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    config: ExecConfig,
+    links: &[crate::transfer::Link],
+    staging: &crate::transfer::StagingModel,
+) -> Result<GridOutcome, HeuristicError> {
+    assert_eq!(links.len(), grid.len(), "one link per cluster");
+    let mut out = run_grid(grid, heuristic, ns, nm, config)?;
+    let mut makespan = 0.0f64;
+    for (c, link) in out.clusters.iter().zip(links) {
+        if c.scenarios.is_empty() {
+            continue;
+        }
+        let (pre, post) =
+            crate::transfer::staging_delays(staging, link, c.scenarios.len() as u32, nm);
+        makespan = makespan.max(pre + c.makespan() + post);
+    }
+    out.makespan = makespan;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::{Link, StagingModel};
+    use oa_platform::presets::benchmark_grid;
+    use oa_sched::hetero::grid_performance;
+
+    #[test]
+    fn grid_run_covers_all_scenarios() {
+        let grid = benchmark_grid(30);
+        let out = run_grid(&grid, Heuristic::Knapsack, 10, 12, ExecConfig::default()).unwrap();
+        let total: usize = out.clusters.iter().map(|c| c.scenarios.len()).sum();
+        assert_eq!(total, 10);
+        for c in &out.clusters {
+            if let Some(s) = &c.schedule {
+                s.validate().unwrap();
+                assert_eq!(s.instance.ns as usize, c.scenarios.len());
+            }
+        }
+    }
+
+    #[test]
+    fn grid_makespan_is_max_cluster_makespan() {
+        let grid = benchmark_grid(25);
+        let out = run_grid(&grid, Heuristic::Basic, 8, 10, ExecConfig::default()).unwrap();
+        let max = out.clusters.iter().map(|c| c.makespan()).fold(0.0, f64::max);
+        assert_eq!(out.makespan, max);
+        assert!(out.makespan > 0.0);
+    }
+
+    #[test]
+    fn simulated_makespan_close_to_predicted() {
+        // The performance vectors *are* simulated makespans, so the
+        // executed grid must match the planner's prediction exactly.
+        let grid = benchmark_grid(40);
+        let vectors = grid_performance(&grid, Heuristic::Knapsack, 10, 12);
+        let plan = repartition(&vectors);
+        let predicted = plan.predicted_makespan(&vectors);
+        let out =
+            execute_repartition(&grid, &plan, Heuristic::Knapsack, 12, ExecConfig::default())
+                .unwrap();
+        assert!(
+            (out.makespan - predicted).abs() < 1e-6,
+            "executed {} vs predicted {predicted}",
+            out.makespan
+        );
+    }
+
+    #[test]
+    fn more_clusters_never_slow_the_grid() {
+        let grid = benchmark_grid(20);
+        let mut prev = f64::INFINITY;
+        for n in 1..=5 {
+            let sub = grid.take(n);
+            let out = run_grid(&sub, Heuristic::Knapsack, 10, 12, ExecConfig::default()).unwrap();
+            assert!(
+                out.makespan <= prev + 1e-6,
+                "grid of {n} clusters slower than {}: {} > {prev}",
+                n - 1,
+                out.makespan
+            );
+            prev = out.makespan;
+        }
+    }
+
+    #[test]
+    fn staging_adds_a_small_constant() {
+        let grid = benchmark_grid(25);
+        let links = vec![Link::gigabit(); grid.len()];
+        let plain = run_grid(&grid, Heuristic::Knapsack, 10, 12, ExecConfig::default()).unwrap();
+        let staged = run_grid_with_staging(
+            &grid,
+            Heuristic::Knapsack,
+            10,
+            12,
+            ExecConfig::default(),
+            &links,
+            &StagingModel::default(),
+        )
+        .unwrap();
+        assert!(staged.makespan > plain.makespan);
+        // Staging is seconds against hours of computation.
+        assert!(staged.makespan < plain.makespan + 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link per cluster")]
+    fn staging_requires_matching_links() {
+        let grid = benchmark_grid(25);
+        let _ = run_grid_with_staging(
+            &grid,
+            Heuristic::Basic,
+            2,
+            2,
+            ExecConfig::default(),
+            &[Link::gigabit()],
+            &StagingModel::default(),
+        );
+    }
+
+    #[test]
+    fn empty_cluster_has_no_schedule() {
+        // One overwhelming cluster: the others should stay empty when a
+        // single fast cluster minimizes every greedy step… with 1
+        // scenario only the best cluster is used.
+        let grid = benchmark_grid(30);
+        let out = run_grid(&grid, Heuristic::Knapsack, 1, 6, ExecConfig::default()).unwrap();
+        let used = out.clusters.iter().filter(|c| c.schedule.is_some()).count();
+        assert_eq!(used, 1);
+        assert!(out.clusters[0].schedule.is_some(), "fastest (first) cluster should win");
+    }
+}

@@ -1,0 +1,161 @@
+//! # oa-sim — discrete-event execution of Ocean-Atmosphere campaigns
+//!
+//! The validated simulation backend of the reproduction:
+//!
+//! * [`schedule`] — complete schedules (every task pinned to processors
+//!   and times) with structural validation: multiplicities, DAG
+//!   dependences, processor exclusivity, moldable group sizes;
+//! * [`executor`] — event-driven execution of a grouping under the
+//!   paper's least-advanced-first policy (plus round-robin and
+//!   most-advanced ablations), producing full schedules;
+//! * [`gantt`] — ASCII Gantt rendering (the paper's Figures 3–6);
+//! * [`metrics`] — utilization, fairness, phase-split accounting;
+//! * [`grid_exec`] — multi-cluster execution of an Algorithm 1
+//!   repartition (the simulation behind Figure 10).
+//!
+//! The makespans produced here agree (to float tolerance) with the
+//! fast aggregate estimator `oa_sched::estimate` — property-tested in
+//! this crate — so heuristics can plan with the estimator and the
+//! simulator remains the single source of truth for *schedules*.
+//!
+//! ```
+//! use oa_platform::prelude::*;
+//! use oa_sched::prelude::*;
+//! use oa_sim::prelude::*;
+//!
+//! let table = PcrModel::reference().table(1.0).unwrap();
+//! let inst = Instance::new(4, 6, 30);
+//! let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+//! let schedule = execute_default(inst, &table, &grouping).unwrap();
+//! schedule.validate().unwrap();
+//! println!("{}", render_default(&schedule));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod failures;
+pub mod gantt;
+pub mod grid_exec;
+pub mod grid_failures;
+pub mod metrics;
+pub mod persist;
+pub mod profile;
+pub mod schedule;
+pub mod transfer;
+pub mod unfused;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::executor::{execute, execute_default, ExecConfig, ScenarioPolicy};
+    pub use crate::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
+    pub use crate::grid_failures::{
+        run_grid_with_cluster_failure, ClusterFailurePolicy, GridFailureOutcome,
+    };
+    pub use crate::gantt::{render, render_default, GanttOptions};
+    pub use crate::grid_exec::{
+        execute_repartition, run_grid, run_grid_with_staging, ClusterOutcome, GridOutcome,
+    };
+    pub use crate::transfer::{migration_secs, staging_delays, Link, StagingModel};
+    pub use crate::unfused::{estimate_unfused, UnfusedEstimate};
+    pub use crate::metrics::{metrics, Metrics};
+    pub use crate::persist::{compare, load, save, PersistError, ScheduleDiff};
+    pub use crate::profile::{profile, Profile, Step};
+    pub use crate::schedule::{ProcRange, Schedule, ScheduleError, TaskRecord};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::executor::{execute, ExecConfig, ScenarioPolicy};
+    use oa_platform::timing::TimingTable;
+    use oa_sched::estimate::estimate;
+    use oa_sched::heuristics::Heuristic;
+    use oa_sched::params::Instance;
+    use proptest::prelude::*;
+
+    fn arb_table() -> impl Strategy<Value = TimingTable> {
+        (50.0f64..3000.0, 1.0f64..400.0, proptest::collection::vec(0.0f64..400.0, 8)).prop_map(
+            |(t11, tp, bumps)| {
+                let mut main = [0.0f64; 8];
+                let mut acc = t11;
+                for i in (0..8).rev() {
+                    main[i] = acc;
+                    acc += bumps[i];
+                }
+                TimingTable::new(main, tp).expect("non-increasing by construction")
+            },
+        )
+    }
+
+    fn arb_instance() -> impl Strategy<Value = Instance> {
+        (1u32..=10, 1u32..=25, 4u32..=130).prop_map(|(ns, nm, r)| Instance::new(ns, nm, r))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn schedules_validate_and_match_estimator((inst, table) in (arb_instance(), arb_table())) {
+            for h in Heuristic::PAPER {
+                let Ok(grouping) = h.grouping(inst, &table) else { continue };
+                let sched = execute(inst, &table, &grouping, ExecConfig::default()).unwrap();
+                prop_assert!(sched.validate().is_ok(), "{h:?}: invalid schedule");
+                let est = estimate(inst, &table, &grouping).unwrap();
+                prop_assert!((sched.makespan - est.makespan).abs() < 1e-6,
+                    "{h:?}: sim {} vs estimate {}", sched.makespan, est.makespan);
+            }
+        }
+
+        #[test]
+        fn random_fault_plans_behave(
+            (inst, table) in (arb_instance(), arb_table()),
+            kills in proptest::collection::vec((0usize..4, 0.0f64..1.5), 0..4),
+        ) {
+            use crate::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
+            let Ok(grouping) = Heuristic::Knapsack.grouping(inst, &table) else { return Ok(()) };
+            let clean = estimate(inst, &table, &grouping).unwrap().makespan;
+            let plan = FaultPlan {
+                failures: kills
+                    .iter()
+                    .map(|&(g, f)| (g % grouping.group_count().max(1), f * clean))
+                    .collect(),
+            };
+            let out = estimate_with_failures(inst, &table, &grouping, &plan, Recovery::MonthlyCheckpoint)
+                .unwrap();
+            match out {
+                FaultyOutcome::Completed { makespan, lost_proc_secs, months_lost } => {
+                    // NOTE: failures can legitimately *shorten* the
+                    // campaign when groups are heterogeneous — killing a
+                    // slow group re-homes its month onto a faster one,
+                    // which the non-preemptive policy would never do on
+                    // its own. So the bound is the critical path, not
+                    // the failure-free makespan.
+                    let lb = inst.nm as f64 * table.main_secs(11);
+                    prop_assert!(makespan + 1e-6 >= lb,
+                        "faulty {makespan} beats the critical path {lb}");
+                    if grouping.groups().iter().all(|&g| g == grouping.groups()[0]) {
+                        // Uniform groups: no re-homing speedup exists.
+                        prop_assert!(makespan + 1e-6 >= clean,
+                            "faulty {makespan} < clean {clean} with uniform groups");
+                    }
+                    let bound = plan.failures.len() as f64 * 11.0 * table.main_secs(4);
+                    prop_assert!(lost_proc_secs <= bound + 1e-6);
+                    prop_assert!(months_lost as usize <= plan.failures.len());
+                }
+                FaultyOutcome::Stranded { completed_months } => {
+                    prop_assert!(completed_months < inst.nbtasks());
+                }
+            }
+        }
+
+        #[test]
+        fn all_policies_produce_valid_schedules((inst, table) in (arb_instance(), arb_table())) {
+            let Ok(grouping) = Heuristic::Knapsack.grouping(inst, &table) else { return Ok(()) };
+            for policy in [ScenarioPolicy::LeastAdvanced, ScenarioPolicy::RoundRobin, ScenarioPolicy::MostAdvanced] {
+                let sched = execute(inst, &table, &grouping, ExecConfig { policy }).unwrap();
+                prop_assert!(sched.validate().is_ok(), "{policy:?}: invalid schedule");
+                prop_assert_eq!(sched.records.len() as u64, inst.nbtasks() * 2);
+            }
+        }
+    }
+}

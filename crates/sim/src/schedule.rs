@@ -1,0 +1,358 @@
+//! Concrete schedules: every task pinned to processors and times.
+//!
+//! Where `oa-sched::estimate` returns only aggregates, the simulator
+//! materializes the full schedule — one record per task with its
+//! processor set and interval — so it can be validated against the
+//! application's dependence structure and rendered as a Gantt chart
+//! (the paper's Figures 3–6).
+
+use serde::{Deserialize, Serialize};
+
+use oa_sched::params::Instance;
+use oa_workflow::fusion::FusedTask;
+use oa_workflow::task::TaskKind;
+
+/// Contiguous processor interval `[first, first + count)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcRange {
+    /// First processor id.
+    pub first: u32,
+    /// Number of processors.
+    pub count: u32,
+}
+
+impl ProcRange {
+    /// Single-processor range.
+    pub fn single(proc: u32) -> Self {
+        Self { first: proc, count: 1 }
+    }
+
+    /// Whether two ranges share any processor.
+    pub fn overlaps(&self, other: &ProcRange) -> bool {
+        self.first < other.first + other.count && other.first < self.first + self.count
+    }
+
+    /// Iterator over the processor ids.
+    pub fn iter(&self) -> impl Iterator<Item = u32> {
+        self.first..self.first + self.count
+    }
+}
+
+/// One scheduled task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Which fused task ran.
+    pub task: FusedTask,
+    /// The processors it occupied.
+    pub procs: ProcRange,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Index of the multiprocessor group that ran it (`None` for post
+    /// tasks executed on pool processors).
+    pub group: Option<u32>,
+}
+
+/// Errors found by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// A task appears zero or several times.
+    WrongMultiplicity {
+        /// Task concerned.
+        task: FusedTask,
+        /// Occurrences found.
+        count: usize,
+    },
+    /// A record violates a dependence of the fused DAG.
+    DependenceViolated {
+        /// Task concerned.
+        task: FusedTask,
+        /// Offending start time.
+        starts: f64,
+        /// Predecessor completion time.
+        pred_ends: f64,
+    },
+    /// Two records overlap in time on a shared processor.
+    ProcessorConflict {
+        /// First conflicting task.
+        a: FusedTask,
+        /// Second conflicting task.
+        b: FusedTask,
+    },
+    /// A record uses processors outside `0..R`.
+    ProcOutOfRange {
+        /// Task concerned.
+        task: FusedTask,
+        /// First processor id.
+        first: u32,
+        /// Occurrences found.
+        count: u32,
+    },
+    /// A record has a non-positive or non-finite duration.
+    BadInterval {
+        /// Task concerned.
+        task: FusedTask,
+    },
+    /// A main task runs on a group size outside 4..=11.
+    BadGroupSize {
+        /// Task concerned.
+        task: FusedTask,
+        /// Group size used.
+        size: u32,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongMultiplicity { task, count } => {
+                write!(f, "task {:?} appears {count} times", task)
+            }
+            ScheduleError::DependenceViolated { task, starts, pred_ends } => write!(
+                f,
+                "task {:?} starts at {starts} before its predecessor ends at {pred_ends}",
+                task
+            ),
+            ScheduleError::ProcessorConflict { a, b } => {
+                write!(f, "tasks {:?} and {:?} overlap on a processor", a, b)
+            }
+            ScheduleError::ProcOutOfRange { task, first, count } => {
+                write!(f, "task {:?} uses procs [{first}, {}) out of range", task, first + count)
+            }
+            ScheduleError::BadInterval { task } => write!(f, "task {:?} has a bad interval", task),
+            ScheduleError::BadGroupSize { task, size } => {
+                write!(f, "task {:?} ran on {size} processors", task)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A complete executed schedule for one cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The instance that was executed.
+    pub instance: Instance,
+    /// All task records (mains and posts), in completion order.
+    pub records: Vec<TaskRecord>,
+    /// Campaign makespan, seconds.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Records of main tasks only.
+    pub fn mains(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.records.iter().filter(|r| r.task.kind == TaskKind::FusedMain)
+    }
+
+    /// Records of post tasks only.
+    pub fn posts(&self) -> impl Iterator<Item = &TaskRecord> {
+        self.records.iter().filter(|r| r.task.kind == TaskKind::FusedPost)
+    }
+
+    /// Finds the record of a given task.
+    pub fn record_of(&self, task: FusedTask) -> Option<&TaskRecord> {
+        self.records.iter().find(|r| r.task == task)
+    }
+
+    /// Full validation: multiplicities, dependences, processor
+    /// exclusivity, ranges and group sizes.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        let inst = self.instance;
+        let expected = inst.nbtasks() as usize;
+
+        // Multiplicity via dense per-(s, m, kind) counters.
+        let index = |t: &FusedTask| {
+            (t.scenario as usize * inst.nm as usize + t.month as usize) * 2
+                + (t.kind == TaskKind::FusedPost) as usize
+        };
+        let mut seen: Vec<u8> = vec![0; expected * 2];
+        for r in &self.records {
+            if !r.start.is_finite() || !r.end.is_finite() || r.end <= r.start {
+                return Err(ScheduleError::BadInterval { task: r.task });
+            }
+            if r.procs.count == 0 || r.procs.first + r.procs.count > inst.r {
+                return Err(ScheduleError::ProcOutOfRange {
+                    task: r.task,
+                    first: r.procs.first,
+                    count: r.procs.count,
+                });
+            }
+            if r.task.kind == TaskKind::FusedMain && !(4..=11).contains(&r.procs.count) {
+                return Err(ScheduleError::BadGroupSize { task: r.task, size: r.procs.count });
+            }
+            let i = index(&r.task);
+            seen[i] = seen[i].saturating_add(1);
+        }
+        for s in 0..inst.ns {
+            for m in 0..inst.nm {
+                for kind in [TaskKind::FusedMain, TaskKind::FusedPost] {
+                    let t = FusedTask { scenario: s, month: m, kind };
+                    let c = seen[index(&t)] as usize;
+                    if c != 1 {
+                        return Err(ScheduleError::WrongMultiplicity { task: t, count: c });
+                    }
+                }
+            }
+        }
+
+        // Dependences: main(s, m−1) → main(s, m); main(s, m) → post(s, m).
+        let mut main_end = vec![0.0f64; expected];
+        let mut main_start = vec![0.0f64; expected];
+        let midx = |s: u32, m: u32| s as usize * inst.nm as usize + m as usize;
+        for r in self.mains() {
+            main_end[midx(r.task.scenario, r.task.month)] = r.end;
+            main_start[midx(r.task.scenario, r.task.month)] = r.start;
+        }
+        const TOL: f64 = 1e-9;
+        for s in 0..inst.ns {
+            for m in 1..inst.nm {
+                let pred = main_end[midx(s, m - 1)];
+                let start = main_start[midx(s, m)];
+                if start + TOL < pred {
+                    return Err(ScheduleError::DependenceViolated {
+                        task: FusedTask::main(s, m),
+                        starts: start,
+                        pred_ends: pred,
+                    });
+                }
+            }
+        }
+        for r in self.posts() {
+            let pred = main_end[midx(r.task.scenario, r.task.month)];
+            if r.start + TOL < pred {
+                return Err(ScheduleError::DependenceViolated {
+                    task: r.task,
+                    starts: r.start,
+                    pred_ends: pred,
+                });
+            }
+        }
+
+        // Processor exclusivity: sweep per processor.
+        let mut by_proc: Vec<Vec<(f64, f64, FusedTask)>> = vec![Vec::new(); inst.r as usize];
+        for r in &self.records {
+            for p in r.procs.iter() {
+                by_proc[p as usize].push((r.start, r.end, r.task));
+            }
+        }
+        for intervals in &mut by_proc {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                if w[1].0 + TOL < w[0].1 {
+                    return Err(ScheduleError::ProcessorConflict { a: w[0].2, b: w[1].2 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(task: FusedTask, first: u32, count: u32, start: f64, end: f64) -> TaskRecord {
+        TaskRecord { task, procs: ProcRange { first, count }, start, end, group: None }
+    }
+
+    fn tiny_valid() -> Schedule {
+        // 1 scenario × 2 months on 5 procs: group of 4 + 1 post proc.
+        let inst = Instance::new(1, 2, 5);
+        Schedule {
+            instance: inst,
+            records: vec![
+                rec(FusedTask::main(0, 0), 0, 4, 0.0, 100.0),
+                rec(FusedTask::post(0, 0), 4, 1, 100.0, 110.0),
+                rec(FusedTask::main(0, 1), 0, 4, 100.0, 200.0),
+                rec(FusedTask::post(0, 1), 4, 1, 200.0, 210.0),
+            ],
+            makespan: 210.0,
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        tiny_valid().validate().unwrap();
+    }
+
+    #[test]
+    fn missing_task_detected() {
+        let mut s = tiny_valid();
+        s.records.pop();
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::WrongMultiplicity { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_task_detected() {
+        let mut s = tiny_valid();
+        let dup = s.records[0];
+        s.records.push(TaskRecord { start: 300.0, end: 400.0, ..dup });
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::WrongMultiplicity { count: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dependence_violation_detected() {
+        let mut s = tiny_valid();
+        // main(0,1) starts before main(0,0) ends.
+        s.records[2].start = 50.0;
+        s.records[2].end = 150.0;
+        assert!(matches!(s.validate(), Err(ScheduleError::DependenceViolated { .. })));
+    }
+
+    #[test]
+    fn post_before_main_detected() {
+        let mut s = tiny_valid();
+        s.records[1].start = 90.0;
+        assert!(matches!(s.validate(), Err(ScheduleError::DependenceViolated { .. })));
+    }
+
+    #[test]
+    fn processor_conflict_detected() {
+        let mut s = tiny_valid();
+        // Post(0,0) moved onto the group's processors while main(0,1) runs.
+        s.records[1] = rec(FusedTask::post(0, 0), 0, 1, 150.0, 160.0);
+        let e = s.validate().unwrap_err();
+        assert!(matches!(e, ScheduleError::ProcessorConflict { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut s = tiny_valid();
+        s.records[1].procs = ProcRange { first: 5, count: 1 };
+        assert!(matches!(s.validate(), Err(ScheduleError::ProcOutOfRange { .. })));
+    }
+
+    #[test]
+    fn bad_group_size_detected() {
+        let mut s = tiny_valid();
+        s.records[0].procs = ProcRange { first: 0, count: 3 };
+        s.records[2].procs = ProcRange { first: 0, count: 3 };
+        assert!(matches!(s.validate(), Err(ScheduleError::BadGroupSize { size: 3, .. })));
+    }
+
+    #[test]
+    fn bad_interval_detected() {
+        let mut s = tiny_valid();
+        s.records[0].end = s.records[0].start;
+        assert!(matches!(s.validate(), Err(ScheduleError::BadInterval { .. })));
+    }
+
+    #[test]
+    fn proc_range_overlap_logic() {
+        let a = ProcRange { first: 0, count: 4 };
+        let b = ProcRange { first: 3, count: 2 };
+        let c = ProcRange { first: 4, count: 2 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(ProcRange::single(7).iter().collect::<Vec<_>>(), vec![7]);
+    }
+}

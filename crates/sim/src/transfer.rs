@@ -1,0 +1,120 @@
+//! Data-movement accounting for grid executions.
+//!
+//! Inside a cluster the paper folds data access into task durations
+//! ("the execution time of any task is assumed to include the time to
+//! access the data", Section 4.1), and scenarios exchange nothing with
+//! each other — so intra-cluster movement needs no extra modelling.
+//! What the paper does *not* charge — because its simulations place a
+//! scenario on one cluster for life — is the grid-level staging: the
+//! initial conditions shipped to each cluster before month 0 and the
+//! compressed diagnostics repatriated to the client as months
+//! complete. This module models exactly that, so grid placements can
+//! be compared under non-zero wide-area costs and the
+//! scenario-migration question ("once a scenario has been scheduled on
+//! a cluster, it can not change location") can be quantified.
+
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::data::{DataVolume, INTER_MONTH_TRANSFER};
+
+/// A wide-area link between the client's storage and a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Sustained bandwidth, megabytes per second.
+    pub bandwidth_mbps: f64,
+    /// Per-transfer latency, seconds.
+    pub latency_secs: f64,
+}
+
+impl Link {
+    /// A Grid'5000-era 1 Gb/s wide-area link (~100 MB/s effective,
+    /// 10 ms RTT class latency).
+    pub fn gigabit() -> Self {
+        Self { bandwidth_mbps: 100.0, latency_secs: 0.05 }
+    }
+
+    /// Transfer time for one volume.
+    pub fn transfer_secs(&self, volume: DataVolume) -> f64 {
+        volume.transfer_secs(self.bandwidth_mbps, self.latency_secs)
+    }
+}
+
+/// Data shipped per scenario for staging and repatriation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StagingModel {
+    /// Initial state shipped to the cluster before month 0 (the same
+    /// restart payload months hand to each other: 120 MB).
+    pub stage_in: DataVolume,
+    /// Compressed diagnostics returned per completed month
+    /// (`compress_diags` exists to make this small; a few MB).
+    pub per_month_out: DataVolume,
+}
+
+impl Default for StagingModel {
+    fn default() -> Self {
+        Self { stage_in: INTER_MONTH_TRANSFER, per_month_out: DataVolume::from_mb(5) }
+    }
+}
+
+/// Wide-area cost of running `scenarios` scenarios of `months` months
+/// on a cluster behind `link`:
+///
+/// * stage-in happens before computation starts (serialized per
+///   scenario on the link — a single client NIC feeds the grid);
+/// * repatriation streams during the run and only the *last* month's
+///   upload can extend the makespan.
+///
+/// Returns `(pre_delay, post_delay)` to add around a cluster-local
+/// makespan.
+pub fn staging_delays(
+    model: &StagingModel,
+    link: &Link,
+    scenarios: u32,
+    _months: u32,
+) -> (f64, f64) {
+    let pre = scenarios as f64 * link.transfer_secs(model.stage_in);
+    let post = link.transfer_secs(model.per_month_out);
+    (pre, post)
+}
+
+/// Cost of migrating one scenario between clusters mid-campaign: the
+/// restart payload crosses the wide area once.
+pub fn migration_secs(link: &Link) -> f64 {
+    link.transfer_secs(oa_workflow::data::migration_cost())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_link_numbers() {
+        let l = Link::gigabit();
+        // 120 MB at 100 MB/s + 50 ms = 1.25 s.
+        assert!((l.transfer_secs(INTER_MONTH_TRANSFER) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staging_scales_with_scenarios() {
+        let m = StagingModel::default();
+        let l = Link::gigabit();
+        let (pre1, post1) = staging_delays(&m, &l, 1, 100);
+        let (pre10, post10) = staging_delays(&m, &l, 10, 100);
+        assert!((pre10 - 10.0 * pre1).abs() < 1e-9);
+        assert_eq!(post1, post10); // only the last upload trails
+    }
+
+    #[test]
+    fn staging_is_negligible_next_to_computation() {
+        // The paper ignores it; verify that is justified: staging 10
+        // scenarios costs ~12.5 s against a month of 1260 s.
+        let (pre, post) = staging_delays(&StagingModel::default(), &Link::gigabit(), 10, 1800);
+        assert!(pre + post < 60.0, "staging {pre}+{post} s unexpectedly large");
+    }
+
+    #[test]
+    fn migration_equals_restart_payload() {
+        let l = Link::gigabit();
+        assert_eq!(migration_secs(&l), l.transfer_secs(INTER_MONTH_TRANSFER));
+    }
+}

@@ -1,0 +1,194 @@
+//! Scenario chains and whole experiments.
+//!
+//! A *scenario* models 150 years of climate as `NM = 1800` chained
+//! monthly simulations: the results of month *n* are the starting point
+//! of month *n + 1*, so `pcr(n) → caif(n + 1)`. An *experiment* runs
+//! `NS` independent scenarios simultaneously — there is no edge between
+//! scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dag::{Dag, NodeId};
+use crate::monthly::{add_month, MonthNodes};
+use crate::task::Task;
+
+/// The paper's canonical scenario length: 150 years of monthly runs.
+pub const CANONICAL_MONTHS: u32 = 150 * 12;
+/// The paper's canonical ensemble size ("the number of simulations is
+/// going to be around 10").
+pub const CANONICAL_SCENARIOS: u32 = 10;
+
+/// Size of an experiment: `NS` scenarios of `NM` months.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExperimentShape {
+    /// Number of independent scenarios (`NS`).
+    pub scenarios: u32,
+    /// Number of chained months per scenario (`NM`).
+    pub months: u32,
+}
+
+impl ExperimentShape {
+    /// Creates a shape; panics on a degenerate (zero-sized) experiment.
+    pub fn new(scenarios: u32, months: u32) -> Self {
+        assert!(scenarios > 0, "an experiment needs at least one scenario");
+        assert!(months > 0, "a scenario needs at least one month");
+        Self { scenarios, months }
+    }
+
+    /// The paper's canonical experiment: 10 scenarios × 1800 months.
+    pub fn canonical() -> Self {
+        Self::new(CANONICAL_SCENARIOS, CANONICAL_MONTHS)
+    }
+
+    /// Total number of monthly simulations, `nbtasks = NS × NM`.
+    pub fn total_months(&self) -> u64 {
+        self.scenarios as u64 * self.months as u64
+    }
+}
+
+/// A built scenario: the DAG region belonging to one ensemble member.
+#[derive(Debug, Clone)]
+pub struct ScenarioNodes {
+    /// Scenario index.
+    pub scenario: u32,
+    /// Per-month task handles, length `NM`.
+    pub months: Vec<MonthNodes>,
+}
+
+/// A whole experiment DAG: `NS` disconnected scenario chains.
+#[derive(Debug, Clone)]
+pub struct ExperimentDag {
+    /// The shape this DAG was built from.
+    pub shape: ExperimentShape,
+    /// The task graph (7-task months, unfused).
+    pub dag: Dag<Task>,
+    /// Handles per scenario.
+    pub scenarios: Vec<ScenarioNodes>,
+}
+
+/// Builds the chain of `months` monthly DAGs for one scenario inside
+/// `dag`, wiring `pcr(n) → caif(n + 1)`.
+pub fn add_scenario(dag: &mut Dag<Task>, scenario: u32, months: u32) -> ScenarioNodes {
+    let mut nodes = Vec::with_capacity(months as usize);
+    for m in 0..months {
+        let month = add_month(dag, scenario, m).expect("chain construction cannot cycle");
+        if let Some(prev) = nodes.last() {
+            let prev: &MonthNodes = prev;
+            dag.add_edge(prev.pcr, month.caif).expect("forward edge cannot cycle");
+        }
+        nodes.push(month);
+    }
+    ScenarioNodes { scenario, months: nodes }
+}
+
+/// Builds the full experiment DAG for `shape`.
+pub fn build_experiment(shape: ExperimentShape) -> ExperimentDag {
+    let mut dag = Dag::with_capacity(shape.total_months() as usize * 6);
+    let scenarios = (0..shape.scenarios)
+        .map(|s| add_scenario(&mut dag, s, shape.months))
+        .collect();
+    ExperimentDag { shape, dag, scenarios }
+}
+
+impl ExperimentDag {
+    /// The `pcr` node of `(scenario, month)`.
+    pub fn pcr(&self, scenario: u32, month: u32) -> NodeId {
+        self.scenarios[scenario as usize].months[month as usize].pcr
+    }
+
+    /// Critical-path length using reference durations: one scenario's
+    /// chain (scenarios are independent and identical).
+    pub fn reference_critical_path(&self) -> f64 {
+        self.dag
+            .critical_path(|_, t| t.reference_secs)
+            .expect("experiment DAGs are acyclic by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monthly::month_reference_work;
+    use crate::task::TaskKind;
+
+    #[test]
+    fn shape_counts() {
+        let s = ExperimentShape::new(10, 1800);
+        assert_eq!(s.total_months(), 18_000);
+        assert_eq!(ExperimentShape::canonical(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn zero_scenarios_rejected() {
+        ExperimentShape::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one month")]
+    fn zero_months_rejected() {
+        ExperimentShape::new(1, 0);
+    }
+
+    #[test]
+    fn experiment_node_and_edge_counts() {
+        let e = build_experiment(ExperimentShape::new(3, 5));
+        // 3 × 5 months × 6 tasks.
+        assert_eq!(e.dag.node_count(), 90);
+        // Per month 5 intra edges, plus 4 cross-month edges per scenario.
+        assert_eq!(e.dag.edge_count(), 3 * (5 * 5 + 4));
+        e.dag.validate().unwrap();
+    }
+
+    #[test]
+    fn scenarios_are_disconnected() {
+        let e = build_experiment(ExperimentShape::new(2, 3));
+        let a = e.scenarios[0].months[0].caif;
+        let b = e.scenarios[1].months[2].cd;
+        assert!(!e.dag.reaches(a, b));
+        assert!(!e.dag.reaches(b, a));
+    }
+
+    #[test]
+    fn cross_month_edge_goes_pcr_to_caif() {
+        let e = build_experiment(ExperimentShape::new(1, 2));
+        let m0 = &e.scenarios[0].months[0];
+        let m1 = &e.scenarios[0].months[1];
+        assert!(e.dag.successors(m0.pcr).contains(&m1.caif));
+        // Post-processing of month 0 does not gate month 1.
+        assert!(!e.dag.reaches(m0.cof, m1.caif));
+    }
+
+    #[test]
+    fn sources_and_sinks_are_per_scenario() {
+        let e = build_experiment(ExperimentShape::new(4, 6));
+        // One source per scenario: month 0's caif.
+        assert_eq!(e.dag.sources().len(), 4);
+        // Sinks: last month's cd per scenario... plus each month's cd is
+        // a sink! cd has no successors in any month.
+        let sinks = e.dag.sinks();
+        assert_eq!(sinks.len(), 4 * 6);
+        for s in sinks {
+            assert_eq!(e.dag.node(s).id.kind, TaskKind::Cd);
+        }
+    }
+
+    #[test]
+    fn critical_path_is_one_chain() {
+        let e = build_experiment(ExperimentShape::new(3, 4));
+        // Per month the path through pcr + posts, chained via pcr:
+        // months 0..2 contribute caif+mp+pcr (1262), last month the full
+        // 1442, and the first three months' post tails (180) are off the
+        // spine... the longest path is 3×1262 + 1442.
+        let expected = 3.0 * 1262.0 + month_reference_work();
+        assert_eq!(e.reference_critical_path(), expected);
+    }
+
+    #[test]
+    fn pcr_lookup() {
+        let e = build_experiment(ExperimentShape::new(2, 2));
+        let n = e.pcr(1, 1);
+        let t = e.dag.node(n);
+        assert_eq!((t.id.scenario, t.id.month, t.id.kind), (1, 1, TaskKind::Pcr));
+    }
+}

@@ -1,0 +1,450 @@
+//! A small, dependency-free directed-acyclic-graph container.
+//!
+//! The application is "several 1D-meshes of identical DAGs composed of
+//! parallel tasks" (paper, abstract). This module provides the generic
+//! graph substrate: node payloads, edges with optional payloads,
+//! predecessor/successor queries, Kahn topological sort, cycle
+//! detection, and critical-path computation. Node handles are dense
+//! `u32` indices ([`NodeId`]) so DAGs of hundreds of thousands of tasks
+//! (10 scenarios × 1800 months × 7 tasks) stay cache-friendly.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense handle to a node of a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index into node-parallel arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Errors produced by DAG construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge endpoint does not exist.
+    InvalidNode(NodeId),
+    /// Adding the edge would create a cycle.
+    WouldCycle {
+        /// Edge source.
+        from: NodeId,
+        /// Edge target.
+        to: NodeId,
+    },
+    /// A self-loop was requested.
+    SelfLoop(NodeId),
+    /// The graph contains a cycle (detected during a topological sort).
+    Cyclic,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::InvalidNode(n) => write!(f, "node {:?} does not exist", n),
+            DagError::WouldCycle { from, to } => {
+                write!(f, "edge {:?} -> {:?} would create a cycle", from, to)
+            }
+            DagError::SelfLoop(n) => write!(f, "self-loop on {:?}", n),
+            DagError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// A directed acyclic graph with node payloads of type `N`.
+///
+/// Acyclicity is enforced lazily: [`Dag::add_edge`] performs no
+/// reachability check (it would be quadratic while building month
+/// chains), but [`Dag::topo_sort`] and [`Dag::validate`] reject cyclic
+/// graphs, and [`Dag::add_edge_checked`] offers an eager check for
+/// small graphs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dag<N> {
+    nodes: Vec<N>,
+    /// Outgoing adjacency per node.
+    succs: Vec<Vec<NodeId>>,
+    /// Incoming adjacency per node.
+    preds: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl<N> Default for Dag<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> Dag<N> {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new(), succs: Vec::new(), preds: Vec::new(), edge_count: 0 }
+    }
+
+    /// Creates an empty DAG with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            succs: Vec::with_capacity(nodes),
+            preds: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node and returns its handle.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(payload);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), DagError> {
+        if n.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(DagError::InvalidNode(n))
+        }
+    }
+
+    /// Adds a dependency edge `from -> to` (i.e. `to` starts only after
+    /// `from` completes). Duplicate edges are ignored.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        if self.succs[from.index()].contains(&to) {
+            return Ok(());
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Like [`Dag::add_edge`], but eagerly rejects edges that would
+    /// create a cycle (O(V + E) reachability check).
+    pub fn add_edge_checked(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        if self.reaches(to, from) {
+            return Err(DagError::WouldCycle { from, to });
+        }
+        self.add_edge(from, to)
+    }
+
+    /// Whether `to` is reachable from `from` following edges forward.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(n) = stack.pop() {
+            for &s in &self.succs[n.index()] {
+                if s == to {
+                    return true;
+                }
+                if !seen[s.index()] {
+                    seen[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Payload of node `n`.
+    pub fn node(&self, n: NodeId) -> &N {
+        &self.nodes[n.index()]
+    }
+
+    /// Mutable payload of node `n`.
+    pub fn node_mut(&mut self, n: NodeId) -> &mut N {
+        &mut self.nodes[n.index()]
+    }
+
+    /// Direct successors of `n`.
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Direct predecessors of `n`.
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// In-degree of `n`.
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.preds[n.index()].len()
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succs[n.index()].len()
+    }
+
+    /// Iterator over all node handles in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over `(handle, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Nodes with no predecessors.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.in_degree(*n) == 0).collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|n| self.out_degree(*n) == 0).collect()
+    }
+
+    /// Kahn topological sort. Fails with [`DagError::Cyclic`] if the
+    /// graph contains a cycle.
+    pub fn topo_sort(&self) -> Result<Vec<NodeId>, DagError> {
+        let mut indeg: Vec<usize> = self.node_ids().map(|n| self.in_degree(n)).collect();
+        let mut ready: Vec<NodeId> =
+            self.node_ids().filter(|n| indeg[n.index()] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = ready.pop() {
+            order.push(n);
+            for &s in &self.succs[n.index()] {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if order.len() == self.nodes.len() {
+            Ok(order)
+        } else {
+            Err(DagError::Cyclic)
+        }
+    }
+
+    /// Validates acyclicity and adjacency symmetry.
+    pub fn validate(&self) -> Result<(), DagError> {
+        for n in self.node_ids() {
+            for &s in self.successors(n) {
+                if !self.predecessors(s).contains(&n) {
+                    return Err(DagError::InvalidNode(s));
+                }
+            }
+        }
+        self.topo_sort().map(|_| ())
+    }
+
+    /// Length (sum of node durations) of the longest path, where node
+    /// durations are given by `duration`. This is the classic critical
+    /// path / bottom-level computation; edges carry no cost (the paper
+    /// folds data-access time into task durations, Section 4.1).
+    pub fn critical_path(&self, mut duration: impl FnMut(NodeId, &N) -> f64) -> Result<f64, DagError> {
+        let order = self.topo_sort()?;
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        let mut best = 0.0f64;
+        for &n in &order {
+            let start = self
+                .predecessors(n)
+                .iter()
+                .map(|p| finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let f = start + duration(n, &self.nodes[n.index()]);
+            finish[n.index()] = f;
+            best = best.max(f);
+        }
+        Ok(best)
+    }
+
+    /// The nodes of the longest path (one of them when ties exist),
+    /// from source to sink.
+    pub fn critical_path_nodes(
+        &self,
+        mut duration: impl FnMut(NodeId, &N) -> f64,
+    ) -> Result<Vec<NodeId>, DagError> {
+        let order = self.topo_sort()?;
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        let mut through: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        for &n in &order {
+            let mut start = 0.0f64;
+            let mut via = None;
+            for &p in self.predecessors(n) {
+                if finish[p.index()] > start {
+                    start = finish[p.index()];
+                    via = Some(p);
+                }
+            }
+            finish[n.index()] = start + duration(n, &self.nodes[n.index()]);
+            through[n.index()] = via;
+        }
+        let mut cur = match self
+            .node_ids()
+            .max_by(|a, b| finish[a.index()].total_cmp(&finish[b.index()]))
+        {
+            Some(n) => n,
+            None => return Ok(Vec::new()),
+        };
+        let mut path = vec![cur];
+        while let Some(p) = through[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag<&'static str>, [NodeId; 4]) {
+        let mut g = Dag::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn diamond_topology() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.predecessors(b), &[a]);
+        assert!(g.successors(a).contains(&c));
+    }
+
+    #[test]
+    fn topo_sort_respects_edges() {
+        let (g, _) = diamond();
+        let order = g.topo_sort().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        for n in g.node_ids() {
+            for &s in g.successors(n) {
+                assert!(pos(n) < pos(s));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.predecessors(b).len(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        assert_eq!(g.add_edge(a, a), Err(DagError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let bogus = NodeId(7);
+        assert_eq!(g.add_edge(a, bogus), Err(DagError::InvalidNode(bogus)));
+    }
+
+    #[test]
+    fn cycle_detected_by_topo_sort() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b).unwrap();
+        // Force a cycle through the unchecked API.
+        g.add_edge(b, a).unwrap();
+        assert_eq!(g.topo_sort(), Err(DagError::Cyclic));
+        assert_eq!(g.validate(), Err(DagError::Cyclic));
+    }
+
+    #[test]
+    fn checked_edge_rejects_cycle() {
+        let mut g = Dag::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge_checked(a, b).unwrap();
+        g.add_edge_checked(b, c).unwrap();
+        assert_eq!(g.add_edge_checked(c, a), Err(DagError::WouldCycle { from: c, to: a }));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let (g, [_, b, _, _]) = diamond();
+        // a=1, b=10, c=2, d=1 → a-b-d = 12.
+        let dur = |n: NodeId, _: &&str| match n.0 {
+            0 => 1.0,
+            1 => 10.0,
+            2 => 2.0,
+            _ => 1.0,
+        };
+        assert_eq!(g.critical_path(dur).unwrap(), 12.0);
+        let path = g.critical_path_nodes(dur).unwrap();
+        assert_eq!(path.len(), 3);
+        assert_eq!(path[1], b);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g: Dag<()> = Dag::new();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.critical_path(|_, _| 1.0).unwrap(), 0.0);
+        assert!(g.critical_path_nodes(|_, _| 1.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reaches_is_transitive() {
+        let (g, [a, b, _, d]) = diamond();
+        assert!(g.reaches(a, d));
+        assert!(g.reaches(b, d));
+        assert!(!g.reaches(d, a));
+        assert!(g.reaches(a, a));
+    }
+}

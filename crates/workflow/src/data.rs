@@ -1,0 +1,100 @@
+//! Data volumes and transfer-time accounting.
+//!
+//! "Data exchanges between two consecutive monthly simulations belonging
+//! to the same scenario reaches 120 MB. Simulations are independent, so
+//! there are no other data exchange." (paper, Section 2)
+//!
+//! The scheduler assumes data on a site is visible to all its nodes and
+//! folds access time into task durations (Section 4.1); this module
+//! exists so grid-level placements can reason about what moving a
+//! scenario between clusters *would* cost, and so the simulator can
+//! optionally charge an initial staging delay.
+
+use serde::{Deserialize, Serialize};
+
+/// A data volume in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataVolume(pub u64);
+
+/// The 120 MB handed from month `n` to month `n + 1` of one scenario.
+pub const INTER_MONTH_TRANSFER: DataVolume = DataVolume(120 * 1_000_000);
+
+impl DataVolume {
+    /// Volume from a megabyte count (decimal megabytes, as in the paper).
+    pub fn from_mb(mb: u64) -> Self {
+        Self(mb * 1_000_000)
+    }
+
+    /// Whole megabytes (truncating).
+    pub fn as_mb(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Transfer time over a link of `bandwidth_mbps` megabytes/second
+    /// plus a fixed `latency_secs`.
+    pub fn transfer_secs(self, bandwidth_mbps: f64, latency_secs: f64) -> f64 {
+        assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
+        latency_secs + self.0 as f64 / (bandwidth_mbps * 1e6)
+    }
+}
+
+impl std::ops::Add for DataVolume {
+    type Output = DataVolume;
+    fn add(self, rhs: Self) -> Self {
+        DataVolume(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for DataVolume {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(DataVolume(0), |a, b| a + b)
+    }
+}
+
+/// Total volume exchanged inside one scenario of `months` months.
+pub fn scenario_internal_traffic(months: u32) -> DataVolume {
+    DataVolume(INTER_MONTH_TRANSFER.0 * months.saturating_sub(1) as u64)
+}
+
+/// Volume that would cross the network if a scenario were migrated
+/// between clusters mid-run: the latest month's restart data.
+pub fn migration_cost() -> DataVolume {
+    INTER_MONTH_TRANSFER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inter_month_is_120_mb() {
+        assert_eq!(INTER_MONTH_TRANSFER.as_mb(), 120);
+        assert_eq!(DataVolume::from_mb(120), INTER_MONTH_TRANSFER);
+    }
+
+    #[test]
+    fn transfer_time() {
+        // 120 MB at 10 MB/s + 0.1 s latency = 12.1 s.
+        let t = INTER_MONTH_TRANSFER.transfer_secs(10.0, 0.1);
+        assert!((t - 12.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        INTER_MONTH_TRANSFER.transfer_secs(0.0, 0.0);
+    }
+
+    #[test]
+    fn scenario_traffic() {
+        assert_eq!(scenario_internal_traffic(1), DataVolume(0));
+        assert_eq!(scenario_internal_traffic(3).as_mb(), 240);
+        assert_eq!(scenario_internal_traffic(1800).as_mb(), 120 * 1799);
+    }
+
+    #[test]
+    fn volumes_add_and_sum() {
+        let v: DataVolume = [DataVolume::from_mb(1), DataVolume::from_mb(2)].into_iter().sum();
+        assert_eq!(v.as_mb(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Graphviz DOT export for application DAGs.
+//!
+//! `dot -Tsvg` renders of the monthly chain make Figure 1/2 style
+//! pictures straight from the code; the export is also handy for
+//! debugging generated experiments ("is the cross-month edge where the
+//! paper says it is?").
+
+use crate::chain::ExperimentDag;
+use crate::dag::Dag;
+use crate::fusion::FusedExperiment;
+use crate::task::{Phase, Task};
+
+/// Escapes a DOT identifier/label.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders any DAG as DOT; `label` names each node.
+pub fn to_dot<N>(dag: &Dag<N>, name: &str, mut label: impl FnMut(&N) -> String) -> String {
+    let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n", esc(name));
+    for (id, n) in dag.iter() {
+        out.push_str(&format!("  n{} [label=\"{}\"];\n", id.0, esc(&label(n))));
+    }
+    for from in dag.node_ids() {
+        for &to in dag.successors(from) {
+            out.push_str(&format!("  n{} -> n{};\n", from.0, to.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT for an unfused experiment, phases colour-coded as in the paper's
+/// figures (main tasks hatched ⇒ filled here).
+pub fn experiment_dot(e: &ExperimentDag) -> String {
+    let mut out = String::from(
+        "digraph experiment {\n  rankdir=LR;\n  node [shape=box, style=filled];\n",
+    );
+    for (id, t) in e.dag.iter() {
+        let color = phase_color(t);
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", fillcolor=\"{color}\"];\n",
+            id.0,
+            esc(&t.id.to_string())
+        ));
+    }
+    for from in e.dag.node_ids() {
+        for &to in e.dag.successors(from) {
+            out.push_str(&format!("  n{} -> n{};\n", from.0, to.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// DOT for a fused experiment.
+pub fn fused_dot(f: &FusedExperiment) -> String {
+    to_dot(&f.dag, "fused", |t| format!("s{}m{}:{}", t.scenario, t.month, t.kind.mnemonic()))
+}
+
+fn phase_color(t: &Task) -> &'static str {
+    match t.id.kind.phase() {
+        Phase::Pre => "lightyellow",
+        Phase::Main => "lightblue",
+        Phase::Post => "lightgrey",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{build_experiment, ExperimentShape};
+    use crate::task::TaskKind;
+    use crate::fusion::build_fused;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let e = build_experiment(ExperimentShape::new(2, 2));
+        let dot = experiment_dot(&e);
+        assert_eq!(dot.matches("label=").count(), e.dag.node_count());
+        assert_eq!(dot.matches(" -> ").count(), e.dag.edge_count());
+        assert!(dot.contains("s0m0:caif"));
+        assert!(dot.contains("s1m1:cd"));
+    }
+
+    #[test]
+    fn fused_dot_mentions_mains_and_posts() {
+        let f = build_fused(ExperimentShape::new(1, 2));
+        let dot = fused_dot(&f);
+        assert!(dot.contains("s0m0:main"));
+        assert!(dot.contains("s0m1:post"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut dag = Dag::new();
+        dag.add_node(String::from("weird \"label\" \\ here"));
+        let dot = to_dot(&dag, "esc", |s| s.clone());
+        assert!(dot.contains("weird \\\"label\\\" \\\\ here"));
+    }
+
+    #[test]
+    fn phases_are_color_coded() {
+        let e = build_experiment(ExperimentShape::new(1, 1));
+        let dot = experiment_dot(&e);
+        assert!(dot.contains("lightyellow")); // pre
+        assert!(dot.contains("lightblue")); // main
+        assert!(dot.contains("lightgrey")); // post
+    }
+
+    #[test]
+    fn mnemonic_covers_all_kinds() {
+        for k in TaskKind::CONCRETE {
+            assert!(!k.mnemonic().is_empty());
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Task fusion: from the seven-task monthly DAG to the two-task model
+//! of Figure 2.
+//!
+//! "Given the short duration of the pre-processing tasks compared to the
+//! duration of the main-processing task, we made the decision to group
+//! them all in a single task. The same decision was taken for the 3
+//! post-processing tasks." (paper, Section 4.1)
+//!
+//! After fusion a month is a *main* multiprocessor task (pre-processing
+//! plus `pcr`) and a *post* sequential task, with dependencies
+//! `main(n) → main(n + 1)` and `main(n) → post(n)`. Post-processing
+//! never gates the next month.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chain::{ExperimentDag, ExperimentShape};
+use crate::dag::{Dag, NodeId};
+use crate::task::{TaskId, TaskKind, FUSED_POST_SECS, FUSED_PRE_SECS};
+
+/// Identity of a fused task: `(scenario, month, main-or-post)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FusedTask {
+    /// Scenario index.
+    pub scenario: u32,
+    /// Month index.
+    pub month: u32,
+    /// `FusedMain` or `FusedPost`.
+    pub kind: TaskKind,
+}
+
+impl FusedTask {
+    /// The fused main task of `(scenario, month)`.
+    pub fn main(scenario: u32, month: u32) -> Self {
+        Self { scenario, month, kind: TaskKind::FusedMain }
+    }
+
+    /// The fused post task of `(scenario, month)`.
+    pub fn post(scenario: u32, month: u32) -> Self {
+        Self { scenario, month, kind: TaskKind::FusedPost }
+    }
+
+    /// The equivalent [`TaskId`].
+    pub fn task_id(&self) -> TaskId {
+        TaskId::new(self.scenario, self.month, self.kind)
+    }
+}
+
+/// A fused experiment: two tasks per month.
+#[derive(Debug, Clone)]
+pub struct FusedExperiment {
+    /// Shape of the experiment.
+    pub shape: ExperimentShape,
+    /// The fused DAG.
+    pub dag: Dag<FusedTask>,
+    /// `mains[s][m]` is the handle of main task of scenario `s`, month `m`.
+    pub mains: Vec<Vec<NodeId>>,
+    /// `posts[s][m]` likewise for post tasks.
+    pub posts: Vec<Vec<NodeId>>,
+}
+
+/// Builds the fused two-task-per-month experiment DAG directly from a
+/// shape (the common path: the scheduler never needs the unfused graph).
+pub fn build_fused(shape: ExperimentShape) -> FusedExperiment {
+    let mut dag = Dag::with_capacity(shape.total_months() as usize * 2);
+    let mut mains = Vec::with_capacity(shape.scenarios as usize);
+    let mut posts = Vec::with_capacity(shape.scenarios as usize);
+    for s in 0..shape.scenarios {
+        let mut ms = Vec::with_capacity(shape.months as usize);
+        let mut ps = Vec::with_capacity(shape.months as usize);
+        for m in 0..shape.months {
+            let main = dag.add_node(FusedTask::main(s, m));
+            let post = dag.add_node(FusedTask::post(s, m));
+            dag.add_edge(main, post).expect("fresh nodes");
+            if m > 0 {
+                let prev = ms[m as usize - 1];
+                dag.add_edge(prev, main).expect("forward edge");
+            }
+            ms.push(main);
+            ps.push(post);
+        }
+        mains.push(ms);
+        posts.push(ps);
+    }
+    FusedExperiment { shape, dag, mains, posts }
+}
+
+/// Fuses an already-built seven-task experiment DAG, checking that the
+/// fine-grained graph really has the Figure 1 structure.
+pub fn fuse(e: &ExperimentDag) -> FusedExperiment {
+    for sc in &e.scenarios {
+        for (m, month) in sc.months.iter().enumerate() {
+            debug_assert!(e.dag.successors(month.pcr).contains(&month.cof));
+            if m + 1 < sc.months.len() {
+                debug_assert!(e.dag.successors(month.pcr).contains(&sc.months[m + 1].caif));
+            }
+        }
+    }
+    build_fused(e.shape)
+}
+
+/// Duration of the fused main task given the duration of the `pcr` part.
+///
+/// The paper's `TG` includes data access and redistribution time
+/// (Section 4.1); we fold the 2 s of pre-processing in as well.
+pub fn fused_main_secs(pcr_secs: f64) -> f64 {
+    FUSED_PRE_SECS + pcr_secs
+}
+
+/// Duration of the fused post task, `TP` (180 s on the reference
+/// cluster; scaled by cluster speed elsewhere).
+pub fn fused_post_secs() -> f64 {
+    FUSED_POST_SECS
+}
+
+impl FusedExperiment {
+    /// Handle of main task `(scenario, month)`.
+    pub fn main(&self, scenario: u32, month: u32) -> NodeId {
+        self.mains[scenario as usize][month as usize]
+    }
+
+    /// Handle of post task `(scenario, month)`.
+    pub fn post(&self, scenario: u32, month: u32) -> NodeId {
+        self.posts[scenario as usize][month as usize]
+    }
+
+    /// Number of main (equivalently post) tasks, `nbtasks = NS × NM`.
+    pub fn nbtasks(&self) -> u64 {
+        self.shape.total_months()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::build_experiment;
+
+    #[test]
+    fn fused_counts() {
+        let f = build_fused(ExperimentShape::new(3, 4));
+        assert_eq!(f.dag.node_count(), 24);
+        // Per month: main→post; per scenario 3 chain edges.
+        assert_eq!(f.dag.edge_count(), 3 * (4 + 3));
+        assert_eq!(f.nbtasks(), 12);
+        f.dag.validate().unwrap();
+    }
+
+    #[test]
+    fn figure_2_dependencies() {
+        let f = build_fused(ExperimentShape::new(1, 2));
+        let m0 = f.main(0, 0);
+        let m1 = f.main(0, 1);
+        let p0 = f.post(0, 0);
+        let p1 = f.post(0, 1);
+        assert!(f.dag.successors(m0).contains(&p0));
+        assert!(f.dag.successors(m0).contains(&m1));
+        assert!(f.dag.successors(m1).contains(&p1));
+        // post1 does not gate main2.
+        assert!(!f.dag.reaches(p0, m1));
+    }
+
+    #[test]
+    fn fuse_agrees_with_direct_build() {
+        let e = build_experiment(ExperimentShape::new(2, 3));
+        let f = fuse(&e);
+        let g = build_fused(e.shape);
+        assert_eq!(f.dag.node_count(), g.dag.node_count());
+        assert_eq!(f.dag.edge_count(), g.dag.edge_count());
+    }
+
+    #[test]
+    fn fused_durations() {
+        assert_eq!(fused_main_secs(1260.0), 1262.0);
+        assert_eq!(fused_post_secs(), 180.0);
+    }
+
+    #[test]
+    fn fused_task_identities() {
+        let t = FusedTask::main(2, 9);
+        assert_eq!(t.task_id(), TaskId::new(2, 9, TaskKind::FusedMain));
+        let p = FusedTask::post(2, 9);
+        assert!(t < p); // main sorts before post for equal (s, m).
+    }
+}

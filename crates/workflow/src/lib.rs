@@ -1,0 +1,64 @@
+//! # oa-workflow — application substrate of the Ocean-Atmosphere reproduction
+//!
+//! This crate models the climate-prediction application of *"Ocean-
+//! Atmosphere Modelization over the Grid"* (Caniou, Caron, Charrier,
+//! Chis, Desprez, Maisonnave — INRIA RR-6695 / ICPP 2008):
+//!
+//! * the task vocabulary and the benchmarked durations of Figure 1
+//!   ([`task`]);
+//! * a generic DAG container with topological sorting and critical-path
+//!   queries ([`dag`]);
+//! * the seven-task monthly simulation DAG ([`monthly`]);
+//! * scenario chains (`pcr(n) → caif(n+1)`) and whole experiments of
+//!   `NS` independent scenarios ([`chain`]);
+//! * the fused two-task-per-month model of Figure 2 on which the
+//!   scheduling heuristics operate ([`fusion`]);
+//! * moldable-task allocation ranges ([`moldable`]);
+//! * data volumes — the 120 MB inter-month hand-off ([`data`]);
+//! * static analysis: ASAP/ALAP levels, slack, parallelism width
+//!   ([`analysis`]).
+//!
+//! The crate is deliberately free of scheduling policy: it describes
+//! *what* must run and in which order, nothing about *where* or *when*.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use oa_workflow::prelude::*;
+//!
+//! // The paper's canonical campaign: 10 scenarios × 150 years.
+//! let shape = ExperimentShape::canonical();
+//! assert_eq!(shape.total_months(), 18_000);
+//!
+//! // The fused DAG the scheduler consumes.
+//! let fused = build_fused(ExperimentShape::new(2, 3));
+//! assert_eq!(fused.nbtasks(), 6);
+//! fused.dag.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chain;
+pub mod dag;
+pub mod data;
+pub mod dot;
+pub mod fusion;
+pub mod moldable;
+pub mod monthly;
+pub mod task;
+
+/// One-stop imports for downstream crates.
+pub mod prelude {
+    pub use crate::analysis::{levels, Levels};
+    pub use crate::chain::{
+        build_experiment, ExperimentDag, ExperimentShape, CANONICAL_MONTHS, CANONICAL_SCENARIOS,
+    };
+    pub use crate::dag::{Dag, DagError, NodeId};
+    pub use crate::data::{DataVolume, INTER_MONTH_TRANSFER};
+    pub use crate::dot::{experiment_dot, fused_dot, to_dot};
+    pub use crate::fusion::{build_fused, fused_main_secs, fused_post_secs, FusedExperiment, FusedTask};
+    pub use crate::moldable::{Allocation, MoldableSpec};
+    pub use crate::monthly::{add_month, monthly_dag, MonthNodes};
+    pub use crate::task::{Phase, Task, TaskId, TaskKind, MAX_PROCS, MIN_PROCS, NUM_GROUP_SIZES};
+}

@@ -1,0 +1,135 @@
+//! The monthly simulation DAG of Figure 1.
+//!
+//! One month of coupled integration is a seven-task DAG:
+//!
+//! ```text
+//!   caif ──► mp ──► pcr ──► cof ──► emf ──► cd
+//! ```
+//!
+//! The pre-processing phase updates and gathers input files (`caif`) and
+//! edits the parametrization (`mp`); `pcr` integrates the coupled model
+//! for one month; post-processing converts (`cof`), analyses (`emf`) and
+//! compresses (`cd`) the diagnostics — the paper describes the three
+//! post steps as successive phases, so they chain sequentially on a
+//! single processor.
+
+use crate::dag::{Dag, DagError, NodeId};
+use crate::task::{Task, TaskId, TaskKind};
+
+/// Handles to the seven tasks of one monthly simulation inside a larger
+/// DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonthNodes {
+    /// `concatenate_atmospheric_input_files`.
+    pub caif: NodeId,
+    /// `modify_parameters`.
+    pub mp: NodeId,
+    /// `process_coupled_run`.
+    pub pcr: NodeId,
+    /// `convert_output_format`.
+    pub cof: NodeId,
+    /// `extract_minimum_information`.
+    pub emf: NodeId,
+    /// `compress_diags`.
+    pub cd: NodeId,
+}
+
+impl MonthNodes {
+    /// All handles in phase order.
+    pub fn all(&self) -> [NodeId; 6] {
+        [self.caif, self.mp, self.pcr, self.cof, self.emf, self.cd]
+    }
+}
+
+/// Appends the seven tasks of month `(scenario, month)` to `dag`,
+/// wiring the intra-month dependencies of Figure 1, and returns their
+/// handles. Cross-month edges are the caller's business (see
+/// [`crate::chain`]).
+pub fn add_month(dag: &mut Dag<Task>, scenario: u32, month: u32) -> Result<MonthNodes, DagError> {
+    let node = |dag: &mut Dag<Task>, kind| {
+        dag.add_node(Task::from_id(TaskId::new(scenario, month, kind)))
+    };
+    let caif = node(dag, TaskKind::Caif);
+    let mp = node(dag, TaskKind::Mp);
+    let pcr = node(dag, TaskKind::Pcr);
+    let cof = node(dag, TaskKind::Cof);
+    let emf = node(dag, TaskKind::Emf);
+    let cd = node(dag, TaskKind::Cd);
+    dag.add_edge(caif, mp)?;
+    dag.add_edge(mp, pcr)?;
+    dag.add_edge(pcr, cof)?;
+    dag.add_edge(cof, emf)?;
+    dag.add_edge(emf, cd)?;
+    Ok(MonthNodes { caif, mp, pcr, cof, emf, cd })
+}
+
+/// Builds a standalone single-month DAG.
+pub fn monthly_dag(scenario: u32, month: u32) -> (Dag<Task>, MonthNodes) {
+    let mut dag = Dag::with_capacity(6);
+    let nodes = add_month(&mut dag, scenario, month).expect("fresh DAG cannot cycle");
+    (dag, nodes)
+}
+
+/// Sum of the sequential reference durations of one month
+/// (1 + 1 + 1260 + 60 + 60 + 60 = 1442 s on the reference cluster).
+pub fn month_reference_work() -> f64 {
+    TaskKind::CONCRETE.iter().map(|k| k.reference_secs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Phase;
+
+    #[test]
+    fn month_has_seven_minus_one_tasks_and_five_edges() {
+        // Seven tasks in the paper's prose count the DAG *plus* the data
+        // node; the task DAG itself has six task nodes and five edges.
+        let (dag, _) = monthly_dag(0, 0);
+        assert_eq!(dag.node_count(), 6);
+        assert_eq!(dag.edge_count(), 5);
+        dag.validate().unwrap();
+    }
+
+    #[test]
+    fn month_is_a_chain() {
+        let (dag, nodes) = monthly_dag(0, 0);
+        assert_eq!(dag.sources(), vec![nodes.caif]);
+        assert_eq!(dag.sinks(), vec![nodes.cd]);
+        for n in nodes.all() {
+            assert!(dag.in_degree(n) <= 1);
+            assert!(dag.out_degree(n) <= 1);
+        }
+    }
+
+    #[test]
+    fn phases_ordered_pre_main_post() {
+        let (dag, _) = monthly_dag(2, 3);
+        let order = dag.topo_sort().unwrap();
+        let phases: Vec<Phase> = order.iter().map(|&n| dag.node(n).id.kind.phase()).collect();
+        let mut sorted = phases.clone();
+        sorted.sort();
+        assert_eq!(phases, sorted);
+    }
+
+    #[test]
+    fn identities_carry_scenario_and_month() {
+        let (dag, nodes) = monthly_dag(4, 17);
+        let t = dag.node(nodes.pcr);
+        assert_eq!(t.id.scenario, 4);
+        assert_eq!(t.id.month, 17);
+        assert_eq!(t.id.kind, TaskKind::Pcr);
+    }
+
+    #[test]
+    fn reference_work_matches_figure_1_sum() {
+        assert_eq!(month_reference_work(), 1442.0);
+    }
+
+    #[test]
+    fn critical_path_equals_total_work_for_a_chain() {
+        let (dag, _) = monthly_dag(0, 0);
+        let cp = dag.critical_path(|_, t| t.reference_secs).unwrap();
+        assert_eq!(cp, month_reference_work());
+    }
+}

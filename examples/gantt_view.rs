@@ -1,0 +1,27 @@
+//! Visualize a schedule: the first year of a small campaign as an
+//! ASCII Gantt chart, with and without dedicated post processors.
+//!
+//! Run: `cargo run --release --example gantt_view`
+
+use ocean_atmosphere::prelude::*;
+
+fn main() {
+    let cluster = reference_cluster(26);
+    let inst = Instance::new(4, 12, 26);
+
+    for h in [Heuristic::Basic, Heuristic::Knapsack] {
+        let grouping = h.grouping(inst, &cluster.timing).expect("feasible");
+        let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
+        schedule.validate().expect("valid schedule");
+        println!("== {} : {} ==", h.label(), grouping);
+        print!("{}", render(&schedule, GanttOptions { width: 76, by_group: true }));
+        println!();
+    }
+
+    // Per-processor view of a tiny run, to see the group internals.
+    let inst = Instance::new(2, 3, 11);
+    let grouping = Grouping::new(vec![6, 4], 1);
+    let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
+    println!("== per-processor view ({grouping}) ==");
+    print!("{}", render(&schedule, GanttOptions { width: 76, by_group: false }));
+}

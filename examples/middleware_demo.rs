@@ -1,0 +1,53 @@
+//! The middleware under stress: a campaign submitted while one cluster
+//! is unavailable, then resubmitted with every cluster healthy.
+//!
+//! Run: `cargo run --release --example middleware_demo`
+
+use ocean_atmosphere::prelude::*;
+
+fn main() {
+    let grid = benchmark_grid(25);
+    let (ns, nm) = (8, 60);
+
+    // Degraded deployment: the fastest cluster is down.
+    let degraded = Deployment::with_plugins(&grid, |id, _| {
+        if id.index() == 0 {
+            Box::new(UnavailablePlugin)
+        } else {
+            Box::new(HeuristicPlugin(Heuristic::Knapsack))
+        }
+    });
+    let degraded_report = degraded.client().submit(ns, nm).expect("4 clusters remain");
+    println!("degraded grid (sagittaire down): makespan {:.1} h", degraded_report.makespan / 3600.0);
+    for r in &degraded_report.reports {
+        println!(
+            "  {:<12} {} scenario(s)",
+            grid.cluster(r.cluster).name,
+            r.scenarios.len()
+        );
+    }
+    assert!(degraded_report
+        .reports
+        .iter()
+        .find(|r| r.cluster.index() == 0)
+        .expect("cluster 0 reports")
+        .scenarios
+        .is_empty());
+
+    // Healthy deployment.
+    let healthy = Deployment::new(&grid, Heuristic::Knapsack);
+    let healthy_report = healthy.client().submit(ns, nm).expect("grid usable");
+    println!("\nhealthy grid: makespan {:.1} h", healthy_report.makespan / 3600.0);
+    for r in &healthy_report.reports {
+        println!(
+            "  {:<12} {} scenario(s)  grouping {}",
+            grid.cluster(r.cluster).name,
+            r.scenarios.len(),
+            r.grouping
+        );
+    }
+    println!(
+        "\nlosing the fastest cluster costs {:.1}% of makespan",
+        gain_pct(degraded_report.makespan, healthy_report.makespan)
+    );
+}

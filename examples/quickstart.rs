@@ -1,0 +1,43 @@
+//! Quickstart: schedule the paper's canonical campaign on one cluster.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use ocean_atmosphere::prelude::*;
+
+fn main() {
+    // The paper's Section 4.2 example: a 53-processor cluster whose
+    // main-processing task takes 1260 s on 11 processors, and a
+    // campaign of 10 scenarios × 150 years of monthly runs.
+    let cluster = reference_cluster(53);
+    let inst = Instance::new(10, 1800, 53);
+    println!(
+        "cluster {:?}: {} processors, pcr(11) = {:.0} s, post = {:.0} s",
+        cluster.name,
+        cluster.resources,
+        cluster.timing.main_secs(11) - 2.0,
+        cluster.timing.post_secs()
+    );
+
+    // 1. Pick a grouping with the paper's best heuristic.
+    let grouping = Heuristic::Knapsack
+        .grouping(inst, &cluster.timing)
+        .expect("53 processors fit multiprocessor groups");
+    println!("knapsack grouping: {grouping}");
+
+    // 2. Execute the campaign (virtual time) and validate the schedule.
+    let schedule =
+        execute_default(inst, &cluster.timing, &grouping).expect("grouping is valid");
+    schedule.validate().expect("the executor emits valid schedules");
+
+    // 3. Compare with the basic heuristic.
+    let basic = Heuristic::Basic.makespan(inst, &cluster.timing).expect("feasible");
+    println!(
+        "makespan: {:.1} h  (basic heuristic: {:.1} h, gain {:.1}%)",
+        schedule.makespan / 3600.0,
+        basic / 3600.0,
+        gain_pct(basic, schedule.makespan),
+    );
+
+    let m = metrics(&schedule);
+    println!("processor utilization: {:.0}%", m.utilization * 100.0);
+}

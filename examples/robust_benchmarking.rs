@@ -1,0 +1,56 @@
+//! The full operational pipeline: benchmark a cluster (with noise),
+//! fit the moldable model, export/import the timing table, plan a
+//! campaign and audit the decision against the ground truth.
+//!
+//! Run: `cargo run --release --example robust_benchmarking`
+
+use ocean_atmosphere::platform::benchmarks::{run_campaign, BenchmarkConfig};
+use ocean_atmosphere::prelude::*;
+
+fn main() {
+    // Ground truth nobody in production ever sees.
+    let truth_model = PcrModel::reference();
+    let truth = truth_model.table(1.0).expect("valid model");
+
+    // 1. Benchmark the cluster: 5 repetitions, ±3 % measurement noise.
+    let campaign = run_campaign(
+        &truth_model,
+        1.0,
+        BenchmarkConfig { repetitions: 5, noise: 0.03, seed: 2026 },
+    )
+    .expect("campaign runs");
+    println!("benchmarked {} samples; fitted model:", campaign.samples.len());
+    let fitted = campaign.fitted.expect("3% noise fits cleanly");
+    println!(
+        "  seq {:.0} s  par {:.0} s·proc  comm {:.1} s/proc  (truth: 300 / 5120 / 40.0)",
+        fitted.seq_secs, fitted.par_secs, fitted.comm_secs
+    );
+
+    // 2. Persist the measured table as a benchmark file and reload it.
+    let mut grid = Grid::new();
+    grid.add(Cluster::new("measured", 53, campaign.table.clone()));
+    let text = render_grid(&grid);
+    let reloaded = parse_grid(&text).expect("rendered files parse");
+    println!(
+        "\nbenchmark file round-trips: {} cluster(s), T[11] = {:.0} s",
+        reloaded.len(),
+        reloaded.clusters()[0].timing.main_secs(11)
+    );
+
+    // 3. Plan on the measurement, audit on the truth.
+    let inst = Instance::new(10, 1800, 53);
+    let planned = Heuristic::Knapsack
+        .grouping(inst, &campaign.table)
+        .expect("53 processors suffice");
+    let ideal = Heuristic::Knapsack.grouping(inst, &truth).expect("feasible");
+    let ms_planned = estimate(inst, &truth, &planned).expect("valid").makespan;
+    let ms_ideal = estimate(inst, &truth, &ideal).expect("valid").makespan;
+    println!("\nplanned on noisy table: {planned}");
+    println!("ideal under the truth:  {ideal}");
+    println!(
+        "regret of the noisy plan: {:.3}% ({:.1} h over {:.1} h)",
+        gain_pct(ms_planned, ms_ideal).max(0.0),
+        (ms_planned - ms_ideal).max(0.0) / 3600.0,
+        ms_ideal / 3600.0
+    );
+}
