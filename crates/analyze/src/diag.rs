@@ -1,0 +1,523 @@
+//! Diagnostic primitives: rule codes, severities, locations, reports.
+//!
+//! Modeled on rustc's lint machinery: every finding is a [`Diagnostic`]
+//! with a stable [`RuleCode`] (`OA001`…), a [`Severity`], a structured
+//! [`Location`] and a human-readable message. Checkers *collect* every
+//! violation instead of failing on the first one, so a single pass over
+//! a corrupted schedule reports all of its problems.
+
+use serde::{Serialize, Value};
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// Informational note; never fails an analysis.
+    Info,
+    /// Suspicious but not provably wrong; does not fail an analysis.
+    Warn,
+    /// A hard violation; `oa analyze` exits nonzero.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Which layer of the stack a rule inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Layer {
+    /// The fused application DAG (structure of the workload).
+    Workflow,
+    /// Groupings and their accounting against an [`oa_sched::params::Instance`].
+    Scheduling,
+    /// Concrete schedules: records pinned to processors and times.
+    Schedule,
+    /// Cluster descriptions and network feasibility.
+    Platform,
+}
+
+impl std::fmt::Display for Layer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Layer::Workflow => "workflow",
+            Layer::Scheduling => "scheduling",
+            Layer::Schedule => "schedule",
+            Layer::Platform => "platform",
+        })
+    }
+}
+
+/// Stable identifiers of every rule the engine knows.
+///
+/// Codes are append-only: a rule keeps its code forever, even if its
+/// implementation changes, so downstream tooling can match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleCode {
+    /// OA001: the fused DAG contains a cycle.
+    DagCycle,
+    /// OA002: the monthly chain is incomplete (missing nodes/handles).
+    IncompleteChain,
+    /// OA003: fusion invariants broken (wrong edges or degrees).
+    FusionInconsistent,
+    /// OA004: a group size is outside `4..=11`.
+    GroupSizeOutOfRange,
+    /// OA005: a grouping claims more processors than the cluster has.
+    OverSubscribed,
+    /// OA006: group/pool accounting is impossible (no groups, or more
+    /// groups than scenarios).
+    GroupAccounting,
+    /// OA007: the event estimator and the analytic model (Equations
+    /// 1–5) diverge on a uniform grouping.
+    EstimateDivergence,
+    /// OA008: a task is scheduled zero or several times.
+    WrongMultiplicity,
+    /// OA009: a record starts before a predecessor ends.
+    DependenceViolated,
+    /// OA010: two records overlap in time on a shared processor.
+    ProcessorConflict,
+    /// OA011: a record uses processors outside `0..R`.
+    ProcOutOfRange,
+    /// OA012: a record has a non-positive or non-finite interval.
+    BadInterval,
+    /// OA013: a scheduled main task ran on a group outside `4..=11`.
+    ScheduledGroupSize,
+    /// OA014: a group idles more than 10% of its active window.
+    IdleGap,
+    /// OA015: post-processing starves far behind its main task.
+    PostStarvation,
+    /// OA016: a cluster description is degenerate or off the
+    /// benchmarked envelope.
+    ClusterSanity,
+    /// OA017: the 120 MB inter-month transfer cannot hide inside a
+    /// month on the given link.
+    BandwidthInfeasible,
+}
+
+impl RuleCode {
+    /// Every rule, in code order.
+    pub const ALL: [RuleCode; 17] = [
+        RuleCode::DagCycle,
+        RuleCode::IncompleteChain,
+        RuleCode::FusionInconsistent,
+        RuleCode::GroupSizeOutOfRange,
+        RuleCode::OverSubscribed,
+        RuleCode::GroupAccounting,
+        RuleCode::EstimateDivergence,
+        RuleCode::WrongMultiplicity,
+        RuleCode::DependenceViolated,
+        RuleCode::ProcessorConflict,
+        RuleCode::ProcOutOfRange,
+        RuleCode::BadInterval,
+        RuleCode::ScheduledGroupSize,
+        RuleCode::IdleGap,
+        RuleCode::PostStarvation,
+        RuleCode::ClusterSanity,
+        RuleCode::BandwidthInfeasible,
+    ];
+
+    /// The stable `OAxxx` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleCode::DagCycle => "OA001",
+            RuleCode::IncompleteChain => "OA002",
+            RuleCode::FusionInconsistent => "OA003",
+            RuleCode::GroupSizeOutOfRange => "OA004",
+            RuleCode::OverSubscribed => "OA005",
+            RuleCode::GroupAccounting => "OA006",
+            RuleCode::EstimateDivergence => "OA007",
+            RuleCode::WrongMultiplicity => "OA008",
+            RuleCode::DependenceViolated => "OA009",
+            RuleCode::ProcessorConflict => "OA010",
+            RuleCode::ProcOutOfRange => "OA011",
+            RuleCode::BadInterval => "OA012",
+            RuleCode::ScheduledGroupSize => "OA013",
+            RuleCode::IdleGap => "OA014",
+            RuleCode::PostStarvation => "OA015",
+            RuleCode::ClusterSanity => "OA016",
+            RuleCode::BandwidthInfeasible => "OA017",
+        }
+    }
+
+    /// The layer this rule inspects.
+    pub fn layer(self) -> Layer {
+        match self {
+            RuleCode::DagCycle | RuleCode::IncompleteChain | RuleCode::FusionInconsistent => {
+                Layer::Workflow
+            }
+            RuleCode::GroupSizeOutOfRange
+            | RuleCode::OverSubscribed
+            | RuleCode::GroupAccounting
+            | RuleCode::EstimateDivergence => Layer::Scheduling,
+            RuleCode::WrongMultiplicity
+            | RuleCode::DependenceViolated
+            | RuleCode::ProcessorConflict
+            | RuleCode::ProcOutOfRange
+            | RuleCode::BadInterval
+            | RuleCode::ScheduledGroupSize
+            | RuleCode::IdleGap
+            | RuleCode::PostStarvation => Layer::Schedule,
+            RuleCode::ClusterSanity | RuleCode::BandwidthInfeasible => Layer::Platform,
+        }
+    }
+
+    /// One-line summary for the rule catalog.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleCode::DagCycle => "fused DAG must be acyclic",
+            RuleCode::IncompleteChain => "every (scenario, month) needs its main and post node",
+            RuleCode::FusionInconsistent => "fused edges must be main→post and main→next-main only",
+            RuleCode::GroupSizeOutOfRange => "group sizes must lie in 4..=11",
+            RuleCode::OverSubscribed => "groupings may not claim more processors than R",
+            RuleCode::GroupAccounting => "1..=NS groups (surplus groups can never work)",
+            RuleCode::EstimateDivergence => {
+                "event estimator must track Equations 1-5 on uniform groupings"
+            }
+            RuleCode::WrongMultiplicity => "every task runs exactly once",
+            RuleCode::DependenceViolated => "no task may start before its predecessors end",
+            RuleCode::ProcessorConflict => "a processor runs at most one task at a time",
+            RuleCode::ProcOutOfRange => "records must stay inside processors 0..R",
+            RuleCode::BadInterval => "intervals must be finite with end > start",
+            RuleCode::ScheduledGroupSize => "scheduled mains must use 4..=11 processors",
+            RuleCode::IdleGap => "groups should not idle >10% of their active window",
+            RuleCode::PostStarvation => "posts should not lag far behind their main task",
+            RuleCode::ClusterSanity => "clusters need >=4 procs and a sane timing table",
+            RuleCode::BandwidthInfeasible => "the 120 MB inter-month transfer must fit in a month",
+        }
+    }
+
+    /// The severity the rule emits when it fires in its default mode.
+    /// Individual diagnostics may downgrade (e.g. OA007 warns inside
+    /// tolerance bands and errors beyond them).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            RuleCode::IdleGap | RuleCode::PostStarvation => Severity::Warn,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl Serialize for RuleCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.code().to_string())
+    }
+}
+
+impl std::fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Where in the campaign a diagnostic points.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Location {
+    /// Scenario index, if the finding concerns one scenario.
+    pub scenario: Option<u32>,
+    /// Month index, if the finding concerns one month.
+    pub month: Option<u32>,
+    /// Task discriminator (`"main"` or `"post"`), if task-specific.
+    pub task: Option<String>,
+    /// Processor range `(first, count)`, if processor-specific.
+    pub procs: Option<(u32, u32)>,
+}
+
+impl Location {
+    /// Location of the main task of `(scenario, month)`.
+    pub fn main(scenario: u32, month: u32) -> Self {
+        Self {
+            scenario: Some(scenario),
+            month: Some(month),
+            task: Some("main".into()),
+            procs: None,
+        }
+    }
+
+    /// Location of the post task of `(scenario, month)`.
+    pub fn post(scenario: u32, month: u32) -> Self {
+        Self {
+            scenario: Some(scenario),
+            month: Some(month),
+            task: Some("post".into()),
+            procs: None,
+        }
+    }
+
+    /// Attaches a processor range.
+    pub fn on_procs(mut self, first: u32, count: u32) -> Self {
+        self.procs = Some((first, count));
+        self
+    }
+
+    /// True when no coordinate is set.
+    pub fn is_empty(&self) -> bool {
+        self.scenario.is_none()
+            && self.month.is_none()
+            && self.task.is_none()
+            && self.procs.is_none()
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        if let Some(t) = &self.task {
+            match (self.scenario, self.month) {
+                (Some(s), Some(m)) => write!(f, "{t}({s},{m})")?,
+                _ => write!(f, "{t}")?,
+            }
+            sep = " ";
+        } else {
+            if let Some(s) = self.scenario {
+                write!(f, "scenario {s}")?;
+                sep = " ";
+            }
+            if let Some(m) = self.month {
+                write!(f, "{sep}month {m}")?;
+                sep = " ";
+            }
+        }
+        if let Some((first, count)) = self.procs {
+            write!(f, "{sep}procs [{first},{})", first as u64 + count as u64)?;
+        }
+        Ok(())
+    }
+}
+
+/// A named numeric fact attached to a diagnostic, so callers can act on
+/// the finding without parsing the message (rustc's "machine-applicable"
+/// idea, scaled down to numbers).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Quantity {
+    /// Name of the fact (e.g. `"count"`, `"pred_ends"`).
+    pub name: &'static str,
+    /// Its value.
+    pub value: f64,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleCode,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it points.
+    pub location: Location,
+    /// Second location for pairwise findings (e.g. the other task of a
+    /// processor conflict).
+    pub related: Option<Location>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Structured numeric facts backing the message.
+    pub quantities: Vec<Quantity>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the rule's default severity with no location.
+    pub fn new(rule: RuleCode, message: impl Into<String>) -> Self {
+        Self {
+            rule,
+            severity: rule.default_severity(),
+            location: Location::default(),
+            related: None,
+            message: message.into(),
+            quantities: Vec::new(),
+        }
+    }
+
+    /// Overrides the severity.
+    pub fn severity(mut self, s: Severity) -> Self {
+        self.severity = s;
+        self
+    }
+
+    /// Sets the location.
+    pub fn at(mut self, location: Location) -> Self {
+        self.location = location;
+        self
+    }
+
+    /// Sets the related location.
+    pub fn related_to(mut self, location: Location) -> Self {
+        self.related = Some(location);
+        self
+    }
+
+    /// Attaches a named numeric fact.
+    pub fn with(mut self, name: &'static str, value: f64) -> Self {
+        self.quantities.push(Quantity { name, value });
+        self
+    }
+
+    /// Looks up a numeric fact by name.
+    pub fn quantity(&self, name: &str) -> Option<f64> {
+        self.quantities
+            .iter()
+            .find(|q| q.name == name)
+            .map(|q| q.value)
+    }
+
+    /// Renders the rustc-style one-liner.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]", self.severity, self.rule.code());
+        if !self.location.is_empty() {
+            out.push_str(&format!(" {}", self.location));
+        }
+        out.push_str(&format!(": {}", self.message));
+        out.push_str(&format!(" ({} layer)", self.rule.layer()));
+        out
+    }
+}
+
+/// The outcome of an analysis: every diagnostic found, in check order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Report {
+    /// Findings, in the order the rules emitted them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a diagnostic list.
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Self {
+        Self { diagnostics }
+    }
+
+    /// Appends the diagnostics of another pass.
+    pub fn extend(&mut self, diagnostics: Vec<Diagnostic>) {
+        self.diagnostics.extend(diagnostics);
+    }
+
+    /// Whether any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when nothing at all was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Findings of one severity.
+    pub fn of_severity(&self, s: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.severity == s)
+    }
+
+    /// Renders every diagnostic plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&self.summary_line());
+        out.push('\n');
+        out
+    }
+
+    /// The `N errors, M warnings` trailer.
+    pub fn summary_line(&self) -> String {
+        if self.is_clean() {
+            "analysis clean: no diagnostics".to_string()
+        } else {
+            format!(
+                "{} error(s), {} warning(s), {} diagnostic(s) total",
+                self.error_count(),
+                self.warn_count(),
+                self.diagnostics.len()
+            )
+        }
+    }
+
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut codes: Vec<&str> = RuleCode::ALL.iter().map(|r| r.code()).collect();
+        assert_eq!(codes.len(), 17);
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 17, "duplicate rule code");
+        assert_eq!(RuleCode::ALL[0].code(), "OA001");
+        assert_eq!(RuleCode::ALL[16].code(), "OA017");
+    }
+
+    #[test]
+    fn every_layer_is_covered() {
+        for layer in [
+            Layer::Workflow,
+            Layer::Scheduling,
+            Layer::Schedule,
+            Layer::Platform,
+        ] {
+            assert!(
+                RuleCode::ALL.iter().any(|r| r.layer() == layer),
+                "no rule covers {layer}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_code_location_and_layer() {
+        let d = Diagnostic::new(RuleCode::ProcessorConflict, "tasks overlap on processor 3")
+            .at(Location::main(0, 1).on_procs(0, 4))
+            .related_to(Location::post(0, 0));
+        let line = d.render();
+        assert!(line.contains("error[OA010]"), "{line}");
+        assert!(line.contains("main(0,1)"), "{line}");
+        assert!(line.contains("procs [0,4)"), "{line}");
+        assert!(line.contains("(schedule layer)"), "{line}");
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.has_errors());
+        r.extend(vec![
+            Diagnostic::new(RuleCode::IdleGap, "idle").severity(Severity::Warn),
+            Diagnostic::new(RuleCode::BadInterval, "bad").with("end", 1.0),
+        ]);
+        assert!(r.has_errors());
+        assert_eq!((r.error_count(), r.warn_count()), (1, 1));
+        let json = r.to_json();
+        assert!(json.contains("\"OA012\""), "{json}");
+        assert!(json.contains("\"end\""), "{json}");
+        assert!(r.summary_line().contains("1 error(s)"));
+    }
+}

@@ -1,0 +1,92 @@
+//! `oa-analyze` — static diagnostics for the ocean-atmosphere scheduler.
+//!
+//! A rule-based verification engine modeled on rustc's lints: every
+//! check has a stable code (`OA001`…), a severity, a structured
+//! location and a human-readable message, and every checker *collects*
+//! all violations in one pass instead of failing fast. Seventeen rules
+//! cover four layers of the stack:
+//!
+//! | Layer      | Rules         | What they verify                                  |
+//! |------------|---------------|---------------------------------------------------|
+//! | workflow   | OA001–OA003   | fused-DAG acyclicity, chain completeness, fusion  |
+//! | scheduling | OA004–OA007   | group sizes, accounting, estimator cross-checks   |
+//! | schedule   | OA008–OA015   | multiplicity, dependences, exclusivity, idleness  |
+//! | platform   | OA016–OA017   | cluster sanity, inter-month bandwidth feasibility |
+//!
+//! The simulator (`oa-sim`) rebuilds its `Schedule::validate` API on
+//! top of [`schedule::check_schedule`]; the `oa analyze` CLI subcommand
+//! runs all four layers over a planned campaign and exits nonzero when
+//! any error-severity diagnostic fires.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod platform;
+pub mod schedule;
+pub mod scheduling;
+pub mod workflow;
+
+pub use diag::{Diagnostic, Layer, Location, Quantity, Report, RuleCode, Severity};
+
+/// One row of the rule catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable code (`OA001`…).
+    pub code: &'static str,
+    /// Layer the rule inspects.
+    pub layer: Layer,
+    /// Default severity when the rule fires.
+    pub severity: Severity,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// The full rule catalog, in code order — the source of truth behind
+/// `oa analyze --rules` and the documentation table.
+pub fn catalog() -> Vec<RuleInfo> {
+    RuleCode::ALL
+        .iter()
+        .map(|&r| RuleInfo {
+            code: r.code(),
+            layer: r.layer(),
+            severity: r.default_severity(),
+            summary: r.summary(),
+        })
+        .collect()
+}
+
+/// Renders the catalog as an aligned text table.
+pub fn render_catalog() -> String {
+    let mut out = String::from("CODE   LAYER       SEVERITY  RULE\n");
+    for r in catalog() {
+        out.push_str(&format!(
+            "{:<6} {:<11} {:<9} {}\n",
+            r.code,
+            r.layer.to_string(),
+            r.severity.to_string(),
+            r.summary
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_rules_and_layers() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 17);
+        for layer in [
+            Layer::Workflow,
+            Layer::Scheduling,
+            Layer::Schedule,
+            Layer::Platform,
+        ] {
+            assert!(cat.iter().any(|r| r.layer == layer));
+        }
+        let text = render_catalog();
+        assert!(text.contains("OA001") && text.contains("OA017"), "{text}");
+    }
+}

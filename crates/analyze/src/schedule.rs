@@ -1,0 +1,434 @@
+//! Schedule-layer rules (OA008–OA015): concrete schedules.
+//!
+//! The checks generalize `oa-sim`'s original fail-fast
+//! `Schedule::validate` into collect-all diagnostics, preserving its
+//! exact semantics and check order (per-record interval/range/size,
+//! then multiplicity, then dependences, then processor exclusivity) so
+//! the simulator can rebuild its first-error API on top of this module.
+//! Two advisory rules ride along: OA014 flags groups that idle away
+//! more than a tenth of their active window, OA015 flags post tasks
+//! that starve far behind the month that produced their input.
+//!
+//! The module defines its own [`ScheduleView`] instead of depending on
+//! `oa-sim`'s `Schedule` — the simulator depends on this crate, not the
+//! other way around.
+
+use crate::diag::{Diagnostic, Location, RuleCode};
+
+/// Absolute slack tolerated on time comparisons, seconds.
+pub const TOL: f64 = 1e-9;
+/// Fraction of a group's active window it may spend idle before OA014
+/// warns.
+pub const IDLE_WARN_FRACTION: f64 = 0.10;
+/// OA015 fires when a post's queueing delay exceeds this many median
+/// post durations…
+pub const STARVATION_MEDIANS: f64 = 10.0;
+/// …and this fraction of the campaign makespan.
+pub const STARVATION_MAKESPAN_FRACTION: f64 = 0.2;
+
+/// One scheduled task, decoupled from the simulator's record type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSlot {
+    /// Scenario index.
+    pub scenario: u32,
+    /// Month index.
+    pub month: u32,
+    /// Post-processing task (`false` = fused main task).
+    pub is_post: bool,
+    /// First processor id occupied.
+    pub first_proc: u32,
+    /// Number of processors occupied.
+    pub proc_count: u32,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// Multiprocessor group that ran it (`None` for pool processors).
+    pub group: Option<u32>,
+}
+
+impl TaskSlot {
+    fn location(&self) -> Location {
+        if self.is_post {
+            Location::post(self.scenario, self.month)
+        } else {
+            Location::main(self.scenario, self.month)
+        }
+        .on_procs(self.first_proc, self.proc_count)
+    }
+}
+
+/// A schedule as the analyzer sees it: the instance dimensions plus
+/// every slot, in record order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleView {
+    /// `NS`: number of scenarios.
+    pub ns: u32,
+    /// `NM`: months per scenario.
+    pub nm: u32,
+    /// `R`: processors on the cluster.
+    pub r: u32,
+    /// All task slots (mains and posts).
+    pub slots: Vec<TaskSlot>,
+}
+
+/// Runs OA008–OA015 over a schedule, collecting every finding.
+pub fn check_schedule(view: &ScheduleView) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ns = view.ns as usize;
+    let nm = view.nm as usize;
+    let expected = ns * nm;
+
+    // Pass 1 — per-record checks, in record order: OA012 interval,
+    // OA011 processor range, OA013 main group size. A record outside
+    // the experiment shape cannot be indexed and is itself an OA008.
+    let index = |s: u32, m: u32, post: bool| (s as usize * nm + m as usize) * 2 + usize::from(post);
+    let mut seen: Vec<u32> = vec![0; expected * 2];
+    for slot in &view.slots {
+        if !slot.start.is_finite() || !slot.end.is_finite() || slot.end <= slot.start {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::BadInterval,
+                    format!(
+                        "interval [{}, {}] is not a positive finite span",
+                        slot.start, slot.end
+                    ),
+                )
+                .at(slot.location())
+                .with("start", slot.start)
+                .with("end", slot.end),
+            );
+        }
+        if slot.proc_count == 0
+            || u64::from(slot.first_proc) + u64::from(slot.proc_count) > u64::from(view.r)
+        {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::ProcOutOfRange,
+                    format!(
+                        "uses processors [{}, {}) on a cluster of R = {}",
+                        slot.first_proc,
+                        u64::from(slot.first_proc) + u64::from(slot.proc_count),
+                        view.r
+                    ),
+                )
+                .at(slot.location()),
+            );
+        }
+        if !slot.is_post && !(4..=11).contains(&slot.proc_count) {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::ScheduledGroupSize,
+                    format!(
+                        "main task ran on {} processor(s), outside 4..=11",
+                        slot.proc_count
+                    ),
+                )
+                .at(slot.location())
+                .with("size", f64::from(slot.proc_count)),
+            );
+        }
+        if slot.scenario as usize >= ns || slot.month as usize >= nm {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::WrongMultiplicity,
+                    format!(
+                        "task lies outside the {}x{} experiment shape",
+                        view.ns, view.nm
+                    ),
+                )
+                .at(slot.location()),
+            );
+        } else {
+            let i = index(slot.scenario, slot.month, slot.is_post);
+            seen[i] = seen[i].saturating_add(1);
+        }
+    }
+
+    // Pass 2 — OA008 multiplicity: every task exactly once.
+    for s in 0..view.ns {
+        for m in 0..view.nm {
+            for post in [false, true] {
+                let c = seen[index(s, m, post)];
+                if c != 1 {
+                    let loc = if post {
+                        Location::post(s, m)
+                    } else {
+                        Location::main(s, m)
+                    };
+                    out.push(
+                        Diagnostic::new(
+                            RuleCode::WrongMultiplicity,
+                            format!("task is scheduled {c} time(s), expected exactly once"),
+                        )
+                        .at(loc)
+                        .with("count", f64::from(c)),
+                    );
+                }
+            }
+        }
+    }
+
+    // Pass 3 — OA009 dependences: main(s,m-1) → main(s,m) → post(s,m).
+    // Last record wins when a task appears several times, matching the
+    // original simulator sweep.
+    let midx = |s: u32, m: u32| s as usize * nm + m as usize;
+    let mut main_end = vec![0.0f64; expected];
+    let mut main_start = vec![0.0f64; expected];
+    for slot in view.slots.iter().filter(|t| !t.is_post) {
+        if (slot.scenario as usize) < ns && (slot.month as usize) < nm {
+            main_end[midx(slot.scenario, slot.month)] = slot.end;
+            main_start[midx(slot.scenario, slot.month)] = slot.start;
+        }
+    }
+    for s in 0..view.ns {
+        for m in 1..view.nm {
+            let pred = main_end[midx(s, m - 1)];
+            let start = main_start[midx(s, m)];
+            if start + TOL < pred {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::DependenceViolated,
+                        format!("starts at {start} before month {} ends at {pred}", m - 1),
+                    )
+                    .at(Location::main(s, m))
+                    .related_to(Location::main(s, m - 1))
+                    .with("starts", start)
+                    .with("pred_ends", pred),
+                );
+            }
+        }
+    }
+    for slot in view.slots.iter().filter(|t| t.is_post) {
+        if slot.scenario as usize >= ns || slot.month as usize >= nm {
+            continue;
+        }
+        let pred = main_end[midx(slot.scenario, slot.month)];
+        if slot.start + TOL < pred {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::DependenceViolated,
+                    format!(
+                        "starts at {} before its main task ends at {pred}",
+                        slot.start
+                    ),
+                )
+                .at(Location::post(slot.scenario, slot.month))
+                .related_to(Location::main(slot.scenario, slot.month))
+                .with("starts", slot.start)
+                .with("pred_ends", pred),
+            );
+        }
+    }
+
+    // Pass 4 — OA010 processor exclusivity: sweep each processor's
+    // intervals sorted by start.
+    let mut by_proc: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); view.r as usize];
+    for (i, slot) in view.slots.iter().enumerate() {
+        for p in slot.first_proc..slot.first_proc.saturating_add(slot.proc_count) {
+            if (p as usize) < by_proc.len() {
+                by_proc[p as usize].push((slot.start, slot.end, i));
+            }
+        }
+    }
+    for (p, intervals) in by_proc.iter_mut().enumerate() {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in intervals.windows(2) {
+            if w[1].0 + TOL < w[0].1 {
+                let (a, b) = (&view.slots[w[0].2], &view.slots[w[1].2]);
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ProcessorConflict,
+                        format!(
+                            "overlaps [{}, {}] with another task's [{}, {}] on processor {p}",
+                            w[0].0, w[0].1, w[1].0, w[1].1
+                        ),
+                    )
+                    .at(a.location())
+                    .related_to(b.location())
+                    .with("processor", p as f64),
+                );
+            }
+        }
+    }
+
+    // Pass 5 — OA014 idle gaps: per multiprocessor group, internal idle
+    // between consecutive tasks relative to the group's active window.
+    let mut groups: std::collections::BTreeMap<u32, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for slot in &view.slots {
+        if let Some(g) = slot.group {
+            if slot.start.is_finite() && slot.end.is_finite() && slot.end > slot.start {
+                groups.entry(g).or_default().push((slot.start, slot.end));
+            }
+        }
+    }
+    for (g, intervals) in &mut groups {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let window = intervals.last().expect("non-empty").1 - intervals[0].0;
+        if window <= 0.0 {
+            continue;
+        }
+        let mut idle = 0.0f64;
+        let mut frontier = intervals[0].1;
+        for &(s, e) in intervals.iter().skip(1) {
+            if s > frontier {
+                idle += s - frontier;
+            }
+            frontier = frontier.max(e);
+        }
+        if idle > IDLE_WARN_FRACTION * window {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::IdleGap,
+                    format!(
+                        "group {g} idles {idle:.1} s of its {window:.1} s active window ({:.1}%)",
+                        100.0 * idle / window
+                    ),
+                )
+                .with("group", f64::from(*g))
+                .with("idle_secs", idle)
+                .with("window_secs", window),
+            );
+        }
+    }
+
+    // Pass 6 — OA015 post starvation: a post queueing far behind its
+    // month signals an under-provisioned pool.
+    let makespan = view.slots.iter().map(|t| t.end).fold(0.0f64, f64::max);
+    let mut durations: Vec<f64> = view
+        .slots
+        .iter()
+        .filter(|t| t.is_post && t.end > t.start)
+        .map(|t| t.end - t.start)
+        .collect();
+    if !durations.is_empty() && makespan > 0.0 {
+        durations.sort_by(f64::total_cmp);
+        let median = durations[durations.len() / 2];
+        // One aggregated diagnostic, not one per post: on campaigns that
+        // deliberately defer posts (Improvement 2 reserves no post
+        // processors) every post lags, and NS × NM identical warnings
+        // would drown the report.
+        let mut starved = 0usize;
+        let mut worst: Option<(&TaskSlot, f64)> = None;
+        for slot in view.slots.iter().filter(|t| t.is_post) {
+            if slot.scenario as usize >= ns || slot.month as usize >= nm {
+                continue;
+            }
+            let delay = slot.start - main_end[midx(slot.scenario, slot.month)];
+            if delay > STARVATION_MEDIANS * median
+                && delay > STARVATION_MAKESPAN_FRACTION * makespan
+            {
+                starved += 1;
+                if worst.is_none_or(|(_, w)| delay > w) {
+                    worst = Some((slot, delay));
+                }
+            }
+        }
+        if let Some((slot, delay)) = worst {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::PostStarvation,
+                    format!(
+                        "{starved} post task(s) wait long after their month (worst {delay:.1} s, {:.1} median post durations): post pool starved",
+                        delay / median
+                    ),
+                )
+                .at(slot.location())
+                .with("starved_posts", starved as f64)
+                .with("worst_delay_secs", delay)
+                .with("median_post_secs", median),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn slot(s: u32, m: u32, post: bool, first: u32, count: u32, start: f64, end: f64) -> TaskSlot {
+        TaskSlot {
+            scenario: s,
+            month: m,
+            is_post: post,
+            first_proc: first,
+            proc_count: count,
+            start,
+            end,
+            group: (!post).then_some(0),
+        }
+    }
+
+    fn tiny_valid() -> ScheduleView {
+        ScheduleView {
+            ns: 1,
+            nm: 2,
+            r: 5,
+            slots: vec![
+                slot(0, 0, false, 0, 4, 0.0, 100.0),
+                slot(0, 0, true, 4, 1, 100.0, 110.0),
+                slot(0, 1, false, 0, 4, 100.0, 200.0),
+                slot(0, 1, true, 4, 1, 200.0, 210.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_schedule_is_clean() {
+        assert!(check_schedule(&tiny_valid()).is_empty());
+    }
+
+    #[test]
+    fn one_pass_collects_independent_defects() {
+        // The acceptance scenario: overlapping processor ranges AND a
+        // violated month dependence, reported together.
+        let mut v = tiny_valid();
+        v.slots[2].start = 50.0; // main(0,1) starts before main(0,0) ends…
+        v.slots[2].end = 150.0; // …and overlaps it on procs 0..4.
+        let ds = check_schedule(&v);
+        let codes: Vec<&str> = ds.iter().map(|d| d.rule.code()).collect();
+        assert!(codes.contains(&"OA009"), "{codes:?}");
+        assert!(codes.contains(&"OA010"), "{codes:?}");
+        assert!(ds.len() >= 2, "{ds:?}");
+    }
+
+    #[test]
+    fn out_of_shape_record_is_flagged_not_fatal() {
+        let mut v = tiny_valid();
+        v.slots.push(slot(7, 0, false, 0, 4, 300.0, 400.0));
+        let ds = check_schedule(&v);
+        assert!(
+            ds.iter()
+                .any(|d| d.rule == RuleCode::WrongMultiplicity && d.message.contains("shape")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn idle_gap_warns() {
+        let mut v = tiny_valid();
+        // Group 0 idles 400 s between its two months.
+        v.slots[2] = slot(0, 1, false, 0, 4, 500.0, 600.0);
+        v.slots[3] = slot(0, 1, true, 4, 1, 600.0, 610.0);
+        let ds = check_schedule(&v);
+        let idle: Vec<_> = ds.iter().filter(|d| d.rule == RuleCode::IdleGap).collect();
+        assert_eq!(idle.len(), 1, "{ds:?}");
+        assert_eq!(idle[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn post_starvation_warns() {
+        let mut v = tiny_valid();
+        // post(0,0) waits 150 s (15 median durations, 71% of makespan).
+        v.slots[1] = slot(0, 0, true, 4, 1, 250.0, 260.0);
+        let ds = check_schedule(&v);
+        assert!(
+            ds.iter().any(|d| d.rule == RuleCode::PostStarvation),
+            "{ds:?}"
+        );
+        assert!(!ds.iter().any(|d| d.severity == Severity::Error), "{ds:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Scheduling-layer rules (OA004–OA007): groupings against an instance.
+//!
+//! OA004–OA006 cover the same ground as
+//! [`oa_sched::grouping::Grouping::validate`] but *collect* every
+//! violation instead of stopping at the first, and attach locations
+//! (which group, which sizes). OA007 cross-checks the event estimator
+//! against the paper's closed-form Equations 1–5 on uniform groupings,
+//! where both must describe the same campaign.
+
+use oa_platform::timing::TimingTable;
+use oa_sched::analytic;
+use oa_sched::estimate::estimate;
+use oa_sched::grouping::Grouping;
+use oa_sched::params::Instance;
+
+use crate::diag::{Diagnostic, Location, RuleCode, Severity};
+
+/// Relative divergence between estimator and analytic model above which
+/// OA007 warns on a uniform grouping.
+pub const DIVERGENCE_WARN: f64 = 0.10;
+/// Relative divergence above which OA007 errors (the two models no
+/// longer describe the same campaign).
+pub const DIVERGENCE_ERROR: f64 = 0.50;
+
+/// Runs OA004–OA007 over a grouping, collecting every finding.
+pub fn check_grouping(inst: Instance, table: &TimingTable, grouping: &Grouping) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // OA004: every group size must be moldable-legal (4..=11).
+    for (i, &g) in grouping.groups().iter().enumerate() {
+        if !(4..=11).contains(&g) {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::GroupSizeOutOfRange,
+                    format!("group #{i} has size {g}, outside the moldable range 4..=11"),
+                )
+                .with("group", i as f64)
+                .with("size", f64::from(g)),
+            );
+        }
+    }
+
+    // OA005: total claimed processors must fit on the cluster.
+    let used = grouping.total_procs();
+    if used > u64::from(inst.r) {
+        out.push(
+            Diagnostic::new(
+                RuleCode::OverSubscribed,
+                format!(
+                    "grouping claims {used} processor(s) ({} in groups + {} post pool), cluster has R = {}",
+                    grouping.main_procs(),
+                    grouping.post_procs,
+                    inst.r
+                ),
+            )
+            .with("used", used as f64)
+            .with("available", f64::from(inst.r)),
+        );
+    }
+
+    // OA006: group/pool accounting against the instance.
+    if grouping.group_count() == 0 {
+        out.push(Diagnostic::new(
+            RuleCode::GroupAccounting,
+            "grouping has no multiprocessor group: main tasks can never run",
+        ));
+    }
+    if grouping.group_count() > inst.ns as usize {
+        out.push(
+            Diagnostic::new(
+                RuleCode::GroupAccounting,
+                format!(
+                    "{} group(s) for NS = {} scenario(s): at most NS main tasks are ever ready, surplus groups idle forever",
+                    grouping.group_count(),
+                    inst.ns
+                ),
+            )
+            .with("groups", grouping.group_count() as f64)
+            .with("scenarios", f64::from(inst.ns)),
+        );
+    }
+
+    // OA007: estimator-vs-analytic cross-check. Equations 1-5 assume a
+    // uniform grouping of nbmax groups; only then are the two models
+    // describing the same campaign. Tail effects (the last incomplete
+    // set of tasks) distort short campaigns, so require enough tasks to
+    // amortize them before escalating to an error.
+    if out.is_empty() {
+        let sizes = grouping.groups();
+        let uniform = sizes.windows(2).all(|w| w[0] == w[1]);
+        if uniform {
+            let g = sizes[0];
+            let nbmax = inst.nbmax(g);
+            if grouping.group_count() == nbmax as usize {
+                if let (Some(b), Ok(est)) = (
+                    analytic::makespan(inst, table, g),
+                    estimate(inst, table, grouping),
+                ) {
+                    let rel = (est.makespan - b.makespan).abs() / b.makespan;
+                    let amortized = inst.nbtasks() >= u64::from(nbmax) * 10;
+                    if rel > DIVERGENCE_ERROR && amortized {
+                        out.push(divergence(
+                            g,
+                            rel,
+                            est.makespan,
+                            b.makespan,
+                            Severity::Error,
+                        ));
+                    } else if rel > DIVERGENCE_WARN {
+                        out.push(divergence(g, rel, est.makespan, b.makespan, Severity::Warn));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn divergence(g: u32, rel: f64, estimated: f64, analytic: f64, severity: Severity) -> Diagnostic {
+    Diagnostic::new(
+        RuleCode::EstimateDivergence,
+        format!(
+            "event estimator ({estimated:.1} s) and Equations 1-5 ({analytic:.1} s) diverge by {:.1}% on the uniform G = {g} grouping",
+            rel * 100.0
+        ),
+    )
+    .severity(severity)
+    .at(Location { procs: Some((0, g)), ..Location::default() })
+    .with("relative_divergence", rel)
+    .with("estimated_makespan", estimated)
+    .with("analytic_makespan", analytic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+
+    fn table() -> TimingTable {
+        PcrModel::reference().table(1.0).unwrap()
+    }
+
+    #[test]
+    fn paper_grouping_is_clean() {
+        // The paper's Improvement 1 grouping for R = 53.
+        let inst = Instance::new(10, 1800, 53);
+        let g = Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1);
+        assert!(check_grouping(inst, &table(), &g).is_empty());
+    }
+
+    #[test]
+    fn every_violation_is_collected() {
+        // Size 3 (OA004), oversubscribed (OA005) and more groups than
+        // scenarios (OA006) in one grouping, reported in one pass.
+        let inst = Instance::new(1, 10, 8);
+        let g = Grouping::new(vec![3, 11], 2);
+        let ds = check_grouping(inst, &table(), &g);
+        let codes: Vec<&str> = ds.iter().map(|d| d.rule.code()).collect();
+        assert!(codes.contains(&"OA004"), "{codes:?}");
+        assert!(codes.contains(&"OA005"), "{codes:?}");
+        assert!(codes.contains(&"OA006"), "{codes:?}");
+    }
+
+    #[test]
+    fn uniform_exact_fit_matches_analytic() {
+        // The Section 4.2 example: 7 groups of 7 plus 4 post procs.
+        let inst = Instance::new(10, 1800, 53);
+        let g = Grouping::uniform(7, 7, 4);
+        let ds = check_grouping(inst, &table(), &g);
+        assert!(
+            !ds.iter().any(|d| d.rule == RuleCode::EstimateDivergence),
+            "{ds:?}"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Workflow-layer rules (OA001–OA003): structure of the fused DAG.
+//!
+//! A [`FusedExperiment`] built by [`oa_workflow::fusion::build_fused`]
+//! satisfies all three rules by construction; these checks exist for
+//! graphs assembled by hand, mutated by tooling, or deserialized from
+//! disk, where nothing is guaranteed.
+
+use oa_workflow::dag::NodeId;
+use oa_workflow::fusion::{FusedExperiment, FusedTask};
+use oa_workflow::task::TaskKind;
+
+use crate::diag::{Diagnostic, Location, RuleCode};
+
+fn loc_of(t: &FusedTask) -> Location {
+    match t.kind {
+        TaskKind::FusedPost => Location::post(t.scenario, t.month),
+        _ => Location::main(t.scenario, t.month),
+    }
+}
+
+/// Runs OA001–OA003 over a fused experiment, collecting every finding.
+pub fn check_experiment(e: &FusedExperiment) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ns = e.shape.scenarios;
+    let nm = e.shape.months;
+
+    // OA001: acyclicity. A cyclic graph has no topological order, and
+    // the structural walks below would not terminate meaningfully, so
+    // bail out of the deeper checks if this fires.
+    let acyclic = e.dag.validate().is_ok();
+    if !acyclic {
+        out.push(Diagnostic::new(
+            RuleCode::DagCycle,
+            "fused DAG contains a cycle: no execution order exists",
+        ));
+    }
+
+    // OA002: chain completeness — the handle tables must cover the
+    // shape and the node count must be exactly two tasks per month.
+    let expected_nodes = e.shape.total_months() as usize * 2;
+    if e.dag.node_count() != expected_nodes {
+        out.push(
+            Diagnostic::new(
+                RuleCode::IncompleteChain,
+                format!(
+                    "experiment of {ns} scenario(s) x {nm} month(s) needs {expected_nodes} fused tasks, DAG has {}",
+                    e.dag.node_count()
+                ),
+            )
+            .with("expected", expected_nodes as f64)
+            .with("actual", e.dag.node_count() as f64),
+        );
+    }
+    let tables_ok = e.mains.len() == ns as usize
+        && e.posts.len() == ns as usize
+        && e.mains.iter().all(|row| row.len() == nm as usize)
+        && e.posts.iter().all(|row| row.len() == nm as usize);
+    if !tables_ok {
+        out.push(Diagnostic::new(
+            RuleCode::IncompleteChain,
+            format!(
+                "handle tables do not cover the {ns}x{nm} shape (mains: {} row(s), posts: {} row(s))",
+                e.mains.len(),
+                e.posts.len()
+            ),
+        ));
+        // Without complete handle tables the per-month walks below
+        // would index out of bounds.
+        return out;
+    }
+
+    let in_graph = |n: NodeId| n.index() < e.dag.node_count();
+    for s in 0..ns {
+        for m in 0..nm {
+            let main = e.mains[s as usize][m as usize];
+            let post = e.posts[s as usize][m as usize];
+            for (node, want) in [(main, FusedTask::main(s, m)), (post, FusedTask::post(s, m))] {
+                if !in_graph(node) {
+                    out.push(
+                        Diagnostic::new(
+                            RuleCode::IncompleteChain,
+                            format!("handle of {} points outside the DAG", loc_of(&want)),
+                        )
+                        .at(loc_of(&want)),
+                    );
+                } else if *e.dag.node(node) != want {
+                    out.push(
+                        Diagnostic::new(
+                            RuleCode::IncompleteChain,
+                            format!(
+                                "handle of {} resolves to {:?} instead",
+                                loc_of(&want),
+                                e.dag.node(node)
+                            ),
+                        )
+                        .at(loc_of(&want)),
+                    );
+                }
+            }
+        }
+    }
+    if !out.is_empty() && out.iter().any(|d| d.rule == RuleCode::IncompleteChain) {
+        // Degree checks on a graph with dangling handles would only
+        // repeat the same underlying defect with noisier messages.
+        if e.mains
+            .iter()
+            .flatten()
+            .chain(e.posts.iter().flatten())
+            .any(|&n| !in_graph(n))
+        {
+            return out;
+        }
+    }
+
+    // OA003: fusion consistency — exactly the Figure 2 edges.
+    // main(s,m) → post(s,m); main(s,m) → main(s,m+1); nothing else.
+    for s in 0..ns {
+        for m in 0..nm {
+            let main = e.mains[s as usize][m as usize];
+            let post = e.posts[s as usize][m as usize];
+            let succ = e.dag.successors(main);
+            if !succ.contains(&post) {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::FusionInconsistent,
+                        "missing main→post edge: the post task is not gated by its month",
+                    )
+                    .at(Location::main(s, m))
+                    .related_to(Location::post(s, m)),
+                );
+            }
+            if m + 1 < nm {
+                let next = e.mains[s as usize][m as usize + 1];
+                if !succ.contains(&next) {
+                    out.push(
+                        Diagnostic::new(
+                            RuleCode::FusionInconsistent,
+                            "missing main→main edge: month dependence lost at fusion",
+                        )
+                        .at(Location::main(s, m))
+                        .related_to(Location::main(s, m + 1)),
+                    );
+                }
+            }
+            let expected_out = if m + 1 < nm { 2 } else { 1 };
+            if e.dag.out_degree(main) != expected_out {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::FusionInconsistent,
+                        format!(
+                            "main task has {} successor(s), fusion produces exactly {expected_out}",
+                            e.dag.out_degree(main)
+                        ),
+                    )
+                    .at(Location::main(s, m))
+                    .with("out_degree", e.dag.out_degree(main) as f64),
+                );
+            }
+            if e.dag.out_degree(post) != 0 {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::FusionInconsistent,
+                        format!(
+                            "post task has {} successor(s); post-processing never gates anything",
+                            e.dag.out_degree(post)
+                        ),
+                    )
+                    .at(Location::post(s, m)),
+                );
+            }
+            if e.dag.in_degree(post) != 1 {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::FusionInconsistent,
+                        format!(
+                            "post task has {} predecessor(s), expected exactly its main",
+                            e.dag.in_degree(post)
+                        ),
+                    )
+                    .at(Location::post(s, m)),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_workflow::chain::ExperimentShape;
+    use oa_workflow::fusion::build_fused;
+
+    #[test]
+    fn built_experiment_is_clean() {
+        let e = build_fused(ExperimentShape::new(3, 4));
+        assert!(check_experiment(&e).is_empty());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut e = build_fused(ExperimentShape::new(1, 3));
+        // Back edge: main(0,2) → main(0,0).
+        e.dag.add_edge(e.mains[0][2], e.mains[0][0]).unwrap();
+        let ds = check_experiment(&e);
+        assert!(ds.iter().any(|d| d.rule == RuleCode::DagCycle), "{ds:?}");
+    }
+
+    #[test]
+    fn extra_post_successor_detected() {
+        let mut e = build_fused(ExperimentShape::new(1, 2));
+        // Forbidden edge: post(0,0) → main(0,1).
+        e.dag.add_edge(e.posts[0][0], e.mains[0][1]).unwrap();
+        let ds = check_experiment(&e);
+        assert!(
+            ds.iter().any(|d| d.rule == RuleCode::FusionInconsistent),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_handles_detected() {
+        let mut e = build_fused(ExperimentShape::new(2, 2));
+        e.mains.pop();
+        let ds = check_experiment(&e);
+        assert!(
+            ds.iter().any(|d| d.rule == RuleCode::IncompleteChain),
+            "{ds:?}"
+        );
+    }
+}

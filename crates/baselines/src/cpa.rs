@@ -96,7 +96,10 @@ mod tests {
         let a = cpa_allocations(Instance::new(5, 24, 60), &t);
         let min = a.0.iter().min().unwrap();
         let max = a.0.iter().max().unwrap();
-        assert!(max - min <= 1, "round-robin growth should stay balanced: {a:?}");
+        assert!(
+            max - min <= 1,
+            "round-robin growth should stay balanced: {a:?}"
+        );
     }
 
     #[test]

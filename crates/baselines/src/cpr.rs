@@ -58,7 +58,7 @@ pub fn cpr(inst: Instance, table: &TimingTable) -> Result<CprResult, ListError> 
     loop {
         // Critical scenario: last main completion per scenario.
         let mut finish = vec![0.0f64; inst.ns as usize];
-        for r in schedule.records.iter() {
+        for r in &schedule.records {
             let f = &mut finish[r.scenario as usize];
             if r.end > *f {
                 *f = r.end;
@@ -83,7 +83,12 @@ pub fn cpr(inst: Instance, table: &TimingTable) -> Result<CprResult, ListError> 
         }
     }
 
-    Ok(CprResult { allocations: allocs, schedule, accepted_steps: accepted, rejected_steps: rejected })
+    Ok(CprResult {
+        allocations: allocs,
+        schedule,
+        accepted_steps: accepted,
+        rejected_steps: rejected,
+    })
 }
 
 /// Batched CPR: each iteration enlarges the allocation of *every*
@@ -96,13 +101,14 @@ pub fn cpr_batched(inst: Instance, table: &TimingTable) -> Result<CprResult, Lis
     let mut allocs = Allocations::uniform(inst.ns, spec.min_procs.min(inst.r));
     if allocs.0.iter().any(|&a| !spec.accepts(a)) {
         // Machine smaller than the minimum allocation.
-        return list_schedule(inst, table, &Allocations::uniform(inst.ns, spec.min_procs))
-            .map(|schedule| CprResult {
+        return list_schedule(inst, table, &Allocations::uniform(inst.ns, spec.min_procs)).map(
+            |schedule| CprResult {
                 allocations: Allocations::uniform(inst.ns, spec.min_procs),
                 schedule,
                 accepted_steps: 0,
                 rejected_steps: 0,
-            });
+            },
+        );
     }
     let mut schedule = list_schedule(inst, table, &allocs)?;
     let mut accepted = 0u32;
@@ -110,7 +116,7 @@ pub fn cpr_batched(inst: Instance, table: &TimingTable) -> Result<CprResult, Lis
 
     loop {
         let mut finish = vec![0.0f64; inst.ns as usize];
-        for r in schedule.records.iter() {
+        for r in &schedule.records {
             let f = &mut finish[r.scenario as usize];
             if r.end > *f {
                 *f = r.end;
@@ -139,7 +145,12 @@ pub fn cpr_batched(inst: Instance, table: &TimingTable) -> Result<CprResult, Lis
         }
     }
 
-    Ok(CprResult { allocations: allocs, schedule, accepted_steps: accepted, rejected_steps: rejected })
+    Ok(CprResult {
+        allocations: allocs,
+        schedule,
+        accepted_steps: accepted,
+        rejected_steps: rejected,
+    })
 }
 
 #[cfg(test)]

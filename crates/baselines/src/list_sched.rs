@@ -104,11 +104,21 @@ impl std::fmt::Display for ListError {
             ListError::BadAllocation { scenario, alloc } => {
                 write!(f, "scenario {scenario}: allocation {alloc} outside 4..=11")
             }
-            ListError::DoesNotFit { scenario, alloc, resources } => {
-                write!(f, "scenario {scenario}: allocation {alloc} > {resources} processors")
+            ListError::DoesNotFit {
+                scenario,
+                alloc,
+                resources,
+            } => {
+                write!(
+                    f,
+                    "scenario {scenario}: allocation {alloc} > {resources} processors"
+                )
             }
             ListError::WrongArity { expect, got } => {
-                write!(f, "allocation vector has {got} entries, instance needs {expect}")
+                write!(
+                    f,
+                    "allocation vector has {got} entries, instance needs {expect}"
+                )
             }
         }
     }
@@ -143,15 +153,25 @@ pub fn list_schedule(
     allocs: &Allocations,
 ) -> Result<ListSchedule, ListError> {
     if allocs.0.len() != inst.ns as usize {
-        return Err(ListError::WrongArity { expect: inst.ns as usize, got: allocs.0.len() });
+        return Err(ListError::WrongArity {
+            expect: inst.ns as usize,
+            got: allocs.0.len(),
+        });
     }
     let spec = MoldableSpec::pcr();
     for (s, &a) in allocs.0.iter().enumerate() {
         if !spec.accepts(a) {
-            return Err(ListError::BadAllocation { scenario: s as u32, alloc: a });
+            return Err(ListError::BadAllocation {
+                scenario: s as u32,
+                alloc: a,
+            });
         }
         if a > inst.r {
-            return Err(ListError::DoesNotFit { scenario: s as u32, alloc: a, resources: inst.r });
+            return Err(ListError::DoesNotFit {
+                scenario: s as u32,
+                alloc: a,
+                resources: inst.r,
+            });
         }
     }
 
@@ -170,9 +190,7 @@ pub fn list_schedule(
 
     // Remaining-work priority: (nm − done) × dur; recomputed on demand
     // since allocations are per-scenario constants.
-    let remaining = |s: usize, months_done: &[u32]| {
-        (inst.nm - months_done[s]) as f64 * dur[s] + tp
-    };
+    let remaining = |s: usize, months_done: &[u32]| (inst.nm - months_done[s]) as f64 * dur[s] + tp;
 
     let mut now = 0.0f64;
     loop {
@@ -213,17 +231,28 @@ pub fn list_schedule(
         }
         // Backfill posts on whatever is left.
         while free > 0 {
-            let Some(&(ready, s, m)) = posts.front() else { break };
+            let Some(&(ready, s, m)) = posts.front() else {
+                break;
+            };
             debug_assert!(ready <= now + 1e-9);
             posts.pop_front();
             free -= 1;
             let end = now + tp;
-            records.push(ListRecord { scenario: s, month: m, main: false, procs: 1, start: now, end });
+            records.push(ListRecord {
+                scenario: s,
+                month: m,
+                main: false,
+                procs: 1,
+                start: now,
+                end,
+            });
             events.push(Reverse((Time(end), s, Done::Post)));
         }
 
         // Advance time.
-        let Some(Reverse((Time(t), s, done))) = events.pop() else { break };
+        let Some(Reverse((Time(t), s, done))) = events.pop() else {
+            break;
+        };
         now = t;
         makespan = makespan.max(t);
         match done {
@@ -238,7 +267,11 @@ pub fn list_schedule(
         }
     }
 
-    Ok(ListSchedule { instance: inst, records, makespan })
+    Ok(ListSchedule {
+        instance: inst,
+        records,
+        makespan,
+    })
 }
 
 /// Validates a list schedule: every task exactly once, dependences
@@ -376,7 +409,11 @@ mod tests {
         let t = reference();
         let s = list_schedule(inst, &t, &allocs).unwrap();
         validate(&s).unwrap();
-        let first = s.records.iter().min_by(|a, b| a.start.total_cmp(&b.start)).unwrap();
+        let first = s
+            .records
+            .iter()
+            .min_by(|a, b| a.start.total_cmp(&b.start))
+            .unwrap();
         assert_eq!(first.scenario, 0, "slow chain should start first");
     }
 

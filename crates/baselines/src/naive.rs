@@ -44,10 +44,18 @@ pub fn one_dag_at_a_time(inst: Instance, table: &TimingTable) -> Result<ListSche
         .map(|r| {
             let scenario = r.month / inst.nm;
             let month = r.month % inst.nm;
-            crate::list_sched::ListRecord { scenario, month, ..*r }
+            crate::list_sched::ListRecord {
+                scenario,
+                month,
+                ..*r
+            }
         })
         .collect();
-    Ok(ListSchedule { instance: inst, records, makespan: s.makespan })
+    Ok(ListSchedule {
+        instance: inst,
+        records,
+        makespan: s.makespan,
+    })
 }
 
 #[cfg(test)]
@@ -96,6 +104,9 @@ mod tests {
         let naive = one_dag_at_a_time(inst, &t).unwrap().makespan;
         let knapsack = Heuristic::Knapsack.makespan(inst, &t).unwrap();
         // 8 parallel groups vs a single serialized chain: ~8× gap.
-        assert!(knapsack * 4.0 < naive, "knapsack {knapsack} vs naive {naive}");
+        assert!(
+            knapsack * 4.0 < naive,
+            "knapsack {knapsack} vs naive {naive}"
+        );
     }
 }

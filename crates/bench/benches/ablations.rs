@@ -24,7 +24,9 @@ fn bench_policies(c: &mut Criterion) {
             BenchmarkId::new("execute", format!("{policy:?}")),
             &policy,
             |b, &policy| {
-                b.iter(|| black_box(execute(inst, &table, &grouping, ExecConfig { policy }).unwrap()))
+                b.iter(|| {
+                    black_box(execute(inst, &table, &grouping, ExecConfig { policy }).unwrap())
+                });
             },
         );
     }
@@ -37,7 +39,7 @@ fn bench_knapsack_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("knapsack_variant");
     for h in [Heuristic::Knapsack, Heuristic::KnapsackGreedy] {
         group.bench_with_input(BenchmarkId::new("grouping", h.label()), &h, |b, &h| {
-            b.iter(|| black_box(h.grouping(inst, &table).unwrap()))
+            b.iter(|| black_box(h.grouping(inst, &table).unwrap()));
         });
     }
     group.finish();

@@ -15,7 +15,7 @@ fn bench_list_scheduler(c: &mut Criterion) {
         let inst = Instance::new(10, nm, 53);
         let allocs = Allocations::uniform(10, 5);
         group.bench_with_input(BenchmarkId::new("nm", nm), &inst, |b, &inst| {
-            b.iter(|| black_box(list_schedule(inst, &table, &allocs).unwrap()))
+            b.iter(|| black_box(list_schedule(inst, &table, &allocs).unwrap()));
         });
     }
     group.finish();
@@ -24,10 +24,14 @@ fn bench_list_scheduler(c: &mut Criterion) {
 fn bench_cpa_cpr(c: &mut Criterion) {
     let table = reference_cluster(80).timing;
     let inst = Instance::new(8, 60, 80);
-    c.bench_function("baselines/cpa", |b| b.iter(|| black_box(cpa(inst, &table).unwrap())));
-    c.bench_function("baselines/cpr_single", |b| b.iter(|| black_box(cpr(inst, &table).unwrap())));
+    c.bench_function("baselines/cpa", |b| {
+        b.iter(|| black_box(cpa(inst, &table).unwrap()));
+    });
+    c.bench_function("baselines/cpr_single", |b| {
+        b.iter(|| black_box(cpr(inst, &table).unwrap()));
+    });
     c.bench_function("baselines/cpr_batched", |b| {
-        b.iter(|| black_box(cpr_batched(inst, &table).unwrap()))
+        b.iter(|| black_box(cpr_batched(inst, &table).unwrap()));
     });
 }
 

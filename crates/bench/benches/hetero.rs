@@ -14,11 +14,11 @@ fn bench_planning(c: &mut Criterion) {
     for n in [2usize, 5] {
         let grid = benchmark_grid(40).take(n);
         group.bench_with_input(BenchmarkId::new("vectors_nm120", n), &grid, |b, grid| {
-            b.iter(|| black_box(grid_performance(grid, Heuristic::Knapsack, 10, 120)))
+            b.iter(|| black_box(grid_performance(grid, Heuristic::Knapsack, 10, 120)));
         });
         let vectors = grid_performance(&grid, Heuristic::Knapsack, 10, 120);
         group.bench_with_input(BenchmarkId::new("algorithm1", n), &vectors, |b, v| {
-            b.iter(|| black_box(repartition(v)))
+            b.iter(|| black_box(repartition(v)));
         });
     }
     group.finish();
@@ -29,7 +29,7 @@ fn bench_middleware_round_trip(c: &mut Criterion) {
     let deployment = Deployment::new(&grid, Heuristic::Knapsack);
     c.bench_function("middleware/submit_10x60", |b| {
         let client = deployment.client();
-        b.iter(|| black_box(client.submit(10, 60).unwrap()))
+        b.iter(|| black_box(client.submit(10, 60).unwrap()));
     });
 }
 

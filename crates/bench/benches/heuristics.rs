@@ -22,11 +22,9 @@ fn bench_grouping(c: &mut Criterion) {
     ] {
         for r in [53u32, 120] {
             let inst = Instance::new(10, 1800, r);
-            group.bench_with_input(
-                BenchmarkId::new(h.label(), r),
-                &inst,
-                |b, &inst| b.iter(|| black_box(h.grouping(inst, &table).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(h.label(), r), &inst, |b, &inst| {
+                b.iter(|| black_box(h.grouping(inst, &table).unwrap()));
+            });
         }
     }
     group.finish();
@@ -36,7 +34,7 @@ fn bench_analytic(c: &mut Criterion) {
     let table = reference_cluster(120).timing;
     c.bench_function("analytic/best_group_R120", |b| {
         let inst = Instance::new(10, 1800, 120);
-        b.iter(|| black_box(best_group(inst, &table)))
+        b.iter(|| black_box(best_group(inst, &table)));
     });
 }
 
@@ -47,7 +45,7 @@ fn bench_estimator(c: &mut Criterion) {
         let inst = Instance::new(10, nm, 53);
         let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
         group.bench_with_input(BenchmarkId::new("nm", nm), &inst, |b, &inst| {
-            b.iter(|| black_box(estimate(inst, &table, &grouping).unwrap()))
+            b.iter(|| black_box(estimate(inst, &table, &grouping).unwrap()));
         });
     }
     group.finish();

@@ -10,8 +10,9 @@ use oa_platform::presets::reference_cluster;
 
 fn instance(r: u32, ns: u32) -> Problem {
     let t = reference_cluster(r.max(4)).timing;
-    let items: Vec<Item> =
-        (4..=11).map(|g| Item::new(g, 1.0 / t.main_secs(g), ns)).collect();
+    let items: Vec<Item> = (4..=11)
+        .map(|g| Item::new(g, 1.0 / t.main_secs(g), ns))
+        .collect();
     Problem::new(items, r, ns)
 }
 
@@ -20,13 +21,13 @@ fn bench_solvers(c: &mut Criterion) {
     for r in [53u32, 120, 500, 1000] {
         let p = instance(r, 10);
         group.bench_with_input(BenchmarkId::new("dp", r), &p, |b, p| {
-            b.iter(|| black_box(solve_dp(p)))
+            b.iter(|| black_box(solve_dp(p)));
         });
         group.bench_with_input(BenchmarkId::new("branch_bound", r), &p, |b, p| {
-            b.iter(|| black_box(solve_branch_bound(p)))
+            b.iter(|| black_box(solve_branch_bound(p)));
         });
         group.bench_with_input(BenchmarkId::new("greedy", r), &p, |b, p| {
-            b.iter(|| black_box(solve_greedy(p)))
+            b.iter(|| black_box(solve_greedy(p)));
         });
     }
     group.finish();
@@ -37,7 +38,7 @@ fn bench_scaling_in_ns(c: &mut Criterion) {
     for ns in [5u32, 10, 20, 40] {
         let p = instance(200, ns);
         group.bench_with_input(BenchmarkId::new("dp", ns), &p, |b, p| {
-            b.iter(|| black_box(solve_dp(p)))
+            b.iter(|| black_box(solve_dp(p)));
         });
     }
     group.finish();

@@ -19,10 +19,10 @@ fn bench_execute(c: &mut Criterion) {
         let inst = Instance::new(10, nm, 53);
         let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
         group.bench_with_input(BenchmarkId::new("execute", nm), &inst, |b, &inst| {
-            b.iter(|| black_box(execute_default(inst, &table, &grouping).unwrap()))
+            b.iter(|| black_box(execute_default(inst, &table, &grouping).unwrap()));
         });
         group.bench_with_input(BenchmarkId::new("estimate", nm), &inst, |b, &inst| {
-            b.iter(|| black_box(estimate(inst, &table, &grouping).unwrap()))
+            b.iter(|| black_box(estimate(inst, &table, &grouping).unwrap()));
         });
     }
     group.finish();
@@ -34,13 +34,13 @@ fn bench_validate_and_render(c: &mut Criterion) {
     let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
     let schedule = execute_default(inst, &table, &grouping).unwrap();
     c.bench_function("simulator/validate_6000_months", |b| {
-        b.iter(|| schedule.validate().unwrap())
+        b.iter(|| schedule.validate().unwrap());
     });
     c.bench_function("simulator/metrics_6000_months", |b| {
-        b.iter(|| black_box(metrics(&schedule)))
+        b.iter(|| black_box(metrics(&schedule)));
     });
     c.bench_function("simulator/gantt_6000_months", |b| {
-        b.iter(|| black_box(render(&schedule, GanttOptions::default())))
+        b.iter(|| black_box(render(&schedule, GanttOptions::default())));
     });
 }
 

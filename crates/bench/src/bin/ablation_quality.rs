@@ -29,7 +29,9 @@ fn main() {
     let mut fairness_ratio = Vec::new();
     for &r in &rs {
         let inst = Instance::new(ns, nm, r);
-        let grouping = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
+        let grouping = Heuristic::Knapsack
+            .grouping(inst, &table)
+            .expect("feasible");
         let run = |policy| {
             let s = execute(inst, &table, &grouping, ExecConfig { policy }).expect("valid");
             let m = metrics(&s);
@@ -66,12 +68,19 @@ fn main() {
     let mut exact_gain = Vec::new();
     for &r in &rs {
         let inst = Instance::new(ns, nm, r);
-        let e = Heuristic::Knapsack.makespan(inst, &table).expect("feasible");
-        let g = Heuristic::KnapsackGreedy.makespan(inst, &table).expect("feasible");
+        let e = Heuristic::Knapsack
+            .makespan(inst, &table)
+            .expect("feasible");
+        let g = Heuristic::KnapsackGreedy
+            .makespan(inst, &table)
+            .expect("feasible");
         exact_gain.push(gain_pct(g, e));
     }
     let s = stats(&exact_gain);
-    println!("exact vs greedy: mean gain {:.2}%  max {:.2}%  min {:.2}%", s.mean, s.max, s.min);
+    println!(
+        "exact vs greedy: mean gain {:.2}%  max {:.2}%  min {:.2}%",
+        s.mean, s.max, s.min
+    );
 
     // --- Analytic G selection vs estimator-exhaustive selection ----------
     println!("\n== Ablation 3: analytic Eq. 1-5 selection vs estimator sweep ==");
@@ -79,7 +88,9 @@ fn main() {
     let mut disagreements = 0usize;
     for &r in &rs {
         let inst = Instance::new(ns, nm, r);
-        let Some(analytic_best) = analytic::best_group(inst, &table) else { continue };
+        let Some(analytic_best) = analytic::best_group(inst, &table) else {
+            continue;
+        };
         // Exhaustive: evaluate every uniform grouping with the estimator.
         let mut best_sim = f64::INFINITY;
         let mut best_g = 0;
@@ -119,7 +130,9 @@ fn main() {
     let mut post_mode_gain = Vec::new();
     for &r in &rs {
         let inst = Instance::new(ns, nm, r);
-        let Some(b) = analytic::best_group(inst, &table) else { continue };
+        let Some(b) = analytic::best_group(inst, &table) else {
+            continue;
+        };
         let dedicated = Grouping::uniform(b.g, b.nbmax, inst.r - b.nbmax * b.g);
         let at_end = Grouping::uniform(b.g, b.nbmax, 0);
         let d = estimate(inst, &table, &dedicated).expect("valid").makespan;
@@ -137,8 +150,12 @@ fn main() {
     let mut balanced_gain = Vec::new();
     for &r in &rs {
         let inst = Instance::new(ns, nm, r);
-        let k = Heuristic::Knapsack.makespan(inst, &table).expect("feasible");
-        let b = Heuristic::Balanced.makespan(inst, &table).expect("feasible");
+        let k = Heuristic::Knapsack
+            .makespan(inst, &table)
+            .expect("feasible");
+        let b = Heuristic::Balanced
+            .makespan(inst, &table)
+            .expect("feasible");
         balanced_gain.push(gain_pct(k, b));
     }
     let s = stats(&balanced_gain);
@@ -149,8 +166,12 @@ fn main() {
     let mut small_ns_gain = Vec::new();
     for &r in &rs {
         let inst = Instance::new(2, nm, r);
-        let k = Heuristic::Knapsack.makespan(inst, &table).expect("feasible");
-        let b = Heuristic::Balanced.makespan(inst, &table).expect("feasible");
+        let k = Heuristic::Knapsack
+            .makespan(inst, &table)
+            .expect("feasible");
+        let b = Heuristic::Balanced
+            .makespan(inst, &table)
+            .expect("feasible");
         small_ns_gain.push(gain_pct(k, b));
     }
     let s2 = stats(&small_ns_gain);

@@ -53,9 +53,14 @@ fn main() {
         let p = Point {
             r,
             basic: Heuristic::Basic.makespan(inst, &table).expect("feasible"),
-            knapsack: Heuristic::Knapsack.makespan(inst, &table).expect("feasible"),
+            knapsack: Heuristic::Knapsack
+                .makespan(inst, &table)
+                .expect("feasible"),
             cpa: cpa(inst, &table).expect("feasible").makespan,
-            cpr_batched: cpr_batched(inst, &table).expect("feasible").schedule.makespan,
+            cpr_batched: cpr_batched(inst, &table)
+                .expect("feasible")
+                .schedule
+                .makespan,
             cpr_single: cpr(inst, &table).expect("feasible").schedule.makespan,
             one_by_one: one_dag_at_a_time(inst, &table).expect("feasible").makespan,
         };
@@ -79,9 +84,14 @@ fn main() {
     }
 
     // Section 3 claims, quantified.
-    let knap_beats_cpa =
-        series.iter().filter(|p| p.knapsack <= p.cpa * 1.001).count();
-    let cpr_stuck = series.iter().filter(|p| p.cpr_single >= p.cpr_batched).count();
+    let knap_beats_cpa = series
+        .iter()
+        .filter(|p| p.knapsack <= p.cpa * 1.001)
+        .count();
+    let cpr_stuck = series
+        .iter()
+        .filter(|p| p.cpr_single >= p.cpr_batched)
+        .count();
     let naive_ratio: f64 = series
         .iter()
         .map(|p| p.one_by_one / p.knapsack)

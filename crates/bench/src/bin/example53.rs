@@ -34,7 +34,9 @@ fn main() {
     let mut rows = Vec::new();
     for h in Heuristic::PAPER {
         let grouping = h.grouping(inst, &table).expect("feasible");
-        let ms = estimate(inst, &table, &grouping).expect("valid grouping").makespan;
+        let ms = estimate(inst, &table, &grouping)
+            .expect("valid grouping")
+            .makespan;
         let gain = gain_pct(base_ms, ms);
         println!(
             "{:<26} {:<24} makespan {:>9.1} h   gain {:>5.2}% ({:>5.1} h)",

@@ -16,11 +16,18 @@ fn main() {
     let (ns, r) = (10u32, 53u32);
     let table = reference_cluster(r).timing;
     let inst = Instance::new(ns, nm, r);
-    let grouping = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
-    let clean = execute_default(inst, &table, &grouping).expect("valid").makespan;
+    let grouping = Heuristic::Knapsack
+        .grouping(inst, &table)
+        .expect("feasible");
+    let clean = execute_default(inst, &table, &grouping)
+        .expect("valid")
+        .makespan;
 
     println!("== One group crash: overhead vs failure time (NS = {ns}, NM = {nm}, R = {r}) ==");
-    println!("grouping: {grouping}; failure-free makespan {:.1} h\n", clean / 3600.0);
+    println!(
+        "grouping: {grouping}; failure-free makespan {:.1} h\n",
+        clean / 3600.0
+    );
     let widths = [12usize, 16, 16, 14];
     println!(
         "{}",
@@ -46,13 +53,11 @@ fn main() {
     for pct in [10u32, 25, 50, 75, 90] {
         let tf = clean * pct as f64 / 100.0;
         let plan = FaultPlan::none().kill(0, tf);
-        let run = |recovery| {
-            match estimate_with_failures(inst, &table, &grouping, &plan, recovery)
-                .expect("valid grouping")
-            {
-                FaultyOutcome::Completed { makespan, .. } => makespan,
-                FaultyOutcome::Stranded { .. } => f64::INFINITY,
-            }
+        let run = |recovery| match estimate_with_failures(inst, &table, &grouping, &plan, recovery)
+            .expect("valid grouping")
+        {
+            FaultyOutcome::Completed { makespan, .. } => makespan,
+            FaultyOutcome::Stranded { .. } => f64::INFINITY,
         };
         let ck = run(Recovery::MonthlyCheckpoint);
         let rs = run(Recovery::RestartScenario);
@@ -63,8 +68,8 @@ fn main() {
             row(
                 &[
                     format!("{pct}%"),
-                    format!("{:+.2}", ck_over),
-                    format!("{:+.2}", rs_over),
+                    format!("{ck_over:+.2}"),
+                    format!("{rs_over:+.2}"),
                     format!("{:.2}pp", rs_over - ck_over),
                 ],
                 &widths
@@ -92,9 +97,15 @@ fn main() {
     let grid = benchmark_grid(30);
     let link = Link::gigabit();
     let grid_nm = if fast_mode() { 60 } else { 240 };
-    let clean = run_grid(&grid, Heuristic::Knapsack, ns, grid_nm, ExecConfig::default())
-        .expect("feasible")
-        .makespan;
+    let clean = run_grid(
+        &grid,
+        Heuristic::Knapsack,
+        ns,
+        grid_nm,
+        ExecConfig::default(),
+    )
+    .expect("feasible")
+    .makespan;
     println!("failure-free grid makespan: {:.1} h", clean / 3600.0);
     for (label, victim) in [("fastest (sagittaire)", 0u32), ("slowest (grelon)", 4u32)] {
         for policy in [ClusterFailurePolicy::Strand, ClusterFailurePolicy::Replan] {
@@ -103,9 +114,11 @@ fn main() {
                 Heuristic::Knapsack,
                 ns,
                 grid_nm,
-                oa_platform::cluster::ClusterId(victim),
-                0.5,
-                policy,
+                ClusterFailureSpec {
+                    failed: oa_platform::cluster::ClusterId(victim),
+                    at_fraction: 0.5,
+                    policy,
+                },
                 &link,
             )
             .expect("feasible");

@@ -26,7 +26,11 @@ struct Point {
 
 fn main() {
     let ns = 10u32;
-    let (nm, step) = if fast_mode() { (120u32, 8) } else { (1800u32, 4) };
+    let (nm, step) = if fast_mode() {
+        (120u32, 8)
+    } else {
+        (1800u32, 4)
+    };
     let base_grid = benchmark_grid(DEFAULT_RESOURCES);
 
     let mut configs: Vec<(usize, u32)> = Vec::new();
@@ -97,7 +101,10 @@ fn main() {
     let mean3_by_n: Vec<(usize, f64)> = (2..=5)
         .map(|n| {
             let pts: Vec<&Point> = series.iter().filter(|p| p.clusters == n).collect();
-            (n, pts.iter().map(|p| p.gain3).sum::<f64>() / pts.len() as f64)
+            (
+                n,
+                pts.iter().map(|p| p.gain3).sum::<f64>() / pts.len() as f64,
+            )
         })
         .collect();
     let zero_plateaus = series

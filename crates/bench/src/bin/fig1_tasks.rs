@@ -16,7 +16,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["task".into(), "phase".into(), "procs".into(), "duration(s)".into()],
+            &[
+                "task".into(),
+                "phase".into(),
+                "procs".into(),
+                "duration(s)".into()
+            ],
             &widths
         )
     );
@@ -39,12 +44,18 @@ fn main() {
             )
         );
     }
-    println!("total sequential work per month: {:.0} s", month_reference_work());
+    println!(
+        "total sequential work per month: {:.0} s",
+        month_reference_work()
+    );
     println!();
 
     println!("== Figure 2: fused model ==");
     println!("main = caif + mp + pcr  (moldable, 4..=11 processors)");
-    println!("post = cof + emf + cd  = {:.0} s on the reference cluster", fused_post_secs());
+    println!(
+        "post = cof + emf + cd  = {:.0} s on the reference cluster",
+        fused_post_secs()
+    );
     println!();
 
     println!("== Benchmark clusters (Section 6) ==");
@@ -53,7 +64,13 @@ fn main() {
     println!(
         "{}",
         row(
-            &["cluster".into(), "T[4](s)".into(), "T[7](s)".into(), "T[11](s)".into(), "TP(s)".into()],
+            &[
+                "cluster".into(),
+                "T[4](s)".into(),
+                "T[7](s)".into(),
+                "T[11](s)".into(),
+                "TP(s)".into()
+            ],
             &widths
         )
     );

@@ -16,7 +16,14 @@ fn main() {
     println!(
         "{}",
         row(
-            &["R".into(), "G".into(), "nbmax".into(), "R2".into(), "nbused".into(), "makespan(h)".into()],
+            &[
+                "R".into(),
+                "G".into(),
+                "nbmax".into(),
+                "R2".into(),
+                "nbused".into(),
+                "makespan(h)".into()
+            ],
             &widths
         )
     );
@@ -33,6 +40,15 @@ fn main() {
     for r in 11..=120u32 {
         let inst = Instance::new(ns, nm, r);
         let b = best_group(inst, &table).expect("R ≥ 11 fits a group");
+        // The chosen breakdown must reconstruct into a grouping that
+        // passes the scheduling-layer rules before it enters the plot.
+        let grouping = Grouping::uniform(b.g, b.nbmax, b.r2);
+        oa_bench::gate_on_analysis(
+            &format!("fig7 R={r}"),
+            &oa_analyze::Report::from_diagnostics(oa_analyze::scheduling::check_grouping(
+                inst, &table, &grouping,
+            )),
+        );
         println!(
             "{}",
             row(
@@ -47,7 +63,13 @@ fn main() {
                 &widths
             )
         );
-        series.push(Point { r, g: b.g, nbmax: b.nbmax, r2: b.r2, makespan_secs: b.makespan });
+        series.push(Point {
+            r,
+            g: b.g,
+            nbmax: b.nbmax,
+            r2: b.r2,
+            makespan_secs: b.makespan,
+        });
     }
 
     // Shape summary: the paper's plot oscillates between 4 and 11 and
@@ -58,7 +80,11 @@ fn main() {
     println!(
         "G at R=53: {} (paper: 7); G for R ≥ 110: {:?} (paper: 11)",
         series.iter().find(|p| p.r == 53).expect("in range").g,
-        series.iter().filter(|p| p.r >= 110).map(|p| p.g).collect::<std::collections::BTreeSet<_>>(),
+        series
+            .iter()
+            .filter(|p| p.r >= 110)
+            .map(|p| p.g)
+            .collect::<std::collections::BTreeSet<_>>(),
     );
     write_json("fig7_grouping", &series);
 }

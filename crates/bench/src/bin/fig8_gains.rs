@@ -38,10 +38,27 @@ fn main() {
             .into_iter()
             .enumerate()
             {
+                // Every grouping entering the gain average must pass
+                // the scheduling-layer rules first.
+                let grouping = h.grouping(inst, t).expect("R ≥ 11");
+                let report = oa_analyze::Report::from_diagnostics(
+                    oa_analyze::scheduling::check_grouping(inst, t, &grouping),
+                );
+                assert!(
+                    !report.has_errors(),
+                    "fig8 R={r} {}: {}",
+                    h.label(),
+                    report.render_text()
+                );
                 gains[k].push(gain_pct(base, h.makespan(inst, t).expect("R ≥ 11")));
             }
         }
-        Point { r, gain1: stats(&gains[0]), gain2: stats(&gains[1]), gain3: stats(&gains[2]) }
+        Point {
+            r,
+            gain1: stats(&gains[0]),
+            gain2: stats(&gains[1]),
+            gain3: stats(&gains[2]),
+        }
     });
 
     let widths = [5usize, 8, 6, 8, 6, 8, 6];
@@ -79,7 +96,10 @@ fn main() {
     }
 
     // Paper-shape checks.
-    let best3 = series.iter().map(|p| p.gain3.mean).fold(f64::NEG_INFINITY, f64::max);
+    let best3 = series
+        .iter()
+        .map(|p| p.gain3.mean)
+        .fold(f64::NEG_INFINITY, f64::max);
     let low_r: Vec<&Point> = series.iter().filter(|p| p.r <= 60).collect();
     let high_r: Vec<&Point> = series.iter().filter(|p| p.r >= 100).collect();
     let mean3_low = low_r.iter().map(|p| p.gain3.mean).sum::<f64>() / low_r.len() as f64;

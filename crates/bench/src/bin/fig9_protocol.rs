@@ -11,7 +11,10 @@ use oa_sched::prelude::*;
 fn main() {
     let (ns, nm) = (10, 60);
     let grid = benchmark_grid(40);
-    println!("== Figure 9: execution steps over {} clusters ==", grid.len());
+    println!(
+        "== Figure 9: execution steps over {} clusters ==",
+        grid.len()
+    );
     let deployment = Deployment::new(&grid, Heuristic::Knapsack);
     let report = deployment.client().submit(ns, nm).expect("grid is usable");
 
@@ -21,7 +24,10 @@ fn main() {
                 format!("(1) client request #{request}: NS = {ns}, NM = {nm}")
             }
             ProtocolEvent::PerfQueried { cluster } => {
-                format!("(2) {} computes its performance vector (knapsack model)", name(&grid, *cluster))
+                format!(
+                    "(2) {} computes its performance vector (knapsack model)",
+                    name(&grid, *cluster)
+                )
             }
             ProtocolEvent::PerfReceived { cluster } => {
                 format!("(3) {} returned its vector", name(&grid, *cluster))
@@ -33,15 +39,25 @@ fn main() {
                 format!("(4) client computed the repartition: {nb_dags:?}")
             }
             ProtocolEvent::ExecSent { cluster, scenarios } => {
-                format!("(5) {} receives {scenarios} scenario(s)", name(&grid, *cluster))
+                format!(
+                    "(5) {} receives {scenarios} scenario(s)",
+                    name(&grid, *cluster)
+                )
             }
             ProtocolEvent::ReportReceived { cluster, makespan } => {
-                format!("(6) {} finished in {:.1} h (virtual)", name(&grid, *cluster), makespan / 3600.0)
+                format!(
+                    "(6) {} finished in {:.1} h (virtual)",
+                    name(&grid, *cluster),
+                    makespan / 3600.0
+                )
             }
         };
         println!("{line}");
     }
-    println!("\ngrid makespan: {:.1} h (virtual time)", report.makespan / 3600.0);
+    println!(
+        "\ngrid makespan: {:.1} h (virtual time)",
+        report.makespan / 3600.0
+    );
     for r in &report.reports {
         println!(
             "  {:<12} scenarios {:?} grouping {}",

@@ -19,7 +19,15 @@ fn main() {
     let widths = [5usize, 14, 14, 12];
     println!(
         "{}",
-        row(&["R".into(), "fused(h)".into(), "unfused(h)".into(), "delta(%)".into()], &widths)
+        row(
+            &[
+                "R".into(),
+                "fused(h)".into(),
+                "unfused(h)".into(),
+                "delta(%)".into()
+            ],
+            &widths
+        )
     );
 
     #[derive(serde::Serialize)]
@@ -32,7 +40,9 @@ fn main() {
     let mut series = Vec::new();
     for r in (11..=120).step_by(3) {
         let inst = Instance::new(ns, nm, r);
-        let g = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
+        let g = Heuristic::Knapsack
+            .grouping(inst, &table)
+            .expect("feasible");
         let fused = estimate(inst, &table, &g).expect("valid").makespan;
         let unfused = estimate_unfused(inst, &table, &g).expect("valid").makespan;
         let delta = (unfused - fused) / fused * 100.0;
@@ -43,12 +53,17 @@ fn main() {
                     r.to_string(),
                     format!("{:.2}", fused / 3600.0),
                     format!("{:.2}", unfused / 3600.0),
-                    format!("{:+.4}", delta),
+                    format!("{delta:+.4}"),
                 ],
                 &widths
             )
         );
-        series.push(Point { r, fused_secs: fused, unfused_secs: unfused, delta_pct: delta });
+        series.push(Point {
+            r,
+            fused_secs: fused,
+            unfused_secs: unfused,
+            delta_pct: delta,
+        });
     }
 
     let deltas: Vec<f64> = series.iter().map(|p| p.delta_pct.abs()).collect();

@@ -64,10 +64,20 @@ fn main() {
         for (i, &r) in rs.iter().enumerate() {
             let inst = Instance::new(10, nm, r);
             // Fresh measurement per (noise, R) — seeds differ.
-            let cfg = BenchmarkConfig { repetitions, noise, seed: 1000 + i as u64 };
-            let measured = run_campaign(&truth_model, 1.0, cfg).expect("campaign ok").table;
-            let noisy_plan = Heuristic::Knapsack.grouping(inst, &measured).expect("feasible");
-            let true_plan = Heuristic::Knapsack.grouping(inst, &truth).expect("feasible");
+            let cfg = BenchmarkConfig {
+                repetitions,
+                noise,
+                seed: 1000 + i as u64,
+            };
+            let measured = run_campaign(&truth_model, 1.0, cfg)
+                .expect("campaign ok")
+                .table;
+            let noisy_plan = Heuristic::Knapsack
+                .grouping(inst, &measured)
+                .expect("feasible");
+            let true_plan = Heuristic::Knapsack
+                .grouping(inst, &truth)
+                .expect("feasible");
             let ms_noisy = estimate(inst, &truth, &noisy_plan).expect("valid").makespan;
             let ms_true = estimate(inst, &truth, &true_plan).expect("valid").makespan;
             regrets.push(gain_pct(ms_noisy, ms_true).max(0.0));

@@ -15,10 +15,25 @@ use oa_sim::prelude::*;
 
 fn show(title: &str, inst: Instance, table: &TimingTable, grouping: &Grouping) {
     println!("== {title} ==");
-    println!("instance: NS = {}, NM = {}, R = {}; grouping: {grouping}", inst.ns, inst.nm, inst.r);
+    println!(
+        "instance: NS = {}, NM = {}, R = {}; grouping: {grouping}",
+        inst.ns, inst.nm, inst.r
+    );
     let schedule = execute_default(inst, table, grouping).expect("valid grouping");
-    schedule.validate().expect("executor emits valid schedules");
-    print!("{}", render(&schedule, GanttOptions { width: 68, by_group: true }));
+    // Full schedule-layer analysis instead of the bare fail-fast
+    // validate: advisory diagnostics (idle gaps, post starvation) are
+    // part of what these figures illustrate, so print them too.
+    oa_bench::gate_on_analysis(title, &schedule.analyze());
+    print!(
+        "{}",
+        render(
+            &schedule,
+            GanttOptions {
+                width: 68,
+                by_group: true
+            }
+        )
+    );
     let m = metrics(&schedule);
     println!(
         "utilization {:.0}%   fairness(stddev of scenario finishes) {:.0} s\n",

@@ -33,14 +33,24 @@ fn gains_over_r(ns: u32, nm: u32, table: &TimingTable, rs: &[u32]) -> Vec<f64> {
 
 fn main() {
     let table = reference_cluster(120).timing;
-    let rs: Vec<u32> = (11..=120).step_by(if fast_mode() { 13 } else { 5 }).collect();
+    let rs: Vec<u32> = (11..=120)
+        .step_by(if fast_mode() { 13 } else { 5 })
+        .collect();
     let mut out = Vec::new();
 
     println!("== Sensitivity of the knapsack gain (vs basic) ==\n");
     let widths = [8usize, 8, 12, 12];
     println!(
         "{}",
-        row(&["axis".into(), "value".into(), "mean gain%".into(), "max gain%".into()], &widths)
+        row(
+            &[
+                "axis".into(),
+                "value".into(),
+                "mean gain%".into(),
+                "max gain%".into()
+            ],
+            &widths
+        )
     );
 
     // NM sweep at NS = 10.
@@ -50,11 +60,21 @@ fn main() {
         println!(
             "{}",
             row(
-                &["NM".into(), nm.to_string(), format!("{:.2}", s.mean), format!("{:.2}", s.max)],
+                &[
+                    "NM".into(),
+                    nm.to_string(),
+                    format!("{:.2}", s.mean),
+                    format!("{:.2}", s.max)
+                ],
                 &widths
             )
         );
-        out.push(Sweep { axis: "nm", value: nm, mean_gain_pct: s.mean, max_gain_pct: s.max });
+        out.push(Sweep {
+            axis: "nm",
+            value: nm,
+            mean_gain_pct: s.mean,
+            max_gain_pct: s.max,
+        });
     }
     println!();
     // NS sweep at NM = 600.
@@ -64,11 +84,21 @@ fn main() {
         println!(
             "{}",
             row(
-                &["NS".into(), ns.to_string(), format!("{:.2}", s.mean), format!("{:.2}", s.max)],
+                &[
+                    "NS".into(),
+                    ns.to_string(),
+                    format!("{:.2}", s.mean),
+                    format!("{:.2}", s.max)
+                ],
                 &widths
             )
         );
-        out.push(Sweep { axis: "ns", value: ns, mean_gain_pct: s.mean, max_gain_pct: s.max });
+        out.push(Sweep {
+            axis: "ns",
+            value: ns,
+            mean_gain_pct: s.mean,
+            max_gain_pct: s.max,
+        });
     }
 
     println!(

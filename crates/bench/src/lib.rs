@@ -10,6 +10,22 @@ use std::path::Path;
 
 use serde::Serialize;
 
+/// Gates a benchmark on static analysis: every figure binary verifies
+/// its groupings/schedules through `oa-analyze` before reporting
+/// numbers, so a regression in the scheduler surfaces as a loud failure
+/// here rather than as a silently wrong plot. Warnings are printed
+/// (they land in the bench log); error diagnostics abort the run.
+pub fn gate_on_analysis(context: &str, report: &oa_analyze::Report) {
+    for d in report.of_severity(oa_analyze::Severity::Warn) {
+        println!("   [{context}] {}", d.render());
+    }
+    assert!(
+        !report.has_errors(),
+        "{context}: static analysis rejected the result\n{}",
+        report.render_text()
+    );
+}
+
 /// Mean and population standard deviation of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct Stats {
@@ -31,7 +47,12 @@ pub fn stats(samples: &[f64]) -> Stats {
     let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Stats { mean, stddev: var.sqrt(), min, max }
+    Stats {
+        mean,
+        stddev: var.sqrt(),
+        min,
+        max,
+    }
 }
 
 /// Runs `f` over every item of `inputs` on `workers` scoped threads,
@@ -62,12 +83,14 @@ where
             });
         }
     });
-    out.into_iter().map(|o| o.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
 }
 
 /// Number of sweep workers: physical parallelism minus one, at least 1.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get().saturating_sub(1).max(1))
 }
 
 /// Writes `value` as pretty JSON under `results/<name>.json` (creating

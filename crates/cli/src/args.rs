@@ -44,7 +44,11 @@ impl std::fmt::Display for ArgError {
             ArgError::MissingValue(flag) => write!(f, "--{flag} needs a value"),
             ArgError::Unexpected(w) => write!(f, "unexpected argument {w:?}"),
             ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::BadValue { flag, value, expect } => {
+            ArgError::BadValue {
+                flag,
+                value,
+                expect,
+            } => {
                 write!(f, "--{flag} {value:?}: expected {expect}")
             }
         }
@@ -54,7 +58,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switch-style flags (no value).
-const SWITCHES: &[&str] = &["per-proc", "staging", "json", "all", "fused"];
+const SWITCHES: &[&str] = &["per-proc", "staging", "json", "all", "fused", "rules"];
 
 impl Args {
     /// Parses `argv` (without the program name).
@@ -74,10 +78,16 @@ impl Args {
                 switches.push(name.to_string());
                 continue;
             }
-            let value = it.next().ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
             flags.insert(name.to_string(), value);
         }
-        Ok(Self { command, flags, switches })
+        Ok(Self {
+            command,
+            flags,
+            switches,
+        })
     }
 
     /// A `u32` flag with a default.
@@ -92,9 +102,29 @@ impl Args {
         }
     }
 
+    /// An `f64` flag with a default.
+    pub fn f64_or(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expect: "a number",
+            }),
+        }
+    }
+
+    /// A string flag if given.
+    pub fn str_opt(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
     /// A string flag with a default.
     pub fn str_or(&self, flag: &str, default: &str) -> String {
-        self.flags.get(flag).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(flag)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether a switch was given.
@@ -123,7 +153,7 @@ mod tests {
     use super::*;
 
     fn parse(words: &[&str]) -> Result<Args, ArgError> {
-        Args::parse(words.iter().map(|s| s.to_string()))
+        Args::parse(words.iter().map(std::string::ToString::to_string))
     }
 
     #[test]
@@ -147,8 +177,14 @@ mod tests {
     fn error_cases() {
         assert_eq!(parse(&[]), Err(ArgError::NoCommand));
         assert_eq!(parse(&["--r", "5"]), Err(ArgError::NoCommand));
-        assert_eq!(parse(&["plan", "--r"]), Err(ArgError::MissingValue("r".into())));
-        assert_eq!(parse(&["plan", "oops"]), Err(ArgError::Unexpected("oops".into())));
+        assert_eq!(
+            parse(&["plan", "--r"]),
+            Err(ArgError::MissingValue("r".into()))
+        );
+        assert_eq!(
+            parse(&["plan", "oops"]),
+            Err(ArgError::Unexpected("oops".into()))
+        );
         let a = parse(&["plan", "--r", "many"]).unwrap();
         assert!(matches!(a.u32_or("r", 1), Err(ArgError::BadValue { .. })));
     }
@@ -156,7 +192,10 @@ mod tests {
     #[test]
     fn unknown_flags_rejected() {
         let a = parse(&["plan", "--bogus", "1"]).unwrap();
-        assert_eq!(a.check_known(&["r", "ns"]), Err(ArgError::UnknownFlag("bogus".into())));
+        assert_eq!(
+            a.check_known(&["r", "ns"]),
+            Err(ArgError::UnknownFlag("bogus".into()))
+        );
         let a = parse(&["plan", "--r", "5"]).unwrap();
         assert!(a.check_known(&["r"]).is_ok());
     }

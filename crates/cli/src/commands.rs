@@ -17,6 +17,10 @@ pub enum CliError {
     UnknownCommand(String),
     /// A domain error (infeasible instance, unknown cluster, …).
     Domain(String),
+    /// `oa analyze` found error-severity diagnostics; the payload is
+    /// the fully rendered report (text or JSON). Carried as an error so
+    /// the process exits nonzero, as CI expects.
+    AnalysisFailed(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -25,6 +29,7 @@ impl std::fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `oa help`"),
             CliError::Domain(m) => write!(f, "{m}"),
+            CliError::AnalysisFailed(report) => write!(f, "analysis failed\n{report}"),
         }
     }
 }
@@ -47,6 +52,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
     match args.command.as_str() {
         "help" => Ok(help()),
         "plan" => plan(&args),
+        "analyze" => analyze_cmd(&args),
         "gantt" => gantt(&args),
         "grid" => grid_cmd(&args),
         "table" => table_cmd(&args),
@@ -67,6 +73,10 @@ USAGE: oa <command> [--flag value]...
 COMMANDS
   plan      choose a grouping and report makespans
             --ns N --nm N --r N --cluster NAME [--heuristic H | --all] [--json]
+  analyze   statically verify a campaign: DAG, grouping, schedule and
+            platform rules (OA001..OA017); exits nonzero on errors
+            --ns N --nm N --r N --cluster NAME --heuristic H [--json]
+            [--file SCHEDULE.json] [--bandwidth MB/s --latency S] [--rules]
   gantt     render a schedule as ASCII art
             --ns N --nm N --r N --heuristic H --width N [--per-proc]
   table     print a cluster's timing table
@@ -166,6 +176,95 @@ fn plan(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn analyze_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[
+        "ns",
+        "nm",
+        "r",
+        "cluster",
+        "heuristic",
+        "json",
+        "rules",
+        "file",
+        "bandwidth",
+        "latency",
+    ])?;
+    if args.switch("rules") {
+        return Ok(oa_analyze::render_catalog());
+    }
+    let mut report = oa_analyze::Report::new();
+    let scope: String;
+
+    if let Some(path) = args.str_opt("file") {
+        // Analyze a persisted schedule. Deliberately *not* persist::load,
+        // which re-validates fail-fast: the whole point here is to load
+        // a possibly-corrupted schedule and report every defect.
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Domain(format!("cannot read {path}: {e}")))?;
+        let schedule: Schedule = serde_json::from_str(&text)
+            .map_err(|e| CliError::Domain(format!("{path} is not a schedule: {e}")))?;
+        scope = format!(
+            "schedule {path}: NS = {}, NM = {}, R = {}, {} record(s)\n",
+            schedule.instance.ns,
+            schedule.instance.nm,
+            schedule.instance.r,
+            schedule.records.len()
+        );
+        report.extend(schedule.analyze().diagnostics);
+    } else {
+        // Analyze a planned campaign end to end, one layer at a time.
+        let ns = args.u32_or("ns", 10)?;
+        let nm = args.u32_or("nm", 1800)?;
+        let r = args.u32_or("r", 53)?;
+        let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+        let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+        let inst = Instance::new(ns, nm, r);
+        scope = format!(
+            "campaign on {}: NS = {ns}, NM = {nm}, R = {r}, heuristic {}\n",
+            cluster.name,
+            h.label()
+        );
+
+        let fused = oa_workflow::fusion::build_fused(inst.shape());
+        report.extend(oa_analyze::workflow::check_experiment(&fused));
+        report.extend(oa_analyze::platform::check_cluster(&cluster));
+
+        let grouping = h
+            .grouping(inst, &cluster.timing)
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        report.extend(oa_analyze::scheduling::check_grouping(
+            inst,
+            &cluster.timing,
+            &grouping,
+        ));
+
+        let link = Link::gigabit();
+        let bandwidth = args.f64_or("bandwidth", link.bandwidth_mbps)?;
+        let latency = args.f64_or("latency", link.latency_secs)?;
+        // The strictest month: the largest group computes a month the
+        // fastest, so its duration bounds how long a hand-off may take.
+        let month_secs = cluster.timing.main_secs(grouping.groups()[0]);
+        report.extend(oa_analyze::platform::check_bandwidth(
+            bandwidth, latency, month_secs,
+        ));
+
+        let schedule = execute_default(inst, &cluster.timing, &grouping)
+            .map_err(|e| CliError::Domain(e.to_string()))?;
+        report.extend(schedule.analyze().diagnostics);
+    }
+
+    let rendered = if args.switch("json") {
+        report.to_json() + "\n"
+    } else {
+        scope + &report.render_text()
+    };
+    if report.has_errors() {
+        Err(CliError::AnalysisFailed(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
 fn gantt(args: &Args) -> Result<String, CliError> {
     args.check_known(&["ns", "nm", "r", "cluster", "heuristic", "width", "per-proc"])?;
     let ns = args.u32_or("ns", 4)?;
@@ -175,14 +274,23 @@ fn gantt(args: &Args) -> Result<String, CliError> {
     let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
     let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
     let inst = Instance::new(ns, nm, r);
-    let grouping =
-        h.grouping(inst, &cluster.timing).map_err(|e| CliError::Domain(e.to_string()))?;
+    let grouping = h
+        .grouping(inst, &cluster.timing)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
     let schedule = execute_default(inst, &cluster.timing, &grouping)
         .map_err(|e| CliError::Domain(e.to_string()))?;
-    schedule.validate().map_err(|e| CliError::Domain(e.to_string()))?;
+    schedule
+        .validate()
+        .map_err(|e| CliError::Domain(e.to_string()))?;
     Ok(format!(
         "{h} → {grouping}\n{}",
-        render(&schedule, GanttOptions { width, by_group: !args.switch("per-proc") }),
+        render(
+            &schedule,
+            GanttOptions {
+                width,
+                by_group: !args.switch("per-proc")
+            }
+        ),
         h = h.label()
     ))
 }
@@ -220,7 +328,15 @@ fn grid_cmd(args: &Args) -> Result<String, CliError> {
 
     let outcome = if args.switch("staging") {
         let links = vec![Link::gigabit(); grid.len()];
-        run_grid_with_staging(&grid, h, ns, nm, ExecConfig::default(), &links, &StagingModel::default())
+        run_grid_with_staging(
+            &grid,
+            h,
+            ns,
+            nm,
+            ExecConfig::default(),
+            &links,
+            &StagingModel::default(),
+        )
     } else {
         run_grid(&grid, h, ns, nm, ExecConfig::default())
     }
@@ -321,8 +437,9 @@ fn profile_cmd(args: &Args) -> Result<String, CliError> {
     let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
     let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
     let inst = Instance::new(ns, nm, r);
-    let grouping =
-        h.grouping(inst, &cluster.timing).map_err(|e| CliError::Domain(e.to_string()))?;
+    let grouping = h
+        .grouping(inst, &cluster.timing)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
     let schedule = execute_default(inst, &cluster.timing, &grouping)
         .map_err(|e| CliError::Domain(e.to_string()))?;
     let p = oa_sim::profile::profile(&schedule);
@@ -350,7 +467,7 @@ fn profile_cmd(args: &Args) -> Result<String, CliError> {
         }
         let pct = busy / ((hi - lo) * r as f64) * 100.0;
         let bar = "#".repeat((pct / 2.5) as usize);
-        out.push_str(&format!("{:>3}0% {:>5.1}% |{bar}\n", b, pct));
+        out.push_str(&format!("{b:>3}0% {pct:>5.1}% |{bar}\n"));
     }
     Ok(out)
 }
@@ -372,7 +489,7 @@ mod tests {
     use super::*;
 
     fn oa(words: &[&str]) -> Result<String, CliError> {
-        run(words.iter().map(|s| s.to_string()))
+        run(words.iter().map(std::string::ToString::to_string))
     }
 
     #[test]
@@ -400,8 +517,93 @@ mod tests {
     }
 
     #[test]
+    fn analyze_clean_campaign_passes() {
+        let out = oa(&["analyze", "--ns", "4", "--nm", "24", "--r", "26"]).unwrap();
+        assert!(!out.contains("error["), "{out}");
+        assert!(out.contains("campaign on reference"), "{out}");
+    }
+
+    #[test]
+    fn analyze_prints_rule_catalog() {
+        let out = oa(&["analyze", "--rules"]).unwrap();
+        for code in ["OA001", "OA008", "OA017"] {
+            assert!(out.contains(code), "{out}");
+        }
+        for layer in ["workflow", "scheduling", "schedule", "platform"] {
+            assert!(out.contains(layer), "{out}");
+        }
+    }
+
+    #[test]
+    fn analyze_slow_link_fails_with_oa017() {
+        let err = oa(&[
+            "analyze",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--bandwidth",
+            "0.01",
+        ])
+        .unwrap_err();
+        let CliError::AnalysisFailed(report) = err else {
+            panic!("{err:?}")
+        };
+        assert!(report.contains("error[OA017]"), "{report}");
+    }
+
+    #[test]
+    fn analyze_corrupted_schedule_file_reports_all_defects() {
+        // Execute a valid schedule, then corrupt it two independent
+        // ways: a violated month dependence that also overlaps the
+        // predecessor's processors. One pass must report both.
+        let inst = Instance::new(2, 4, 14);
+        let table = reference_cluster(14).timing;
+        let grouping = Heuristic::Basic.grouping(inst, &table).unwrap();
+        let mut schedule = execute_default(inst, &table, &grouping).unwrap();
+        let victim = schedule
+            .records
+            .iter()
+            .position(|r| r.task == oa_workflow::fusion::FusedTask::main(0, 1))
+            .unwrap();
+        let pred = schedule
+            .record_of(oa_workflow::fusion::FusedTask::main(0, 0))
+            .unwrap();
+        let (ps, pe) = (pred.start, pred.end);
+        schedule.records[victim].start = ps + 0.25 * (pe - ps);
+        schedule.records[victim].end = ps + 0.75 * (pe - ps);
+        let path = std::env::temp_dir().join("oa-cli-analyze-test.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&schedule).unwrap()).unwrap();
+
+        let err = oa(&["analyze", "--file", path.to_str().unwrap()]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let CliError::AnalysisFailed(report) = err else {
+            panic!("{err:?}")
+        };
+        assert!(report.contains("error[OA009]"), "{report}");
+        assert!(report.contains("error[OA010]"), "{report}");
+
+        // JSON mode carries the same findings, machine-readable.
+        std::fs::write(&path, serde_json::to_string_pretty(&schedule).unwrap()).unwrap();
+        let err = oa(&["analyze", "--file", path.to_str().unwrap(), "--json"]).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        let CliError::AnalysisFailed(json) = err else {
+            panic!("json mode")
+        };
+        assert!(
+            json.contains("\"OA009\"") && json.contains("\"OA010\""),
+            "{json}"
+        );
+    }
+
+    #[test]
     fn gantt_renders() {
-        let out = oa(&["gantt", "--ns", "2", "--nm", "3", "--r", "12", "--width", "40"]).unwrap();
+        let out = oa(&[
+            "gantt", "--ns", "2", "--nm", "3", "--r", "12", "--width", "40",
+        ])
+        .unwrap();
         assert!(out.contains("makespan"));
         assert!(out.contains('#'));
     }
@@ -439,8 +641,16 @@ mod tests {
         let text = render_grid(&grid);
         let path = std::env::temp_dir().join("oa-cli-import-test.bench");
         std::fs::write(&path, text).unwrap();
-        let out = oa(&["import", "--file", path.to_str().unwrap(), "--ns", "4", "--nm", "12"])
-            .unwrap();
+        let out = oa(&[
+            "import",
+            "--file",
+            path.to_str().unwrap(),
+            "--ns",
+            "4",
+            "--nm",
+            "12",
+        ])
+        .unwrap();
         assert!(out.contains("imported 2 cluster(s)"));
         assert!(out.contains("sagittaire"));
         assert!(out.contains("makespan"));
@@ -472,8 +682,14 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(oa(&["frobnicate"]), Err(CliError::UnknownCommand(_))));
-        assert!(matches!(oa(&["plan", "--bogus", "1"]), Err(CliError::Args(_))));
+        assert!(matches!(
+            oa(&["frobnicate"]),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            oa(&["plan", "--bogus", "1"]),
+            Err(CliError::Args(_))
+        ));
         assert!(matches!(
             oa(&["plan", "--heuristic", "nope"]),
             Err(CliError::Domain(_))
@@ -482,8 +698,14 @@ mod tests {
             oa(&["plan", "--cluster", "mars"]),
             Err(CliError::Domain(_))
         ));
-        assert!(matches!(oa(&["grid", "--clusters", "9"]), Err(CliError::Domain(_))));
+        assert!(matches!(
+            oa(&["grid", "--clusters", "9"]),
+            Err(CliError::Domain(_))
+        ));
         // R too small for any group.
-        assert!(matches!(oa(&["plan", "--r", "3", "--nm", "2"]), Err(CliError::Domain(_))));
+        assert!(matches!(
+            oa(&["plan", "--r", "3", "--nm", "2"]),
+            Err(CliError::Domain(_))
+        ));
     }
 }

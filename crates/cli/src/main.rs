@@ -8,6 +8,14 @@ fn main() -> ExitCode {
             print!("{text}");
             ExitCode::SUCCESS
         }
+        // Analysis reports are the command's product even when they carry
+        // errors: keep them on stdout (machine consumers pipe --json), and
+        // keep stderr to the one-line failure note.
+        Err(oa_cli::CliError::AnalysisFailed(report)) => {
+            print!("{report}");
+            eprintln!("oa: analysis failed");
+            ExitCode::FAILURE
+        }
         Err(e) => {
             eprintln!("oa: {e}");
             ExitCode::FAILURE

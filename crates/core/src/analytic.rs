@@ -236,7 +236,7 @@ mod tests {
         let t = flat(100.0, 60.0);
         let b = makespan(i, &t, 4).unwrap();
         assert_eq!(b.sets, 2); // 10 tasks / 7 = 2 sets, nbused = 3
-        // noverpass = 0·excess, novertot = 7, Rleft = 30 − 12 = 18 ≥ 7.
+                               // noverpass = 0·excess, novertot = 7, Rleft = 30 − 12 = 18 ≥ 7.
         assert_eq!(b.trailing_posts, 3);
     }
 
@@ -269,8 +269,12 @@ mod tests {
     #[test]
     fn makespan_monotone_in_nm() {
         let t = table();
-        let base = makespan(Instance::new(10, 100, 53), &t, 7).unwrap().makespan;
-        let more = makespan(Instance::new(10, 200, 53), &t, 7).unwrap().makespan;
+        let base = makespan(Instance::new(10, 100, 53), &t, 7)
+            .unwrap()
+            .makespan;
+        let more = makespan(Instance::new(10, 200, 53), &t, 7)
+            .unwrap()
+            .makespan;
         assert!(more > base);
     }
 }

@@ -77,8 +77,7 @@ impl Estimate {
         if self.makespan <= 0.0 {
             return 0.0;
         }
-        (self.main_busy_proc_secs + self.post_busy_proc_secs)
-            / (self.makespan * inst.r as f64)
+        (self.main_busy_proc_secs + self.post_busy_proc_secs) / (self.makespan * inst.r as f64)
     }
 }
 
@@ -137,13 +136,13 @@ pub fn estimate(
 
     // Assignment + disband pass at time `now`.
     let assign = |now: f64,
-                      idle: &mut Vec<usize>,
-                      waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
-                      busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
-                      running: &mut Vec<Option<u32>>,
-                      alive: &mut usize,
-                      unfinished: usize,
-                      post_pool: &mut BinaryHeap<Reverse<Time>>| {
+                  idle: &mut Vec<usize>,
+                  waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
+                  running: &mut Vec<Option<u32>>,
+                  alive: &mut usize,
+                  unfinished: usize,
+                  post_pool: &mut BinaryHeap<Reverse<Time>>| {
         while !idle.is_empty() {
             if let Some(&Reverse((_, s))) = waiting.peek() {
                 let g = idle.pop().expect("checked non-empty"); // largest idle group
@@ -166,7 +165,13 @@ pub fn estimate(
     };
 
     assign(
-        0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+        0.0,
+        &mut idle,
+        &mut waiting,
+        &mut busy,
+        &mut running,
+        &mut alive,
+        unfinished,
         &mut post_pool,
     );
 
@@ -187,7 +192,13 @@ pub fn estimate(
             .unwrap_err();
         idle.insert(pos, g);
         assign(
-            t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+            t,
+            &mut idle,
+            &mut waiting,
+            &mut busy,
+            &mut running,
+            &mut alive,
+            unfinished,
             &mut post_pool,
         );
     }
@@ -257,7 +268,10 @@ mod tests {
         let e = estimate(inst, &t, &g).unwrap();
         // Post of month m starts right at 100(m+1); last at 510.
         assert_eq!(e.makespan, 510.0);
-        assert_eq!(e.utilization(inst), (5.0 * 1100.0 + 5.0 * 10.0) / (510.0 * 12.0));
+        assert_eq!(
+            e.utilization(inst),
+            (5.0 * 1100.0 + 5.0 * 10.0) / (510.0 * 12.0)
+        );
     }
 
     #[test]
@@ -287,7 +301,12 @@ mod tests {
         let t = flat(100.0, 60.0);
         let b = analytic::makespan(inst, &t, 4).unwrap();
         let e = estimate(inst, &t, &Grouping::uniform(4, 5, 2)).unwrap();
-        assert!(e.makespan <= b.makespan + 1e-9, "sim {} analytic {}", e.makespan, b.makespan);
+        assert!(
+            e.makespan <= b.makespan + 1e-9,
+            "sim {} analytic {}",
+            e.makespan,
+            b.makespan
+        );
         assert!(e.makespan >= b.ms_multi);
     }
 

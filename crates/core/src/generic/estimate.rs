@@ -172,7 +172,9 @@ pub fn estimate_generic(
                   unfinished: usize,
                   pool: &mut BinaryHeap<Reverse<Time>>| {
         while !idle.is_empty() {
-            let Some(&Reverse((_, c))) = waiting.peek() else { break };
+            let Some(&Reverse((_, c))) = waiting.peek() else {
+                break;
+            };
             let g = idle.pop().expect("non-empty");
             waiting.pop();
             running[g] = Some(c);
@@ -187,7 +189,16 @@ pub fn estimate_generic(
         }
     };
 
-    assign(0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+    assign(
+        0.0,
+        &mut idle,
+        &mut waiting,
+        &mut busy,
+        &mut running,
+        &mut alive,
+        unfinished,
+        &mut pool,
+    );
 
     let mut main_finish = 0.0f64;
     while let Some(Reverse((Time(t), g))) = busy.pop() {
@@ -200,9 +211,20 @@ pub fn estimate_generic(
         } else {
             waiting.push(Reverse((done[c as usize], c)));
         }
-        let pos = idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)).unwrap_err();
+        let pos = idle
+            .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
+            .unwrap_err();
         idle.insert(pos, g);
-        assign(t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+        assign(
+            t,
+            &mut idle,
+            &mut waiting,
+            &mut busy,
+            &mut running,
+            &mut alive,
+            unfinished,
+            &mut pool,
+        );
     }
 
     let mut trailing_finish = main_finish;
@@ -240,12 +262,19 @@ mod tests {
                 Phase {
                     name: "solve".into(),
                     time: PhaseTime::Moldable {
-                        range: MoldableSpec { min_procs: 2, max_procs: 3 },
+                        range: MoldableSpec {
+                            min_procs: 2,
+                            max_procs: 3,
+                        },
                         table: vec![100.0, 80.0],
                     },
                     blocking: true,
                 },
-                Phase { name: "report".into(), time: PhaseTime::Sequential(10.0), blocking: false },
+                Phase {
+                    name: "report".into(),
+                    time: PhaseTime::Sequential(10.0),
+                    blocking: false,
+                },
             ],
         )
         .unwrap()
@@ -292,11 +321,17 @@ mod tests {
         );
         assert_eq!(
             estimate_generic(&w, 4, &Groups::new(vec![3, 2], 0)).unwrap_err(),
-            GroupsError::OverSubscribed { used: 5, available: 4 }
+            GroupsError::OverSubscribed {
+                used: 5,
+                available: 4
+            }
         );
         assert_eq!(
             estimate_generic(&w, 9, &Groups::new(vec![3, 3, 3], 0)).unwrap_err(),
-            GroupsError::TooManyGroups { groups: 3, chains: 2 }
+            GroupsError::TooManyGroups {
+                groups: 3,
+                chains: 2
+            }
         );
     }
 
@@ -312,7 +347,10 @@ mod tests {
             let w = Workload::ocean_atmosphere(ns, nm, &table);
             let inst = Instance::new(ns, nm, r);
             for (sizes, pool) in [
-                (vec![7u32; (r / 7).min(ns) as usize], r - 7 * (r / 7).min(ns)),
+                (
+                    vec![7u32; (r / 7).min(ns) as usize],
+                    r - 7 * (r / 7).min(ns),
+                ),
                 (vec![11, 4], r - 15),
             ] {
                 let oa = Grouping::new(sizes.clone(), pool);

@@ -27,7 +27,10 @@ pub enum GenericError {
 impl std::fmt::Display for GenericError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            GenericError::MachineTooSmall { resources, min_alloc } => write!(
+            GenericError::MachineTooSmall {
+                resources,
+                min_alloc,
+            } => write!(
                 f,
                 "{resources} processors cannot fit the smallest allocation ({min_alloc})"
             ),
@@ -50,7 +53,9 @@ pub fn basic_generic(w: &Workload, r: u32) -> Result<Groups, GenericError> {
         }
         let pool = r - count * g;
         let cand = Groups::new(vec![g; count as usize], pool);
-        let ms = estimate_generic(w, r, &cand).expect("candidate is valid").makespan;
+        let ms = estimate_generic(w, r, &cand)
+            .expect("candidate is valid")
+            .makespan;
         if best.as_ref().is_none_or(|(b, _)| ms < *b) {
             best = Some((ms, cand));
         }
@@ -76,7 +81,10 @@ pub fn knapsack_generic(w: &Workload, r: u32) -> Result<Groups, GenericError> {
         sizes.extend(std::iter::repeat_n(g, n as usize));
     }
     if sizes.is_empty() {
-        return Err(GenericError::MachineTooSmall { resources: r, min_alloc: range.min_procs });
+        return Err(GenericError::MachineTooSmall {
+            resources: r,
+            min_alloc: range.min_procs,
+        });
     }
     Ok(Groups::new(sizes, r - sol.cost))
 }
@@ -128,14 +136,18 @@ pub fn balanced_generic(w: &Workload, r: u32) -> Result<(Groups, GenericEstimate
     for g in range.allocations() {
         let count = (r / g).min(w.chains);
         if count > 0 {
-            consider(Groups::new(vec![g; count as usize], r - count * g), &mut best);
+            consider(
+                Groups::new(vec![g; count as usize], r - count * g),
+                &mut best,
+            );
         }
     }
 
-    best.map(|(e, g)| (g, e)).ok_or(GenericError::MachineTooSmall {
-        resources: r,
-        min_alloc: range.min_procs,
-    })
+    best.map(|(e, g)| (g, e))
+        .ok_or(GenericError::MachineTooSmall {
+            resources: r,
+            min_alloc: range.min_procs,
+        })
 }
 
 /// Convenience: the best of every generic heuristic.
@@ -152,7 +164,10 @@ mod tests {
     /// A molecular-dynamics-like workload: wide allocation range
     /// (2..=16) with near-linear scaling then saturation.
     fn md_workload(chains: u32, units: u32) -> Workload {
-        let range = MoldableSpec { min_procs: 2, max_procs: 16 };
+        let range = MoldableSpec {
+            min_procs: 2,
+            max_procs: 16,
+        };
         let table: Vec<f64> = range
             .allocations()
             .map(|p| 40.0 + 4000.0 / p as f64 + 3.0 * p as f64)
@@ -161,8 +176,16 @@ mod tests {
             chains,
             units,
             vec![
-                Phase { name: "md".into(), time: PhaseTime::Moldable { range, table }, blocking: true },
-                Phase { name: "traj".into(), time: PhaseTime::Sequential(25.0), blocking: false },
+                Phase {
+                    name: "md".into(),
+                    time: PhaseTime::Moldable { range, table },
+                    blocking: true,
+                },
+                Phase {
+                    name: "traj".into(),
+                    time: PhaseTime::Sequential(25.0),
+                    blocking: false,
+                },
             ],
         )
         .unwrap()
@@ -181,7 +204,10 @@ mod tests {
         let k = knapsack_generic(&w, 16).unwrap();
         let bm = estimate_generic(&w, 16, &b).unwrap().makespan;
         let km = estimate_generic(&w, 16, &k).unwrap().makespan;
-        assert!(k.sizes().len() > b.sizes().len(), "knapsack should over-split here");
+        assert!(
+            k.sizes().len() > b.sizes().len(),
+            "knapsack should over-split here"
+        );
         assert!(km > bm * 1.2, "pitfall vanished: basic {bm}, knapsack {km}");
     }
 
@@ -190,13 +216,23 @@ mod tests {
         let w = md_workload(6, 200);
         let mut strict_wins = 0;
         for r in (4..=120).step_by(3) {
-            let Ok(b) = basic_generic(&w, r) else { continue };
+            let Ok(b) = basic_generic(&w, r) else {
+                continue;
+            };
             let k = knapsack_generic(&w, r).expect("feasible");
             let bm = estimate_generic(&w, r, &b).unwrap().makespan;
             let km = estimate_generic(&w, r, &k).unwrap().makespan;
             let (_, e) = balanced_generic(&w, r).expect("feasible");
-            assert!(e.makespan <= bm + 1e-9, "R={r}: balanced {} > basic {bm}", e.makespan);
-            assert!(e.makespan <= km + 1e-9, "R={r}: balanced {} > knapsack {km}", e.makespan);
+            assert!(
+                e.makespan <= bm + 1e-9,
+                "R={r}: balanced {} > basic {bm}",
+                e.makespan
+            );
+            assert!(
+                e.makespan <= km + 1e-9,
+                "R={r}: balanced {} > knapsack {km}",
+                e.makespan
+            );
             if e.makespan < bm.min(km) - 1e-9 {
                 strict_wins += 1;
             }
@@ -226,11 +262,17 @@ mod tests {
         let w = md_workload(2, 2);
         assert_eq!(
             basic_generic(&w, 1),
-            Err(GenericError::MachineTooSmall { resources: 1, min_alloc: 2 })
+            Err(GenericError::MachineTooSmall {
+                resources: 1,
+                min_alloc: 2
+            })
         );
         assert_eq!(
             knapsack_generic(&w, 1),
-            Err(GenericError::MachineTooSmall { resources: 1, min_alloc: 2 })
+            Err(GenericError::MachineTooSmall {
+                resources: 1,
+                min_alloc: 2
+            })
         );
     }
 
@@ -252,7 +294,11 @@ mod tests {
         let w = Workload::new(
             4,
             6,
-            vec![Phase { name: "s".into(), time: PhaseTime::Sequential(10.0), blocking: true }],
+            vec![Phase {
+                name: "s".into(),
+                time: PhaseTime::Sequential(10.0),
+                blocking: true,
+            }],
         )
         .unwrap();
         let g = knapsack_generic(&w, 4).unwrap();

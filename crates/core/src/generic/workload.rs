@@ -104,16 +104,25 @@ impl std::fmt::Display for WorkloadError {
                 write!(f, "non-blocking phase {phase:?} is moldable")
             }
             WorkloadError::TableMismatch { phase, expect, got } => {
-                write!(f, "phase {phase:?}: table has {got} entries, range needs {expect}")
+                write!(
+                    f,
+                    "phase {phase:?}: table has {got} entries, range needs {expect}"
+                )
             }
             WorkloadError::BadDuration { phase, value } => {
-                write!(f, "phase {phase:?}: duration {value} is not positive/finite")
+                write!(
+                    f,
+                    "phase {phase:?}: duration {value} is not positive/finite"
+                )
             }
             WorkloadError::NotMonotone { phase } => {
                 write!(f, "phase {phase:?}: duration increases with processors")
             }
             WorkloadError::RangeMismatch { phase } => {
-                write!(f, "phase {phase:?}: moldable range differs from earlier phases")
+                write!(
+                    f,
+                    "phase {phase:?}: moldable range differs from earlier phases"
+                )
             }
             WorkloadError::EmptyShape => write!(f, "chains and units must be positive"),
         }
@@ -150,12 +159,17 @@ impl Workload {
             match &p.time {
                 PhaseTime::Sequential(d) => {
                     if !(d.is_finite() && *d > 0.0) {
-                        return Err(WorkloadError::BadDuration { phase: p.name.clone(), value: *d });
+                        return Err(WorkloadError::BadDuration {
+                            phase: p.name.clone(),
+                            value: *d,
+                        });
                     }
                 }
                 PhaseTime::Moldable { range: r, table } => {
                     if !p.blocking {
-                        return Err(WorkloadError::MoldableTrailing { phase: p.name.clone() });
+                        return Err(WorkloadError::MoldableTrailing {
+                            phase: p.name.clone(),
+                        });
                     }
                     if table.len() != r.len() {
                         return Err(WorkloadError::TableMismatch {
@@ -173,19 +187,27 @@ impl Workload {
                         }
                     }
                     if table.windows(2).any(|w| w[0] < w[1]) {
-                        return Err(WorkloadError::NotMonotone { phase: p.name.clone() });
+                        return Err(WorkloadError::NotMonotone {
+                            phase: p.name.clone(),
+                        });
                     }
                     match range {
                         None => range = Some(*r),
                         Some(prev) if prev == *r => {}
                         Some(_) => {
-                            return Err(WorkloadError::RangeMismatch { phase: p.name.clone() })
+                            return Err(WorkloadError::RangeMismatch {
+                                phase: p.name.clone(),
+                            })
                         }
                     }
                 }
             }
         }
-        Ok(Self { chains, units, phases })
+        Ok(Self {
+            chains,
+            units,
+            phases,
+        })
     }
 
     /// The moldable allocation range of the unit (defaults to a
@@ -197,7 +219,10 @@ impl Workload {
                 PhaseTime::Moldable { range, .. } => Some(*range),
                 PhaseTime::Sequential(_) => None,
             })
-            .unwrap_or(MoldableSpec { min_procs: 1, max_procs: 1 })
+            .unwrap_or(MoldableSpec {
+                min_procs: 1,
+                max_procs: 1,
+            })
     }
 
     /// Time a group of `g` processors spends on the blocking phases of
@@ -271,7 +296,10 @@ mod tests {
         Phase {
             name: name.into(),
             time: PhaseTime::Moldable {
-                range: MoldableSpec { min_procs: lo, max_procs: hi },
+                range: MoldableSpec {
+                    min_procs: lo,
+                    max_procs: hi,
+                },
                 table: times,
             },
             blocking,
@@ -279,7 +307,11 @@ mod tests {
     }
 
     fn seq(name: &str, d: f64, blocking: bool) -> Phase {
-        Phase { name: name.into(), time: PhaseTime::Sequential(d), blocking }
+        Phase {
+            name: name.into(),
+            time: PhaseTime::Sequential(d),
+            blocking,
+        }
     }
 
     #[test]
@@ -312,24 +344,41 @@ mod tests {
         assert_eq!(w.unit_secs(2), 100.0);
         assert_eq!(w.unit_secs(4), 60.0);
         assert_eq!(w.trailing_secs(), 10.0);
-        assert_eq!(w.alloc_range().allocations().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            w.alloc_range().allocations().collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]
     fn validation_rejects_malformed_workloads() {
-        assert_eq!(Workload::new(0, 1, vec![seq("a", 1.0, true)]), Err(WorkloadError::EmptyShape));
+        assert_eq!(
+            Workload::new(0, 1, vec![seq("a", 1.0, true)]),
+            Err(WorkloadError::EmptyShape)
+        );
         assert_eq!(Workload::new(1, 1, vec![]), Err(WorkloadError::NoPhases));
         assert_eq!(
             Workload::new(1, 1, vec![seq("a", 1.0, false)]),
             Err(WorkloadError::NoBlockingPhase)
         );
         assert!(matches!(
-            Workload::new(1, 1, vec![moldable("m", 2, 3, vec![5.0, 4.0], false), seq("b", 1.0, true)]),
+            Workload::new(
+                1,
+                1,
+                vec![
+                    moldable("m", 2, 3, vec![5.0, 4.0], false),
+                    seq("b", 1.0, true)
+                ]
+            ),
             Err(WorkloadError::MoldableTrailing { .. })
         ));
         assert!(matches!(
             Workload::new(1, 1, vec![moldable("m", 2, 3, vec![5.0], true)]),
-            Err(WorkloadError::TableMismatch { expect: 2, got: 1, .. })
+            Err(WorkloadError::TableMismatch {
+                expect: 2,
+                got: 1,
+                ..
+            })
         ));
         assert!(matches!(
             Workload::new(1, 1, vec![moldable("m", 2, 3, vec![4.0, 5.0], true)]),

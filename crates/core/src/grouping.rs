@@ -42,10 +42,16 @@ impl std::fmt::Display for GroupingError {
         match self {
             GroupingError::BadGroupSize(g) => write!(f, "group size {g} outside 4..=11"),
             GroupingError::OverSubscribed { used, available } => {
-                write!(f, "grouping uses {used} processors, cluster has {available}")
+                write!(
+                    f,
+                    "grouping uses {used} processors, cluster has {available}"
+                )
             }
             GroupingError::TooManyGroups { groups, scenarios } => {
-                write!(f, "{groups} groups for {scenarios} scenarios: surplus groups can never work")
+                write!(
+                    f,
+                    "{groups} groups for {scenarios} scenarios: surplus groups can never work"
+                )
             }
             GroupingError::NoGroups => write!(f, "grouping has no multiprocessor group"),
         }
@@ -210,12 +216,18 @@ mod tests {
         );
         assert_eq!(
             Grouping::new(vec![11; 5], 0).validate(inst()),
-            Err(GroupingError::OverSubscribed { used: 55, available: 53 })
+            Err(GroupingError::OverSubscribed {
+                used: 55,
+                available: 53
+            })
         );
         let small = Instance::new(2, 5, 53);
         assert_eq!(
             Grouping::new(vec![4, 4, 4], 0).validate(small),
-            Err(GroupingError::TooManyGroups { groups: 3, scenarios: 2 })
+            Err(GroupingError::TooManyGroups {
+                groups: 3,
+                scenarios: 2
+            })
         );
     }
 

@@ -128,9 +128,15 @@ impl Repartition {
 /// assert_eq!(plan.nb_dags, vec![2, 1]); // the faster cluster gets more DAGs
 /// ```
 pub fn repartition(vectors: &[PerformanceVector]) -> Repartition {
-    assert!(!vectors.is_empty(), "repartition needs at least one cluster");
+    assert!(
+        !vectors.is_empty(),
+        "repartition needs at least one cluster"
+    );
     let ns = vectors[0].len();
-    assert!(vectors.iter().all(|v| v.len() == ns), "performance vectors disagree on NS");
+    assert!(
+        vectors.iter().all(|v| v.len() == ns),
+        "performance vectors disagree on NS"
+    );
     let n = vectors.len();
     let mut nb_dags = vec![0u32; n];
     let mut assignment = Vec::with_capacity(ns);
@@ -147,7 +153,10 @@ pub fn repartition(vectors: &[PerformanceVector]) -> Repartition {
         nb_dags[cluster_min] += 1;
         assignment.push(ClusterId(cluster_min as u32));
     }
-    Repartition { assignment, nb_dags }
+    Repartition {
+        assignment,
+        nb_dags,
+    }
 }
 
 /// Exact scenario repartition by dynamic programming: minimizes the
@@ -161,9 +170,15 @@ pub fn repartition(vectors: &[PerformanceVector]) -> Repartition {
 /// greedy can lose (see the `greedy_suboptimal_on_nonmonotone_vectors`
 /// test). This solver is the ground truth either way.
 pub fn repartition_exact(vectors: &[PerformanceVector]) -> Repartition {
-    assert!(!vectors.is_empty(), "repartition needs at least one cluster");
+    assert!(
+        !vectors.is_empty(),
+        "repartition needs at least one cluster"
+    );
     let ns = vectors[0].len();
-    assert!(vectors.iter().all(|v| v.len() == ns), "performance vectors disagree on NS");
+    assert!(
+        vectors.iter().all(|v| v.len() == ns),
+        "performance vectors disagree on NS"
+    );
     let n = vectors.len();
     let cost = |i: usize, k: usize| -> f64 {
         if k == 0 {
@@ -206,7 +221,10 @@ pub fn repartition_exact(vectors: &[PerformanceVector]) -> Repartition {
             assignment.push(ClusterId(i as u32));
         }
     }
-    Repartition { assignment, nb_dags }
+    Repartition {
+        assignment,
+        nb_dags,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +237,10 @@ mod tests {
     fn vectors(ms: &[&[f64]]) -> Vec<PerformanceVector> {
         ms.iter()
             .enumerate()
-            .map(|(i, v)| PerformanceVector { cluster: ClusterId(i as u32), makespans: v.to_vec() })
+            .map(|(i, v)| PerformanceVector {
+                cluster: ClusterId(i as u32),
+                makespans: v.to_vec(),
+            })
             .collect()
     }
 
@@ -288,7 +309,10 @@ mod tests {
         let table_small = m.table(1.0).unwrap();
         let v = vec![
             performance_vector(ClusterId(0), 4, &table_small, Heuristic::Basic, 3, 10),
-            PerformanceVector { cluster: ClusterId(1), makespans: vec![f64::INFINITY; 3] },
+            PerformanceVector {
+                cluster: ClusterId(1),
+                makespans: vec![f64::INFINITY; 3],
+            },
         ];
         let r = repartition(&v);
         assert_eq!(r.nb_dags[1], 0);
@@ -316,8 +340,7 @@ mod tests {
     fn scenarios_of_lists_assignments() {
         let v = vectors(&[&[10.0, 20.0], &[15.0, 30.0]]);
         let r = repartition(&v);
-        let all: usize =
-            (0..2).map(|c| r.scenarios_of(ClusterId(c)).len()).sum();
+        let all: usize = (0..2).map(|c| r.scenarios_of(ClusterId(c)).len()).sum();
         assert_eq!(all, 2);
     }
 

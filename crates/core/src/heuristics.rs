@@ -47,7 +47,10 @@ impl std::fmt::Display for HeuristicError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HeuristicError::ClusterTooSmall { resources } => {
-                write!(f, "cluster with {resources} processors cannot run any group of 4..=11")
+                write!(
+                    f,
+                    "cluster with {resources} processors cannot run any group of 4..=11"
+                )
             }
         }
     }
@@ -100,11 +103,7 @@ impl Heuristic {
 
     /// Builds the grouping this heuristic chooses for `inst` on a
     /// cluster with timing `table`.
-    pub fn grouping(
-        self,
-        inst: Instance,
-        table: &TimingTable,
-    ) -> Result<Grouping, HeuristicError> {
+    pub fn grouping(self, inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
         match self {
             Heuristic::Basic => basic(inst, table),
             Heuristic::RedistributeIdle => redistribute_idle(inst, table),
@@ -163,7 +162,7 @@ fn redistribute_idle(inst: Instance, table: &TimingTable) -> Result<Grouping, He
     // among the groups").
     'outer: loop {
         let mut gave = false;
-        for size in groups.iter_mut() {
+        for size in &mut groups {
             if spare == 0 {
                 break 'outer;
             }
@@ -192,7 +191,7 @@ fn no_post_reservation(inst: Instance, table: &TimingTable) -> Result<Grouping, 
         // All leftover processors go to the groups, evenly, capped at 11.
         'outer: loop {
             let mut gave = false;
-            for size in groups.iter_mut() {
+            for size in &mut groups {
                 if spare == 0 {
                     break 'outer;
                 }
@@ -317,14 +316,18 @@ mod tests {
     fn improvement_1_reproduces_paper_example() {
         // "3 groups with 8 resources and 4 groups with 7 resources and
         // 1 resource for the post processing tasks."
-        let g = Heuristic::RedistributeIdle.grouping(inst53(), &table()).unwrap();
+        let g = Heuristic::RedistributeIdle
+            .grouping(inst53(), &table())
+            .unwrap();
         assert_eq!(g.groups(), &[8, 8, 8, 7, 7, 7, 7]);
         assert_eq!(g.post_procs, 1);
     }
 
     #[test]
     fn improvement_2_reserves_nothing_for_posts() {
-        let g = Heuristic::NoPostReservation.grouping(inst53(), &table()).unwrap();
+        let g = Heuristic::NoPostReservation
+            .grouping(inst53(), &table())
+            .unwrap();
         assert_eq!(g.post_procs, 0);
         assert_eq!(g.total_procs(), 53);
     }
@@ -345,7 +348,8 @@ mod tests {
             let inst = Instance::new(10, 24, r);
             for h in Heuristic::PAPER {
                 let g = h.grouping(inst, &t).unwrap();
-                g.validate(inst).unwrap_or_else(|e| panic!("{h:?} at R={r}: {e}"));
+                g.validate(inst)
+                    .unwrap_or_else(|e| panic!("{h:?} at R={r}: {e}"));
             }
         }
     }
@@ -370,12 +374,18 @@ mod tests {
         for r in (11..=120).step_by(7) {
             let inst = Instance::new(10, 120, r);
             let base = Heuristic::Basic.makespan(inst, &t).unwrap();
-            for h in [Heuristic::RedistributeIdle, Heuristic::NoPostReservation, Heuristic::Knapsack]
-            {
+            for h in [
+                Heuristic::RedistributeIdle,
+                Heuristic::NoPostReservation,
+                Heuristic::Knapsack,
+            ] {
                 let ms = h.makespan(inst, &t).unwrap();
                 let gain = gain_pct(base, ms);
                 assert!(gain > -5.0, "{h:?} at R={r}: gain {gain:.2}%");
-                assert!(gain < 30.0, "{h:?} at R={r}: gain {gain:.2}% implausibly large");
+                assert!(
+                    gain < 30.0,
+                    "{h:?} at R={r}: gain {gain:.2}% implausibly large"
+                );
             }
         }
     }
@@ -398,7 +408,10 @@ mod tests {
                 greedy_wins += 1;
             }
         }
-        assert!(exact_wins > greedy_wins, "exact {exact_wins} vs greedy {greedy_wins}");
+        assert!(
+            exact_wins > greedy_wins,
+            "exact {exact_wins} vs greedy {greedy_wins}"
+        );
     }
 
     #[test]
@@ -422,8 +435,14 @@ mod tests {
                 let bal = Heuristic::Balanced.makespan(inst, &t).unwrap();
                 let basic = Heuristic::Basic.makespan(inst, &t).unwrap();
                 let knap = Heuristic::Knapsack.makespan(inst, &t).unwrap();
-                assert!(bal <= basic + 1e-6, "NS={ns} R={r}: bal {bal} > basic {basic}");
-                assert!(bal <= knap + 1e-6, "NS={ns} R={r}: bal {bal} > knapsack {knap}");
+                assert!(
+                    bal <= basic + 1e-6,
+                    "NS={ns} R={r}: bal {bal} > basic {basic}"
+                );
+                assert!(
+                    bal <= knap + 1e-6,
+                    "NS={ns} R={r}: bal {bal} > knapsack {knap}"
+                );
             }
         }
     }
@@ -442,7 +461,10 @@ mod tests {
                 repaired += 1;
             }
         }
-        assert!(repaired > 0, "balanced never improved on the raw knapsack at NS = 2");
+        assert!(
+            repaired > 0,
+            "balanced never improved on the raw knapsack at NS = 2"
+        );
     }
 
     #[test]

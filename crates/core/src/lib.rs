@@ -47,12 +47,12 @@ pub mod params;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::analytic::{best_group, Breakdown};
-    pub use crate::generic;
     pub use crate::estimate::{estimate, Estimate};
+    pub use crate::generic;
     pub use crate::grouping::{Grouping, GroupingError};
     pub use crate::hetero::{
-        grid_performance, performance_vector, repartition, repartition_exact,
-        PerformanceVector, Repartition,
+        grid_performance, performance_vector, repartition, repartition_exact, PerformanceVector,
+        Repartition,
     };
     pub use crate::heuristics::{gain_pct, Heuristic, HeuristicError};
     pub use crate::params::Instance;
@@ -70,7 +70,11 @@ mod proptests {
 
     fn arb_table() -> impl Strategy<Value = TimingTable> {
         // Random but physical tables: decreasing mains, positive post.
-        (50.0f64..4000.0, 1.0f64..400.0, proptest::collection::vec(0.0f64..500.0, 8))
+        (
+            50.0f64..4000.0,
+            1.0f64..400.0,
+            proptest::collection::vec(0.0f64..500.0, 8),
+        )
             .prop_map(|(t11, tp, bumps)| {
                 let mut main = [0.0f64; 8];
                 let mut acc = t11;

@@ -50,6 +50,50 @@ fn fractional_bound(p: &Problem, order: &[usize], from: usize, cap: f64, card: f
     bound_cap.min(bound_card)
 }
 
+/// Depth-first search state: the problem, the branching order and the
+/// incumbent, carried once instead of threaded through every recursive
+/// call.
+struct Search<'a> {
+    p: &'a Problem,
+    order: Vec<usize>,
+    counts: Vec<u32>,
+    best_value: f64,
+    best_counts: Vec<u32>,
+    /// Tolerance mirroring the DP's EPS so both solvers agree on ties.
+    eps: f64,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize, cap: u32, card: u32, value: f64) {
+        if value > self.best_value + self.eps * (1.0 + self.best_value.abs()) {
+            self.best_value = value;
+            self.best_counts.clone_from(&self.counts);
+        }
+        if depth == self.order.len() || cap == 0 || card == 0 {
+            return;
+        }
+        let bound =
+            value + fractional_bound(self.p, &self.order, depth, f64::from(cap), f64::from(card));
+        if bound <= self.best_value + self.eps * (1.0 + self.best_value.abs()) {
+            return;
+        }
+        let i = self.order[depth];
+        let it = &self.p.items[i];
+        let n_max = it.max_copies.min(card).min(cap / it.cost);
+        // Try larger counts first: good solutions early → stronger pruning.
+        for n in (0..=n_max).rev() {
+            self.counts[i] = n;
+            self.dfs(
+                depth + 1,
+                cap - n * it.cost,
+                card - n,
+                value + f64::from(n) * it.value,
+            );
+        }
+        self.counts[i] = 0;
+    }
+}
+
 /// Solves the instance exactly by branch and bound.
 pub fn solve_branch_bound(p: &Problem) -> Solution {
     // Branch in density order so the bound tightens early.
@@ -61,61 +105,16 @@ pub fn solve_branch_bound(p: &Problem) -> Solution {
     });
 
     let seed = solve_greedy(p);
-    let mut best_value = seed.value;
-    let mut best_counts: Vec<u32> = seed.counts.clone();
-
-    let mut counts = vec![0u32; p.items.len()];
-    // Tolerance mirroring the DP's EPS so both solvers agree on ties.
-    let eps = 1e-12;
-
-    #[allow(clippy::too_many_arguments)] // recursion state, not an API
-    fn dfs(
-        p: &Problem,
-        order: &[usize],
-        depth: usize,
-        cap: u32,
-        card: u32,
-        value: f64,
-        counts: &mut Vec<u32>,
-        best_value: &mut f64,
-        best_counts: &mut Vec<u32>,
-        eps: f64,
-    ) {
-        if value > *best_value + eps * (1.0 + best_value.abs()) {
-            *best_value = value;
-            best_counts.clone_from(counts);
-        }
-        if depth == order.len() || cap == 0 || card == 0 {
-            return;
-        }
-        let bound = value + fractional_bound(p, order, depth, cap as f64, card as f64);
-        if bound <= *best_value + eps * (1.0 + best_value.abs()) {
-            return;
-        }
-        let i = order[depth];
-        let it = &p.items[i];
-        let n_max = it.max_copies.min(card).min(cap / it.cost);
-        // Try larger counts first: good solutions early → stronger pruning.
-        for n in (0..=n_max).rev() {
-            counts[i] = n;
-            dfs(
-                p,
-                order,
-                depth + 1,
-                cap - n * it.cost,
-                card - n,
-                value + n as f64 * it.value,
-                counts,
-                best_value,
-                best_counts,
-                eps,
-            );
-        }
-        counts[i] = 0;
-    }
-
-    dfs(p, &order, 0, p.capacity, p.max_items, 0.0, &mut counts, &mut best_value, &mut best_counts, eps);
-    Solution::from_counts(p, best_counts).expect("search only visits feasible states")
+    let mut search = Search {
+        p,
+        order,
+        counts: vec![0u32; p.items.len()],
+        best_value: seed.value,
+        best_counts: seed.counts.clone(),
+        eps: 1e-12,
+    };
+    search.dfs(0, p.capacity, p.max_items, 0.0);
+    Solution::from_counts(p, search.best_counts).expect("search only visits feasible states")
 }
 
 #[cfg(test)]
@@ -139,10 +138,22 @@ mod tests {
     #[test]
     fn agrees_with_dp_on_fixed_instances() {
         agree(&Problem::new(vec![], 10, 10));
-        agree(&Problem::new(vec![Item::new(4, 4.5, 9), Item::new(5, 5.0, 9)], 13, 3));
-        agree(&Problem::new(vec![Item::new(7, 10.0, 10), Item::new(5, 7.0, 10)], 10, 10));
-        let t = [7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0];
-        let items: Vec<Item> = (0..8).map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10)).collect();
+        agree(&Problem::new(
+            vec![Item::new(4, 4.5, 9), Item::new(5, 5.0, 9)],
+            13,
+            3,
+        ));
+        agree(&Problem::new(
+            vec![Item::new(7, 10.0, 10), Item::new(5, 7.0, 10)],
+            10,
+            10,
+        ));
+        let t = [
+            7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0,
+        ];
+        let items: Vec<Item> = (0..8)
+            .map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10))
+            .collect();
         for r in [11, 23, 53, 77, 110] {
             agree(&Problem::new(items.clone(), r, 10));
         }

@@ -12,8 +12,13 @@ use crate::problem::{Problem, Solution};
 /// oracle on real instances.
 pub fn brute_force(p: &Problem, limit: u64) -> Solution {
     let bounds: Vec<u32> = (0..p.items.len()).map(|i| p.effective_bound(i)).collect();
-    let states: u64 = bounds.iter().fold(1u64, |acc, &b| acc.saturating_mul(b as u64 + 1));
-    assert!(states <= limit, "brute force space {states} exceeds limit {limit}");
+    let states: u64 = bounds
+        .iter()
+        .fold(1u64, |acc, &b| acc.saturating_mul(b as u64 + 1));
+    assert!(
+        states <= limit,
+        "brute force space {states} exceeds limit {limit}"
+    );
 
     let mut best = Solution::empty(p.items.len());
     let mut counts = vec![0u32; p.items.len()];
@@ -50,7 +55,11 @@ mod tests {
 
     #[test]
     fn oracle_matches_dp_value_on_small_instances() {
-        let items = vec![Item::new(2, 3.0, 3), Item::new(3, 4.0, 3), Item::new(5, 9.0, 3)];
+        let items = vec![
+            Item::new(2, 3.0, 3),
+            Item::new(3, 4.0, 3),
+            Item::new(5, 9.0, 3),
+        ];
         for cap in 0..=15 {
             for card in 0..=5 {
                 let p = Problem::new(items.clone(), cap, card);

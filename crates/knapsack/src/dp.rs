@@ -173,9 +173,12 @@ mod tests {
     fn paper_shaped_instance() {
         // Group sizes 4..=11, value 1/T[G] with the reference Amdahl
         // table, R = 53, NS = 10 → the optimum packs 53 processors.
-        let t = [7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0];
-        let items: Vec<Item> =
-            (0..8).map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10)).collect();
+        let t = [
+            7142.0, 3782.0, 2662.0, 2102.0, 1766.0, 1542.0, 1382.0, 1262.0,
+        ];
+        let items: Vec<Item> = (0..8)
+            .map(|i| Item::new(4 + i as u32, 1.0 / t[i], 10))
+            .collect();
         let p = Problem::new(items, 53, 10);
         let s = solve_dp(&p);
         assert!(s.is_valid_for(&p));

@@ -31,8 +31,15 @@ impl Item {
     /// (zero-cost items make the problem unbounded in spirit).
     pub fn new(cost: u32, value: f64, max_copies: u32) -> Self {
         assert!(cost > 0, "item cost must be positive");
-        assert!(value.is_finite() && value >= 0.0, "item value must be finite and ≥ 0");
-        Self { cost, value, max_copies }
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "item value must be finite and ≥ 0"
+        );
+        Self {
+            cost,
+            value,
+            max_copies,
+        }
     }
 }
 
@@ -50,14 +57,20 @@ pub struct Problem {
 impl Problem {
     /// Creates a problem.
     pub fn new(items: Vec<Item>, capacity: u32, max_items: u32) -> Self {
-        Self { items, capacity, max_items }
+        Self {
+            items,
+            capacity,
+            max_items,
+        }
     }
 
     /// Effective per-item copy bound: the declared bound clamped by the
     /// cardinality constraint and by how many copies fit in the budget.
     pub fn effective_bound(&self, i: usize) -> u32 {
         let it = &self.items[i];
-        it.max_copies.min(self.max_items).min(self.capacity / it.cost)
+        it.max_copies
+            .min(self.max_items)
+            .min(self.capacity / it.cost)
     }
 }
 
@@ -77,7 +90,12 @@ pub struct Solution {
 impl Solution {
     /// The empty selection for a problem with `n` item kinds.
     pub fn empty(n: usize) -> Self {
-        Self { counts: vec![0; n], value: 0.0, cost: 0, copies: 0 }
+        Self {
+            counts: vec![0; n],
+            value: 0.0,
+            cost: 0,
+            copies: 0,
+        }
     }
 
     /// Recomputes totals from `counts` against `p`, verifying
@@ -100,7 +118,12 @@ impl Solution {
         if cost > p.capacity as u64 || copies > p.max_items as u64 {
             return None;
         }
-        Some(Self { counts, value, cost: cost as u32, copies: copies as u32 })
+        Some(Self {
+            counts,
+            value,
+            cost: cost as u32,
+            copies: copies as u32,
+        })
     }
 
     /// Whether this selection is feasible for `p` and its cached totals

@@ -54,7 +54,11 @@ impl std::error::Error for AgentError {}
 impl MasterAgent {
     /// Creates an agent over channel ends to its SeDs.
     pub fn new(seds: Vec<Sender<SedMsg>>, from_seds: Receiver<AgentMsg>) -> Self {
-        Self { seds, from_seds, next_request: 1 }
+        Self {
+            seds,
+            from_seds,
+            next_request: 1,
+        }
     }
 
     /// Runs one full campaign: the six protocol steps.
@@ -70,7 +74,9 @@ impl MasterAgent {
         // Step 2: broadcast the performance query.
         let mut live = vec![false; n];
         for (i, tx) in self.seds.iter().enumerate() {
-            let sent = tx.send(SedMsg::Perf(PerfRequest { request, ns, nm })).is_ok();
+            let sent = tx
+                .send(SedMsg::Perf(PerfRequest { request, ns, nm }))
+                .is_ok();
             live[i] = sent;
             if sent {
                 trace.push(ProtocolEvent::PerfQueried {
@@ -88,7 +94,9 @@ impl MasterAgent {
             match self.from_seds.recv_timeout(SED_TIMEOUT) {
                 Ok(AgentMsg::Perf(reply)) if reply.request == request => {
                     let i = reply.cluster.index();
-                    trace.push(ProtocolEvent::PerfReceived { cluster: reply.cluster });
+                    trace.push(ProtocolEvent::PerfReceived {
+                        cluster: reply.cluster,
+                    });
                     vectors[i] = Some(reply.vector);
                     received += 1;
                 }
@@ -101,17 +109,25 @@ impl MasterAgent {
                 vectors[i].clone().unwrap_or_else(|| {
                     let cluster = oa_platform::cluster::ClusterId(i as u32);
                     trace.push(ProtocolEvent::PerfMissing { cluster });
-                    PerformanceVector { cluster, makespans: vec![f64::INFINITY; ns as usize] }
+                    PerformanceVector {
+                        cluster,
+                        makespans: vec![f64::INFINITY; ns as usize],
+                    }
                 })
             })
             .collect();
-        if vectors.iter().all(|v| v.makespans.iter().all(|m| m.is_infinite())) {
+        if vectors
+            .iter()
+            .all(|v| v.makespans.iter().all(|m| m.is_infinite()))
+        {
             return Err(AgentError::NoUsableCluster);
         }
 
         // Step 4: Algorithm 1.
         let plan = repartition(&vectors);
-        trace.push(ProtocolEvent::RepartitionComputed { nb_dags: plan.nb_dags.clone() });
+        trace.push(ProtocolEvent::RepartitionComputed {
+            nb_dags: plan.nb_dags.clone(),
+        });
 
         // Step 5: dispatch.
         let mut pending = 0;
@@ -121,8 +137,18 @@ impl MasterAgent {
             }
             let cluster = oa_platform::cluster::ClusterId(i as u32);
             let scenarios = plan.scenarios_of(cluster);
-            trace.push(ProtocolEvent::ExecSent { cluster, scenarios: scenarios.len() as u32 });
-            if tx.send(SedMsg::Exec(ExecRequest { request, scenarios, nm })).is_ok() {
+            trace.push(ProtocolEvent::ExecSent {
+                cluster,
+                scenarios: scenarios.len() as u32,
+            });
+            if tx
+                .send(SedMsg::Exec(ExecRequest {
+                    request,
+                    scenarios,
+                    nm,
+                }))
+                .is_ok()
+            {
                 pending += 1;
             }
         }
@@ -144,7 +170,12 @@ impl MasterAgent {
         }
         reports.sort_by_key(|r| r.cluster);
         let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
-        Ok(CampaignReport { request, reports, makespan, trace })
+        Ok(CampaignReport {
+            request,
+            reports,
+            makespan,
+            trace,
+        })
     }
 
     /// Sends `Shutdown` to every SeD.

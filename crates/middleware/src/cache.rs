@@ -28,7 +28,12 @@ impl VectorCache {
     /// Creates a cache holding at most `capacity` vectors.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "a zero-capacity cache is a bug magnet");
-        Self { capacity, entries: VecDeque::new(), hits: 0, misses: 0 }
+        Self {
+            capacity,
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Looks up `(ns, nm)`, computing and inserting on miss.
@@ -76,7 +81,10 @@ mod tests {
     use oa_platform::cluster::ClusterId;
 
     fn vector(tag: f64) -> PerformanceVector {
-        PerformanceVector { cluster: ClusterId(0), makespans: vec![tag] }
+        PerformanceVector {
+            cluster: ClusterId(0),
+            makespans: vec![tag],
+        }
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Deployment {
     /// mixed heuristics, …).
     pub fn with_plugins(
         grid: &Grid,
-        mut make_plugin: impl FnMut(ClusterId, &oa_platform::cluster::Cluster) -> Box<dyn SchedulerPlugin>,
+        mut make_plugin: impl FnMut(
+            ClusterId,
+            &oa_platform::cluster::Cluster,
+        ) -> Box<dyn SchedulerPlugin>,
     ) -> Self {
         let (to_agent, from_seds) = unbounded();
         let mut sed_txs = Vec::with_capacity(grid.len());
@@ -77,13 +80,19 @@ impl Deployment {
             agent.shutdown();
         });
 
-        Deployment { commands, agent: Some(agent), workers }
+        Deployment {
+            commands,
+            agent: Some(agent),
+            workers,
+        }
     }
 
     /// A client bound to this deployment. Clients are cheap; create one
     /// per thread.
     pub fn client(&self) -> Client {
-        Client { commands: self.commands.clone() }
+        Client {
+            commands: self.commands.clone(),
+        }
     }
 }
 
@@ -138,7 +147,10 @@ mod tests {
         let total: usize = report.reports.iter().map(|r| r.scenarios.len()).sum();
         assert_eq!(total, 10);
         // The trace walks the six steps in order.
-        assert!(matches!(report.trace[0], ProtocolEvent::RequestReceived { ns: 10, nm: 12, .. }));
+        assert!(matches!(
+            report.trace[0],
+            ProtocolEvent::RequestReceived { ns: 10, nm: 12, .. }
+        ));
         assert!(report
             .trace
             .iter()
@@ -199,13 +211,22 @@ mod tests {
         let by_ns = |ns: u32| {
             reports
                 .iter()
-                .filter(|r| r.reports.iter().map(|x| x.scenarios.len() as u32).sum::<u32>() == ns)
+                .filter(|r| {
+                    r.reports
+                        .iter()
+                        .map(|x| x.scenarios.len() as u32)
+                        .sum::<u32>()
+                        == ns
+                })
                 .map(|r| r.makespan)
                 .collect::<Vec<_>>()
         };
         for ns in 2..=4 {
             let ms = by_ns(ns);
-            assert!(ms.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "ns={ns}: {ms:?}");
+            assert!(
+                ms.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+                "ns={ns}: {ms:?}"
+            );
         }
     }
 
@@ -220,7 +241,11 @@ mod tests {
             }
         });
         let report = deployment.client().submit(6, 8).unwrap();
-        let r0 = report.reports.iter().find(|r| r.cluster.index() == 0).unwrap();
+        let r0 = report
+            .reports
+            .iter()
+            .find(|r| r.cluster.index() == 0)
+            .unwrap();
         assert!(r0.scenarios.is_empty());
         let total: usize = report.reports.iter().map(|r| r.scenarios.len()).sum();
         assert_eq!(total, 6);
@@ -230,7 +255,10 @@ mod tests {
     fn all_clusters_unavailable_is_an_error() {
         let grid = benchmark_grid(30).take(2);
         let deployment = Deployment::with_plugins(&grid, |_, _| Box::new(UnavailablePlugin));
-        assert_eq!(deployment.client().submit(2, 2), Err(AgentError::NoUsableCluster));
+        assert_eq!(
+            deployment.client().submit(2, 2),
+            Err(AgentError::NoUsableCluster)
+        );
     }
 
     #[test]
@@ -238,8 +266,16 @@ mod tests {
         let grid = benchmark_grid(40);
         let deployment = Deployment::new(&grid, Heuristic::Knapsack);
         let report = deployment.client().submit(10, 24).unwrap();
-        let fastest = report.reports.iter().find(|r| r.cluster.index() == 0).unwrap();
-        let slowest = report.reports.iter().find(|r| r.cluster.index() == 4).unwrap();
+        let fastest = report
+            .reports
+            .iter()
+            .find(|r| r.cluster.index() == 0)
+            .unwrap();
+        let slowest = report
+            .reports
+            .iter()
+            .find(|r| r.cluster.index() == 4)
+            .unwrap();
         assert!(fastest.scenarios.len() >= slowest.scenarios.len());
     }
 

@@ -40,12 +40,12 @@ pub mod sed;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::agent::{AgentError, MasterAgent};
+    pub use crate::cache::VectorCache;
     pub use crate::deploy::{Client, Deployment};
     pub use crate::plugin::{HeuristicPlugin, SchedulerPlugin, UnavailablePlugin};
     pub use crate::protocol::{
         AgentMsg, CampaignReport, ExecReport, ExecRequest, PerfReply, PerfRequest, ProtocolEvent,
         SedMsg,
     };
-    pub use crate::cache::VectorCache;
     pub use crate::sed::Sed;
 }

@@ -77,7 +77,10 @@ impl SchedulerPlugin for UnavailablePlugin {
         ns: u32,
         _nm: u32,
     ) -> PerformanceVector {
-        PerformanceVector { cluster, makespans: vec![f64::INFINITY; ns as usize] }
+        PerformanceVector {
+            cluster,
+            makespans: vec![f64::INFINITY; ns as usize],
+        }
     }
 
     fn grouping(&self, inst: Instance, _table: &TimingTable) -> Result<Grouping, HeuristicError> {

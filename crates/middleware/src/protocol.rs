@@ -156,18 +156,28 @@ mod tests {
 
     #[test]
     fn messages_round_trip_through_serde() {
-        let req = PerfRequest { request: 7, ns: 10, nm: 1800 };
+        let req = PerfRequest {
+            request: 7,
+            ns: 10,
+            nm: 1800,
+        };
         let json = serde_json::to_string(&req).unwrap();
         assert_eq!(serde_json::from_str::<PerfRequest>(&json).unwrap(), req);
 
-        let msg = SedMsg::Exec(ExecRequest { request: 7, scenarios: vec![1, 4], nm: 12 });
+        let msg = SedMsg::Exec(ExecRequest {
+            request: 7,
+            scenarios: vec![1, 4],
+            nm: 12,
+        });
         let json = serde_json::to_string(&msg).unwrap();
         assert_eq!(serde_json::from_str::<SedMsg>(&json).unwrap(), msg);
     }
 
     #[test]
     fn protocol_events_serialize() {
-        let e = ProtocolEvent::RepartitionComputed { nb_dags: vec![3, 7] };
+        let e = ProtocolEvent::RepartitionComputed {
+            nb_dags: vec![3, 7],
+        };
         let json = serde_json::to_string(&e).unwrap();
         assert!(json.contains("RepartitionComputed"));
     }

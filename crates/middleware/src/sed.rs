@@ -34,20 +34,31 @@ pub struct Sed {
 impl Sed {
     /// Creates a SeD.
     pub fn new(id: ClusterId, cluster: Cluster, plugin: Box<dyn SchedulerPlugin>) -> Self {
-        Self { id, cluster, plugin, cache: VectorCache::new(CACHE_CAPACITY) }
+        Self {
+            id,
+            cluster,
+            plugin,
+            cache: VectorCache::new(CACHE_CAPACITY),
+        }
     }
 
     /// Handles one performance query (step 2 of Figure 9), consulting
     /// the per-SeD vector cache first.
     pub fn handle_perf(&mut self, req: &PerfRequest) -> PerfReply {
-        let (id, resources, timing, plugin) =
-            (self.id, self.cluster.resources, &self.cluster.timing, &self.plugin);
-        let vector: PerformanceVector = self
-            .cache
-            .get_or_compute(req.ns, req.nm, || {
-                plugin.performance(id, resources, timing, req.ns, req.nm)
-            });
-        PerfReply { request: req.request, cluster: self.id, vector }
+        let (id, resources, timing, plugin) = (
+            self.id,
+            self.cluster.resources,
+            &self.cluster.timing,
+            &self.plugin,
+        );
+        let vector: PerformanceVector = self.cache.get_or_compute(req.ns, req.nm, || {
+            plugin.performance(id, resources, timing, req.ns, req.nm)
+        });
+        PerfReply {
+            request: req.request,
+            cluster: self.id,
+            vector,
+        }
     }
 
     /// `(hits, misses)` of the vector cache.
@@ -124,7 +135,11 @@ mod tests {
     #[test]
     fn perf_reply_has_full_vector() {
         let mut s = sed();
-        let r = s.handle_perf(&PerfRequest { request: 1, ns: 10, nm: 12 });
+        let r = s.handle_perf(&PerfRequest {
+            request: 1,
+            ns: 10,
+            nm: 12,
+        });
         assert_eq!(r.cluster, ClusterId(0));
         assert_eq!(r.vector.len(), 10);
         assert!(r.vector.of(10) > r.vector.of(1));
@@ -133,7 +148,11 @@ mod tests {
     #[test]
     fn exec_reports_makespan_and_grouping() {
         let s = sed();
-        let r = s.handle_exec(&ExecRequest { request: 2, scenarios: vec![3, 5, 8], nm: 12 });
+        let r = s.handle_exec(&ExecRequest {
+            request: 2,
+            scenarios: vec![3, 5, 8],
+            nm: 12,
+        });
         assert_eq!(r.scenarios, vec![3, 5, 8]);
         assert!(r.makespan > 0.0);
         assert!(r.grouping.contains("post"));
@@ -142,7 +161,11 @@ mod tests {
     #[test]
     fn empty_assignment_reports_zero() {
         let s = sed();
-        let r = s.handle_exec(&ExecRequest { request: 3, scenarios: vec![], nm: 12 });
+        let r = s.handle_exec(&ExecRequest {
+            request: 3,
+            scenarios: vec![],
+            nm: 12,
+        });
         assert_eq!(r.makespan, 0.0);
         assert_eq!(r.grouping, "(none)");
     }
@@ -152,8 +175,16 @@ mod tests {
         // The vector entry for k scenarios must equal what execution of
         // k scenarios then reports — the planner's contract.
         let mut s = sed();
-        let perf = s.handle_perf(&PerfRequest { request: 4, ns: 5, nm: 10 });
-        let exec = s.handle_exec(&ExecRequest { request: 4, scenarios: vec![0, 1, 2], nm: 10 });
+        let perf = s.handle_perf(&PerfRequest {
+            request: 4,
+            ns: 5,
+            nm: 10,
+        });
+        let exec = s.handle_exec(&ExecRequest {
+            request: 4,
+            scenarios: vec![0, 1, 2],
+            nm: 10,
+        });
         assert!((perf.vector.of(3) - exec.makespan).abs() < 1e-6);
     }
 
@@ -162,7 +193,13 @@ mod tests {
         let (tx_in, rx_in) = crossbeam::channel::unbounded();
         let (tx_out, rx_out) = crossbeam::channel::unbounded();
         let handle = std::thread::spawn(move || sed().serve(rx_in, tx_out));
-        tx_in.send(SedMsg::Perf(PerfRequest { request: 9, ns: 2, nm: 3 })).unwrap();
+        tx_in
+            .send(SedMsg::Perf(PerfRequest {
+                request: 9,
+                ns: 2,
+                nm: 3,
+            }))
+            .unwrap();
         match rx_out.recv().unwrap() {
             AgentMsg::Perf(p) => assert_eq!(p.request, 9),
             other => panic!("unexpected {other:?}"),
@@ -174,13 +211,21 @@ mod tests {
     #[test]
     fn repeated_queries_hit_the_cache() {
         let mut s = sed();
-        let q = PerfRequest { request: 1, ns: 6, nm: 12 };
+        let q = PerfRequest {
+            request: 1,
+            ns: 6,
+            nm: 12,
+        };
         let a = s.handle_perf(&q);
         let b = s.handle_perf(&PerfRequest { request: 2, ..q });
         assert_eq!(a.vector, b.vector);
         assert_eq!(s.cache_stats(), (1, 1));
         // A different shape misses.
-        s.handle_perf(&PerfRequest { request: 3, ns: 6, nm: 13 });
+        s.handle_perf(&PerfRequest {
+            request: 3,
+            ns: 6,
+            nm: 13,
+        });
         assert_eq!(s.cache_stats(), (1, 2));
     }
 }

@@ -35,7 +35,11 @@ pub struct BenchmarkConfig {
 
 impl Default for BenchmarkConfig {
     fn default() -> Self {
-        Self { repetitions: 5, noise: 0.02, seed: 0x0cea_a702_0080 }
+        Self {
+            repetitions: 5,
+            noise: 0.02,
+            seed: 0x0cea_a702_0080,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ pub fn run_campaign(
     config: BenchmarkConfig,
 ) -> Result<CampaignResult, TimingError> {
     assert!(config.repetitions > 0, "at least one repetition required");
-    assert!((0.0..0.5).contains(&config.noise), "noise must be in [0, 0.5)");
+    assert!(
+        (0.0..0.5).contains(&config.noise),
+        "noise must be in [0, 0.5)"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let noise_dist = Uniform::new_inclusive(1.0 - config.noise, 1.0 + config.noise)
         .expect("noise bounds are ordered");
@@ -97,13 +104,19 @@ pub fn run_campaign(
 
     // Fit on pcr times: strip the (scaled) pre-processing constant.
     let pre = 2.0 * speed_factor;
-    let fit_samples: Vec<(u32, f64)> =
-        samples.iter().map(|s| (s.group, (s.secs - pre).max(1e-9))).collect();
+    let fit_samples: Vec<(u32, f64)> = samples
+        .iter()
+        .map(|s| (s.group, (s.secs - pre).max(1e-9)))
+        .collect();
     // Heavy noise can make the least-squares curve non-monotone, which
     // `fit` rejects — the table is still usable, so report `None`
     // rather than failing the campaign.
     let fitted = fit(&fit_samples);
-    Ok(CampaignResult { samples, table, fitted })
+    Ok(CampaignResult {
+        samples,
+        table,
+        fitted,
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +126,11 @@ mod tests {
     #[test]
     fn noiseless_campaign_reproduces_truth() {
         let truth = PcrModel::reference();
-        let cfg = BenchmarkConfig { repetitions: 1, noise: 0.0, seed: 1 };
+        let cfg = BenchmarkConfig {
+            repetitions: 1,
+            noise: 0.0,
+            seed: 1,
+        };
         let r = run_campaign(&truth, 1.0, cfg).unwrap();
         let expect = truth.table(1.0).unwrap();
         for g in 4..=11 {
@@ -127,7 +144,11 @@ mod tests {
     #[test]
     fn noisy_campaign_stays_close() {
         let truth = PcrModel::reference();
-        let cfg = BenchmarkConfig { repetitions: 7, noise: 0.05, seed: 42 };
+        let cfg = BenchmarkConfig {
+            repetitions: 7,
+            noise: 0.05,
+            seed: 42,
+        };
         let r = run_campaign(&truth, 1.2, cfg).unwrap();
         let expect = truth.table(1.2).unwrap();
         for g in 4..=11 {
@@ -150,7 +171,11 @@ mod tests {
     fn table_is_always_monotone_despite_noise() {
         let truth = PcrModel::new(50.0, 400.0, 0.0); // shallow curve: noise easily inverts
         for seed in 0..20 {
-            let cfg = BenchmarkConfig { repetitions: 3, noise: 0.2, seed };
+            let cfg = BenchmarkConfig {
+                repetitions: 3,
+                noise: 0.2,
+                seed,
+            };
             let r = run_campaign(&truth, 1.0, cfg).unwrap();
             let arr = r.table.main_array();
             for i in 1..arr.len() {
@@ -162,10 +187,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "repetition")]
     fn zero_repetitions_panics() {
-        let _ = run_campaign(&PcrModel::reference(), 1.0, BenchmarkConfig {
-            repetitions: 0,
-            noise: 0.0,
-            seed: 0,
-        });
+        let _ = run_campaign(
+            &PcrModel::reference(),
+            1.0,
+            BenchmarkConfig {
+                repetitions: 0,
+                noise: 0.0,
+                seed: 0,
+            },
+        );
     }
 }

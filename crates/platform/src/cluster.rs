@@ -41,8 +41,15 @@ impl Cluster {
     /// Builds a cluster; rejects degenerate processor counts (below the
     /// smallest legal group, nothing can ever run).
     pub fn new(name: impl Into<String>, resources: u32, timing: TimingTable) -> Self {
-        assert!(resources >= 4, "a cluster needs at least 4 processors to run any pcr");
-        Self { name: name.into(), resources, timing }
+        assert!(
+            resources >= 4,
+            "a cluster needs at least 4 processors to run any pcr"
+        );
+        Self {
+            name: name.into(),
+            resources,
+            timing,
+        }
     }
 
     /// Builds a cluster from a speedup model and a relative speed

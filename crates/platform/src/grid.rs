@@ -50,7 +50,10 @@ impl Grid {
 
     /// Iterator over `(id, cluster)`.
     pub fn iter(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
-        self.clusters.iter().enumerate().map(|(i, c)| (ClusterId(i as u32), c))
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClusterId(i as u32), c))
     }
 
     /// Total processors across the grid.
@@ -77,13 +80,19 @@ impl Grid {
     /// have all the same number of resources").
     pub fn with_uniform_resources(&self, resources: u32) -> Self {
         Self {
-            clusters: self.clusters.iter().map(|c| c.with_resources(resources)).collect(),
+            clusters: self
+                .clusters
+                .iter()
+                .map(|c| c.with_resources(resources))
+                .collect(),
         }
     }
 
     /// A copy restricted to the first `n` clusters.
     pub fn take(&self, n: usize) -> Self {
-        Self { clusters: self.clusters.iter().take(n).cloned().collect() }
+        Self {
+            clusters: self.clusters.iter().take(n).cloned().collect(),
+        }
     }
 }
 

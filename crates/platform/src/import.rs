@@ -155,12 +155,15 @@ pub fn parse_grid(text: &str) -> Result<Grid, ImportError> {
                 let [g, secs] = rest[..] else {
                     return Err(syntax("expected `main <G> <seconds>`".into()));
                 };
-                let g: u32 = g.parse().map_err(|_| syntax(format!("bad group size {g:?}")))?;
+                let g: u32 = g
+                    .parse()
+                    .map_err(|_| syntax(format!("bad group size {g:?}")))?;
                 let i = spec
                     .index_of(g)
                     .ok_or_else(|| syntax(format!("group size {g} outside 4..=11")))?;
-                let secs: f64 =
-                    secs.parse().map_err(|_| syntax(format!("bad duration {secs:?}")))?;
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| syntax(format!("bad duration {secs:?}")))?;
                 if st.main[i].replace(secs).is_some() {
                     return Err(syntax(format!("duplicate `main {g}`")));
                 }
@@ -170,8 +173,9 @@ pub fn parse_grid(text: &str) -> Result<Grid, ImportError> {
                 let [secs] = rest[..] else {
                     return Err(syntax("expected `post <seconds>`".into()));
                 };
-                let secs: f64 =
-                    secs.parse().map_err(|_| syntax(format!("bad duration {secs:?}")))?;
+                let secs: f64 = secs
+                    .parse()
+                    .map_err(|_| syntax(format!("bad duration {secs:?}")))?;
                 if st.post.replace(secs).is_some() {
                     return Err(syntax("duplicate `post`".into()));
                 }
@@ -209,8 +213,9 @@ mod tests {
 
     fn sample() -> String {
         let mut s = String::from("# measured on the testbed\ncluster alpha 53\n");
-        for (g, t) in (4..=11).zip([5462.0, 2942.0, 2128.7, 1742.0, 1526.0, 1395.3, 1313.4, 1262.0])
-        {
+        for (g, t) in (4..=11).zip([
+            5462.0, 2942.0, 2128.7, 1742.0, 1526.0, 1395.3, 1313.4, 1262.0,
+        ]) {
             s.push_str(&format!("main {g} {t}\n"));
         }
         s.push_str("post 180\n");
@@ -281,10 +286,16 @@ mod tests {
             bad.push_str(&format!("main {g} {}\n", g as f64)); // increasing!
         }
         bad.push_str("post 1\n");
-        assert!(matches!(parse_grid(&bad), Err(ImportError::BadTable { .. })));
+        assert!(matches!(
+            parse_grid(&bad),
+            Err(ImportError::BadTable { .. })
+        ));
         // Too few processors.
         let tiny = sample().replace("cluster alpha 53", "cluster alpha 2");
-        assert!(matches!(parse_grid(&tiny), Err(ImportError::BadTable { .. })));
+        assert!(matches!(
+            parse_grid(&tiny),
+            Err(ImportError::BadTable { .. })
+        ));
     }
 
     #[test]

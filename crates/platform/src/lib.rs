@@ -32,9 +32,9 @@
 #![warn(missing_docs)]
 
 pub mod benchmarks;
-pub mod import;
 pub mod cluster;
 pub mod grid;
+pub mod import;
 pub mod presets;
 pub mod speedup;
 pub mod timing;
@@ -43,8 +43,8 @@ pub mod timing;
 pub mod prelude {
     pub use crate::benchmarks::{run_campaign, BenchmarkConfig, CampaignResult, Sample};
     pub use crate::cluster::{Cluster, ClusterId};
-    pub use crate::import::{parse_grid, render_grid, ImportError};
     pub use crate::grid::Grid;
+    pub use crate::import::{parse_grid, render_grid, ImportError};
     pub use crate::presets::{
         benchmark_grid, preset_cluster, reference_cluster, DEFAULT_RESOURCES, FASTEST_T11,
         PRESET_CLUSTERS, SLOWEST_T11,

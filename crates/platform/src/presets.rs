@@ -134,7 +134,10 @@ mod tests {
             .collect();
         let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - ratios.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 0.05, "preset curves are near-identical: {ratios:?}");
+        assert!(
+            spread > 0.05,
+            "preset curves are near-identical: {ratios:?}"
+        );
     }
 
     #[test]

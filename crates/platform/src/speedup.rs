@@ -50,10 +50,23 @@ impl Default for PcrModel {
 impl PcrModel {
     /// Creates a model; panics on non-finite or negative parameters.
     pub fn new(seq_secs: f64, par_secs: f64, comm_secs: f64) -> Self {
-        assert!(seq_secs.is_finite() && seq_secs >= 0.0, "seq_secs must be ≥ 0");
-        assert!(par_secs.is_finite() && par_secs > 0.0, "par_secs must be > 0");
-        assert!(comm_secs.is_finite() && comm_secs >= 0.0, "comm_secs must be ≥ 0");
-        let m = Self { seq_secs, par_secs, comm_secs };
+        assert!(
+            seq_secs.is_finite() && seq_secs >= 0.0,
+            "seq_secs must be ≥ 0"
+        );
+        assert!(
+            par_secs.is_finite() && par_secs > 0.0,
+            "par_secs must be > 0"
+        );
+        assert!(
+            comm_secs.is_finite() && comm_secs >= 0.0,
+            "comm_secs must be ≥ 0"
+        );
+        let m = Self {
+            seq_secs,
+            par_secs,
+            comm_secs,
+        };
         // The comm term must not defeat Amdahl within the legal range:
         // T must stay non-increasing over G ∈ 4..=11.
         for g in 4..11 {
@@ -101,15 +114,25 @@ impl PcrModel {
     /// A copy with all three parameters multiplied by `factor` —
     /// uniformly slower or faster hardware.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
-        Self::new(self.seq_secs * factor, self.par_secs * factor, self.comm_secs * factor)
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
+        Self::new(
+            self.seq_secs * factor,
+            self.par_secs * factor,
+            self.comm_secs * factor,
+        )
     }
 
     /// Materializes the timing table for a cluster whose processors are
     /// `speed_factor` times slower than the reference (1.0 = reference;
     /// the paper's five clusters span roughly 0.93–1.29).
     pub fn table(&self, speed_factor: f64) -> Result<TimingTable, TimingError> {
-        assert!(speed_factor.is_finite() && speed_factor > 0.0, "speed factor must be positive");
+        assert!(
+            speed_factor.is_finite() && speed_factor > 0.0,
+            "speed factor must be positive"
+        );
         let mut main = [0.0; NUM_GROUP_SIZES];
         let spec = MoldableSpec::pcr();
         for (i, g) in spec.allocations().enumerate() {
@@ -157,7 +180,11 @@ pub fn fit(samples: &[(u32, f64)]) -> Option<PcrModel> {
         return None;
     }
     // Reject fits whose curve increases somewhere in range.
-    let m = PcrModel { seq_secs: seq, par_secs: par, comm_secs: comm };
+    let m = PcrModel {
+        seq_secs: seq,
+        par_secs: par,
+        comm_secs: comm,
+    };
     for g in 4..11 {
         if m.pcr_secs(g) < m.pcr_secs(g + 1) {
             return None;
@@ -288,7 +315,10 @@ mod tests {
 
     #[test]
     fn solve3_identity() {
-        let x = solve3([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], [3.0, 4.0, 5.0]);
+        let x = solve3(
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            [3.0, 4.0, 5.0],
+        );
         assert_eq!(x, Some([3.0, 4.0, 5.0]));
         // Singular system.
         assert_eq!(solve3([[1.0, 1.0, 1.0]; 3], [1.0, 1.0, 1.0]), None);

@@ -38,14 +38,21 @@ pub enum TimingError {
 impl std::fmt::Display for TimingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TimingError::NonPositive { group: Some(g), value } => {
+            TimingError::NonPositive {
+                group: Some(g),
+                value,
+            } => {
                 write!(f, "T[{g}] = {value} is not a positive finite duration")
             }
             TimingError::NonPositive { group: None, value } => {
                 write!(f, "TP = {value} is not a positive finite duration")
             }
             TimingError::NotMonotone { group, value, next } => {
-                write!(f, "T[{group}] = {value} < T[{}] = {next}: table not non-increasing", group + 1)
+                write!(
+                    f,
+                    "T[{group}] = {value} < T[{}] = {next}: table not non-increasing",
+                    group + 1
+                )
             }
         }
     }
@@ -78,7 +85,10 @@ impl TimingTable {
             }
         }
         if !(post.is_finite() && post > 0.0) {
-            return Err(TimingError::NonPositive { group: None, value: post });
+            return Err(TimingError::NonPositive {
+                group: None,
+                value: post,
+            });
         }
         for i in 0..NUM_GROUP_SIZES - 1 {
             if main[i] < main[i + 1] {
@@ -147,8 +157,13 @@ mod tests {
     use super::*;
 
     fn table() -> TimingTable {
-        TimingTable::new([7140.0, 3780.0, 2660.0, 2100.0, 1764.0, 1540.0, 1380.0, 1260.0], 180.0)
-            .unwrap()
+        TimingTable::new(
+            [
+                7140.0, 3780.0, 2660.0, 2100.0, 1764.0, 1540.0, 1380.0, 1260.0,
+            ],
+            180.0,
+        )
+        .unwrap()
     }
 
     #[test]

@@ -121,8 +121,7 @@ pub fn execute(
     }
     let post_base = acc;
 
-    let mut records: Vec<TaskRecord> =
-        Vec::with_capacity(inst.nbtasks() as usize * 2);
+    let mut records: Vec<TaskRecord> = Vec::with_capacity(inst.nbtasks() as usize * 2);
 
     let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
     let mut running: Vec<Option<(u32, f64)>> = vec![None; sizes.len()]; // (scenario, start)
@@ -165,7 +164,13 @@ pub fn execute(
     };
 
     assign(
-        0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+        0.0,
+        &mut idle,
+        &mut waiting,
+        &mut busy,
+        &mut running,
+        &mut alive,
+        unfinished,
         &mut post_pool,
     );
 
@@ -177,7 +182,10 @@ pub fn execute(
         main_finish = t;
         records.push(TaskRecord {
             task: FusedTask::main(s, month),
-            procs: ProcRange { first: bases[g], count: sizes[g] },
+            procs: ProcRange {
+                first: bases[g],
+                count: sizes[g],
+            },
             start: started,
             end: t,
             group: Some(g as u32),
@@ -193,7 +201,13 @@ pub fn execute(
             .unwrap_err();
         idle.insert(pos, g);
         assign(
-            t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished,
+            t,
+            &mut idle,
+            &mut waiting,
+            &mut busy,
+            &mut running,
+            &mut alive,
+            unfinished,
             &mut post_pool,
         );
     }
@@ -216,11 +230,25 @@ pub fn execute(
         post_pool.push(Reverse((Time(end), proc)));
     }
 
-    Ok(Schedule {
+    let schedule = Schedule {
         instance: inst,
         records,
         makespan: main_finish.max(post_finish),
-    })
+    };
+    // In debug builds, run the full schedule-layer rule set (OA008–
+    // OA015) over every schedule the executor produces: a cheap,
+    // always-on oracle that any future change to the event loop still
+    // respects multiplicity, dependences and processor exclusivity.
+    #[cfg(debug_assertions)]
+    {
+        let report = schedule.analyze();
+        debug_assert!(
+            !report.has_errors(),
+            "executor produced an invalid schedule:\n{}",
+            report.render_text()
+        );
+    }
+    Ok(schedule)
 }
 
 /// Executes with the paper's default policy.
@@ -236,9 +264,9 @@ pub fn execute_default(
 mod tests {
     use super::*;
     use oa_platform::speedup::PcrModel;
+    use oa_platform::timing::TimingTable;
     use oa_sched::estimate::estimate;
     use oa_sched::heuristics::Heuristic;
-    use oa_platform::timing::TimingTable;
 
     fn reference() -> TimingTable {
         PcrModel::reference().table(1.0).unwrap()
@@ -256,7 +284,9 @@ mod tests {
             for h in Heuristic::PAPER {
                 let g = h.grouping(inst, &t).unwrap();
                 let sched = execute_default(inst, &t, &g).unwrap();
-                sched.validate().unwrap_or_else(|e| panic!("{h:?} R={r}: {e}"));
+                sched
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{h:?} R={r}: {e}"));
                 let est = estimate(inst, &t, &g).unwrap();
                 assert!(
                     (sched.makespan - est.makespan).abs() < 1e-6,
@@ -312,7 +342,15 @@ mod tests {
         let inst = Instance::new(5, 7, 23);
         let t = reference();
         let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
-        let s = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::RoundRobin }).unwrap();
+        let s = execute(
+            inst,
+            &t,
+            &g,
+            ExecConfig {
+                policy: ScenarioPolicy::RoundRobin,
+            },
+        )
+        .unwrap();
         s.validate().unwrap();
     }
 
@@ -323,12 +361,26 @@ mod tests {
         let t = reference();
         let inst = Instance::new(6, 12, 30);
         let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
-        let fair = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::LeastAdvanced })
-            .unwrap()
-            .makespan;
-        let unfair = execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::MostAdvanced })
-            .unwrap()
-            .makespan;
+        let fair = execute(
+            inst,
+            &t,
+            &g,
+            ExecConfig {
+                policy: ScenarioPolicy::LeastAdvanced,
+            },
+        )
+        .unwrap()
+        .makespan;
+        let unfair = execute(
+            inst,
+            &t,
+            &g,
+            ExecConfig {
+                policy: ScenarioPolicy::MostAdvanced,
+            },
+        )
+        .unwrap()
+        .makespan;
         assert!(unfair + 1e-9 >= fair, "unfair {unfair} < fair {fair}");
     }
 

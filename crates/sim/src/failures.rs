@@ -102,6 +102,93 @@ pub enum FaultyOutcome {
     },
 }
 
+/// The mutable state of the group fleet during a faulty execution:
+/// which groups are dead, idle or running, which scenarios wait, and
+/// how far each has advanced. Bundled so failure handling is a method
+/// instead of a function threading a dozen loose references.
+struct Fleet {
+    /// Canonical group sizes (descending).
+    sizes: Vec<u32>,
+    /// `dead[g]`: group `g` crashed and never returns.
+    dead: Vec<bool>,
+    /// `running[g] = (scenario, start time)`; `None` = not running.
+    running: Vec<Option<(u32, f64)>>,
+    /// Idle groups, kept sorted by `(size, index)`.
+    idle: Vec<usize>,
+    /// Groups neither dead nor disbanded.
+    alive: usize,
+    /// Scenarios awaiting a group, least-advanced first.
+    waiting: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Months completed per scenario.
+    months_done: Vec<u32>,
+}
+
+/// Work destroyed by crashes, accumulated across failures.
+#[derive(Default)]
+struct Losses {
+    /// Processor-seconds of in-flight work lost.
+    proc_secs: f64,
+    /// Months whose in-flight run was lost.
+    months: u32,
+}
+
+impl Fleet {
+    fn new(ns: u32, sizes: Vec<u32>) -> Self {
+        let mut idle: Vec<usize> = (0..sizes.len()).collect();
+        idle.sort_unstable_by_key(|&g| (sizes[g], g));
+        Self {
+            alive: sizes.len(),
+            dead: vec![false; sizes.len()],
+            running: vec![None; sizes.len()],
+            idle,
+            waiting: (0..ns).map(|s| Reverse((0, s))).collect(),
+            months_done: vec![0u32; ns as usize],
+            sizes,
+        }
+    }
+
+    /// Applies one `(group, time)` failure under `recovery`, charging
+    /// destroyed work to `losses`. Double kills and failures of
+    /// already-disbanded groups are no-ops.
+    fn process_failure(&mut self, failure: (usize, f64), recovery: Recovery, losses: &mut Losses) {
+        let (g, tf) = failure;
+        if self.dead[g] {
+            return; // double kill: no-op
+        }
+        // A group that already disbanded is not in `idle` nor `running`;
+        // its processors belong to the post pool now — ignore (documented).
+        if let Some((s, started)) = self.running[g].take() {
+            // In-flight month lost.
+            losses.proc_secs += (tf - started).max(0.0) * self.sizes[g] as f64;
+            losses.months += 1;
+            match recovery {
+                Recovery::MonthlyCheckpoint => {}
+                Recovery::RestartScenario => {
+                    self.months_done[s as usize] = 0;
+                }
+            }
+            self.waiting
+                .push(Reverse((self.months_done[s as usize], s)));
+            self.dead[g] = true;
+            self.alive -= 1;
+        } else {
+            let key = (self.sizes[g], g);
+            let pos = match self
+                .idle
+                .binary_search_by_key(&key, |&x| (self.sizes[x], x))
+            {
+                Ok(p) | Err(p) => p,
+            };
+            if pos < self.idle.len() && self.idle[pos] == g {
+                self.idle.remove(pos);
+                self.dead[g] = true;
+                self.alive -= 1;
+            }
+            // else: the group already disbanded — ignore.
+        }
+    }
+}
+
 /// Executes `inst` under `grouping` with failures from `plan`.
 pub fn estimate_with_failures(
     inst: Instance,
@@ -119,22 +206,22 @@ pub fn estimate_with_failures(
     let mut failures = plan.failures.clone();
     failures.sort_by(|a, b| a.1.total_cmp(&b.1));
     for &(g, t) in &failures {
-        assert!(g < sizes.len(), "failure targets group {g}, grouping has {}", sizes.len());
-        assert!(t.is_finite() && t >= 0.0, "failure time must be a finite non-negative instant");
+        assert!(
+            g < sizes.len(),
+            "failure targets group {g}, grouping has {}",
+            sizes.len()
+        );
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "failure time must be a finite non-negative instant"
+        );
     }
     let mut next_failure = 0usize;
 
     let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-    // (scenario, start time); None = idle.
-    let mut running: Vec<Option<(u32, f64)>> = vec![None; sizes.len()];
-    let mut dead = vec![false; sizes.len()];
-    let mut waiting: BinaryHeap<Reverse<(u32, u32)>> =
-        (0..inst.ns).map(|s| Reverse((0, s))).collect();
-    let mut months_done = vec![0u32; inst.ns as usize];
+    let mut fleet = Fleet::new(inst.ns, sizes);
     let mut unfinished = inst.ns as usize;
-    let mut idle: Vec<usize> = (0..sizes.len()).collect();
-    idle.sort_unstable_by_key(|&g| (sizes[g], g));
-    let mut alive = sizes.len();
+    let mut losses = Losses::default();
 
     let mut post_ready: Vec<f64> = Vec::with_capacity(inst.nbtasks() as usize);
     // The post pool only collects completed posts' processors: dedicated
@@ -145,23 +232,23 @@ pub fn estimate_with_failures(
     }
 
     let mut main_finish = 0.0f64;
-    let mut lost_proc_secs = 0.0f64;
-    let mut months_lost = 0u32;
 
     // One assignment + disband pass; mirrors `oa_sched::estimate`.
     macro_rules! assign {
         ($now:expr) => {{
-            while !idle.is_empty() && unfinished > 0 {
-                let Some(&Reverse((_, s))) = waiting.peek() else { break };
-                let g = idle.pop().expect("non-empty");
-                waiting.pop();
-                running[g] = Some((s, $now));
+            while !fleet.idle.is_empty() && unfinished > 0 {
+                let Some(&Reverse((_, s))) = fleet.waiting.peek() else {
+                    break;
+                };
+                let g = fleet.idle.pop().expect("non-empty");
+                fleet.waiting.pop();
+                fleet.running[g] = Some((s, $now));
                 busy.push(Reverse((Time($now + durs[g]), g)));
             }
-            while !idle.is_empty() && alive > unfinished {
-                let g = idle.remove(0);
-                alive -= 1;
-                for _ in 0..sizes[g] {
+            while !fleet.idle.is_empty() && fleet.alive > unfinished {
+                let g = fleet.idle.remove(0);
+                fleet.alive -= 1;
+                for _ in 0..fleet.sizes[g] {
                     pool.push(Reverse(Time($now)));
                 }
             }
@@ -177,83 +264,71 @@ pub fn estimate_with_failures(
         match (completion_time, failure_time) {
             (None, None) => break,
             (Some(_), Some(tf)) if tf <= completion_time.expect("some") => {
-                process_failure(
-                    &failures[next_failure],
-                    &mut dead,
-                    &mut running,
-                    &mut idle,
-                    &mut alive,
-                    &mut waiting,
-                    &mut months_done,
-                    &sizes,
-                    recovery,
-                    &mut lost_proc_secs,
-                    &mut months_lost,
-                );
+                fleet.process_failure(failures[next_failure], recovery, &mut losses);
                 next_failure += 1;
                 let tf = failures[next_failure - 1].1;
                 assign!(tf);
             }
             (None, Some(_)) => {
-                process_failure(
-                    &failures[next_failure],
-                    &mut dead,
-                    &mut running,
-                    &mut idle,
-                    &mut alive,
-                    &mut waiting,
-                    &mut months_done,
-                    &sizes,
-                    recovery,
-                    &mut lost_proc_secs,
-                    &mut months_lost,
-                );
+                fleet.process_failure(failures[next_failure], recovery, &mut losses);
                 next_failure += 1;
                 let tf = failures[next_failure - 1].1;
-                if alive == 0 && unfinished > 0 {
+                if fleet.alive == 0 && unfinished > 0 {
                     // Nothing can run the remaining months.
-                    let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
-                    return Ok(FaultyOutcome::Stranded { completed_months: completed });
+                    let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
+                    return Ok(FaultyOutcome::Stranded {
+                        completed_months: completed,
+                    });
                 }
                 assign!(tf);
             }
             (Some(_), _) => {
                 let Reverse((Time(t), g)) = busy.pop().expect("peeked");
-                if dead[g] {
+                if fleet.dead[g] {
                     continue; // stale completion of a crashed group
                 }
-                let (s, _started) = running[g].take().expect("busy group has a scenario");
-                months_done[s as usize] += 1;
+                let (s, _started) = fleet.running[g].take().expect("busy group has a scenario");
+                fleet.months_done[s as usize] += 1;
                 main_finish = t;
                 post_ready.push(t);
-                if months_done[s as usize] == nm {
+                if fleet.months_done[s as usize] == nm {
                     unfinished -= 1;
                 } else {
-                    waiting.push(Reverse((months_done[s as usize], s)));
+                    fleet
+                        .waiting
+                        .push(Reverse((fleet.months_done[s as usize], s)));
                 }
-                let pos =
-                    idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)).unwrap_err();
-                idle.insert(pos, g);
+                let pos = fleet
+                    .idle
+                    .binary_search_by_key(&(fleet.sizes[g], g), |&x| (fleet.sizes[x], x))
+                    .unwrap_err();
+                fleet.idle.insert(pos, g);
                 assign!(t);
             }
         }
-        if unfinished > 0 && alive == 0 && busy.is_empty() {
-            let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
-            return Ok(FaultyOutcome::Stranded { completed_months: completed });
+        if unfinished > 0 && fleet.alive == 0 && busy.is_empty() {
+            let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
+            return Ok(FaultyOutcome::Stranded {
+                completed_months: completed,
+            });
         }
     }
 
     if unfinished > 0 {
-        let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
-        return Ok(FaultyOutcome::Stranded { completed_months: completed });
+        let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
+        return Ok(FaultyOutcome::Stranded {
+            completed_months: completed,
+        });
     }
 
     // Posts: FIFO on the pool; if the pool is empty every group died
     // exactly at the end — posts are stranded only if no capacity at
     // all exists.
     if pool.is_empty() {
-        let completed: u64 = months_done.iter().map(|&m| m as u64).sum();
-        return Ok(FaultyOutcome::Stranded { completed_months: completed });
+        let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
+        return Ok(FaultyOutcome::Stranded {
+            completed_months: completed,
+        });
     }
     let mut post_finish = 0.0f64;
     for ready in post_ready {
@@ -266,55 +341,9 @@ pub fn estimate_with_failures(
 
     Ok(FaultyOutcome::Completed {
         makespan: main_finish.max(post_finish),
-        lost_proc_secs,
-        months_lost,
+        lost_proc_secs: losses.proc_secs,
+        months_lost: losses.months,
     })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn process_failure(
-    failure: &(usize, f64),
-    dead: &mut [bool],
-    running: &mut [Option<(u32, f64)>],
-    idle: &mut Vec<usize>,
-    alive: &mut usize,
-    waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
-    months_done: &mut [u32],
-    sizes: &[u32],
-    recovery: Recovery,
-    lost_proc_secs: &mut f64,
-    months_lost: &mut u32,
-) {
-    let &(g, tf) = failure;
-    if dead[g] {
-        return; // double kill: no-op
-    }
-    // A group that already disbanded is not in `idle` nor `running`;
-    // its processors belong to the post pool now — ignore (documented).
-    if let Some((s, started)) = running[g].take() {
-        // In-flight month lost.
-        *lost_proc_secs += (tf - started).max(0.0) * sizes[g] as f64;
-        *months_lost += 1;
-        match recovery {
-            Recovery::MonthlyCheckpoint => {}
-            Recovery::RestartScenario => {
-                months_done[s as usize] = 0;
-            }
-        }
-        waiting.push(Reverse((months_done[s as usize], s)));
-        dead[g] = true;
-        *alive -= 1;
-    } else {
-        let pos = match idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)) {
-            Ok(p) | Err(p) => p,
-        };
-        if pos < idle.len() && idle[pos] == g {
-            idle.remove(pos);
-            dead[g] = true;
-            *alive -= 1;
-        }
-        // else: the group already disbanded — ignore.
-    }
 }
 
 #[cfg(test)]
@@ -335,11 +364,20 @@ mod tests {
         let t = reference_cluster(40).timing;
         let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
         let plain = execute_default(inst, &t, &g).unwrap().makespan;
-        let faulty =
-            estimate_with_failures(inst, &t, &g, &FaultPlan::none(), Recovery::MonthlyCheckpoint)
-                .unwrap();
+        let faulty = estimate_with_failures(
+            inst,
+            &t,
+            &g,
+            &FaultPlan::none(),
+            Recovery::MonthlyCheckpoint,
+        )
+        .unwrap();
         match faulty {
-            FaultyOutcome::Completed { makespan, lost_proc_secs, months_lost } => {
+            FaultyOutcome::Completed {
+                makespan,
+                lost_proc_secs,
+                months_lost,
+            } => {
                 assert!((makespan - plain).abs() < 1e-9);
                 assert_eq!(lost_proc_secs, 0.0);
                 assert_eq!(months_lost, 0);
@@ -355,10 +393,13 @@ mod tests {
         let g = oa_sched::grouping::Grouping::uniform(4, 4, 0);
         // Kill group 0 mid-month at t = 150.
         let plan = FaultPlan::none().kill(0, 150.0);
-        let out =
-            estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        let out = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
         match out {
-            FaultyOutcome::Completed { makespan, lost_proc_secs, months_lost } => {
+            FaultyOutcome::Completed {
+                makespan,
+                lost_proc_secs,
+                months_lost,
+            } => {
                 assert_eq!(months_lost, 1);
                 assert!((lost_proc_secs - 50.0 * 4.0).abs() < 1e-9);
                 // 24 months on 3 surviving groups, one month redone:
@@ -379,8 +420,10 @@ mod tests {
         let plan = FaultPlan::none().kill(0, 650.0);
         let ck = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
         let rs = estimate_with_failures(inst, &t, &g, &plan, Recovery::RestartScenario).unwrap();
-        let (FaultyOutcome::Completed { makespan: a, .. }, FaultyOutcome::Completed { makespan: b, .. }) =
-            (ck, rs)
+        let (
+            FaultyOutcome::Completed { makespan: a, .. },
+            FaultyOutcome::Completed { makespan: b, .. },
+        ) = (ck, rs)
         else {
             panic!("both should complete");
         };
@@ -393,8 +436,7 @@ mod tests {
         let t = flat(100.0, 10.0);
         let g = oa_sched::grouping::Grouping::uniform(4, 3, 0);
         let plan = FaultPlan::none().kill(0, 50.0).kill(1, 50.0).kill(2, 150.0);
-        let out =
-            estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
+        let out = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
         match out {
             FaultyOutcome::Stranded { completed_months } => {
                 // One month completed (the survivor's first) at t = 100.
@@ -426,7 +468,11 @@ mod tests {
         let out = estimate_with_failures(inst, &t, &g, &plan, Recovery::MonthlyCheckpoint).unwrap();
         let clean = execute_default(inst, &t, &g).unwrap().makespan;
         match out {
-            FaultyOutcome::Completed { makespan, months_lost, .. } => {
+            FaultyOutcome::Completed {
+                makespan,
+                months_lost,
+                ..
+            } => {
                 assert!((makespan - clean).abs() < 1e-9);
                 assert_eq!(months_lost, 0);
             }

@@ -18,7 +18,10 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        Self { width: 72, by_group: true }
+        Self {
+            width: 72,
+            by_group: true,
+        }
     }
 }
 
@@ -118,7 +121,13 @@ mod tests {
     fn group_rows_are_mostly_full() {
         // Both groups run 3 mains back to back: rows nearly solid '#'.
         let s = small_schedule();
-        let g = render(&s, GanttOptions { width: 60, by_group: true });
+        let g = render(
+            &s,
+            GanttOptions {
+                width: 60,
+                by_group: true,
+            },
+        );
         let grp0 = g.lines().find(|l| l.starts_with("grp0")).unwrap();
         let hashes = grp0.chars().filter(|&c| c == '#').count();
         assert!(hashes > 40, "group row too sparse: {hashes}");
@@ -127,7 +136,13 @@ mod tests {
     #[test]
     fn per_proc_mode_expands_groups() {
         let s = small_schedule();
-        let g = render(&s, GanttOptions { width: 40, by_group: false });
+        let g = render(
+            &s,
+            GanttOptions {
+                width: 40,
+                by_group: false,
+            },
+        );
         // 9 processors → at least 8 busy rows (the idle one may be absent).
         let rows = g.lines().filter(|l| l.starts_with("cpu")).count();
         assert!(rows >= 8, "{rows} rows");
@@ -136,7 +151,11 @@ mod tests {
 
     #[test]
     fn empty_schedule_renders_placeholder() {
-        let s = Schedule { instance: Instance::new(1, 1, 4), records: vec![], makespan: 0.0 };
+        let s = Schedule {
+            instance: Instance::new(1, 1, 4),
+            records: vec![],
+            makespan: 0.0,
+        };
         assert_eq!(render_default(&s), "(empty schedule)\n");
     }
 

@@ -84,9 +84,17 @@ pub fn execute_repartition(
             makespan = makespan.max(sched.makespan);
             Some(sched)
         };
-        clusters.push(ClusterOutcome { cluster: id, scenarios, schedule });
+        clusters.push(ClusterOutcome {
+            cluster: id,
+            scenarios,
+            schedule,
+        });
     }
-    Ok(GridOutcome { repartition: plan.clone(), clusters, makespan })
+    Ok(GridOutcome {
+        repartition: plan.clone(),
+        clusters,
+        makespan,
+    })
 }
 
 /// Like [`run_grid`], but charges wide-area staging costs per cluster
@@ -141,7 +149,11 @@ mod tests {
     fn grid_makespan_is_max_cluster_makespan() {
         let grid = benchmark_grid(25);
         let out = run_grid(&grid, Heuristic::Basic, 8, 10, ExecConfig::default()).unwrap();
-        let max = out.clusters.iter().map(|c| c.makespan()).fold(0.0, f64::max);
+        let max = out
+            .clusters
+            .iter()
+            .map(super::ClusterOutcome::makespan)
+            .fold(0.0, f64::max);
         assert_eq!(out.makespan, max);
         assert!(out.makespan > 0.0);
     }
@@ -154,9 +166,8 @@ mod tests {
         let vectors = grid_performance(&grid, Heuristic::Knapsack, 10, 12);
         let plan = repartition(&vectors);
         let predicted = plan.predicted_makespan(&vectors);
-        let out =
-            execute_repartition(&grid, &plan, Heuristic::Knapsack, 12, ExecConfig::default())
-                .unwrap();
+        let out = execute_repartition(&grid, &plan, Heuristic::Knapsack, 12, ExecConfig::default())
+            .unwrap();
         assert!(
             (out.makespan - predicted).abs() < 1e-6,
             "executed {} vs predicted {predicted}",
@@ -225,6 +236,9 @@ mod tests {
         let out = run_grid(&grid, Heuristic::Knapsack, 1, 6, ExecConfig::default()).unwrap();
         let used = out.clusters.iter().filter(|c| c.schedule.is_some()).count();
         assert_eq!(used, 1);
-        assert!(out.clusters[0].schedule.is_some(), "fastest (first) cluster should win");
+        assert!(
+            out.clusters[0].schedule.is_some(),
+            "fastest (first) cluster should win"
+        );
     }
 }

@@ -58,24 +58,44 @@ pub struct GridFailureOutcome {
     pub complete: bool,
 }
 
-/// Plans and executes `ns × nm` on `grid`, kills `failed` at
-/// `at_fraction` of the failure-free makespan, and applies `policy`.
+/// Which cluster to kill, when, and what to do about it — the failure
+/// scenario under study, bundled so experiment entry points stay at a
+/// sane arity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterFailureSpec {
+    /// The cluster that dies.
+    pub failed: ClusterId,
+    /// When it dies, as a fraction of the failure-free makespan
+    /// (must be in `[0, 1]`).
+    pub at_fraction: f64,
+    /// What happens to its unfinished scenarios.
+    pub policy: ClusterFailurePolicy,
+}
+
+/// Plans and executes `ns × nm` on `grid`, kills `spec.failed` at
+/// `spec.at_fraction` of the failure-free makespan, and applies
+/// `spec.policy`.
 ///
-/// Panics if `failed` is out of range or `at_fraction` is not in
-/// `[0, 1]`.
-#[allow(clippy::too_many_arguments)] // an experiment entry point: every knob is caller-facing
+/// Panics if `spec.failed` is out of range or `spec.at_fraction` is
+/// not in `[0, 1]`.
 pub fn run_grid_with_cluster_failure(
     grid: &Grid,
     heuristic: Heuristic,
     ns: u32,
     nm: u32,
-    failed: ClusterId,
-    at_fraction: f64,
-    policy: ClusterFailurePolicy,
+    spec: ClusterFailureSpec,
     link: &Link,
 ) -> Result<GridFailureOutcome, HeuristicError> {
+    let ClusterFailureSpec {
+        failed,
+        at_fraction,
+        policy,
+    } = spec;
     assert!(failed.index() < grid.len(), "failed cluster out of range");
-    assert!((0.0..=1.0).contains(&at_fraction), "at_fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&at_fraction),
+        "at_fraction must be in [0, 1]"
+    );
 
     let base: GridOutcome = run_grid(grid, heuristic, ns, nm, ExecConfig::default())?;
     let failed_at = base.makespan * at_fraction;
@@ -110,8 +130,7 @@ pub fn run_grid_with_cluster_failure(
         .filter(|(i, _)| *i != failed.index())
         .map(|(i, c)| (i, c.makespan()))
         .collect();
-    let survivors_finish =
-        survivor_ms.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
+    let survivors_finish = survivor_ms.iter().map(|&(_, m)| m).fold(0.0f64, f64::max);
 
     if victim_scenarios.is_empty() {
         // The dead cluster had already finished (or had no work).
@@ -140,8 +159,7 @@ pub fn run_grid_with_cluster_failure(
             // scenarios runs them as a fresh campaign of the *longest*
             // remaining chain (conservative: remaining months differ by
             // at most one here, and the estimator needs one nm).
-            let longest_left =
-                (remaining.div_ceil(victim_scenarios.len() as u64) as u32).max(1);
+            let longest_left = (remaining.div_ceil(victim_scenarios.len() as u64) as u32).max(1);
             let mut adopted = vec![0u32; grid.len()];
             let completion: Vec<f64> = (0..grid.len())
                 .map(|i| {
@@ -159,10 +177,22 @@ pub fn run_grid_with_cluster_failure(
                     .filter(|&i| i != failed.index())
                     .min_by(|&a, &b| {
                         let ca = adoption_completion(
-                            grid, heuristic, a, adopted[a] + 1, longest_left, &completion, migration,
+                            grid,
+                            heuristic,
+                            a,
+                            adopted[a] + 1,
+                            longest_left,
+                            &completion,
+                            migration,
                         );
                         let cb = adoption_completion(
-                            grid, heuristic, b, adopted[b] + 1, longest_left, &completion, migration,
+                            grid,
+                            heuristic,
+                            b,
+                            adopted[b] + 1,
+                            longest_left,
+                            &completion,
+                            migration,
                         );
                         ca.total_cmp(&cb)
                     })
@@ -173,7 +203,13 @@ pub fn run_grid_with_cluster_failure(
             for (i, &k) in adopted.iter().enumerate() {
                 if k > 0 {
                     makespan = makespan.max(adoption_completion(
-                        grid, heuristic, i, k, longest_left, &completion, migration,
+                        grid,
+                        heuristic,
+                        i,
+                        k,
+                        longest_left,
+                        &completion,
+                        migration,
                     ));
                 }
             }
@@ -225,9 +261,11 @@ mod tests {
             Heuristic::Knapsack,
             10,
             24,
-            ClusterId(0),
-            0.5,
-            ClusterFailurePolicy::Strand,
+            ClusterFailureSpec {
+                failed: ClusterId(0),
+                at_fraction: 0.5,
+                policy: ClusterFailurePolicy::Strand,
+            },
             &Link::gigabit(),
         )
         .unwrap();
@@ -251,9 +289,11 @@ mod tests {
             Heuristic::Knapsack,
             10,
             24,
-            ClusterId(0),
-            0.5,
-            ClusterFailurePolicy::Replan,
+            ClusterFailureSpec {
+                failed: ClusterId(0),
+                at_fraction: 0.5,
+                policy: ClusterFailurePolicy::Replan,
+            },
             &Link::gigabit(),
         )
         .unwrap();
@@ -268,15 +308,20 @@ mod tests {
             Heuristic::Knapsack,
             10,
             24,
-            ClusterId(4),
-            0.5,
-            ClusterFailurePolicy::Replan,
+            ClusterFailureSpec {
+                failed: ClusterId(4),
+                at_fraction: 0.5,
+                policy: ClusterFailurePolicy::Replan,
+            },
             &Link::gigabit(),
         )
         .unwrap();
         if !slow.victim_scenarios.is_empty() {
             assert!(slow.complete);
-            assert!(slow.makespan > clean, "losing the critical cluster must cost time");
+            assert!(
+                slow.makespan > clean,
+                "losing the critical cluster must cost time"
+            );
         }
     }
 
@@ -289,9 +334,11 @@ mod tests {
                 Heuristic::Knapsack,
                 10,
                 24,
-                ClusterId(0),
-                frac,
-                ClusterFailurePolicy::Replan,
+                ClusterFailureSpec {
+                    failed: ClusterId(0),
+                    at_fraction: frac,
+                    policy: ClusterFailurePolicy::Replan,
+                },
                 &Link::gigabit(),
             )
             .unwrap()
@@ -310,9 +357,11 @@ mod tests {
             Heuristic::Knapsack,
             10,
             24,
-            ClusterId(0),
-            1.0,
-            ClusterFailurePolicy::Strand,
+            ClusterFailureSpec {
+                failed: ClusterId(0),
+                at_fraction: 1.0,
+                policy: ClusterFailurePolicy::Strand,
+            },
             &Link::gigabit(),
         )
         .unwrap();
@@ -329,9 +378,11 @@ mod tests {
             Heuristic::Basic,
             2,
             2,
-            ClusterId(9),
-            0.5,
-            ClusterFailurePolicy::Strand,
+            ClusterFailureSpec {
+                failed: ClusterId(9),
+                at_fraction: 0.5,
+                policy: ClusterFailurePolicy::Strand,
+            },
             &Link::gigabit(),
         );
     }

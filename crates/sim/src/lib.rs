@@ -49,19 +49,19 @@ pub mod unfused;
 pub mod prelude {
     pub use crate::executor::{execute, execute_default, ExecConfig, ScenarioPolicy};
     pub use crate::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
-    pub use crate::grid_failures::{
-        run_grid_with_cluster_failure, ClusterFailurePolicy, GridFailureOutcome,
-    };
     pub use crate::gantt::{render, render_default, GanttOptions};
     pub use crate::grid_exec::{
         execute_repartition, run_grid, run_grid_with_staging, ClusterOutcome, GridOutcome,
     };
-    pub use crate::transfer::{migration_secs, staging_delays, Link, StagingModel};
-    pub use crate::unfused::{estimate_unfused, UnfusedEstimate};
+    pub use crate::grid_failures::{
+        run_grid_with_cluster_failure, ClusterFailurePolicy, ClusterFailureSpec, GridFailureOutcome,
+    };
     pub use crate::metrics::{metrics, Metrics};
     pub use crate::persist::{compare, load, save, PersistError, ScheduleDiff};
     pub use crate::profile::{profile, Profile, Step};
     pub use crate::schedule::{ProcRange, Schedule, ScheduleError, TaskRecord};
+    pub use crate::transfer::{migration_secs, staging_delays, Link, StagingModel};
+    pub use crate::unfused::{estimate_unfused, UnfusedEstimate};
 }
 
 #[cfg(test)]
@@ -74,8 +74,12 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_table() -> impl Strategy<Value = TimingTable> {
-        (50.0f64..3000.0, 1.0f64..400.0, proptest::collection::vec(0.0f64..400.0, 8)).prop_map(
-            |(t11, tp, bumps)| {
+        (
+            50.0f64..3000.0,
+            1.0f64..400.0,
+            proptest::collection::vec(0.0f64..400.0, 8),
+        )
+            .prop_map(|(t11, tp, bumps)| {
                 let mut main = [0.0f64; 8];
                 let mut acc = t11;
                 for i in (0..8).rev() {
@@ -83,8 +87,7 @@ mod proptests {
                     acc += bumps[i];
                 }
                 TimingTable::new(main, tp).expect("non-increasing by construction")
-            },
-        )
+            })
     }
 
     fn arb_instance() -> impl Strategy<Value = Instance> {

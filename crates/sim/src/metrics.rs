@@ -55,7 +55,10 @@ pub fn metrics(schedule: &Schedule) -> Metrics {
         0.0
     };
     let mean = scenario_finish.iter().sum::<f64>() / scenario_finish.len() as f64;
-    let var = scenario_finish.iter().map(|f| (f - mean).powi(2)).sum::<f64>()
+    let var = scenario_finish
+        .iter()
+        .map(|f| (f - mean).powi(2))
+        .sum::<f64>()
         / scenario_finish.len() as f64;
     Metrics {
         makespan,
@@ -110,10 +113,26 @@ mod tests {
         let t = PcrModel::reference().table(1.0).unwrap();
         let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
         let fair = metrics(
-            &execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::LeastAdvanced }).unwrap(),
+            &execute(
+                inst,
+                &t,
+                &g,
+                ExecConfig {
+                    policy: ScenarioPolicy::LeastAdvanced,
+                },
+            )
+            .unwrap(),
         );
         let unfair = metrics(
-            &execute(inst, &t, &g, ExecConfig { policy: ScenarioPolicy::MostAdvanced }).unwrap(),
+            &execute(
+                inst,
+                &t,
+                &g,
+                ExecConfig {
+                    policy: ScenarioPolicy::MostAdvanced,
+                },
+            )
+            .unwrap(),
         );
         assert!(
             fair.fairness_stddev <= unfair.fairness_stddev + 1e-9,
@@ -130,7 +149,11 @@ mod tests {
         for h in Heuristic::PAPER {
             let g = h.grouping(inst, &t).unwrap();
             let m = metrics(&execute_default(inst, &t, &g).unwrap());
-            assert!(m.utilization > 0.0 && m.utilization <= 1.0, "{h:?}: {}", m.utilization);
+            assert!(
+                m.utilization > 0.0 && m.utilization <= 1.0,
+                "{h:?}: {}",
+                m.utilization
+            );
         }
     }
 }

@@ -62,7 +62,9 @@ pub fn save(schedule: &Schedule, path: &Path) -> Result<(), PersistError> {
 pub fn load(path: &Path) -> Result<Schedule, PersistError> {
     let text = std::fs::read_to_string(path)?;
     let schedule: Schedule = serde_json::from_str(&text)?;
-    schedule.validate().map_err(|e| PersistError::Invalid(e.to_string()))?;
+    schedule
+        .validate()
+        .map_err(|e| PersistError::Invalid(e.to_string()))?;
     Ok(schedule)
 }
 
@@ -85,13 +87,20 @@ pub struct ScheduleDiff {
 /// instances differ — diffing campaigns of different shapes is
 /// meaningless.
 pub fn compare(a: &Schedule, b: &Schedule) -> ScheduleDiff {
-    assert_eq!(a.instance, b.instance, "schedules describe different instances");
+    assert_eq!(
+        a.instance, b.instance,
+        "schedules describe different instances"
+    );
     let inst = a.instance;
     let mut finish_a = vec![0.0f64; inst.ns as usize];
     let mut finish_b = vec![0.0f64; inst.ns as usize];
     // Index records by task identity for movement detection.
     let key = |r: &crate::schedule::TaskRecord| {
-        (r.task.scenario, r.task.month, r.task.kind == TaskKind::FusedPost)
+        (
+            r.task.scenario,
+            r.task.month,
+            r.task.kind == TaskKind::FusedPost,
+        )
     };
     let mut map_a = std::collections::HashMap::new();
     for r in &a.records {
@@ -117,12 +126,12 @@ pub fn compare(a: &Schedule, b: &Schedule) -> ScheduleDiff {
     let makespan_delta = b.makespan - a.makespan;
     ScheduleDiff {
         makespan_delta,
-        gain_pct: if a.makespan > 0.0 { -makespan_delta / a.makespan * 100.0 } else { 0.0 },
-        scenario_finish_delta: finish_a
-            .iter()
-            .zip(&finish_b)
-            .map(|(x, y)| y - x)
-            .collect(),
+        gain_pct: if a.makespan > 0.0 {
+            -makespan_delta / a.makespan * 100.0
+        } else {
+            0.0
+        },
+        scenario_finish_delta: finish_a.iter().zip(&finish_b).map(|(x, y)| y - x).collect(),
         moved_tasks: moved,
         retimed_tasks: retimed,
     }
@@ -164,7 +173,9 @@ mod tests {
         let idx = s
             .records
             .iter()
-            .position(|r| r.task.month == 1 && r.task.kind == oa_workflow::task::TaskKind::FusedMain)
+            .position(|r| {
+                r.task.month == 1 && r.task.kind == oa_workflow::task::TaskKind::FusedMain
+            })
             .unwrap();
         s.records[idx].start = 0.0;
         let path = tmp("tampered");
@@ -179,7 +190,10 @@ mod tests {
         std::fs::write(&path, "not json at all").unwrap();
         assert!(matches!(load(&path), Err(PersistError::Json(_))));
         std::fs::remove_file(&path).ok();
-        assert!(matches!(load(Path::new("/nonexistent/x.json")), Err(PersistError::Io(_))));
+        assert!(matches!(
+            load(Path::new("/nonexistent/x.json")),
+            Err(PersistError::Io(_))
+        ));
     }
 
     #[test]

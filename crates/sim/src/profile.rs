@@ -81,7 +81,10 @@ pub fn profile(schedule: &Schedule) -> Profile {
     }
     debug_assert_eq!(main, 0);
     debug_assert_eq!(post, 0);
-    Profile { steps, resources: schedule.instance.r }
+    Profile {
+        steps,
+        resources: schedule.instance.r,
+    }
 }
 
 impl Profile {

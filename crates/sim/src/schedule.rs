@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use oa_analyze::schedule::{ScheduleView, TaskSlot};
+use oa_analyze::{Diagnostic, Report, RuleCode, Severity};
 use oa_sched::params::Instance;
 use oa_workflow::fusion::FusedTask;
 use oa_workflow::task::TaskKind;
@@ -24,7 +26,10 @@ pub struct ProcRange {
 impl ProcRange {
     /// Single-processor range.
     pub fn single(proc: u32) -> Self {
-        Self { first: proc, count: 1 }
+        Self {
+            first: proc,
+            count: 1,
+        }
     }
 
     /// Whether two ranges share any processor.
@@ -107,22 +112,30 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::WrongMultiplicity { task, count } => {
-                write!(f, "task {:?} appears {count} times", task)
+                write!(f, "task {task:?} appears {count} times")
             }
-            ScheduleError::DependenceViolated { task, starts, pred_ends } => write!(
+            ScheduleError::DependenceViolated {
+                task,
+                starts,
+                pred_ends,
+            } => write!(
                 f,
-                "task {:?} starts at {starts} before its predecessor ends at {pred_ends}",
-                task
+                "task {task:?} starts at {starts} before its predecessor ends at {pred_ends}"
             ),
             ScheduleError::ProcessorConflict { a, b } => {
-                write!(f, "tasks {:?} and {:?} overlap on a processor", a, b)
+                write!(f, "tasks {a:?} and {b:?} overlap on a processor")
             }
             ScheduleError::ProcOutOfRange { task, first, count } => {
-                write!(f, "task {:?} uses procs [{first}, {}) out of range", task, first + count)
+                write!(
+                    f,
+                    "task {:?} uses procs [{first}, {}) out of range",
+                    task,
+                    first + count
+                )
             }
-            ScheduleError::BadInterval { task } => write!(f, "task {:?} has a bad interval", task),
+            ScheduleError::BadInterval { task } => write!(f, "task {task:?} has a bad interval"),
             ScheduleError::BadGroupSize { task, size } => {
-                write!(f, "task {:?} ran on {size} processors", task)
+                write!(f, "task {task:?} ran on {size} processors")
             }
         }
     }
@@ -144,12 +157,16 @@ pub struct Schedule {
 impl Schedule {
     /// Records of main tasks only.
     pub fn mains(&self) -> impl Iterator<Item = &TaskRecord> {
-        self.records.iter().filter(|r| r.task.kind == TaskKind::FusedMain)
+        self.records
+            .iter()
+            .filter(|r| r.task.kind == TaskKind::FusedMain)
     }
 
     /// Records of post tasks only.
     pub fn posts(&self) -> impl Iterator<Item = &TaskRecord> {
-        self.records.iter().filter(|r| r.task.kind == TaskKind::FusedPost)
+        self.records
+            .iter()
+            .filter(|r| r.task.kind == TaskKind::FusedPost)
     }
 
     /// Finds the record of a given task.
@@ -157,96 +174,101 @@ impl Schedule {
         self.records.iter().find(|r| r.task == task)
     }
 
+    /// The schedule as `oa-analyze` sees it: instance dimensions plus
+    /// one [`TaskSlot`] per record, in record order.
+    pub fn view(&self) -> ScheduleView {
+        ScheduleView {
+            ns: self.instance.ns,
+            nm: self.instance.nm,
+            r: self.instance.r,
+            slots: self
+                .records
+                .iter()
+                .map(|r| TaskSlot {
+                    scenario: r.task.scenario,
+                    month: r.task.month,
+                    is_post: r.task.kind == TaskKind::FusedPost,
+                    first_proc: r.procs.first,
+                    proc_count: r.procs.count,
+                    start: r.start,
+                    end: r.end,
+                    group: r.group,
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the full schedule-layer rule set (OA008–OA015) and returns
+    /// every diagnostic, warnings included.
+    pub fn analyze(&self) -> Report {
+        Report::from_diagnostics(oa_analyze::schedule::check_schedule(&self.view()))
+    }
+
+    /// Every hard violation in the schedule, in check order — the
+    /// collect-all face of [`Schedule::validate`]. Advisory diagnostics
+    /// (idle gaps, post starvation) are not errors and are omitted; use
+    /// [`Schedule::analyze`] for those.
+    pub fn validate_all(&self) -> Vec<ScheduleError> {
+        self.analyze()
+            .of_severity(Severity::Error)
+            .filter_map(|d| self.error_of(d))
+            .collect()
+    }
+
     /// Full validation: multiplicities, dependences, processor
-    /// exclusivity, ranges and group sizes.
+    /// exclusivity, ranges and group sizes. Returns the first violation
+    /// found; [`Schedule::validate_all`] reports them all.
     pub fn validate(&self) -> Result<(), ScheduleError> {
-        let inst = self.instance;
-        let expected = inst.nbtasks() as usize;
+        match self.validate_all().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 
-        // Multiplicity via dense per-(s, m, kind) counters.
-        let index = |t: &FusedTask| {
-            (t.scenario as usize * inst.nm as usize + t.month as usize) * 2
-                + (t.kind == TaskKind::FusedPost) as usize
+    /// Maps an error-severity diagnostic back to the typed error the
+    /// original fail-fast validator raised, using the diagnostic's
+    /// structured location and quantities.
+    fn error_of(&self, d: &Diagnostic) -> Option<ScheduleError> {
+        let task_at = |loc: &oa_analyze::Location| -> Option<FusedTask> {
+            let kind = match loc.task.as_deref()? {
+                "post" => TaskKind::FusedPost,
+                _ => TaskKind::FusedMain,
+            };
+            Some(FusedTask {
+                scenario: loc.scenario?,
+                month: loc.month?,
+                kind,
+            })
         };
-        let mut seen: Vec<u8> = vec![0; expected * 2];
-        for r in &self.records {
-            if !r.start.is_finite() || !r.end.is_finite() || r.end <= r.start {
-                return Err(ScheduleError::BadInterval { task: r.task });
+        let task = task_at(&d.location)?;
+        Some(match d.rule {
+            RuleCode::WrongMultiplicity => ScheduleError::WrongMultiplicity {
+                task,
+                count: d.quantity("count").map_or_else(
+                    || self.records.iter().filter(|r| r.task == task).count(),
+                    |c| c as usize,
+                ),
+            },
+            RuleCode::DependenceViolated => ScheduleError::DependenceViolated {
+                task,
+                starts: d.quantity("starts")?,
+                pred_ends: d.quantity("pred_ends")?,
+            },
+            RuleCode::ProcessorConflict => ScheduleError::ProcessorConflict {
+                a: task,
+                b: task_at(d.related.as_ref()?)?,
+            },
+            RuleCode::ProcOutOfRange => {
+                let (first, count) = d.location.procs?;
+                ScheduleError::ProcOutOfRange { task, first, count }
             }
-            if r.procs.count == 0 || r.procs.first + r.procs.count > inst.r {
-                return Err(ScheduleError::ProcOutOfRange {
-                    task: r.task,
-                    first: r.procs.first,
-                    count: r.procs.count,
-                });
-            }
-            if r.task.kind == TaskKind::FusedMain && !(4..=11).contains(&r.procs.count) {
-                return Err(ScheduleError::BadGroupSize { task: r.task, size: r.procs.count });
-            }
-            let i = index(&r.task);
-            seen[i] = seen[i].saturating_add(1);
-        }
-        for s in 0..inst.ns {
-            for m in 0..inst.nm {
-                for kind in [TaskKind::FusedMain, TaskKind::FusedPost] {
-                    let t = FusedTask { scenario: s, month: m, kind };
-                    let c = seen[index(&t)] as usize;
-                    if c != 1 {
-                        return Err(ScheduleError::WrongMultiplicity { task: t, count: c });
-                    }
-                }
-            }
-        }
-
-        // Dependences: main(s, m−1) → main(s, m); main(s, m) → post(s, m).
-        let mut main_end = vec![0.0f64; expected];
-        let mut main_start = vec![0.0f64; expected];
-        let midx = |s: u32, m: u32| s as usize * inst.nm as usize + m as usize;
-        for r in self.mains() {
-            main_end[midx(r.task.scenario, r.task.month)] = r.end;
-            main_start[midx(r.task.scenario, r.task.month)] = r.start;
-        }
-        const TOL: f64 = 1e-9;
-        for s in 0..inst.ns {
-            for m in 1..inst.nm {
-                let pred = main_end[midx(s, m - 1)];
-                let start = main_start[midx(s, m)];
-                if start + TOL < pred {
-                    return Err(ScheduleError::DependenceViolated {
-                        task: FusedTask::main(s, m),
-                        starts: start,
-                        pred_ends: pred,
-                    });
-                }
-            }
-        }
-        for r in self.posts() {
-            let pred = main_end[midx(r.task.scenario, r.task.month)];
-            if r.start + TOL < pred {
-                return Err(ScheduleError::DependenceViolated {
-                    task: r.task,
-                    starts: r.start,
-                    pred_ends: pred,
-                });
-            }
-        }
-
-        // Processor exclusivity: sweep per processor.
-        let mut by_proc: Vec<Vec<(f64, f64, FusedTask)>> = vec![Vec::new(); inst.r as usize];
-        for r in &self.records {
-            for p in r.procs.iter() {
-                by_proc[p as usize].push((r.start, r.end, r.task));
-            }
-        }
-        for intervals in &mut by_proc {
-            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for w in intervals.windows(2) {
-                if w[1].0 + TOL < w[0].1 {
-                    return Err(ScheduleError::ProcessorConflict { a: w[0].2, b: w[1].2 });
-                }
-            }
-        }
-        Ok(())
+            RuleCode::BadInterval => ScheduleError::BadInterval { task },
+            RuleCode::ScheduledGroupSize => ScheduleError::BadGroupSize {
+                task,
+                size: d.quantity("size").map_or(d.location.procs?.1, |s| s as u32),
+            },
+            _ => return None,
+        })
     }
 }
 
@@ -255,7 +277,13 @@ mod tests {
     use super::*;
 
     fn rec(task: FusedTask, first: u32, count: u32, start: f64, end: f64) -> TaskRecord {
-        TaskRecord { task, procs: ProcRange { first, count }, start, end, group: None }
+        TaskRecord {
+            task,
+            procs: ProcRange { first, count },
+            start,
+            end,
+            group: None,
+        }
     }
 
     fn tiny_valid() -> Schedule {
@@ -292,7 +320,11 @@ mod tests {
     fn duplicate_task_detected() {
         let mut s = tiny_valid();
         let dup = s.records[0];
-        s.records.push(TaskRecord { start: 300.0, end: 400.0, ..dup });
+        s.records.push(TaskRecord {
+            start: 300.0,
+            end: 400.0,
+            ..dup
+        });
         assert!(matches!(
             s.validate(),
             Err(ScheduleError::WrongMultiplicity { count: 2, .. })
@@ -305,14 +337,20 @@ mod tests {
         // main(0,1) starts before main(0,0) ends.
         s.records[2].start = 50.0;
         s.records[2].end = 150.0;
-        assert!(matches!(s.validate(), Err(ScheduleError::DependenceViolated { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
     }
 
     #[test]
     fn post_before_main_detected() {
         let mut s = tiny_valid();
         s.records[1].start = 90.0;
-        assert!(matches!(s.validate(), Err(ScheduleError::DependenceViolated { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
     }
 
     #[test]
@@ -321,14 +359,20 @@ mod tests {
         // Post(0,0) moved onto the group's processors while main(0,1) runs.
         s.records[1] = rec(FusedTask::post(0, 0), 0, 1, 150.0, 160.0);
         let e = s.validate().unwrap_err();
-        assert!(matches!(e, ScheduleError::ProcessorConflict { .. }), "{e:?}");
+        assert!(
+            matches!(e, ScheduleError::ProcessorConflict { .. }),
+            "{e:?}"
+        );
     }
 
     #[test]
     fn out_of_range_detected() {
         let mut s = tiny_valid();
         s.records[1].procs = ProcRange { first: 5, count: 1 };
-        assert!(matches!(s.validate(), Err(ScheduleError::ProcOutOfRange { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::ProcOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -336,14 +380,53 @@ mod tests {
         let mut s = tiny_valid();
         s.records[0].procs = ProcRange { first: 0, count: 3 };
         s.records[2].procs = ProcRange { first: 0, count: 3 };
-        assert!(matches!(s.validate(), Err(ScheduleError::BadGroupSize { size: 3, .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::BadGroupSize { size: 3, .. })
+        ));
     }
 
     #[test]
     fn bad_interval_detected() {
         let mut s = tiny_valid();
         s.records[0].end = s.records[0].start;
-        assert!(matches!(s.validate(), Err(ScheduleError::BadInterval { .. })));
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::BadInterval { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_schedule_reports_every_defect_in_one_pass() {
+        // Overlapping processor ranges AND a violated month dependence:
+        // the collect-all validator surfaces both together.
+        let mut s = tiny_valid();
+        s.records[2].start = 50.0;
+        s.records[2].end = 150.0;
+        let errs = s.validate_all();
+        assert!(errs.len() >= 2, "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, ScheduleError::DependenceViolated { .. })),
+            "{errs:?}"
+        );
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, ScheduleError::ProcessorConflict { .. })),
+            "{errs:?}"
+        );
+        // The fail-fast face still reports the first error only.
+        assert!(matches!(
+            s.validate(),
+            Err(ScheduleError::DependenceViolated { .. })
+        ));
+        let report = s.analyze();
+        assert!(report.has_errors());
+        assert!(
+            report.render_text().contains("error[OA009]"),
+            "{}",
+            report.render_text()
+        );
     }
 
     #[test]

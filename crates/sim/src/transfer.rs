@@ -30,7 +30,10 @@ impl Link {
     /// A Grid'5000-era 1 Gb/s wide-area link (~100 MB/s effective,
     /// 10 ms RTT class latency).
     pub fn gigabit() -> Self {
-        Self { bandwidth_mbps: 100.0, latency_secs: 0.05 }
+        Self {
+            bandwidth_mbps: 100.0,
+            latency_secs: 0.05,
+        }
     }
 
     /// Transfer time for one volume.
@@ -52,7 +55,10 @@ pub struct StagingModel {
 
 impl Default for StagingModel {
     fn default() -> Self {
-        Self { stage_in: INTER_MONTH_TRANSFER, per_month_out: DataVolume::from_mb(5) }
+        Self {
+            stage_in: INTER_MONTH_TRANSFER,
+            per_month_out: DataVolume::from_mb(5),
+        }
     }
 }
 
@@ -109,7 +115,10 @@ mod tests {
         // The paper ignores it; verify that is justified: staging 10
         // scenarios costs ~12.5 s against a month of 1260 s.
         let (pre, post) = staging_delays(&StagingModel::default(), &Link::gigabit(), 10, 1800);
-        assert!(pre + post < 60.0, "staging {pre}+{post} s unexpectedly large");
+        assert!(
+            pre + post < 60.0,
+            "staging {pre}+{post} s unexpectedly large"
+        );
     }
 
     #[test]

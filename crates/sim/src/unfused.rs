@@ -72,7 +72,10 @@ pub fn estimate_unfused(
     // Group time per month: pre + pcr (table.main includes pre already;
     // subtract the scaled pre to avoid double counting, then add it
     // back — i.e. the group span equals the fused duration exactly).
-    let durs: Vec<f64> = sizes.iter().map(|&g| (table.main_secs(g) - pre) + pre).collect();
+    let durs: Vec<f64> = sizes
+        .iter()
+        .map(|&g| (table.main_secs(g) - pre) + pre)
+        .collect();
     let nm = inst.nm;
 
     let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
@@ -102,7 +105,9 @@ pub fn estimate_unfused(
                   unfinished: usize,
                   pool: &mut BinaryHeap<Reverse<Time>>| {
         while !idle.is_empty() {
-            let Some(&Reverse((_, s))) = waiting.peek() else { break };
+            let Some(&Reverse((_, s))) = waiting.peek() else {
+                break;
+            };
             let g = idle.pop().expect("non-empty");
             waiting.pop();
             running[g] = Some(s);
@@ -117,7 +122,16 @@ pub fn estimate_unfused(
         }
     };
 
-    assign(0.0, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+    assign(
+        0.0,
+        &mut idle,
+        &mut waiting,
+        &mut busy,
+        &mut running,
+        &mut alive,
+        unfinished,
+        &mut pool,
+    );
 
     let mut main_finish = 0.0f64;
     while let Some(Reverse((Time(t), g))) = busy.pop() {
@@ -130,9 +144,20 @@ pub fn estimate_unfused(
         } else {
             waiting.push(Reverse((months_done[s as usize], s)));
         }
-        let pos = idle.binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x)).unwrap_err();
+        let pos = idle
+            .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
+            .unwrap_err();
         idle.insert(pos, g);
-        assign(t, &mut idle, &mut waiting, &mut busy, &mut running, &mut alive, unfinished, &mut pool);
+        assign(
+            t,
+            &mut idle,
+            &mut waiting,
+            &mut busy,
+            &mut running,
+            &mut alive,
+            unfinished,
+            &mut pool,
+        );
     }
 
     // Drain the post chains through the pool in ready order.
@@ -192,7 +217,10 @@ mod tests {
                 let fused = estimate(inst, &t, &g).unwrap().makespan;
                 let unfused = estimate_unfused(inst, &t, &g).unwrap().makespan;
                 let rel = (fused - unfused).abs() / fused;
-                assert!(rel < 0.01, "{h:?} R={r}: fused {fused} vs unfused {unfused}");
+                assert!(
+                    rel < 0.01,
+                    "{h:?} R={r}: fused {fused} vs unfused {unfused}"
+                );
             }
         }
     }

@@ -74,7 +74,13 @@ pub fn levels<N>(
         .zip(&alap_start)
         .map(|(a, l)| (l - a).max(0.0))
         .collect();
-    Ok(Levels { asap_start, asap_finish, alap_start, slack, span })
+    Ok(Levels {
+        asap_start,
+        asap_finish,
+        alap_start,
+        slack,
+        span,
+    })
 }
 
 impl Levels {

@@ -74,11 +74,15 @@ pub fn add_scenario(dag: &mut Dag<Task>, scenario: u32, months: u32) -> Scenario
         let month = add_month(dag, scenario, m).expect("chain construction cannot cycle");
         if let Some(prev) = nodes.last() {
             let prev: &MonthNodes = prev;
-            dag.add_edge(prev.pcr, month.caif).expect("forward edge cannot cycle");
+            dag.add_edge(prev.pcr, month.caif)
+                .expect("forward edge cannot cycle");
         }
         nodes.push(month);
     }
-    ScenarioNodes { scenario, months: nodes }
+    ScenarioNodes {
+        scenario,
+        months: nodes,
+    }
 }
 
 /// Builds the full experiment DAG for `shape`.
@@ -87,7 +91,11 @@ pub fn build_experiment(shape: ExperimentShape) -> ExperimentDag {
     let scenarios = (0..shape.scenarios)
         .map(|s| add_scenario(&mut dag, s, shape.months))
         .collect();
-    ExperimentDag { shape, dag, scenarios }
+    ExperimentDag {
+        shape,
+        dag,
+        scenarios,
+    }
 }
 
 impl ExperimentDag {
@@ -189,6 +197,9 @@ mod tests {
         let e = build_experiment(ExperimentShape::new(2, 2));
         let n = e.pcr(1, 1);
         let t = e.dag.node(n);
-        assert_eq!((t.id.scenario, t.id.month, t.id.kind), (1, 1, TaskKind::Pcr));
+        assert_eq!(
+            (t.id.scenario, t.id.month, t.id.kind),
+            (1, 1, TaskKind::Pcr)
+        );
     }
 }

@@ -43,11 +43,11 @@ pub enum DagError {
 impl std::fmt::Display for DagError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DagError::InvalidNode(n) => write!(f, "node {:?} does not exist", n),
+            DagError::InvalidNode(n) => write!(f, "node {n:?} does not exist"),
             DagError::WouldCycle { from, to } => {
-                write!(f, "edge {:?} -> {:?} would create a cycle", from, to)
+                write!(f, "edge {from:?} -> {to:?} would create a cycle")
             }
-            DagError::SelfLoop(n) => write!(f, "self-loop on {:?}", n),
+            DagError::SelfLoop(n) => write!(f, "self-loop on {n:?}"),
             DagError::Cyclic => write!(f, "graph contains a cycle"),
         }
     }
@@ -81,7 +81,12 @@ impl<N> Default for Dag<N> {
 impl<N> Dag<N> {
     /// Creates an empty DAG.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), succs: Vec::new(), preds: Vec::new(), edge_count: 0 }
+        Self {
+            nodes: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            edge_count: 0,
+        }
     }
 
     /// Creates an empty DAG with room for `nodes` nodes.
@@ -216,25 +221,31 @@ impl<N> Dag<N> {
 
     /// Iterator over `(handle, payload)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Nodes with no predecessors.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|n| self.in_degree(*n) == 0).collect()
+        self.node_ids()
+            .filter(|n| self.in_degree(*n) == 0)
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|n| self.out_degree(*n) == 0).collect()
+        self.node_ids()
+            .filter(|n| self.out_degree(*n) == 0)
+            .collect()
     }
 
     /// Kahn topological sort. Fails with [`DagError::Cyclic`] if the
     /// graph contains a cycle.
     pub fn topo_sort(&self) -> Result<Vec<NodeId>, DagError> {
         let mut indeg: Vec<usize> = self.node_ids().map(|n| self.in_degree(n)).collect();
-        let mut ready: Vec<NodeId> =
-            self.node_ids().filter(|n| indeg[n.index()] == 0).collect();
+        let mut ready: Vec<NodeId> = self.node_ids().filter(|n| indeg[n.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = ready.pop() {
             order.push(n);
@@ -268,7 +279,10 @@ impl<N> Dag<N> {
     /// durations are given by `duration`. This is the classic critical
     /// path / bottom-level computation; edges carry no cost (the paper
     /// folds data-access time into task durations, Section 4.1).
-    pub fn critical_path(&self, mut duration: impl FnMut(NodeId, &N) -> f64) -> Result<f64, DagError> {
+    pub fn critical_path(
+        &self,
+        mut duration: impl FnMut(NodeId, &N) -> f64,
+    ) -> Result<f64, DagError> {
         let order = self.topo_sort()?;
         let mut finish = vec![0.0f64; self.nodes.len()];
         let mut best = 0.0f64;
@@ -306,12 +320,11 @@ impl<N> Dag<N> {
             finish[n.index()] = start + duration(n, &self.nodes[n.index()]);
             through[n.index()] = via;
         }
-        let mut cur = match self
+        let Some(mut cur) = self
             .node_ids()
             .max_by(|a, b| finish[a.index()].total_cmp(&finish[b.index()]))
-        {
-            Some(n) => n,
-            None => return Ok(Vec::new()),
+        else {
+            return Ok(Vec::new());
         };
         let mut path = vec![cur];
         while let Some(p) = through[cur.index()] {
@@ -411,7 +424,10 @@ mod tests {
         let c = g.add_node(());
         g.add_edge_checked(a, b).unwrap();
         g.add_edge_checked(b, c).unwrap();
-        assert_eq!(g.add_edge_checked(c, a), Err(DagError::WouldCycle { from: c, to: a }));
+        assert_eq!(
+            g.add_edge_checked(c, a),
+            Err(DagError::WouldCycle { from: c, to: a })
+        );
         assert!(g.validate().is_ok());
     }
 

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn volumes_add_and_sum() {
-        let v: DataVolume = [DataVolume::from_mb(1), DataVolume::from_mb(2)].into_iter().sum();
+        let v: DataVolume = [DataVolume::from_mb(1), DataVolume::from_mb(2)]
+            .into_iter()
+            .sum();
         assert_eq!(v.as_mb(), 3);
     }
 }

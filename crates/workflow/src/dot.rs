@@ -17,7 +17,10 @@ fn esc(s: &str) -> String {
 
 /// Renders any DAG as DOT; `label` names each node.
 pub fn to_dot<N>(dag: &Dag<N>, name: &str, mut label: impl FnMut(&N) -> String) -> String {
-    let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n", esc(name));
+    let mut out = format!(
+        "digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n",
+        esc(name)
+    );
     for (id, n) in dag.iter() {
         out.push_str(&format!("  n{} [label=\"{}\"];\n", id.0, esc(&label(n))));
     }
@@ -33,9 +36,8 @@ pub fn to_dot<N>(dag: &Dag<N>, name: &str, mut label: impl FnMut(&N) -> String) 
 /// DOT for an unfused experiment, phases colour-coded as in the paper's
 /// figures (main tasks hatched ⇒ filled here).
 pub fn experiment_dot(e: &ExperimentDag) -> String {
-    let mut out = String::from(
-        "digraph experiment {\n  rankdir=LR;\n  node [shape=box, style=filled];\n",
-    );
+    let mut out =
+        String::from("digraph experiment {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
     for (id, t) in e.dag.iter() {
         let color = phase_color(t);
         out.push_str(&format!(
@@ -55,7 +57,9 @@ pub fn experiment_dot(e: &ExperimentDag) -> String {
 
 /// DOT for a fused experiment.
 pub fn fused_dot(f: &FusedExperiment) -> String {
-    to_dot(&f.dag, "fused", |t| format!("s{}m{}:{}", t.scenario, t.month, t.kind.mnemonic()))
+    to_dot(&f.dag, "fused", |t| {
+        format!("s{}m{}:{}", t.scenario, t.month, t.kind.mnemonic())
+    })
 }
 
 fn phase_color(t: &Task) -> &'static str {
@@ -70,8 +74,8 @@ fn phase_color(t: &Task) -> &'static str {
 mod tests {
     use super::*;
     use crate::chain::{build_experiment, ExperimentShape};
-    use crate::task::TaskKind;
     use crate::fusion::build_fused;
+    use crate::task::TaskKind;
 
     #[test]
     fn dot_contains_every_node_and_edge() {
@@ -97,7 +101,7 @@ mod tests {
     fn labels_are_escaped() {
         let mut dag = Dag::new();
         dag.add_node(String::from("weird \"label\" \\ here"));
-        let dot = to_dot(&dag, "esc", |s| s.clone());
+        let dot = to_dot(&dag, "esc", std::clone::Clone::clone);
         assert!(dot.contains("weird \\\"label\\\" \\\\ here"));
     }
 

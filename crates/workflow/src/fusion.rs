@@ -31,12 +31,20 @@ pub struct FusedTask {
 impl FusedTask {
     /// The fused main task of `(scenario, month)`.
     pub fn main(scenario: u32, month: u32) -> Self {
-        Self { scenario, month, kind: TaskKind::FusedMain }
+        Self {
+            scenario,
+            month,
+            kind: TaskKind::FusedMain,
+        }
     }
 
     /// The fused post task of `(scenario, month)`.
     pub fn post(scenario: u32, month: u32) -> Self {
-        Self { scenario, month, kind: TaskKind::FusedPost }
+        Self {
+            scenario,
+            month,
+            kind: TaskKind::FusedPost,
+        }
     }
 
     /// The equivalent [`TaskId`].
@@ -81,7 +89,12 @@ pub fn build_fused(shape: ExperimentShape) -> FusedExperiment {
         mains.push(ms);
         posts.push(ps);
     }
-    FusedExperiment { shape, dag, mains, posts }
+    FusedExperiment {
+        shape,
+        dag,
+        mains,
+        posts,
+    }
 }
 
 /// Fuses an already-built seven-task experiment DAG, checking that the

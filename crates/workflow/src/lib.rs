@@ -57,7 +57,9 @@ pub mod prelude {
     pub use crate::dag::{Dag, DagError, NodeId};
     pub use crate::data::{DataVolume, INTER_MONTH_TRANSFER};
     pub use crate::dot::{experiment_dot, fused_dot, to_dot};
-    pub use crate::fusion::{build_fused, fused_main_secs, fused_post_secs, FusedExperiment, FusedTask};
+    pub use crate::fusion::{
+        build_fused, fused_main_secs, fused_post_secs, FusedExperiment, FusedTask,
+    };
     pub use crate::moldable::{Allocation, MoldableSpec};
     pub use crate::monthly::{add_month, monthly_dag, MonthNodes};
     pub use crate::task::{Phase, Task, TaskId, TaskKind, MAX_PROCS, MIN_PROCS, NUM_GROUP_SIZES};

@@ -29,7 +29,10 @@ impl Default for MoldableSpec {
 impl MoldableSpec {
     /// The `pcr` range of the paper, `4..=11`.
     pub fn pcr() -> Self {
-        Self { min_procs: MIN_PROCS, max_procs: MAX_PROCS }
+        Self {
+            min_procs: MIN_PROCS,
+            max_procs: MAX_PROCS,
+        }
     }
 
     /// All legal allocations, smallest first.
@@ -55,7 +58,8 @@ impl MoldableSpec {
     /// Index of allocation `procs` into dense per-allocation tables
     /// (`T[G]` arrays), or `None` when out of range.
     pub fn index_of(&self, procs: u32) -> Option<usize> {
-        self.accepts(procs).then(|| (procs - self.min_procs) as usize)
+        self.accepts(procs)
+            .then(|| (procs - self.min_procs) as usize)
     }
 
     /// Allocation for dense-table index `i`.
@@ -92,7 +96,10 @@ mod tests {
         let s = MoldableSpec::pcr();
         assert_eq!(s.len(), NUM_GROUP_SIZES);
         assert!(!s.is_empty());
-        assert_eq!(s.allocations().collect::<Vec<_>>(), vec![4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(
+            s.allocations().collect::<Vec<_>>(),
+            vec![4, 5, 6, 7, 8, 9, 10, 11]
+        );
     }
 
     #[test]

@@ -46,9 +46,8 @@ impl MonthNodes {
 /// handles. Cross-month edges are the caller's business (see
 /// [`crate::chain`]).
 pub fn add_month(dag: &mut Dag<Task>, scenario: u32, month: u32) -> Result<MonthNodes, DagError> {
-    let node = |dag: &mut Dag<Task>, kind| {
-        dag.add_node(Task::from_id(TaskId::new(scenario, month, kind)))
-    };
+    let node =
+        |dag: &mut Dag<Task>, kind| dag.add_node(Task::from_id(TaskId::new(scenario, month, kind)));
     let caif = node(dag, TaskKind::Caif);
     let mp = node(dag, TaskKind::Mp);
     let pcr = node(dag, TaskKind::Pcr);
@@ -60,7 +59,14 @@ pub fn add_month(dag: &mut Dag<Task>, scenario: u32, month: u32) -> Result<Month
     dag.add_edge(pcr, cof)?;
     dag.add_edge(cof, emf)?;
     dag.add_edge(emf, cd)?;
-    Ok(MonthNodes { caif, mp, pcr, cof, emf, cd })
+    Ok(MonthNodes {
+        caif,
+        mp,
+        pcr,
+        cof,
+        emf,
+        cd,
+    })
 }
 
 /// Builds a standalone single-month DAG.

@@ -152,13 +152,23 @@ pub struct TaskId {
 impl TaskId {
     /// Creates a task identity.
     pub fn new(scenario: u32, month: u32, kind: TaskKind) -> Self {
-        Self { scenario, month, kind }
+        Self {
+            scenario,
+            month,
+            kind,
+        }
     }
 }
 
 impl std::fmt::Display for TaskId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "s{}m{}:{}", self.scenario, self.month, self.kind.mnemonic())
+        write!(
+            f,
+            "s{}m{}:{}",
+            self.scenario,
+            self.month,
+            self.kind.mnemonic()
+        )
     }
 }
 
@@ -185,7 +195,12 @@ impl Task {
         } else {
             (1, 1)
         };
-        Self { id, reference_secs: id.kind.reference_secs(), min_procs, max_procs }
+        Self {
+            id,
+            reference_secs: id.kind.reference_secs(),
+            min_procs,
+            max_procs,
+        }
     }
 
     /// Whether the task may run on `procs` processors.
@@ -218,7 +233,13 @@ mod tests {
 
     #[test]
     fn sequential_tasks_take_one_processor() {
-        for kind in [TaskKind::Caif, TaskKind::Mp, TaskKind::Cof, TaskKind::Emf, TaskKind::Cd] {
+        for kind in [
+            TaskKind::Caif,
+            TaskKind::Mp,
+            TaskKind::Cof,
+            TaskKind::Emf,
+            TaskKind::Cd,
+        ] {
             let t = Task::from_id(TaskId::new(1, 2, kind));
             assert!(t.accepts(1), "{kind:?}");
             assert!(!t.accepts(2), "{kind:?}");

@@ -8,7 +8,10 @@
 use ocean_atmosphere::prelude::*;
 
 fn main() {
-    let r: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(53);
+    let r: u32 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(53);
 
     // The application structure (Figure 1): 10 scenarios of 1800 months.
     let shape = ExperimentShape::canonical();
@@ -29,9 +32,11 @@ fn main() {
 
     let cluster = reference_cluster(r);
     let inst = Instance::for_shape(shape, r);
-    println!("\ncluster: {} processors (reference timing)\n", r);
+    println!("\ncluster: {r} processors (reference timing)\n");
 
-    let base = Heuristic::Basic.makespan(inst, &cluster.timing).expect("cluster too small");
+    let base = Heuristic::Basic
+        .makespan(inst, &cluster.timing)
+        .expect("cluster too small");
     println!(
         "{:<26} {:<26} {:>12} {:>8} {:>7}",
         "heuristic", "grouping", "makespan(h)", "gain%", "util%"

@@ -4,16 +4,18 @@
 //! Run: `cargo run --release --example failure_drill`
 
 use ocean_atmosphere::prelude::*;
-use ocean_atmosphere::sim::failures::{
-    estimate_with_failures, FaultPlan, FaultyOutcome, Recovery,
-};
+use ocean_atmosphere::sim::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
 
 fn main() {
     let (ns, nm, r) = (10u32, 240u32, 53u32);
     let table = reference_cluster(r).timing;
     let inst = Instance::new(ns, nm, r);
-    let grouping = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
-    let clean = execute_default(inst, &table, &grouping).expect("valid").makespan;
+    let grouping = Heuristic::Knapsack
+        .grouping(inst, &table)
+        .expect("feasible");
+    let clean = execute_default(inst, &table, &grouping)
+        .expect("valid")
+        .makespan;
     println!("campaign: NS = {ns}, NM = {nm}, R = {r}, grouping {grouping}");
     println!("failure-free makespan: {:.1} h\n", clean / 3600.0);
 
@@ -47,8 +49,14 @@ fn main() {
     for g in 0..grouping.group_count() {
         blackout = blackout.kill(g, clean * 0.4);
     }
-    match estimate_with_failures(inst, &table, &grouping, &blackout, Recovery::MonthlyCheckpoint)
-        .expect("valid grouping")
+    match estimate_with_failures(
+        inst,
+        &table,
+        &grouping,
+        &blackout,
+        Recovery::MonthlyCheckpoint,
+    )
+    .expect("valid grouping")
     {
         FaultyOutcome::Stranded { completed_months } => println!(
             "full blackout at 40%: stranded with {completed_months}/{} months completed",

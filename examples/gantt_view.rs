@@ -14,7 +14,16 @@ fn main() {
         let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
         schedule.validate().expect("valid schedule");
         println!("== {} : {} ==", h.label(), grouping);
-        print!("{}", render(&schedule, GanttOptions { width: 76, by_group: true }));
+        print!(
+            "{}",
+            render(
+                &schedule,
+                GanttOptions {
+                    width: 76,
+                    by_group: true
+                }
+            )
+        );
         println!();
     }
 
@@ -23,5 +32,14 @@ fn main() {
     let grouping = Grouping::new(vec![6, 4], 1);
     let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
     println!("== per-processor view ({grouping}) ==");
-    print!("{}", render(&schedule, GanttOptions { width: 76, by_group: false }));
+    print!(
+        "{}",
+        render(
+            &schedule,
+            GanttOptions {
+                width: 76,
+                by_group: false
+            }
+        )
+    );
 }

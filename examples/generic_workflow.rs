@@ -7,8 +7,7 @@
 
 use ocean_atmosphere::prelude::*;
 use ocean_atmosphere::sched::generic::{
-    balanced_generic, basic_generic, estimate_generic, knapsack_generic, Phase, PhaseTime,
-    Workload,
+    balanced_generic, basic_generic, estimate_generic, knapsack_generic, Phase, PhaseTime, Workload,
 };
 
 fn main() {
@@ -16,20 +15,36 @@ fn main() {
     // Each window: a moldable dynamics step (2..=16 cores), a blocking
     // exchange barrier step, then trajectory post-processing that does
     // not gate the next window.
-    let range = MoldableSpec { min_procs: 2, max_procs: 16 };
-    let dynamics: Vec<f64> =
-        range.allocations().map(|p| 30.0 + 2500.0 / p as f64 + 2.5 * p as f64).collect();
+    let range = MoldableSpec {
+        min_procs: 2,
+        max_procs: 16,
+    };
+    let dynamics: Vec<f64> = range
+        .allocations()
+        .map(|p| 30.0 + 2500.0 / p as f64 + 2.5 * p as f64)
+        .collect();
     let workload = Workload::new(
         8,
         500,
         vec![
             Phase {
                 name: "dynamics".into(),
-                time: PhaseTime::Moldable { range, table: dynamics },
+                time: PhaseTime::Moldable {
+                    range,
+                    table: dynamics,
+                },
                 blocking: true,
             },
-            Phase { name: "exchange".into(), time: PhaseTime::Sequential(8.0), blocking: true },
-            Phase { name: "trajectory".into(), time: PhaseTime::Sequential(20.0), blocking: false },
+            Phase {
+                name: "exchange".into(),
+                time: PhaseTime::Sequential(8.0),
+                blocking: true,
+            },
+            Phase {
+                name: "trajectory".into(),
+                time: PhaseTime::Sequential(20.0),
+                blocking: false,
+            },
         ],
     )
     .expect("well-formed workload");
@@ -42,13 +57,20 @@ fn main() {
         workload.trailing_secs()
     );
 
-    println!("\n{:<6} {:>12} {:>12} {:>12}  best grouping", "R", "basic(h)", "knapsack(h)", "balanced(h)");
+    println!(
+        "\n{:<6} {:>12} {:>12} {:>12}  best grouping",
+        "R", "basic(h)", "knapsack(h)", "balanced(h)"
+    );
     for r in [9u32, 13, 19, 27, 42, 70, 101, 121] {
         let basic = basic_generic(&workload, r).expect("fits");
         let knap = knapsack_generic(&workload, r).expect("fits");
         let (bal_groups, bal) = balanced_generic(&workload, r).expect("fits");
-        let bm = estimate_generic(&workload, r, &basic).expect("valid").makespan;
-        let km = estimate_generic(&workload, r, &knap).expect("valid").makespan;
+        let bm = estimate_generic(&workload, r, &basic)
+            .expect("valid")
+            .makespan;
+        let km = estimate_generic(&workload, r, &knap)
+            .expect("valid")
+            .makespan;
         println!(
             "{:<6} {:>12.1} {:>12.1} {:>12.1}  {:?}+pool{}",
             r,

@@ -11,22 +11,36 @@ fn main() {
     let grid = benchmark_grid(30);
     println!("grid: {} clusters × 30 processors", grid.len());
     for (_, c) in grid.iter() {
-        println!("  {:<12} pcr(11) = {:.0} s", c.name, c.timing.main_secs(11) - 2.0);
+        println!(
+            "  {:<12} pcr(11) = {:.0} s",
+            c.name,
+            c.timing.main_secs(11) - 2.0
+        );
     }
 
     // Step 2-3: per-cluster performance vectors (knapsack model).
     let vectors = grid_performance(&grid, Heuristic::Knapsack, ns, nm);
-    println!("\nperformance vectors (hours for 1..={} scenarios):", ns);
+    println!("\nperformance vectors (hours for 1..={ns} scenarios):");
     for v in &vectors {
-        let hours: Vec<String> =
-            v.makespans.iter().map(|m| format!("{:.0}", m / 3600.0)).collect();
-        println!("  {:<12} [{}]", grid.cluster(v.cluster).name, hours.join(", "));
+        let hours: Vec<String> = v
+            .makespans
+            .iter()
+            .map(|m| format!("{:.0}", m / 3600.0))
+            .collect();
+        println!(
+            "  {:<12} [{}]",
+            grid.cluster(v.cluster).name,
+            hours.join(", ")
+        );
     }
 
     // Step 4: Algorithm 1.
     let plan = repartition(&vectors);
     println!("\nAlgorithm 1 repartition (nb_dags): {:?}", plan.nb_dags);
-    println!("predicted grid makespan: {:.1} h", plan.predicted_makespan(&vectors) / 3600.0);
+    println!(
+        "predicted grid makespan: {:.1} h",
+        plan.predicted_makespan(&vectors) / 3600.0
+    );
 
     // Steps 5-6: execute on every cluster.
     let outcome = execute_repartition(&grid, &plan, Heuristic::Knapsack, nm, ExecConfig::default())

@@ -18,7 +18,10 @@ fn main() {
         }
     });
     let degraded_report = degraded.client().submit(ns, nm).expect("4 clusters remain");
-    println!("degraded grid (sagittaire down): makespan {:.1} h", degraded_report.makespan / 3600.0);
+    println!(
+        "degraded grid (sagittaire down): makespan {:.1} h",
+        degraded_report.makespan / 3600.0
+    );
     for r in &degraded_report.reports {
         println!(
             "  {:<12} {} scenario(s)",
@@ -37,7 +40,10 @@ fn main() {
     // Healthy deployment.
     let healthy = Deployment::new(&grid, Heuristic::Knapsack);
     let healthy_report = healthy.client().submit(ns, nm).expect("grid usable");
-    println!("\nhealthy grid: makespan {:.1} h", healthy_report.makespan / 3600.0);
+    println!(
+        "\nhealthy grid: makespan {:.1} h",
+        healthy_report.makespan / 3600.0
+    );
     for r in &healthy_report.reports {
         println!(
             "  {:<12} {} scenario(s)  grouping {}",

@@ -25,12 +25,15 @@ fn main() {
     println!("knapsack grouping: {grouping}");
 
     // 2. Execute the campaign (virtual time) and validate the schedule.
-    let schedule =
-        execute_default(inst, &cluster.timing, &grouping).expect("grouping is valid");
-    schedule.validate().expect("the executor emits valid schedules");
+    let schedule = execute_default(inst, &cluster.timing, &grouping).expect("grouping is valid");
+    schedule
+        .validate()
+        .expect("the executor emits valid schedules");
 
     // 3. Compare with the basic heuristic.
-    let basic = Heuristic::Basic.makespan(inst, &cluster.timing).expect("feasible");
+    let basic = Heuristic::Basic
+        .makespan(inst, &cluster.timing)
+        .expect("feasible");
     println!(
         "makespan: {:.1} h  (basic heuristic: {:.1} h, gain {:.1}%)",
         schedule.makespan / 3600.0,

@@ -16,10 +16,17 @@ fn main() {
     let campaign = run_campaign(
         &truth_model,
         1.0,
-        BenchmarkConfig { repetitions: 5, noise: 0.03, seed: 2026 },
+        BenchmarkConfig {
+            repetitions: 5,
+            noise: 0.03,
+            seed: 2026,
+        },
     )
     .expect("campaign runs");
-    println!("benchmarked {} samples; fitted model:", campaign.samples.len());
+    println!(
+        "benchmarked {} samples; fitted model:",
+        campaign.samples.len()
+    );
     let fitted = campaign.fitted.expect("3% noise fits cleanly");
     println!(
         "  seq {:.0} s  par {:.0} s·proc  comm {:.1} s/proc  (truth: 300 / 5120 / 40.0)",
@@ -42,7 +49,9 @@ fn main() {
     let planned = Heuristic::Knapsack
         .grouping(inst, &campaign.table)
         .expect("53 processors suffice");
-    let ideal = Heuristic::Knapsack.grouping(inst, &truth).expect("feasible");
+    let ideal = Heuristic::Knapsack
+        .grouping(inst, &truth)
+        .expect("feasible");
     let ms_planned = estimate(inst, &truth, &planned).expect("valid").makespan;
     let ms_ideal = estimate(inst, &truth, &ideal).expect("valid").makespan;
     println!("\nplanned on noisy table: {planned}");

@@ -15,6 +15,7 @@
 //! | [`platform`] | timing tables, moldable speedup model, clusters, grids, presets |
 //! | [`knapsack`] | exact bounded knapsack with cardinality constraint (+ greedy, B&B) |
 //! | [`sched`] | Equations 1–5, the basic heuristic and Improvements 1–3, Algorithm 1 |
+//! | [`analyze`] | rule-based static diagnostics (OA001–OA017) over all four layers |
 //! | [`sim`] | discrete-event executor, schedule validation, Gantt, metrics, grid runs |
 //! | [`middleware`] | DIET-like client / agent / SeD protocol over threads |
 //! | [`baselines`] | the related work implemented: list scheduler, CPA, CPR, one-DAG-at-a-time |
@@ -37,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use oa_analyze as analyze;
 pub use oa_baselines as baselines;
 pub use oa_knapsack as knapsack;
 pub use oa_middleware as middleware;
@@ -47,6 +49,7 @@ pub use oa_workflow as workflow;
 
 /// Everything a typical user needs.
 pub mod prelude {
+    pub use oa_analyze::{catalog, Diagnostic, Layer, Location, Report, RuleCode, Severity};
     pub use oa_middleware::prelude::*;
     pub use oa_platform::prelude::*;
     pub use oa_sched::prelude::*;

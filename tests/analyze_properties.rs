@@ -1,0 +1,66 @@
+//! Property tests binding the heuristics to the static analyzer: every
+//! grouping a paper heuristic produces, over random instances, must
+//! pass the scheduling-layer rules with zero error diagnostics — and
+//! the schedule the executor materializes from it must pass the
+//! schedule-layer rules too. Warnings are advisory and allowed.
+
+use ocean_atmosphere::prelude::*;
+use proptest::prelude::*;
+
+fn error_codes(diagnostics: &[Diagnostic]) -> Vec<String> {
+    diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| format!("{}: {}", d.rule, d.message))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn heuristic_groupings_analyze_clean(
+        ns in 1u32..=16,
+        nm in 2u32..=48,
+        r in 11u32..=128,
+    ) {
+        let inst = Instance::new(ns, nm, r);
+        let table = reference_cluster(r).timing;
+        for h in Heuristic::PAPER {
+            // Infeasible corners (e.g. R too small for the heuristic's
+            // shape) are a legitimate refusal, not an analysis failure.
+            let Ok(grouping) = h.grouping(inst, &table) else { continue };
+            let ds = ocean_atmosphere::analyze::scheduling::check_grouping(
+                inst, &table, &grouping,
+            );
+            let errs = error_codes(&ds);
+            prop_assert!(
+                errs.is_empty(),
+                "{} on NS={ns} NM={nm} R={r} chose {grouping}: {errs:?}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn executed_heuristic_schedules_analyze_clean(
+        ns in 1u32..=8,
+        nm in 2u32..=16,
+        r in 11u32..=64,
+    ) {
+        let inst = Instance::new(ns, nm, r);
+        let table = reference_cluster(r).timing;
+        for h in Heuristic::PAPER {
+            let Ok(grouping) = h.grouping(inst, &table) else { continue };
+            let schedule = execute_default(inst, &table, &grouping)
+                .expect("heuristic groupings are executable");
+            let report = schedule.analyze();
+            let errs = error_codes(&report.diagnostics);
+            prop_assert!(
+                errs.is_empty(),
+                "{} on NS={ns} NM={nm} R={r}: {errs:?}",
+                h.label()
+            );
+        }
+    }
+}

@@ -6,8 +6,12 @@ use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 
 fn arb_table() -> impl Strategy<Value = TimingTable> {
-    (100.0f64..3000.0, 5.0f64..500.0, proptest::collection::vec(0.0f64..400.0, 8)).prop_map(
-        |(t11, tp, bumps)| {
+    (
+        100.0f64..3000.0,
+        5.0f64..500.0,
+        proptest::collection::vec(0.0f64..400.0, 8),
+    )
+        .prop_map(|(t11, tp, bumps)| {
             let mut main = [0.0f64; 8];
             let mut acc = t11;
             for i in (0..8).rev() {
@@ -15,8 +19,7 @@ fn arb_table() -> impl Strategy<Value = TimingTable> {
                 acc += bumps[i];
             }
             TimingTable::new(main, tp).expect("non-increasing")
-        },
-    )
+        })
 }
 
 /// Random *valid* grouping for an instance: random group sizes that

@@ -22,7 +22,9 @@ fn heuristics_are_deterministic() {
 fn schedules_serialize_identically() {
     let table = reference_cluster(40).timing;
     let inst = Instance::new(6, 12, 40);
-    let g = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
+    let g = Heuristic::Knapsack
+        .grouping(inst, &table)
+        .expect("feasible");
     let s1 = execute_default(inst, &table, &g).expect("valid");
     let s2 = execute_default(inst, &table, &g).expect("valid");
     let j1 = serde_json::to_string(&s1).expect("serializable");
@@ -41,7 +43,11 @@ fn grid_planning_is_deterministic() {
 
 #[test]
 fn benchmark_campaigns_are_seeded() {
-    let cfg = BenchmarkConfig { repetitions: 4, noise: 0.05, seed: 99 };
+    let cfg = BenchmarkConfig {
+        repetitions: 4,
+        noise: 0.05,
+        seed: 99,
+    };
     let a = run_campaign(&PcrModel::reference(), 1.1, cfg).expect("ok");
     let b = run_campaign(&PcrModel::reference(), 1.1, cfg).expect("ok");
     assert_eq!(a, b);
@@ -66,7 +72,13 @@ fn middleware_reports_are_reproducible_across_deployments() {
     let b = report(1);
     assert_eq!(a.makespan, b.makespan);
     assert_eq!(
-        a.reports.iter().map(|r| r.scenarios.clone()).collect::<Vec<_>>(),
-        b.reports.iter().map(|r| r.scenarios.clone()).collect::<Vec<_>>()
+        a.reports
+            .iter()
+            .map(|r| r.scenarios.clone())
+            .collect::<Vec<_>>(),
+        b.reports
+            .iter()
+            .map(|r| r.scenarios.clone())
+            .collect::<Vec<_>>()
     );
 }

@@ -17,7 +17,9 @@ fn dag_to_schedule_pipeline() {
 
     let cluster = reference_cluster(20);
     let inst = Instance::for_shape(shape, 20);
-    let grouping = Heuristic::Knapsack.grouping(inst, &cluster.timing).expect("feasible");
+    let grouping = Heuristic::Knapsack
+        .grouping(inst, &cluster.timing)
+        .expect("feasible");
     let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
     schedule.validate().expect("schedule respects the DAG");
 
@@ -30,10 +32,20 @@ fn dag_to_schedule_pipeline() {
 #[test]
 fn benchmark_campaign_feeds_scheduler() {
     let truth = PcrModel::reference();
-    let result = run_campaign(&truth, 1.0, BenchmarkConfig { repetitions: 5, noise: 0.01, seed: 7 })
-        .expect("campaign is valid");
+    let result = run_campaign(
+        &truth,
+        1.0,
+        BenchmarkConfig {
+            repetitions: 5,
+            noise: 0.01,
+            seed: 7,
+        },
+    )
+    .expect("campaign is valid");
     let inst = Instance::new(10, 240, 53);
-    let from_truth = Heuristic::Basic.grouping(inst, &truth.table(1.0).expect("valid")).expect("ok");
+    let from_truth = Heuristic::Basic
+        .grouping(inst, &truth.table(1.0).expect("valid"))
+        .expect("ok");
     let from_bench = Heuristic::Basic.grouping(inst, &result.table).expect("ok");
     // 1% noise must not flip the G decision on this instance.
     assert_eq!(from_truth.groups(), from_bench.groups());
@@ -66,7 +78,9 @@ fn resources_monotonicity() {
     let mut prev = f64::INFINITY;
     for r in [12u32, 24, 48, 96] {
         let inst = Instance::new(8, 120, r);
-        let ms = Heuristic::Knapsack.makespan(inst, &cluster.timing).expect("feasible");
+        let ms = Heuristic::Knapsack
+            .makespan(inst, &cluster.timing)
+            .expect("feasible");
         assert!(ms <= prev + 1e-6, "R={r}: {ms} > {prev}");
         prev = ms;
     }
@@ -79,8 +93,12 @@ fn estimator_matches_simulator_at_scale() {
     let inst = Instance::new(10, 1800, 53);
     for h in Heuristic::PAPER {
         let grouping = h.grouping(inst, &cluster.timing).expect("feasible");
-        let est = estimate(inst, &cluster.timing, &grouping).expect("valid").makespan;
-        let sim = execute_default(inst, &cluster.timing, &grouping).expect("valid").makespan;
+        let est = estimate(inst, &cluster.timing, &grouping)
+            .expect("valid")
+            .makespan;
+        let sim = execute_default(inst, &cluster.timing, &grouping)
+            .expect("valid")
+            .makespan;
         assert!((est - sim).abs() < 1e-6, "{h:?}: {est} vs {sim}");
     }
 }
@@ -91,7 +109,9 @@ fn estimator_matches_simulator_at_scale() {
 fn metrics_conservation() {
     let cluster = reference_cluster(30);
     let inst = Instance::new(5, 36, 30);
-    let grouping = Heuristic::Knapsack.grouping(inst, &cluster.timing).expect("feasible");
+    let grouping = Heuristic::Knapsack
+        .grouping(inst, &cluster.timing)
+        .expect("feasible");
     let schedule = execute_default(inst, &cluster.timing, &grouping).expect("valid");
     let m = metrics(&schedule);
     let expect_posts = inst.nbtasks() as f64 * cluster.timing.post_secs();

@@ -16,7 +16,9 @@ fn generic_specializes_to_oa() {
     for (ns, nm, r) in [(10u32, 36u32, 53u32), (4, 60, 77), (7, 12, 30)] {
         let w = Workload::ocean_atmosphere(ns, nm, &table);
         let inst = Instance::new(ns, nm, r);
-        let oa = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
+        let oa = Heuristic::Knapsack
+            .grouping(inst, &table)
+            .expect("feasible");
         let gen = knapsack_generic(&w, r).expect("feasible");
         assert_eq!(oa.groups(), gen.sizes());
         let oa_ms = estimate(inst, &table, &oa).expect("valid").makespan;
@@ -33,9 +35,15 @@ fn balanced_never_loses_on_oa_workloads() {
     for r in (11..=120).step_by(7) {
         let w = Workload::ocean_atmosphere(10, 48, &table);
         let inst = Instance::new(10, 48, r);
-        let knap = Heuristic::Knapsack.makespan(inst, &table).expect("feasible");
+        let knap = Heuristic::Knapsack
+            .makespan(inst, &table)
+            .expect("feasible");
         let (_, bal) = balanced_generic(&w, r).expect("feasible");
-        assert!(bal.makespan <= knap + 1e-6, "R={r}: balanced {} vs knapsack {knap}", bal.makespan);
+        assert!(
+            bal.makespan <= knap + 1e-6,
+            "R={r}: balanced {} vs knapsack {knap}",
+            bal.makespan
+        );
     }
 }
 
@@ -45,7 +53,9 @@ fn balanced_never_loses_on_oa_workloads() {
 fn paper_heuristics_dominate_related_work() {
     let table = reference_cluster(60).timing;
     let inst = Instance::new(10, 24, 60);
-    let knap = Heuristic::Knapsack.makespan(inst, &table).expect("feasible");
+    let knap = Heuristic::Knapsack
+        .makespan(inst, &table)
+        .expect("feasible");
     let naive = one_dag_at_a_time(inst, &table).expect("feasible").makespan;
     let stuck = cpr(inst, &table).expect("feasible");
     let batched = cpr_batched(inst, &table).expect("feasible");
@@ -59,7 +69,9 @@ fn paper_heuristics_dominate_related_work() {
 fn fusion_is_safe_at_scale() {
     let table = reference_cluster(53).timing;
     let inst = Instance::new(10, 300, 53);
-    let g = Heuristic::Knapsack.grouping(inst, &table).expect("feasible");
+    let g = Heuristic::Knapsack
+        .grouping(inst, &table)
+        .expect("feasible");
     let fused = estimate(inst, &table, &g).expect("valid").makespan;
     let unfused = estimate_unfused(inst, &table, &g).expect("valid").makespan;
     assert!((fused - unfused).abs() / fused < 0.005);

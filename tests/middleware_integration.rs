@@ -13,8 +13,8 @@ fn protocol_refines_direct_planning_for_every_heuristic() {
 
         let vectors = grid_performance(&grid, h, 9, 24);
         let plan = repartition(&vectors);
-        let outcome = execute_repartition(&grid, &plan, h, 24, ExecConfig::default())
-            .expect("plan feasible");
+        let outcome =
+            execute_repartition(&grid, &plan, h, 24, ExecConfig::default()).expect("plan feasible");
         assert!(
             (report.makespan - outcome.makespan).abs() < 1e-6,
             "{h:?}: middleware {} vs direct {}",
@@ -37,8 +37,16 @@ fn repeated_submissions_are_deterministic() {
         let again = client.submit(10, 36).expect("usable");
         assert_eq!(again.makespan, first.makespan);
         assert_eq!(
-            again.reports.iter().map(|r| r.scenarios.clone()).collect::<Vec<_>>(),
-            first.reports.iter().map(|r| r.scenarios.clone()).collect::<Vec<_>>(),
+            again
+                .reports
+                .iter()
+                .map(|r| r.scenarios.clone())
+                .collect::<Vec<_>>(),
+            first
+                .reports
+                .iter()
+                .map(|r| r.scenarios.clone())
+                .collect::<Vec<_>>(),
         );
     }
 }
@@ -79,7 +87,10 @@ fn degraded_grid_still_completes_campaigns() {
             Box::new(UnavailablePlugin)
         }
     });
-    let report = deployment.client().submit(7, 12).expect("three clusters remain");
+    let report = deployment
+        .client()
+        .submit(7, 12)
+        .expect("three clusters remain");
     let total: usize = report.reports.iter().map(|r| r.scenarios.len()).sum();
     assert_eq!(total, 7);
     for rep in &report.reports {
@@ -95,7 +106,10 @@ fn single_cluster_grid_degenerates_to_local_scheduling() {
     let deployment = Deployment::new(&grid, Heuristic::Knapsack);
     let report = deployment.client().submit(10, 120).expect("usable");
     let local = Heuristic::Knapsack
-        .makespan(Instance::new(10, 120, 53), &grid.cluster(ClusterId(0)).timing)
+        .makespan(
+            Instance::new(10, 120, 53),
+            &grid.cluster(ClusterId(0)).timing,
+        )
         .expect("feasible");
     assert!((report.makespan - local).abs() < 1e-6);
 }

@@ -56,19 +56,29 @@ fn section_4_2_basic_example() {
 fn section_4_2_improvement_1_grouping_and_gain() {
     let table = reference_cluster(53).timing;
     let inst = Instance::new(10, 1800, 53);
-    let g = Heuristic::RedistributeIdle.grouping(inst, &table).expect("feasible");
+    let g = Heuristic::RedistributeIdle
+        .grouping(inst, &table)
+        .expect("feasible");
     assert_eq!(g.groups(), &[8, 8, 8, 7, 7, 7, 7]);
     assert_eq!(g.post_procs, 1);
 
     let base = Heuristic::Basic.makespan(inst, &table).expect("feasible");
-    let imp1 = Heuristic::RedistributeIdle.makespan(inst, &table).expect("feasible");
+    let imp1 = Heuristic::RedistributeIdle
+        .makespan(inst, &table)
+        .expect("feasible");
     let gain = gain_pct(base, imp1);
     // Paper: 4.5%. Our timing curve is a calibrated model, not their
     // measured table, so allow a band around it.
-    assert!((2.0..9.0).contains(&gain), "gain {gain:.2}% outside the expected band");
+    assert!(
+        (2.0..9.0).contains(&gain),
+        "gain {gain:.2}% outside the expected band"
+    );
     // "58 hours less on the makespan" — same order of magnitude.
     let saved_hours = (base - imp1) / 3600.0;
-    assert!((30.0..120.0).contains(&saved_hours), "saved {saved_hours:.0} h");
+    assert!(
+        (30.0..120.0).contains(&saved_hours),
+        "saved {saved_hours:.0} h"
+    );
 }
 
 /// Abstract / Section 6: "simulations show improvements of the makespan
@@ -81,8 +91,12 @@ fn gains_peak_low_r_and_vanish_high_r() {
     for r in (11..=60).step_by(2) {
         let inst = Instance::new(10, 240, r);
         for c in grid.clusters() {
-            let base = Heuristic::Basic.makespan(inst, &c.timing).expect("feasible");
-            let k = Heuristic::Knapsack.makespan(inst, &c.timing).expect("feasible");
+            let base = Heuristic::Basic
+                .makespan(inst, &c.timing)
+                .expect("feasible");
+            let k = Heuristic::Knapsack
+                .makespan(inst, &c.timing)
+                .expect("feasible");
             peak = peak.max(gain_pct(base, k));
         }
     }
@@ -92,8 +106,12 @@ fn gains_peak_low_r_and_vanish_high_r() {
     // R ≥ 11·NS: every heuristic converges to NS groups of 11 — no gain.
     let inst = Instance::new(10, 240, 115);
     for c in grid.clusters() {
-        let base = Heuristic::Basic.makespan(inst, &c.timing).expect("feasible");
-        let k = Heuristic::Knapsack.makespan(inst, &c.timing).expect("feasible");
+        let base = Heuristic::Basic
+            .makespan(inst, &c.timing)
+            .expect("feasible");
+        let k = Heuristic::Knapsack
+            .makespan(inst, &c.timing)
+            .expect("feasible");
         assert!(gain_pct(base, k).abs() < 0.5);
     }
 }

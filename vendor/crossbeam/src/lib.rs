@@ -1,0 +1,109 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The middleware layer only uses MPSC channels (`bounded`,
+//! `unbounded`, `send`, `recv`, `recv_timeout`, cloneable senders), so
+//! this stand-in maps them straight onto `std::sync::mpsc`. Error
+//! types mirror the crossbeam names the workspace imports.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half; cloneable for fan-in.
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Backed by an unbounded std channel.
+        Unbounded(mpsc::Sender<T>),
+        /// Backed by a rendezvous/bounded std channel.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(tx) => Sender::Unbounded(tx.clone()),
+                Sender::Bounded(tx) => Sender::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(tx) => tx.send(msg),
+                Sender::Bounded(tx) => tx.send(msg),
+            }
+        }
+    }
+
+    /// Receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message or disconnection.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over incoming messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver { inner: rx })
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn bounded_and_timeout() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send("x").unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), "x");
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Timeout)
+        ));
+    }
+}

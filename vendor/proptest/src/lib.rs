@@ -1,0 +1,428 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements random-generation property testing *without shrinking*:
+//! each `proptest!` test draws `Config::cases` random inputs from its
+//! strategies and fails (with the generated input's failure message)
+//! on the first counterexample. The strategy combinators cover what
+//! the workspace uses: numeric ranges, tuples, `prop_map`,
+//! `collection::vec`, explicit `new_tree`/`current`, and the
+//! `prop_assert!` / `prop_assert_eq!` macros.
+
+pub mod test_runner {
+    //! Deterministic test driver.
+
+    use std::fmt;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with message.
+        Fail(String),
+        /// Input rejected by a precondition.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Drives strategies: a small deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+        config: Config,
+    }
+
+    impl TestRunner {
+        /// Runner with the given config (fixed seed — runs are
+        /// reproducible by design in this stand-in).
+        pub fn new(config: Config) -> Self {
+            Self {
+                state: 0x0a0c_ea0a_2026_0806,
+                config,
+            }
+        }
+
+        /// The fixed-seed runner the real crate offers for
+        /// reproducible generation outside `proptest!`.
+        pub fn deterministic() -> Self {
+            Self::new(Config::default())
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn next_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Runs `test` against `config.cases` random draws from
+        /// `strategy`, panicking on the first failure. Used by the
+        /// `proptest!` macro.
+        pub fn run_cases<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: crate::strategy::Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(self);
+                match test(value) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} failed: {msg}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Generates a (non-shrinking) value tree, mirroring the real
+        /// crate's explicit-runner API.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<JustTree<Self::Value>, String>
+        where
+            Self: Sized,
+        {
+            Ok(JustTree(self.generate(runner)))
+        }
+    }
+
+    /// A generated value (no shrinking in the stand-in).
+    pub trait ValueTree {
+        /// The carried type.
+        type Value;
+
+        /// The current (only) value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Trivial [`ValueTree`] holding one value.
+    #[derive(Debug, Clone)]
+    pub struct JustTree<T>(T);
+
+    impl<T: Clone> ValueTree for JustTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.map)(self.source.generate(runner))
+        }
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (runner.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64 + 1;
+                    lo + (runner.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_ranges!(u8, u16, u32, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            self.start + runner.next_unit() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, runner: &mut TestRunner) -> f64 {
+            self.start() + runner.next_unit() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of `element` draws with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + (runner.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// The glob-imported names `proptest::prelude::*` provides.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// becomes a test running `Config::cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ($($strat,)+);
+            runner.run_cases(&strategy, |($($arg,)+)| {
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Asserts inside a property test, reporting (not panicking) failures.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..=9, y in 0.5f64..2.0, v in crate::collection::vec(0u32..4, 1..=5)) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+            prop_assert!(!v.is_empty() && v.len() <= 5);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn tuple_patterns_work((a, b) in (1u32..=4, 10u32..=20)) {
+            prop_assert!(a <= 4 && b >= 10);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+
+    #[test]
+    fn explicit_runner_api() {
+        let strategy = (0u32..10).prop_map(|x| x * 2);
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..20 {
+            let v = strategy.new_tree(&mut runner).expect("tree").current();
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+}

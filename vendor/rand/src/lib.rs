@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! Provides exactly what the workspace's synthetic benchmark harness
+//! uses: a seedable deterministic [`rngs::StdRng`] and
+//! [`distr::Uniform`] over `f64`. The generator is `splitmix64`-seeded
+//! `xoshiro256++` — high-quality, tiny, and fully reproducible for a
+//! given seed (the workspace's campaigns require bit-identical
+//! replays, not compatibility with upstream `rand`'s stream).
+
+/// Core trait for generators: the stand-in only needs raw `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256++ here).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions (subset: uniform floats).
+pub mod distr {
+    use super::RngCore;
+    use std::fmt;
+
+    /// Sampling interface.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a distribution (mirrors `rand::distr::uniform::Error`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error;
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("invalid uniform distribution bounds")
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Uniform distribution over a closed interval.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl Uniform<f64> {
+        /// Uniform over `[low, high]`; errors when `low > high` or a
+        /// bound is non-finite.
+        pub fn new_inclusive(low: f64, high: f64) -> Result<Self, Error> {
+            if low.is_finite() && high.is_finite() && low <= high {
+                Ok(Self { low, high })
+            } else {
+                Err(Error)
+            }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.low + unit * (self.high - self.low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distr::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::SeedableRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = Uniform::new_inclusive(0.0, 1.0).unwrap();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let d = Uniform::new_inclusive(0.98, 1.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((0.98..=1.02).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(Uniform::new_inclusive(2.0, 1.0).is_err());
+        assert!(Uniform::new_inclusive(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` with
+//! the raw `proc_macro` API (no `syn`/`quote` — the build environment
+//! is hermetic). The parser covers exactly the shapes this workspace
+//! uses: named-field structs, tuple structs (newtype included), unit
+//! structs, and enums with unit / tuple / struct variants, plus plain
+//! type parameters (`Dag<N>`). `#[serde(...)]` attributes are not
+//! supported — the workspace does not use any.
+//!
+//! Representation matches the real serde_json data model:
+//! structs → objects, newtype structs → their inner value, unit
+//! variants → strings, data variants → single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Consumes `<...>` if present, returning the plain type-parameter
+/// names (idents directly after `<` or a top-level `,`).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                at_param_start = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                at_param_start = false;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+            }
+            Some(TokenTree::Ident(id)) => {
+                if at_param_start && depth == 1 {
+                    params.push(id.to_string());
+                }
+                at_param_start = false;
+            }
+            Some(_) => at_param_start = false,
+            None => panic!("unclosed generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    fields
+}
+
+/// Advances past a type up to (and over) the next top-level comma.
+/// Commas inside `<...>` belong to the type; groups are atomic tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] {} {{ fn to_value(&self) -> serde::Value {{ ",
+        impl_header(item, "serde::Serialize")
+    );
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            out.push_str("serde::Value::Object(vec![");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "(String::from(\"{f}\"), serde::Serialize::to_value(&self.{f})), "
+                );
+            }
+            out.push_str("])");
+        }
+        ItemKind::TupleStruct(1) => out.push_str("serde::Serialize::to_value(&self.0)"),
+        ItemKind::TupleStruct(n) => {
+            out.push_str("serde::Value::Array(vec![");
+            for idx in 0..*n {
+                let _ = write!(out, "serde::Serialize::to_value(&self.{idx}), ");
+            }
+            out.push_str("])");
+        }
+        ItemKind::UnitStruct => out.push_str("serde::Value::Null"),
+        ItemKind::Enum(variants) => {
+            out.push_str("match self { ");
+            for v in variants {
+                let name = &item.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} => serde::Value::Str(String::from(\"{vn}\")), "
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}(f0) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Serialize::to_value(f0))]), "
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vn}({}) => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Array(vec![{}]))]), ",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(String::from(\"{f}\"), serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "{name}::{vn} {{ {} }} => serde::Value::Object(vec![(String::from(\"{vn}\"), serde::Value::Object(vec![{}]))]), ",
+                            fields.join(", "),
+                            pairs.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push('}');
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived] {} {{ fn from_value(v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{ ",
+        impl_header(item, "serde::Deserialize")
+    );
+    let name = &item.name;
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let _ = write!(out, "::core::result::Result::Ok({name} {{ ");
+            for f in fields {
+                let _ = write!(
+                    out,
+                    "{f}: serde::Deserialize::from_value(serde::field(v, \"{f}\")?)?, "
+                );
+            }
+            out.push_str("})");
+        }
+        ItemKind::TupleStruct(1) => {
+            let _ = write!(
+                out,
+                "::core::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))"
+            );
+        }
+        ItemKind::TupleStruct(n) => {
+            out.push_str(&tuple_body(name, *n, "v"));
+        }
+        ItemKind::UnitStruct => {
+            let _ = write!(
+                out,
+                "match v {{ serde::Value::Null => ::core::result::Result::Ok({name}), other => ::core::result::Result::Err(serde::unexpected(\"null\", other)) }}"
+            );
+        }
+        ItemKind::Enum(variants) => {
+            out.push_str("match v { serde::Value::Str(s) => match s.as_str() { ");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let _ = write!(
+                        out,
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}), ",
+                        vn = v.name
+                    );
+                }
+            }
+            let _ = write!(
+                out,
+                "other => ::core::result::Result::Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))) }}, "
+            );
+            let has_data = variants
+                .iter()
+                .any(|v| !matches!(v.kind, VariantKind::Unit));
+            if has_data {
+                out.push_str(
+                    "serde::Value::Object(pairs) if pairs.len() == 1 => { let (key, inner) = &pairs[0]; match key.as_str() { ",
+                );
+            }
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)), "
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => {{ {} }} ",
+                            tuple_body(&format!("{name}::{vn}"), *n, "inner")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::Deserialize::from_value(serde::field(inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}), ",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            if has_data {
+                let _ = write!(
+                    out,
+                    "other => ::core::result::Result::Err(serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))) }} }}, "
+                );
+            }
+            let _ = write!(
+                out,
+                "other => ::core::result::Result::Err(serde::unexpected(\"{name} variant\", other)) }}"
+            );
+        }
+    }
+    out.push_str(" } }");
+    out
+}
+
+/// Body deserializing `ctor(a, b, ...)` with `n` elements from the
+/// array value named by `src`.
+fn tuple_body(ctor: &str, n: usize, src: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+        .collect();
+    format!(
+        "{{ let items = serde::as_array({src})?; if items.len() != {n} {{ return ::core::result::Result::Err(serde::Error::custom(\"wrong tuple arity\")); }} ::core::result::Result::Ok({ctor}({})) }}",
+        elems.join(", ")
+    )
+}
