@@ -17,6 +17,28 @@
 //! top of [`schedule::check_schedule`]; the `oa analyze` CLI subcommand
 //! runs all four layers over a planned campaign and exits nonzero when
 //! any error-severity diagnostic fires.
+//!
+//! # Examples
+//!
+//! ```
+//! use oa_platform::prelude::*;
+//! use oa_sched::prelude::*;
+//!
+//! let table = PcrModel::reference().table(1.0).unwrap();
+//! let inst = Instance::new(10, 1800, 53);
+//!
+//! // A planned grouping passes the scheduling-layer rules…
+//! let good = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+//! let mut report = oa_analyze::Report::new();
+//! report.extend(oa_analyze::scheduling::check_grouping(inst, &table, &good));
+//! assert!(!report.has_errors());
+//!
+//! // …while an oversubscribed one is collected, not panicked on.
+//! let bad = Grouping::new(vec![8; 7], 4); // 60 procs > R = 53
+//! let mut report = oa_analyze::Report::new();
+//! report.extend(oa_analyze::scheduling::check_grouping(inst, &table, &bad));
+//! assert!(report.has_errors());
+//! ```
 
 #![warn(missing_docs)]
 

@@ -20,7 +20,7 @@ use crate::diag::{Diagnostic, RuleCode, Severity};
 /// OA017 warns that transfer time is no longer negligible.
 pub const TRANSFER_WARN_FRACTION: f64 = 0.10;
 
-/// Relative slack on the benchmarked T[11] envelope: the preset models
+/// Relative slack on the benchmarked `T[11]` envelope: the preset models
 /// are calibrated fits, so their headline times land within a few
 /// seconds of the paper's nominal values, not exactly on them.
 pub const ENVELOPE_SLACK: f64 = 0.005;

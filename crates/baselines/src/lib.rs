@@ -9,9 +9,9 @@
 //! * [`list_sched`] — a moldable list scheduler over a flat processor
 //!   pool (the scheduling phase CPA/CPR rely on), with strict
 //!   priority order for mains and post backfilling;
-//! * [`cpa`] — Critical Path and Area-based allocation (Radulescu &
+//! * [`mod@cpa`] — Critical Path and Area-based allocation (Radulescu &
 //!   van Gemund, ICPP 2001) adapted to multiple chains;
-//! * [`cpr`] — Critical Path Reduction (Radulescu et al., IPDPS 2001),
+//! * [`mod@cpr`] — Critical Path Reduction (Radulescu et al., IPDPS 2001),
 //!   the one-step makespan-guided variant — which *plateaus* on this
 //!   workload, exactly as the paper predicts — plus a batched
 //!   multi-critical-path adaptation ([`cpr::cpr_batched`]);

@@ -6,9 +6,11 @@
 //!
 //! Run: `cargo run --release -p oa-bench --bin example53`
 
-use oa_bench::write_json;
+use oa_bench::{trace_path, write_json, write_trace};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
+use oa_sim::prelude::*;
+use oa_trace::VecTracer;
 
 fn main() {
     let table = reference_cluster(53).timing;
@@ -57,4 +59,17 @@ fn main() {
     }
     println!("\npaper: Improvement 1 gains 4.5% — 58 hours — with grouping 3×8 + 4×7 + 1 post");
     write_json("example53", &rows);
+
+    // `--trace PATH` (or OA_TRACE): record the Improvement-1 campaign
+    // as a structured event stream; replay it with `oa trace export
+    // --file PATH` or `oa trace summarize --file PATH`.
+    if let Some(path) = trace_path() {
+        let grouping = Heuristic::RedistributeIdle
+            .grouping(inst, &table)
+            .expect("feasible");
+        let mut sink = VecTracer::new();
+        execute_traced(inst, &table, &grouping, ExecConfig::default(), &mut sink)
+            .expect("valid grouping");
+        write_trace(&path, &sink.into_events());
+    }
 }

@@ -118,4 +118,22 @@ fn main() {
         series.len()
     );
     write_json("fig10_grid", &series);
+
+    // `--trace PATH` (or OA_TRACE): dump a representative grid run
+    // (5 clusters × 30, knapsack) as a cluster-tagged event trace; the
+    // Chrome export shows one process lane per cluster.
+    if let Some(path) = oa_bench::trace_path() {
+        let grid = base_grid.take(5).with_uniform_resources(30);
+        let mut sink = oa_trace::VecTracer::new();
+        run_grid_traced(
+            &grid,
+            Heuristic::Knapsack,
+            ns,
+            nm,
+            ExecConfig::default(),
+            &mut sink,
+        )
+        .expect("R = 30 fits groups");
+        oa_bench::write_trace(&path, &sink.into_events());
+    }
 }

@@ -81,4 +81,19 @@ fn main() {
         &t,
         &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
     );
+
+    // `--trace PATH` (or OA_TRACE): dump the R = 53 example above as a
+    // structured event trace for `oa trace export`/`summarize`.
+    if let Some(path) = oa_bench::trace_path() {
+        let mut sink = oa_trace::VecTracer::new();
+        execute_traced(
+            Instance::new(10, 6, 53),
+            &t,
+            &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
+            ExecConfig::default(),
+            &mut sink,
+        )
+        .expect("valid grouping");
+        oa_bench::write_trace(&path, &sink.into_events());
+    }
 }

@@ -119,6 +119,35 @@ pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast")
 }
 
+/// Destination for a JSONL event-trace dump: the `--trace PATH`
+/// argument, or the `OA_TRACE` environment variable when the flag is
+/// absent. `None` (the default) keeps the figure binaries untraced.
+pub fn trace_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next();
+        }
+    }
+    std::env::var("OA_TRACE").ok().filter(|p| !p.is_empty())
+}
+
+/// Writes a recorded event stream as JSON Lines (the `oa trace`
+/// interchange format) to `path` and reports the destination. Used by
+/// the figure binaries when [`trace_path`] asks for a dump; the file
+/// replays with `oa trace export --file PATH` / `oa trace summarize`.
+pub fn write_trace(path: &str, events: &[oa_trace::TraceEvent]) {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("events are serializable"));
+        out.push('\n');
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => println!("# wrote {} trace event(s) to {path}", events.len()),
+        Err(e) => eprintln!("warning: cannot write trace {path}: {e}"),
+    }
+}
+
 /// Formats a row of columns padded to `widths`.
 pub fn row(cols: &[String], widths: &[usize]) -> String {
     let mut s = String::new();

@@ -1,8 +1,11 @@
 //! A small typed flag parser (the workspace's allowed dependency list
 //! has no CLI crate; the surface here is tiny).
 //!
-//! Grammar: `oa <command> [--flag value]... [--switch]...`. Flags may
-//! appear in any order; unknown flags are errors so typos fail loudly.
+//! Grammar: `oa <command> [verb] [--flag value]... [--switch]...`.
+//! Flags may appear in any order; unknown flags are errors so typos
+//! fail loudly. Only commands on the verb list (`trace`) accept a
+//! second positional verb (`oa trace export ...`); anywhere else a
+//! bare word is still an error.
 
 use std::collections::BTreeMap;
 
@@ -11,6 +14,8 @@ use std::collections::BTreeMap;
 pub struct Args {
     /// The subcommand (first positional word).
     pub command: String,
+    /// The verb (second positional word), for commands that take one.
+    pub verb: Option<String>,
     flags: BTreeMap<String, String>,
     switches: Vec<String>,
 }
@@ -60,13 +65,24 @@ impl std::error::Error for ArgError {}
 /// Switch-style flags (no value).
 const SWITCHES: &[&str] = &["per-proc", "staging", "json", "all", "fused", "rules"];
 
+/// Commands that take a second positional verb (`oa trace export`).
+const VERB_COMMANDS: &[&str] = &["trace"];
+
 impl Args {
     /// Parses `argv` (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
-        let mut it = argv.into_iter();
+        let mut it = argv.into_iter().peekable();
         let command = it.next().ok_or(ArgError::NoCommand)?;
         if command.starts_with("--") {
             return Err(ArgError::NoCommand);
+        }
+        let mut verb = None;
+        if VERB_COMMANDS.contains(&command.as_str()) {
+            if let Some(next) = it.peek() {
+                if !next.starts_with("--") {
+                    verb = it.next();
+                }
+            }
         }
         let mut flags = BTreeMap::new();
         let mut switches = Vec::new();
@@ -85,6 +101,7 @@ impl Args {
         }
         Ok(Self {
             command,
+            verb,
             flags,
             switches,
         })
@@ -187,6 +204,22 @@ mod tests {
         );
         let a = parse(&["plan", "--r", "many"]).unwrap();
         assert!(matches!(a.u32_or("r", 1), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn verb_commands_take_a_second_positional() {
+        let a = parse(&["trace", "export", "--format", "chrome"]).unwrap();
+        assert_eq!(a.command, "trace");
+        assert_eq!(a.verb.as_deref(), Some("export"));
+        assert_eq!(a.str_or("format", "jsonl"), "chrome");
+        // No verb is fine too; flags may follow directly.
+        let a = parse(&["trace", "--ns", "4"]).unwrap();
+        assert_eq!(a.verb, None);
+        // Non-verb commands still reject bare words.
+        assert_eq!(
+            parse(&["plan", "export"]),
+            Err(ArgError::Unexpected("export".into()))
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use oa_middleware::prelude::*;
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 use oa_sim::prelude::*;
+use oa_trace::prelude::*;
 
 use crate::args::{ArgError, Args};
 
@@ -59,6 +60,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "campaign" => campaign(&args),
         "import" => import(&args),
         "profile" => profile_cmd(&args),
+        "trace" => trace_cmd(&args),
         "dot" => dot_cmd(&args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -89,6 +91,12 @@ COMMANDS
             --file PATH --ns N --nm N --heuristic H
   profile   occupancy profile of a schedule (busy processors over time)
             --ns N --nm N --r N --heuristic H
+  trace     record and export campaign event traces
+            trace record    --ns N --nm N --r N --cluster NAME
+                            --heuristic H [--out TRACE.jsonl]
+            trace export    [--file TRACE.jsonl | campaign flags]
+                            [--format chrome|gantt|jsonl] [--width N]
+            trace summarize [--file TRACE.jsonl | campaign flags]
   dot       Graphviz DOT of the application DAG (pipe into `dot -Tsvg`)
             --ns N --nm N [--fused]
   help      this text
@@ -472,6 +480,121 @@ fn profile_cmd(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Campaign flags shared by every `oa trace` verb.
+const TRACE_CAMPAIGN_FLAGS: &[&str] = &["ns", "nm", "r", "cluster", "heuristic"];
+
+/// Runs the campaign described by the flags with a buffering tracer
+/// and returns a scope line plus the recorded event stream.
+fn trace_campaign(args: &Args) -> Result<(String, Vec<TraceEvent>), CliError> {
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 120)?;
+    let r = args.u32_or("r", 53)?;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let inst = Instance::new(ns, nm, r);
+    let grouping = h
+        .grouping(inst, &cluster.timing)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let mut sink = VecTracer::new();
+    execute_traced(
+        inst,
+        &cluster.timing,
+        &grouping,
+        ExecConfig::default(),
+        &mut sink,
+    )
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let scope = format!(
+        "campaign on {}: NS = {ns}, NM = {nm}, R = {r}, heuristic {}\n",
+        cluster.name,
+        h.label()
+    );
+    Ok((scope, sink.into_events()))
+}
+
+/// Loads a recorded trace if `--file` was given, else records one by
+/// running the campaign described by the flags.
+fn trace_events_from(args: &Args) -> Result<(String, Vec<TraceEvent>), CliError> {
+    if let Some(path) = args.str_opt("file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Domain(format!("cannot read {path}: {e}")))?;
+        let events = read_jsonl(&text).map_err(|e| CliError::Domain(format!("{path}: {e}")))?;
+        Ok((format!("trace {path}: {} event(s)\n", events.len()), events))
+    } else {
+        trace_campaign(args)
+    }
+}
+
+/// Serializes events as JSON Lines, one compact object per line.
+fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("events are serializable"));
+        out.push('\n');
+    }
+    out
+}
+
+fn trace_cmd(args: &Args) -> Result<String, CliError> {
+    match args.verb.as_deref().unwrap_or("summarize") {
+        "record" => trace_record(args),
+        "export" => trace_export(args),
+        "summarize" => trace_summarize(args),
+        other => Err(CliError::Domain(format!(
+            "unknown trace verb {other:?}; try record, export or summarize"
+        ))),
+    }
+}
+
+fn trace_record(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[TRACE_CAMPAIGN_FLAGS, &["out"]].concat())?;
+    let (scope, events) = trace_campaign(args)?;
+    let jsonl = to_jsonl(&events);
+    match args.str_opt("out") {
+        Some(path) => {
+            std::fs::write(path, &jsonl)
+                .map_err(|e| CliError::Domain(format!("cannot write {path}: {e}")))?;
+            Ok(format!("{scope}{} event(s) → {path}\n", events.len()))
+        }
+        None => Ok(jsonl),
+    }
+}
+
+fn trace_export(args: &Args) -> Result<String, CliError> {
+    args.check_known(
+        &[
+            TRACE_CAMPAIGN_FLAGS,
+            &["file", "format", "width", "per-proc"],
+        ]
+        .concat(),
+    )?;
+    let (_, events) = trace_events_from(args)?;
+    match args.str_or("format", "chrome").as_str() {
+        "chrome" => Ok(chrome_trace_string(&events) + "\n"),
+        "gantt" => {
+            let width = args.u32_or("width", 76)? as usize;
+            Ok(render_events(
+                &events,
+                GanttOptions {
+                    width,
+                    by_group: !args.switch("per-proc"),
+                },
+            ))
+        }
+        "jsonl" => Ok(to_jsonl(&events)),
+        other => Err(CliError::Domain(format!(
+            "unknown trace format {other:?}; try chrome, gantt or jsonl"
+        ))),
+    }
+}
+
+fn trace_summarize(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[TRACE_CAMPAIGN_FLAGS, &["file"]].concat())?;
+    let (scope, events) = trace_events_from(args)?;
+    let registry = MetricsRegistry::fold(&events);
+    Ok(scope + &registry.snapshot().render_text())
+}
+
 fn dot_cmd(args: &Args) -> Result<String, CliError> {
     args.check_known(&["ns", "nm", "fused"])?;
     let ns = args.u32_or("ns", 2)?;
@@ -669,6 +792,93 @@ mod tests {
         assert!(out.contains("mean busy"));
         assert!(out.contains("time-bucket"));
         assert!(out.lines().count() > 10);
+    }
+
+    #[test]
+    fn trace_chrome_export_matches_sim_metrics_exactly() {
+        // Acceptance: on the seeded R = 53, NS = 10 campaign, the
+        // Chrome export is valid JSON whose per-phase processor-second
+        // totals equal oa-sim::metrics — exactly, not approximately.
+        let out = oa(&["trace", "export", "--format", "chrome", "--nm", "24"]).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert!(doc.get("traceEvents").is_some(), "{out}");
+
+        let inst = Instance::new(10, 24, 53);
+        let table = reference_cluster(53).timing;
+        let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+        let sched = execute_default(inst, &table, &grouping).unwrap();
+        let m = oa_sim::metrics::metrics(&sched);
+        let other = doc.get("otherData").unwrap();
+        let num = |k: &str| match other.get(k).unwrap() {
+            serde_json::Value::F64(x) => *x,
+            v => panic!("{k}: {v:?}"),
+        };
+        assert_eq!(num("main_proc_secs"), m.main_proc_secs);
+        assert_eq!(num("post_proc_secs"), m.post_proc_secs);
+        assert_eq!(num("makespan"), sched.makespan);
+    }
+
+    #[test]
+    fn trace_record_and_replay_round_trip() {
+        let path = std::env::temp_dir().join("oa-cli-trace-test.jsonl");
+        let out = oa(&[
+            "trace",
+            "record",
+            "--nm",
+            "6",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("event(s)"), "{out}");
+
+        // A replayed export equals a freshly recorded one.
+        let from_file = oa(&["trace", "export", "--file", path.to_str().unwrap()]).unwrap();
+        let fresh = oa(&["trace", "export", "--nm", "6"]).unwrap();
+        assert_eq!(from_file, fresh);
+
+        // Summaries come from the same fold.
+        let sum = oa(&["trace", "summarize", "--file", path.to_str().unwrap()]).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(sum.contains("tasks_completed_main"), "{sum}");
+        assert!(sum.contains("makespan_secs"), "{sum}");
+    }
+
+    #[test]
+    fn trace_record_without_out_streams_jsonl() {
+        let out = oa(&["trace", "record", "--ns", "2", "--nm", "3", "--r", "12"]).unwrap();
+        assert!(out.lines().count() > 10, "{out}");
+        assert!(out.lines().all(|l| l.starts_with('{')), "{out}");
+    }
+
+    #[test]
+    fn trace_gantt_format_draws_a_chart() {
+        let out = oa(&[
+            "trace", "export", "--format", "gantt", "--ns", "2", "--nm", "3", "--r", "12",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains('#'), "{out}");
+    }
+
+    #[test]
+    fn trace_errors_are_reported() {
+        assert!(matches!(
+            oa(&["trace", "frobnicate"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(
+            oa(&["trace", "export", "--format", "svg"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(
+            oa(&["trace", "record", "--file", "x.jsonl"]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            oa(&["trace", "export", "--file", "/nonexistent/t.jsonl"]),
+            Err(CliError::Domain(_))
+        ));
     }
 
     #[test]

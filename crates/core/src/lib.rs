@@ -17,6 +17,8 @@
 //! * [`hetero`] — per-cluster performance vectors and the greedy
 //!   scenario repartition of Algorithm 1.
 //!
+//! # Examples
+//!
 //! ```
 //! use oa_sched::prelude::*;
 //! use oa_platform::prelude::*;

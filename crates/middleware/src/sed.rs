@@ -11,7 +11,9 @@ use crossbeam::channel::{Receiver, Sender};
 use oa_platform::cluster::{Cluster, ClusterId};
 use oa_sched::hetero::PerformanceVector;
 use oa_sched::params::Instance;
-use oa_sim::executor::{execute, ExecConfig};
+use oa_sim::executor::{execute_traced, ExecConfig};
+use oa_sim::tracing::ClusterTag;
+use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
 
 use crate::cache::VectorCache;
 use crate::plugin::SchedulerPlugin;
@@ -69,6 +71,15 @@ impl Sed {
     /// Handles one execution order (step 6): schedules the assigned
     /// scenarios locally (virtual time) and reports the makespan.
     pub fn handle_exec(&self, req: &ExecRequest) -> ExecReport {
+        self.handle_exec_traced(req, &mut NullTracer)
+    }
+
+    /// [`Sed::handle_exec`] with observability: the plugin's grouping
+    /// decision and the full executor event stream flow into `tracer`,
+    /// every event stamped with this SeD's cluster id — the same
+    /// cluster-tagged shape `oa_sim::grid_exec` emits, so middleware
+    /// campaigns feed the same registries and exporters.
+    pub fn handle_exec_traced<T: Tracer>(&self, req: &ExecRequest, tracer: &mut T) -> ExecReport {
         if req.scenarios.is_empty() {
             return ExecReport {
                 request: req.request,
@@ -83,8 +94,25 @@ impl Sed {
             .plugin
             .grouping(inst, &self.cluster.timing)
             .expect("the agent only assigns work to clusters that priced it finitely");
-        let schedule = execute(inst, &self.cluster.timing, &grouping, ExecConfig::default())
-            .expect("plugin groupings are valid");
+        let mut tag = ClusterTag::new(tracer, self.id.0, 0.0);
+        if tag.enabled() {
+            tag.record(TraceEvent::at(
+                0.0,
+                EventKind::Decision {
+                    heuristic: self.plugin.name().to_string(),
+                    groups: grouping.groups().to_vec(),
+                    post_procs: grouping.post_procs,
+                },
+            ));
+        }
+        let schedule = execute_traced(
+            inst,
+            &self.cluster.timing,
+            &grouping,
+            ExecConfig::default(),
+            &mut tag,
+        )
+        .expect("plugin groupings are valid");
         debug_assert!(schedule.validate().is_ok());
         ExecReport {
             request: req.request,
@@ -186,6 +214,45 @@ mod tests {
             nm: 10,
         });
         assert!((perf.vector.of(3) - exec.makespan).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_exec_narrates_the_decision_and_the_run() {
+        use oa_trace::metrics::keys;
+        use oa_trace::{Metered, VecTracer};
+        let s = sed();
+        let mut sink = Metered::new(VecTracer::new());
+        let r = s.handle_exec_traced(
+            &ExecRequest {
+                request: 5,
+                scenarios: vec![0, 1, 2],
+                nm: 4,
+            },
+            &mut sink,
+        );
+        // Every event carries this SeD's cluster id.
+        assert!(sink.inner.events().all(|e| e.cluster == Some(0)));
+        // The decision point names the plugin and its grouping.
+        let decision = sink
+            .inner
+            .events()
+            .find_map(|e| match &e.kind {
+                EventKind::Decision { heuristic, .. } => Some(heuristic.clone()),
+                _ => None,
+            })
+            .expect("a Decision event");
+        assert!(decision.contains("knapsack"), "{decision}");
+        // The live registry agrees with the report.
+        let snap = sink.registry.snapshot();
+        assert_eq!(snap.gauge(keys::MAKESPAN), Some(r.makespan));
+        assert_eq!(snap.counter(keys::TASKS_MAIN), Some(3 * 4));
+        // The untraced path reports identically.
+        let plain = s.handle_exec(&ExecRequest {
+            request: 5,
+            scenarios: vec![0, 1, 2],
+            nm: 4,
+        });
+        assert_eq!(plain, r);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
+use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
 use oa_workflow::fusion::FusedTask;
 
 use crate::schedule::{ProcRange, Schedule, TaskRecord};
@@ -89,6 +90,14 @@ impl Waiting {
             Waiting::Most(h) => h.is_empty(),
         }
     }
+
+    fn len(&self) -> usize {
+        match self {
+            Waiting::Least(h) => h.len(),
+            Waiting::Fifo(q) => q.len(),
+            Waiting::Most(h) => h.len(),
+        }
+    }
 }
 
 /// Executor configuration.
@@ -105,6 +114,21 @@ pub fn execute(
     grouping: &Grouping,
     config: ExecConfig,
 ) -> Result<Schedule, GroupingError> {
+    execute_traced(inst, table, grouping, config, &mut NullTracer)
+}
+
+/// Runs the campaign, streaming [`TraceEvent`]s into `tracer` as the
+/// simulation unfolds: campaign begin/end, a dispatch + start per task
+/// assignment, a finish per completion, and a disband per surplus
+/// group. With [`NullTracer`] (the [`execute`] default) no event is
+/// even constructed, so the untraced path costs nothing extra.
+pub fn execute_traced<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: ExecConfig,
+    tracer: &mut T,
+) -> Result<Schedule, GroupingError> {
     grouping.validate(inst)?;
     let sizes: Vec<u32> = grouping.groups().to_vec();
     let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
@@ -120,6 +144,19 @@ pub fn execute(
         acc += g;
     }
     let post_base = acc;
+
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            0.0,
+            EventKind::CampaignBegin {
+                ns: inst.ns,
+                nm: inst.nm,
+                r: inst.r,
+                groups: sizes.clone(),
+                post_procs: grouping.post_procs,
+            },
+        ));
+    }
 
     let mut records: Vec<TaskRecord> = Vec::with_capacity(inst.nbtasks() as usize * 2);
 
@@ -147,18 +184,49 @@ pub fn execute(
                   running: &mut Vec<Option<(u32, f64)>>,
                   alive: &mut usize,
                   unfinished: usize,
-                  post_pool: &mut BinaryHeap<Reverse<(Time, u32)>>| {
+                  post_pool: &mut BinaryHeap<Reverse<(Time, u32)>>,
+                  months_done: &[u32],
+                  tracer: &mut T| {
         while !idle.is_empty() && !waiting.is_empty() {
             let g = idle.pop().expect("non-empty"); // largest idle group
             let s = waiting.pop().expect("non-empty");
             running[g] = Some((s, now));
             busy.push(Reverse((Time(now + durs[g]), g)));
+            if tracer.enabled() {
+                let task = FusedTask::main(s, months_done[s as usize]);
+                tracer.record(TraceEvent::at(
+                    now,
+                    EventKind::TaskDispatch {
+                        task,
+                        group: Some(g as u32),
+                        queue_depth: waiting.len() as u32,
+                    },
+                ));
+                tracer.record(TraceEvent::at(
+                    now,
+                    EventKind::TaskStart {
+                        task,
+                        first_proc: bases[g],
+                        procs: sizes[g],
+                        group: Some(g as u32),
+                    },
+                ));
+            }
         }
         while !idle.is_empty() && *alive > unfinished {
             let g = idle.remove(0); // smallest idle group disbands
             *alive -= 1;
             for p in 0..sizes[g] {
                 post_pool.push(Reverse((Time(now), bases[g] + p)));
+            }
+            if tracer.enabled() {
+                tracer.record(TraceEvent::at(
+                    now,
+                    EventKind::GroupDisband {
+                        group: g as u32,
+                        procs: sizes[g],
+                    },
+                ));
             }
         }
     };
@@ -172,6 +240,8 @@ pub fn execute(
         &mut alive,
         unfinished,
         &mut post_pool,
+        &months_done,
+        tracer,
     );
 
     let mut main_finish = 0.0f64;
@@ -191,6 +261,18 @@ pub fn execute(
             group: Some(g as u32),
         });
         post_ready.push((t, FusedTask::post(s, month)));
+        if tracer.enabled() {
+            tracer.record(TraceEvent::at(
+                t,
+                EventKind::TaskFinish {
+                    task: FusedTask::main(s, month),
+                    first_proc: bases[g],
+                    procs: sizes[g],
+                    group: Some(g as u32),
+                    secs: t - started,
+                },
+            ));
+        }
         if months_done[s as usize] == nm {
             unfinished -= 1;
         } else {
@@ -209,6 +291,8 @@ pub fn execute(
             &mut alive,
             unfinished,
             &mut post_pool,
+            &months_done,
+            tracer,
         );
     }
     debug_assert_eq!(unfinished, 0);
@@ -228,6 +312,27 @@ pub fn execute(
             group: None,
         });
         post_pool.push(Reverse((Time(end), proc)));
+        if tracer.enabled() {
+            tracer.record(TraceEvent::at(
+                start,
+                EventKind::TaskStart {
+                    task,
+                    first_proc: proc,
+                    procs: 1,
+                    group: None,
+                },
+            ));
+            tracer.record(TraceEvent::at(
+                end,
+                EventKind::TaskFinish {
+                    task,
+                    first_proc: proc,
+                    procs: 1,
+                    group: None,
+                    secs: end - start,
+                },
+            ));
+        }
     }
 
     let schedule = Schedule {
@@ -235,6 +340,14 @@ pub fn execute(
         records,
         makespan: main_finish.max(post_finish),
     };
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            schedule.makespan,
+            EventKind::CampaignEnd {
+                makespan: schedule.makespan,
+            },
+        ));
+    }
     // In debug builds, run the full schedule-layer rule set (OA008–
     // OA015) over every schedule the executor produces: a cheap,
     // always-on oracle that any future change to the event loop still

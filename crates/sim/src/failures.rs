@@ -34,6 +34,8 @@ use serde::{Deserialize, Serialize};
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
+use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
+use oa_workflow::fusion::FusedTask;
 
 /// Totally ordered `f64` heap key.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,6 +134,18 @@ struct Losses {
     months: u32,
 }
 
+/// What one processed failure actually destroyed — the damage
+/// assessment the trace layer reports as a `FailureDetect` event.
+struct FailureImpact {
+    /// The scenario whose in-flight month died, with the month it will
+    /// resume from (`None` when the group was idle).
+    victim: Option<(u32, u32)>,
+    /// Processor-seconds destroyed.
+    lost_proc_secs: f64,
+    /// Months of progress destroyed.
+    months_lost: u32,
+}
+
 impl Fleet {
     fn new(ns: u32, sizes: Vec<u32>) -> Self {
         let mut idle: Vec<usize> = (0..sizes.len()).collect();
@@ -149,17 +163,24 @@ impl Fleet {
 
     /// Applies one `(group, time)` failure under `recovery`, charging
     /// destroyed work to `losses`. Double kills and failures of
-    /// already-disbanded groups are no-ops.
-    fn process_failure(&mut self, failure: (usize, f64), recovery: Recovery, losses: &mut Losses) {
+    /// already-disbanded groups are no-ops (`None`); a kill that lands
+    /// returns its damage assessment.
+    fn process_failure(
+        &mut self,
+        failure: (usize, f64),
+        recovery: Recovery,
+        losses: &mut Losses,
+    ) -> Option<FailureImpact> {
         let (g, tf) = failure;
         if self.dead[g] {
-            return; // double kill: no-op
+            return None; // double kill: no-op
         }
         // A group that already disbanded is not in `idle` nor `running`;
         // its processors belong to the post pool now — ignore (documented).
         if let Some((s, started)) = self.running[g].take() {
             // In-flight month lost.
-            losses.proc_secs += (tf - started).max(0.0) * self.sizes[g] as f64;
+            let lost = (tf - started).max(0.0) * self.sizes[g] as f64;
+            losses.proc_secs += lost;
             losses.months += 1;
             match recovery {
                 Recovery::MonthlyCheckpoint => {}
@@ -171,6 +192,11 @@ impl Fleet {
                 .push(Reverse((self.months_done[s as usize], s)));
             self.dead[g] = true;
             self.alive -= 1;
+            Some(FailureImpact {
+                victim: Some((s, self.months_done[s as usize])),
+                lost_proc_secs: lost,
+                months_lost: 1,
+            })
         } else {
             let key = (self.sizes[g], g);
             let pos = match self
@@ -183,9 +209,45 @@ impl Fleet {
                 self.idle.remove(pos);
                 self.dead[g] = true;
                 self.alive -= 1;
+                Some(FailureImpact {
+                    victim: None,
+                    lost_proc_secs: 0.0,
+                    months_lost: 0,
+                })
+            } else {
+                // The group already disbanded — ignore.
+                None
             }
-            // else: the group already disbanded — ignore.
         }
+    }
+}
+
+/// Emits the inject/detect/recover event triple for one processed
+/// failure (inject always; detect and recover only if the kill landed).
+fn emit_failure<T: Tracer>(tracer: &mut T, failure: (usize, f64), impact: Option<&FailureImpact>) {
+    let (g, tf) = failure;
+    tracer.record(TraceEvent::at(
+        tf,
+        EventKind::FailureInject { group: g as u32 },
+    ));
+    let Some(im) = impact else { return };
+    tracer.record(TraceEvent::at(
+        tf,
+        EventKind::FailureDetect {
+            group: g as u32,
+            victim: im.victim.map(|(s, _)| s),
+            lost_proc_secs: im.lost_proc_secs,
+            months_lost: im.months_lost,
+        },
+    ));
+    if let Some((s, m)) = im.victim {
+        tracer.record(TraceEvent::at(
+            tf,
+            EventKind::Recover {
+                scenario: s,
+                resume_month: m,
+            },
+        ));
     }
 }
 
@@ -197,11 +259,49 @@ pub fn estimate_with_failures(
     plan: &FaultPlan,
     recovery: Recovery,
 ) -> Result<FaultyOutcome, GroupingError> {
+    estimate_with_failures_traced(inst, table, grouping, plan, recovery, &mut NullTracer)
+}
+
+/// Like [`estimate_with_failures`], but streams the full event story —
+/// dispatches, completions, `FailureInject` / `FailureDetect` /
+/// `Recover` triples, disbands — into `tracer` as the faulty campaign
+/// unfolds.
+pub fn estimate_with_failures_traced<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    plan: &FaultPlan,
+    recovery: Recovery,
+    tracer: &mut T,
+) -> Result<FaultyOutcome, GroupingError> {
     grouping.validate(inst)?;
     let sizes: Vec<u32> = grouping.groups().to_vec();
     let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
     let tp = table.post_secs();
     let nm = inst.nm;
+
+    // Processor layout (for event reporting only): groups first, in
+    // canonical order, then the dedicated post pool.
+    let mut bases: Vec<u32> = Vec::with_capacity(sizes.len());
+    let mut acc = 0u32;
+    for &g in &sizes {
+        bases.push(acc);
+        acc += g;
+    }
+    let post_base = acc;
+
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            0.0,
+            EventKind::CampaignBegin {
+                ns: inst.ns,
+                nm: inst.nm,
+                r: inst.r,
+                groups: sizes.clone(),
+                post_procs: grouping.post_procs,
+            },
+        ));
+    }
 
     let mut failures = plan.failures.clone();
     failures.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -223,12 +323,14 @@ pub fn estimate_with_failures(
     let mut unfinished = inst.ns as usize;
     let mut losses = Losses::default();
 
-    let mut post_ready: Vec<f64> = Vec::with_capacity(inst.nbtasks() as usize);
+    let mut post_ready: Vec<(f64, FusedTask)> = Vec::with_capacity(inst.nbtasks() as usize);
     // The post pool only collects completed posts' processors: dedicated
-    // ones plus *surviving* disbanded groups.
-    let mut pool: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
-    for _ in 0..grouping.post_procs {
-        pool.push(Reverse(Time(0.0)));
+    // ones plus *surviving* disbanded groups. Entries carry the proc id
+    // so trace events can name the processor; ids don't affect timing
+    // (pool slots are interchangeable).
+    let mut pool: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    for p in 0..grouping.post_procs {
+        pool.push(Reverse((Time(0.0), post_base + p)));
     }
 
     let mut main_finish = 0.0f64;
@@ -244,12 +346,41 @@ pub fn estimate_with_failures(
                 fleet.waiting.pop();
                 fleet.running[g] = Some((s, $now));
                 busy.push(Reverse((Time($now + durs[g]), g)));
+                if tracer.enabled() {
+                    let task = FusedTask::main(s, fleet.months_done[s as usize]);
+                    tracer.record(TraceEvent::at(
+                        $now,
+                        EventKind::TaskDispatch {
+                            task,
+                            group: Some(g as u32),
+                            queue_depth: fleet.waiting.len() as u32,
+                        },
+                    ));
+                    tracer.record(TraceEvent::at(
+                        $now,
+                        EventKind::TaskStart {
+                            task,
+                            first_proc: bases[g],
+                            procs: fleet.sizes[g],
+                            group: Some(g as u32),
+                        },
+                    ));
+                }
             }
             while !fleet.idle.is_empty() && fleet.alive > unfinished {
                 let g = fleet.idle.remove(0);
                 fleet.alive -= 1;
-                for _ in 0..fleet.sizes[g] {
-                    pool.push(Reverse(Time($now)));
+                for p in 0..fleet.sizes[g] {
+                    pool.push(Reverse((Time($now), bases[g] + p)));
+                }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        $now,
+                        EventKind::GroupDisband {
+                            group: g as u32,
+                            procs: fleet.sizes[g],
+                        },
+                    ));
                 }
             }
         }};
@@ -264,13 +395,21 @@ pub fn estimate_with_failures(
         match (completion_time, failure_time) {
             (None, None) => break,
             (Some(_), Some(tf)) if tf <= completion_time.expect("some") => {
-                fleet.process_failure(failures[next_failure], recovery, &mut losses);
+                let failure = failures[next_failure];
+                let impact = fleet.process_failure(failure, recovery, &mut losses);
+                if tracer.enabled() {
+                    emit_failure(tracer, failure, impact.as_ref());
+                }
                 next_failure += 1;
                 let tf = failures[next_failure - 1].1;
                 assign!(tf);
             }
             (None, Some(_)) => {
-                fleet.process_failure(failures[next_failure], recovery, &mut losses);
+                let failure = failures[next_failure];
+                let impact = fleet.process_failure(failure, recovery, &mut losses);
+                if tracer.enabled() {
+                    emit_failure(tracer, failure, impact.as_ref());
+                }
                 next_failure += 1;
                 let tf = failures[next_failure - 1].1;
                 if fleet.alive == 0 && unfinished > 0 {
@@ -287,10 +426,23 @@ pub fn estimate_with_failures(
                 if fleet.dead[g] {
                     continue; // stale completion of a crashed group
                 }
-                let (s, _started) = fleet.running[g].take().expect("busy group has a scenario");
+                let (s, started) = fleet.running[g].take().expect("busy group has a scenario");
+                let month = fleet.months_done[s as usize];
                 fleet.months_done[s as usize] += 1;
                 main_finish = t;
-                post_ready.push(t);
+                post_ready.push((t, FusedTask::post(s, month)));
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        t,
+                        EventKind::TaskFinish {
+                            task: FusedTask::main(s, month),
+                            first_proc: bases[g],
+                            procs: fleet.sizes[g],
+                            group: Some(g as u32),
+                            secs: t - started,
+                        },
+                    ));
+                }
                 if fleet.months_done[s as usize] == nm {
                     unfinished -= 1;
                 } else {
@@ -331,16 +483,35 @@ pub fn estimate_with_failures(
         });
     }
     let mut post_finish = 0.0f64;
-    for ready in post_ready {
-        let Reverse(Time(avail)) = pool.pop().expect("non-empty");
+    for (ready, task) in post_ready {
+        let Reverse((Time(avail), proc)) = pool.pop().expect("non-empty");
         let start = if avail > ready { avail } else { ready };
         let fin = start + tp;
         post_finish = post_finish.max(fin);
-        pool.push(Reverse(Time(fin)));
+        pool.push(Reverse((Time(fin), proc)));
+        if tracer.enabled() {
+            tracer.record(TraceEvent::at(
+                fin,
+                EventKind::TaskFinish {
+                    task,
+                    first_proc: proc,
+                    procs: 1,
+                    group: None,
+                    secs: fin - start,
+                },
+            ));
+        }
     }
 
+    let makespan = main_finish.max(post_finish);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            makespan,
+            EventKind::CampaignEnd { makespan },
+        ));
+    }
     Ok(FaultyOutcome::Completed {
-        makespan: main_finish.max(post_finish),
+        makespan,
         lost_proc_secs: losses.proc_secs,
         months_lost: losses.months,
     })
@@ -478,6 +649,47 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_run_reports_the_damage() {
+        use oa_trace::metrics::keys;
+        use oa_trace::prelude::*;
+        let inst = Instance::new(4, 6, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 4, 0);
+        let plan = FaultPlan::none().kill(0, 150.0);
+        let mut sink = Metered::new(VecTracer::new());
+        let out = estimate_with_failures_traced(
+            inst,
+            &t,
+            &g,
+            &plan,
+            Recovery::MonthlyCheckpoint,
+            &mut sink,
+        )
+        .unwrap();
+        let FaultyOutcome::Completed {
+            makespan,
+            lost_proc_secs,
+            ..
+        } = out
+        else {
+            panic!("should complete");
+        };
+        // The live registry observed the same damage the outcome reports.
+        let snap = sink.registry.snapshot();
+        assert_eq!(snap.counter(keys::FAILURES), Some(1));
+        assert_eq!(snap.counter(keys::RETRIES), Some(1));
+        assert_eq!(snap.gauge(keys::PROC_SECS_LOST), Some(lost_proc_secs));
+        assert_eq!(snap.gauge(keys::MAKESPAN), Some(makespan));
+        // And the stream tells the inject → detect → recover story.
+        let events = sink.inner.into_events();
+        let pos = |pred: fn(&EventKind) -> bool| events.iter().position(|e| pred(&e.kind));
+        let inject = pos(|k| matches!(k, EventKind::FailureInject { .. })).unwrap();
+        let detect = pos(|k| matches!(k, EventKind::FailureDetect { .. })).unwrap();
+        let recover = pos(|k| matches!(k, EventKind::Recover { .. })).unwrap();
+        assert!(inject < detect && detect < recover);
     }
 
     #[test]

@@ -1,29 +1,16 @@
 //! ASCII Gantt rendering of schedules — the textual equivalent of the
 //! paper's Figures 3–6 (hatched main-task rectangles, post-processing
 //! fills, overpassing tails).
+//!
+//! Since the observability layer landed this is a thin adapter: the
+//! schedule is converted to its trace-event stream and drawn by
+//! [`oa_trace::gantt::render_events`], the same renderer that draws
+//! charts from live or replayed traces.
 
-use oa_workflow::task::TaskKind;
+pub use oa_trace::gantt::GanttOptions;
 
 use crate::schedule::Schedule;
-
-/// Rendering options.
-#[derive(Debug, Clone, Copy)]
-pub struct GanttOptions {
-    /// Total character columns for the time axis.
-    pub width: usize,
-    /// Collapse each multiprocessor group to one row (`true`, default)
-    /// or draw every processor as its own row.
-    pub by_group: bool,
-}
-
-impl Default for GanttOptions {
-    fn default() -> Self {
-        Self {
-            width: 72,
-            by_group: true,
-        }
-    }
-}
+use crate::tracing::events_of;
 
 /// Renders the schedule as an ASCII Gantt chart.
 ///
@@ -31,60 +18,7 @@ impl Default for GanttOptions {
 /// post tasks as `.`, idle time as spaces. One row per group plus one
 /// row per pool processor that ever ran a post.
 pub fn render(schedule: &Schedule, opts: GanttOptions) -> String {
-    if schedule.records.is_empty() {
-        return String::from("(empty schedule)\n");
-    }
-    let horizon = schedule.makespan.max(1e-9);
-    let width = opts.width.max(10);
-    let scale = width as f64 / horizon;
-
-    // Row keying: by group index for mains; by first processor for
-    // posts / per-proc mode.
-    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
-    enum RowKey {
-        Group(u32),
-        Proc(u32),
-    }
-
-    let mut rows: std::collections::BTreeMap<RowKey, Vec<char>> = std::collections::BTreeMap::new();
-    let mut paint = |key: RowKey, start: f64, end: f64, ch: char| {
-        let row = rows.entry(key).or_insert_with(|| vec![' '; width]);
-        let a = (start * scale).floor() as usize;
-        let b = ((end * scale).ceil() as usize).min(width);
-        for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
-            *cell = ch;
-        }
-    };
-
-    for r in &schedule.records {
-        match (r.task.kind, r.group, opts.by_group) {
-            (TaskKind::FusedMain, Some(g), true) => paint(RowKey::Group(g), r.start, r.end, '#'),
-            (TaskKind::FusedMain, _, _) => {
-                for p in r.procs.iter() {
-                    paint(RowKey::Proc(p), r.start, r.end, '#');
-                }
-            }
-            (_, _, _) => paint(RowKey::Proc(r.procs.first), r.start, r.end, '.'),
-        }
-    }
-
-    let mut out = String::new();
-    let hours = schedule.makespan / 3600.0;
-    out.push_str(&format!(
-        "makespan: {:.0} s ({hours:.1} h)  [#'=main  .'=post]\n",
-        schedule.makespan
-    ));
-    for (key, row) in rows {
-        let label = match key {
-            RowKey::Group(g) => format!("grp{g:<3}"),
-            RowKey::Proc(p) => format!("cpu{p:<3}"),
-        };
-        out.push_str(&label);
-        out.push('|');
-        out.extend(row.iter());
-        out.push_str("|\n");
-    }
-    out
+    oa_trace::gantt::render_events(&events_of(schedule), opts)
 }
 
 /// Renders with default options.

@@ -14,9 +14,11 @@ use oa_platform::grid::Grid;
 use oa_sched::hetero::{grid_performance, repartition, Repartition};
 use oa_sched::heuristics::{Heuristic, HeuristicError};
 use oa_sched::params::Instance;
+use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer, TransferKind};
 
-use crate::executor::{execute, ExecConfig};
+use crate::executor::{execute_traced, ExecConfig};
 use crate::schedule::Schedule;
+use crate::tracing::ClusterTag;
 
 /// One cluster's part of a grid execution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,9 +59,24 @@ pub fn run_grid(
     nm: u32,
     config: ExecConfig,
 ) -> Result<GridOutcome, HeuristicError> {
+    run_grid_traced(grid, heuristic, ns, nm, config, &mut NullTracer)
+}
+
+/// Like [`run_grid`], but streams every cluster's execution into
+/// `tracer` — each cluster's events are stamped with its cluster id
+/// (see [`ClusterTag`]), preceded by a `Decision` event naming the
+/// grouping the heuristic chose there.
+pub fn run_grid_traced<T: Tracer>(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    config: ExecConfig,
+    tracer: &mut T,
+) -> Result<GridOutcome, HeuristicError> {
     let vectors = grid_performance(grid, heuristic, ns, nm);
     let plan = repartition(&vectors);
-    execute_repartition(grid, &plan, heuristic, nm, config)
+    execute_repartition_traced(grid, &plan, heuristic, nm, config, tracer)
 }
 
 /// Executes an existing repartition on `grid`.
@@ -70,6 +87,18 @@ pub fn execute_repartition(
     nm: u32,
     config: ExecConfig,
 ) -> Result<GridOutcome, HeuristicError> {
+    execute_repartition_traced(grid, plan, heuristic, nm, config, &mut NullTracer)
+}
+
+/// Traced variant of [`execute_repartition`]; see [`run_grid_traced`].
+pub fn execute_repartition_traced<T: Tracer>(
+    grid: &Grid,
+    plan: &Repartition,
+    heuristic: Heuristic,
+    nm: u32,
+    config: ExecConfig,
+    tracer: &mut T,
+) -> Result<GridOutcome, HeuristicError> {
     let mut clusters = Vec::with_capacity(grid.len());
     let mut makespan = 0.0f64;
     for (id, cluster) in grid.iter() {
@@ -79,7 +108,18 @@ pub fn execute_repartition(
         } else {
             let inst = Instance::new(scenarios.len() as u32, nm, cluster.resources);
             let grouping = heuristic.grouping(inst, &cluster.timing)?;
-            let sched = execute(inst, &cluster.timing, &grouping, config)
+            let mut tag = ClusterTag::new(tracer, id.0, 0.0);
+            if tag.enabled() {
+                tag.record(TraceEvent::at(
+                    0.0,
+                    EventKind::Decision {
+                        heuristic: heuristic.label().to_string(),
+                        groups: grouping.groups().to_vec(),
+                        post_procs: grouping.post_procs,
+                    },
+                ));
+            }
+            let sched = execute_traced(inst, &cluster.timing, &grouping, config, &mut tag)
                 .expect("heuristics build valid groupings");
             makespan = makespan.max(sched.makespan);
             Some(sched)
@@ -109,19 +149,99 @@ pub fn run_grid_with_staging(
     links: &[crate::transfer::Link],
     staging: &crate::transfer::StagingModel,
 ) -> Result<GridOutcome, HeuristicError> {
+    run_grid_with_staging_traced(
+        grid,
+        heuristic,
+        ns,
+        nm,
+        config,
+        links,
+        staging,
+        &mut NullTracer,
+    )
+}
+
+/// Traced variant of [`run_grid_with_staging`]: each cluster's compute
+/// events are shifted onto the grid timeline by its stage-in delay, and
+/// the stage-in / repatriation transfers appear as `TransferStart` /
+/// `TransferFinish` pairs bracketing the computation.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_with_staging_traced<T: Tracer>(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    config: ExecConfig,
+    links: &[crate::transfer::Link],
+    staging: &crate::transfer::StagingModel,
+    tracer: &mut T,
+) -> Result<GridOutcome, HeuristicError> {
     assert_eq!(links.len(), grid.len(), "one link per cluster");
-    let mut out = run_grid(grid, heuristic, ns, nm, config)?;
+    let vectors = grid_performance(grid, heuristic, ns, nm);
+    let plan = repartition(&vectors);
+    let mut clusters = Vec::with_capacity(grid.len());
     let mut makespan = 0.0f64;
-    for (c, link) in out.clusters.iter().zip(links) {
-        if c.scenarios.is_empty() {
-            continue;
-        }
-        let (pre, post) =
-            crate::transfer::staging_delays(staging, link, c.scenarios.len() as u32, nm);
-        makespan = makespan.max(pre + c.makespan() + post);
+    for ((id, cluster), link) in grid.iter().zip(links) {
+        let scenarios = plan.scenarios_of(id);
+        let schedule = if scenarios.is_empty() {
+            None
+        } else {
+            let n = scenarios.len() as u32;
+            let inst = Instance::new(n, nm, cluster.resources);
+            let grouping = heuristic.grouping(inst, &cluster.timing)?;
+            let (pre, post) = crate::transfer::staging_delays(staging, link, n, nm);
+            // Compute events start after stage-in completes.
+            let mut tag = ClusterTag::new(tracer, id.0, pre);
+            if tag.enabled() {
+                tag.record(TraceEvent::at(
+                    -pre, // absolute t = 0 after the tag's offset
+                    EventKind::TransferStart {
+                        kind: TransferKind::StageIn,
+                        scenarios: n,
+                        secs: pre,
+                    },
+                ));
+                tag.record(TraceEvent::at(
+                    0.0,
+                    EventKind::TransferFinish {
+                        kind: TransferKind::StageIn,
+                        scenarios: n,
+                    },
+                ));
+            }
+            let sched = execute_traced(inst, &cluster.timing, &grouping, config, &mut tag)
+                .expect("heuristics build valid groupings");
+            if tag.enabled() {
+                tag.record(TraceEvent::at(
+                    sched.makespan,
+                    EventKind::TransferStart {
+                        kind: TransferKind::Repatriate,
+                        scenarios: n,
+                        secs: post,
+                    },
+                ));
+                tag.record(TraceEvent::at(
+                    sched.makespan + post,
+                    EventKind::TransferFinish {
+                        kind: TransferKind::Repatriate,
+                        scenarios: n,
+                    },
+                ));
+            }
+            makespan = makespan.max(pre + sched.makespan + post);
+            Some(sched)
+        };
+        clusters.push(ClusterOutcome {
+            cluster: id,
+            scenarios,
+            schedule,
+        });
     }
-    out.makespan = makespan;
-    Ok(out)
+    Ok(GridOutcome {
+        repartition: plan,
+        clusters,
+        makespan,
+    })
 }
 
 #[cfg(test)]
@@ -224,6 +344,104 @@ mod tests {
             ExecConfig::default(),
             &[Link::gigabit()],
             &StagingModel::default(),
+        );
+    }
+
+    #[test]
+    fn traced_grid_stamps_every_event_with_its_cluster() {
+        use oa_trace::prelude::*;
+        let grid = benchmark_grid(30);
+        let mut sink = VecTracer::new();
+        let out = run_grid_traced(
+            &grid,
+            Heuristic::Knapsack,
+            10,
+            12,
+            ExecConfig::default(),
+            &mut sink,
+        )
+        .unwrap();
+        let events = sink.into_events();
+        assert!(!events.is_empty());
+        assert!(events.iter().all(|e| e.cluster.is_some()));
+        // Each used cluster announces its grouping decision.
+        let decisions = events
+            .iter()
+            .filter(|e| {
+                matches!(&e.kind, EventKind::Decision { heuristic, .. }
+                    if heuristic == Heuristic::Knapsack.label())
+            })
+            .count();
+        let used = out.clusters.iter().filter(|c| c.schedule.is_some()).count();
+        assert_eq!(decisions, used);
+        // The slowest cluster's campaign end is the grid makespan.
+        let max_end = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::CampaignEnd { makespan } => Some(makespan),
+                _ => None,
+            })
+            .fold(0.0, f64::max);
+        assert!((max_end - out.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_staging_brackets_the_computation() {
+        use oa_trace::prelude::*;
+        let grid = benchmark_grid(25);
+        let links = vec![Link::gigabit(); grid.len()];
+        let mut sink = VecTracer::new();
+        let out = run_grid_with_staging_traced(
+            &grid,
+            Heuristic::Knapsack,
+            10,
+            12,
+            ExecConfig::default(),
+            &links,
+            &StagingModel::default(),
+            &mut sink,
+        )
+        .unwrap();
+        let untraced = run_grid_with_staging(
+            &grid,
+            Heuristic::Knapsack,
+            10,
+            12,
+            ExecConfig::default(),
+            &links,
+            &StagingModel::default(),
+        )
+        .unwrap();
+        assert_eq!(out, untraced);
+        let events = sink.into_events();
+        // Stage-ins start at the grid origin…
+        assert!(events.iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::TransferStart {
+                    kind: TransferKind::StageIn,
+                    ..
+                }
+            ) && e.t == 0.0
+        }));
+        // …and the last repatriation lands exactly at the grid makespan.
+        let last_repatriation = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::TransferFinish {
+                        kind: TransferKind::Repatriate,
+                        ..
+                    }
+                )
+            })
+            .map(|e| e.t)
+            .fold(0.0, f64::max);
+        assert!(
+            (last_repatriation - out.makespan).abs() < 1e-9,
+            "{last_repatriation} vs {}",
+            out.makespan
         );
     }
 

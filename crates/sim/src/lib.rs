@@ -10,6 +10,9 @@
 //!   most-advanced ablations), producing full schedules;
 //! * [`gantt`] — ASCII Gantt rendering (the paper's Figures 3–6);
 //! * [`metrics`] — utilization, fairness, phase-split accounting;
+//! * [`tracing`] — bridges to the `oa-trace` observability layer:
+//!   schedule → event-stream conversion and the cluster-tagging
+//!   adapter for grid timelines;
 //! * [`grid_exec`] — multi-cluster execution of an Algorithm 1
 //!   repartition (the simulation behind Figure 10).
 //!
@@ -17,6 +20,8 @@
 //! fast aggregate estimator `oa_sched::estimate` — property-tested in
 //! this crate — so heuristics can plan with the estimator and the
 //! simulator remains the single source of truth for *schedules*.
+//!
+//! # Examples
 //!
 //! ```
 //! use oa_platform::prelude::*;
@@ -42,24 +47,31 @@ pub mod metrics;
 pub mod persist;
 pub mod profile;
 pub mod schedule;
+pub mod tracing;
 pub mod transfer;
 pub mod unfused;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::executor::{execute, execute_default, ExecConfig, ScenarioPolicy};
-    pub use crate::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
+    pub use crate::executor::{
+        execute, execute_default, execute_traced, ExecConfig, ScenarioPolicy,
+    };
+    pub use crate::failures::{
+        estimate_with_failures, estimate_with_failures_traced, FaultPlan, FaultyOutcome, Recovery,
+    };
     pub use crate::gantt::{render, render_default, GanttOptions};
     pub use crate::grid_exec::{
-        execute_repartition, run_grid, run_grid_with_staging, ClusterOutcome, GridOutcome,
+        execute_repartition, execute_repartition_traced, run_grid, run_grid_traced,
+        run_grid_with_staging, run_grid_with_staging_traced, ClusterOutcome, GridOutcome,
     };
     pub use crate::grid_failures::{
         run_grid_with_cluster_failure, ClusterFailurePolicy, ClusterFailureSpec, GridFailureOutcome,
     };
-    pub use crate::metrics::{metrics, Metrics};
+    pub use crate::metrics::{metrics, metrics_from_events, Metrics};
     pub use crate::persist::{compare, load, save, PersistError, ScheduleDiff};
     pub use crate::profile::{profile, Profile, Step};
     pub use crate::schedule::{ProcRange, Schedule, ScheduleError, TaskRecord};
+    pub use crate::tracing::{events_of, ClusterTag};
     pub use crate::transfer::{migration_secs, staging_delays, Link, StagingModel};
     pub use crate::unfused::{estimate_unfused, UnfusedEstimate};
 }
@@ -149,6 +161,27 @@ mod proptests {
                     prop_assert!(completed_months < inst.nbtasks());
                 }
             }
+        }
+
+        #[test]
+        fn traced_registry_agrees_with_post_hoc_metrics((inst, table) in (arb_instance(), arb_table())) {
+            // The live metrics fold (a `Metered` sink observing the
+            // executor's event stream) and the post-hoc `metrics()`
+            // aggregation must agree exactly — same fold, same order,
+            // same bits.
+            use oa_trace::metrics::keys;
+            use oa_trace::Metered;
+            let Ok(grouping) = Heuristic::Knapsack.grouping(inst, &table) else { return Ok(()) };
+            let mut sink = Metered::null();
+            let sched = crate::executor::execute_traced(
+                inst, &table, &grouping, ExecConfig::default(), &mut sink).unwrap();
+            let m = crate::metrics::metrics(&sched);
+            let snap = sink.registry.snapshot();
+            prop_assert_eq!(snap.gauge(keys::PROC_SECS_MAIN), Some(m.main_proc_secs));
+            prop_assert_eq!(snap.gauge(keys::PROC_SECS_POST), Some(m.post_proc_secs));
+            prop_assert_eq!(snap.gauge(keys::MAKESPAN), Some(sched.makespan));
+            prop_assert_eq!(snap.counter(keys::TASKS_MAIN), Some(inst.nbtasks()));
+            prop_assert_eq!(snap.counter(keys::TASKS_POST), Some(inst.nbtasks()));
         }
 
         #[test]

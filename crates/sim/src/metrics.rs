@@ -1,10 +1,17 @@
 //! Schedule metrics: utilization, idleness, fairness, phase split.
+//!
+//! Since the observability layer landed, the aggregation itself lives
+//! in `oa-trace`: a schedule is converted to its event stream and
+//! folded there, so these post-hoc numbers and a live
+//! [`MetricsRegistry`] grown during a traced run are the same fold
+//! (bit for bit — tested by property).
 
 use serde::{Deserialize, Serialize};
 
-use oa_workflow::task::TaskKind;
+use oa_trace::prelude::*;
 
 use crate::schedule::Schedule;
+use crate::tracing::events_of;
 
 /// Aggregate metrics of an executed schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,30 +34,49 @@ pub struct Metrics {
     pub never_used_procs: u32,
 }
 
-/// Computes [`Metrics`] from a schedule.
+/// Computes [`Metrics`] from a schedule by folding its trace-event
+/// stream (see [`metrics_from_events`]).
 pub fn metrics(schedule: &Schedule) -> Metrics {
-    let inst = schedule.instance;
-    let mut main_proc_secs = 0.0;
-    let mut post_proc_secs = 0.0;
-    let mut scenario_finish = vec![0.0f64; inst.ns as usize];
-    let mut used = vec![false; inst.r as usize];
-    for r in &schedule.records {
-        let span = (r.end - r.start) * r.procs.count as f64;
-        match r.task.kind {
-            TaskKind::FusedMain => main_proc_secs += span,
-            _ => post_proc_secs += span,
-        }
-        let sf = &mut scenario_finish[r.task.scenario as usize];
-        if r.end > *sf {
-            *sf = r.end;
-        }
-        for p in r.procs.iter() {
-            used[p as usize] = true;
+    metrics_from_events(
+        schedule.instance.ns,
+        schedule.instance.r,
+        &events_of(schedule),
+    )
+}
+
+/// Computes [`Metrics`] from a recorded event stream — the post-hoc
+/// side of the observability layer. The phase split is the
+/// [`phase_totals`] fold (stream order), so numbers computed here, by
+/// a live [`Metered`] sink, and by the Chrome exporter's `otherData`
+/// all agree exactly.
+pub fn metrics_from_events(ns: u32, r: u32, events: &[TraceEvent]) -> Metrics {
+    let totals = phase_totals(events);
+    let mut makespan = totals.makespan;
+    let mut scenario_finish = vec![0.0f64; ns as usize];
+    let mut used = vec![false; r as usize];
+    for ev in events {
+        match &ev.kind {
+            EventKind::TaskFinish {
+                task,
+                first_proc,
+                procs,
+                ..
+            } => {
+                let sf = &mut scenario_finish[task.scenario as usize];
+                if ev.t > *sf {
+                    *sf = ev.t;
+                }
+                for p in *first_proc..first_proc + procs {
+                    used[p as usize] = true;
+                }
+            }
+            EventKind::CampaignEnd { makespan: m } => makespan = *m,
+            _ => {}
         }
     }
-    let makespan = schedule.makespan;
+    let (main_proc_secs, post_proc_secs) = (totals.main_proc_secs, totals.post_proc_secs);
     let utilization = if makespan > 0.0 {
-        (main_proc_secs + post_proc_secs) / (makespan * inst.r as f64)
+        (main_proc_secs + post_proc_secs) / (makespan * r as f64)
     } else {
         0.0
     };

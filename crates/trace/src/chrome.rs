@@ -1,0 +1,381 @@
+//! Chrome `trace_event` export: open a campaign trace in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+//!
+//! The mapping is one *process* per cluster and one *thread* (track)
+//! per processor group, plus one track per post-pool processor, so the
+//! timeline reads exactly like the paper's Gantt figures: hatched main
+//! rectangles per group, a fringe of post tasks below. Timestamps are
+//! simulation microseconds; the export is a pure function of the event
+//! stream, so a seeded campaign always produces byte-identical JSON.
+
+use serde_json::{json, Value};
+
+use oa_workflow::task::TaskKind;
+
+use crate::event::{EventKind, TraceEvent, TransferKind};
+use crate::metrics::phase_totals;
+
+/// Track id for campaign-level events (begin/end, decisions, failures).
+const TID_META: u64 = 0;
+/// Group `g` draws on track `TID_GROUP_BASE + g`.
+const TID_GROUP_BASE: u64 = 1;
+/// Post-pool processor `p` draws on track `TID_POOL_BASE + p` — far
+/// above any realistic group count so the two ranges never collide.
+const TID_POOL_BASE: u64 = 10_000;
+
+fn pid_of(ev: &TraceEvent) -> u64 {
+    ev.cluster.map_or(0, u64::from)
+}
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+fn track_of(group: Option<u32>, first_proc: u32) -> u64 {
+    group.map_or(TID_POOL_BASE + u64::from(first_proc), |g| {
+        TID_GROUP_BASE + u64::from(g)
+    })
+}
+
+fn meta(pid: u64, tid: Option<u64>, name: &str, label: &str) -> Value {
+    let mut pairs = vec![
+        (String::from("name"), json!(name)),
+        (String::from("ph"), json!("M")),
+        (String::from("pid"), json!(pid)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push((String::from("tid"), json!(tid)));
+    }
+    pairs.push((String::from("args"), json!({ "name": label })));
+    Value::Object(pairs)
+}
+
+fn complete(name: &str, cat: &str, pid: u64, tid: u64, ts: f64, dur: f64, args: Value) -> Value {
+    json!({
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    })
+}
+
+fn instant(name: &str, cat: &str, pid: u64, ts: f64, args: Value) -> Value {
+    json!({
+        "name": name,
+        "cat": cat,
+        "ph": "i",
+        "s": "p",
+        "ts": ts,
+        "pid": pid,
+        "tid": TID_META,
+        "args": args,
+    })
+}
+
+/// Converts an event stream into a Chrome `trace_event` document
+/// (the "JSON object format": `traceEvents` + `otherData`).
+///
+/// `otherData` carries the per-phase processor-second totals folded in
+/// stream order — the same association order as `oa-sim::metrics` —
+/// so the two agree to the last bit.
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+
+    // Track naming: collect every (pid, tid) that appears, in sorted
+    // order, so metadata events are deterministic and lead the file.
+    let mut tracks: std::collections::BTreeMap<(u64, u64), String> =
+        std::collections::BTreeMap::new();
+    let mut pids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for ev in events {
+        let pid = pid_of(ev);
+        pids.insert(pid);
+        if let EventKind::TaskFinish {
+            group, first_proc, ..
+        } = &ev.kind
+        {
+            let tid = track_of(*group, *first_proc);
+            let label =
+                group.map_or_else(|| format!("post cpu{first_proc}"), |g| format!("group {g}"));
+            tracks.insert((pid, tid), label);
+        }
+    }
+    for &pid in &pids {
+        let pname = if pids.len() > 1 || pid != 0 {
+            format!("cluster {pid}")
+        } else {
+            String::from("campaign")
+        };
+        out.push(meta(pid, None, "process_name", &pname));
+        out.push(meta(pid, Some(TID_META), "thread_name", "campaign"));
+    }
+    for ((pid, tid), label) in &tracks {
+        out.push(meta(*pid, Some(*tid), "thread_name", label));
+    }
+
+    for ev in events {
+        let pid = pid_of(ev);
+        match &ev.kind {
+            EventKind::TaskFinish {
+                task,
+                first_proc,
+                procs,
+                group,
+                secs,
+            } => {
+                let (cat, word) = if task.kind == TaskKind::FusedMain {
+                    ("main", "main")
+                } else {
+                    ("post", "post")
+                };
+                let name = format!("{word} s{} m{}", task.scenario, task.month);
+                out.push(complete(
+                    &name,
+                    cat,
+                    pid,
+                    track_of(*group, *first_proc),
+                    us(ev.t - secs),
+                    us(*secs),
+                    json!({
+                        "scenario": task.scenario,
+                        "month": task.month,
+                        "first_proc": first_proc,
+                        "procs": procs,
+                    }),
+                ));
+            }
+            EventKind::TransferStart {
+                kind,
+                scenarios,
+                secs,
+            } => {
+                let name = match kind {
+                    TransferKind::StageIn => "stage-in",
+                    TransferKind::Repatriate => "repatriate",
+                };
+                out.push(complete(
+                    name,
+                    "transfer",
+                    pid,
+                    TID_META,
+                    us(ev.t),
+                    us(*secs),
+                    json!({ "scenarios": scenarios }),
+                ));
+            }
+            EventKind::TaskDispatch { queue_depth, .. } => {
+                out.push(json!({
+                    "name": "queue_depth",
+                    "ph": "C",
+                    "ts": us(ev.t),
+                    "pid": pid,
+                    "args": json!({ "waiting": queue_depth }),
+                }));
+            }
+            EventKind::CampaignBegin {
+                ns,
+                nm,
+                r,
+                groups,
+                post_procs,
+            } => out.push(instant(
+                "campaign begin",
+                "campaign",
+                pid,
+                us(ev.t),
+                json!({
+                    "ns": ns,
+                    "nm": nm,
+                    "r": r,
+                    "groups": groups,
+                    "post_procs": post_procs,
+                }),
+            )),
+            EventKind::Decision {
+                heuristic,
+                groups,
+                post_procs,
+            } => out.push(instant(
+                "decision",
+                "heuristic",
+                pid,
+                us(ev.t),
+                json!({
+                    "heuristic": heuristic,
+                    "groups": groups,
+                    "post_procs": post_procs,
+                }),
+            )),
+            EventKind::FailureInject { group } => out.push(instant(
+                "failure inject",
+                "failure",
+                pid,
+                us(ev.t),
+                json!({ "group": group }),
+            )),
+            EventKind::FailureDetect {
+                group,
+                victim,
+                lost_proc_secs,
+                months_lost,
+            } => out.push(instant(
+                "failure detect",
+                "failure",
+                pid,
+                us(ev.t),
+                json!({
+                    "group": group,
+                    "victim": victim,
+                    "lost_proc_secs": lost_proc_secs,
+                    "months_lost": months_lost,
+                }),
+            )),
+            EventKind::Recover {
+                scenario,
+                resume_month,
+            } => out.push(instant(
+                "recover",
+                "failure",
+                pid,
+                us(ev.t),
+                json!({ "scenario": scenario, "resume_month": resume_month }),
+            )),
+            EventKind::GroupDisband { group, procs } => out.push(instant(
+                "group disband",
+                "campaign",
+                pid,
+                us(ev.t),
+                json!({ "group": group, "procs": procs }),
+            )),
+            EventKind::CampaignEnd { makespan } => out.push(instant(
+                "campaign end",
+                "campaign",
+                pid,
+                us(ev.t),
+                json!({ "makespan": makespan }),
+            )),
+            EventKind::TaskStart { .. } | EventKind::TransferFinish { .. } => {}
+        }
+    }
+
+    let totals = phase_totals(events);
+    json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": json!({
+            "main_proc_secs": totals.main_proc_secs,
+            "post_proc_secs": totals.post_proc_secs,
+            "makespan": totals.makespan,
+        }),
+    })
+}
+
+/// [`chrome_trace`] rendered as a compact JSON string — the exact
+/// bytes `oa trace export --format chrome` writes.
+pub fn chrome_trace_string(events: &[TraceEvent]) -> String {
+    serde_json::to_string(&chrome_trace(events)).expect("trace documents are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_workflow::fusion::FusedTask;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::at(
+                0.0,
+                EventKind::CampaignBegin {
+                    ns: 2,
+                    nm: 1,
+                    r: 9,
+                    groups: vec![4, 4],
+                    post_procs: 1,
+                },
+            ),
+            TraceEvent::at(
+                100.0,
+                EventKind::TaskFinish {
+                    task: FusedTask::main(0, 0),
+                    first_proc: 0,
+                    procs: 4,
+                    group: Some(0),
+                    secs: 100.0,
+                },
+            ),
+            TraceEvent::at(
+                130.0,
+                EventKind::TaskFinish {
+                    task: FusedTask::post(0, 0),
+                    first_proc: 8,
+                    procs: 1,
+                    group: None,
+                    secs: 30.0,
+                },
+            ),
+            TraceEvent::at(130.0, EventKind::CampaignEnd { makespan: 130.0 }),
+        ]
+    }
+
+    fn events_of(doc: &Value) -> &[Value] {
+        match doc.get("traceEvents") {
+            Some(Value::Array(a)) => a.as_slice(),
+            _ => panic!("no traceEvents array"),
+        }
+    }
+
+    #[test]
+    fn export_has_tracks_and_complete_events() {
+        let doc = chrome_trace(&sample());
+        let evs = events_of(&doc);
+        // Metadata first: process_name, campaign track, 2 task tracks.
+        let metas = evs
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Value::Str("M".into())))
+            .count();
+        assert_eq!(metas, 4);
+        let completes: Vec<&Value> = evs
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Value::Str("X".into())))
+            .collect();
+        assert_eq!(completes.len(), 2);
+        // The main task: ts 0, dur 100 s in µs, on group 0's track.
+        assert_eq!(completes[0].get("ts"), Some(&Value::F64(0.0)));
+        assert_eq!(completes[0].get("dur"), Some(&Value::F64(100.0e6)));
+        assert_eq!(completes[0].get("tid"), Some(&Value::U64(1)));
+        // The post task rides a pool track.
+        assert_eq!(completes[1].get("tid"), Some(&Value::U64(10_008)));
+    }
+
+    #[test]
+    fn other_data_matches_phase_totals() {
+        let events = sample();
+        let doc = chrome_trace(&events);
+        let other = doc.get("otherData").unwrap();
+        let totals = phase_totals(&events);
+        assert_eq!(
+            other.get("main_proc_secs"),
+            Some(&Value::F64(totals.main_proc_secs))
+        );
+        assert_eq!(
+            other.get("post_proc_secs"),
+            Some(&Value::F64(totals.post_proc_secs))
+        );
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = sample();
+        assert_eq!(chrome_trace_string(&events), chrome_trace_string(&events));
+    }
+
+    #[test]
+    fn export_parses_as_json() {
+        let text = chrome_trace_string(&sample());
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert!(back.get("traceEvents").is_some());
+    }
+}

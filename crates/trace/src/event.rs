@@ -1,0 +1,227 @@
+//! The structured event model: what happened, when, and where.
+//!
+//! Events carry *simulation* timestamps — deterministic `f64` seconds
+//! on the campaign clock, never wall-clock nanoseconds — so a trace of
+//! a seeded run is byte-for-byte reproducible. Span context (scenario,
+//! month, processor group, cluster) lives on the event itself: the
+//! executor stamps group/task identity, and grid-level runs wrap the
+//! sink to stamp the cluster id (see `oa-sim`).
+
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::fusion::FusedTask;
+
+/// Direction of a wide-area transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferKind {
+    /// Initial staging of scenario inputs onto a cluster.
+    StageIn,
+    /// Final repatriation of compressed diagnostics.
+    Repatriate,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A campaign starts executing: the instance and its grouping.
+    CampaignBegin {
+        /// Number of scenarios.
+        ns: u32,
+        /// Months per scenario.
+        nm: u32,
+        /// Processors available.
+        r: u32,
+        /// Group sizes, canonical (descending) order.
+        groups: Vec<u32>,
+        /// Processors dedicated to post-processing.
+        post_procs: u32,
+    },
+    /// A heuristic chose a grouping — the decision point itself.
+    Decision {
+        /// Heuristic label (e.g. `gain3-knapsack`).
+        heuristic: String,
+        /// Group sizes it chose.
+        groups: Vec<u32>,
+        /// Post processors it reserved.
+        post_procs: u32,
+    },
+    /// The scheduling policy picked a task for a group (or the post
+    /// pool) — recorded at decision time, with the queue pressure.
+    TaskDispatch {
+        /// The task chosen.
+        task: FusedTask,
+        /// Receiving group (`None`: post pool).
+        group: Option<u32>,
+        /// Scenarios still waiting after this dispatch.
+        queue_depth: u32,
+    },
+    /// A task began executing.
+    TaskStart {
+        /// The task.
+        task: FusedTask,
+        /// First processor of its allocation.
+        first_proc: u32,
+        /// Processors allocated.
+        procs: u32,
+        /// Executing group (`None`: post pool).
+        group: Option<u32>,
+    },
+    /// A task finished. `secs` is its duration, so a finish event alone
+    /// reconstructs the full interval — exporters need no pairing.
+    TaskFinish {
+        /// The task.
+        task: FusedTask,
+        /// First processor of its allocation.
+        first_proc: u32,
+        /// Processors allocated.
+        procs: u32,
+        /// Executing group (`None`: post pool).
+        group: Option<u32>,
+        /// Duration in seconds (start = `t − secs`).
+        secs: f64,
+    },
+    /// A wide-area transfer began.
+    TransferStart {
+        /// Stage-in or repatriation.
+        kind: TransferKind,
+        /// Scenarios moved.
+        scenarios: u32,
+        /// Predicted duration, seconds.
+        secs: f64,
+    },
+    /// A wide-area transfer completed.
+    TransferFinish {
+        /// Stage-in or repatriation.
+        kind: TransferKind,
+        /// Scenarios moved.
+        scenarios: u32,
+    },
+    /// A fault plan killed a group (the injection instant).
+    FailureInject {
+        /// Group that died.
+        group: u32,
+    },
+    /// The scheduler observed a failure and assessed the damage.
+    FailureDetect {
+        /// Group that died.
+        group: u32,
+        /// Scenario whose in-flight month was lost, if any.
+        victim: Option<u32>,
+        /// Processor-seconds of work destroyed.
+        lost_proc_secs: f64,
+        /// Months of progress destroyed (0 or 1 with monthly
+        /// checkpoints; the victim's whole history without them).
+        months_lost: u32,
+    },
+    /// A victim scenario re-entered the queue after a failure.
+    Recover {
+        /// The scenario.
+        scenario: u32,
+        /// Month it resumes from.
+        resume_month: u32,
+    },
+    /// A group disbanded; its processors joined the post pool.
+    GroupDisband {
+        /// Group that disbanded.
+        group: u32,
+        /// Processors released.
+        procs: u32,
+    },
+    /// The campaign completed.
+    CampaignEnd {
+        /// Final makespan, seconds.
+        makespan: f64,
+    },
+}
+
+/// One trace event: a simulation timestamp, an optional cluster span,
+/// and the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time, seconds since campaign start.
+    pub t: f64,
+    /// Cluster the event belongs to (`None` on single-cluster runs).
+    pub cluster: Option<u32>,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// An event on the single-cluster (no span) timeline.
+    pub fn at(t: f64, kind: EventKind) -> Self {
+        Self {
+            t,
+            cluster: None,
+            kind,
+        }
+    }
+
+    /// The interval `[start, end]` this event describes, when it is a
+    /// task or transfer completion carrying a duration.
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        match &self.kind {
+            EventKind::TaskFinish { secs, .. } => Some((self.t - secs, self.t)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_reconstructs_from_finish() {
+        let ev = TraceEvent::at(
+            300.0,
+            EventKind::TaskFinish {
+                task: FusedTask::main(0, 0),
+                first_proc: 0,
+                procs: 7,
+                group: Some(0),
+                secs: 120.0,
+            },
+        );
+        assert_eq!(ev.interval(), Some((180.0, 300.0)));
+        let other = TraceEvent::at(1.0, EventKind::FailureInject { group: 0 });
+        assert_eq!(other.interval(), None);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let evs = vec![
+            TraceEvent::at(
+                0.0,
+                EventKind::CampaignBegin {
+                    ns: 2,
+                    nm: 3,
+                    r: 9,
+                    groups: vec![4, 4],
+                    post_procs: 1,
+                },
+            ),
+            TraceEvent {
+                t: 42.5,
+                cluster: Some(3),
+                kind: EventKind::TaskDispatch {
+                    task: FusedTask::main(1, 0),
+                    group: Some(1),
+                    queue_depth: 1,
+                },
+            },
+            TraceEvent::at(
+                99.0,
+                EventKind::TransferStart {
+                    kind: TransferKind::StageIn,
+                    scenarios: 2,
+                    secs: 1.5,
+                },
+            ),
+        ];
+        for ev in &evs {
+            let json = serde_json::to_string(ev).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*ev, back);
+        }
+    }
+}

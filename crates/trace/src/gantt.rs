@@ -1,0 +1,197 @@
+//! ASCII Gantt rendering from an event stream — the textual
+//! equivalent of the paper's Figures 3–6 (hatched main-task
+//! rectangles, post-processing fills, overpassing tails).
+//!
+//! This is the canonical Gantt implementation: `oa-sim`'s schedule
+//! renderer converts its records to [`TaskFinish`](crate::event::EventKind::TaskFinish)
+//! events and delegates here, so a chart drawn live from a trace and
+//! one drawn post-hoc from a schedule are the same chart.
+
+use std::collections::BTreeMap;
+
+use oa_workflow::task::TaskKind;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct GanttOptions {
+    /// Total character columns for the time axis.
+    pub width: usize,
+    /// Collapse each multiprocessor group to one row (`true`, default)
+    /// or draw every processor as its own row.
+    pub by_group: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        Self {
+            width: 72,
+            by_group: true,
+        }
+    }
+}
+
+/// Renders the task intervals of an event stream as an ASCII Gantt
+/// chart. Main tasks are drawn as `#` (hatched, as in the paper's
+/// figures), post tasks as `.`, idle time as spaces. One row per group
+/// plus one row per pool processor that ever ran a post.
+///
+/// The horizon is the `CampaignEnd` makespan when present, else the
+/// latest task-finish time. Streams without a single finished task
+/// render as `(empty schedule)`.
+pub fn render_events(events: &[TraceEvent], opts: GanttOptions) -> String {
+    let mut makespan: f64 = 0.0;
+    let mut any_task = false;
+    for ev in events {
+        match &ev.kind {
+            EventKind::TaskFinish { .. } => {
+                any_task = true;
+                if ev.t > makespan {
+                    makespan = ev.t;
+                }
+            }
+            EventKind::CampaignEnd { makespan: m } => makespan = *m,
+            _ => {}
+        }
+    }
+    if !any_task {
+        return String::from("(empty schedule)\n");
+    }
+    let horizon = makespan.max(1e-9);
+    let width = opts.width.max(10);
+    let scale = width as f64 / horizon;
+
+    // Row keying: by group index for mains; by first processor for
+    // posts / per-proc mode. `Group` sorts before `Proc`.
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    enum RowKey {
+        Group(u32),
+        Proc(u32),
+    }
+
+    let mut rows: BTreeMap<RowKey, Vec<char>> = BTreeMap::new();
+    let mut paint = |key: RowKey, start: f64, end: f64, ch: char| {
+        let row = rows.entry(key).or_insert_with(|| vec![' '; width]);
+        let a = (start * scale).floor() as usize;
+        let b = ((end * scale).ceil() as usize).min(width);
+        for cell in row.iter_mut().take(b.max(a + 1).min(width)).skip(a) {
+            *cell = ch;
+        }
+    };
+
+    for ev in events {
+        let EventKind::TaskFinish {
+            task,
+            first_proc,
+            procs,
+            group,
+            secs,
+        } = &ev.kind
+        else {
+            continue;
+        };
+        let (start, end) = (ev.t - secs, ev.t);
+        match (task.kind, group, opts.by_group) {
+            (TaskKind::FusedMain, Some(g), true) => paint(RowKey::Group(*g), start, end, '#'),
+            (TaskKind::FusedMain, _, _) => {
+                for p in *first_proc..first_proc + procs {
+                    paint(RowKey::Proc(p), start, end, '#');
+                }
+            }
+            (_, _, _) => paint(RowKey::Proc(*first_proc), start, end, '.'),
+        }
+    }
+
+    let mut out = String::new();
+    let hours = makespan / 3600.0;
+    out.push_str(&format!(
+        "makespan: {makespan:.0} s ({hours:.1} h)  [#'=main  .'=post]\n"
+    ));
+    for (key, row) in rows {
+        let label = match key {
+            RowKey::Group(g) => format!("grp{g:<3}"),
+            RowKey::Proc(p) => format!("cpu{p:<3}"),
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Renders with default options.
+pub fn render_events_default(events: &[TraceEvent]) -> String {
+    render_events(events, GanttOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_workflow::fusion::FusedTask;
+
+    fn finish(
+        t: f64,
+        task: FusedTask,
+        first_proc: u32,
+        procs: u32,
+        group: Option<u32>,
+        secs: f64,
+    ) -> TraceEvent {
+        TraceEvent::at(
+            t,
+            EventKind::TaskFinish {
+                task,
+                first_proc,
+                procs,
+                group,
+                secs,
+            },
+        )
+    }
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            finish(100.0, FusedTask::main(0, 0), 0, 4, Some(0), 100.0),
+            finish(100.0, FusedTask::main(1, 0), 4, 4, Some(1), 100.0),
+            finish(130.0, FusedTask::post(0, 0), 8, 1, None, 30.0),
+            TraceEvent::at(130.0, EventKind::CampaignEnd { makespan: 130.0 }),
+        ]
+    }
+
+    #[test]
+    fn draws_group_and_pool_rows() {
+        let g = render_events_default(&sample());
+        assert!(g.contains("grp0"));
+        assert!(g.contains("grp1"));
+        assert!(g.contains("cpu8"));
+        assert!(g.contains('#'));
+        assert!(g.contains('.'));
+        assert!(g.starts_with("makespan: 130 s"));
+    }
+
+    #[test]
+    fn per_proc_mode_expands_groups() {
+        let g = render_events(
+            &sample(),
+            GanttOptions {
+                width: 40,
+                by_group: false,
+            },
+        );
+        assert!(!g.contains("grp"));
+        // 8 group processors + 1 pool processor.
+        assert_eq!(g.lines().filter(|l| l.starts_with("cpu")).count(), 9);
+    }
+
+    #[test]
+    fn no_tasks_renders_placeholder() {
+        let only_meta = vec![TraceEvent::at(
+            0.0,
+            EventKind::CampaignEnd { makespan: 0.0 },
+        )];
+        assert_eq!(render_events_default(&only_meta), "(empty schedule)\n");
+        assert_eq!(render_events_default(&[]), "(empty schedule)\n");
+    }
+}

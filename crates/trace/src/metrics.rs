@@ -1,0 +1,410 @@
+//! A counters / gauges / histograms registry fed by trace events.
+//!
+//! The registry is the *aggregating* half of the observability layer:
+//! where the tracer keeps every event, the registry folds them into a
+//! handful of monotonic counters (tasks completed, failures, retries),
+//! gauges (queue depth, processor-seconds by phase) and duration
+//! histograms — and can be snapshot at any instant of a run, not just
+//! at the end. `oa-sim::metrics` rebuilds its end-of-run report on top
+//! of this fold, so mid-run snapshots and post-hoc aggregates can never
+//! drift apart.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use oa_workflow::task::TaskKind;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Well-known metric names used by the instrumented executors. The
+/// registry accepts arbitrary names; these are the ones `oa-sim` emits.
+pub mod keys {
+    /// Counter: fused main tasks completed.
+    pub const TASKS_MAIN: &str = "tasks_completed_main";
+    /// Counter: fused post tasks completed.
+    pub const TASKS_POST: &str = "tasks_completed_post";
+    /// Counter: group failures injected.
+    pub const FAILURES: &str = "failures_injected";
+    /// Counter: months re-executed after a failure (retries).
+    pub const RETRIES: &str = "month_retries";
+    /// Counter: groups disbanded into the post pool.
+    pub const DISBANDS: &str = "group_disbands";
+    /// Counter: wide-area transfers completed.
+    pub const TRANSFERS: &str = "transfers_completed";
+    /// Gauge: processor-seconds spent in main tasks.
+    pub const PROC_SECS_MAIN: &str = "proc_secs_main";
+    /// Gauge: processor-seconds spent in post tasks.
+    pub const PROC_SECS_POST: &str = "proc_secs_post";
+    /// Gauge: processor-seconds destroyed by failures.
+    pub const PROC_SECS_LOST: &str = "proc_secs_lost";
+    /// Gauge: scenarios waiting for a group (set at each dispatch).
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Gauge: campaign makespan, set by the end-of-campaign event.
+    pub const MAKESPAN: &str = "makespan_secs";
+    /// Histogram: main task durations, seconds.
+    pub const MAIN_SECS: &str = "main_task_secs";
+    /// Histogram: post task durations, seconds.
+    pub const POST_SECS: &str = "post_task_secs";
+}
+
+/// Default histogram bucket upper bounds, seconds. Spans the one-second
+/// pre-tasks to multi-hour months; an implicit `+∞` bucket follows.
+pub const DEFAULT_BUCKETS: [f64; 8] = [1.0, 10.0, 60.0, 180.0, 600.0, 1800.0, 3600.0, 14400.0];
+
+/// A cumulative histogram with fixed bucket bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets (ascending); an implicit
+    /// overflow bucket follows the last bound.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over [`DEFAULT_BUCKETS`].
+    pub fn new() -> Self {
+        Self::with_bounds(DEFAULT_BUCKETS.to_vec())
+    }
+
+    /// An empty histogram over the given ascending bounds.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The metrics registry: named counters, gauges and histograms.
+///
+/// Names are free-form; the executors use the constants in [`keys`].
+/// All storage is ordered (`BTreeMap`) so snapshots and their JSON
+/// renderings are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `delta` to gauge `name` (starting from 0).
+    pub fn add(&mut self, name: &str, delta: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Records `value` into histogram `name` (created over
+    /// [`DEFAULT_BUCKETS`] on first use).
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current counter value, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Current gauge value, if the gauge exists.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Updates the registry from one trace event. This is the single
+    /// mapping from the event stream to the aggregate metrics — the
+    /// [`Metered`](crate::tracer::Metered) sink and the post-hoc
+    /// [`MetricsRegistry::fold`] both go through it, so live and
+    /// replayed metrics agree by construction.
+    pub fn observe_event(&mut self, ev: &TraceEvent) {
+        match &ev.kind {
+            EventKind::TaskFinish {
+                task, procs, secs, ..
+            } => {
+                let span = secs * *procs as f64;
+                if task.kind == TaskKind::FusedMain {
+                    self.inc(keys::TASKS_MAIN, 1);
+                    self.add(keys::PROC_SECS_MAIN, span);
+                    self.observe(keys::MAIN_SECS, *secs);
+                } else {
+                    self.inc(keys::TASKS_POST, 1);
+                    self.add(keys::PROC_SECS_POST, span);
+                    self.observe(keys::POST_SECS, *secs);
+                }
+            }
+            EventKind::TaskDispatch { queue_depth, .. } => {
+                self.set(keys::QUEUE_DEPTH, *queue_depth as f64);
+            }
+            EventKind::FailureInject { .. } => self.inc(keys::FAILURES, 1),
+            EventKind::FailureDetect {
+                lost_proc_secs,
+                months_lost,
+                ..
+            } => {
+                self.add(keys::PROC_SECS_LOST, *lost_proc_secs);
+                self.inc(keys::RETRIES, *months_lost as u64);
+            }
+            EventKind::GroupDisband { .. } => self.inc(keys::DISBANDS, 1),
+            EventKind::TransferFinish { .. } => self.inc(keys::TRANSFERS, 1),
+            EventKind::CampaignEnd { makespan } => self.set(keys::MAKESPAN, *makespan),
+            EventKind::CampaignBegin { .. }
+            | EventKind::Decision { .. }
+            | EventKind::TaskStart { .. }
+            | EventKind::TransferStart { .. }
+            | EventKind::Recover { .. } => {}
+        }
+    }
+
+    /// Folds a whole event stream into a fresh registry.
+    pub fn fold<'a, I: IntoIterator<Item = &'a TraceEvent>>(events: I) -> Self {
+        let mut reg = Self::new();
+        for ev in events {
+            reg.observe_event(ev);
+        }
+        reg
+    }
+
+    /// An immutable snapshot of every metric, taken at any instant.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], serializable and
+/// renderable; name/value pairs are sorted by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter name/value pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name/value pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name/state pairs.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders the snapshot as aligned text, one metric per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name:<24} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name:<24} {v:.3}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name:<24} count {} mean {:.1}s\n",
+                h.count,
+                h.mean()
+            ));
+        }
+        out
+    }
+}
+
+/// Per-phase processor-second totals folded from an event stream, in
+/// stream order — the same association order as `oa-sim::metrics`, so
+/// the sums are bit-identical, not merely close.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhaseTotals {
+    /// Processor-seconds in fused main tasks.
+    pub main_proc_secs: f64,
+    /// Processor-seconds in fused post tasks.
+    pub post_proc_secs: f64,
+    /// Largest task-finish timestamp seen (0 without finish events).
+    pub makespan: f64,
+}
+
+/// Folds phase totals from an event stream (see [`PhaseTotals`]).
+pub fn phase_totals(events: &[TraceEvent]) -> PhaseTotals {
+    let mut totals = PhaseTotals::default();
+    for ev in events {
+        if let EventKind::TaskFinish {
+            task, procs, secs, ..
+        } = &ev.kind
+        {
+            let span = secs * *procs as f64;
+            if task.kind == TaskKind::FusedMain {
+                totals.main_proc_secs += span;
+            } else {
+                totals.post_proc_secs += span;
+            }
+            if ev.t > totals.makespan {
+                totals.makespan = ev.t;
+            }
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_workflow::fusion::FusedTask;
+
+    fn finish(t: f64, main: bool, procs: u32, secs: f64) -> TraceEvent {
+        let task = if main {
+            FusedTask::main(0, 0)
+        } else {
+            FusedTask::post(0, 0)
+        };
+        TraceEvent::at(
+            t,
+            EventKind::TaskFinish {
+                task,
+                first_proc: 0,
+                procs,
+                group: None,
+                secs,
+            },
+        )
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::with_bounds(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(100.0);
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert!((h.mean() - 35.166_666).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::with_bounds(vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_folds_task_finishes() {
+        let events = vec![
+            finish(100.0, true, 7, 100.0),
+            finish(200.0, true, 7, 100.0),
+            finish(230.0, false, 1, 30.0),
+        ];
+        let reg = MetricsRegistry::fold(&events);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(keys::TASKS_MAIN), Some(2));
+        assert_eq!(snap.counter(keys::TASKS_POST), Some(1));
+        assert_eq!(snap.gauge(keys::PROC_SECS_MAIN), Some(1400.0));
+        assert_eq!(snap.gauge(keys::PROC_SECS_POST), Some(30.0));
+        assert_eq!(snap.histogram(keys::MAIN_SECS).unwrap().count, 2);
+        let totals = phase_totals(&events);
+        assert_eq!(totals.main_proc_secs, 1400.0);
+        assert_eq!(totals.post_proc_secs, 30.0);
+        assert_eq!(totals.makespan, 230.0);
+    }
+
+    #[test]
+    fn snapshot_is_mid_run_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_event(&finish(100.0, true, 4, 100.0));
+        let early = reg.snapshot();
+        reg.observe_event(&finish(200.0, true, 4, 100.0));
+        let late = reg.snapshot();
+        assert_eq!(early.counter(keys::TASKS_MAIN), Some(1));
+        assert_eq!(late.counter(keys::TASKS_MAIN), Some(2));
+        // The early snapshot is untouched by later events.
+        assert_eq!(early.gauge(keys::PROC_SECS_MAIN), Some(400.0));
+    }
+
+    #[test]
+    fn snapshot_serializes_and_renders() {
+        let reg = MetricsRegistry::fold(&[finish(50.0, false, 1, 50.0)]);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+        let text = snap.render_text();
+        assert!(text.contains(keys::TASKS_POST));
+        assert!(text.contains("histogram"));
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`sched`] | Equations 1–5, the basic heuristic and Improvements 1–3, Algorithm 1 |
 //! | [`analyze`] | rule-based static diagnostics (OA001–OA017) over all four layers |
 //! | [`sim`] | discrete-event executor, schedule validation, Gantt, metrics, grid runs |
+//! | [`trace`] | structured event tracing, metrics registry, Chrome/Gantt exporters |
 //! | [`middleware`] | DIET-like client / agent / SeD protocol over threads |
 //! | [`baselines`] | the related work implemented: list scheduler, CPA, CPR, one-DAG-at-a-time |
 //!
@@ -45,6 +46,7 @@ pub use oa_middleware as middleware;
 pub use oa_platform as platform;
 pub use oa_sched as sched;
 pub use oa_sim as sim;
+pub use oa_trace as trace;
 pub use oa_workflow as workflow;
 
 /// Everything a typical user needs.
@@ -54,5 +56,6 @@ pub mod prelude {
     pub use oa_platform::prelude::*;
     pub use oa_sched::prelude::*;
     pub use oa_sim::prelude::*;
+    pub use oa_trace::prelude::*;
     pub use oa_workflow::prelude::*;
 }
