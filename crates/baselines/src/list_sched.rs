@@ -29,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use oa_platform::timing::TimingTable;
 use oa_sched::params::Instance;
+use oa_sched::time::Time;
 use oa_workflow::moldable::MoldableSpec;
 
 /// Per-scenario allocation vector for the main tasks.
@@ -125,20 +126,6 @@ impl std::fmt::Display for ListError {
 }
 
 impl std::error::Error for ListError {}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Done {

@@ -7,9 +7,9 @@
 //!   the event estimator;
 //! * dedicated post processors vs post-at-end for the basic grouping.
 //!
-//! Run: `cargo run --release -p oa-bench --bin ablation_quality [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin ablation_quality [--fast] [--jobs N]`
 
-use oa_bench::{fast_mode, stats, write_json};
+use oa_bench::{fast_mode, pool, stats, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::analytic;
 use oa_sched::prelude::*;
@@ -21,31 +21,35 @@ fn main() {
     let ns = 10u32;
     let table = reference_cluster(120).timing;
     let rs: Vec<u32> = (11..=120).step_by(3).collect();
+    let pool = pool();
+    let mut rec = SweepRecorder::start("ablation_quality");
 
     // --- Policy ablation -------------------------------------------------
     println!("== Ablation 1: scenario policy (knapsack grouping, R sweep) ==");
-    let mut deltas_rr = Vec::new();
-    let mut deltas_most = Vec::new();
-    let mut fairness_ratio = Vec::new();
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let grouping = Heuristic::Knapsack
-            .grouping(inst, &table)
-            .expect("feasible");
-        let run = |policy| {
-            let s = execute(inst, &table, &grouping, ExecConfig { policy }).expect("valid");
-            let m = metrics(&s);
-            (s.makespan, m.fairness_stddev)
-        };
-        let (fair_ms, fair_sd) = run(ScenarioPolicy::LeastAdvanced);
-        let (rr_ms, _) = run(ScenarioPolicy::RoundRobin);
-        let (most_ms, most_sd) = run(ScenarioPolicy::MostAdvanced);
-        deltas_rr.push(gain_pct(rr_ms, fair_ms));
-        deltas_most.push(gain_pct(most_ms, fair_ms));
-        if most_sd > 0.0 {
-            fairness_ratio.push(fair_sd / most_sd);
-        }
-    }
+    let policy_rows = rec.phase("policy", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let grouping = Heuristic::Knapsack
+                .grouping(inst, &table)
+                .expect("feasible");
+            let run = |policy| {
+                let s = execute(inst, &table, &grouping, ExecConfig { policy }).expect("valid");
+                let m = metrics(&s);
+                (s.makespan, m.fairness_stddev)
+            };
+            let (fair_ms, fair_sd) = run(ScenarioPolicy::LeastAdvanced);
+            let (rr_ms, _) = run(ScenarioPolicy::RoundRobin);
+            let (most_ms, most_sd) = run(ScenarioPolicy::MostAdvanced);
+            (
+                gain_pct(rr_ms, fair_ms),
+                gain_pct(most_ms, fair_ms),
+                (most_sd > 0.0).then(|| fair_sd / most_sd),
+            )
+        })
+    });
+    let deltas_rr: Vec<f64> = policy_rows.iter().map(|&(d, _, _)| d).collect();
+    let deltas_most: Vec<f64> = policy_rows.iter().map(|&(_, d, _)| d).collect();
+    let fairness_ratio: Vec<f64> = policy_rows.iter().filter_map(|&(_, _, f)| f).collect();
     println!(
         "least-advanced vs round-robin: mean gain {:.2}% (sd {:.2})",
         stats(&deltas_rr).mean,
@@ -65,17 +69,18 @@ fn main() {
 
     // --- Exact vs greedy knapsack ---------------------------------------
     println!("\n== Ablation 2: exact DP vs greedy knapsack ==");
-    let mut exact_gain = Vec::new();
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let e = Heuristic::Knapsack
-            .makespan(inst, &table)
-            .expect("feasible");
-        let g = Heuristic::KnapsackGreedy
-            .makespan(inst, &table)
-            .expect("feasible");
-        exact_gain.push(gain_pct(g, e));
-    }
+    let exact_gain = rec.phase("exact_vs_greedy", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let e = Heuristic::Knapsack
+                .makespan(inst, &table)
+                .expect("feasible");
+            let g = Heuristic::KnapsackGreedy
+                .makespan(inst, &table)
+                .expect("feasible");
+            gain_pct(g, e)
+        })
+    });
     let s = stats(&exact_gain);
     println!(
         "exact vs greedy: mean gain {:.2}%  max {:.2}%  min {:.2}%",
@@ -84,39 +89,45 @@ fn main() {
 
     // --- Analytic G selection vs estimator-exhaustive selection ----------
     println!("\n== Ablation 3: analytic Eq. 1-5 selection vs estimator sweep ==");
-    let mut selection_regret = Vec::new();
-    let mut disagreements = 0usize;
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let Some(analytic_best) = analytic::best_group(inst, &table) else {
-            continue;
-        };
-        // Exhaustive: evaluate every uniform grouping with the estimator.
-        let mut best_sim = f64::INFINITY;
-        let mut best_g = 0;
-        for g in MoldableSpec::pcr().allocations() {
-            let nbmax = inst.nbmax(g);
-            if nbmax == 0 {
-                continue;
+    let selection_rows = rec.phase("analytic_selection", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let analytic_best = analytic::best_group(inst, &table)?;
+            // Exhaustive: evaluate every uniform grouping with the estimator.
+            let mut best_sim = f64::INFINITY;
+            let mut best_g = 0;
+            for g in MoldableSpec::pcr().allocations() {
+                let nbmax = inst.nbmax(g);
+                if nbmax == 0 {
+                    continue;
+                }
+                let grouping = Grouping::uniform(g, nbmax, inst.r - nbmax * g);
+                let ms = estimate(inst, &table, &grouping).expect("valid").makespan;
+                if ms < best_sim {
+                    best_sim = ms;
+                    best_g = g;
+                }
             }
-            let grouping = Grouping::uniform(g, nbmax, inst.r - nbmax * g);
-            let ms = estimate(inst, &table, &grouping).expect("valid").makespan;
-            if ms < best_sim {
-                best_sim = ms;
-                best_g = g;
-            }
-        }
-        let chosen = Grouping::uniform(
-            analytic_best.g,
-            analytic_best.nbmax,
-            inst.r - analytic_best.nbmax * analytic_best.g,
-        );
-        let chosen_ms = estimate(inst, &table, &chosen).expect("valid").makespan;
-        if analytic_best.g != best_g {
-            disagreements += 1;
-        }
-        selection_regret.push(gain_pct(chosen_ms, best_sim).max(0.0));
-    }
+            let chosen = Grouping::uniform(
+                analytic_best.g,
+                analytic_best.nbmax,
+                inst.r - analytic_best.nbmax * analytic_best.g,
+            );
+            let chosen_ms = estimate(inst, &table, &chosen).expect("valid").makespan;
+            Some((
+                analytic_best.g != best_g,
+                gain_pct(chosen_ms, best_sim).max(0.0),
+            ))
+        })
+    });
+    let disagreements = selection_rows
+        .iter()
+        .filter(|row| matches!(row, Some((true, _))))
+        .count();
+    let selection_regret: Vec<f64> = selection_rows
+        .iter()
+        .filter_map(|row| row.map(|(_, regret)| regret))
+        .collect();
     let s = stats(&selection_regret);
     println!(
         "G disagreements: {disagreements}/{}; regret of analytic choice: mean {:.3}% max {:.3}%",
@@ -127,18 +138,21 @@ fn main() {
 
     // --- Dedicated posts vs post-at-end ----------------------------------
     println!("\n== Ablation 4: dedicated post processors vs post-at-end ==");
-    let mut post_mode_gain = Vec::new();
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let Some(b) = analytic::best_group(inst, &table) else {
-            continue;
-        };
-        let dedicated = Grouping::uniform(b.g, b.nbmax, inst.r - b.nbmax * b.g);
-        let at_end = Grouping::uniform(b.g, b.nbmax, 0);
-        let d = estimate(inst, &table, &dedicated).expect("valid").makespan;
-        let e = estimate(inst, &table, &at_end).expect("valid").makespan;
-        post_mode_gain.push(gain_pct(e, d));
-    }
+    let post_mode_gain: Vec<f64> = rec
+        .phase("post_mode", rs.len(), || {
+            pool.par_map(&rs, |&r| {
+                let inst = Instance::new(ns, nm, r);
+                let b = analytic::best_group(inst, &table)?;
+                let dedicated = Grouping::uniform(b.g, b.nbmax, inst.r - b.nbmax * b.g);
+                let at_end = Grouping::uniform(b.g, b.nbmax, 0);
+                let d = estimate(inst, &table, &dedicated).expect("valid").makespan;
+                let e = estimate(inst, &table, &at_end).expect("valid").makespan;
+                Some(gain_pct(e, d))
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let s = stats(&post_mode_gain);
     println!(
         "dedicated vs at-end (same groups): mean gain {:.2}%  min {:.2}%  max {:.2}%",
@@ -147,33 +161,35 @@ fn main() {
 
     // --- Balanced vs raw knapsack ----------------------------------------
     println!("\n== Ablation 5: balanced refinement vs raw knapsack ==");
-    let mut balanced_gain = Vec::new();
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let k = Heuristic::Knapsack
-            .makespan(inst, &table)
-            .expect("feasible");
-        let b = Heuristic::Balanced
-            .makespan(inst, &table)
-            .expect("feasible");
-        balanced_gain.push(gain_pct(k, b));
-    }
+    let balanced_gain = rec.phase("balanced", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let k = Heuristic::Knapsack
+                .makespan(inst, &table)
+                .expect("feasible");
+            let b = Heuristic::Balanced
+                .makespan(inst, &table)
+                .expect("feasible");
+            gain_pct(k, b)
+        })
+    });
     let s = stats(&balanced_gain);
     println!(
         "balanced vs knapsack (NS = {ns}): mean gain {:.2}%  max {:.2}%  min {:.2}%",
         s.mean, s.max, s.min
     );
-    let mut small_ns_gain = Vec::new();
-    for &r in &rs {
-        let inst = Instance::new(2, nm, r);
-        let k = Heuristic::Knapsack
-            .makespan(inst, &table)
-            .expect("feasible");
-        let b = Heuristic::Balanced
-            .makespan(inst, &table)
-            .expect("feasible");
-        small_ns_gain.push(gain_pct(k, b));
-    }
+    let small_ns_gain = rec.phase("balanced_ns2", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(2, nm, r);
+            let k = Heuristic::Knapsack
+                .makespan(inst, &table)
+                .expect("feasible");
+            let b = Heuristic::Balanced
+                .makespan(inst, &table)
+                .expect("feasible");
+            gain_pct(k, b)
+        })
+    });
     let s2 = stats(&small_ns_gain);
     println!(
         "balanced vs knapsack (NS = 2, the pitfall regime): mean gain {:.2}%  max {:.2}%",
@@ -202,4 +218,5 @@ fn main() {
             balanced_vs_knapsack_gain_ns2: small_ns_gain,
         },
     );
+    rec.finish();
 }

@@ -6,10 +6,10 @@
 //! heuristics do not fit this workload; this binary quantifies the
 //! claim.
 //!
-//! Run: `cargo run --release -p oa-bench --bin baselines_compare [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin baselines_compare [--fast] [--jobs N]`
 
 use oa_baselines::{cpa, cpr, cpr_batched, one_dag_at_a_time};
-use oa_bench::{fast_mode, row, write_json};
+use oa_bench::{fast_mode, pool, row, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 
@@ -46,30 +46,35 @@ fn main() {
         cpr_single: f64,
         one_by_one: f64,
     }
-    let mut series = Vec::new();
     let rs: Vec<u32> = (12..=120).step_by(12).collect();
-    for &r in &rs {
-        let inst = Instance::new(ns, nm, r);
-        let p = Point {
-            r,
-            basic: Heuristic::Basic.makespan(inst, &table).expect("feasible"),
-            knapsack: Heuristic::Knapsack
-                .makespan(inst, &table)
-                .expect("feasible"),
-            cpa: cpa(inst, &table).expect("feasible").makespan,
-            cpr_batched: cpr_batched(inst, &table)
-                .expect("feasible")
-                .schedule
-                .makespan,
-            cpr_single: cpr(inst, &table).expect("feasible").schedule.makespan,
-            one_by_one: one_dag_at_a_time(inst, &table).expect("feasible").makespan,
-        };
+    let pool = pool();
+    let mut rec = SweepRecorder::start("baselines_compare");
+    let series: Vec<Point> = rec.phase("baseline_sweep", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            Point {
+                r,
+                basic: Heuristic::Basic.makespan(inst, &table).expect("feasible"),
+                knapsack: Heuristic::Knapsack
+                    .makespan(inst, &table)
+                    .expect("feasible"),
+                cpa: cpa(inst, &table).expect("feasible").makespan,
+                cpr_batched: cpr_batched(inst, &table)
+                    .expect("feasible")
+                    .schedule
+                    .makespan,
+                cpr_single: cpr(inst, &table).expect("feasible").schedule.makespan,
+                one_by_one: one_dag_at_a_time(inst, &table).expect("feasible").makespan,
+            }
+        })
+    });
+    for p in &series {
         let h = |x: f64| format!("{:.1}", x / 3600.0);
         println!(
             "{}",
             row(
                 &[
-                    r.to_string(),
+                    p.r.to_string(),
                     h(p.basic),
                     h(p.knapsack),
                     h(p.cpa),
@@ -80,7 +85,6 @@ fn main() {
                 &widths
             )
         );
-        series.push(p);
     }
 
     // Section 3 claims, quantified.
@@ -107,4 +111,5 @@ fn main() {
     );
     println!("one-DAG-at-a-time is on average {naive_ratio:.1}× slower than the knapsack grouping");
     write_json("baselines_compare", &series);
+    rec.finish();
 }

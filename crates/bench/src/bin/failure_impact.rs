@@ -2,9 +2,9 @@
 //! application's monthly checkpointing, versus a counterfactual
 //! without restart files.
 //!
-//! Run: `cargo run --release -p oa-bench --bin failure_impact [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin failure_impact [--fast] [--jobs N]`
 
-use oa_bench::{fast_mode, row, stats, write_json};
+use oa_bench::{fast_mode, pool, row, stats, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 use oa_sim::failures::{estimate_with_failures, FaultPlan, FaultyOutcome, Recovery};
@@ -48,19 +48,30 @@ fn main() {
         checkpoint_overhead_pct: f64,
         restart_overhead_pct: f64,
     }
+    let pool = pool();
+    let mut rec = SweepRecorder::start("failure_impact");
+    let pcts = [10u32, 25, 50, 75, 90];
+    let outcomes = rec.phase("crash_sweep", pcts.len(), || {
+        pool.par_map(&pcts, |&pct| {
+            let tf = clean * pct as f64 / 100.0;
+            let plan = FaultPlan::none().kill(0, tf);
+            let run =
+                |recovery| match estimate_with_failures(inst, &table, &grouping, &plan, recovery)
+                    .expect("valid grouping")
+                {
+                    FaultyOutcome::Completed { makespan, .. } => makespan,
+                    FaultyOutcome::Stranded { .. } => f64::INFINITY,
+                };
+            (
+                run(Recovery::MonthlyCheckpoint),
+                run(Recovery::RestartScenario),
+            )
+        })
+    });
+
     let mut series = Vec::new();
     let mut savings = Vec::new();
-    for pct in [10u32, 25, 50, 75, 90] {
-        let tf = clean * pct as f64 / 100.0;
-        let plan = FaultPlan::none().kill(0, tf);
-        let run = |recovery| match estimate_with_failures(inst, &table, &grouping, &plan, recovery)
-            .expect("valid grouping")
-        {
-            FaultyOutcome::Completed { makespan, .. } => makespan,
-            FaultyOutcome::Stranded { .. } => f64::INFINITY,
-        };
-        let ck = run(Recovery::MonthlyCheckpoint);
-        let rs = run(Recovery::RestartScenario);
+    for (pct, (ck, rs)) in pcts.into_iter().zip(outcomes) {
         let ck_over = (ck - clean) / clean * 100.0;
         let rs_over = (rs - clean) / clean * 100.0;
         println!(
@@ -107,9 +118,18 @@ fn main() {
     .expect("feasible")
     .makespan;
     println!("failure-free grid makespan: {:.1} h", clean / 3600.0);
-    for (label, victim) in [("fastest (sagittaire)", 0u32), ("slowest (grelon)", 4u32)] {
-        for policy in [ClusterFailurePolicy::Strand, ClusterFailurePolicy::Replan] {
-            let out = run_grid_with_cluster_failure(
+    let grid_cases: Vec<(&str, u32, ClusterFailurePolicy)> =
+        [("fastest (sagittaire)", 0u32), ("slowest (grelon)", 4u32)]
+            .into_iter()
+            .flat_map(|(label, victim)| {
+                [ClusterFailurePolicy::Strand, ClusterFailurePolicy::Replan]
+                    .into_iter()
+                    .map(move |policy| (label, victim, policy))
+            })
+            .collect();
+    let grid_outcomes = rec.phase("cluster_loss", grid_cases.len(), || {
+        pool.par_map(&grid_cases, |&(_, victim, policy)| {
+            run_grid_with_cluster_failure(
                 &grid,
                 Heuristic::Knapsack,
                 ns,
@@ -121,14 +141,17 @@ fn main() {
                 },
                 &link,
             )
-            .expect("feasible");
-            println!(
-                "  {label} dies at 50% · {policy:?}: makespan {:.1} h ({:+.1}%), {} scenario(s) affected, complete = {}",
-                out.makespan / 3600.0,
-                (out.makespan - clean) / clean * 100.0,
-                out.victim_scenarios.len(),
-                out.complete,
-            );
-        }
+            .expect("feasible")
+        })
+    });
+    for ((label, _, policy), out) in grid_cases.into_iter().zip(grid_outcomes) {
+        println!(
+            "  {label} dies at 50% · {policy:?}: makespan {:.1} h ({:+.1}%), {} scenario(s) affected, complete = {}",
+            out.makespan / 3600.0,
+            (out.makespan - clean) / clean * 100.0,
+            out.victim_scenarios.len(),
+            out.complete,
+        );
     }
+    rec.finish();
 }

@@ -5,9 +5,9 @@
 //! The X axis follows the paper's encoding: `n.rr` means `n` clusters
 //! of `rr` resources each (e.g. `2.25` = two clusters × 25 processors).
 //!
-//! Run: `cargo run --release -p oa-bench --bin fig10_grid [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin fig10_grid [--fast] [--jobs N]`
 
-use oa_bench::{default_workers, fast_mode, par_sweep, row, write_json};
+use oa_bench::{fast_mode, jobs, par_sweep, row, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 use oa_sim::prelude::*;
@@ -40,24 +40,31 @@ fn main() {
         }
     }
 
-    println!("== Figure 10: grid gains (NS = {ns}, NM = {nm}) ==");
-    let series: Vec<Point> = par_sweep(configs, default_workers(), |&(n, r)| {
-        let grid = base_grid.take(n).with_uniform_resources(r);
-        let run = |h: Heuristic| -> f64 {
-            run_grid(&grid, h, ns, nm, ExecConfig::default())
-                .expect("R ≥ 11 fits groups")
-                .makespan
-        };
-        let basic = run(Heuristic::Basic);
-        Point {
-            clusters: n,
-            resources: r,
-            x: n as f64 + r as f64 / 100.0,
-            basic_makespan: basic,
-            gain1: gain_pct(basic, run(Heuristic::RedistributeIdle)),
-            gain2: gain_pct(basic, run(Heuristic::NoPostReservation)),
-            gain3: gain_pct(basic, run(Heuristic::Knapsack)),
-        }
+    let mut rec = SweepRecorder::start("fig10_grid");
+    println!(
+        "== Figure 10: grid gains (NS = {ns}, NM = {nm}, {} jobs) ==",
+        jobs()
+    );
+    let points = configs.len();
+    let series: Vec<Point> = rec.phase("grid_sweep", points, || {
+        par_sweep(configs, jobs(), |&(n, r)| {
+            let grid = base_grid.take(n).with_uniform_resources(r);
+            let run = |h: Heuristic| -> f64 {
+                run_grid(&grid, h, ns, nm, ExecConfig::default())
+                    .expect("R ≥ 11 fits groups")
+                    .makespan
+            };
+            let basic = run(Heuristic::Basic);
+            Point {
+                clusters: n,
+                resources: r,
+                x: n as f64 + r as f64 / 100.0,
+                basic_makespan: basic,
+                gain1: gain_pct(basic, run(Heuristic::RedistributeIdle)),
+                gain2: gain_pct(basic, run(Heuristic::NoPostReservation)),
+                gain3: gain_pct(basic, run(Heuristic::Knapsack)),
+            }
+        })
     });
 
     let widths = [7usize, 10, 16, 8, 8, 8];
@@ -118,6 +125,7 @@ fn main() {
         series.len()
     );
     write_json("fig10_grid", &series);
+    rec.finish();
 
     // `--trace PATH` (or OA_TRACE): dump a representative grid run
     // (5 clusters × 30, knapsack) as a cluster-tagged event trace; the

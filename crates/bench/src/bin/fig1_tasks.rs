@@ -3,14 +3,15 @@
 //! the five benchmark clusters (fastest `pcr` on 11 processors: 1177 s;
 //! slowest: 1622 s).
 //!
-//! Run: `cargo run --release -p oa-bench --bin fig1_tasks`
+//! Run: `cargo run --release -p oa-bench --bin fig1_tasks [--jobs N]`
 
-use oa_bench::{row, write_json};
+use oa_bench::{row, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_workflow::monthly::month_reference_work;
 use oa_workflow::prelude::*;
 
 fn main() {
+    let mut rec = SweepRecorder::start("fig1_tasks");
     println!("== Figure 1: monthly simulation tasks (reference cluster) ==");
     let widths = [6usize, 10, 8, 12];
     println!(
@@ -59,7 +60,7 @@ fn main() {
     println!();
 
     println!("== Benchmark clusters (Section 6) ==");
-    let grid = benchmark_grid(DEFAULT_RESOURCES);
+    let grid = rec.phase("cluster_tables", 5, || benchmark_grid(DEFAULT_RESOURCES));
     let widths = [12usize, 10, 10, 10, 10];
     println!(
         "{}",
@@ -109,4 +110,5 @@ fn main() {
         slowest.timing.main_secs(11) - 2.0,
     );
     write_json("fig1_tasks", &dump);
+    rec.finish();
 }

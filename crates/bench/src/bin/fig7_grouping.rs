@@ -2,9 +2,9 @@
 //! basic heuristic's chosen group size `G` as the number of resources
 //! grows from 11 to 120.
 //!
-//! Run: `cargo run --release -p oa-bench --bin fig7_grouping`
+//! Run: `cargo run --release -p oa-bench --bin fig7_grouping [--jobs N]`
 
-use oa_bench::{row, write_json};
+use oa_bench::{pool, row, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 
@@ -36,19 +36,26 @@ fn main() {
         r2: u32,
         makespan_secs: f64,
     }
+    let rs: Vec<u32> = (11..=120).collect();
+    let pool = pool();
+    let mut rec = SweepRecorder::start("fig7_grouping");
+    let picks = rec.phase("grouping_sweep", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let b = best_group(inst, &table).expect("R ≥ 11 fits a group");
+            // The chosen breakdown must reconstruct into a grouping that
+            // passes the scheduling-layer rules before it enters the plot.
+            let grouping = Grouping::uniform(b.g, b.nbmax, b.r2);
+            let report = oa_analyze::Report::from_diagnostics(
+                oa_analyze::scheduling::check_grouping(inst, &table, &grouping),
+            );
+            (b, report)
+        })
+    });
+
     let mut series = Vec::new();
-    for r in 11..=120u32 {
-        let inst = Instance::new(ns, nm, r);
-        let b = best_group(inst, &table).expect("R ≥ 11 fits a group");
-        // The chosen breakdown must reconstruct into a grouping that
-        // passes the scheduling-layer rules before it enters the plot.
-        let grouping = Grouping::uniform(b.g, b.nbmax, b.r2);
-        oa_bench::gate_on_analysis(
-            &format!("fig7 R={r}"),
-            &oa_analyze::Report::from_diagnostics(oa_analyze::scheduling::check_grouping(
-                inst, &table, &grouping,
-            )),
-        );
+    for (&r, (b, report)) in rs.iter().zip(picks) {
+        oa_bench::gate_on_analysis(&format!("fig7 R={r}"), &report);
         println!(
             "{}",
             row(
@@ -87,4 +94,5 @@ fn main() {
             .collect::<std::collections::BTreeSet<_>>(),
     );
     write_json("fig7_grouping", &series);
+    rec.finish();
 }

@@ -4,9 +4,9 @@
 //! different computing powers. The figure shows the average of the
 //! gains, and also the standard deviation.").
 //!
-//! Run: `cargo run --release -p oa-bench --bin fig8_gains [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin fig8_gains [--fast] [--jobs N]`
 
-use oa_bench::{default_workers, fast_mode, par_sweep, row, stats, write_json, Stats};
+use oa_bench::{fast_mode, jobs, par_sweep, row, stats, write_json, Stats, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 
@@ -24,41 +24,48 @@ fn main() {
     let tables: Vec<TimingTable> = grid.clusters().iter().map(|c| c.timing.clone()).collect();
     let rs: Vec<u32> = (11..=120).collect();
 
-    println!("== Figure 8: improvement gains vs basic (NS = {ns}, NM = {nm}, 5 clusters) ==");
-    let series: Vec<Point> = par_sweep(rs, default_workers(), |&r| {
-        let inst = Instance::new(ns, nm, r);
-        let mut gains = [Vec::new(), Vec::new(), Vec::new()];
-        for t in &tables {
-            let base = Heuristic::Basic.makespan(inst, t).expect("R ≥ 11");
-            for (k, h) in [
-                Heuristic::RedistributeIdle,
-                Heuristic::NoPostReservation,
-                Heuristic::Knapsack,
-            ]
-            .into_iter()
-            .enumerate()
-            {
-                // Every grouping entering the gain average must pass
-                // the scheduling-layer rules first.
-                let grouping = h.grouping(inst, t).expect("R ≥ 11");
-                let report = oa_analyze::Report::from_diagnostics(
-                    oa_analyze::scheduling::check_grouping(inst, t, &grouping),
-                );
-                assert!(
-                    !report.has_errors(),
-                    "fig8 R={r} {}: {}",
-                    h.label(),
-                    report.render_text()
-                );
-                gains[k].push(gain_pct(base, h.makespan(inst, t).expect("R ≥ 11")));
+    let mut rec = SweepRecorder::start("fig8_gains");
+    println!(
+        "== Figure 8: improvement gains vs basic (NS = {ns}, NM = {nm}, 5 clusters, {} jobs) ==",
+        jobs()
+    );
+    let points = rs.len();
+    let series: Vec<Point> = rec.phase("gain_sweep", points, || {
+        par_sweep(rs, jobs(), |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let mut gains = [Vec::new(), Vec::new(), Vec::new()];
+            for t in &tables {
+                let base = Heuristic::Basic.makespan(inst, t).expect("R ≥ 11");
+                for (k, h) in [
+                    Heuristic::RedistributeIdle,
+                    Heuristic::NoPostReservation,
+                    Heuristic::Knapsack,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    // Every grouping entering the gain average must pass
+                    // the scheduling-layer rules first.
+                    let grouping = h.grouping(inst, t).expect("R ≥ 11");
+                    let report = oa_analyze::Report::from_diagnostics(
+                        oa_analyze::scheduling::check_grouping(inst, t, &grouping),
+                    );
+                    assert!(
+                        !report.has_errors(),
+                        "fig8 R={r} {}: {}",
+                        h.label(),
+                        report.render_text()
+                    );
+                    gains[k].push(gain_pct(base, h.makespan(inst, t).expect("R ≥ 11")));
+                }
             }
-        }
-        Point {
-            r,
-            gain1: stats(&gains[0]),
-            gain2: stats(&gains[1]),
-            gain3: stats(&gains[2]),
-        }
+            Point {
+                r,
+                gain1: stats(&gains[0]),
+                gain2: stats(&gains[1]),
+                gain3: stats(&gains[2]),
+            }
+        })
     });
 
     let widths = [5usize, 8, 6, 8, 6, 8, 6];
@@ -109,4 +116,5 @@ fn main() {
         "knapsack mean gain  R ≤ 60: {mean3_low:.1}%   R ≥ 100: {mean3_high:.1}%  (paper: gains shrink with resources)"
     );
     write_json("fig8_gains", &series);
+    rec.finish();
 }

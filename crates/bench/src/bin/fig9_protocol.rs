@@ -1,9 +1,9 @@
 //! Figure 9: the six execution steps of the grid submission protocol,
 //! observed live through the DIET-like middleware deployment.
 //!
-//! Run: `cargo run --release -p oa-bench --bin fig9_protocol`
+//! Run: `cargo run --release -p oa-bench --bin fig9_protocol [--jobs N]`
 
-use oa_bench::write_json;
+use oa_bench::{write_json, SweepRecorder};
 use oa_middleware::prelude::*;
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
@@ -15,8 +15,11 @@ fn main() {
         "== Figure 9: execution steps over {} clusters ==",
         grid.len()
     );
+    let mut rec = SweepRecorder::start("fig9_protocol");
     let deployment = Deployment::new(&grid, Heuristic::Knapsack);
-    let report = deployment.client().submit(ns, nm).expect("grid is usable");
+    let report = rec.phase("protocol", grid.len(), || {
+        deployment.client().submit(ns, nm).expect("grid is usable")
+    });
 
     for event in &report.trace {
         let line = match event {
@@ -67,6 +70,7 @@ fn main() {
         );
     }
     write_json("fig9_protocol", &report);
+    rec.finish();
 }
 
 fn name(grid: &Grid, id: oa_platform::cluster::ClusterId) -> String {

@@ -2,9 +2,9 @@
 //! the fused two-task months lose anything against the original
 //! seven-task DAG of Figure 1?
 //!
-//! Run: `cargo run --release -p oa-bench --bin fusion_ablation [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin fusion_ablation [--fast] [--jobs N]`
 
-use oa_bench::{fast_mode, row, stats, write_json};
+use oa_bench::{fast_mode, pool, row, stats, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 use oa_sim::prelude::*;
@@ -37,33 +37,38 @@ fn main() {
         unfused_secs: f64,
         delta_pct: f64,
     }
-    let mut series = Vec::new();
-    for r in (11..=120).step_by(3) {
-        let inst = Instance::new(ns, nm, r);
-        let g = Heuristic::Knapsack
-            .grouping(inst, &table)
-            .expect("feasible");
-        let fused = estimate(inst, &table, &g).expect("valid").makespan;
-        let unfused = estimate_unfused(inst, &table, &g).expect("valid").makespan;
-        let delta = (unfused - fused) / fused * 100.0;
+    let rs: Vec<u32> = (11..=120).step_by(3).collect();
+    let pool = pool();
+    let mut rec = SweepRecorder::start("fusion_ablation");
+    let series: Vec<Point> = rec.phase("fusion_sweep", rs.len(), || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let g = Heuristic::Knapsack
+                .grouping(inst, &table)
+                .expect("feasible");
+            let fused = estimate(inst, &table, &g).expect("valid").makespan;
+            let unfused = estimate_unfused(inst, &table, &g).expect("valid").makespan;
+            Point {
+                r,
+                fused_secs: fused,
+                unfused_secs: unfused,
+                delta_pct: (unfused - fused) / fused * 100.0,
+            }
+        })
+    });
+    for p in &series {
         println!(
             "{}",
             row(
                 &[
-                    r.to_string(),
-                    format!("{:.2}", fused / 3600.0),
-                    format!("{:.2}", unfused / 3600.0),
-                    format!("{delta:+.4}"),
+                    p.r.to_string(),
+                    format!("{:.2}", p.fused_secs / 3600.0),
+                    format!("{:.2}", p.unfused_secs / 3600.0),
+                    format!("{:+.4}", p.delta_pct),
                 ],
                 &widths
             )
         );
-        series.push(Point {
-            r,
-            fused_secs: fused,
-            unfused_secs: unfused,
-            delta_pct: delta,
-        });
     }
 
     let deltas: Vec<f64> = series.iter().map(|p| p.delta_pct.abs()).collect();
@@ -73,4 +78,5 @@ fn main() {
         s.mean, s.max
     );
     write_json("fusion_ablation", &series);
+    rec.finish();
 }

@@ -8,9 +8,9 @@
 //! grouping on the true table, and report the regret against planning
 //! with perfect information.
 //!
-//! Run: `cargo run --release -p oa-bench --bin robustness [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin robustness [--fast] [--jobs N]`
 
-use oa_bench::{fast_mode, row, stats, write_json};
+use oa_bench::{fast_mode, pool, row, stats, write_json, SweepRecorder};
 use oa_platform::benchmarks::{run_campaign, BenchmarkConfig};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
@@ -47,8 +47,9 @@ fn main() {
         )
     );
 
-    let mut series = Vec::new();
-    for (noise, repetitions) in [
+    let pool = pool();
+    let mut rec = SweepRecorder::start("robustness");
+    let configs = [
         (0.0f64, 3),
         (0.01, 3),
         (0.02, 3),
@@ -57,35 +58,42 @@ fn main() {
         (0.10, 3),
         (0.10, 15),
         (0.20, 3),
-    ] {
-        let mut regrets = Vec::new();
-        let mut flips = 0u32;
-        let mut evaluations = 0u32;
-        for (i, &r) in rs.iter().enumerate() {
-            let inst = Instance::new(10, nm, r);
-            // Fresh measurement per (noise, R) — seeds differ.
-            let cfg = BenchmarkConfig {
-                repetitions,
-                noise,
-                seed: 1000 + i as u64,
-            };
-            let measured = run_campaign(&truth_model, 1.0, cfg)
-                .expect("campaign ok")
-                .table;
-            let noisy_plan = Heuristic::Knapsack
-                .grouping(inst, &measured)
-                .expect("feasible");
-            let true_plan = Heuristic::Knapsack
-                .grouping(inst, &truth)
-                .expect("feasible");
-            let ms_noisy = estimate(inst, &truth, &noisy_plan).expect("valid").makespan;
-            let ms_true = estimate(inst, &truth, &true_plan).expect("valid").makespan;
-            regrets.push(gain_pct(ms_noisy, ms_true).max(0.0));
-            evaluations += 1;
-            if noisy_plan != true_plan {
-                flips += 1;
-            }
-        }
+    ];
+    let noise_rows = rec.phase("noise_sweep", configs.len() * rs.len(), || {
+        configs.map(|(noise, repetitions)| {
+            pool.par_map_indices(rs.len(), |i| {
+                let r = rs[i];
+                let inst = Instance::new(10, nm, r);
+                // Fresh measurement per (noise, R) — seeds differ.
+                let cfg = BenchmarkConfig {
+                    repetitions,
+                    noise,
+                    seed: 1000 + i as u64,
+                };
+                let measured = run_campaign(&truth_model, 1.0, cfg)
+                    .expect("campaign ok")
+                    .table;
+                let noisy_plan = Heuristic::Knapsack
+                    .grouping(inst, &measured)
+                    .expect("feasible");
+                let true_plan = Heuristic::Knapsack
+                    .grouping(inst, &truth)
+                    .expect("feasible");
+                let ms_noisy = estimate(inst, &truth, &noisy_plan).expect("valid").makespan;
+                let ms_true = estimate(inst, &truth, &true_plan).expect("valid").makespan;
+                (
+                    gain_pct(ms_noisy, ms_true).max(0.0),
+                    noisy_plan != true_plan,
+                )
+            })
+        })
+    });
+
+    let mut series = Vec::new();
+    for ((noise, repetitions), points) in configs.into_iter().zip(noise_rows) {
+        let regrets: Vec<f64> = points.iter().map(|&(regret, _)| regret).collect();
+        let flips = points.iter().filter(|&&(_, flip)| flip).count() as u32;
+        let evaluations = points.len() as u32;
         let s = stats(&regrets);
         println!(
             "{}",
@@ -118,4 +126,5 @@ fn main() {
          paper's careful per-cluster benchmarking is load-bearing."
     );
     write_json("robustness", &series);
+    rec.finish();
 }

@@ -7,8 +7,9 @@
 //! * Figures 5/6 — overpassing with an incomplete final set: trailing
 //!   posts spill onto the processors freed by the finished groups.
 //!
-//! Run: `cargo run --release -p oa-bench --bin schedule_shapes`
+//! Run: `cargo run --release -p oa-bench --bin schedule_shapes [--jobs N]`
 
+use oa_bench::SweepRecorder;
 use oa_platform::timing::TimingTable;
 use oa_sched::prelude::*;
 use oa_sim::prelude::*;
@@ -43,6 +44,28 @@ fn show(title: &str, inst: Instance, table: &TimingTable, grouping: &Grouping) {
 }
 
 fn main() {
+    let mut rec = SweepRecorder::start("schedule_shapes");
+    let t = rec.phase("shapes", 4, render_shapes);
+    // `--trace PATH` (or OA_TRACE): dump the R = 53 example above as a
+    // structured event trace for `oa trace export`/`summarize`.
+    if let Some(path) = oa_bench::trace_path() {
+        let mut sink = oa_trace::VecTracer::new();
+        execute_traced(
+            Instance::new(10, 6, 53),
+            &t,
+            &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
+            ExecConfig::default(),
+            &mut sink,
+        )
+        .expect("valid grouping");
+        oa_bench::write_trace(&path, &sink.into_events());
+    }
+    rec.finish();
+}
+
+/// Renders Figures 3–6 and the R = 53 example; returns the R = 53
+/// timing table for the optional trace dump.
+fn render_shapes() -> TimingTable {
     // Figure 3: no dedicated post processors — hatched mains, then the
     // post wave at the end.
     let t = TimingTable::new([100.0; 8], 18.0).unwrap();
@@ -81,19 +104,5 @@ fn main() {
         &t,
         &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
     );
-
-    // `--trace PATH` (or OA_TRACE): dump the R = 53 example above as a
-    // structured event trace for `oa trace export`/`summarize`.
-    if let Some(path) = oa_bench::trace_path() {
-        let mut sink = oa_trace::VecTracer::new();
-        execute_traced(
-            Instance::new(10, 6, 53),
-            &t,
-            &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
-            ExecConfig::default(),
-            &mut sink,
-        )
-        .expect("valid grouping");
-        oa_bench::write_trace(&path, &sink.into_events());
-    }
+    t
 }

@@ -6,9 +6,9 @@
 //! relative to the campaign as `NM` grows, so gains stabilize; `NS`
 //! moves `nbmax` and the knapsack's room to mix group sizes.
 //!
-//! Run: `cargo run --release -p oa-bench --bin sensitivity [--fast]`
+//! Run: `cargo run --release -p oa-bench --bin sensitivity [--fast] [--jobs N]`
 
-use oa_bench::{fast_mode, row, stats, write_json};
+use oa_bench::{fast_mode, row, stats, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
 
@@ -20,15 +20,22 @@ struct Sweep {
     max_gain_pct: f64,
 }
 
-fn gains_over_r(ns: u32, nm: u32, table: &TimingTable, rs: &[u32]) -> Vec<f64> {
-    rs.iter()
-        .filter_map(|&r| {
-            let inst = Instance::new(ns, nm, r);
-            let base = Heuristic::Basic.makespan(inst, table).ok()?;
-            let k = Heuristic::Knapsack.makespan(inst, table).ok()?;
-            Some(gain_pct(base, k))
-        })
-        .collect()
+fn gains_over_r(
+    ns: u32,
+    nm: u32,
+    table: &TimingTable,
+    rs: &[u32],
+    pool: &oa_par::Pool,
+) -> Vec<f64> {
+    pool.par_map(rs, |&r| {
+        let inst = Instance::new(ns, nm, r);
+        let base = Heuristic::Basic.makespan(inst, table).ok()?;
+        let k = Heuristic::Knapsack.makespan(inst, table).ok()?;
+        Some(gain_pct(base, k))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn main() {
@@ -36,6 +43,8 @@ fn main() {
     let rs: Vec<u32> = (11..=120)
         .step_by(if fast_mode() { 13 } else { 5 })
         .collect();
+    let pool = oa_bench::pool();
+    let mut rec = SweepRecorder::start("sensitivity");
     let mut out = Vec::new();
 
     println!("== Sensitivity of the knapsack gain (vs basic) ==\n");
@@ -54,8 +63,11 @@ fn main() {
     );
 
     // NM sweep at NS = 10.
-    for nm in [12u32, 60, 240, 600, 1800] {
-        let g = gains_over_r(10, nm, &table, &rs);
+    let nms = [12u32, 60, 240, 600, 1800];
+    let nm_gains = rec.phase("nm_sweep", nms.len() * rs.len(), || {
+        nms.map(|nm| gains_over_r(10, nm, &table, &rs, &pool))
+    });
+    for (nm, g) in nms.into_iter().zip(nm_gains) {
         let s = stats(&g);
         println!(
             "{}",
@@ -78,8 +90,11 @@ fn main() {
     }
     println!();
     // NS sweep at NM = 600.
-    for ns in [2u32, 5, 10, 15, 20] {
-        let g = gains_over_r(ns, 600, &table, &rs);
+    let nss = [2u32, 5, 10, 15, 20];
+    let ns_gains = rec.phase("ns_sweep", nss.len() * rs.len(), || {
+        nss.map(|ns| gains_over_r(ns, 600, &table, &rs, &pool))
+    });
+    for (ns, g) in nss.into_iter().zip(ns_gains) {
         let s = stats(&g);
         println!(
             "{}",
@@ -110,4 +125,5 @@ fn main() {
          path — the same pitfall oa_sched::generic::balanced_generic fixes."
     );
     write_json("sensitivity", &out);
+    rec.finish();
 }

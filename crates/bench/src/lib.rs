@@ -2,13 +2,15 @@
 //!
 //! Shared plumbing for the figure-regeneration binaries (one per paper
 //! figure/table, see `src/bin/`) and the Criterion micro-benchmarks
-//! (`benches/`): summary statistics, tabular output, JSON result dumps
-//! and a scoped-thread parallel sweep helper.
+//! (`benches/`): summary statistics, tabular output, JSON result dumps,
+//! the `--jobs` worker-count grammar shared by every binary, and a
+//! wall-clock sweep recorder feeding `results/BENCH_sweeps.json`.
 
 use std::io::Write;
 use std::path::Path;
+use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 
 /// Gates a benchmark on static analysis: every figure binary verifies
 /// its groupings/schedules through `oa-analyze` before reporting
@@ -55,10 +57,11 @@ pub fn stats(samples: &[f64]) -> Stats {
     }
 }
 
-/// Runs `f` over every item of `inputs` on `workers` scoped threads,
-/// preserving input order in the output. The figure sweeps are
-/// embarrassingly parallel over resource counts; this keeps the
-/// binaries fast without pulling a task-pool dependency.
+/// Runs `f` over every item of `inputs` on `workers` deterministic
+/// pool workers ([`oa_par::Pool`]), preserving input order in the
+/// output. The figure sweeps are embarrassingly parallel over
+/// resource counts; a sweep run on any worker count produces the
+/// exact bytes of the serial run.
 pub fn par_sweep<I, O, F>(inputs: Vec<I>, workers: usize, f: F) -> Vec<O>
 where
     I: Send + Sync,
@@ -66,31 +69,150 @@ where
     F: Fn(&I) -> O + Sync,
 {
     assert!(workers > 0, "need at least one worker");
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunk = n.div_ceil(workers.min(n));
-    let mut out: Vec<Option<O>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for (inp, slot) in inputs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(move || {
-                for (i, o) in inp.iter().zip(slot.iter_mut()) {
-                    *o = Some(f(i));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
+    oa_par::Pool::new(workers).par_map(&inputs, f)
 }
 
-/// Number of sweep workers: physical parallelism minus one, at least 1.
+/// Number of sweep workers: the `--jobs N` flag when present, the
+/// `OA_JOBS` environment variable otherwise, and the machine's
+/// available parallelism as the default. Every figure binary sizes
+/// its sweeps with this.
+pub fn jobs() -> usize {
+    oa_par::resolve_jobs(jobs_flag())
+}
+
+/// The worker pool every figure binary fans its sweep out on, sized
+/// by [`jobs`].
+pub fn pool() -> oa_par::Pool {
+    oa_par::Pool::new(jobs())
+}
+
+/// Parses an explicit `--jobs N` from the binary's argv, if any.
+fn jobs_flag() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Number of sweep workers, honouring `--jobs` / `OA_JOBS`. Alias of
+/// [`jobs`] kept for the original figure-binary spelling.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().saturating_sub(1).max(1))
+    jobs()
+}
+
+/// Wall-clock recorder behind `results/BENCH_sweeps.json`: each figure
+/// binary wraps its sweep phases in [`SweepRecorder::phase`] and calls
+/// [`SweepRecorder::finish`], which merges one `{jobs, phases,
+/// total_secs}` entry into the per-binary history (replacing any prior
+/// entry recorded at the same worker count, so a `--jobs 1` baseline
+/// and a `--jobs N` run coexist for before/after comparison).
+pub struct SweepRecorder {
+    binary: &'static str,
+    jobs: usize,
+    phases: Vec<(String, usize, f64)>,
+    started: Instant,
+}
+
+impl SweepRecorder {
+    /// Starts recording for the named binary at the current [`jobs`]
+    /// count.
+    #[must_use]
+    pub fn start(binary: &'static str) -> Self {
+        Self {
+            binary,
+            jobs: jobs(),
+            phases: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Times `f` as one named sweep phase covering `points` points.
+    pub fn phase<O>(&mut self, name: &str, points: usize, f: impl FnOnce() -> O) -> O {
+        let t = Instant::now();
+        let out = f();
+        self.phases
+            .push((name.to_string(), points, t.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Writes the recorded entry into `results/BENCH_sweeps.json`.
+    pub fn finish(self) {
+        let entry = Value::Object(vec![
+            ("jobs".into(), Value::U64(self.jobs as u64)),
+            (
+                "phases".into(),
+                Value::Array(
+                    self.phases
+                        .iter()
+                        .map(|(name, points, secs)| {
+                            Value::Object(vec![
+                                ("name".into(), Value::Str(name.clone())),
+                                ("points".into(), Value::U64(*points as u64)),
+                                ("secs".into(), Value::F64(*secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "total_secs".into(),
+                Value::F64(self.started.elapsed().as_secs_f64()),
+            ),
+        ]);
+
+        let path = Path::new("results").join("BENCH_sweeps.json");
+        let mut root = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+            .filter(|v| matches!(v, Value::Object(_)))
+            .unwrap_or(Value::Object(Vec::new()));
+        merge_sweep_entry(&mut root, self.binary, self.jobs, entry);
+
+        if let Err(e) = std::fs::create_dir_all("results") {
+            eprintln!("warning: cannot create results/: {e}");
+            return;
+        }
+        let json = serde_json::to_string_pretty(&root).expect("sweep records are serializable");
+        match std::fs::write(&path, json) {
+            Ok(()) => println!(
+                "# recorded {} sweep ({} jobs) in {}",
+                self.binary,
+                self.jobs,
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Inserts one recorded run into the `BENCH_sweeps.json` tree,
+/// replacing any prior entry for the same binary at the same worker
+/// count so repeated runs stay one-entry-per-jobs.
+fn merge_sweep_entry(root: &mut Value, binary: &str, jobs: usize, entry: Value) {
+    let Value::Object(binaries) = root else {
+        unreachable!("sweep root is always an object");
+    };
+    let runs = match binaries.iter_mut().find(|(k, _)| k == binary) {
+        Some((_, v)) => v,
+        None => {
+            binaries.push((binary.to_string(), Value::Array(Vec::new())));
+            &mut binaries.last_mut().expect("just pushed").1
+        }
+    };
+    if !matches!(runs, Value::Array(_)) {
+        *runs = Value::Array(Vec::new());
+    }
+    if let Value::Array(entries) = runs {
+        let same_jobs = Value::U64(jobs as u64);
+        entries.retain(|e| e.get("jobs") != Some(&same_jobs));
+        entries.push(entry);
+    }
 }
 
 /// Writes `value` as pretty JSON under `results/<name>.json` (creating
@@ -199,5 +321,30 @@ mod tests {
     #[test]
     fn row_formatting() {
         assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a   bb");
+    }
+
+    fn entry(jobs: u64, secs: f64) -> Value {
+        Value::Object(vec![
+            ("jobs".into(), Value::U64(jobs)),
+            ("total_secs".into(), Value::F64(secs)),
+        ])
+    }
+
+    #[test]
+    fn merge_replaces_same_jobs_entry() {
+        let mut root = Value::Object(Vec::new());
+        merge_sweep_entry(&mut root, "fig8_gains", 1, entry(1, 10.0));
+        merge_sweep_entry(&mut root, "fig8_gains", 4, entry(4, 3.0));
+        merge_sweep_entry(&mut root, "fig8_gains", 4, entry(4, 2.5));
+        merge_sweep_entry(&mut root, "sensitivity", 4, entry(4, 7.0));
+
+        let runs = root.get("fig8_gains").expect("binary recorded");
+        let Value::Array(entries) = runs else {
+            panic!("runs must be an array");
+        };
+        assert_eq!(entries.len(), 2, "same-jobs rerun replaces, not appends");
+        assert_eq!(entries[0], entry(1, 10.0));
+        assert_eq!(entries[1], entry(4, 2.5));
+        assert!(root.get("sensitivity").is_some());
     }
 }

@@ -131,6 +131,22 @@ impl Args {
         }
     }
 
+    /// The `--jobs N` worker-count flag, when given. `None` lets the
+    /// caller fall back to `OA_JOBS` / available parallelism.
+    pub fn jobs_opt(&self) -> Result<Option<usize>, ArgError> {
+        match self.flags.get("jobs") {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ArgError::BadValue {
+                    flag: "jobs".to_string(),
+                    value: v.clone(),
+                    expect: "a positive integer",
+                }),
+        }
+    }
+
     /// A string flag if given.
     pub fn str_opt(&self, flag: &str) -> Option<&str> {
         self.flags.get(flag).map(String::as_str)
@@ -204,6 +220,16 @@ mod tests {
         );
         let a = parse(&["plan", "--r", "many"]).unwrap();
         assert!(matches!(a.u32_or("r", 1), Err(ArgError::BadValue { .. })));
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        let a = parse(&["analyze", "--jobs", "4"]).unwrap();
+        assert_eq!(a.jobs_opt().unwrap(), Some(4));
+        let a = parse(&["analyze"]).unwrap();
+        assert_eq!(a.jobs_opt().unwrap(), None);
+        let a = parse(&["analyze", "--jobs", "lots"]).unwrap();
+        assert!(matches!(a.jobs_opt(), Err(ArgError::BadValue { .. })));
     }
 
     #[test]

@@ -79,6 +79,7 @@ COMMANDS
             platform rules (OA001..OA017); exits nonzero on errors
             --ns N --nm N --r N --cluster NAME --heuristic H [--json]
             [--file SCHEDULE.json] [--bandwidth MB/s --latency S] [--rules]
+            [--jobs N]
   gantt     render a schedule as ASCII art
             --ns N --nm N --r N --heuristic H --width N [--per-proc]
   table     print a cluster's timing table
@@ -93,7 +94,7 @@ COMMANDS
             --ns N --nm N --r N --heuristic H
   trace     record and export campaign event traces
             trace record    --ns N --nm N --r N --cluster NAME
-                            --heuristic H [--out TRACE.jsonl]
+                            --heuristic H [--out TRACE.jsonl] [--jobs N]
             trace export    [--file TRACE.jsonl | campaign flags]
                             [--format chrome|gantt|jsonl] [--width N]
             trace summarize [--file TRACE.jsonl | campaign flags]
@@ -105,6 +106,9 @@ HEURISTICS: basic, redistribute (Improvement 1), nopost (Improvement 2),
             knapsack (Improvement 3, default), knapsack-greedy
 CLUSTERS:   reference (default), sagittaire, capricorne, chinqchint,
             grillon, grelon
+JOBS:       --jobs N sizes the deterministic worker pool (default: the
+            OA_JOBS environment variable, then available parallelism);
+            any N produces bit-identical output
 "
     .to_string()
 }
@@ -118,6 +122,14 @@ fn heuristic_of(name: &str) -> Result<Heuristic, CliError> {
         "knapsack-greedy" => Heuristic::KnapsackGreedy,
         other => return Err(CliError::Domain(format!("unknown heuristic {other:?}"))),
     })
+}
+
+/// Resolves the worker pool for commands that accept `--jobs N`:
+/// explicit flag, then the `OA_JOBS` environment variable, then the
+/// machine's available parallelism. Parallel runs produce bit-identical
+/// output to `--jobs 1`.
+fn pool_of(args: &Args) -> Result<oa_par::Pool, CliError> {
+    Ok(oa_par::Pool::new(oa_par::resolve_jobs(args.jobs_opt()?)))
 }
 
 fn cluster_of(name: &str, resources: u32) -> Result<Cluster, CliError> {
@@ -196,6 +208,7 @@ fn analyze_cmd(args: &Args) -> Result<String, CliError> {
         "file",
         "bandwidth",
         "latency",
+        "jobs",
     ])?;
     if args.switch("rules") {
         return Ok(oa_analyze::render_catalog());
@@ -226,6 +239,7 @@ fn analyze_cmd(args: &Args) -> Result<String, CliError> {
         let r = args.u32_or("r", 53)?;
         let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
         let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+        let pool = pool_of(args)?;
         let inst = Instance::new(ns, nm, r);
         scope = format!(
             "campaign on {}: NS = {ns}, NM = {nm}, R = {r}, heuristic {}\n",
@@ -238,7 +252,7 @@ fn analyze_cmd(args: &Args) -> Result<String, CliError> {
         report.extend(oa_analyze::platform::check_cluster(&cluster));
 
         let grouping = h
-            .grouping(inst, &cluster.timing)
+            .grouping_with(inst, &cluster.timing, &pool)
             .map_err(|e| CliError::Domain(e.to_string()))?;
         report.extend(oa_analyze::scheduling::check_grouping(
             inst,
@@ -481,7 +495,7 @@ fn profile_cmd(args: &Args) -> Result<String, CliError> {
 }
 
 /// Campaign flags shared by every `oa trace` verb.
-const TRACE_CAMPAIGN_FLAGS: &[&str] = &["ns", "nm", "r", "cluster", "heuristic"];
+const TRACE_CAMPAIGN_FLAGS: &[&str] = &["ns", "nm", "r", "cluster", "heuristic", "jobs"];
 
 /// Runs the campaign described by the flags with a buffering tracer
 /// and returns a scope line plus the recorded event stream.
@@ -491,9 +505,10 @@ fn trace_campaign(args: &Args) -> Result<(String, Vec<TraceEvent>), CliError> {
     let r = args.u32_or("r", 53)?;
     let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
     let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let pool = pool_of(args)?;
     let inst = Instance::new(ns, nm, r);
     let grouping = h
-        .grouping(inst, &cluster.timing)
+        .grouping_with(inst, &cluster.timing, &pool)
         .map_err(|e| CliError::Domain(e.to_string()))?;
     let mut sink = VecTracer::new();
     execute_traced(

@@ -27,33 +27,47 @@
 //!   optimal, and assigning each post to the earliest-available
 //!   processor minimizes its start time.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
 use oa_platform::timing::TimingTable;
+use oa_workflow::task::MIN_PROCS;
 
 use crate::grouping::{Grouping, GroupingError};
 use crate::params::Instance;
+use crate::time::Time;
 
-/// An `f64` time usable as a heap key (total order, no NaNs by
-/// construction).
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// Reusable event-loop state. Heuristic searches call [`estimate`]
+/// thousands of times per sweep point; keeping the heaps and arenas in
+/// a thread-local and clearing them (which preserves capacity) makes
+/// the inner loop allocation-free after warm-up. Each worker thread of
+/// an `oa-par` pool gets its own scratch, so the parallel sweep path
+/// shares nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Per-group main duration, `T[sizes[i]]`.
+    durs: Vec<f64>,
+    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
+    busy: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Which scenario each busy group is running.
+    running: Vec<Option<u32>>,
+    /// Waiting scenarios: least months first. Min-heap via `Reverse`.
+    waiting: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Months completed per scenario.
+    months_done: Vec<u32>,
+    /// Idle groups, sorted ascending by (size, index).
+    idle: Vec<usize>,
+    /// Main-task finish times, in completion order.
+    post_ready: Vec<f64>,
+    /// Post-processor availability times.
+    post_pool: BinaryHeap<Reverse<Time>>,
 }
 
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 /// Aggregates returned by [`estimate`].
@@ -101,32 +115,61 @@ pub fn estimate(
     grouping: &Grouping,
 ) -> Result<Estimate, GroupingError> {
     grouping.validate(inst)?;
-    let sizes: Vec<u32> = grouping.groups().to_vec();
-    let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
+    Ok(SCRATCH.with(|cell| run(inst, table, grouping, &mut cell.borrow_mut())))
+}
+
+/// The event loop proper, on pre-validated input and reusable state.
+fn run(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    scratch: &mut Scratch,
+) -> Estimate {
+    let sizes: &[u32] = grouping.groups();
+    // The `T[G]` row, indexed by `G - 4` — one array load per group
+    // instead of a spec lookup per `main_secs` call.
+    let trow = table.main_array();
     let tp = table.post_secs();
     let nm = inst.nm;
 
-    // Busy groups: (finish_time, group). Min-heap via Reverse.
-    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
-    // Which scenario each busy group is running.
-    let mut running: Vec<Option<u32>> = vec![None; sizes.len()];
-    // Waiting scenarios: least months first. Min-heap via Reverse.
-    let mut waiting: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::with_capacity(inst.ns as usize);
+    let Scratch {
+        durs,
+        busy,
+        running,
+        waiting,
+        months_done,
+        idle,
+        post_ready,
+        post_pool,
+    } = scratch;
+    durs.clear();
+    durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize]));
+    let durs: &[f64] = durs;
+    busy.clear();
+    busy.reserve(sizes.len());
+    running.clear();
+    running.resize(sizes.len(), None);
+    waiting.clear();
+    waiting.reserve(inst.ns as usize);
     for s in 0..inst.ns {
         waiting.push(Reverse((0, s)));
     }
-    let mut months_done: Vec<u32> = vec![0; inst.ns as usize];
+    months_done.clear();
+    months_done.resize(inst.ns as usize, 0);
     let mut unfinished = inst.ns as usize;
     // Idle groups, kept sorted ascending by (size, index) — the largest
     // is at the back for O(1) pop, the smallest at the front to disband.
-    let mut idle: Vec<usize> = (0..sizes.len()).collect();
+    idle.clear();
+    idle.extend(0..sizes.len());
     idle.sort_unstable_by_key(|&g| (sizes[g], g));
     let mut alive = sizes.len();
 
     // Post bookkeeping.
-    let mut post_ready: Vec<f64> = Vec::with_capacity(inst.nbtasks() as usize);
+    post_ready.clear();
+    post_ready.reserve(inst.nbtasks() as usize);
     // Processor pool for posts: avail times (dedicated start at 0).
-    let mut post_pool: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
+    post_pool.clear();
+    post_pool.reserve(inst.r as usize);
     for _ in 0..grouping.post_procs {
         post_pool.push(Reverse(Time(0.0)));
     }
@@ -166,13 +209,13 @@ pub fn estimate(
 
     assign(
         0.0,
-        &mut idle,
-        &mut waiting,
-        &mut busy,
-        &mut running,
+        &mut *idle,
+        &mut *waiting,
+        &mut *busy,
+        &mut *running,
         &mut alive,
         unfinished,
-        &mut post_pool,
+        &mut *post_pool,
     );
 
     while let Some(Reverse((Time(t), g))) = busy.pop() {
@@ -193,13 +236,13 @@ pub fn estimate(
         idle.insert(pos, g);
         assign(
             t,
-            &mut idle,
-            &mut waiting,
-            &mut busy,
-            &mut running,
+            &mut *idle,
+            &mut *waiting,
+            &mut *busy,
+            &mut *running,
             &mut alive,
             unfinished,
-            &mut post_pool,
+            &mut *post_pool,
         );
     }
     debug_assert_eq!(unfinished, 0);
@@ -210,7 +253,7 @@ pub fn estimate(
     debug_assert!(!post_pool.is_empty(), "groups always disband eventually");
     let mut post_finish = 0.0f64;
     let mut post_busy = 0.0f64;
-    for ready in post_ready {
+    for &ready in post_ready.iter() {
         let Reverse(Time(avail)) = post_pool.pop().expect("pool is non-empty");
         let start = if avail > ready { avail } else { ready };
         let fin = start + tp;
@@ -221,13 +264,13 @@ pub fn estimate(
         post_pool.push(Reverse(Time(fin)));
     }
 
-    Ok(Estimate {
+    Estimate {
         makespan: main_finish.max(post_finish),
         main_finish,
         post_finish,
         main_busy_proc_secs: main_busy,
         post_busy_proc_secs: post_busy,
-    })
+    }
 }
 
 #[cfg(test)]

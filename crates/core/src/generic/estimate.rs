@@ -14,22 +14,7 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use super::workload::Workload;
-
-/// Totally ordered `f64` heap key.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
+use crate::time::Time;
 
 /// A processor division for a generic workload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

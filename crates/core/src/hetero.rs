@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use oa_par::Pool;
 use oa_platform::cluster::ClusterId;
 use oa_platform::grid::Grid;
 
@@ -77,6 +78,45 @@ pub fn grid_performance(
 ) -> Vec<PerformanceVector> {
     grid.iter()
         .map(|(id, c)| performance_vector(id, c.resources, &c.timing, heuristic, ns, nm))
+        .collect()
+}
+
+/// [`grid_performance`] with the whole cluster-assignment search —
+/// the flattened (cluster, scenario-count) grid of `clusters × NS`
+/// independent heuristic evaluations — fanned out on `pool`. Each
+/// point is a pure function of its (cluster, k) pair and the results
+/// are stitched back in (cluster, k) order, so the vectors are
+/// bit-identical to the serial path.
+pub fn grid_performance_with(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    pool: &Pool,
+) -> Vec<PerformanceVector> {
+    let clusters: Vec<(ClusterId, u32, &oa_platform::timing::TimingTable)> = grid
+        .iter()
+        .map(|(id, c)| (id, c.resources, &c.timing))
+        .collect();
+    // Flatten (cluster, k): k varies fastest, matching the serial
+    // nesting, and uneven per-cluster costs balance across workers.
+    let pairs: Vec<(usize, u32)> = clusters
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| (1..=ns).map(move |k| (ci, k)))
+        .collect();
+    let makespans = pool.par_map(&pairs, |&(ci, k)| {
+        let (_, resources, table) = clusters[ci];
+        let inst = Instance::new(k, nm, resources);
+        heuristic.makespan(inst, table).unwrap_or(f64::INFINITY)
+    });
+    clusters
+        .iter()
+        .enumerate()
+        .map(|(ci, &(id, _, _))| PerformanceVector {
+            cluster: id,
+            makespans: makespans[ci * ns as usize..(ci + 1) * ns as usize].to_vec(),
+        })
         .collect()
 }
 

@@ -24,6 +24,7 @@
 use serde::{Deserialize, Serialize};
 
 use oa_knapsack::{solve_dp, solve_greedy, Item, Problem};
+use oa_par::Pool;
 use oa_platform::timing::TimingTable;
 use oa_workflow::moldable::MoldableSpec;
 use oa_workflow::task::MAX_PROCS;
@@ -104,19 +105,45 @@ impl Heuristic {
     /// Builds the grouping this heuristic chooses for `inst` on a
     /// cluster with timing `table`.
     pub fn grouping(self, inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
+        self.grouping_with(inst, table, &Pool::serial())
+    }
+
+    /// Like [`Heuristic::grouping`], with the candidate searches —
+    /// the `G ∈ {4..11}` analytic evaluation, the Improvement-2
+    /// estimator sweep and the per-group-count knapsacks of
+    /// [`Heuristic::Balanced`] — fanned out on `pool`. Candidates are
+    /// generated and reduced in the same order as the serial path
+    /// (strict-less on the simulated makespan), so the chosen grouping
+    /// is bit-identical for any job count.
+    pub fn grouping_with(
+        self,
+        inst: Instance,
+        table: &TimingTable,
+        pool: &Pool,
+    ) -> Result<Grouping, HeuristicError> {
         match self {
-            Heuristic::Basic => basic(inst, table),
-            Heuristic::RedistributeIdle => redistribute_idle(inst, table),
-            Heuristic::NoPostReservation => no_post_reservation(inst, table),
+            Heuristic::Basic => basic(inst, table, pool),
+            Heuristic::RedistributeIdle => redistribute_idle(inst, table, pool),
+            Heuristic::NoPostReservation => no_post_reservation(inst, table, pool),
             Heuristic::Knapsack => knapsack(inst, table, Solver::Exact),
             Heuristic::KnapsackGreedy => knapsack(inst, table, Solver::Greedy),
-            Heuristic::Balanced => balanced(inst, table),
+            Heuristic::Balanced => balanced(inst, table, pool),
         }
     }
 
     /// Convenience: the simulated makespan of this heuristic's grouping.
     pub fn makespan(self, inst: Instance, table: &TimingTable) -> Result<f64, HeuristicError> {
-        let g = self.grouping(inst, table)?;
+        self.makespan_with(inst, table, &Pool::serial())
+    }
+
+    /// [`Heuristic::makespan`] on top of [`Heuristic::grouping_with`].
+    pub fn makespan_with(
+        self,
+        inst: Instance,
+        table: &TimingTable,
+        pool: &Pool,
+    ) -> Result<f64, HeuristicError> {
+        let g = self.grouping_with(inst, table, pool)?;
         Ok(estimate(inst, table, &g)
             .expect("heuristics construct valid groupings")
             .makespan)
@@ -130,8 +157,8 @@ pub fn gain_pct(baseline: f64, improved: f64) -> f64 {
     (baseline - improved) / baseline * 100.0
 }
 
-fn basic(inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
-    let best = analytic::best_group(inst, table)
+fn basic(inst: Instance, table: &TimingTable, pool: &Pool) -> Result<Grouping, HeuristicError> {
+    let best = analytic::best_group_with(inst, table, pool)
         .ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })?;
     Ok(Grouping::uniform(best.g, best.nbmax, best.r2))
 }
@@ -151,8 +178,12 @@ fn posts_needed(table: &TimingTable, g: u32, nbmax: u32) -> u32 {
     }
 }
 
-fn redistribute_idle(inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
-    let best = analytic::best_group(inst, table)
+fn redistribute_idle(
+    inst: Instance,
+    table: &TimingTable,
+    pool: &Pool,
+) -> Result<Grouping, HeuristicError> {
+    let best = analytic::best_group_with(inst, table, pool)
         .ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })?;
     let needed = posts_needed(table, best.g, best.nbmax).min(best.r2);
     let mut spare = best.r2 - needed;
@@ -179,8 +210,39 @@ fn redistribute_idle(inst: Instance, table: &TimingTable) -> Result<Grouping, He
     Ok(Grouping::new(groups, needed + spare))
 }
 
-fn no_post_reservation(inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
-    let mut best: Option<(f64, Grouping)> = None;
+/// Scores `cands` with the event estimator (fanned out on `pool`) and
+/// returns the first strict-makespan minimizer — exactly the fold the
+/// serial loops performed, so ties keep resolving toward the earlier
+/// candidate regardless of the job count.
+fn pick_best(
+    inst: Instance,
+    table: &TimingTable,
+    pool: &Pool,
+    cands: Vec<Grouping>,
+) -> Option<Grouping> {
+    let scores = pool.par_map(&cands, |cand| {
+        estimate(inst, table, cand)
+            .expect("constructed grouping is valid")
+            .makespan
+    });
+    let mut best: Option<(f64, usize)> = None;
+    for (i, &ms) in scores.iter().enumerate() {
+        if best.is_none_or(|(b, _)| ms < b) {
+            best = Some((ms, i));
+        }
+    }
+    best.map(|(_, i)| {
+        let mut cands = cands;
+        cands.swap_remove(i)
+    })
+}
+
+fn no_post_reservation(
+    inst: Instance,
+    table: &TimingTable,
+    pool: &Pool,
+) -> Result<Grouping, HeuristicError> {
+    let mut cands: Vec<Grouping> = Vec::new();
     for g in MoldableSpec::pcr().allocations() {
         let nbmax = inst.nbmax(g);
         if nbmax == 0 {
@@ -208,55 +270,42 @@ fn no_post_reservation(inst: Instance, table: &TimingTable) -> Result<Grouping, 
         // Nothing is *reserved* for posts, but processors stranded by
         // the 11-per-group cap would otherwise idle — let them serve
         // post-processing rather than waste.
-        let cand = Grouping::new(groups, spare);
-        let ms = estimate(inst, table, &cand)
-            .expect("constructed grouping is valid")
-            .makespan;
-        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
-            best = Some((ms, cand));
-        }
+        cands.push(Grouping::new(groups, spare));
     }
-    best.map(|(_, g)| g)
-        .ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })
+    pick_best(inst, table, pool, cands).ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })
 }
 
-fn balanced(inst: Instance, table: &TimingTable) -> Result<Grouping, HeuristicError> {
+fn balanced(inst: Instance, table: &TimingTable, pool: &Pool) -> Result<Grouping, HeuristicError> {
     let spec = MoldableSpec::pcr();
     let items: Vec<oa_knapsack::Item> = spec
         .allocations()
         .map(|g| Item::new(g, 1.0 / table.main_secs(g), inst.ns))
         .collect();
-    let mut best: Option<(f64, Grouping)> = None;
-    let consider = |cand: Grouping, best: &mut Option<(f64, Grouping)>| {
-        if cand.validate(inst).is_err() {
-            return;
-        }
-        let ms = estimate(inst, table, &cand).expect("validated").makespan;
-        if best.as_ref().is_none_or(|(b, _)| ms < *b) {
-            *best = Some((ms, cand));
-        }
-    };
-    // Per-group-count knapsack candidates.
-    for k in 1..=inst.ns {
-        let sol = solve_dp(&Problem::new(items.clone(), inst.r, k));
-        let mut groups = Vec::with_capacity(sol.copies as usize);
-        for (i, &n) in sol.counts.iter().enumerate() {
-            let g = spec.allocation_at(i).expect("items follow the spec");
-            groups.extend(std::iter::repeat_n(g, n as usize));
-        }
-        if !groups.is_empty() {
-            consider(Grouping::new(groups, inst.r - sol.cost), &mut best);
-        }
-    }
+    // Per-group-count knapsack candidates — the `NS` exact DP solves
+    // are the expensive half of this heuristic, so they fan out too.
+    let ks: Vec<u32> = (1..=inst.ns).collect();
+    let mut cands: Vec<Grouping> = pool
+        .par_map(&ks, |&k| {
+            let sol = solve_dp(&Problem::new(items.clone(), inst.r, k));
+            let mut groups = Vec::with_capacity(sol.copies as usize);
+            for (i, &n) in sol.counts.iter().enumerate() {
+                let g = spec.allocation_at(i).expect("items follow the spec");
+                groups.extend(std::iter::repeat_n(g, n as usize));
+            }
+            (!groups.is_empty()).then(|| Grouping::new(groups, inst.r - sol.cost))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     // Uniform candidates of the basic sweep.
     for g in spec.allocations() {
         let nbmax = inst.nbmax(g);
         if nbmax > 0 {
-            consider(Grouping::uniform(g, nbmax, inst.r - nbmax * g), &mut best);
+            cands.push(Grouping::uniform(g, nbmax, inst.r - nbmax * g));
         }
     }
-    best.map(|(_, g)| g)
-        .ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })
+    cands.retain(|c| c.validate(inst).is_ok());
+    pick_best(inst, table, pool, cands).ok_or(HeuristicError::ClusterTooSmall { resources: inst.r })
 }
 
 enum Solver {

@@ -15,7 +15,9 @@
 //!   (idle redistribution, no post reservation, exact knapsack), plus
 //!   a greedy-knapsack ablation;
 //! * [`hetero`] — per-cluster performance vectors and the greedy
-//!   scenario repartition of Algorithm 1.
+//!   scenario repartition of Algorithm 1;
+//! * [`time`] — the shared totally-ordered `f64` heap key every
+//!   discrete-event loop in the workspace uses.
 //!
 //! # Examples
 //!
@@ -45,19 +47,21 @@ pub mod grouping;
 pub mod hetero;
 pub mod heuristics;
 pub mod params;
+pub mod time;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::analytic::{best_group, Breakdown};
+    pub use crate::analytic::{best_group, best_group_with, Breakdown};
     pub use crate::estimate::{estimate, Estimate};
     pub use crate::generic;
     pub use crate::grouping::{Grouping, GroupingError};
     pub use crate::hetero::{
-        grid_performance, performance_vector, repartition, repartition_exact, PerformanceVector,
-        Repartition,
+        grid_performance, grid_performance_with, performance_vector, repartition,
+        repartition_exact, PerformanceVector, Repartition,
     };
     pub use crate::heuristics::{gain_pct, Heuristic, HeuristicError};
     pub use crate::params::Instance;
+    pub use crate::time::Time;
 }
 
 #[cfg(test)]

@@ -1,0 +1,70 @@
+//! The totally ordered `f64` heap key shared by every executor.
+//!
+//! All the discrete-event loops in the workspace — the fast estimator
+//! here, the full executor / failure / unfused simulators in `oa-sim`,
+//! the generic-workload estimator, and the moldable list scheduler in
+//! `oa-baselines` — keep min-heaps of event times. `f64` is not `Ord`,
+//! so each of them used to carry its own newtype; this is the single
+//! shared copy.
+
+/// An `f64` time usable as a heap key: total order via
+/// [`f64::total_cmp`], no `NaN`s by construction (simulation clocks
+/// only ever add positive finite durations).
+///
+/// # Examples
+///
+/// ```
+/// use std::cmp::Reverse;
+/// use std::collections::BinaryHeap;
+/// use oa_sched::time::Time;
+///
+/// let mut heap = BinaryHeap::new(); // min-heap via Reverse
+/// heap.extend([Reverse(Time(3.0)), Reverse(Time(1.0)), Reverse(Time(2.0))]);
+/// assert_eq!(heap.pop(), Some(Reverse(Time(1.0))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(
+    /// The wrapped time, seconds.
+    pub f64,
+);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_on_floats() {
+        assert!(Time(1.0) < Time(2.0));
+        assert!(Time(-0.0) < Time(0.0)); // total_cmp distinguishes zeros
+        assert_eq!(Time(5.5).cmp(&Time(5.5)), std::cmp::Ordering::Equal);
+        assert_eq!(
+            Time(1.0).partial_cmp(&Time(2.0)),
+            Some(std::cmp::Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn heap_pops_in_time_order() {
+        use std::cmp::Reverse;
+        let mut h = std::collections::BinaryHeap::new();
+        for t in [4.0, 0.5, 2.25, 1.0] {
+            h.push(Reverse(Time(t)));
+        }
+        let popped: Vec<f64> = std::iter::from_fn(|| h.pop().map(|Reverse(Time(t))| t)).collect();
+        assert_eq!(popped, vec![0.5, 1.0, 2.25, 4.0]);
+    }
+}

@@ -7,6 +7,7 @@
 //! full task records — plus alternative scenario-selection policies for
 //! the ablation benches.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -15,26 +16,12 @@ use serde::{Deserialize, Serialize};
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
+use oa_sched::time::Time;
 use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
 use oa_workflow::fusion::FusedTask;
+use oa_workflow::task::MIN_PROCS;
 
 use crate::schedule::{ProcRange, Schedule, TaskRecord};
-
-/// Totally ordered `f64` heap key.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// How a freed group chooses among waiting scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -98,6 +85,72 @@ impl Waiting {
             Waiting::Most(h) => h.len(),
         }
     }
+
+    /// Refills the queue with all `ns` scenarios at zero completed
+    /// months, reusing the existing allocation when the policy matches
+    /// (it always does across the points of one sweep).
+    fn reset(&mut self, policy: ScenarioPolicy, ns: u32) {
+        match (&mut *self, policy) {
+            (Waiting::Least(h), ScenarioPolicy::LeastAdvanced) => {
+                h.clear();
+                h.extend((0..ns).map(|s| Reverse((0, s))));
+            }
+            (Waiting::Fifo(q), ScenarioPolicy::RoundRobin) => {
+                q.clear();
+                q.extend(0..ns);
+            }
+            (Waiting::Most(h), ScenarioPolicy::MostAdvanced) => {
+                h.clear();
+                h.extend((0..ns).map(|s| (0, s)));
+            }
+            (slot, _) => *slot = Waiting::new(policy, ns),
+        }
+    }
+}
+
+/// Reusable event-loop state: the sweeps execute thousands of
+/// campaigns back to back, and clearing these collections (capacity
+/// preserved) makes each run allocation-free apart from the returned
+/// record arena. Thread-local, so every `oa-par` worker owns its own.
+struct Scratch {
+    /// Per-group main duration, `T[sizes[i]]`.
+    durs: Vec<f64>,
+    /// First processor id of each group.
+    bases: Vec<u32>,
+    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
+    busy: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Per-group (scenario, start time) while running.
+    running: Vec<Option<(u32, f64)>>,
+    /// Waiting scenarios under the configured policy.
+    waiting: Waiting,
+    /// Months completed per scenario.
+    months_done: Vec<u32>,
+    /// Idle groups, sorted ascending by (size, index).
+    idle: Vec<usize>,
+    /// (ready time, post task), in main-completion order.
+    post_ready: Vec<(f64, FusedTask)>,
+    /// Post-processor pool: (availability, processor id).
+    post_pool: BinaryHeap<Reverse<(Time, u32)>>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self {
+            durs: Vec::new(),
+            bases: Vec::new(),
+            busy: BinaryHeap::new(),
+            running: Vec::new(),
+            waiting: Waiting::Least(BinaryHeap::new()),
+            months_done: Vec::new(),
+            idle: Vec::new(),
+            post_ready: Vec::new(),
+            post_pool: BinaryHeap::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 /// Executor configuration.
@@ -130,19 +183,58 @@ pub fn execute_traced<T: Tracer>(
     tracer: &mut T,
 ) -> Result<Schedule, GroupingError> {
     grouping.validate(inst)?;
-    let sizes: Vec<u32> = grouping.groups().to_vec();
-    let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
+    SCRATCH.with(|cell| {
+        Ok(run(
+            inst,
+            table,
+            grouping,
+            config,
+            tracer,
+            &mut cell.borrow_mut(),
+        ))
+    })
+}
+
+/// The event loop proper, on pre-validated input and reusable state.
+fn run<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: ExecConfig,
+    tracer: &mut T,
+    scratch: &mut Scratch,
+) -> Schedule {
+    let sizes: &[u32] = grouping.groups();
+    // The `T[G]` row, indexed by `G - 4` — one array load per group
+    // instead of a spec lookup per `main_secs` call.
+    let trow = table.main_array();
     let tp = table.post_secs();
     let nm = inst.nm;
 
+    let Scratch {
+        durs,
+        bases,
+        busy,
+        running,
+        waiting,
+        months_done,
+        idle,
+        post_ready,
+        post_pool,
+    } = scratch;
+    durs.clear();
+    durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize]));
+    let durs: &[f64] = durs;
+
     // Processor layout: groups first (descending sizes, canonical),
     // then the dedicated post pool; any remainder stays idle forever.
-    let mut bases: Vec<u32> = Vec::with_capacity(sizes.len());
+    bases.clear();
     let mut acc = 0u32;
-    for &g in &sizes {
+    for &g in sizes {
         bases.push(acc);
         acc += g;
     }
+    let bases: &[u32] = bases;
     let post_base = acc;
 
     if tracer.enabled() {
@@ -152,27 +244,35 @@ pub fn execute_traced<T: Tracer>(
                 ns: inst.ns,
                 nm: inst.nm,
                 r: inst.r,
-                groups: sizes.clone(),
+                groups: sizes.to_vec(),
                 post_procs: grouping.post_procs,
             },
         ));
     }
 
+    // The record arena is the one allocation of the run — it is the
+    // returned schedule, pre-sized to its exact final length.
     let mut records: Vec<TaskRecord> = Vec::with_capacity(inst.nbtasks() as usize * 2);
 
-    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
-    let mut running: Vec<Option<(u32, f64)>> = vec![None; sizes.len()]; // (scenario, start)
-    let mut waiting = Waiting::new(config.policy, inst.ns);
-    let mut months_done: Vec<u32> = vec![0; inst.ns as usize];
+    busy.clear();
+    busy.reserve(sizes.len());
+    running.clear();
+    running.resize(sizes.len(), None); // (scenario, start)
+    waiting.reset(config.policy, inst.ns);
+    months_done.clear();
+    months_done.resize(inst.ns as usize, 0);
     let mut unfinished = inst.ns as usize;
-    let mut idle: Vec<usize> = (0..sizes.len()).collect();
+    idle.clear();
+    idle.extend(0..sizes.len());
     idle.sort_unstable_by_key(|&g| (sizes[g], g));
     let mut alive = sizes.len();
 
     // Post machinery: ready queue (filled in completion order) and the
     // processor pool (avail, proc id).
-    let mut post_ready: Vec<(f64, FusedTask)> = Vec::with_capacity(inst.nbtasks() as usize);
-    let mut post_pool: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    post_ready.clear();
+    post_ready.reserve(inst.nbtasks() as usize);
+    post_pool.clear();
+    post_pool.reserve(inst.r as usize);
     for p in 0..grouping.post_procs {
         post_pool.push(Reverse((Time(0.0), post_base + p)));
     }
@@ -233,14 +333,14 @@ pub fn execute_traced<T: Tracer>(
 
     assign(
         0.0,
-        &mut idle,
-        &mut waiting,
-        &mut busy,
-        &mut running,
+        &mut *idle,
+        &mut *waiting,
+        &mut *busy,
+        &mut *running,
         &mut alive,
         unfinished,
-        &mut post_pool,
-        &months_done,
+        &mut *post_pool,
+        &*months_done,
         tracer,
     );
 
@@ -284,14 +384,14 @@ pub fn execute_traced<T: Tracer>(
         idle.insert(pos, g);
         assign(
             t,
-            &mut idle,
-            &mut waiting,
-            &mut busy,
-            &mut running,
+            &mut *idle,
+            &mut *waiting,
+            &mut *busy,
+            &mut *running,
             &mut alive,
             unfinished,
-            &mut post_pool,
-            &months_done,
+            &mut *post_pool,
+            &*months_done,
             tracer,
         );
     }
@@ -299,7 +399,7 @@ pub fn execute_traced<T: Tracer>(
 
     // Posts: FIFO on the pool; earliest-available processor first.
     let mut post_finish = 0.0f64;
-    for (ready, task) in post_ready {
+    for &(ready, task) in post_ready.iter() {
         let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
         let start = if avail > ready { avail } else { ready };
         let end = start + tp;
@@ -361,7 +461,7 @@ pub fn execute_traced<T: Tracer>(
             report.render_text()
         );
     }
-    Ok(schedule)
+    schedule
 }
 
 /// Executes with the paper's default policy.

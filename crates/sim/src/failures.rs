@@ -34,23 +34,9 @@ use serde::{Deserialize, Serialize};
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
+use oa_sched::time::Time;
 use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
 use oa_workflow::fusion::FusedTask;
-
-/// Totally ordered `f64` heap key.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// What a crashed scenario resumes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

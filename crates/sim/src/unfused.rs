@@ -27,22 +27,8 @@ use serde::{Deserialize, Serialize};
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
+use oa_sched::time::Time;
 use oa_workflow::task::{CD_SECS, COF_SECS, EMF_SECS, FUSED_POST_SECS, FUSED_PRE_SECS};
-
-/// Totally ordered `f64` heap key.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Time(f64);
-impl Eq for Time {}
-impl PartialOrd for Time {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Time {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Aggregates of an unfused execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -15,6 +15,7 @@
 //! | [`platform`] | timing tables, moldable speedup model, clusters, grids, presets |
 //! | [`knapsack`] | exact bounded knapsack with cardinality constraint (+ greedy, B&B) |
 //! | [`sched`] | Equations 1–5, the basic heuristic and Improvements 1–3, Algorithm 1 |
+//! | [`par`] | deterministic scoped worker pool: order-preserving `par_map` / `par_sweep` |
 //! | [`analyze`] | rule-based static diagnostics (OA001–OA017) over all four layers |
 //! | [`sim`] | discrete-event executor, schedule validation, Gantt, metrics, grid runs |
 //! | [`trace`] | structured event tracing, metrics registry, Chrome/Gantt exporters |
@@ -43,6 +44,7 @@ pub use oa_analyze as analyze;
 pub use oa_baselines as baselines;
 pub use oa_knapsack as knapsack;
 pub use oa_middleware as middleware;
+pub use oa_par as par;
 pub use oa_platform as platform;
 pub use oa_sched as sched;
 pub use oa_sim as sim;
