@@ -97,11 +97,14 @@ pub enum RuleCode {
     /// OA017: the 120 MB inter-month transfer cannot hide inside a
     /// month on the given link.
     BandwidthInfeasible,
+    /// OA018: a campaign configuration (policy × granularity ×
+    /// recovery + fault plan) is unrunnable or self-defeating.
+    CampaignConfigSanity,
 }
 
 impl RuleCode {
     /// Every rule, in code order.
-    pub const ALL: [RuleCode; 17] = [
+    pub const ALL: [RuleCode; 18] = [
         RuleCode::DagCycle,
         RuleCode::IncompleteChain,
         RuleCode::FusionInconsistent,
@@ -119,6 +122,7 @@ impl RuleCode {
         RuleCode::PostStarvation,
         RuleCode::ClusterSanity,
         RuleCode::BandwidthInfeasible,
+        RuleCode::CampaignConfigSanity,
     ];
 
     /// The stable `OAxxx` code.
@@ -141,6 +145,7 @@ impl RuleCode {
             RuleCode::PostStarvation => "OA015",
             RuleCode::ClusterSanity => "OA016",
             RuleCode::BandwidthInfeasible => "OA017",
+            RuleCode::CampaignConfigSanity => "OA018",
         }
     }
 
@@ -153,7 +158,8 @@ impl RuleCode {
             RuleCode::GroupSizeOutOfRange
             | RuleCode::OverSubscribed
             | RuleCode::GroupAccounting
-            | RuleCode::EstimateDivergence => Layer::Scheduling,
+            | RuleCode::EstimateDivergence
+            | RuleCode::CampaignConfigSanity => Layer::Scheduling,
             RuleCode::WrongMultiplicity
             | RuleCode::DependenceViolated
             | RuleCode::ProcessorConflict
@@ -188,6 +194,7 @@ impl RuleCode {
             RuleCode::PostStarvation => "posts should not lag far behind their main task",
             RuleCode::ClusterSanity => "clusters need >=4 procs and a sane timing table",
             RuleCode::BandwidthInfeasible => "the 120 MB inter-month transfer must fit in a month",
+            RuleCode::CampaignConfigSanity => "fault plans must target live groups at finite times",
         }
     }
 
@@ -470,12 +477,12 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let mut codes: Vec<&str> = RuleCode::ALL.iter().map(|r| r.code()).collect();
-        assert_eq!(codes.len(), 17);
+        assert_eq!(codes.len(), 18);
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 17, "duplicate rule code");
+        assert_eq!(codes.len(), 18, "duplicate rule code");
         assert_eq!(RuleCode::ALL[0].code(), "OA001");
-        assert_eq!(RuleCode::ALL[16].code(), "OA017");
+        assert_eq!(RuleCode::ALL[17].code(), "OA018");
     }
 
     #[test]

@@ -3,15 +3,15 @@
 //! A rule-based verification engine modeled on rustc's lints: every
 //! check has a stable code (`OA001`…), a severity, a structured
 //! location and a human-readable message, and every checker *collects*
-//! all violations in one pass instead of failing fast. Seventeen rules
+//! all violations in one pass instead of failing fast. Eighteen rules
 //! cover four layers of the stack:
 //!
-//! | Layer      | Rules         | What they verify                                  |
-//! |------------|---------------|---------------------------------------------------|
-//! | workflow   | OA001–OA003   | fused-DAG acyclicity, chain completeness, fusion  |
-//! | scheduling | OA004–OA007   | group sizes, accounting, estimator cross-checks   |
-//! | schedule   | OA008–OA015   | multiplicity, dependences, exclusivity, idleness  |
-//! | platform   | OA016–OA017   | cluster sanity, inter-month bandwidth feasibility |
+//! | Layer      | Rules               | What they verify                                  |
+//! |------------|---------------------|---------------------------------------------------|
+//! | workflow   | OA001–OA003         | fused-DAG acyclicity, chain completeness, fusion  |
+//! | scheduling | OA004–OA007, OA018  | group sizes, accounting, estimator cross-checks, campaign configs |
+//! | schedule   | OA008–OA015         | multiplicity, dependences, exclusivity, idleness  |
+//! | platform   | OA016–OA017         | cluster sanity, inter-month bandwidth feasibility |
 //!
 //! The simulator (`oa-sim`) rebuilds its `Schedule::validate` API on
 //! top of [`schedule::check_schedule`]; the `oa analyze` CLI subcommand
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn catalog_covers_all_rules_and_layers() {
         let cat = catalog();
-        assert_eq!(cat.len(), 17);
+        assert_eq!(cat.len(), 18);
         for layer in [
             Layer::Workflow,
             Layer::Scheduling,
@@ -109,6 +109,6 @@ mod tests {
             assert!(cat.iter().any(|r| r.layer == layer));
         }
         let text = render_catalog();
-        assert!(text.contains("OA001") && text.contains("OA017"), "{text}");
+        assert!(text.contains("OA001") && text.contains("OA018"), "{text}");
     }
 }

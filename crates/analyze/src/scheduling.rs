@@ -1,17 +1,22 @@
-//! Scheduling-layer rules (OA004–OA007): groupings against an instance.
+//! Scheduling-layer rules (OA004–OA007, OA018): groupings and campaign
+//! configurations against an instance.
 //!
 //! OA004–OA006 cover the same ground as
 //! [`oa_sched::grouping::Grouping::validate`] but *collect* every
 //! violation instead of stopping at the first, and attach locations
 //! (which group, which sizes). OA007 cross-checks the event estimator
 //! against the paper's closed-form Equations 1–5 on uniform groupings,
-//! where both must describe the same campaign.
+//! where both must describe the same campaign. OA018 pre-flights a
+//! campaign configuration + fault plan before the engine runs it: the
+//! engine *panics* on malformed plans (out-of-range groups, non-finite
+//! times), so the lint reports what the panic would only assert.
 
 use oa_platform::timing::TimingTable;
 use oa_sched::analytic;
 use oa_sched::estimate::estimate;
 use oa_sched::grouping::Grouping;
 use oa_sched::params::Instance;
+use oa_sched::policy::{CampaignConfig, FaultPlan, Recovery};
 
 use crate::diag::{Diagnostic, Location, RuleCode, Severity};
 
@@ -116,6 +121,94 @@ pub fn check_grouping(inst: Instance, table: &TimingTable, grouping: &Grouping) 
     out
 }
 
+/// Runs OA018 over a campaign configuration and fault plan, collecting
+/// every finding. Errors are conditions the engine would panic on;
+/// warnings are configurations that run but defeat their own purpose
+/// (a plan that strands the campaign, kills that can never land).
+pub fn check_campaign(
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    grouping: &Grouping,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let groups = grouping.group_count();
+
+    for (i, &(g, t)) in plan.failures.iter().enumerate() {
+        // The engine asserts both of these before running.
+        if g >= groups {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::CampaignConfigSanity,
+                    format!("failure #{i} targets group {g}, grouping has {groups} group(s)"),
+                )
+                .with("failure", i as f64)
+                .with("group", g as f64)
+                .with("groups", groups as f64),
+            );
+        }
+        if !t.is_finite() || t < 0.0 {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::CampaignConfigSanity,
+                    format!("failure #{i} fires at {t}, not a finite non-negative instant"),
+                )
+                .with("failure", i as f64)
+                .with("time", t),
+            );
+        }
+    }
+
+    // A later kill of an already-dead group never lands: the engine
+    // treats it as a no-op, which usually means a typo'd group id.
+    let mut seen = vec![false; groups];
+    for (i, &(g, _)) in plan.failures.iter().enumerate() {
+        if let Some(hit) = seen.get_mut(g) {
+            if *hit {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::CampaignConfigSanity,
+                        format!("failure #{i} re-kills group {g}; only the first kill lands"),
+                    )
+                    .severity(Severity::Warn)
+                    .with("failure", i as f64)
+                    .with("group", g as f64),
+                );
+            }
+            *hit = true;
+        }
+    }
+
+    // Killing every group strands the campaign by construction.
+    if groups > 0 && seen.iter().all(|&s| s) {
+        out.push(
+            Diagnostic::new(
+                RuleCode::CampaignConfigSanity,
+                format!(
+                    "the plan kills all {groups} group(s): the campaign is stranded by construction"
+                ),
+            )
+            .severity(Severity::Warn)
+            .with("groups", groups as f64),
+        );
+    }
+
+    // Restart-from-scratch recovery with real failures discards the
+    // checkpoints the application writes anyway — legitimate only as
+    // the paper's counterfactual.
+    if config.recovery == Recovery::RestartScenario && !plan.is_empty() {
+        out.push(
+            Diagnostic::new(
+                RuleCode::CampaignConfigSanity,
+                "restart-from-scratch recovery discards the monthly checkpoints the \
+                 application always writes; use it only as the counterfactual",
+            )
+            .severity(Severity::Info),
+        );
+    }
+
+    out
+}
+
 fn divergence(g: u32, rel: f64, estimated: f64, analytic: f64, severity: Severity) -> Diagnostic {
     Diagnostic::new(
         RuleCode::EstimateDivergence,
@@ -159,6 +252,42 @@ mod tests {
         assert!(codes.contains(&"OA004"), "{codes:?}");
         assert!(codes.contains(&"OA005"), "{codes:?}");
         assert!(codes.contains(&"OA006"), "{codes:?}");
+    }
+
+    #[test]
+    fn campaign_lint_is_quiet_on_sane_configs() {
+        let g = Grouping::uniform(7, 7, 4);
+        let plan = FaultPlan::none().kill(0, 1000.0);
+        let ds = check_campaign(&CampaignConfig::default(), &plan, &g);
+        assert!(ds.is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn campaign_lint_collects_every_problem() {
+        let g = Grouping::uniform(7, 3, 4);
+        // Out-of-range target, NaN time, a duplicate kill, and every
+        // group dead — one pass reports them all.
+        let plan = FaultPlan {
+            failures: vec![(9, 10.0), (0, f64::NAN), (0, 20.0), (1, 5.0), (2, 5.0)],
+        };
+        let config = CampaignConfig {
+            recovery: Recovery::RestartScenario,
+            ..CampaignConfig::default()
+        };
+        let ds = check_campaign(&config, &plan, &g);
+        assert!(ds.iter().all(|d| d.rule == RuleCode::CampaignConfigSanity));
+        assert_eq!(
+            ds.iter().filter(|d| d.severity == Severity::Error).count(),
+            2
+        );
+        let warns: Vec<&str> = ds
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert!(warns.iter().any(|m| m.contains("re-kills")), "{warns:?}");
+        assert!(warns.iter().any(|m| m.contains("stranded")), "{warns:?}");
+        assert!(ds.iter().any(|d| d.severity == Severity::Info));
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! The engine knob matrix: every configuration axis of the generic
+//! campaign engine (`oa_sim::engine::simulate_campaign`) crossed on
+//! the reference cluster — scenario policy × task granularity ×
+//! failure scenario — now that all four legacy executors are thin
+//! configurations of one loop. This is the combination coverage the
+//! pre-refactor executors could not express: unfused runs under
+//! round-robin/most-advanced policies, and fault injection at unfused
+//! granularity.
+//!
+//! Fault plans are pre-flighted through the OA018 lint
+//! (`oa_analyze::scheduling::check_campaign`) before simulation, the
+//! same gate `oa sim` applies.
+//!
+//! Run: `cargo run --release -p oa-bench --bin engine_matrix [--fast] [--jobs N]`
+
+use oa_bench::{fast_mode, pool, write_json, SweepRecorder};
+use oa_platform::prelude::*;
+use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy};
+use oa_sched::prelude::*;
+use oa_sim::prelude::*;
+use oa_trace::NullTracer;
+
+const POLICIES: [ScenarioPolicy; 3] = [
+    ScenarioPolicy::LeastAdvanced,
+    ScenarioPolicy::RoundRobin,
+    ScenarioPolicy::MostAdvanced,
+];
+const GRANULARITIES: [Granularity; 2] = [Granularity::Fused, Granularity::Unfused];
+
+/// One cell of the matrix: a full campaign simulated under one knob
+/// combination.
+#[derive(Debug, Clone, serde::Serialize)]
+struct Cell {
+    r: u32,
+    policy: &'static str,
+    granularity: &'static str,
+    scenario: &'static str,
+    makespan: f64,
+    months_lost: u32,
+    lost_proc_secs: f64,
+}
+
+fn run_cell(
+    inst: Instance,
+    table: &oa_platform::timing::TimingTable,
+    grouping: &Grouping,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    scenario: &'static str,
+) -> Cell {
+    let lint = oa_analyze::scheduling::check_campaign(config, plan, grouping);
+    assert!(
+        lint.iter()
+            .all(|d| d.severity != oa_analyze::Severity::Error),
+        "{scenario}: OA018 rejected the fault plan"
+    );
+    let out = simulate_campaign(inst, table, grouping, config, plan, &mut NullTracer)
+        .expect("valid grouping");
+    let run = out.completed().expect("matrix plans never strand");
+    Cell {
+        r: inst.r,
+        policy: config.policy.label(),
+        granularity: config.granularity.label(),
+        scenario,
+        makespan: run.makespan,
+        months_lost: run.months_lost,
+        lost_proc_secs: run.lost_proc_secs,
+    }
+}
+
+fn main() {
+    let nm = if fast_mode() { 12 } else { 120 };
+    let ns = 10u32;
+    let rs: Vec<u32> = if fast_mode() {
+        vec![26, 53]
+    } else {
+        vec![11, 26, 53, 80, 120]
+    };
+    let pool = pool();
+    let mut rec = SweepRecorder::start("engine_matrix");
+
+    println!("== Engine matrix: policy x granularity x failure scenario ==");
+    println!("instance: NS = {ns}, NM = {nm}; R in {rs:?}; knapsack groupings\n");
+
+    let rows: Vec<Cell> = rec.phase("matrix", rs.len() * 18, || {
+        pool.par_map(&rs, |&r| {
+            let inst = Instance::new(ns, nm, r);
+            let table = reference_cluster(r).timing;
+            let grouping = Heuristic::Knapsack
+                .grouping(inst, &table)
+                .expect("feasible");
+            let mut cells = Vec::new();
+            for policy in POLICIES {
+                for granularity in GRANULARITIES {
+                    let config = CampaignConfig {
+                        policy,
+                        granularity,
+                        recovery: Recovery::MonthlyCheckpoint,
+                    };
+                    let clean = run_cell(
+                        inst,
+                        &table,
+                        &grouping,
+                        &config,
+                        &FaultPlan::none(),
+                        "clean",
+                    );
+                    // Kill the first group a third of the way through
+                    // the clean run of this same cell — deterministic,
+                    // and always inside the campaign.
+                    let plan = FaultPlan::none().kill(0, clean.makespan / 3.0);
+                    let checkpoint =
+                        run_cell(inst, &table, &grouping, &config, &plan, "kill-checkpoint");
+                    let restart_config = CampaignConfig {
+                        recovery: Recovery::RestartScenario,
+                        ..config
+                    };
+                    let restart = run_cell(
+                        inst,
+                        &table,
+                        &grouping,
+                        &restart_config,
+                        &plan,
+                        "kill-restart",
+                    );
+                    cells.extend([clean, checkpoint, restart]);
+                }
+            }
+            cells
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    });
+
+    // Per-R console summary: the clean-run policy spread at each
+    // granularity, then the failure penalties.
+    for &r in &rs {
+        println!("-- R = {r} --");
+        for granularity in GRANULARITIES {
+            let find = |policy: ScenarioPolicy, scenario: &str| {
+                rows.iter()
+                    .find(|c| {
+                        c.r == r
+                            && c.policy == policy.label()
+                            && c.granularity == granularity.label()
+                            && c.scenario == scenario
+                    })
+                    .expect("matrix is complete")
+            };
+            let fair = find(ScenarioPolicy::LeastAdvanced, "clean");
+            let rr = find(ScenarioPolicy::RoundRobin, "clean");
+            let most = find(ScenarioPolicy::MostAdvanced, "clean");
+            let ckpt = find(ScenarioPolicy::LeastAdvanced, "kill-checkpoint");
+            let rst = find(ScenarioPolicy::LeastAdvanced, "kill-restart");
+            // Positive percentages: how much the least-advanced clean
+            // run gains over that variant (gain_pct baseline = variant).
+            println!(
+                "  {:>7}: clean {:>9.0} s | gain vs round-robin {:+6.2}% | vs most-advanced \
+                 {:+6.2}% | vs kill+checkpoint {:+6.2}% ({} mo lost) | vs kill+restart {:+6.2}%",
+                granularity.label(),
+                fair.makespan,
+                gain_pct(rr.makespan, fair.makespan),
+                gain_pct(most.makespan, fair.makespan),
+                gain_pct(ckpt.makespan, fair.makespan),
+                ckpt.months_lost,
+                gain_pct(rst.makespan, fair.makespan),
+            );
+        }
+    }
+
+    #[derive(serde::Serialize)]
+    struct Dump {
+        ns: u32,
+        nm: u32,
+        rows: Vec<Cell>,
+    }
+    if !fast_mode() {
+        write_json("engine_matrix", &Dump { ns, nm, rows });
+    }
+    rec.finish();
+}

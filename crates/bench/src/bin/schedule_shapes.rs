@@ -7,7 +7,7 @@
 //! * Figures 5/6 — overpassing with an incomplete final set: trailing
 //!   posts spill onto the processors freed by the finished groups.
 //!
-//! Run: `cargo run --release -p oa-bench --bin schedule_shapes [--jobs N]`
+//! Run: `cargo run --release -p oa-bench --bin schedule_shapes [--jobs N] [--policy P]`
 
 use oa_bench::SweepRecorder;
 use oa_platform::timing::TimingTable;
@@ -20,7 +20,10 @@ fn show(title: &str, inst: Instance, table: &TimingTable, grouping: &Grouping) {
         "instance: NS = {}, NM = {}, R = {}; grouping: {grouping}",
         inst.ns, inst.nm, inst.r
     );
-    let schedule = execute_default(inst, table, grouping).expect("valid grouping");
+    let config = ExecConfig {
+        policy: oa_bench::policy_flag(),
+    };
+    let schedule = execute(inst, table, grouping, config).expect("valid grouping");
     // Full schedule-layer analysis instead of the bare fail-fast
     // validate: advisory diagnostics (idle gaps, post starvation) are
     // part of what these figures illustrate, so print them too.
@@ -54,7 +57,9 @@ fn main() {
             Instance::new(10, 6, 53),
             &t,
             &Grouping::new(vec![8, 8, 8, 7, 7, 7, 7], 1),
-            ExecConfig::default(),
+            ExecConfig {
+                policy: oa_bench::policy_flag(),
+            },
             &mut sink,
         )
         .expect("valid grouping");

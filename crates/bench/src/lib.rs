@@ -100,6 +100,28 @@ fn jobs_flag() -> Option<usize> {
     None
 }
 
+/// The scenario-selection policy under test: `--policy NAME`
+/// (`least-advanced`, `round-robin`, `most-advanced`) from the
+/// binary's argv, defaulting to the paper's least-advanced-first so
+/// unflagged runs reproduce the tracked figures byte-for-byte. An
+/// unknown name aborts loudly rather than silently benchmarking the
+/// wrong policy.
+pub fn policy_flag() -> oa_sched::policy::ScenarioPolicy {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--policy" {
+            args.next()
+        } else {
+            a.strip_prefix("--policy=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            return oa_sched::policy::ScenarioPolicy::parse(&v)
+                .unwrap_or_else(|| panic!("unknown --policy {v:?}; see `oa help`"));
+        }
+    }
+    oa_sched::policy::ScenarioPolicy::LeastAdvanced
+}
+
 /// Number of sweep workers, honouring `--jobs` / `OA_JOBS`. Alias of
 /// [`jobs`] kept for the original figure-binary spelling.
 pub fn default_workers() -> usize {

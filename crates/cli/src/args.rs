@@ -63,7 +63,9 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Switch-style flags (no value).
-const SWITCHES: &[&str] = &["per-proc", "staging", "json", "all", "fused", "rules"];
+const SWITCHES: &[&str] = &[
+    "per-proc", "staging", "json", "all", "fused", "rules", "unfused",
+];
 
 /// Commands that take a second positional verb (`oa trace export`).
 const VERB_COMMANDS: &[&str] = &["trace"];
@@ -246,6 +248,13 @@ mod tests {
             parse(&["plan", "export"]),
             Err(ArgError::Unexpected("export".into()))
         );
+    }
+
+    #[test]
+    fn unfused_is_a_switch() {
+        let a = parse(&["sim", "--unfused", "--policy", "round-robin"]).unwrap();
+        assert!(a.switch("unfused"));
+        assert_eq!(a.str_or("policy", "least-advanced"), "round-robin");
     }
 
     #[test]

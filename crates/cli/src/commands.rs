@@ -53,6 +53,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
     match args.command.as_str() {
         "help" => Ok(help()),
         "plan" => plan(&args),
+        "sim" => sim_cmd(&args),
         "analyze" => analyze_cmd(&args),
         "gantt" => gantt(&args),
         "grid" => grid_cmd(&args),
@@ -75,8 +76,12 @@ USAGE: oa <command> [--flag value]...
 COMMANDS
   plan      choose a grouping and report makespans
             --ns N --nm N --r N --cluster NAME [--heuristic H | --all] [--json]
+  sim       run one campaign through the generic engine, with every knob
+            --ns N --nm N --r N --cluster NAME --heuristic H
+            [--policy P] [--unfused] [--recovery checkpoint|restart]
+            [--kill G@T,G@T,...] [--jobs N] [--json]
   analyze   statically verify a campaign: DAG, grouping, schedule and
-            platform rules (OA001..OA017); exits nonzero on errors
+            platform rules (OA001..OA018); exits nonzero on errors
             --ns N --nm N --r N --cluster NAME --heuristic H [--json]
             [--file SCHEDULE.json] [--bandwidth MB/s --latency S] [--rules]
             [--jobs N]
@@ -94,7 +99,8 @@ COMMANDS
             --ns N --nm N --r N --heuristic H
   trace     record and export campaign event traces
             trace record    --ns N --nm N --r N --cluster NAME
-                            --heuristic H [--out TRACE.jsonl] [--jobs N]
+                            --heuristic H [--policy P] [--out TRACE.jsonl]
+                            [--jobs N]
             trace export    [--file TRACE.jsonl | campaign flags]
                             [--format chrome|gantt|jsonl] [--width N]
             trace summarize [--file TRACE.jsonl | campaign flags]
@@ -104,6 +110,7 @@ COMMANDS
 
 HEURISTICS: basic, redistribute (Improvement 1), nopost (Improvement 2),
             knapsack (Improvement 3, default), knapsack-greedy
+POLICIES:   least-advanced (paper default), round-robin, most-advanced
 CLUSTERS:   reference (default), sagittaire, capricorne, chinqchint,
             grillon, grelon
 JOBS:       --jobs N sizes the deterministic worker pool (default: the
@@ -122,6 +129,46 @@ fn heuristic_of(name: &str) -> Result<Heuristic, CliError> {
         "knapsack-greedy" => Heuristic::KnapsackGreedy,
         other => return Err(CliError::Domain(format!("unknown heuristic {other:?}"))),
     })
+}
+
+fn policy_of(args: &Args) -> Result<ScenarioPolicy, CliError> {
+    let name = args.str_or("policy", "least-advanced");
+    ScenarioPolicy::parse(&name).ok_or_else(|| {
+        CliError::Domain(format!(
+            "unknown policy {name:?}; try least-advanced, round-robin or most-advanced"
+        ))
+    })
+}
+
+fn recovery_of(args: &Args) -> Result<Recovery, CliError> {
+    Ok(match args.str_or("recovery", "checkpoint").as_str() {
+        "checkpoint" | "monthly" => Recovery::MonthlyCheckpoint,
+        "restart" => Recovery::RestartScenario,
+        other => {
+            return Err(CliError::Domain(format!(
+                "unknown recovery {other:?}; try checkpoint or restart"
+            )))
+        }
+    })
+}
+
+/// Parses `--kill G@T,G@T,...` into a [`FaultPlan`].
+fn fault_plan_of(args: &Args) -> Result<FaultPlan, CliError> {
+    let mut plan = FaultPlan::none();
+    if let Some(spec) = args.str_opt("kill") {
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let bad = || {
+                CliError::Domain(format!(
+                    "bad --kill entry {part:?}; expected GROUP@SECONDS (e.g. 0@1500)"
+                ))
+            };
+            let (g, t) = part.split_once('@').ok_or_else(bad)?;
+            let g: usize = g.trim().parse().map_err(|_| bad())?;
+            let t: f64 = t.trim().parse().map_err(|_| bad())?;
+            plan = plan.kill(g, t);
+        }
+    }
+    Ok(plan)
 }
 
 /// Resolves the worker pool for commands that accept `--jobs N`:
@@ -192,6 +239,104 @@ fn plan(args: &Args) -> Result<String, CliError> {
             .collect();
         out.push_str(&serde_json::to_string_pretty(&json).expect("serializable"));
         out.push('\n');
+    }
+    Ok(out)
+}
+
+fn sim_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[
+        "ns",
+        "nm",
+        "r",
+        "cluster",
+        "heuristic",
+        "policy",
+        "recovery",
+        "kill",
+        "jobs",
+        "unfused",
+        "json",
+    ])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 120)?;
+    let r = args.u32_or("r", 53)?;
+    let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let pool = pool_of(args)?;
+    let config = CampaignConfig {
+        policy: policy_of(args)?,
+        granularity: if args.switch("unfused") {
+            Granularity::Unfused
+        } else {
+            Granularity::Fused
+        },
+        recovery: recovery_of(args)?,
+    };
+    let plan = fault_plan_of(args)?;
+    let inst = Instance::new(ns, nm, r);
+    let grouping = h
+        .grouping_with(inst, &cluster.timing, &pool)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+
+    // Pre-flight the configuration (OA018) so a malformed fault plan
+    // fails as a diagnostic report, not as the engine's panic.
+    let lint = oa_analyze::scheduling::check_campaign(&config, &plan, &grouping);
+    let lint = oa_analyze::Report::from_diagnostics(lint);
+    if lint.has_errors() {
+        return Err(CliError::AnalysisFailed(lint.render_text()));
+    }
+
+    let outcome = simulate_campaign(
+        inst,
+        &cluster.timing,
+        &grouping,
+        &config,
+        &plan,
+        &mut NullTracer,
+    )
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+
+    if args.switch("json") {
+        let mut json =
+            serde_json::to_string_pretty(&outcome).expect("campaign outcomes are serializable");
+        json.push('\n');
+        return Ok(json);
+    }
+    let mut out = format!(
+        "campaign on {}: NS = {ns}, NM = {nm}, R = {r}, heuristic {}\n\
+         engine: policy {}, {} granularity, {} kill(s)\n\
+         grouping {grouping}\n",
+        cluster.name,
+        h.label(),
+        config.policy,
+        config.granularity.label(),
+        plan.failures.len(),
+    );
+    for d in &lint.diagnostics {
+        out.push_str(&format!("{}\n", d.render()));
+    }
+    match outcome {
+        CampaignOutcome::Completed(run) => {
+            out.push_str(&format!(
+                "completed: makespan {:.1} h ({:.0} s), main finish {:.0} s, post finish {:.0} s\n",
+                run.makespan / 3600.0,
+                run.makespan,
+                run.main_finish,
+                run.post_finish
+            ));
+            if !plan.is_empty() {
+                out.push_str(&format!(
+                    "damage: {} month(s) lost, {:.0} proc·s destroyed\n",
+                    run.months_lost, run.lost_proc_secs
+                ));
+            }
+        }
+        CampaignOutcome::Stranded { completed_months } => {
+            out.push_str(&format!(
+                "stranded: every group died with work left; {completed_months} month(s) \
+                 checkpointed before the cluster went dark\n"
+            ));
+        }
     }
     Ok(out)
 }
@@ -495,7 +640,7 @@ fn profile_cmd(args: &Args) -> Result<String, CliError> {
 }
 
 /// Campaign flags shared by every `oa trace` verb.
-const TRACE_CAMPAIGN_FLAGS: &[&str] = &["ns", "nm", "r", "cluster", "heuristic", "jobs"];
+const TRACE_CAMPAIGN_FLAGS: &[&str] = &["ns", "nm", "r", "cluster", "heuristic", "policy", "jobs"];
 
 /// Runs the campaign described by the flags with a buffering tracer
 /// and returns a scope line plus the recorded event stream.
@@ -515,7 +660,9 @@ fn trace_campaign(args: &Args) -> Result<(String, Vec<TraceEvent>), CliError> {
         inst,
         &cluster.timing,
         &grouping,
-        ExecConfig::default(),
+        ExecConfig {
+            policy: policy_of(args)?,
+        },
         &mut sink,
     )
     .map_err(|e| CliError::Domain(e.to_string()))?;
@@ -652,6 +799,105 @@ mod tests {
     fn plan_json_output() {
         let out = oa(&["plan", "--r", "24", "--nm", "12", "--json"]).unwrap();
         assert!(out.contains("\"makespan_secs\""));
+    }
+
+    #[test]
+    fn sim_default_run_matches_the_estimator() {
+        let out = oa(&["sim", "--ns", "4", "--nm", "24", "--r", "26"]).unwrap();
+        assert!(out.contains("policy least-advanced"), "{out}");
+        assert!(out.contains("fused granularity"), "{out}");
+        let inst = Instance::new(4, 24, 26);
+        let table = reference_cluster(26).timing;
+        let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+        let est = estimate(inst, &table, &grouping).unwrap();
+        assert!(
+            out.contains(&format!("({:.0} s)", est.makespan)),
+            "{out} vs {}",
+            est.makespan
+        );
+    }
+
+    #[test]
+    fn sim_accepts_every_new_knob_combination() {
+        // Unfused granularity + non-default policy, from the CLI.
+        let out = oa(&[
+            "sim",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--unfused",
+            "--policy",
+            "round-robin",
+        ])
+        .unwrap();
+        assert!(out.contains("policy round-robin"), "{out}");
+        assert!(out.contains("unfused granularity"), "{out}");
+        assert!(out.contains("completed: makespan"), "{out}");
+        // JSON mode is machine-readable.
+        let json = oa(&[
+            "sim",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--unfused",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("makespan"), "{json}");
+        // Unknown policies fail loudly.
+        assert!(matches!(
+            oa(&["sim", "--policy", "fifo"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn sim_kill_flag_injects_failures() {
+        let out = oa(&[
+            "sim", "--ns", "4", "--nm", "24", "--r", "26", "--kill", "0@5000",
+        ])
+        .unwrap();
+        assert!(out.contains("1 kill(s)"), "{out}");
+        assert!(out.contains("damage:"), "{out}");
+        // Restart-from-scratch recovery can only be worse.
+        let restart = oa(&[
+            "sim",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--kill",
+            "0@5000",
+            "--recovery",
+            "restart",
+        ])
+        .unwrap();
+        assert!(restart.contains("damage:"), "{restart}");
+        // Malformed kill specs are domain errors, not panics.
+        assert!(matches!(
+            oa(&["sim", "--kill", "zero@ten"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn sim_preflights_bad_fault_plans_as_oa018() {
+        let err = oa(&[
+            "sim", "--ns", "4", "--nm", "24", "--r", "26", "--kill", "99@10",
+        ])
+        .unwrap_err();
+        let CliError::AnalysisFailed(report) = err else {
+            panic!("{err:?}")
+        };
+        assert!(report.contains("error[OA018]"), "{report}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   a greedy-knapsack ablation;
 //! * [`hetero`] — per-cluster performance vectors and the greedy
 //!   scenario repartition of Algorithm 1;
+//! * [`policy`] — campaign policy knobs shared by every event loop:
+//!   scenario-selection queues, task granularity, fault plans and
+//!   recovery models (the configuration of `oa-sim::engine`);
 //! * [`time`] — the shared totally-ordered `f64` heap key every
 //!   discrete-event loop in the workspace uses.
 //!
@@ -47,6 +50,7 @@ pub mod grouping;
 pub mod hetero;
 pub mod heuristics;
 pub mod params;
+pub mod policy;
 pub mod time;
 
 /// One-stop imports for downstream crates.
@@ -61,6 +65,9 @@ pub mod prelude {
     };
     pub use crate::heuristics::{gain_pct, Heuristic, HeuristicError};
     pub use crate::params::Instance;
+    pub use crate::policy::{
+        CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy, ScenarioQueue,
+    };
     pub use crate::time::Time;
 }
 

@@ -1,0 +1,662 @@
+//! The generic discrete-event campaign engine: one loop, four configs.
+//!
+//! Historically `oa-sim` carried four hand-rolled event loops — the
+//! recording executor, the unfused ablation, the failure replayer and
+//! the per-cluster grid runner — each duplicating the same
+//! least-advanced-first policy with its own waiting queue. This module
+//! is the single loop they all delegate to, generic over the
+//! orthogonal knobs of [`CampaignConfig`]:
+//!
+//! * **policy** — a [`ScenarioQueue`] object (least-advanced,
+//!   round-robin, most-advanced) consulted at every assignment;
+//! * **granularity** — fused one-shot posts (Figure 2) or the unfused
+//!   `cof → emf → cd` chain of Figure 1;
+//! * **recovery** — what a scenario crashed by a [`FaultPlan`] resumes
+//!   from (monthly checkpoint or full restart);
+//!
+//! plus a [`Tracer`] sink for the full event story and the thread-local
+//! scratch arenas that keep repeat runs allocation-free (the PR-3
+//! discipline, now shared by every path instead of only the fused one).
+//!
+//! # Equivalence guarantees
+//!
+//! The refactor that introduced this engine is pinned by byte-identity:
+//! with an empty fault plan the engine replays *exactly* the decision
+//! sequence of the legacy executor (same floats, same record order,
+//! same event stream), and the unfused chain reproduces the legacy
+//! `estimate_unfused` bitwise. `tests/engine_equivalence.rs` and the
+//! tracked `results/*.json` enforce this.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use oa_platform::timing::TimingTable;
+use oa_sched::grouping::{Grouping, GroupingError};
+use oa_sched::params::Instance;
+use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioQueue};
+use oa_sched::time::Time;
+use oa_trace::{EventKind, TraceEvent, Tracer};
+use oa_workflow::fusion::FusedTask;
+use oa_workflow::task::{
+    TaskKind, CD_SECS, COF_SECS, EMF_SECS, FUSED_POST_SECS, FUSED_PRE_SECS, MIN_PROCS,
+};
+
+use crate::schedule::{ProcRange, Schedule, TaskRecord};
+
+/// Post-chain step kinds at unfused granularity, in chain order.
+const STEP_KINDS: [TaskKind; 3] = [TaskKind::Cof, TaskKind::Emf, TaskKind::Cd];
+
+/// Aggregates of a completed campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRun {
+    /// The full schedule, recorded only for fused runs with an empty
+    /// fault plan (the one case where every task runs exactly once and
+    /// the record set is a valid [`Schedule`]).
+    pub schedule: Option<Schedule>,
+    /// Campaign makespan, seconds.
+    pub makespan: f64,
+    /// Last main-phase completion.
+    pub main_finish: f64,
+    /// Last post-chain completion.
+    pub post_finish: f64,
+    /// Processor-seconds of work destroyed by crashes.
+    pub lost_proc_secs: f64,
+    /// Months whose in-flight run was lost (re-executed later).
+    pub months_lost: u32,
+}
+
+/// Outcome of one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CampaignOutcome {
+    /// The campaign completed.
+    Completed(CampaignRun),
+    /// Every group died with months still unscheduled.
+    Stranded {
+        /// Months completed before the grid went dark.
+        completed_months: u64,
+    },
+}
+
+impl CampaignOutcome {
+    /// The completed run, if any.
+    pub fn completed(&self) -> Option<&CampaignRun> {
+        match self {
+            CampaignOutcome::Completed(run) => Some(run),
+            CampaignOutcome::Stranded { .. } => None,
+        }
+    }
+
+    /// Makespan of a completed run (`None` when stranded).
+    pub fn makespan(&self) -> Option<f64> {
+        self.completed().map(|r| r.makespan)
+    }
+}
+
+/// What one processed failure actually destroyed — the damage
+/// assessment the trace layer reports as a `FailureDetect` event.
+struct FailureImpact {
+    /// The scenario whose in-flight month died, with the month it will
+    /// resume from (`None` when the group was idle).
+    victim: Option<(u32, u32)>,
+    /// Processor-seconds destroyed.
+    lost_proc_secs: f64,
+    /// Months of progress destroyed.
+    months_lost: u32,
+}
+
+/// Emits the inject/detect/recover event triple for one processed
+/// failure (inject always; detect and recover only if the kill landed).
+fn emit_failure<T: Tracer>(tracer: &mut T, failure: (usize, f64), impact: Option<&FailureImpact>) {
+    let (g, tf) = failure;
+    tracer.record(TraceEvent::at(
+        tf,
+        EventKind::FailureInject { group: g as u32 },
+    ));
+    let Some(im) = impact else { return };
+    tracer.record(TraceEvent::at(
+        tf,
+        EventKind::FailureDetect {
+            group: g as u32,
+            victim: im.victim.map(|(s, _)| s),
+            lost_proc_secs: im.lost_proc_secs,
+            months_lost: im.months_lost,
+        },
+    ));
+    if let Some((s, m)) = im.victim {
+        tracer.record(TraceEvent::at(
+            tf,
+            EventKind::Recover {
+                scenario: s,
+                resume_month: m,
+            },
+        ));
+    }
+}
+
+/// One ready post-chain step, min-heap keyed: `(ready instant, step
+/// index within the month's chain, insertion sequence, scenario,
+/// month)`.
+type ChainKey = Reverse<(Time, u8, u64, u32, u32)>;
+
+/// Reusable event-loop state: the sweeps execute thousands of
+/// campaigns back to back, and clearing these collections (capacity
+/// preserved) makes each run allocation-free apart from the returned
+/// record arena. Thread-local, so every `oa-par` worker owns its own.
+struct Scratch {
+    /// Per-group main duration.
+    durs: Vec<f64>,
+    /// First processor id of each group.
+    bases: Vec<u32>,
+    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
+    busy: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Per-group (scenario, start time) while running.
+    running: Vec<Option<(u32, f64)>>,
+    /// Waiting scenarios under the configured policy.
+    waiting: ScenarioQueue,
+    /// Months completed per scenario.
+    months_done: Vec<u32>,
+    /// Idle groups, sorted ascending by (size, index).
+    idle: Vec<usize>,
+    /// `dead[g]`: group `g` crashed and never returns.
+    dead: Vec<bool>,
+    /// Ready post work. The insertion counter `seq` makes heap order
+    /// deterministic and — because main completions are chronological
+    /// — makes the fused drain exactly the legacy insertion-order
+    /// FIFO.
+    chain: BinaryHeap<ChainKey>,
+    /// Post-processor pool: (availability, processor id).
+    post_pool: BinaryHeap<Reverse<(Time, u32)>>,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self {
+            durs: Vec::new(),
+            bases: Vec::new(),
+            busy: BinaryHeap::new(),
+            running: Vec::new(),
+            waiting: ScenarioQueue::Least(BinaryHeap::new()),
+            months_done: Vec::new(),
+            idle: Vec::new(),
+            dead: Vec::new(),
+            chain: BinaryHeap::new(),
+            post_pool: BinaryHeap::new(),
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Runs one campaign under `config`, injecting the failures of `plan`,
+/// streaming the full event story into `tracer`.
+///
+/// This is the single event loop behind `execute_traced`,
+/// `estimate_unfused`, `estimate_with_failures_traced` and the grid
+/// runners; combinations none of the legacy entry points offered
+/// (unfused + tracing, unfused + policy ablations, faults at unfused
+/// granularity) are reached by passing the corresponding
+/// [`CampaignConfig`] directly.
+///
+/// # Panics
+///
+/// Panics if the plan targets a group outside the grouping or gives a
+/// non-finite/negative failure time (same contract as the legacy
+/// failure executor).
+pub fn simulate_campaign<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    tracer: &mut T,
+) -> Result<CampaignOutcome, GroupingError> {
+    grouping.validate(inst)?;
+    for &(g, t) in &plan.failures {
+        assert!(
+            g < grouping.group_count(),
+            "failure targets group {g}, grouping has {}",
+            grouping.group_count()
+        );
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "failure time must be a finite non-negative instant"
+        );
+    }
+    SCRATCH.with(|cell| {
+        Ok(run(
+            inst,
+            table,
+            grouping,
+            config,
+            plan,
+            tracer,
+            &mut cell.borrow_mut(),
+        ))
+    })
+}
+
+/// The event loop proper, on pre-validated input and reusable state.
+#[allow(clippy::too_many_lines)]
+fn run<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    tracer: &mut T,
+    scratch: &mut Scratch,
+) -> CampaignOutcome {
+    let sizes: &[u32] = grouping.groups();
+    // The `T[G]` row, indexed by `G - 4` — one array load per group
+    // instead of a spec lookup per `main_secs` call.
+    let trow = table.main_array();
+    let tp = table.post_secs();
+    let nm = inst.nm;
+
+    // Post model: one fused post step, or the Figure 1 chain with the
+    // constants rescaled by the table's post/180 cluster-speed ratio.
+    let (steps, pre, last_step): ([f64; 3], f64, u8) = match config.granularity {
+        Granularity::Fused => ([tp, 0.0, 0.0], 0.0, 0),
+        Granularity::Unfused => {
+            let speed = tp / FUSED_POST_SECS;
+            (
+                [COF_SECS * speed, EMF_SECS * speed, CD_SECS * speed],
+                FUSED_PRE_SECS * speed,
+                2,
+            )
+        }
+    };
+
+    let Scratch {
+        durs,
+        bases,
+        busy,
+        running,
+        waiting,
+        months_done,
+        idle,
+        dead,
+        chain,
+        post_pool,
+    } = scratch;
+    durs.clear();
+    match config.granularity {
+        Granularity::Fused => durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize])),
+        // The table's main duration includes the pre tasks already;
+        // subtract the scaled pre and add it back so the group span
+        // equals the fused duration *bitwise*.
+        Granularity::Unfused => durs.extend(
+            sizes
+                .iter()
+                .map(|&g| (trow[(g - MIN_PROCS) as usize] - pre) + pre),
+        ),
+    }
+    let durs: &[f64] = durs;
+
+    // Processor layout: groups first (descending sizes, canonical),
+    // then the dedicated post pool; any remainder stays idle forever.
+    bases.clear();
+    let mut acc = 0u32;
+    for &g in sizes {
+        bases.push(acc);
+        acc += g;
+    }
+    let bases: &[u32] = bases;
+    let post_base = acc;
+
+    // Failures in time order; ties keep plan order (stable sort).
+    let mut failures = plan.failures.clone();
+    failures.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let mut next_failure = 0usize;
+
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            0.0,
+            EventKind::CampaignBegin {
+                ns: inst.ns,
+                nm: inst.nm,
+                r: inst.r,
+                groups: sizes.to_vec(),
+                post_procs: grouping.post_procs,
+            },
+        ));
+    }
+
+    // Records become a `Schedule` only when every task provably runs
+    // exactly once: fused granularity, nothing to inject. The arena is
+    // then the one allocation of the run, pre-sized to its exact final
+    // length.
+    let record = config.granularity == Granularity::Fused && failures.is_empty();
+    let mut records: Vec<TaskRecord> = if record {
+        Vec::with_capacity(inst.nbtasks() as usize * 2)
+    } else {
+        Vec::new()
+    };
+
+    busy.clear();
+    busy.reserve(sizes.len());
+    running.clear();
+    running.resize(sizes.len(), None); // (scenario, start)
+    waiting.reset(config.policy, inst.ns);
+    months_done.clear();
+    months_done.resize(inst.ns as usize, 0);
+    let mut unfinished = inst.ns as usize;
+    idle.clear();
+    idle.extend(0..sizes.len());
+    idle.sort_unstable_by_key(|&g| (sizes[g], g));
+    let mut alive = sizes.len();
+    dead.clear();
+    dead.resize(sizes.len(), false);
+
+    chain.clear();
+    chain.reserve(inst.nbtasks() as usize);
+    let mut seq: u64 = 0;
+    post_pool.clear();
+    post_pool.reserve(inst.r as usize);
+    for p in 0..grouping.post_procs {
+        post_pool.push(Reverse((Time(0.0), post_base + p)));
+    }
+
+    let mut lost_proc_secs = 0.0f64;
+    let mut months_lost = 0u32;
+
+    // One assignment + disband pass; mirrors `oa_sched::estimate`.
+    macro_rules! assign {
+        ($now:expr) => {{
+            let now: f64 = $now;
+            while !idle.is_empty() && !waiting.is_empty() {
+                let g = idle.pop().expect("non-empty"); // largest idle group
+                let s = waiting.pop().expect("non-empty");
+                running[g] = Some((s, now));
+                busy.push(Reverse((Time(now + durs[g]), g)));
+                if tracer.enabled() {
+                    let task = FusedTask::main(s, months_done[s as usize]);
+                    tracer.record(TraceEvent::at(
+                        now,
+                        EventKind::TaskDispatch {
+                            task,
+                            group: Some(g as u32),
+                            queue_depth: waiting.len() as u32,
+                        },
+                    ));
+                    tracer.record(TraceEvent::at(
+                        now,
+                        EventKind::TaskStart {
+                            task,
+                            first_proc: bases[g],
+                            procs: sizes[g],
+                            group: Some(g as u32),
+                        },
+                    ));
+                }
+            }
+            while !idle.is_empty() && alive > unfinished {
+                let g = idle.remove(0); // smallest idle group disbands
+                alive -= 1;
+                for p in 0..sizes[g] {
+                    post_pool.push(Reverse((Time(now), bases[g] + p)));
+                }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        now,
+                        EventKind::GroupDisband {
+                            group: g as u32,
+                            procs: sizes[g],
+                        },
+                    ));
+                }
+            }
+        }};
+    }
+
+    // Applies one `(group, time)` failure under the configured
+    // recovery, charging destroyed work to the loss accumulators.
+    // Double kills and failures of already-disbanded groups are no-ops
+    // (`None`); a kill that lands returns its damage assessment.
+    macro_rules! process_failure {
+        ($g:expr, $tf:expr) => {{
+            let (g, tf): (usize, f64) = ($g, $tf);
+            if dead[g] {
+                None // double kill: no-op
+            } else if let Some((s, started)) = running[g].take() {
+                // In-flight month lost.
+                let lost = (tf - started).max(0.0) * sizes[g] as f64;
+                lost_proc_secs += lost;
+                months_lost += 1;
+                if config.recovery == Recovery::RestartScenario {
+                    months_done[s as usize] = 0;
+                }
+                waiting.push(months_done[s as usize], s);
+                dead[g] = true;
+                alive -= 1;
+                Some(FailureImpact {
+                    victim: Some((s, months_done[s as usize])),
+                    lost_proc_secs: lost,
+                    months_lost: 1,
+                })
+            } else {
+                // A group that already disbanded is not in `idle` nor
+                // `running`; its processors belong to the post pool now
+                // — ignore (documented in `failures`).
+                let key = (sizes[g], g);
+                let pos = match idle.binary_search_by_key(&key, |&x| (sizes[x], x)) {
+                    Ok(p) | Err(p) => p,
+                };
+                if pos < idle.len() && idle[pos] == g {
+                    idle.remove(pos);
+                    dead[g] = true;
+                    alive -= 1;
+                    Some(FailureImpact {
+                        victim: None,
+                        lost_proc_secs: 0.0,
+                        months_lost: 0,
+                    })
+                } else {
+                    None
+                }
+            }
+        }};
+    }
+
+    macro_rules! stranded {
+        () => {{
+            let completed: u64 = months_done.iter().map(|&m| u64::from(m)).sum();
+            return CampaignOutcome::Stranded {
+                completed_months: completed,
+            };
+        }};
+    }
+
+    assign!(0.0);
+
+    let mut main_finish = 0.0f64;
+    loop {
+        // Choose the next event: completion or failure.
+        let completion_time = busy.peek().map(|Reverse((Time(t), _))| *t);
+        let failure_time = failures.get(next_failure).map(|&(_, t)| t);
+        match (completion_time, failure_time) {
+            (None, None) => break,
+            (Some(tc), Some(tf)) if tf <= tc => {
+                let failure = failures[next_failure];
+                let impact = process_failure!(failure.0, failure.1);
+                if tracer.enabled() {
+                    emit_failure(tracer, failure, impact.as_ref());
+                }
+                next_failure += 1;
+                assign!(tf);
+            }
+            (None, Some(tf)) => {
+                let failure = failures[next_failure];
+                let impact = process_failure!(failure.0, failure.1);
+                if tracer.enabled() {
+                    emit_failure(tracer, failure, impact.as_ref());
+                }
+                next_failure += 1;
+                if alive == 0 && unfinished > 0 {
+                    // Nothing can run the remaining months.
+                    stranded!();
+                }
+                assign!(tf);
+            }
+            (Some(_), _) => {
+                let Reverse((Time(t), g)) = busy.pop().expect("peeked");
+                if dead[g] {
+                    continue; // stale completion of a crashed group
+                }
+                let (s, started) = running[g].take().expect("busy group has a scenario");
+                let month = months_done[s as usize];
+                months_done[s as usize] += 1;
+                main_finish = t;
+                if record {
+                    records.push(TaskRecord {
+                        task: FusedTask::main(s, month),
+                        procs: ProcRange {
+                            first: bases[g],
+                            count: sizes[g],
+                        },
+                        start: started,
+                        end: t,
+                        group: Some(g as u32),
+                    });
+                }
+                chain.push(Reverse((Time(t), 0, seq, s, month)));
+                seq += 1;
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        t,
+                        EventKind::TaskFinish {
+                            task: FusedTask::main(s, month),
+                            first_proc: bases[g],
+                            procs: sizes[g],
+                            group: Some(g as u32),
+                            secs: t - started,
+                        },
+                    ));
+                }
+                if months_done[s as usize] == nm {
+                    unfinished -= 1;
+                } else {
+                    waiting.push(months_done[s as usize], s);
+                }
+                let pos = idle
+                    .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
+                    .unwrap_err();
+                idle.insert(pos, g);
+                assign!(t);
+            }
+        }
+        if unfinished > 0 && alive == 0 && busy.is_empty() {
+            stranded!();
+        }
+    }
+
+    if unfinished > 0 {
+        stranded!();
+    }
+
+    // Posts: the ready chain drains through the pool, earliest-ready
+    // first (FIFO for fused — completions are chronological), each
+    // taking the earliest-available processor. If the pool is empty
+    // every group died without disbanding: no post capacity exists.
+    if post_pool.is_empty() {
+        stranded!();
+    }
+    let mut post_finish = 0.0f64;
+    while let Some(Reverse((Time(ready), step, _, s, month))) = chain.pop() {
+        let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
+        let start = if avail > ready { avail } else { ready };
+        let end = start + steps[step as usize];
+        post_pool.push(Reverse((Time(end), proc)));
+        let task = match config.granularity {
+            Granularity::Fused => FusedTask::post(s, month),
+            Granularity::Unfused => FusedTask {
+                scenario: s,
+                month,
+                kind: STEP_KINDS[step as usize],
+            },
+        };
+        if record {
+            records.push(TaskRecord {
+                task,
+                procs: ProcRange::single(proc),
+                start,
+                end,
+                group: None,
+            });
+        }
+        if tracer.enabled() {
+            tracer.record(TraceEvent::at(
+                start,
+                EventKind::TaskStart {
+                    task,
+                    first_proc: proc,
+                    procs: 1,
+                    group: None,
+                },
+            ));
+            tracer.record(TraceEvent::at(
+                end,
+                EventKind::TaskFinish {
+                    task,
+                    first_proc: proc,
+                    procs: 1,
+                    group: None,
+                    secs: end - start,
+                },
+            ));
+        }
+        if step < last_step {
+            chain.push(Reverse((Time(end), step + 1, seq, s, month)));
+            seq += 1;
+        } else {
+            post_finish = post_finish.max(end);
+        }
+    }
+
+    let makespan = main_finish.max(post_finish);
+    if tracer.enabled() {
+        tracer.record(TraceEvent::at(
+            makespan,
+            EventKind::CampaignEnd { makespan },
+        ));
+    }
+
+    let schedule = if record {
+        let schedule = Schedule {
+            instance: inst,
+            records,
+            makespan,
+        };
+        // In debug builds, run the full schedule-layer rule set (OA008–
+        // OA015) over every schedule the engine produces: a cheap,
+        // always-on oracle that any future change to the event loop
+        // still respects multiplicity, dependences and processor
+        // exclusivity.
+        #[cfg(debug_assertions)]
+        {
+            let report = schedule.analyze();
+            debug_assert!(
+                !report.has_errors(),
+                "engine produced an invalid schedule:\n{}",
+                report.render_text()
+            );
+        }
+        Some(schedule)
+    } else {
+        None
+    };
+
+    CampaignOutcome::Completed(CampaignRun {
+        schedule,
+        makespan,
+        main_finish,
+        post_finish,
+        lost_proc_secs,
+        months_lost,
+    })
+}

@@ -6,152 +6,23 @@
 //! disbanding, FIFO posts), but with concrete processor placement and
 //! full task records — plus alternative scenario-selection policies for
 //! the ablation benches.
-
-use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
-use serde::{Deserialize, Serialize};
+//!
+//! Since the engine refactor this module is a thin configuration of
+//! [`crate::engine::simulate_campaign`]: fused granularity, no faults,
+//! schedule recording on. The event loop itself lives in
+//! [`crate::engine`].
 
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
-use oa_sched::time::Time;
-use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
-use oa_workflow::fusion::FusedTask;
-use oa_workflow::task::MIN_PROCS;
+use oa_sched::policy::{CampaignConfig, FaultPlan};
+use oa_trace::{NullTracer, Tracer};
+use serde::{Deserialize, Serialize};
 
-use crate::schedule::{ProcRange, Schedule, TaskRecord};
+use crate::engine::{simulate_campaign, CampaignOutcome};
+use crate::schedule::Schedule;
 
-/// How a freed group chooses among waiting scenarios.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum ScenarioPolicy {
-    /// The paper's policy: the scenario with the fewest completed
-    /// months ("the month of the less advanced simulation waiting").
-    #[default]
-    LeastAdvanced,
-    /// First-come-first-served over readiness events.
-    RoundRobin,
-    /// Adversarial ablation: the most advanced scenario first.
-    MostAdvanced,
-}
-
-/// Scenario queue supporting the three policies.
-enum Waiting {
-    Least(BinaryHeap<Reverse<(u32, u32)>>),
-    Fifo(VecDeque<u32>),
-    Most(BinaryHeap<(u32, u32)>),
-}
-
-impl Waiting {
-    fn new(policy: ScenarioPolicy, ns: u32) -> Self {
-        match policy {
-            ScenarioPolicy::LeastAdvanced => {
-                Waiting::Least((0..ns).map(|s| Reverse((0, s))).collect())
-            }
-            ScenarioPolicy::RoundRobin => Waiting::Fifo((0..ns).collect()),
-            ScenarioPolicy::MostAdvanced => Waiting::Most((0..ns).map(|s| (0, s)).collect()),
-        }
-    }
-
-    fn push(&mut self, months_done: u32, s: u32) {
-        match self {
-            Waiting::Least(h) => h.push(Reverse((months_done, s))),
-            Waiting::Fifo(q) => q.push_back(s),
-            Waiting::Most(h) => h.push((months_done, s)),
-        }
-    }
-
-    fn pop(&mut self) -> Option<u32> {
-        match self {
-            Waiting::Least(h) => h.pop().map(|Reverse((_, s))| s),
-            Waiting::Fifo(q) => q.pop_front(),
-            Waiting::Most(h) => h.pop().map(|(_, s)| s),
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        match self {
-            Waiting::Least(h) => h.is_empty(),
-            Waiting::Fifo(q) => q.is_empty(),
-            Waiting::Most(h) => h.is_empty(),
-        }
-    }
-
-    fn len(&self) -> usize {
-        match self {
-            Waiting::Least(h) => h.len(),
-            Waiting::Fifo(q) => q.len(),
-            Waiting::Most(h) => h.len(),
-        }
-    }
-
-    /// Refills the queue with all `ns` scenarios at zero completed
-    /// months, reusing the existing allocation when the policy matches
-    /// (it always does across the points of one sweep).
-    fn reset(&mut self, policy: ScenarioPolicy, ns: u32) {
-        match (&mut *self, policy) {
-            (Waiting::Least(h), ScenarioPolicy::LeastAdvanced) => {
-                h.clear();
-                h.extend((0..ns).map(|s| Reverse((0, s))));
-            }
-            (Waiting::Fifo(q), ScenarioPolicy::RoundRobin) => {
-                q.clear();
-                q.extend(0..ns);
-            }
-            (Waiting::Most(h), ScenarioPolicy::MostAdvanced) => {
-                h.clear();
-                h.extend((0..ns).map(|s| (0, s)));
-            }
-            (slot, _) => *slot = Waiting::new(policy, ns),
-        }
-    }
-}
-
-/// Reusable event-loop state: the sweeps execute thousands of
-/// campaigns back to back, and clearing these collections (capacity
-/// preserved) makes each run allocation-free apart from the returned
-/// record arena. Thread-local, so every `oa-par` worker owns its own.
-struct Scratch {
-    /// Per-group main duration, `T[sizes[i]]`.
-    durs: Vec<f64>,
-    /// First processor id of each group.
-    bases: Vec<u32>,
-    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
-    busy: BinaryHeap<Reverse<(Time, usize)>>,
-    /// Per-group (scenario, start time) while running.
-    running: Vec<Option<(u32, f64)>>,
-    /// Waiting scenarios under the configured policy.
-    waiting: Waiting,
-    /// Months completed per scenario.
-    months_done: Vec<u32>,
-    /// Idle groups, sorted ascending by (size, index).
-    idle: Vec<usize>,
-    /// (ready time, post task), in main-completion order.
-    post_ready: Vec<(f64, FusedTask)>,
-    /// Post-processor pool: (availability, processor id).
-    post_pool: BinaryHeap<Reverse<(Time, u32)>>,
-}
-
-impl Default for Scratch {
-    fn default() -> Self {
-        Self {
-            durs: Vec::new(),
-            bases: Vec::new(),
-            busy: BinaryHeap::new(),
-            running: Vec::new(),
-            waiting: Waiting::Least(BinaryHeap::new()),
-            months_done: Vec::new(),
-            idle: Vec::new(),
-            post_ready: Vec::new(),
-            post_pool: BinaryHeap::new(),
-        }
-    }
-}
-
-thread_local! {
-    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
-}
+pub use oa_sched::policy::ScenarioPolicy;
 
 /// Executor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -170,11 +41,11 @@ pub fn execute(
     execute_traced(inst, table, grouping, config, &mut NullTracer)
 }
 
-/// Runs the campaign, streaming [`TraceEvent`]s into `tracer` as the
-/// simulation unfolds: campaign begin/end, a dispatch + start per task
-/// assignment, a finish per completion, and a disband per surplus
-/// group. With [`NullTracer`] (the [`execute`] default) no event is
-/// even constructed, so the untraced path costs nothing extra.
+/// Runs the campaign, streaming [`oa_trace::TraceEvent`]s into `tracer`
+/// as the simulation unfolds: campaign begin/end, a dispatch + start
+/// per task assignment, a finish per completion, and a disband per
+/// surplus group. With [`NullTracer`] (the [`execute`] default) no
+/// event is even constructed, so the untraced path costs nothing extra.
 pub fn execute_traced<T: Tracer>(
     inst: Instance,
     table: &TimingTable,
@@ -182,286 +53,15 @@ pub fn execute_traced<T: Tracer>(
     config: ExecConfig,
     tracer: &mut T,
 ) -> Result<Schedule, GroupingError> {
-    grouping.validate(inst)?;
-    SCRATCH.with(|cell| {
-        Ok(run(
-            inst,
-            table,
-            grouping,
-            config,
-            tracer,
-            &mut cell.borrow_mut(),
-        ))
-    })
-}
-
-/// The event loop proper, on pre-validated input and reusable state.
-fn run<T: Tracer>(
-    inst: Instance,
-    table: &TimingTable,
-    grouping: &Grouping,
-    config: ExecConfig,
-    tracer: &mut T,
-    scratch: &mut Scratch,
-) -> Schedule {
-    let sizes: &[u32] = grouping.groups();
-    // The `T[G]` row, indexed by `G - 4` — one array load per group
-    // instead of a spec lookup per `main_secs` call.
-    let trow = table.main_array();
-    let tp = table.post_secs();
-    let nm = inst.nm;
-
-    let Scratch {
-        durs,
-        bases,
-        busy,
-        running,
-        waiting,
-        months_done,
-        idle,
-        post_ready,
-        post_pool,
-    } = scratch;
-    durs.clear();
-    durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize]));
-    let durs: &[f64] = durs;
-
-    // Processor layout: groups first (descending sizes, canonical),
-    // then the dedicated post pool; any remainder stays idle forever.
-    bases.clear();
-    let mut acc = 0u32;
-    for &g in sizes {
-        bases.push(acc);
-        acc += g;
-    }
-    let bases: &[u32] = bases;
-    let post_base = acc;
-
-    if tracer.enabled() {
-        tracer.record(TraceEvent::at(
-            0.0,
-            EventKind::CampaignBegin {
-                ns: inst.ns,
-                nm: inst.nm,
-                r: inst.r,
-                groups: sizes.to_vec(),
-                post_procs: grouping.post_procs,
-            },
-        ));
-    }
-
-    // The record arena is the one allocation of the run — it is the
-    // returned schedule, pre-sized to its exact final length.
-    let mut records: Vec<TaskRecord> = Vec::with_capacity(inst.nbtasks() as usize * 2);
-
-    busy.clear();
-    busy.reserve(sizes.len());
-    running.clear();
-    running.resize(sizes.len(), None); // (scenario, start)
-    waiting.reset(config.policy, inst.ns);
-    months_done.clear();
-    months_done.resize(inst.ns as usize, 0);
-    let mut unfinished = inst.ns as usize;
-    idle.clear();
-    idle.extend(0..sizes.len());
-    idle.sort_unstable_by_key(|&g| (sizes[g], g));
-    let mut alive = sizes.len();
-
-    // Post machinery: ready queue (filled in completion order) and the
-    // processor pool (avail, proc id).
-    post_ready.clear();
-    post_ready.reserve(inst.nbtasks() as usize);
-    post_pool.clear();
-    post_pool.reserve(inst.r as usize);
-    for p in 0..grouping.post_procs {
-        post_pool.push(Reverse((Time(0.0), post_base + p)));
-    }
-
-    let assign = |now: f64,
-                  idle: &mut Vec<usize>,
-                  waiting: &mut Waiting,
-                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
-                  running: &mut Vec<Option<(u32, f64)>>,
-                  alive: &mut usize,
-                  unfinished: usize,
-                  post_pool: &mut BinaryHeap<Reverse<(Time, u32)>>,
-                  months_done: &[u32],
-                  tracer: &mut T| {
-        while !idle.is_empty() && !waiting.is_empty() {
-            let g = idle.pop().expect("non-empty"); // largest idle group
-            let s = waiting.pop().expect("non-empty");
-            running[g] = Some((s, now));
-            busy.push(Reverse((Time(now + durs[g]), g)));
-            if tracer.enabled() {
-                let task = FusedTask::main(s, months_done[s as usize]);
-                tracer.record(TraceEvent::at(
-                    now,
-                    EventKind::TaskDispatch {
-                        task,
-                        group: Some(g as u32),
-                        queue_depth: waiting.len() as u32,
-                    },
-                ));
-                tracer.record(TraceEvent::at(
-                    now,
-                    EventKind::TaskStart {
-                        task,
-                        first_proc: bases[g],
-                        procs: sizes[g],
-                        group: Some(g as u32),
-                    },
-                ));
-            }
-        }
-        while !idle.is_empty() && *alive > unfinished {
-            let g = idle.remove(0); // smallest idle group disbands
-            *alive -= 1;
-            for p in 0..sizes[g] {
-                post_pool.push(Reverse((Time(now), bases[g] + p)));
-            }
-            if tracer.enabled() {
-                tracer.record(TraceEvent::at(
-                    now,
-                    EventKind::GroupDisband {
-                        group: g as u32,
-                        procs: sizes[g],
-                    },
-                ));
-            }
-        }
-    };
-
-    assign(
-        0.0,
-        &mut *idle,
-        &mut *waiting,
-        &mut *busy,
-        &mut *running,
-        &mut alive,
-        unfinished,
-        &mut *post_pool,
-        &*months_done,
-        tracer,
-    );
-
-    let mut main_finish = 0.0f64;
-    while let Some(Reverse((Time(t), g))) = busy.pop() {
-        let (s, started) = running[g].take().expect("busy group has a scenario");
-        let month = months_done[s as usize];
-        months_done[s as usize] += 1;
-        main_finish = t;
-        records.push(TaskRecord {
-            task: FusedTask::main(s, month),
-            procs: ProcRange {
-                first: bases[g],
-                count: sizes[g],
-            },
-            start: started,
-            end: t,
-            group: Some(g as u32),
-        });
-        post_ready.push((t, FusedTask::post(s, month)));
-        if tracer.enabled() {
-            tracer.record(TraceEvent::at(
-                t,
-                EventKind::TaskFinish {
-                    task: FusedTask::main(s, month),
-                    first_proc: bases[g],
-                    procs: sizes[g],
-                    group: Some(g as u32),
-                    secs: t - started,
-                },
-            ));
-        }
-        if months_done[s as usize] == nm {
-            unfinished -= 1;
-        } else {
-            waiting.push(months_done[s as usize], s);
-        }
-        let pos = idle
-            .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
-            .unwrap_err();
-        idle.insert(pos, g);
-        assign(
-            t,
-            &mut *idle,
-            &mut *waiting,
-            &mut *busy,
-            &mut *running,
-            &mut alive,
-            unfinished,
-            &mut *post_pool,
-            &*months_done,
-            tracer,
-        );
-    }
-    debug_assert_eq!(unfinished, 0);
-
-    // Posts: FIFO on the pool; earliest-available processor first.
-    let mut post_finish = 0.0f64;
-    for &(ready, task) in post_ready.iter() {
-        let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
-        let start = if avail > ready { avail } else { ready };
-        let end = start + tp;
-        post_finish = post_finish.max(end);
-        records.push(TaskRecord {
-            task,
-            procs: ProcRange::single(proc),
-            start,
-            end,
-            group: None,
-        });
-        post_pool.push(Reverse((Time(end), proc)));
-        if tracer.enabled() {
-            tracer.record(TraceEvent::at(
-                start,
-                EventKind::TaskStart {
-                    task,
-                    first_proc: proc,
-                    procs: 1,
-                    group: None,
-                },
-            ));
-            tracer.record(TraceEvent::at(
-                end,
-                EventKind::TaskFinish {
-                    task,
-                    first_proc: proc,
-                    procs: 1,
-                    group: None,
-                    secs: end - start,
-                },
-            ));
+    let config = CampaignConfig::fused(config.policy);
+    match simulate_campaign(inst, table, grouping, &config, &FaultPlan::none(), tracer)? {
+        CampaignOutcome::Completed(run) => Ok(run
+            .schedule
+            .expect("fused fault-free runs record a schedule")),
+        CampaignOutcome::Stranded { .. } => {
+            unreachable!("an empty fault plan cannot strand the campaign")
         }
     }
-
-    let schedule = Schedule {
-        instance: inst,
-        records,
-        makespan: main_finish.max(post_finish),
-    };
-    if tracer.enabled() {
-        tracer.record(TraceEvent::at(
-            schedule.makespan,
-            EventKind::CampaignEnd {
-                makespan: schedule.makespan,
-            },
-        ));
-    }
-    // In debug builds, run the full schedule-layer rule set (OA008–
-    // OA015) over every schedule the executor produces: a cheap,
-    // always-on oracle that any future change to the event loop still
-    // respects multiplicity, dependences and processor exclusivity.
-    #[cfg(debug_assertions)]
-    {
-        let report = schedule.analyze();
-        debug_assert!(
-            !report.has_errors(),
-            "executor produced an invalid schedule:\n{}",
-            report.render_text()
-        );
-    }
-    schedule
 }
 
 /// Executes with the paper's default policy.

@@ -25,51 +25,23 @@
 //! a group that already disbanded are ignored — the machines left the
 //! group before dying, and post-pool shrinkage is a second-order
 //! effect this model does not track.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! Since the engine refactor this module is a thin configuration of
+//! [`crate::engine::simulate_campaign`] (fused granularity, fault plan
+//! active); the failure hook itself lives in the engine, where it also
+//! composes with unfused granularity and the policy ablations.
 
 use serde::{Deserialize, Serialize};
 
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
-use oa_sched::time::Time;
-use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer};
-use oa_workflow::fusion::FusedTask;
+use oa_sched::policy::{CampaignConfig, Granularity, ScenarioPolicy};
+use oa_trace::{NullTracer, Tracer};
 
-/// What a crashed scenario resumes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum Recovery {
-    /// Resume from the last completed month (the application's restart
-    /// files — the realistic model).
-    #[default]
-    MonthlyCheckpoint,
-    /// Restart the scenario from month 0 (counterfactual: no
-    /// checkpoints).
-    RestartScenario,
-}
+use crate::engine::{simulate_campaign, CampaignOutcome};
 
-/// A failure plan: `(group index, time)` pairs. Group indices refer to
-/// the canonical (descending-size) order of the grouping.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
-pub struct FaultPlan {
-    /// Failures to inject.
-    pub failures: Vec<(usize, f64)>,
-}
-
-impl FaultPlan {
-    /// No failures.
-    pub fn none() -> Self {
-        Self::default()
-    }
-
-    /// Kills group `g` at `time`.
-    pub fn kill(mut self, g: usize, time: f64) -> Self {
-        self.failures.push((g, time));
-        self
-    }
-}
+pub use oa_sched::policy::{FaultPlan, Recovery};
 
 /// Outcome of a faulty execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,153 +60,6 @@ pub enum FaultyOutcome {
         /// Months completed before the grid went dark.
         completed_months: u64,
     },
-}
-
-/// The mutable state of the group fleet during a faulty execution:
-/// which groups are dead, idle or running, which scenarios wait, and
-/// how far each has advanced. Bundled so failure handling is a method
-/// instead of a function threading a dozen loose references.
-struct Fleet {
-    /// Canonical group sizes (descending).
-    sizes: Vec<u32>,
-    /// `dead[g]`: group `g` crashed and never returns.
-    dead: Vec<bool>,
-    /// `running[g] = (scenario, start time)`; `None` = not running.
-    running: Vec<Option<(u32, f64)>>,
-    /// Idle groups, kept sorted by `(size, index)`.
-    idle: Vec<usize>,
-    /// Groups neither dead nor disbanded.
-    alive: usize,
-    /// Scenarios awaiting a group, least-advanced first.
-    waiting: BinaryHeap<Reverse<(u32, u32)>>,
-    /// Months completed per scenario.
-    months_done: Vec<u32>,
-}
-
-/// Work destroyed by crashes, accumulated across failures.
-#[derive(Default)]
-struct Losses {
-    /// Processor-seconds of in-flight work lost.
-    proc_secs: f64,
-    /// Months whose in-flight run was lost.
-    months: u32,
-}
-
-/// What one processed failure actually destroyed — the damage
-/// assessment the trace layer reports as a `FailureDetect` event.
-struct FailureImpact {
-    /// The scenario whose in-flight month died, with the month it will
-    /// resume from (`None` when the group was idle).
-    victim: Option<(u32, u32)>,
-    /// Processor-seconds destroyed.
-    lost_proc_secs: f64,
-    /// Months of progress destroyed.
-    months_lost: u32,
-}
-
-impl Fleet {
-    fn new(ns: u32, sizes: Vec<u32>) -> Self {
-        let mut idle: Vec<usize> = (0..sizes.len()).collect();
-        idle.sort_unstable_by_key(|&g| (sizes[g], g));
-        Self {
-            alive: sizes.len(),
-            dead: vec![false; sizes.len()],
-            running: vec![None; sizes.len()],
-            idle,
-            waiting: (0..ns).map(|s| Reverse((0, s))).collect(),
-            months_done: vec![0u32; ns as usize],
-            sizes,
-        }
-    }
-
-    /// Applies one `(group, time)` failure under `recovery`, charging
-    /// destroyed work to `losses`. Double kills and failures of
-    /// already-disbanded groups are no-ops (`None`); a kill that lands
-    /// returns its damage assessment.
-    fn process_failure(
-        &mut self,
-        failure: (usize, f64),
-        recovery: Recovery,
-        losses: &mut Losses,
-    ) -> Option<FailureImpact> {
-        let (g, tf) = failure;
-        if self.dead[g] {
-            return None; // double kill: no-op
-        }
-        // A group that already disbanded is not in `idle` nor `running`;
-        // its processors belong to the post pool now — ignore (documented).
-        if let Some((s, started)) = self.running[g].take() {
-            // In-flight month lost.
-            let lost = (tf - started).max(0.0) * self.sizes[g] as f64;
-            losses.proc_secs += lost;
-            losses.months += 1;
-            match recovery {
-                Recovery::MonthlyCheckpoint => {}
-                Recovery::RestartScenario => {
-                    self.months_done[s as usize] = 0;
-                }
-            }
-            self.waiting
-                .push(Reverse((self.months_done[s as usize], s)));
-            self.dead[g] = true;
-            self.alive -= 1;
-            Some(FailureImpact {
-                victim: Some((s, self.months_done[s as usize])),
-                lost_proc_secs: lost,
-                months_lost: 1,
-            })
-        } else {
-            let key = (self.sizes[g], g);
-            let pos = match self
-                .idle
-                .binary_search_by_key(&key, |&x| (self.sizes[x], x))
-            {
-                Ok(p) | Err(p) => p,
-            };
-            if pos < self.idle.len() && self.idle[pos] == g {
-                self.idle.remove(pos);
-                self.dead[g] = true;
-                self.alive -= 1;
-                Some(FailureImpact {
-                    victim: None,
-                    lost_proc_secs: 0.0,
-                    months_lost: 0,
-                })
-            } else {
-                // The group already disbanded — ignore.
-                None
-            }
-        }
-    }
-}
-
-/// Emits the inject/detect/recover event triple for one processed
-/// failure (inject always; detect and recover only if the kill landed).
-fn emit_failure<T: Tracer>(tracer: &mut T, failure: (usize, f64), impact: Option<&FailureImpact>) {
-    let (g, tf) = failure;
-    tracer.record(TraceEvent::at(
-        tf,
-        EventKind::FailureInject { group: g as u32 },
-    ));
-    let Some(im) = impact else { return };
-    tracer.record(TraceEvent::at(
-        tf,
-        EventKind::FailureDetect {
-            group: g as u32,
-            victim: im.victim.map(|(s, _)| s),
-            lost_proc_secs: im.lost_proc_secs,
-            months_lost: im.months_lost,
-        },
-    ));
-    if let Some((s, m)) = im.victim {
-        tracer.record(TraceEvent::at(
-            tf,
-            EventKind::Recover {
-                scenario: s,
-                resume_month: m,
-            },
-        ));
-    }
 }
 
 /// Executes `inst` under `grouping` with failures from `plan`.
@@ -260,247 +85,23 @@ pub fn estimate_with_failures_traced<T: Tracer>(
     recovery: Recovery,
     tracer: &mut T,
 ) -> Result<FaultyOutcome, GroupingError> {
-    grouping.validate(inst)?;
-    let sizes: Vec<u32> = grouping.groups().to_vec();
-    let durs: Vec<f64> = sizes.iter().map(|&g| table.main_secs(g)).collect();
-    let tp = table.post_secs();
-    let nm = inst.nm;
-
-    // Processor layout (for event reporting only): groups first, in
-    // canonical order, then the dedicated post pool.
-    let mut bases: Vec<u32> = Vec::with_capacity(sizes.len());
-    let mut acc = 0u32;
-    for &g in &sizes {
-        bases.push(acc);
-        acc += g;
-    }
-    let post_base = acc;
-
-    if tracer.enabled() {
-        tracer.record(TraceEvent::at(
-            0.0,
-            EventKind::CampaignBegin {
-                ns: inst.ns,
-                nm: inst.nm,
-                r: inst.r,
-                groups: sizes.clone(),
-                post_procs: grouping.post_procs,
+    let config = CampaignConfig {
+        policy: ScenarioPolicy::LeastAdvanced,
+        granularity: Granularity::Fused,
+        recovery,
+    };
+    Ok(
+        match simulate_campaign(inst, table, grouping, &config, plan, tracer)? {
+            CampaignOutcome::Completed(run) => FaultyOutcome::Completed {
+                makespan: run.makespan,
+                lost_proc_secs: run.lost_proc_secs,
+                months_lost: run.months_lost,
             },
-        ));
-    }
-
-    let mut failures = plan.failures.clone();
-    failures.sort_by(|a, b| a.1.total_cmp(&b.1));
-    for &(g, t) in &failures {
-        assert!(
-            g < sizes.len(),
-            "failure targets group {g}, grouping has {}",
-            sizes.len()
-        );
-        assert!(
-            t.is_finite() && t >= 0.0,
-            "failure time must be a finite non-negative instant"
-        );
-    }
-    let mut next_failure = 0usize;
-
-    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-    let mut fleet = Fleet::new(inst.ns, sizes);
-    let mut unfinished = inst.ns as usize;
-    let mut losses = Losses::default();
-
-    let mut post_ready: Vec<(f64, FusedTask)> = Vec::with_capacity(inst.nbtasks() as usize);
-    // The post pool only collects completed posts' processors: dedicated
-    // ones plus *surviving* disbanded groups. Entries carry the proc id
-    // so trace events can name the processor; ids don't affect timing
-    // (pool slots are interchangeable).
-    let mut pool: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-    for p in 0..grouping.post_procs {
-        pool.push(Reverse((Time(0.0), post_base + p)));
-    }
-
-    let mut main_finish = 0.0f64;
-
-    // One assignment + disband pass; mirrors `oa_sched::estimate`.
-    macro_rules! assign {
-        ($now:expr) => {{
-            while !fleet.idle.is_empty() && unfinished > 0 {
-                let Some(&Reverse((_, s))) = fleet.waiting.peek() else {
-                    break;
-                };
-                let g = fleet.idle.pop().expect("non-empty");
-                fleet.waiting.pop();
-                fleet.running[g] = Some((s, $now));
-                busy.push(Reverse((Time($now + durs[g]), g)));
-                if tracer.enabled() {
-                    let task = FusedTask::main(s, fleet.months_done[s as usize]);
-                    tracer.record(TraceEvent::at(
-                        $now,
-                        EventKind::TaskDispatch {
-                            task,
-                            group: Some(g as u32),
-                            queue_depth: fleet.waiting.len() as u32,
-                        },
-                    ));
-                    tracer.record(TraceEvent::at(
-                        $now,
-                        EventKind::TaskStart {
-                            task,
-                            first_proc: bases[g],
-                            procs: fleet.sizes[g],
-                            group: Some(g as u32),
-                        },
-                    ));
-                }
+            CampaignOutcome::Stranded { completed_months } => {
+                FaultyOutcome::Stranded { completed_months }
             }
-            while !fleet.idle.is_empty() && fleet.alive > unfinished {
-                let g = fleet.idle.remove(0);
-                fleet.alive -= 1;
-                for p in 0..fleet.sizes[g] {
-                    pool.push(Reverse((Time($now), bases[g] + p)));
-                }
-                if tracer.enabled() {
-                    tracer.record(TraceEvent::at(
-                        $now,
-                        EventKind::GroupDisband {
-                            group: g as u32,
-                            procs: fleet.sizes[g],
-                        },
-                    ));
-                }
-            }
-        }};
-    }
-
-    assign!(0.0);
-
-    loop {
-        // Choose the next event: completion or failure.
-        let completion_time = busy.peek().map(|Reverse((Time(t), _))| *t);
-        let failure_time = failures.get(next_failure).map(|&(_, t)| t);
-        match (completion_time, failure_time) {
-            (None, None) => break,
-            (Some(_), Some(tf)) if tf <= completion_time.expect("some") => {
-                let failure = failures[next_failure];
-                let impact = fleet.process_failure(failure, recovery, &mut losses);
-                if tracer.enabled() {
-                    emit_failure(tracer, failure, impact.as_ref());
-                }
-                next_failure += 1;
-                let tf = failures[next_failure - 1].1;
-                assign!(tf);
-            }
-            (None, Some(_)) => {
-                let failure = failures[next_failure];
-                let impact = fleet.process_failure(failure, recovery, &mut losses);
-                if tracer.enabled() {
-                    emit_failure(tracer, failure, impact.as_ref());
-                }
-                next_failure += 1;
-                let tf = failures[next_failure - 1].1;
-                if fleet.alive == 0 && unfinished > 0 {
-                    // Nothing can run the remaining months.
-                    let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
-                    return Ok(FaultyOutcome::Stranded {
-                        completed_months: completed,
-                    });
-                }
-                assign!(tf);
-            }
-            (Some(_), _) => {
-                let Reverse((Time(t), g)) = busy.pop().expect("peeked");
-                if fleet.dead[g] {
-                    continue; // stale completion of a crashed group
-                }
-                let (s, started) = fleet.running[g].take().expect("busy group has a scenario");
-                let month = fleet.months_done[s as usize];
-                fleet.months_done[s as usize] += 1;
-                main_finish = t;
-                post_ready.push((t, FusedTask::post(s, month)));
-                if tracer.enabled() {
-                    tracer.record(TraceEvent::at(
-                        t,
-                        EventKind::TaskFinish {
-                            task: FusedTask::main(s, month),
-                            first_proc: bases[g],
-                            procs: fleet.sizes[g],
-                            group: Some(g as u32),
-                            secs: t - started,
-                        },
-                    ));
-                }
-                if fleet.months_done[s as usize] == nm {
-                    unfinished -= 1;
-                } else {
-                    fleet
-                        .waiting
-                        .push(Reverse((fleet.months_done[s as usize], s)));
-                }
-                let pos = fleet
-                    .idle
-                    .binary_search_by_key(&(fleet.sizes[g], g), |&x| (fleet.sizes[x], x))
-                    .unwrap_err();
-                fleet.idle.insert(pos, g);
-                assign!(t);
-            }
-        }
-        if unfinished > 0 && fleet.alive == 0 && busy.is_empty() {
-            let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
-            return Ok(FaultyOutcome::Stranded {
-                completed_months: completed,
-            });
-        }
-    }
-
-    if unfinished > 0 {
-        let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
-        return Ok(FaultyOutcome::Stranded {
-            completed_months: completed,
-        });
-    }
-
-    // Posts: FIFO on the pool; if the pool is empty every group died
-    // exactly at the end — posts are stranded only if no capacity at
-    // all exists.
-    if pool.is_empty() {
-        let completed: u64 = fleet.months_done.iter().map(|&m| m as u64).sum();
-        return Ok(FaultyOutcome::Stranded {
-            completed_months: completed,
-        });
-    }
-    let mut post_finish = 0.0f64;
-    for (ready, task) in post_ready {
-        let Reverse((Time(avail), proc)) = pool.pop().expect("non-empty");
-        let start = if avail > ready { avail } else { ready };
-        let fin = start + tp;
-        post_finish = post_finish.max(fin);
-        pool.push(Reverse((Time(fin), proc)));
-        if tracer.enabled() {
-            tracer.record(TraceEvent::at(
-                fin,
-                EventKind::TaskFinish {
-                    task,
-                    first_proc: proc,
-                    procs: 1,
-                    group: None,
-                    secs: fin - start,
-                },
-            ));
-        }
-    }
-
-    let makespan = main_finish.max(post_finish);
-    if tracer.enabled() {
-        tracer.record(TraceEvent::at(
-            makespan,
-            EventKind::CampaignEnd { makespan },
-        ));
-    }
-    Ok(FaultyOutcome::Completed {
-        makespan,
-        lost_proc_secs: losses.proc_secs,
-        months_lost: losses.months,
-    })
+        },
+    )
 }
 
 #[cfg(test)]
@@ -676,6 +277,32 @@ mod tests {
         let detect = pos(|k| matches!(k, EventKind::FailureDetect { .. })).unwrap();
         let recover = pos(|k| matches!(k, EventKind::Recover { .. })).unwrap();
         assert!(inject < detect && detect < recover);
+    }
+
+    #[test]
+    fn faults_compose_with_unfused_granularity() {
+        // Fault injection at the seven-task granularity — impossible
+        // before the engine refactor, free now.
+        use crate::engine::{simulate_campaign, CampaignOutcome};
+        use oa_sched::policy::CampaignConfig;
+        let inst = Instance::new(4, 6, 16);
+        let t = flat(100.0, 10.0);
+        let g = oa_sched::grouping::Grouping::uniform(4, 4, 0);
+        let plan = FaultPlan::none().kill(0, 150.0);
+        let config = CampaignConfig {
+            granularity: oa_sched::policy::Granularity::Unfused,
+            ..CampaignConfig::default()
+        };
+        let out =
+            simulate_campaign(inst, &t, &g, &config, &plan, &mut oa_trace::NullTracer).unwrap();
+        let CampaignOutcome::Completed(run) = out else {
+            panic!("should complete");
+        };
+        assert_eq!(run.months_lost, 1);
+        assert!(run.lost_proc_secs > 0.0);
+        // The clean unfused run is strictly faster.
+        let clean = crate::unfused::estimate_unfused(inst, &t, &g).unwrap();
+        assert!(run.makespan > clean.makespan);
     }
 
     #[test]

@@ -14,8 +14,10 @@ use oa_platform::grid::Grid;
 use oa_sched::hetero::{grid_performance, repartition, Repartition};
 use oa_sched::heuristics::{Heuristic, HeuristicError};
 use oa_sched::params::Instance;
+use oa_sched::policy::{CampaignConfig, FaultPlan};
 use oa_trace::{EventKind, NullTracer, TraceEvent, Tracer, TransferKind};
 
+use crate::engine::{simulate_campaign, CampaignOutcome};
 use crate::executor::{execute_traced, ExecConfig};
 use crate::schedule::Schedule;
 use crate::tracing::ClusterTag;
@@ -134,6 +136,134 @@ pub fn execute_repartition_traced<T: Tracer>(
         repartition: plan.clone(),
         clusters,
         makespan,
+    })
+}
+
+/// Per-cluster campaign knobs for a configured grid run: the full
+/// [`CampaignConfig`] (scenario policy × task granularity × recovery
+/// model) plus a [`FaultPlan`] whose group ids are local to the
+/// cluster's grouping. Before the engine refactor each cluster could
+/// only run the fused, fault-free, least-advanced loop.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterCampaign {
+    /// The cluster's event-loop configuration.
+    pub config: CampaignConfig,
+    /// Group failures to inject on this cluster.
+    pub faults: FaultPlan,
+}
+
+/// One cluster's part of a configured grid execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfiguredClusterOutcome {
+    /// Which cluster.
+    pub cluster: ClusterId,
+    /// Global scenario ids this cluster ran (local id = index here).
+    pub scenarios: Vec<u32>,
+    /// The campaign outcome, if any scenarios were assigned.
+    pub outcome: Option<CampaignOutcome>,
+}
+
+impl ConfiguredClusterOutcome {
+    /// Local makespan (0 when idle or stranded).
+    pub fn makespan(&self) -> f64 {
+        self.outcome
+            .as_ref()
+            .and_then(CampaignOutcome::makespan)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Outcome of a configured grid execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfiguredGridOutcome {
+    /// The repartition that was executed.
+    pub repartition: Repartition,
+    /// Per-cluster outcomes, in cluster-id order.
+    pub clusters: Vec<ConfiguredClusterOutcome>,
+    /// Grid makespan: the slowest completed cluster.
+    pub makespan: f64,
+    /// Whether every used cluster completed its campaign (no cluster
+    /// was stranded by its fault plan).
+    pub complete: bool,
+}
+
+/// Plans (via Algorithm 1 on `heuristic`'s performance vectors) and
+/// executes `ns` scenarios of `nm` months on `grid`, with per-cluster
+/// campaign knobs — one [`ClusterCampaign`] per cluster, in id order.
+///
+/// Panics if `campaigns.len() != grid.len()`.
+pub fn run_grid_configured(
+    grid: &Grid,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    campaigns: &[ClusterCampaign],
+) -> Result<ConfiguredGridOutcome, HeuristicError> {
+    let vectors = grid_performance(grid, heuristic, ns, nm);
+    let plan = repartition(&vectors);
+    execute_repartition_configured_traced(grid, &plan, heuristic, nm, campaigns, &mut NullTracer)
+}
+
+/// Executes an existing repartition with per-cluster campaign knobs,
+/// streaming every cluster's events (cluster-stamped, with a `Decision`
+/// per used cluster) into `tracer`. Panics if `campaigns.len() !=
+/// grid.len()`.
+pub fn execute_repartition_configured_traced<T: Tracer>(
+    grid: &Grid,
+    plan: &Repartition,
+    heuristic: Heuristic,
+    nm: u32,
+    campaigns: &[ClusterCampaign],
+    tracer: &mut T,
+) -> Result<ConfiguredGridOutcome, HeuristicError> {
+    assert_eq!(campaigns.len(), grid.len(), "one campaign per cluster");
+    let mut clusters = Vec::with_capacity(grid.len());
+    let mut makespan = 0.0f64;
+    let mut complete = true;
+    for ((id, cluster), campaign) in grid.iter().zip(campaigns) {
+        let scenarios = plan.scenarios_of(id);
+        let outcome = if scenarios.is_empty() {
+            None
+        } else {
+            let inst = Instance::new(scenarios.len() as u32, nm, cluster.resources);
+            let grouping = heuristic.grouping(inst, &cluster.timing)?;
+            let mut tag = ClusterTag::new(tracer, id.0, 0.0);
+            if tag.enabled() {
+                tag.record(TraceEvent::at(
+                    0.0,
+                    EventKind::Decision {
+                        heuristic: heuristic.label().to_string(),
+                        groups: grouping.groups().to_vec(),
+                        post_procs: grouping.post_procs,
+                    },
+                ));
+            }
+            let out = simulate_campaign(
+                inst,
+                &cluster.timing,
+                &grouping,
+                &campaign.config,
+                &campaign.faults,
+                &mut tag,
+            )
+            .expect("heuristics build valid groupings");
+            match &out {
+                CampaignOutcome::Completed(run) => makespan = makespan.max(run.makespan),
+                CampaignOutcome::Stranded { .. } => complete = false,
+            }
+            Some(out)
+        };
+        clusters.push(ConfiguredClusterOutcome {
+            cluster: id,
+            scenarios,
+            outcome,
+        });
+    }
+    Ok(ConfiguredGridOutcome {
+        repartition: plan.clone(),
+        clusters,
+        makespan,
+        complete,
     })
 }
 
@@ -443,6 +573,108 @@ mod tests {
             "{last_repatriation} vs {}",
             out.makespan
         );
+    }
+
+    #[test]
+    fn configured_grid_with_defaults_matches_the_plain_run() {
+        let grid = benchmark_grid(30);
+        let plain = run_grid(&grid, Heuristic::Knapsack, 10, 12, ExecConfig::default()).unwrap();
+        let campaigns = vec![ClusterCampaign::default(); grid.len()];
+        let configured =
+            run_grid_configured(&grid, Heuristic::Knapsack, 10, 12, &campaigns).unwrap();
+        assert!(configured.complete);
+        assert_eq!(configured.makespan.to_bits(), plain.makespan.to_bits());
+        assert_eq!(configured.repartition, plain.repartition);
+        for (c, p) in configured.clusters.iter().zip(&plain.clusters) {
+            assert_eq!(c.scenarios, p.scenarios);
+            assert_eq!(c.makespan().to_bits(), p.makespan().to_bits());
+        }
+    }
+
+    #[test]
+    fn per_cluster_knobs_are_independent() {
+        use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, ScenarioPolicy};
+        let grid = benchmark_grid(30);
+        // Cluster 0 runs unfused + round-robin; cluster 1 takes a
+        // mid-campaign group failure; the rest keep the paper defaults.
+        let mut campaigns = vec![ClusterCampaign::default(); grid.len()];
+        campaigns[0].config = CampaignConfig::unfused(ScenarioPolicy::RoundRobin);
+        campaigns[1].faults = FaultPlan::none().kill(0, 2000.0);
+        let out = run_grid_configured(&grid, Heuristic::Knapsack, 10, 12, &campaigns).unwrap();
+        assert!(out.complete, "one group failure cannot strand a cluster");
+        let defaults = vec![ClusterCampaign::default(); grid.len()];
+        let base = run_grid_configured(&grid, Heuristic::Knapsack, 10, 12, &defaults).unwrap();
+        // Untouched clusters are bitwise unchanged…
+        for i in 2..grid.len() {
+            assert_eq!(
+                out.clusters[i].makespan().to_bits(),
+                base.clusters[i].makespan().to_bits()
+            );
+        }
+        // …and the failure made cluster 1 strictly slower.
+        assert!(out.clusters[1].makespan() > base.clusters[1].makespan());
+        let run = out.clusters[1]
+            .outcome
+            .as_ref()
+            .unwrap()
+            .completed()
+            .unwrap();
+        assert_eq!(run.months_lost, 1);
+        // The unfused cluster still completed with a plausible makespan.
+        assert!(out.clusters[0].makespan() > 0.0);
+        assert_eq!(
+            campaigns[0].config.granularity,
+            Granularity::Unfused,
+            "knob survived the round trip"
+        );
+    }
+
+    #[test]
+    fn killing_every_group_of_a_cluster_strands_the_grid() {
+        use oa_sched::policy::FaultPlan;
+        let grid = benchmark_grid(30);
+        let defaults = vec![ClusterCampaign::default(); grid.len()];
+        let base = run_grid_configured(&grid, Heuristic::Knapsack, 10, 12, &defaults).unwrap();
+        let groups_used = {
+            // Recover the grouping sizes cluster 0 used from its trace.
+            use oa_trace::prelude::*;
+            let mut sink = VecTracer::new();
+            let vectors = grid_performance(&grid, Heuristic::Knapsack, 10, 12);
+            let plan = repartition(&vectors);
+            execute_repartition_configured_traced(
+                &grid,
+                &plan,
+                Heuristic::Knapsack,
+                12,
+                &defaults,
+                &mut sink,
+            )
+            .unwrap();
+            sink.into_events()
+                .iter()
+                .find_map(|e| match (&e.kind, e.cluster) {
+                    (EventKind::Decision { groups, .. }, Some(0)) => Some(groups.len()),
+                    _ => None,
+                })
+                .expect("cluster 0 announces its grouping")
+        };
+        let mut campaigns = defaults;
+        campaigns[0].faults = FaultPlan {
+            failures: (0..groups_used).map(|g| (g, 10.0)).collect(),
+        };
+        let out = run_grid_configured(&grid, Heuristic::Knapsack, 10, 12, &campaigns).unwrap();
+        assert!(!out.complete, "an all-dead cluster strands the grid");
+        assert!(matches!(
+            out.clusters[0].outcome,
+            Some(CampaignOutcome::Stranded { .. })
+        ));
+        // Survivors still finish their own assignments.
+        for i in 1..grid.len() {
+            assert_eq!(
+                out.clusters[i].makespan().to_bits(),
+                base.clusters[i].makespan().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! * [`schedule`] — complete schedules (every task pinned to processors
 //!   and times) with structural validation: multiplicities, DAG
 //!   dependences, processor exclusivity, moldable group sizes;
-//! * [`executor`] — event-driven execution of a grouping under the
-//!   paper's least-advanced-first policy (plus round-robin and
-//!   most-advanced ablations), producing full schedules;
+//! * [`engine`] — the one generic discrete-event campaign loop, driven
+//!   by an `oa_sched::policy::CampaignConfig` (scenario policy × task
+//!   granularity × recovery model) plus a fault plan and a tracer; the
+//!   modules below are thin configurations of it;
+//! * [`executor`] — fused fault-free execution under the paper's
+//!   least-advanced-first policy (plus round-robin and most-advanced
+//!   ablations), producing full schedules;
 //! * [`gantt`] — ASCII Gantt rendering (the paper's Figures 3–6);
 //! * [`metrics`] — utilization, fairness, phase-split accounting;
 //! * [`tracing`] — bridges to the `oa-trace` observability layer:
@@ -38,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod executor;
 pub mod failures;
 pub mod gantt;
@@ -53,6 +58,7 @@ pub mod unfused;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::engine::{simulate_campaign, CampaignOutcome, CampaignRun};
     pub use crate::executor::{
         execute, execute_default, execute_traced, ExecConfig, ScenarioPolicy,
     };
@@ -61,11 +67,14 @@ pub mod prelude {
     };
     pub use crate::gantt::{render, render_default, GanttOptions};
     pub use crate::grid_exec::{
-        execute_repartition, execute_repartition_traced, run_grid, run_grid_traced,
-        run_grid_with_staging, run_grid_with_staging_traced, ClusterOutcome, GridOutcome,
+        execute_repartition, execute_repartition_configured_traced, execute_repartition_traced,
+        run_grid, run_grid_configured, run_grid_traced, run_grid_with_staging,
+        run_grid_with_staging_traced, ClusterCampaign, ClusterOutcome, ConfiguredClusterOutcome,
+        ConfiguredGridOutcome, GridOutcome,
     };
     pub use crate::grid_failures::{
-        run_grid_with_cluster_failure, ClusterFailurePolicy, ClusterFailureSpec, GridFailureOutcome,
+        run_grid_with_cluster_failure, run_grid_with_group_failures, ClusterFailurePolicy,
+        ClusterFailureSpec, GridFailureOutcome,
     };
     pub use crate::metrics::{metrics, metrics_from_events, Metrics};
     pub use crate::persist::{compare, load, save, PersistError, ScheduleDiff};
@@ -73,7 +82,8 @@ pub mod prelude {
     pub use crate::schedule::{ProcRange, Schedule, ScheduleError, TaskRecord};
     pub use crate::tracing::{events_of, ClusterTag};
     pub use crate::transfer::{migration_secs, staging_delays, Link, StagingModel};
-    pub use crate::unfused::{estimate_unfused, UnfusedEstimate};
+    pub use crate::unfused::{estimate_unfused, estimate_unfused_traced, UnfusedEstimate};
+    pub use oa_sched::policy::{CampaignConfig, Granularity};
 }
 
 #[cfg(test)]

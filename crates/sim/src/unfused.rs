@@ -18,17 +18,22 @@
 //! `fusion_ablation` bench quantifies. It is bounded by construction:
 //! fused post occupancy equals the sum of the parts, so only queueing
 //! order can differ.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! Since the engine refactor this module is a thin configuration of
+//! [`crate::engine::simulate_campaign`] (unfused granularity, no faults) —
+//! which also unlocks combinations the legacy loop never had: tracing
+//! ([`estimate_unfused_traced`]) and the scenario-policy ablations.
 
 use serde::{Deserialize, Serialize};
 
 use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
-use oa_sched::time::Time;
-use oa_workflow::task::{CD_SECS, COF_SECS, EMF_SECS, FUSED_POST_SECS, FUSED_PRE_SECS};
+use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery};
+use oa_trace::{NullTracer, Tracer};
+
+use crate::engine::{simulate_campaign, CampaignOutcome};
+use crate::executor::ExecConfig;
 
 /// Aggregates of an unfused execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -50,121 +55,41 @@ pub fn estimate_unfused(
     table: &TimingTable,
     grouping: &Grouping,
 ) -> Result<UnfusedEstimate, GroupingError> {
-    grouping.validate(inst)?;
-    let speed = table.post_secs() / FUSED_POST_SECS;
-    let pre = FUSED_PRE_SECS * speed;
-    let post_steps = [COF_SECS * speed, EMF_SECS * speed, CD_SECS * speed];
-    let sizes: Vec<u32> = grouping.groups().to_vec();
-    // Group time per month: pre + pcr (table.main includes pre already;
-    // subtract the scaled pre to avoid double counting, then add it
-    // back — i.e. the group span equals the fused duration exactly).
-    let durs: Vec<f64> = sizes
-        .iter()
-        .map(|&g| (table.main_secs(g) - pre) + pre)
-        .collect();
-    let nm = inst.nm;
+    estimate_unfused_traced(
+        inst,
+        table,
+        grouping,
+        ExecConfig::default(),
+        &mut NullTracer,
+    )
+}
 
-    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
-    let mut running: Vec<Option<u32>> = vec![None; sizes.len()];
-    let mut waiting: BinaryHeap<Reverse<(u32, u32)>> =
-        (0..inst.ns).map(|s| Reverse((0, s))).collect();
-    let mut months_done = vec![0u32; inst.ns as usize];
-    let mut unfinished = inst.ns as usize;
-    let mut idle: Vec<usize> = (0..sizes.len()).collect();
-    idle.sort_unstable_by_key(|&g| (sizes[g], g));
-    let mut alive = sizes.len();
-
-    // Post sub-task events: (ready_time, step_index). Steps re-enter
-    // the queue as they progress through cof → emf → cd.
-    let mut post_queue: BinaryHeap<Reverse<(Time, u8)>> = BinaryHeap::new();
-    let mut pool: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
-    for _ in 0..grouping.post_procs {
-        pool.push(Reverse(Time(0.0)));
-    }
-
-    let assign = |now: f64,
-                  idle: &mut Vec<usize>,
-                  waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
-                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
-                  running: &mut Vec<Option<u32>>,
-                  alive: &mut usize,
-                  unfinished: usize,
-                  pool: &mut BinaryHeap<Reverse<Time>>| {
-        while !idle.is_empty() {
-            let Some(&Reverse((_, s))) = waiting.peek() else {
-                break;
-            };
-            let g = idle.pop().expect("non-empty");
-            waiting.pop();
-            running[g] = Some(s);
-            busy.push(Reverse((Time(now + durs[g]), g)));
-        }
-        while !idle.is_empty() && *alive > unfinished {
-            let g = idle.remove(0);
-            *alive -= 1;
-            for _ in 0..sizes[g] {
-                pool.push(Reverse(Time(now)));
-            }
-        }
+/// Like [`estimate_unfused`], but under an arbitrary scenario policy
+/// and with the full event story — `cof`/`emf`/`cd` task starts and
+/// finishes included — streamed into `tracer`. Neither combination was
+/// reachable before the engine refactor.
+pub fn estimate_unfused_traced<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: ExecConfig,
+    tracer: &mut T,
+) -> Result<UnfusedEstimate, GroupingError> {
+    let config = CampaignConfig {
+        policy: config.policy,
+        granularity: Granularity::Unfused,
+        recovery: Recovery::MonthlyCheckpoint,
     };
-
-    assign(
-        0.0,
-        &mut idle,
-        &mut waiting,
-        &mut busy,
-        &mut running,
-        &mut alive,
-        unfinished,
-        &mut pool,
-    );
-
-    let mut main_finish = 0.0f64;
-    while let Some(Reverse((Time(t), g))) = busy.pop() {
-        let s = running[g].take().expect("busy");
-        months_done[s as usize] += 1;
-        main_finish = t;
-        post_queue.push(Reverse((Time(t), 0)));
-        if months_done[s as usize] == nm {
-            unfinished -= 1;
-        } else {
-            waiting.push(Reverse((months_done[s as usize], s)));
-        }
-        let pos = idle
-            .binary_search_by_key(&(sizes[g], g), |&x| (sizes[x], x))
-            .unwrap_err();
-        idle.insert(pos, g);
-        assign(
-            t,
-            &mut idle,
-            &mut waiting,
-            &mut busy,
-            &mut running,
-            &mut alive,
-            unfinished,
-            &mut pool,
-        );
-    }
-
-    // Drain the post chains through the pool in ready order.
-    let mut post_finish = 0.0f64;
-    while let Some(Reverse((Time(ready), step))) = post_queue.pop() {
-        let Reverse(Time(avail)) = pool.pop().expect("pool non-empty after disbands");
-        let start = if avail > ready { avail } else { ready };
-        let end = start + post_steps[step as usize];
-        pool.push(Reverse(Time(end)));
-        if (step as usize) + 1 < post_steps.len() {
-            post_queue.push(Reverse((Time(end), step + 1)));
-        } else if end > post_finish {
-            post_finish = end;
+    match simulate_campaign(inst, table, grouping, &config, &FaultPlan::none(), tracer)? {
+        CampaignOutcome::Completed(run) => Ok(UnfusedEstimate {
+            makespan: run.makespan,
+            main_finish: run.main_finish,
+            post_finish: run.post_finish,
+        }),
+        CampaignOutcome::Stranded { .. } => {
+            unreachable!("an empty fault plan cannot strand the campaign")
         }
     }
-
-    Ok(UnfusedEstimate {
-        makespan: main_finish.max(post_finish),
-        main_finish,
-        post_finish,
-    })
 }
 
 #[cfg(test)]
@@ -173,6 +98,9 @@ mod tests {
     use oa_platform::speedup::PcrModel;
     use oa_sched::estimate::estimate;
     use oa_sched::heuristics::Heuristic;
+    use oa_workflow::task::{
+        CAIF_SECS, CD_SECS, COF_SECS, EMF_SECS, FUSED_POST_SECS, FUSED_PRE_SECS, MP_SECS,
+    };
 
     fn reference() -> TimingTable {
         PcrModel::reference().table(1.0).unwrap()
@@ -229,5 +157,115 @@ mod tests {
         let fast = estimate_unfused(inst, &reference(), &g).unwrap();
         let slow_e = estimate_unfused(inst, &slow, &g).unwrap();
         assert!(slow_e.makespan > fast.makespan * 1.9);
+    }
+
+    #[test]
+    fn figure1_scaling_is_pinned_to_the_grid5000_presets() {
+        // The unfused model rescales the Figure 1 constants by the
+        // table's post/180 cluster-speed ratio. Pin that scaling
+        // against every Grid'5000 preset so a change to either the
+        // constants or the preset tables cannot drift silently: the
+        // scaled post chain must sum to the table's fused post
+        // duration exactly, and the scaled pre must keep the same
+        // share of the fused span it has in Figure 1.
+        use oa_platform::presets::benchmark_grid;
+        let grid = benchmark_grid(12);
+        assert_eq!(grid.len(), 5, "the paper benchmarks five clusters");
+        assert_eq!(COF_SECS + EMF_SECS + CD_SECS, FUSED_POST_SECS);
+        for (_, cluster) in grid.iter() {
+            let t = &cluster.timing;
+            let speed = t.post_secs() / FUSED_POST_SECS;
+            // Fusing the scaled chain reproduces the fused post bitwise
+            // (the multiplication distributes exactly here: every
+            // preset's post is 180 × a power-of-two-free ratio, so we
+            // allow one ulp of slack).
+            let chain: f64 = COF_SECS * speed + EMF_SECS * speed + CD_SECS * speed;
+            assert!(
+                (chain - t.post_secs()).abs() <= t.post_secs() * 1e-15,
+                "{}: chain {chain} vs post {}",
+                cluster.name,
+                t.post_secs()
+            );
+            // The pre share keeps Figure 1's 2 s : 180 s proportion.
+            let pre = FUSED_PRE_SECS * speed;
+            assert!(
+                (pre / t.post_secs() - FUSED_PRE_SECS / FUSED_POST_SECS).abs() < 1e-15,
+                "{}: pre {pre} breaks the Figure 1 proportion",
+                cluster.name
+            );
+            assert_eq!(
+                FUSED_PRE_SECS,
+                CAIF_SECS + MP_SECS,
+                "Figure 1 pre tasks sum"
+            );
+            // And the group span equals the fused duration for every
+            // group size — fusion changes nothing about the main phase.
+            for g in 4..=11u32 {
+                let span = (t.main_secs(g) - pre) + pre;
+                assert_eq!(
+                    span.to_bits(),
+                    t.main_secs(g).to_bits(),
+                    "{}: G={g} span drifts from the fused duration",
+                    cluster.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traced_unfused_tells_the_seven_task_story() {
+        // Unfused + tracing: a combination the legacy loop never had.
+        use oa_trace::{EventKind, VecTracer};
+        use oa_workflow::task::TaskKind;
+        let inst = Instance::new(2, 3, 12);
+        let t = reference();
+        let g = Grouping::uniform(4, 2, 2);
+        let mut sink = VecTracer::new();
+        let est = estimate_unfused_traced(inst, &t, &g, ExecConfig::default(), &mut sink).unwrap();
+        let untraced = estimate_unfused(inst, &t, &g).unwrap();
+        assert_eq!(est, untraced, "tracing must not change the estimate");
+        let events = sink.into_events();
+        // Each month finishes one main and the three chained posts.
+        let finishes = |kind: TaskKind| {
+            events
+                .iter()
+                .filter(
+                    |e| matches!(&e.kind, EventKind::TaskFinish { task, .. } if task.kind == kind),
+                )
+                .count() as u64
+        };
+        assert_eq!(finishes(TaskKind::FusedMain), inst.nbtasks());
+        assert_eq!(finishes(TaskKind::Cof), inst.nbtasks());
+        assert_eq!(finishes(TaskKind::Emf), inst.nbtasks());
+        assert_eq!(finishes(TaskKind::Cd), inst.nbtasks());
+        // The campaign end carries the estimate's makespan.
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::CampaignEnd { makespan } if makespan == est.makespan
+        )));
+    }
+
+    #[test]
+    fn unfused_policy_ablation_is_ordered_like_the_fused_one() {
+        // Unfused + policy ablation: the second previously-impossible
+        // combination. The adversarial most-advanced policy can only
+        // tie or lose against the paper's least-advanced policy, at
+        // this granularity too.
+        use oa_sched::policy::ScenarioPolicy;
+        let t = reference();
+        let inst = Instance::new(6, 12, 30);
+        let g = Heuristic::Knapsack.grouping(inst, &t).unwrap();
+        let run = |policy| {
+            estimate_unfused_traced(inst, &t, &g, ExecConfig { policy }, &mut NullTracer)
+                .unwrap()
+                .makespan
+        };
+        let fair = run(ScenarioPolicy::LeastAdvanced);
+        let rr = run(ScenarioPolicy::RoundRobin);
+        let unfair = run(ScenarioPolicy::MostAdvanced);
+        assert!(unfair + 1e-9 >= fair, "unfair {unfair} < fair {fair}");
+        assert!(rr > 0.0 && rr.is_finite());
+        // And the default-policy path is the legacy entry point.
+        assert_eq!(fair, estimate_unfused(inst, &t, &g).unwrap().makespan);
     }
 }

@@ -16,7 +16,7 @@
 //! | [`knapsack`] | exact bounded knapsack with cardinality constraint (+ greedy, B&B) |
 //! | [`sched`] | Equations 1–5, the basic heuristic and Improvements 1–3, Algorithm 1 |
 //! | [`par`] | deterministic scoped worker pool: order-preserving `par_map` / `par_sweep` |
-//! | [`analyze`] | rule-based static diagnostics (OA001–OA017) over all four layers |
+//! | [`analyze`] | rule-based static diagnostics (OA001–OA018) over all four layers |
 //! | [`sim`] | discrete-event executor, schedule validation, Gantt, metrics, grid runs |
 //! | [`trace`] | structured event tracing, metrics registry, Chrome/Gantt exporters |
 //! | [`middleware`] | DIET-like client / agent / SeD protocol over threads |
