@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use oa_platform::timing::TimingTable;
 use oa_sched::params::Instance;
-use oa_sched::time::Time;
+use oa_sched::time::{time_key, Time, TimeKey};
 use oa_workflow::moldable::MoldableSpec;
 
 /// Per-scenario allocation vector for the main tasks.
@@ -170,7 +170,7 @@ pub fn list_schedule(
     let mut running = vec![false; inst.ns as usize];
     let mut free = inst.r;
     // Completion events.
-    let mut events: BinaryHeap<Reverse<(Time, u32, Done)>> = BinaryHeap::new();
+    let mut events: BinaryHeap<TimeKey<(u32, Done)>> = BinaryHeap::new();
     let mut posts: VecDeque<(f64, u32, u32)> = VecDeque::new(); // (ready, scenario, month)
     let mut records = Vec::with_capacity(inst.nbtasks() as usize * 2);
     let mut makespan = 0.0f64;
@@ -214,7 +214,7 @@ pub fn list_schedule(
                 start: now,
                 end,
             });
-            events.push(Reverse((Time(end), s as u32, Done::Main(months_done[s]))));
+            events.push(time_key(end, (s as u32, Done::Main(months_done[s]))));
         }
         // Backfill posts on whatever is left.
         while free > 0 {
@@ -233,11 +233,11 @@ pub fn list_schedule(
                 start: now,
                 end,
             });
-            events.push(Reverse((Time(end), s, Done::Post)));
+            events.push(time_key(end, (s, Done::Post)));
         }
 
         // Advance time.
-        let Some(Reverse((Time(t), s, done))) = events.pop() else {
+        let Some(Reverse((Time(t), (s, done)))) = events.pop() else {
             break;
         };
         now = t;

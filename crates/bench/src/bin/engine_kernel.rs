@@ -1,0 +1,189 @@
+//! Kernel speedup matrix: wall-clock of the campaign engine with the
+//! simulation kernel (steady-state fast-forward + integer-time
+//! calendar queue) on versus plain event-by-event execution, at fused
+//! and unfused granularity over growing campaign lengths. The outputs
+//! of the two modes are bitwise identical (pinned by
+//! `tests/kernel_equivalence.rs`); this binary records what the
+//! identity costs — or rather, what it saves.
+//!
+//! Results merge by configuration key into `results/BENCH_engine.json`
+//! (wall-clock history, like `BENCH_sweeps.json`: re-running a
+//! configuration replaces its entry and leaves the others).
+//!
+//! Run: `cargo run --release -p oa-bench --bin engine_kernel [--smoke]`
+//!
+//! `--smoke` is the CI gate: the NM = 18000 fused point only, asserting
+//! that the fast-forward actually engaged and skipped cycles within a
+//! generous wall-clock budget.
+
+use std::time::Instant;
+
+use oa_bench::write_json;
+use oa_platform::presets::reference_cluster;
+use oa_sched::heuristics::Heuristic;
+use oa_sched::params::Instance;
+use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy};
+use oa_sim::engine::{simulate_campaign_kernel, KernelOpts, KernelReport};
+use oa_trace::NullTracer;
+use serde::Value;
+
+const NS: u32 = 10;
+const R: u32 = 53;
+const NMS: [u32; 3] = [120, 1800, 18000];
+
+/// Best-of-N wall-clock of one configuration, with the report of the
+/// last run (the report is identical across repetitions).
+fn time_config(
+    inst: Instance,
+    table: &oa_platform::timing::TimingTable,
+    grouping: &oa_sched::grouping::Grouping,
+    config: &CampaignConfig,
+    opts: KernelOpts,
+    reps: usize,
+) -> (f64, KernelReport) {
+    let mut best = f64::INFINITY;
+    let mut report = KernelReport::default();
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (out, rep) = simulate_campaign_kernel(
+            inst,
+            table,
+            grouping,
+            config,
+            &FaultPlan::none(),
+            opts,
+            &mut NullTracer,
+        )
+        .expect("valid grouping");
+        let secs = t.elapsed().as_secs_f64();
+        assert!(out.completed().is_some(), "fault-free runs complete");
+        std::hint::black_box(&out);
+        best = best.min(secs);
+        report = rep;
+    }
+    (best, report)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let table = reference_cluster(R).timing;
+
+    if smoke {
+        // CI gate: the big fused point must fast-forward and finish
+        // comfortably inside the budget even on a loaded runner.
+        let inst = Instance::new(NS, 18000, R);
+        let grouping = Heuristic::Basic.grouping(inst, &table).expect("feasible");
+        let config = CampaignConfig::default();
+        let t = Instant::now();
+        let (secs, report) =
+            time_config(inst, &table, &grouping, &config, KernelOpts::default(), 3);
+        assert!(
+            report.integer_time,
+            "reference cluster must take the integer-time path"
+        );
+        assert!(
+            report.main_cycles_skipped > 0,
+            "fast-forward did not engage on the steady-state campaign"
+        );
+        assert!(
+            t.elapsed().as_secs_f64() < 60.0,
+            "kernel smoke exceeded its wall-clock budget"
+        );
+        println!(
+            "smoke ok: NM=18000 fused kernel run {secs:.4}s, {} main + {} post cycles skipped",
+            report.main_cycles_skipped, report.post_cycles_skipped
+        );
+        return;
+    }
+
+    println!("== Engine kernel speedup: fast-forward + calendar queue vs event-by-event ==");
+    println!(
+        "instance: NS = {NS}, R = {R} (reference cluster, integral seconds); basic 7×7 grouping\n"
+    );
+    println!(
+        "{:>8} {:>9} {:>14} {:>12} {:>9} {:>13} {:>13}",
+        "gran", "NM", "event-by-event", "kernel", "speedup", "main-skipped", "post-skipped"
+    );
+
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    for granularity in [Granularity::Fused, Granularity::Unfused] {
+        for nm in NMS {
+            let inst = Instance::new(NS, nm, R);
+            let grouping = Heuristic::Basic.grouping(inst, &table).expect("feasible");
+            let config = CampaignConfig {
+                policy: ScenarioPolicy::LeastAdvanced,
+                granularity,
+                recovery: Recovery::MonthlyCheckpoint,
+            };
+            let reps = if nm >= 18000 { 3 } else { 7 };
+            let (base, base_rep) = time_config(
+                inst,
+                &table,
+                &grouping,
+                &config,
+                KernelOpts::event_by_event(),
+                reps,
+            );
+            assert_eq!(
+                base_rep,
+                KernelReport::default(),
+                "baseline must not kernel"
+            );
+            let (fast, rep) = time_config(
+                inst,
+                &table,
+                &grouping,
+                &config,
+                KernelOpts::default(),
+                reps,
+            );
+            let speedup = base / fast;
+            println!(
+                "{:>8} {:>9} {:>13.5}s {:>11.5}s {:>8.2}x {:>13} {:>13}",
+                granularity.label(),
+                nm,
+                base,
+                fast,
+                speedup,
+                rep.main_cycles_skipped,
+                rep.post_cycles_skipped
+            );
+            entries.push((
+                format!("{}_nm{}", granularity.label(), nm),
+                Value::Object(vec![
+                    ("granularity".into(), Value::Str(granularity.label().into())),
+                    ("nm".into(), Value::U64(u64::from(nm))),
+                    ("event_by_event_secs".into(), Value::F64(base)),
+                    ("kernel_secs".into(), Value::F64(fast)),
+                    ("speedup".into(), Value::F64(speedup)),
+                    ("integer_time".into(), Value::Bool(rep.integer_time)),
+                    (
+                        "main_cycles_skipped".into(),
+                        Value::U64(rep.main_cycles_skipped),
+                    ),
+                    (
+                        "post_cycles_skipped".into(),
+                        Value::U64(rep.post_cycles_skipped),
+                    ),
+                ]),
+            ));
+        }
+    }
+
+    // Merge by key into the wall-clock history.
+    let path = std::path::Path::new("results").join("BENCH_engine.json");
+    let mut root = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .filter(|v| matches!(v, Value::Object(_)))
+        .unwrap_or(Value::Object(Vec::new()));
+    if let Value::Object(fields) = &mut root {
+        for (key, entry) in entries {
+            match fields.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, slot)) => *slot = entry,
+                None => fields.push((key, entry)),
+            }
+        }
+    }
+    write_json("BENCH_engine", &root);
+}

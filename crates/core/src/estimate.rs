@@ -38,7 +38,7 @@ use oa_workflow::task::MIN_PROCS;
 
 use crate::grouping::{Grouping, GroupingError};
 use crate::params::Instance;
-use crate::time::Time;
+use crate::time::{time_key, Time, TimeKey};
 
 /// Reusable event-loop state. Heuristic searches call [`estimate`]
 /// thousands of times per sweep point; keeping the heaps and arenas in
@@ -50,8 +50,8 @@ use crate::time::Time;
 struct Scratch {
     /// Per-group main duration, `T[sizes[i]]`.
     durs: Vec<f64>,
-    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
-    busy: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Busy groups: (finish time, group). Min-heap on the shared key.
+    busy: BinaryHeap<TimeKey<usize>>,
     /// Which scenario each busy group is running.
     running: Vec<Option<u32>>,
     /// Waiting scenarios: least months first. Min-heap via `Reverse`.
@@ -181,7 +181,7 @@ fn run(
     let assign = |now: f64,
                   idle: &mut Vec<usize>,
                   waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
-                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
+                  busy: &mut BinaryHeap<TimeKey<usize>>,
                   running: &mut Vec<Option<u32>>,
                   alive: &mut usize,
                   unfinished: usize,
@@ -191,7 +191,7 @@ fn run(
                 let g = idle.pop().expect("checked non-empty"); // largest idle group
                 waiting.pop();
                 running[g] = Some(s);
-                busy.push(Reverse((Time(now + durs[g]), g)));
+                busy.push(time_key(now + durs[g], g));
             } else {
                 break;
             }

@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 use serde::{Deserialize, Serialize};
 
 use super::workload::Workload;
-use crate::time::Time;
+use crate::time::{time_key, Time, TimeKey};
 
 /// A processor division for a generic workload.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -132,7 +132,7 @@ pub fn estimate_generic(
     let tp = w.trailing_secs();
     let units = w.units;
 
-    let mut busy: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::with_capacity(sizes.len());
+    let mut busy: BinaryHeap<TimeKey<usize>> = BinaryHeap::with_capacity(sizes.len());
     let mut running: Vec<Option<u32>> = vec![None; sizes.len()];
     let mut waiting: BinaryHeap<Reverse<(u32, u32)>> =
         (0..w.chains).map(|c| Reverse((0, c))).collect();
@@ -151,7 +151,7 @@ pub fn estimate_generic(
     let assign = |now: f64,
                   idle: &mut Vec<usize>,
                   waiting: &mut BinaryHeap<Reverse<(u32, u32)>>,
-                  busy: &mut BinaryHeap<Reverse<(Time, usize)>>,
+                  busy: &mut BinaryHeap<TimeKey<usize>>,
                   running: &mut Vec<Option<u32>>,
                   alive: &mut usize,
                   unfinished: usize,
@@ -163,7 +163,7 @@ pub fn estimate_generic(
             let g = idle.pop().expect("non-empty");
             waiting.pop();
             running[g] = Some(c);
-            busy.push(Reverse((Time(now + durs[g]), g)));
+            busy.push(time_key(now + durs[g], g));
         }
         while !idle.is_empty() && *alive > unfinished {
             let g = idle.remove(0);

@@ -116,6 +116,38 @@ impl ScenarioQueue {
         }
     }
 
+    /// The queue's content as `(stored months, scenario)` pairs, in an
+    /// order that determines future pops: FIFO order for the
+    /// round-robin queue (which stores no month count — that slot is
+    /// `0`), sorted for the heap-backed policies. Heap keys are unique
+    /// (each scenario waits at most once and carries one month count),
+    /// so pop order is a pure function of this canonical content —
+    /// which is what lets `oa-sim`'s fast-forward detector compare
+    /// queue states across cycles without caring about internal heap
+    /// layout.
+    pub fn canonical_content(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.canonical_content_into(&mut out);
+        out
+    }
+
+    /// [`Self::canonical_content`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free form the simulation hot path uses.
+    pub fn canonical_content_into(&self, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        match self {
+            ScenarioQueue::Least(h) => {
+                out.extend(h.iter().map(|Reverse(k)| *k));
+                out.sort_unstable();
+            }
+            ScenarioQueue::Fifo(q) => out.extend(q.iter().map(|&s| (0, s))),
+            ScenarioQueue::Most(h) => {
+                out.extend(h.iter().copied());
+                out.sort_unstable();
+            }
+        }
+    }
+
     /// Refills the queue with all `ns` scenarios at zero completed
     /// months, reusing the existing allocation when the policy matches
     /// (it always does across the points of one sweep).
@@ -281,6 +313,28 @@ mod tests {
         assert_eq!(q.pop(), Some(0));
         q.reset(ScenarioPolicy::MostAdvanced, 1);
         assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    fn canonical_content_determines_pop_order() {
+        // Two heaps built by different push sequences but holding the
+        // same keys must report identical canonical content (and will
+        // therefore pop identically — keys are unique).
+        let mut a = ScenarioQueue::new(ScenarioPolicy::LeastAdvanced, 0);
+        let mut b = ScenarioQueue::new(ScenarioPolicy::LeastAdvanced, 0);
+        for (m, s) in [(5, 0), (2, 1), (9, 2)] {
+            a.push(m, s);
+        }
+        for (m, s) in [(9, 2), (5, 0), (2, 1)] {
+            b.push(m, s);
+        }
+        assert_eq!(a.canonical_content(), b.canonical_content());
+        assert_eq!(a.canonical_content(), vec![(2, 1), (5, 0), (9, 2)]);
+        // FIFO content is readiness order with a zero filler.
+        let mut f = ScenarioQueue::new(ScenarioPolicy::RoundRobin, 0);
+        f.push(7, 3);
+        f.push(1, 1);
+        assert_eq!(f.canonical_content(), vec![(0, 3), (0, 1)]);
     }
 
     #[test]

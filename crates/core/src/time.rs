@@ -5,7 +5,13 @@
 //! the generic-workload estimator, and the moldable list scheduler in
 //! `oa-baselines` — keep min-heaps of event times. `f64` is not `Ord`,
 //! so each of them used to carry its own newtype; this is the single
-//! shared copy.
+//! shared copy. [`TimeKey`] extends it to the `(instant, payload)`
+//! min-heap keys those loops actually store, and the tick helpers
+//! ([`exact_ticks`], [`is_tick_exact`]) decide when a clock value can
+//! move to the integer-second representation of `oa-sim`'s calendar
+//! queue and fast-forward kernel without changing a single output bit.
+
+use std::cmp::Reverse;
 
 /// An `f64` time usable as a heap key: total order via
 /// [`f64::total_cmp`], no `NaN`s by construction (simulation clocks
@@ -40,6 +46,76 @@ impl Ord for Time {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.total_cmp(&other.0)
     }
+}
+
+/// The `(instant, payload)` min-heap key of the discrete-event loops:
+/// earliest instant first, payload (group index, processor id, …) as
+/// the deterministic tie-break. Every loop used to spell the same
+/// `Reverse((Time(t), idx))` tuple by hand; this is the shared name.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BinaryHeap;
+/// use oa_sched::time::{time_key, TimeKey};
+///
+/// let mut busy: BinaryHeap<TimeKey<usize>> = BinaryHeap::new();
+/// busy.push(time_key(20.0, 0));
+/// busy.push(time_key(10.0, 1));
+/// let (t, g) = busy.pop().unwrap().0;
+/// assert_eq!((t.0, g), (10.0, 1));
+/// ```
+pub type TimeKey<P> = Reverse<(Time, P)>;
+
+/// Builds a [`TimeKey`]: the canonical way to enqueue an event at
+/// instant `t` tagged with `payload`.
+#[inline]
+#[must_use]
+pub fn time_key<P>(t: f64, payload: P) -> TimeKey<P> {
+    Reverse((Time(t), payload))
+}
+
+/// Largest clock value whose integer arithmetic is exact in `f64`
+/// (every integer up to `2^53` has an exact representation, so sums
+/// and differences of integral seconds below it never round).
+pub const MAX_EXACT_SECS: f64 = 9_007_199_254_740_992.0; // 2^53
+
+/// Converts an integral-second duration or instant to its tick count,
+/// or `None` when the value is not exactly representable as an
+/// integer number of seconds (fractional, negative, or ≥ `2^53`).
+///
+/// This is the gate of `oa-sim`'s integer-time kernel: when every
+/// duration and failure instant of a run passes, simulated clocks are
+/// pure integer sums, `f64` addition on them is exact, and the
+/// steady-state fast-forward can advance whole cycles arithmetically
+/// while staying bitwise identical to event-by-event execution.
+///
+/// # Examples
+///
+/// ```
+/// use oa_sched::time::exact_ticks;
+///
+/// assert_eq!(exact_ticks(1742.0), Some(1742));
+/// assert_eq!(exact_ticks(180.0), Some(180));
+/// assert_eq!(exact_ticks(168.14285714285714), None); // preset post TP
+/// assert_eq!(exact_ticks(-1.0), None);
+/// ```
+#[inline]
+#[must_use]
+pub fn exact_ticks(secs: f64) -> Option<u64> {
+    if secs.is_finite() && (0.0..MAX_EXACT_SECS).contains(&secs) && secs.fract() == 0.0 {
+        Some(secs as u64)
+    } else {
+        None
+    }
+}
+
+/// Whether `secs` is an exact integral-second value (see
+/// [`exact_ticks`]).
+#[inline]
+#[must_use]
+pub fn is_tick_exact(secs: f64) -> bool {
+    exact_ticks(secs).is_some()
 }
 
 #[cfg(test)]

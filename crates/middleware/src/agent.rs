@@ -93,15 +93,21 @@ impl MasterAgent {
         while received < expected {
             match self.from_seds.recv_timeout(SED_TIMEOUT) {
                 Ok(AgentMsg::Perf(reply)) if reply.request == request => {
-                    let i = reply.cluster.index();
-                    trace.push(ProtocolEvent::PerfReceived {
-                        cluster: reply.cluster,
-                    });
-                    vectors[i] = Some(reply.vector);
+                    vectors[reply.cluster.index()] = Some(reply.vector);
                     received += 1;
                 }
                 Ok(_) => continue, // stale message from an older request
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Arrival order is scheduler-dependent; the trace records the
+        // gather in cluster order so identical deployments produce
+        // byte-identical protocol walks.
+        for (i, v) in vectors.iter().enumerate() {
+            if v.is_some() {
+                trace.push(ProtocolEvent::PerfReceived {
+                    cluster: oa_platform::cluster::ClusterId(i as u32),
+                });
             }
         }
         let vectors: Vec<PerformanceVector> = (0..n)
@@ -158,10 +164,6 @@ impl MasterAgent {
         while reports.len() < pending {
             match self.from_seds.recv_timeout(SED_TIMEOUT) {
                 Ok(AgentMsg::Report(rep)) if rep.request == request => {
-                    trace.push(ProtocolEvent::ReportReceived {
-                        cluster: rep.cluster,
-                        makespan: rep.makespan,
-                    });
                     reports.push(rep);
                 }
                 Ok(_) => continue,
@@ -169,6 +171,14 @@ impl MasterAgent {
             }
         }
         reports.sort_by_key(|r| r.cluster);
+        // Same determinism rule as the step-3 gather: trace the reports
+        // in cluster order, not thread-arrival order.
+        for rep in &reports {
+            trace.push(ProtocolEvent::ReportReceived {
+                cluster: rep.cluster,
+                makespan: rep.makespan,
+            });
+        }
         let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
         Ok(CampaignReport {
             request,

@@ -1,0 +1,378 @@
+//! An indexed bucket queue over integer-second event times — the
+//! calendar-queue half of the kernel optimisation.
+//!
+//! The engine's `busy` heap holds at most one entry per group, but it
+//! is touched twice per simulated month, so its constant factor is the
+//! hot path. When every task duration is an exact integer number of
+//! seconds (see `oa_sched::time::exact_ticks`), event times are
+//! integers too, and the classic calendar queue applies: a power-of-two
+//! ring of buckets indexed by `tick & (W - 1)`, where the ring width
+//! `W` exceeds the event horizon (the largest push-ahead distance, i.e.
+//! the maximum task duration). Then no two *live* ticks ever collide in
+//! a bucket, `push` is O(1), and `pop`/`peek` amortise to O(1) because
+//! the scan cursor only moves forward with simulated time.
+//!
+//! Determinism contract: ties on the same tick pop in ascending payload
+//! order, exactly like a `BinaryHeap<Reverse<(Time, P)>>` with unique
+//! payloads — so swapping one for the other cannot change a single
+//! event ordering. `crate::engine` relies on this for its bitwise
+//! equivalence guarantee and falls back to the heap whenever the
+//! horizon is unbounded or durations are fractional.
+
+/// Widest ring the queue will allocate (2^16 buckets). Horizons beyond
+/// this (durations over ~18 simulated hours) fall back to the binary
+/// heap — see [`CalendarQueue::configure`].
+const MAX_RING: u64 = 1 << 16;
+
+/// A bucket-ring priority queue on `u64` ticks with ascending-payload
+/// tie-break. Reusable across runs: [`CalendarQueue::configure`] keeps
+/// bucket allocations.
+#[derive(Debug)]
+pub struct CalendarQueue<P> {
+    /// Ring of buckets; each holds the payloads of one live tick,
+    /// sorted descending so the next payload to pop is `last()`.
+    buckets: Vec<Vec<P>>,
+    /// Tick currently stored in each non-empty bucket.
+    tags: Vec<u64>,
+    /// One bit per bucket: non-empty.
+    bitmap: Vec<u64>,
+    /// Ring width minus one (width is a power of two).
+    mask: u64,
+    /// Live entries.
+    len: usize,
+    /// Lower bound on the smallest live tick; scans start here.
+    cursor: u64,
+    /// Cached smallest live tick, if known.
+    cached_min: Option<u64>,
+}
+
+impl<P: Copy + Ord> CalendarQueue<P> {
+    /// An unconfigured queue (ring width 0); call
+    /// [`CalendarQueue::configure`] before use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: Vec::new(),
+            tags: Vec::new(),
+            bitmap: Vec::new(),
+            mask: 0,
+            len: 0,
+            cursor: 0,
+            cached_min: None,
+        }
+    }
+
+    /// Sizes the ring for pushes at most `max_span` ticks ahead of the
+    /// smallest live tick and empties the queue. Returns `false` (queue
+    /// unusable) when the required ring exceeds `MAX_RING` — the
+    /// caller keeps its heap in that case. Bucket allocations survive
+    /// reconfiguration, so back-to-back runs are allocation-free.
+    pub fn configure(&mut self, max_span: u64) -> bool {
+        let Some(width) = max_span.checked_add(1).map(u64::next_power_of_two) else {
+            return false;
+        };
+        let width = width.max(64);
+        if width > MAX_RING {
+            return false;
+        }
+        let w = usize::try_from(width).expect("ring fits in memory");
+        if self.buckets.len() < w {
+            self.buckets.resize_with(w, Vec::new);
+            self.tags.resize(w, 0);
+        }
+        self.bitmap.clear();
+        self.bitmap.resize(w.div_ceil(64), 0);
+        if self.len > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+        }
+        // A wider ring from an earlier run is harmless: the mask keeps
+        // indexing within the configured width.
+        self.mask = width - 1;
+        self.len = 0;
+        self.cursor = 0;
+        self.cached_min = None;
+        true
+    }
+
+    /// Live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entry is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues `payload` at `tick`. `tick` must lie within `max_span`
+    /// of the queue's cursor (the current simulation time — see
+    /// [`CalendarQueue::advance_to`]) — the engine guarantees this
+    /// because a completion is never scheduled more than one task
+    /// duration ahead of the clock.
+    pub fn push(&mut self, tick: u64, payload: P) {
+        debug_assert!(
+            self.is_empty() || tick.saturating_sub(self.cursor) <= self.mask,
+            "tick {tick} outside the configured horizon (cursor {})",
+            self.cursor
+        );
+        let idx = usize::try_from(tick & self.mask).expect("masked index fits");
+        let bucket = &mut self.buckets[idx];
+        if bucket.is_empty() {
+            self.tags[idx] = tick;
+            self.bitmap[idx / 64] |= 1 << (idx % 64);
+        } else {
+            debug_assert_eq!(self.tags[idx], tick, "live ticks collided in a bucket");
+        }
+        // Descending order so `pop` takes from the end; buckets hold a
+        // handful of same-tick completions at most.
+        let pos = bucket.partition_point(|p| *p > payload);
+        bucket.insert(pos, payload);
+        if self.len == 0 {
+            // Empty queue: this tick is the minimum, trivially.
+            self.cursor = tick;
+            self.cached_min = Some(tick);
+        } else {
+            if tick < self.cursor {
+                self.cursor = tick;
+            }
+            // A `None` cache after a pop means "unknown": only a tick
+            // beating a *known* minimum may replace it — the next peek
+            // rescans otherwise.
+            if self.cached_min.is_some_and(|m| tick < m) {
+                self.cached_min = Some(tick);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Smallest live `(tick, payload)` without removing it.
+    pub fn peek(&mut self) -> Option<(u64, P)> {
+        if self.len == 0 {
+            return None;
+        }
+        let tick = match self.cached_min {
+            Some(t) => t,
+            None => {
+                let t = self.scan_min();
+                self.cursor = t; // min can only grow; remember it
+                self.cached_min = Some(t);
+                t
+            }
+        };
+        let idx = usize::try_from(tick & self.mask).expect("masked index fits");
+        Some((
+            tick,
+            *self.buckets[idx].last().expect("min bucket non-empty"),
+        ))
+    }
+
+    /// Removes and returns the smallest live `(tick, payload)`.
+    pub fn pop(&mut self) -> Option<(u64, P)> {
+        let (tick, payload) = self.peek()?;
+        let idx = usize::try_from(tick & self.mask).expect("masked index fits");
+        let bucket = &mut self.buckets[idx];
+        bucket.pop();
+        if bucket.is_empty() {
+            self.bitmap[idx / 64] &= !(1 << (idx % 64));
+            self.cached_min = None;
+        }
+        self.len -= 1;
+        // The popped tick is the minimum: simulated time has reached
+        // it, and the push window slides forward with it.
+        self.cursor = tick;
+        Some((tick, payload))
+    }
+
+    /// Slides the push window forward to the simulation instant `now`,
+    /// which must not exceed the smallest live tick. Pops do this
+    /// implicitly; the engine calls it when time advances through an
+    /// event that is not a pop (a failure injection), so that pushes
+    /// relative to `now` stay within the configured span.
+    pub fn advance_to(&mut self, now: u64) {
+        debug_assert!(
+            self.peek().is_none_or(|(m, _)| now <= m),
+            "advance_to({now}) past the live minimum"
+        );
+        if now > self.cursor {
+            self.cursor = now;
+        }
+    }
+
+    /// Appends every live `(tick, payload)` to `out` in pop order
+    /// (ascending tick, then ascending payload), without consuming the
+    /// queue. Used by the fast-forward detector to snapshot the busy
+    /// set.
+    pub fn sorted_content(&self, out: &mut Vec<(u64, P)>) {
+        if self.len == 0 {
+            return;
+        }
+        let mut found = 0usize;
+        let start = self.cursor & self.mask;
+        // One lap over the ring starting at the cursor visits live
+        // ticks in ascending order: the span invariant keeps them all
+        // within one ring width of the minimum.
+        for step in 0..=self.mask {
+            let idx = usize::try_from((start + step) & self.mask).expect("masked index fits");
+            if self.bitmap[idx / 64] & (1 << (idx % 64)) != 0 {
+                out.extend(self.buckets[idx].iter().rev().map(|&p| (self.tags[idx], p)));
+                found += self.buckets[idx].len();
+                if found == self.len {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(found, self.len, "bitmap out of sync with len");
+    }
+
+    /// First set bit at or after the cursor, as a tick. Amortised O(1):
+    /// the cursor never moves backwards while the queue drains in time
+    /// order, so total scan work is bounded by elapsed ticks / 64.
+    fn scan_min(&self) -> u64 {
+        debug_assert!(self.len > 0);
+        let start = self.cursor & self.mask;
+        let mut word = usize::try_from(start / 64).expect("word index fits");
+        let mut bits = self.bitmap[word] & !((1u64 << (start % 64)) - 1);
+        let words = self.bitmap.len();
+        // One full lap plus the revisit of the start word (whose low
+        // bits were masked off the first time) must find a set bit.
+        for _ in 0..=words {
+            if bits != 0 {
+                let idx = word as u64 * 64 + u64::from(bits.trailing_zeros());
+                // Map the ring slot back to its tick: the first live
+                // slot at or after the cursor is at most one ring width
+                // ahead of it.
+                let offset = idx.wrapping_sub(self.cursor) & self.mask;
+                let tick = self.cursor + offset;
+                debug_assert_eq!(self.tags[usize::try_from(idx).expect("fits")], tick);
+                return tick;
+            }
+            word += 1;
+            if word == words {
+                word = 0;
+            }
+            bits = self.bitmap[word];
+        }
+        unreachable!("len > 0 but no bit set");
+    }
+}
+
+impl<P: Copy + Ord> Default for CalendarQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn pops_in_tick_then_payload_order() {
+        let mut q = CalendarQueue::new();
+        assert!(q.configure(100));
+        q.push(30, 2u32);
+        q.push(10, 7);
+        q.push(30, 1);
+        q.push(10, 3);
+        assert_eq!(q.peek(), Some((10, 3)));
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), Some((10, 7)));
+        assert_eq!(q.pop(), Some((30, 1)));
+        assert_eq!(q.pop(), Some((30, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn matches_binary_heap_on_interleaved_ops() {
+        // Deterministic pseudo-random workload compared against the
+        // reference heap semantics the engine used to rely on.
+        let mut q = CalendarQueue::new();
+        assert!(q.configure(1 << 10));
+        let mut h: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut clock = 0u64;
+        for _ in 0..5000 {
+            if rng() % 3 != 0 || h.is_empty() {
+                let tick = clock + rng() % 1000;
+                let payload = (rng() % 64) as u32;
+                q.push(tick, payload);
+                h.push(Reverse((tick, payload)));
+            } else {
+                let got = q.pop();
+                let want = h.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want);
+                if let Some((t, _)) = got {
+                    clock = t; // time only moves forward
+                }
+            }
+        }
+        while let Some(Reverse(want)) = h.pop() {
+            assert_eq!(q.pop(), Some(want));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_across_many_laps() {
+        let mut q = CalendarQueue::new();
+        assert!(q.configure(63)); // minimum ring (64 buckets)
+        let mut t = 0u64;
+        for i in 0..1000u64 {
+            q.push(t + 63, i as u32); // always push at the horizon edge
+            let (tick, p) = q.pop().unwrap();
+            assert_eq!((tick, p), (t + 63, i as u32));
+            t = tick;
+        }
+    }
+
+    #[test]
+    fn sorted_content_is_non_destructive_pop_order() {
+        let mut q = CalendarQueue::new();
+        assert!(q.configure(500));
+        for (t, p) in [(400u64, 1u32), (7, 9), (7, 2), (399, 0)] {
+            q.push(t, p);
+        }
+        let mut content = Vec::new();
+        q.sorted_content(&mut content);
+        assert_eq!(content, vec![(7, 2), (7, 9), (399, 0), (400, 1)]);
+        assert_eq!(q.len(), 4);
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped, content);
+    }
+
+    #[test]
+    fn configure_rejects_unbounded_horizons() {
+        let mut q = CalendarQueue::<u32>::new();
+        assert!(!q.configure(MAX_RING));
+        assert!(!q.configure(u64::MAX));
+        assert!(q.configure(MAX_RING - 1));
+    }
+
+    #[test]
+    fn reconfigure_reuses_and_empties() {
+        let mut q = CalendarQueue::new();
+        assert!(q.configure(100));
+        q.push(5, 1u32);
+        q.push(50, 2);
+        assert!(q.configure(200));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        q.push(199, 3);
+        assert_eq!(q.pop(), Some((199, 3)));
+    }
+}

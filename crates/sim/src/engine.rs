@@ -18,18 +18,47 @@
 //! scratch arenas that keep repeat runs allocation-free (the PR-3
 //! discipline, now shared by every path instead of only the fused one).
 //!
+//! # The simulation kernel
+//!
+//! On top of the generic loop sits a two-part kernel optimisation,
+//! controlled by [`KernelOpts`] and reported by [`KernelReport`]:
+//!
+//! 1. **Integer-time calendar queue.** When every task duration (and
+//!    every failure instant) is an exact integral second
+//!    ([`oa_sched::time::exact_ticks`]), every clock value in the run
+//!    is an exactly-represented integer, and the busy set moves from a
+//!    `BinaryHeap` of [`TimeKey`]s onto the O(1) bucket ring of
+//!    [`crate::calendar::CalendarQueue`]. Pop order is identical by
+//!    construction (ascending tick, then ascending group), so the swap
+//!    cannot change one bit of output.
+//! 2. **Steady-state fast-forward.** A fault-free campaign repeats the
+//!    same event pattern every cycle once the pipeline fills. The
+//!    detector in the private `ffwd` module spots the recurrence (same
+//!    busy/running/idle/waiting shape modulo a constant time offset and
+//!    a uniform month shift), and the engine then *replays* the cycle's
+//!    journal arithmetically — records, chain entries and trace events
+//!    stamped from the template with `t + j·D` — instead of
+//!    re-simulating it. The fused post drain runs the same trick over
+//!    the processor pool. Both fall back to event-by-event execution
+//!    around faults, cluster transitions and the campaign head/tail,
+//!    and both are sound only in integer-time mode, where the stamped
+//!    additions are exact.
+//!
 //! # Equivalence guarantees
 //!
 //! The refactor that introduced this engine is pinned by byte-identity:
 //! with an empty fault plan the engine replays *exactly* the decision
 //! sequence of the legacy executor (same floats, same record order,
 //! same event stream), and the unfused chain reproduces the legacy
-//! `estimate_unfused` bitwise. `tests/engine_equivalence.rs` and the
-//! tracked `results/*.json` enforce this.
+//! `estimate_unfused` bitwise. The kernel keeps the same contract in
+//! both directions: fast-forwarded runs are bitwise identical to
+//! event-by-event runs. `tests/engine_equivalence.rs`,
+//! `tests/kernel_equivalence.rs` and the tracked `results/*.json`
+//! enforce this.
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -37,14 +66,20 @@ use oa_platform::timing::TimingTable;
 use oa_sched::grouping::{Grouping, GroupingError};
 use oa_sched::params::Instance;
 use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioQueue};
-use oa_sched::time::Time;
+use oa_sched::time::{exact_ticks, is_tick_exact, time_key, Time, TimeKey, MAX_EXACT_SECS};
 use oa_trace::{EventKind, TraceEvent, Tracer};
 use oa_workflow::fusion::FusedTask;
 use oa_workflow::task::{
     TaskKind, CD_SECS, COF_SECS, EMF_SECS, FUSED_POST_SECS, FUSED_PRE_SECS, MIN_PROCS,
 };
 
+use crate::calendar::CalendarQueue;
+use crate::ffwd::{
+    pool_match, pool_snapshot, Detector, LogEv, PoolSnap, PostPeriodic, SnapView, MAX_POOL_SNAPS,
+};
 use crate::schedule::{ProcRange, Schedule, TaskRecord};
+
+pub use crate::ffwd::{KernelOpts, KernelReport};
 
 /// Post-chain step kinds at unfused granularity, in chain order.
 const STEP_KINDS: [TaskKind; 3] = [TaskKind::Cof, TaskKind::Emf, TaskKind::Cd];
@@ -136,22 +171,101 @@ fn emit_failure<T: Tracer>(tracer: &mut T, failure: (usize, f64), impact: Option
     }
 }
 
-/// One ready post-chain step, min-heap keyed: `(ready instant, step
-/// index within the month's chain, insertion sequence, scenario,
-/// month)`.
-type ChainKey = Reverse<(Time, u8, u64, u32, u32)>;
+/// One ready post-chain step at unfused granularity, min-heap keyed:
+/// the ready instant, then `(step index within the month's chain,
+/// insertion sequence, scenario, month)` as the deterministic
+/// tie-break.
+type ChainKey = TimeKey<(u8, u64, u32, u32)>;
+
+/// The busy set — `(finish time, group)` in pop order — in either of
+/// its two representations. The calendar queue is used whenever the
+/// run qualifies for integer time; the pop sequence is identical
+/// either way (unique group payloads, ascending tie-break).
+enum Busy<'a> {
+    /// `f64` binary heap: the always-correct fallback.
+    Heap(&'a mut BinaryHeap<TimeKey<usize>>),
+    /// Integer-tick bucket ring.
+    Cal(&'a mut CalendarQueue<usize>),
+}
+
+impl Busy<'_> {
+    fn push(&mut self, t: f64, g: usize) {
+        match self {
+            Busy::Heap(h) => h.push(time_key(t, g)),
+            Busy::Cal(c) => {
+                debug_assert!(t >= 0.0 && t.fract() == 0.0, "non-integral tick {t}");
+                c.push(t as u64, g);
+            }
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        match self {
+            Busy::Heap(h) => h.peek().map(|Reverse((Time(t), _))| *t),
+            Busy::Cal(c) => c.peek().map(|(t, _)| t as f64),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, usize)> {
+        match self {
+            Busy::Heap(h) => h.pop().map(|Reverse((Time(t), g))| (t, g)),
+            Busy::Cal(c) => c.pop().map(|(t, g)| (t as f64, g)),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Busy::Heap(h) => h.is_empty(),
+            Busy::Cal(c) => c.is_empty(),
+        }
+    }
+
+    /// Keeps the calendar's push window in step with simulated time
+    /// when an event other than a pop advances the clock.
+    fn advance_to(&mut self, now: f64) {
+        if let Busy::Cal(c) = self {
+            debug_assert!(now >= 0.0 && now.fract() == 0.0, "non-integral tick {now}");
+            c.advance_to(now as u64);
+        }
+    }
+}
+
+/// The ready post work, in the representation its pop order allows.
+/// Fused main completions are chronological and the legacy heap key
+/// broke ties by insertion sequence, so the fused drain is exactly a
+/// FIFO — a ring buffer replaces the heap bitwise-identically. The
+/// unfused chain re-enters steps at out-of-order ready times and keeps
+/// the heap.
+enum Chain<'a> {
+    /// Fused: `(finish time, scenario, month)` in push order.
+    Fifo(&'a mut VecDeque<(f64, u32, u32)>),
+    /// Unfused: ready steps keyed for earliest-ready-first.
+    Heap(&'a mut BinaryHeap<ChainKey>),
+}
+
+impl Chain<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Chain::Fifo(f) => f.len(),
+            Chain::Heap(h) => h.len(),
+        }
+    }
+}
 
 /// Reusable event-loop state: the sweeps execute thousands of
 /// campaigns back to back, and clearing these collections (capacity
 /// preserved) makes each run allocation-free apart from the returned
-/// record arena. Thread-local, so every `oa-par` worker owns its own.
+/// record arena and the bounded buffers of the fast-forward detector.
+/// Thread-local, so every `oa-par` worker owns its own.
 struct Scratch {
     /// Per-group main duration.
     durs: Vec<f64>,
     /// First processor id of each group.
     bases: Vec<u32>,
-    /// Busy groups: (finish time, group). Min-heap via `Reverse`.
-    busy: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Busy groups, heap representation.
+    busy_heap: BinaryHeap<TimeKey<usize>>,
+    /// Busy groups, integer-tick representation.
+    busy_cal: CalendarQueue<usize>,
     /// Per-group (scenario, start time) while running.
     running: Vec<Option<(u32, f64)>>,
     /// Waiting scenarios under the configured policy.
@@ -162,13 +276,34 @@ struct Scratch {
     idle: Vec<usize>,
     /// `dead[g]`: group `g` crashed and never returns.
     dead: Vec<bool>,
-    /// Ready post work. The insertion counter `seq` makes heap order
-    /// deterministic and — because main completions are chronological
-    /// — makes the fused drain exactly the legacy insertion-order
-    /// FIFO.
-    chain: BinaryHeap<ChainKey>,
+    /// Ready post work, unfused representation. The insertion counter
+    /// `seq` makes heap order deterministic.
+    chain_heap: BinaryHeap<ChainKey>,
+    /// Ready post work, fused representation (push order == pop order).
+    chain_fifo: VecDeque<(f64, u32, u32)>,
     /// Post-processor pool: (availability, processor id).
-    post_pool: BinaryHeap<Reverse<(Time, u32)>>,
+    post_pool: BinaryHeap<TimeKey<u32>>,
+    /// Steady-state cycle detector (snapshots + event journal).
+    det: Detector,
+    /// Snapshot build buffer: busy as (tick offset, group).
+    snap_busy: Vec<(u64, u32)>,
+    /// Snapshot build buffer: running as (group, scenario, age ticks).
+    snap_running: Vec<(u32, u32, u64)>,
+    /// Snapshot build buffer: idle groups.
+    snap_idle: Vec<u32>,
+    /// Snapshot build buffer: waiting scenario ids, canonical order.
+    snap_wait: Vec<u32>,
+    /// Waiting-queue canonical content buffer.
+    wait_buf: Vec<(u32, u32)>,
+    /// Calendar drain/rebuild buffer (snapshots and cycle shifts).
+    cal_buf: Vec<(u64, usize)>,
+    /// Post-drain boundary snapshots of the pool shape.
+    pool_snaps: Vec<PoolSnap>,
+    /// Pool snapshot / rebuild sort buffer.
+    pool_buf: Vec<(f64, u32)>,
+    /// Post-drain replay template: (processor, start, end) per entry
+    /// of the periodic chain region.
+    tmpl: Vec<(u32, f64, f64)>,
 }
 
 impl Default for Scratch {
@@ -176,14 +311,26 @@ impl Default for Scratch {
         Self {
             durs: Vec::new(),
             bases: Vec::new(),
-            busy: BinaryHeap::new(),
+            busy_heap: BinaryHeap::new(),
+            busy_cal: CalendarQueue::new(),
             running: Vec::new(),
             waiting: ScenarioQueue::Least(BinaryHeap::new()),
             months_done: Vec::new(),
             idle: Vec::new(),
             dead: Vec::new(),
-            chain: BinaryHeap::new(),
+            chain_heap: BinaryHeap::new(),
+            chain_fifo: VecDeque::new(),
             post_pool: BinaryHeap::new(),
+            det: Detector::default(),
+            snap_busy: Vec::new(),
+            snap_running: Vec::new(),
+            snap_idle: Vec::new(),
+            snap_wait: Vec::new(),
+            wait_buf: Vec::new(),
+            cal_buf: Vec::new(),
+            pool_snaps: Vec::new(),
+            pool_buf: Vec::new(),
+            tmpl: Vec::new(),
         }
     }
 }
@@ -202,6 +349,11 @@ thread_local! {
 /// granularity) are reached by passing the corresponding
 /// [`CampaignConfig`] directly.
 ///
+/// Runs with the default [`KernelOpts`] (fast-forward and calendar
+/// queue on — both bitwise-neutral); use
+/// [`simulate_campaign_kernel`] to pick kernel options or observe what
+/// the kernel did.
+///
 /// # Panics
 ///
 /// Panics if the plan targets a group outside the grouping or gives a
@@ -215,6 +367,35 @@ pub fn simulate_campaign<T: Tracer>(
     plan: &FaultPlan,
     tracer: &mut T,
 ) -> Result<CampaignOutcome, GroupingError> {
+    simulate_campaign_kernel(
+        inst,
+        table,
+        grouping,
+        config,
+        plan,
+        KernelOpts::default(),
+        tracer,
+    )
+    .map(|(outcome, _)| outcome)
+}
+
+/// [`simulate_campaign`] with explicit kernel options, returning what
+/// the kernel did alongside the outcome. The outcome is bitwise
+/// independent of `opts` — fast-forward and the calendar queue are
+/// pure performance knobs, pinned by `tests/kernel_equivalence.rs`.
+///
+/// # Panics
+///
+/// Same contract as [`simulate_campaign`].
+pub fn simulate_campaign_kernel<T: Tracer>(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+    opts: KernelOpts,
+    tracer: &mut T,
+) -> Result<(CampaignOutcome, KernelReport), GroupingError> {
     grouping.validate(inst)?;
     for &(g, t) in &plan.failures {
         assert!(
@@ -234,6 +415,7 @@ pub fn simulate_campaign<T: Tracer>(
             grouping,
             config,
             plan,
+            opts,
             tracer,
             &mut cell.borrow_mut(),
         ))
@@ -241,16 +423,17 @@ pub fn simulate_campaign<T: Tracer>(
 }
 
 /// The event loop proper, on pre-validated input and reusable state.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn run<T: Tracer>(
     inst: Instance,
     table: &TimingTable,
     grouping: &Grouping,
     config: &CampaignConfig,
     plan: &FaultPlan,
+    opts: KernelOpts,
     tracer: &mut T,
     scratch: &mut Scratch,
-) -> CampaignOutcome {
+) -> (CampaignOutcome, KernelReport) {
     let sizes: &[u32] = grouping.groups();
     // The `T[G]` row, indexed by `G - 4` — one array load per group
     // instead of a spec lookup per `main_secs` call.
@@ -275,14 +458,26 @@ fn run<T: Tracer>(
     let Scratch {
         durs,
         bases,
-        busy,
+        busy_heap,
+        busy_cal,
         running,
         waiting,
         months_done,
         idle,
         dead,
-        chain,
+        chain_heap,
+        chain_fifo,
         post_pool,
+        det,
+        snap_busy,
+        snap_running,
+        snap_idle,
+        snap_wait,
+        wait_buf,
+        cal_buf,
+        pool_snaps,
+        pool_buf,
+        tmpl,
     } = scratch;
     durs.clear();
     match config.granularity {
@@ -314,6 +509,39 @@ fn run<T: Tracer>(
     failures.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut next_failure = 0usize;
 
+    // Kernel mode selection. Integer time is sound when every clock
+    // value the run can produce is an exactly-represented integer:
+    // integral task durations, integral failure instants, and a total
+    // horizon with comfortable headroom below 2^53.
+    let mut report = KernelReport::default();
+    let mut max_dur_ticks = 0u64;
+    let mut durs_ticky = true;
+    for &d in durs {
+        match exact_ticks(d) {
+            Some(ticks) if ticks > 0 => max_dur_ticks = max_dur_ticks.max(ticks),
+            _ => {
+                durs_ticky = false;
+                break;
+            }
+        }
+    }
+    let faults_ticky = failures.iter().all(|&(_, t)| is_tick_exact(t));
+    let max_fault = failures.iter().fold(0.0f64, |a, &(_, t)| a.max(t));
+    // Loose serial-work bound on the final clock value; restarts can
+    // re-execute at most one campaign's worth of months per failure.
+    let horizon = max_fault
+        + (f64::from(nm) + 1.0)
+            * (f64::from(inst.ns) + failures.len() as f64 + 1.0)
+            * (max_dur_ticks as f64 + steps.iter().sum::<f64>() + 1.0);
+    let want_ticks = (opts.calendar || opts.fast_forward)
+        && durs_ticky
+        && faults_ticky
+        && horizon < MAX_EXACT_SECS / 2.0;
+    let use_cal = want_ticks && busy_cal.configure(max_dur_ticks);
+    report.integer_time = use_cal;
+    let ff_on = opts.fast_forward && use_cal;
+    det.reset_run();
+
     if tracer.enabled() {
         tracer.record(TraceEvent::at(
             0.0,
@@ -338,8 +566,13 @@ fn run<T: Tracer>(
         Vec::new()
     };
 
-    busy.clear();
-    busy.reserve(sizes.len());
+    let mut busy = if use_cal {
+        Busy::Cal(busy_cal)
+    } else {
+        busy_heap.clear();
+        busy_heap.reserve(sizes.len());
+        Busy::Heap(busy_heap)
+    };
     running.clear();
     running.resize(sizes.len(), None); // (scenario, start)
     waiting.reset(config.policy, inst.ns);
@@ -353,17 +586,29 @@ fn run<T: Tracer>(
     dead.clear();
     dead.resize(sizes.len(), false);
 
-    chain.clear();
-    chain.reserve(inst.nbtasks() as usize);
     let mut seq: u64 = 0;
+    let mut chain = match config.granularity {
+        Granularity::Fused => {
+            chain_fifo.clear();
+            chain_fifo.reserve(inst.nbtasks() as usize);
+            Chain::Fifo(chain_fifo)
+        }
+        Granularity::Unfused => {
+            chain_heap.clear();
+            chain_heap.reserve(inst.nbtasks() as usize);
+            Chain::Heap(chain_heap)
+        }
+    };
     post_pool.clear();
     post_pool.reserve(inst.r as usize);
     for p in 0..grouping.post_procs {
-        post_pool.push(Reverse((Time(0.0), post_base + p)));
+        post_pool.push(time_key(0.0, post_base + p));
     }
 
     let mut lost_proc_secs = 0.0f64;
     let mut months_lost = 0u32;
+    let mut completions: u64 = 0;
+    let mut post_periodic: Option<PostPeriodic> = None;
 
     // One assignment + disband pass; mirrors `oa_sched::estimate`.
     macro_rules! assign {
@@ -373,7 +618,16 @@ fn run<T: Tracer>(
                 let g = idle.pop().expect("non-empty"); // largest idle group
                 let s = waiting.pop().expect("non-empty");
                 running[g] = Some((s, now));
-                busy.push(Reverse((Time(now + durs[g]), g)));
+                busy.push(now + durs[g], g);
+                if ff_on && det.armed() && tracer.enabled() {
+                    det.log.push(LogEv::Dispatch {
+                        t: now,
+                        g: g as u32,
+                        s,
+                        month: months_done[s as usize],
+                        queue_depth: waiting.len() as u32,
+                    });
+                }
                 if tracer.enabled() {
                     let task = FusedTask::main(s, months_done[s as usize]);
                     tracer.record(TraceEvent::at(
@@ -399,7 +653,7 @@ fn run<T: Tracer>(
                 let g = idle.remove(0); // smallest idle group disbands
                 alive -= 1;
                 for p in 0..sizes[g] {
-                    post_pool.push(Reverse((Time(now), bases[g] + p)));
+                    post_pool.push(time_key(now, bases[g] + p));
                 }
                 if tracer.enabled() {
                     tracer.record(TraceEvent::at(
@@ -466,9 +720,12 @@ fn run<T: Tracer>(
     macro_rules! stranded {
         () => {{
             let completed: u64 = months_done.iter().map(|&m| u64::from(m)).sum();
-            return CampaignOutcome::Stranded {
-                completed_months: completed,
-            };
+            return (
+                CampaignOutcome::Stranded {
+                    completed_months: completed,
+                },
+                report,
+            );
         }};
     }
 
@@ -477,26 +734,30 @@ fn run<T: Tracer>(
     let mut main_finish = 0.0f64;
     loop {
         // Choose the next event: completion or failure.
-        let completion_time = busy.peek().map(|Reverse((Time(t), _))| *t);
+        let completion_time = busy.peek_time();
         let failure_time = failures.get(next_failure).map(|&(_, t)| t);
         match (completion_time, failure_time) {
             (None, None) => break,
             (Some(tc), Some(tf)) if tf <= tc => {
+                busy.advance_to(tf);
                 let failure = failures[next_failure];
                 let impact = process_failure!(failure.0, failure.1);
                 if tracer.enabled() {
                     emit_failure(tracer, failure, impact.as_ref());
                 }
                 next_failure += 1;
+                det.disturb();
                 assign!(tf);
             }
             (None, Some(tf)) => {
+                busy.advance_to(tf);
                 let failure = failures[next_failure];
                 let impact = process_failure!(failure.0, failure.1);
                 if tracer.enabled() {
                     emit_failure(tracer, failure, impact.as_ref());
                 }
                 next_failure += 1;
+                det.disturb();
                 if alive == 0 && unfinished > 0 {
                     // Nothing can run the remaining months.
                     stranded!();
@@ -504,7 +765,7 @@ fn run<T: Tracer>(
                 assign!(tf);
             }
             (Some(_), _) => {
-                let Reverse((Time(t), g)) = busy.pop().expect("peeked");
+                let (t, g) = busy.pop().expect("peeked");
                 if dead[g] {
                     continue; // stale completion of a crashed group
                 }
@@ -512,6 +773,7 @@ fn run<T: Tracer>(
                 let month = months_done[s as usize];
                 months_done[s as usize] += 1;
                 main_finish = t;
+                completions += 1;
                 if record {
                     records.push(TaskRecord {
                         task: FusedTask::main(s, month),
@@ -524,8 +786,21 @@ fn run<T: Tracer>(
                         group: Some(g as u32),
                     });
                 }
-                chain.push(Reverse((Time(t), 0, seq, s, month)));
-                seq += 1;
+                match &mut chain {
+                    Chain::Fifo(f) => f.push_back((t, s, month)),
+                    Chain::Heap(h) => {
+                        h.push(time_key(t, (0, seq, s, month)));
+                        seq += 1;
+                    }
+                }
+                if ff_on && det.armed() {
+                    det.log.push(LogEv::Finish {
+                        t,
+                        g: g as u32,
+                        s,
+                        month,
+                    });
+                }
                 if tracer.enabled() {
                     tracer.record(TraceEvent::at(
                         t,
@@ -548,6 +823,165 @@ fn run<T: Tracer>(
                     .unwrap_err();
                 idle.insert(pos, g);
                 assign!(t);
+
+                // Steady-state detection: offer a snapshot every NS
+                // completions once the fault plan is exhausted. A
+                // cycle always spans NS·dm completions, so this
+                // cadence cannot miss the period.
+                if ff_on
+                    && det.active()
+                    && next_failure == failures.len()
+                    && completions.is_multiple_of(u64::from(inst.ns))
+                {
+                    let Busy::Cal(cal) = &busy else {
+                        unreachable!("fast-forward implies integer time")
+                    };
+                    cal_buf.clear();
+                    cal.sorted_content(cal_buf);
+                    let t_tick = t as u64;
+                    snap_busy.clear();
+                    snap_busy.extend(cal_buf.iter().map(|&(tick, bg)| (tick - t_tick, bg as u32)));
+                    snap_running.clear();
+                    for (rg, slot) in running.iter().enumerate() {
+                        if let Some((rs, start)) = slot {
+                            snap_running.push((rg as u32, *rs, (t - start) as u64));
+                        }
+                    }
+                    snap_idle.clear();
+                    snap_idle.extend(idle.iter().map(|&ig| ig as u32));
+                    waiting.canonical_content_into(wait_buf);
+                    snap_wait.clear();
+                    snap_wait.extend(wait_buf.iter().map(|&(_, ws)| ws));
+                    let view = SnapView {
+                        t,
+                        completions,
+                        chain_len: chain.len(),
+                        months: months_done,
+                        busy: snap_busy,
+                        running: snap_running,
+                        idle: snap_idle,
+                        waiting: snap_wait,
+                    };
+                    if let Some(m) = det.observe(&view, nm) {
+                        // Replay the matched cycle k times from the
+                        // journal: all sums below are integer-exact,
+                        // so every stamped value is bitwise what
+                        // event-by-event simulation would compute.
+                        for j in 1..=m.k {
+                            let shift = (j as f64) * m.d;
+                            let dmj = u32::try_from(j).expect("k < NM") * m.dm;
+                            for ev in &det.log[m.log_start..m.log_end] {
+                                match *ev {
+                                    LogEv::Finish {
+                                        t: te,
+                                        g: eg,
+                                        s: es,
+                                        month: em,
+                                    } => {
+                                        let eg = eg as usize;
+                                        let t2 = te + shift;
+                                        let m2 = em + dmj;
+                                        main_finish = t2;
+                                        if record {
+                                            records.push(TaskRecord {
+                                                task: FusedTask::main(es, m2),
+                                                procs: ProcRange {
+                                                    first: bases[eg],
+                                                    count: sizes[eg],
+                                                },
+                                                start: t2 - durs[eg],
+                                                end: t2,
+                                                group: Some(eg as u32),
+                                            });
+                                        }
+                                        match &mut chain {
+                                            Chain::Fifo(f) => f.push_back((t2, es, m2)),
+                                            Chain::Heap(h) => {
+                                                h.push(time_key(t2, (0, seq, es, m2)));
+                                                seq += 1;
+                                            }
+                                        }
+                                        if tracer.enabled() {
+                                            tracer.record(TraceEvent::at(
+                                                t2,
+                                                EventKind::TaskFinish {
+                                                    task: FusedTask::main(es, m2),
+                                                    first_proc: bases[eg],
+                                                    procs: sizes[eg],
+                                                    group: Some(eg as u32),
+                                                    secs: durs[eg],
+                                                },
+                                            ));
+                                        }
+                                    }
+                                    LogEv::Dispatch {
+                                        t: te,
+                                        g: eg,
+                                        s: es,
+                                        month: em,
+                                        queue_depth,
+                                    } => {
+                                        // Journaled only when tracing.
+                                        let t2 = te + shift;
+                                        let task = FusedTask::main(es, em + dmj);
+                                        tracer.record(TraceEvent::at(
+                                            t2,
+                                            EventKind::TaskDispatch {
+                                                task,
+                                                group: Some(eg),
+                                                queue_depth,
+                                            },
+                                        ));
+                                        tracer.record(TraceEvent::at(
+                                            t2,
+                                            EventKind::TaskStart {
+                                                task,
+                                                first_proc: bases[eg as usize],
+                                                procs: sizes[eg as usize],
+                                                group: Some(eg),
+                                            },
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        // Shift the live state k cycles forward.
+                        let total = (m.k as f64) * m.d;
+                        let total_ticks = total as u64;
+                        let Busy::Cal(cal) = &mut busy else {
+                            unreachable!("fast-forward implies integer time")
+                        };
+                        cal_buf.clear();
+                        while let Some(entry) = cal.pop() {
+                            cal_buf.push(entry);
+                        }
+                        for &(tick, bg) in cal_buf.iter() {
+                            cal.push(tick + total_ticks, bg);
+                        }
+                        for slot in running.iter_mut().flatten() {
+                            slot.1 += total;
+                        }
+                        let dm_total = u32::try_from(m.k).expect("k < NM") * m.dm;
+                        for md in months_done.iter_mut() {
+                            *md += dm_total;
+                        }
+                        waiting.canonical_content_into(wait_buf);
+                        waiting.reset(config.policy, 0);
+                        for &(_, ws) in wait_buf.iter() {
+                            waiting.push(months_done[ws as usize], ws);
+                        }
+                        completions += m.k * m.cycle_completions;
+                        report.main_cycles_skipped = m.k;
+                        if config.granularity == Granularity::Fused {
+                            post_periodic = Some(PostPeriodic {
+                                start_idx: m.chain_start,
+                                cycles: m.k + 1,
+                                len: m.cycle_completions as usize,
+                                d: m.d,
+                            });
+                        }
+                    }
+                }
             }
         }
         if unfinished > 0 && alive == 0 && busy.is_empty() {
@@ -567,54 +1001,242 @@ fn run<T: Tracer>(
         stranded!();
     }
     let mut post_finish = 0.0f64;
-    while let Some(Reverse((Time(ready), step, _, s, month))) = chain.pop() {
-        let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
-        let start = if avail > ready { avail } else { ready };
-        let end = start + steps[step as usize];
-        post_pool.push(Reverse((Time(end), proc)));
-        let task = match config.granularity {
-            Granularity::Fused => FusedTask::post(s, month),
-            Granularity::Unfused => FusedTask {
-                scenario: s,
-                month,
-                kind: STEP_KINDS[step as usize],
-            },
-        };
-        if record {
-            records.push(TaskRecord {
-                task,
-                procs: ProcRange::single(proc),
-                start,
-                end,
-                group: None,
-            });
+    match chain {
+        Chain::Fifo(fifo) => {
+            // Fused drain, with its own steady-state fast-forward: the
+            // main-phase replay hands over the periodic chain region,
+            // and once the pool shape recurs at a cycle boundary
+            // (relative to the boundary instant, bitwise), the drain
+            // stamps whole cycles from the template. Sound only when
+            // the post duration is integral too.
+            let entries = fifo.make_contiguous();
+            let mut pd =
+                post_periodic.filter(|p| is_tick_exact(steps[0]) && p.len > 0 && p.cycles >= 2);
+            let mut n_pool_snaps = 0usize;
+            tmpl.clear();
+            let mut i = 0usize;
+            while i < entries.len() {
+                if let Some(p) = pd {
+                    if i >= p.start_idx && (i - p.start_idx).is_multiple_of(p.len) {
+                        let c = ((i - p.start_idx) / p.len) as u64;
+                        if c >= p.cycles {
+                            pd = None; // past the periodic region
+                        } else {
+                            let t_b = entries[i].0;
+                            if n_pool_snaps == pool_snaps.len() {
+                                pool_snaps.push(PoolSnap::default());
+                            }
+                            let (prev, slot) = pool_snaps.split_at_mut(n_pool_snaps);
+                            let snap = &mut slot[0];
+                            pool_snapshot(
+                                snap,
+                                c,
+                                t_b,
+                                post_pool.iter().map(|&Reverse((Time(a), pp))| (a, pp)),
+                            );
+                            let hit = prev[..n_pool_snaps]
+                                .iter()
+                                .rev()
+                                .find_map(|ps| pool_match(ps, snap).map(|sh| (ps, sh)));
+                            if let Some((ps, sh)) = hit {
+                                let q = c - ps.cycle;
+                                // The handed-over region spaces boundaries
+                                // exactly `d` apart; anything else means the
+                                // chain is not actually periodic here.
+                                debug_assert_eq!(sh.delta, (q as f64) * p.d);
+                                let mut n = if sh.delta == (q as f64) * p.d {
+                                    (p.cycles - c) / q
+                                } else {
+                                    0
+                                };
+                                if let Some(min_stable) = sh.min_stable {
+                                    // A replayed window may only pop shifted
+                                    // (cycling) processors: cap n so the
+                                    // largest shifted availability, advancing
+                                    // `delta` per window, stays strictly
+                                    // below every parked one.
+                                    let room = min_stable - sh.max_shifted - 1.0;
+                                    let cap = if room < 0.0 {
+                                        0.0
+                                    } else {
+                                        (room / sh.delta).floor()
+                                    };
+                                    n = n.min(cap as u64);
+                                }
+                                if n >= 1 {
+                                    let w0 =
+                                        usize::try_from(ps.cycle).expect("cycle index") * p.len;
+                                    let w1 = usize::try_from(c).expect("cycle index") * p.len;
+                                    for r in 1..=n {
+                                        let shift_secs = ((r * q) as f64) * p.d;
+                                        let stride =
+                                            usize::try_from(r * q).expect("cycle stride") * p.len;
+                                        for (off, &(proc, st, en)) in
+                                            tmpl[w0..w1].iter().enumerate()
+                                        {
+                                            let ci = p.start_idx + w0 + stride + off;
+                                            let (er, es, em) = entries[ci];
+                                            debug_assert_eq!(
+                                                er,
+                                                entries[p.start_idx + w0 + off].0 + shift_secs,
+                                                "replayed chain entry off the periodic lattice"
+                                            );
+                                            let start = st + shift_secs;
+                                            let end = en + shift_secs;
+                                            let task = FusedTask::post(es, em);
+                                            if record {
+                                                records.push(TaskRecord {
+                                                    task,
+                                                    procs: ProcRange::single(proc),
+                                                    start,
+                                                    end,
+                                                    group: None,
+                                                });
+                                            }
+                                            if tracer.enabled() {
+                                                tracer.record(TraceEvent::at(
+                                                    start,
+                                                    EventKind::TaskStart {
+                                                        task,
+                                                        first_proc: proc,
+                                                        procs: 1,
+                                                        group: None,
+                                                    },
+                                                ));
+                                                tracer.record(TraceEvent::at(
+                                                    end,
+                                                    EventKind::TaskFinish {
+                                                        task,
+                                                        first_proc: proc,
+                                                        procs: 1,
+                                                        group: None,
+                                                        secs: end - start,
+                                                    },
+                                                ));
+                                            }
+                                            if end > post_finish {
+                                                post_finish = end;
+                                            }
+                                        }
+                                    }
+                                    // Advance the cycling processors n·q
+                                    // cycles; the parked ones kept their
+                                    // absolute availabilities throughout.
+                                    let total = ((n * q) as f64) * p.d;
+                                    let cutoff = sh.min_stable.unwrap_or(f64::INFINITY);
+                                    pool_buf.clear();
+                                    pool_buf.extend(
+                                        post_pool.iter().map(|&Reverse((Time(a), pp))| (a, pp)),
+                                    );
+                                    post_pool.clear();
+                                    for &(a, pp) in pool_buf.iter() {
+                                        let a2 = if a < cutoff { a + total } else { a };
+                                        post_pool.push(time_key(a2, pp));
+                                    }
+                                    report.post_cycles_skipped = n * q;
+                                    i += usize::try_from(n * q).expect("cycle stride") * p.len;
+                                    pd = None;
+                                    continue;
+                                }
+                                pd = None; // matched too late to skip
+                            } else {
+                                n_pool_snaps += 1;
+                                if n_pool_snaps == MAX_POOL_SNAPS {
+                                    pd = None; // pool never settled
+                                }
+                            }
+                        }
+                    }
+                }
+                let (ready, s, month) = entries[i];
+                let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
+                let start = if avail > ready { avail } else { ready };
+                let end = start + steps[0];
+                post_pool.push(time_key(end, proc));
+                if let Some(p) = pd {
+                    if i >= p.start_idx {
+                        tmpl.push((proc, start, end));
+                    }
+                }
+                let task = FusedTask::post(s, month);
+                if record {
+                    records.push(TaskRecord {
+                        task,
+                        procs: ProcRange::single(proc),
+                        start,
+                        end,
+                        group: None,
+                    });
+                }
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        start,
+                        EventKind::TaskStart {
+                            task,
+                            first_proc: proc,
+                            procs: 1,
+                            group: None,
+                        },
+                    ));
+                    tracer.record(TraceEvent::at(
+                        end,
+                        EventKind::TaskFinish {
+                            task,
+                            first_proc: proc,
+                            procs: 1,
+                            group: None,
+                            secs: end - start,
+                        },
+                    ));
+                }
+                if end > post_finish {
+                    post_finish = end;
+                }
+                i += 1;
+            }
         }
-        if tracer.enabled() {
-            tracer.record(TraceEvent::at(
-                start,
-                EventKind::TaskStart {
-                    task,
-                    first_proc: proc,
-                    procs: 1,
-                    group: None,
-                },
-            ));
-            tracer.record(TraceEvent::at(
-                end,
-                EventKind::TaskFinish {
-                    task,
-                    first_proc: proc,
-                    procs: 1,
-                    group: None,
-                    secs: end - start,
-                },
-            ));
-        }
-        if step < last_step {
-            chain.push(Reverse((Time(end), step + 1, seq, s, month)));
-            seq += 1;
-        } else {
-            post_finish = post_finish.max(end);
+        Chain::Heap(heap) => {
+            // Unfused drain: steps re-enter the chain at out-of-order
+            // ready times, so the heap (and event-by-event processing)
+            // stays.
+            while let Some(Reverse((Time(ready), (step, _, s, month)))) = heap.pop() {
+                let Reverse((Time(avail), proc)) = post_pool.pop().expect("pool non-empty");
+                let start = if avail > ready { avail } else { ready };
+                let end = start + steps[step as usize];
+                post_pool.push(time_key(end, proc));
+                let task = FusedTask {
+                    scenario: s,
+                    month,
+                    kind: STEP_KINDS[step as usize],
+                };
+                if tracer.enabled() {
+                    tracer.record(TraceEvent::at(
+                        start,
+                        EventKind::TaskStart {
+                            task,
+                            first_proc: proc,
+                            procs: 1,
+                            group: None,
+                        },
+                    ));
+                    tracer.record(TraceEvent::at(
+                        end,
+                        EventKind::TaskFinish {
+                            task,
+                            first_proc: proc,
+                            procs: 1,
+                            group: None,
+                            secs: end - start,
+                        },
+                    ));
+                }
+                if step < last_step {
+                    heap.push(time_key(end, (step + 1, seq, s, month)));
+                    seq += 1;
+                } else {
+                    post_finish = post_finish.max(end);
+                }
+            }
         }
     }
 
@@ -651,12 +1273,15 @@ fn run<T: Tracer>(
         None
     };
 
-    CampaignOutcome::Completed(CampaignRun {
-        schedule,
-        makespan,
-        main_finish,
-        post_finish,
-        lost_proc_secs,
-        months_lost,
-    })
+    (
+        CampaignOutcome::Completed(CampaignRun {
+            schedule,
+            makespan,
+            main_finish,
+            post_finish,
+            lost_proc_secs,
+            months_lost,
+        }),
+        report,
+    )
 }

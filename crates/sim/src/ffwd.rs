@@ -1,0 +1,659 @@
+//! Steady-state cycle detection for the campaign engine's
+//! fast-forward kernel.
+//!
+//! A fault-free campaign is NS independent scenarios of NM identical
+//! monthly DAGs: once the pipeline fills, the engine state becomes
+//! *periodic* — the same busy/running/idle/waiting shape recurs, only
+//! shifted by a constant time offset `D` and a constant per-scenario
+//! month offset `dm`. From that point on, re-simulating each cycle is
+//! wasted work: the records, trace events and state deltas of one
+//! cycle are a template for all the following ones.
+//!
+//! This module is the detector half of that optimisation. The engine
+//! feeds it a state snapshot every NS processed completions (a cycle
+//! always spans `NS · dm` completions, so this cadence cannot miss a
+//! period); the detector hashes the time-shift-invariant shape,
+//! compares against up to [`MAX_SNAPS`] earlier snapshots, and on a
+//! verified match returns a [`CycleMatch`] telling the engine how many
+//! whole cycles it may replay arithmetically. The engine performs the
+//! replay itself (it owns the records, the chain and the tracer) from
+//! the [`LogEv`] journal captured while the detector was armed.
+//!
+//! # When detection is sound
+//!
+//! The replay stamps event times as `t + j·D`. For that to be *bitwise*
+//! identical to event-by-event simulation, every addition must be
+//! exact, which the engine guarantees before arming the detector: all
+//! task durations (and any failure instants) are integral seconds below
+//! `2^53` (`oa_sched::time::exact_ticks`), so every clock value in the
+//! run is an exactly-represented integer and `f64` addition never
+//! rounds. The detector additionally refuses to operate while a fault
+//! is pending — the engine only arms it once `next_failure` has passed
+//! the end of the plan — and it caps the skip so that no scenario
+//! reaches its final month inside a replayed cycle (completion events
+//! change the state shape: scenarios leave the system and groups
+//! disband, which only the event-by-event path handles).
+
+/// Kernel knobs of [`crate::engine::simulate_campaign_kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOpts {
+    /// Detect periodic steady state and advance whole cycles
+    /// arithmetically (implies the integer-time representation when
+    /// eligible). Output remains bitwise identical either way.
+    pub fast_forward: bool,
+    /// Use the integer-tick calendar queue for the busy set when every
+    /// duration is an exact integral second (falls back to the binary
+    /// heap otherwise).
+    pub calendar: bool,
+}
+
+impl Default for KernelOpts {
+    fn default() -> Self {
+        Self {
+            fast_forward: true,
+            calendar: true,
+        }
+    }
+}
+
+impl KernelOpts {
+    /// The pure event-by-event baseline: no fast-forward, no calendar
+    /// queue — the exact seed behaviour, kept reachable for
+    /// differential tests and the kernel benches.
+    #[must_use]
+    pub fn event_by_event() -> Self {
+        Self {
+            fast_forward: false,
+            calendar: false,
+        }
+    }
+}
+
+/// What the kernel actually did during one run — the observability
+/// counterpart of [`KernelOpts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelReport {
+    /// The run qualified for the integer-time representation (integral
+    /// durations and failure instants, bounded horizon).
+    pub integer_time: bool,
+    /// Whole main-phase cycles the fast-forward replayed from template
+    /// instead of simulating.
+    pub main_cycles_skipped: u64,
+    /// Whole post-phase cycles replayed from template during the drain.
+    pub post_cycles_skipped: u64,
+}
+
+/// Snapshots kept before the detector gives up. 64 snapshots at one
+/// per NS completions covers a transient of 64 candidate cycles —
+/// pipelines fill in a handful.
+const MAX_SNAPS: usize = 64;
+
+/// Journal cap: if the log grows past this without a match the
+/// detector gives up rather than hoard memory (the pathological case
+/// is a long aperiodic run under the most-advanced policy).
+const MAX_LOG: usize = 1 << 20;
+
+/// One journaled engine event, captured while the detector is armed.
+/// Times are absolute; the replay shifts them by whole cycle deltas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum LogEv {
+    /// A main-task completion on group `g`.
+    Finish {
+        /// Completion instant.
+        t: f64,
+        /// Group index.
+        g: u32,
+        /// Scenario.
+        s: u32,
+        /// Month that completed.
+        month: u32,
+    },
+    /// A dispatch of scenario `s` onto group `g` (the engine emits a
+    /// `TaskDispatch` + `TaskStart` pair for it).
+    Dispatch {
+        /// Dispatch instant.
+        t: f64,
+        /// Group index.
+        g: u32,
+        /// Scenario.
+        s: u32,
+        /// Month being started.
+        month: u32,
+        /// Waiting-queue depth after the pop, for the trace event.
+        queue_depth: u32,
+    },
+}
+
+/// A verified periodic match: the engine may replay the journal window
+/// `log[log_start..log_end]` `k` times, shifting times by `j·d` and
+/// months by `j·dm` on replay `j`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CycleMatch {
+    /// Cycle time delta (exact integral seconds).
+    pub d: f64,
+    /// Months every scenario advances per cycle.
+    pub dm: u32,
+    /// Whole cycles to replay (≥ 1).
+    pub k: u64,
+    /// Journal window start (snapshot A's log length).
+    pub log_start: usize,
+    /// Journal window end (current log length).
+    pub log_end: usize,
+    /// Chain length at snapshot A — the first chain index of the
+    /// periodic region, which the post drain's own detector picks up.
+    pub chain_start: usize,
+    /// Completions per cycle (= NS · dm).
+    pub cycle_completions: u64,
+}
+
+/// One stored state snapshot, shape fields relative to the snapshot
+/// instant so that time-shifted recurrences compare equal. All offsets
+/// are exact (integral-second mode), stored as raw `f64` bits.
+#[derive(Debug, Default)]
+struct Snap {
+    /// Snapshot instant.
+    t: f64,
+    /// Completions processed so far.
+    completions: u64,
+    /// Chain length at the snapshot.
+    chain_len: usize,
+    /// Journal length at the snapshot.
+    log_len: usize,
+    /// Hash of the shape fields below.
+    hash: u64,
+    /// Months completed per scenario (absolute; compared modulo a
+    /// uniform shift).
+    months: Vec<u32>,
+    /// Busy set: (finish − t) in exact bits, group — sorted pop order.
+    busy: Vec<(u64, u32)>,
+    /// Running groups: (group, scenario, (t − start) bits).
+    running: Vec<(u32, u32, u64)>,
+    /// Idle groups in assignment order.
+    idle: Vec<u32>,
+    /// Waiting scenarios in canonical pop-determining order.
+    waiting: Vec<u32>,
+}
+
+/// A borrowed view of the engine state at a snapshot point.
+pub(crate) struct SnapView<'a> {
+    /// Current instant (a completion time).
+    pub t: f64,
+    /// Completions processed so far.
+    pub completions: u64,
+    /// Chain length right now.
+    pub chain_len: usize,
+    /// Months completed per scenario.
+    pub months: &'a [u32],
+    /// Busy set as (finish − t) bits and group, sorted pop order.
+    pub busy: &'a [(u64, u32)],
+    /// Running groups as (group, scenario, (t − start) bits).
+    pub running: &'a [(u32, u32, u64)],
+    /// Idle groups in assignment order.
+    pub idle: &'a [u32],
+    /// Waiting scenario ids in canonical order.
+    pub waiting: &'a [u32],
+}
+
+/// FNV-1a over a word stream; collisions are harmless (a full
+/// comparison always verifies a hash hit).
+fn hash_words(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The steady-state detector. Lives in the engine's thread-local
+/// scratch; all buffers are reused across runs.
+#[derive(Debug, Default)]
+pub(crate) struct Detector {
+    /// Snapshot arena; only the first `n` entries are live.
+    snaps: Vec<Snap>,
+    /// Live snapshots.
+    n: usize,
+    /// Event journal since arming.
+    pub(crate) log: Vec<LogEv>,
+    /// Whether the journal is being captured.
+    armed: bool,
+    /// Gave up or already fired — no further snapshots this run.
+    done: bool,
+}
+
+impl Detector {
+    /// Resets for a new run.
+    pub(crate) fn reset_run(&mut self) {
+        self.n = 0;
+        self.log.clear();
+        self.armed = false;
+        self.done = false;
+    }
+
+    /// A failure was processed: drop all snapshots and the journal.
+    /// (The engine re-arms automatically once the plan is exhausted.)
+    pub(crate) fn disturb(&mut self) {
+        self.n = 0;
+        self.log.clear();
+        self.armed = false;
+    }
+
+    /// Whether the journal should be fed.
+    pub(crate) fn armed(&self) -> bool {
+        self.armed && !self.done
+    }
+
+    /// Whether the detector still wants snapshots.
+    pub(crate) fn active(&self) -> bool {
+        !self.done
+    }
+
+    /// Offers a snapshot. Returns a verified cycle match, after which
+    /// the detector retires for the rest of the run (the remaining
+    /// months fit in fewer than two cycles, so a second fast-forward
+    /// cannot pay for its detection).
+    pub(crate) fn observe(&mut self, view: &SnapView<'_>, nm: u32) -> Option<CycleMatch> {
+        if self.done {
+            return None;
+        }
+        if self.log.len() > MAX_LOG {
+            self.give_up();
+            return None;
+        }
+        let hash = hash_words(
+            view.busy
+                .iter()
+                .flat_map(|&(dt, g)| [dt, u64::from(g)])
+                .chain(
+                    view.running
+                        .iter()
+                        .flat_map(|&(g, s, age)| [u64::from(g), u64::from(s), age]),
+                )
+                .chain(view.idle.iter().map(|&g| u64::from(g)))
+                .chain(view.waiting.iter().map(|&s| u64::from(s))),
+        );
+        // Newest first: the most recent matching snapshot gives the
+        // shortest period and therefore the smallest replay template.
+        for i in (0..self.n).rev() {
+            let snap = &self.snaps[i];
+            if snap.hash != hash || !Self::shape_eq(snap, view) {
+                continue;
+            }
+            let Some(dm) = Self::uniform_month_shift(&snap.months, view.months) else {
+                continue;
+            };
+            let d = view.t - snap.t;
+            debug_assert!(d > 0.0 && d.fract() == 0.0, "cycle delta must be exact");
+            debug_assert_eq!(
+                view.completions - snap.completions,
+                u64::from(dm) * view.months.len() as u64,
+                "a cycle spans NS * dm completions"
+            );
+            // Cap the skip so every replayed completion still re-queues
+            // its scenario: months stay strictly below NM throughout.
+            let k = view
+                .months
+                .iter()
+                .map(|&m| {
+                    // Matching shapes put every scenario in running or
+                    // waiting, so none has completed yet.
+                    debug_assert!(m < nm, "completed scenario inside a matched cycle");
+                    u64::from((nm - 1 - m) / dm)
+                })
+                .min()
+                .expect("at least one scenario");
+            self.done = true; // one shot per run either way
+            if k == 0 {
+                return None;
+            }
+            return Some(CycleMatch {
+                d,
+                dm,
+                k,
+                log_start: snap.log_len,
+                log_end: self.log.len(),
+                chain_start: snap.chain_len,
+                cycle_completions: view.completions - snap.completions,
+            });
+        }
+        if self.n == MAX_SNAPS {
+            self.give_up();
+            return None;
+        }
+        self.store(view, hash);
+        self.armed = true;
+        None
+    }
+
+    fn give_up(&mut self) {
+        self.done = true;
+        self.n = 0;
+        self.log.clear();
+    }
+
+    fn shape_eq(snap: &Snap, view: &SnapView<'_>) -> bool {
+        snap.busy == view.busy
+            && snap.running == view.running
+            && snap.idle == view.idle
+            && snap.waiting == view.waiting
+    }
+
+    /// The uniform `dm ≥ 1` with `b[s] == a[s] + dm` for every
+    /// scenario, if one exists.
+    fn uniform_month_shift(a: &[u32], b: &[u32]) -> Option<u32> {
+        debug_assert_eq!(a.len(), b.len());
+        let dm = b
+            .first()
+            .zip(a.first())
+            .and_then(|(&b0, &a0)| b0.checked_sub(a0))?;
+        (dm >= 1 && a.iter().zip(b).all(|(&x, &y)| y.checked_sub(x) == Some(dm))).then_some(dm)
+    }
+
+    /// Stores `view` in the snapshot arena, reusing buffers.
+    fn store(&mut self, view: &SnapView<'_>, hash: u64) {
+        if self.n == self.snaps.len() {
+            self.snaps.push(Snap::default());
+        }
+        let snap = &mut self.snaps[self.n];
+        snap.t = view.t;
+        snap.completions = view.completions;
+        snap.chain_len = view.chain_len;
+        snap.log_len = self.log.len();
+        snap.hash = hash;
+        snap.months.clear();
+        snap.months.extend_from_slice(view.months);
+        snap.busy.clear();
+        snap.busy.extend_from_slice(view.busy);
+        snap.running.clear();
+        snap.running.extend_from_slice(view.running);
+        snap.idle.clear();
+        snap.idle.extend_from_slice(view.idle);
+        snap.waiting.clear();
+        snap.waiting.extend_from_slice(view.waiting);
+        self.n += 1;
+    }
+}
+
+/// The periodic region of the post chain, handed from the main-phase
+/// fast-forward to the drain: chain entries
+/// `[start_idx, start_idx + cycles·len)` repeat with period `len`
+/// entries / `d` seconds. The drain runs its own pool-shape detector
+/// over the cycle boundaries (see `engine::drain_fused`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PostPeriodic {
+    /// First chain index of the periodic region.
+    pub start_idx: usize,
+    /// Whole cycles in the region (the matched window plus the
+    /// replayed ones).
+    pub cycles: u64,
+    /// Chain entries per cycle.
+    pub len: usize,
+    /// Cycle time delta, exact integral seconds.
+    pub d: f64,
+}
+
+/// One pool snapshot at a post-phase cycle boundary: the *absolute*
+/// availability of every processor (exact bits), sorted by processor
+/// id. Absolute, not boundary-relative, because the pool mixes two
+/// populations: the reserved post processors cycle with the chain
+/// (their availabilities recur relative to the boundary), while the
+/// main-phase processors sit parked at the instant they will finish
+/// their last main task — a *constant* availability far in the future
+/// that a relative encoding would smear across every boundary.
+#[derive(Debug, Default)]
+pub(crate) struct PoolSnap {
+    /// Cycle index within the periodic region.
+    pub cycle: u64,
+    /// Boundary instant (first ready time of the cycle).
+    pub t_b: f64,
+    /// (processor id, absolute availability bits), sorted by id.
+    pub avails: Vec<(u32, u64)>,
+}
+
+/// A pool recurrence between two boundaries: every processor either
+/// kept its availability bit-for-bit (*stable* — parked, untouched by
+/// the window) or advanced by exactly the boundary delta (*shifted* —
+/// participating in the cycle).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PoolShift {
+    /// Boundary time delta (exact integral seconds).
+    pub delta: f64,
+    /// Largest availability among shifted processors at the newer
+    /// boundary.
+    pub max_shifted: f64,
+    /// Smallest availability among stable processors, if any. A
+    /// replayed window may only pop shifted processors, so replay must
+    /// stop while `max_shifted` (advancing `delta` per window) is
+    /// still strictly below this.
+    pub min_stable: Option<f64>,
+}
+
+/// Boundary snapshots kept before the post-phase detector gives up.
+pub(crate) const MAX_POOL_SNAPS: usize = 64;
+
+/// Builds a pool snapshot into `snap` from `(avail, proc)` pairs at
+/// boundary instant `t_b`.
+pub(crate) fn pool_snapshot(
+    snap: &mut PoolSnap,
+    cycle: u64,
+    t_b: f64,
+    pool: impl Iterator<Item = (f64, u32)>,
+) {
+    snap.cycle = cycle;
+    snap.t_b = t_b;
+    snap.avails.clear();
+    snap.avails
+        .extend(pool.map(|(avail, p)| (p, avail.to_bits())));
+    snap.avails.sort_unstable_by_key(|&(p, _)| p);
+}
+
+/// Tests whether `cur` is a recurrence of `prev`: same processor set,
+/// each one either stable or shifted by exactly the boundary delta.
+/// Stability over a window proves the processor was never popped in it
+/// (a pop re-enters strictly later), so during a shifted replay the
+/// stable set is inert as long as no shifted availability crosses it.
+pub(crate) fn pool_match(prev: &PoolSnap, cur: &PoolSnap) -> Option<PoolShift> {
+    if prev.avails.len() != cur.avails.len() {
+        return None;
+    }
+    let delta = cur.t_b - prev.t_b;
+    if delta <= 0.0 {
+        return None;
+    }
+    let mut max_shifted = f64::NEG_INFINITY;
+    let mut min_stable = f64::INFINITY;
+    let mut any_shifted = false;
+    for (&(pa, ba), &(pb, bb)) in prev.avails.iter().zip(&cur.avails) {
+        if pa != pb {
+            return None;
+        }
+        if ba == bb {
+            min_stable = min_stable.min(f64::from_bits(bb));
+        } else if (f64::from_bits(ba) + delta).to_bits() == bb {
+            any_shifted = true;
+            max_shifted = max_shifted.max(f64::from_bits(bb));
+        } else {
+            return None;
+        }
+    }
+    if !any_shifted {
+        return None;
+    }
+    Some(PoolShift {
+        delta,
+        max_shifted,
+        min_stable: min_stable.is_finite().then_some(min_stable),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        t: f64,
+        completions: u64,
+        months: &'a [u32],
+        busy: &'a [(u64, u32)],
+        running: &'a [(u32, u32, u64)],
+        idle: &'a [u32],
+        waiting: &'a [u32],
+    ) -> SnapView<'a> {
+        SnapView {
+            t,
+            completions,
+            chain_len: completions as usize,
+            months,
+            busy,
+            running,
+            idle,
+            waiting,
+        }
+    }
+
+    #[test]
+    fn detects_a_uniform_shift_and_caps_k() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let busy = [(100u64, 0u32), (250, 1)];
+        let running = [(0u32, 0u32, 50u64), (1, 1, 10)];
+        let idle: [u32; 0] = [];
+        let waiting = [2u32];
+        // ns = 3 scenarios, dm = 2 per cycle, cycle = 6 completions.
+        let a = view(1000.0, 6, &[4, 4, 4], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&a, 100).is_none());
+        let b = view(1600.0, 12, &[6, 6, 6], &busy, &running, &idle, &waiting);
+        let m = det.observe(&b, 100).expect("periodic state must match");
+        assert_eq!(m.dm, 2);
+        assert_eq!(m.d, 600.0);
+        assert_eq!(m.cycle_completions, 6);
+        // (nm - 1 - 6) / 2 = 46 whole cycles stay below month 100.
+        assert_eq!(m.k, 46);
+        // One shot: the detector retires after firing.
+        assert!(!det.active());
+    }
+
+    #[test]
+    fn non_uniform_month_progress_never_matches() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let busy = [(10u64, 0u32)];
+        let running = [(0u32, 0u32, 5u64)];
+        let idle: [u32; 0] = [];
+        let waiting = [1u32];
+        let a = view(10.0, 2, &[1, 1], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&a, 50).is_none());
+        // Same shape, but scenario 1 advanced twice as fast.
+        let b = view(30.0, 4, &[2, 3], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&b, 50).is_none());
+        assert!(det.active(), "a non-match keeps the detector alive");
+    }
+
+    #[test]
+    fn shape_difference_never_matches() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let running = [(0u32, 0u32, 5u64)];
+        let idle: [u32; 0] = [];
+        let waiting = [1u32];
+        let a = view(10.0, 2, &[1, 1], &[(10, 0)], &running, &idle, &waiting);
+        assert!(det.observe(&a, 50).is_none());
+        let b = view(30.0, 4, &[2, 2], &[(11, 0)], &running, &idle, &waiting);
+        assert!(det.observe(&b, 50).is_none());
+    }
+
+    #[test]
+    fn disturb_forgets_everything() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let busy = [(10u64, 0u32)];
+        let running: [(u32, u32, u64); 0] = [];
+        let idle = [0u32];
+        let waiting: [u32; 0] = [];
+        let a = view(10.0, 1, &[1], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&a, 50).is_none());
+        assert!(det.armed());
+        det.disturb();
+        assert!(!det.armed());
+        // The exact recurrence of snapshot A no longer matches anything.
+        let b = view(20.0, 2, &[2], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&b, 50).is_none());
+    }
+
+    #[test]
+    fn near_tail_match_retires_without_firing() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let busy = [(10u64, 0u32)];
+        let running: [(u32, u32, u64); 0] = [];
+        let idle = [0u32];
+        let waiting: [u32; 0] = [];
+        let a = view(10.0, 1, &[8], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&a, 10).is_none());
+        // dm = 1, nm = 10, month 9: (10 - 1 - 9) / 1 = 0 cycles fit.
+        let b = view(20.0, 2, &[9], &busy, &running, &idle, &waiting);
+        assert!(det.observe(&b, 10).is_none());
+        assert!(!det.active());
+    }
+
+    #[test]
+    fn gives_up_after_the_snapshot_cap() {
+        let mut det = Detector::default();
+        det.reset_run();
+        let running: [(u32, u32, u64); 0] = [];
+        let idle = [0u32];
+        let waiting: [u32; 0] = [];
+        for i in 0..=MAX_SNAPS as u64 {
+            // Every snapshot has a distinct busy shape: never matches.
+            let busy = [(i, 0u32)];
+            let v = view(i as f64, i, &[0], &busy, &running, &idle, &waiting);
+            assert!(det.observe(&v, 1000).is_none());
+        }
+        assert!(!det.active());
+    }
+
+    #[test]
+    fn pool_match_partitions_stable_and_shifted() {
+        let mut a = PoolSnap::default();
+        let mut b = PoolSnap::default();
+        // Processors 2 and 0 cycle with the chain (+300 across the
+        // window); processor 5 is parked at 9000 until the main phase
+        // ends.
+        pool_snapshot(
+            &mut a,
+            0,
+            100.0,
+            [(90.0, 2), (9000.0, 5), (110.0, 0)].into_iter(),
+        );
+        pool_snapshot(
+            &mut b,
+            3,
+            400.0,
+            [(410.0, 0), (390.0, 2), (9000.0, 5)].into_iter(),
+        );
+        let m = pool_match(&a, &b).expect("stable + uniformly shifted must match");
+        assert_eq!(m.delta, 300.0);
+        assert_eq!(m.max_shifted, 410.0);
+        assert_eq!(m.min_stable, Some(9000.0));
+
+        // A processor moving by anything but the boundary delta kills
+        // the match.
+        let mut c = PoolSnap::default();
+        pool_snapshot(
+            &mut c,
+            3,
+            400.0,
+            [(410.0, 0), (395.0, 2), (9000.0, 5)].into_iter(),
+        );
+        assert!(pool_match(&a, &c).is_none());
+
+        // All-stable pools carry no cycle to replay.
+        let mut d = PoolSnap::default();
+        pool_snapshot(
+            &mut d,
+            3,
+            400.0,
+            [(110.0, 0), (90.0, 2), (9000.0, 5)].into_iter(),
+        );
+        assert!(pool_match(&a, &d).is_none());
+    }
+}

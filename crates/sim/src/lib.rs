@@ -8,7 +8,13 @@
 //! * [`engine`] — the one generic discrete-event campaign loop, driven
 //!   by an `oa_sched::policy::CampaignConfig` (scenario policy × task
 //!   granularity × recovery model) plus a fault plan and a tracer; the
-//!   modules below are thin configurations of it;
+//!   modules below are thin configurations of it. The loop carries a
+//!   two-part simulation kernel (steady-state fast-forward + the
+//!   integer-time [`calendar`] queue), bitwise identical to
+//!   event-by-event execution and controlled via
+//!   `engine::KernelOpts`;
+//! * [`calendar`] — the O(1) integer-tick bucket queue backing the
+//!   kernel's busy set;
 //! * [`executor`] — fused fault-free execution under the paper's
 //!   least-advanced-first policy (plus round-robin and most-advanced
 //!   ablations), producing full schedules;
@@ -42,9 +48,11 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod executor;
 pub mod failures;
+pub(crate) mod ffwd;
 pub mod gantt;
 pub mod grid_exec;
 pub mod grid_failures;
@@ -58,7 +66,10 @@ pub mod unfused;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
-    pub use crate::engine::{simulate_campaign, CampaignOutcome, CampaignRun};
+    pub use crate::engine::{
+        simulate_campaign, simulate_campaign_kernel, CampaignOutcome, CampaignRun, KernelOpts,
+        KernelReport,
+    };
     pub use crate::executor::{
         execute, execute_default, execute_traced, ExecConfig, ScenarioPolicy,
     };
