@@ -1,0 +1,235 @@
+//! A minimal Rust-source pre-lexer for the determinism auditor.
+//!
+//! [`strip`] blanks out everything that is not code — line comments,
+//! (nested) block comments, string/raw-string/byte-string literals and
+//! character literals — replacing each non-newline byte with a space.
+//! Newlines survive, so line numbers in the residue match the original
+//! file exactly, and the token scanner that runs afterwards can never
+//! fire on prose or on a pattern spelled inside a string (including
+//! the auditor's own rule tables: its patterns live in literals, so a
+//! self-scan sees only blanks where they are written).
+//!
+//! This is deliberately not a real lexer: it does not need to split
+//! numbers from identifiers or understand generics, only to decide
+//! "literal or not" with byte-level lookahead. Lifetimes (`'a`) are
+//! told apart from char literals by checking for the closing quote.
+
+/// Returns `text` with comments and literals blanked to spaces,
+/// newlines preserved.
+#[must_use]
+pub fn strip(text: &str) -> String {
+    let b = text.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let n = b.len();
+    let mut i = 0;
+
+    // Blanks `out[from..to]`, keeping newlines.
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                // Line comment (incl. doc comments): to end of line.
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Block comment, nesting like Rust's.
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if raw_string_len(&b[i..]).is_some() => {
+                // Raw (byte) string: r"…", r#"…"#, br##"…"##, …
+                let len = raw_string_len(&b[i..]).expect("checked");
+                blank(&mut out, i, i + len);
+                i += len;
+            }
+            b'b' if i + 1 < n && b[i + 1] == b'"' => {
+                let start = i;
+                i += 1; // at the quote; fall through manually
+                i = skip_quoted(b, i);
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                let start = i;
+                i = skip_quoted(b, i);
+                blank(&mut out, start, i);
+            }
+            b'\'' => {
+                // Char literal or lifetime. A literal closes with a
+                // quote after one (possibly escaped) character.
+                if i + 1 < n && b[i + 1] == b'\\' {
+                    let start = i;
+                    let mut j = i + 2;
+                    while j < n && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    blank(&mut out, start, i);
+                } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    blank(&mut out, i, i + 3);
+                    i += 3;
+                } else {
+                    i += 1; // lifetime: keep, it is ordinary code
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("blanking is ascii-safe")
+}
+
+/// If `b` starts a raw (byte) string literal, its total byte length.
+fn raw_string_len(b: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    if b.first() == Some(&b'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return Some(i + 1 + hashes);
+        }
+        i += 1;
+    }
+    Some(b.len()) // unterminated: blank to EOF
+}
+
+/// Skips a `"`-delimited string starting at `b[i] == b'"'`, honoring
+/// backslash escapes. Returns the index one past the closing quote.
+fn skip_quoted(b: &[u8], i: usize) -> usize {
+    let n = b.len();
+    let mut j = i + 1;
+    while j < n {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Whether `line` (already stripped) contains `word` as a whole token —
+/// delimited by non-identifier bytes on both sides.
+#[must_use]
+pub fn has_token(line: &str, word: &str) -> bool {
+    token_column(line, word).is_some()
+}
+
+/// The byte column of the first whole-token occurrence of `word`.
+#[must_use]
+pub fn token_column(line: &str, word: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= b.len() || !is_ident(b[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = strip("let x = 1; // trailing words\n/* a\nb */ let y = 2;\n");
+        assert!(s.contains("let x = 1;"));
+        assert!(s.contains("let y = 2;"));
+        assert!(!s.contains("trailing"));
+        assert!(!s.contains("a\nb */"));
+        assert_eq!(s.matches('\n').count(), 3, "newlines preserved");
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = strip("a /* one /* two */ still comment */ b");
+        assert!(s.contains('a') && s.contains('b'));
+        assert!(!s.contains("still"));
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        let s = strip(r##"let p = "word inside"; let q = r#"raw "inner" text"#; done"##);
+        assert!(!s.contains("inside"));
+        assert!(!s.contains("inner"));
+        assert!(s.contains("done"));
+        // Escaped quotes do not end the literal early.
+        let s = strip(r#"let e = "a \" b"; after"#);
+        assert!(!s.contains(" b\""));
+        assert!(s.contains("after"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let s = strip("let c = 'x'; let nl = '\\n'; fn f<'a>(v: &'a str) {}");
+        assert!(!s.contains("'x'"));
+        assert!(!s.contains("\\n"));
+        assert!(s.contains("<'a>"));
+        assert!(s.contains("&'a str"));
+    }
+
+    #[test]
+    fn token_matching_is_word_bounded() {
+        assert!(has_token("use std::time::Instant;", "Instant"));
+        assert!(!has_token("let my_instantiation = 3;", "Instant"));
+        assert!(!has_token("InstantReplay::new()", "Instant"));
+        assert_eq!(token_column("a Instant b", "Instant"), Some(2));
+        assert_eq!(token_column("nothing here", "Instant"), None);
+    }
+}

@@ -1,0 +1,316 @@
+//! Pass 1 of `oa audit`: the whole-workspace determinism auditor.
+//!
+//! The platform's hardest invariant — bitwise-identical outputs across
+//! executors, parallelism levels and the integer-time kernel — dies by
+//! a thousand cuts: one map iteration feeding serialized records, one
+//! wall-clock read in a result path, one rogue thread. This pass scans
+//! the workspace's own Rust sources (`crates/`, `src/`, `tests/` —
+//! never `vendor/`, whose stand-ins are API shims) for a small catalog
+//! of such hazards, the `ND` rules:
+//!
+//! | Rule  | Hazard |
+//! |-------|--------|
+//! | ND001 | order-unstable maps/sets |
+//! | ND002 | wall-clock reads outside `crates/bench` |
+//! | ND003 | `partial_cmp(..).unwrap()` float orderings |
+//! | ND004 | raw thread spawns outside `crates/par` |
+//! | ND005 | unsorted directory iteration |
+//! | ND006 | randomly seeded hashers |
+//! | ND007 | stale [`allow`] entries |
+//!
+//! Matching is token-level over [`lexer`]-stripped source: comments
+//! and string literals are blanked first, so prose and patterns inside
+//! strings can never fire a rule, and the auditor audits its own crate
+//! cleanly. Justified uses live in an [`allow::Allowlist`] file; an
+//! entry that stops matching anything is itself reported (ND007), so
+//! the list cannot rot. The workspace self-hosts the scan in CI: the
+//! `audit` job fails on any finding.
+
+pub mod allow;
+pub mod lexer;
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, Location, Report, RuleCode};
+use allow::Allowlist;
+
+/// Workspace-relative directories the auditor scans.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests"];
+
+/// One entry of the ND-rule catalog: fire when any of `tokens` appears
+/// as a whole token (optionally requiring `and_token` later on the same
+/// line), unless the file lies under an `exempt` path prefix.
+struct NdRule {
+    code: RuleCode,
+    tokens: &'static [&'static str],
+    and_token: Option<&'static str>,
+    exempt: &'static [&'static str],
+    advice: &'static str,
+}
+
+/// The catalog. Patterns are string literals, so the lexer blanks them
+/// out of any scan of this very file.
+const ND_RULES: &[NdRule] = &[
+    NdRule {
+        code: RuleCode::UnstableMapOrder,
+        tokens: &["HashMap", "HashSet"],
+        and_token: None,
+        exempt: &[],
+        advice: "iteration order is seed-dependent; use BTreeMap/BTreeSet or sort before output",
+    },
+    NdRule {
+        code: RuleCode::WallClockRead,
+        tokens: &["Instant", "SystemTime"],
+        and_token: None,
+        exempt: &["crates/bench"],
+        advice: "wall-clock reads make runs unrepeatable; only the benchmark harness may time",
+    },
+    NdRule {
+        code: RuleCode::PartialCmpUnwrap,
+        tokens: &["partial_cmp"],
+        and_token: Some("unwrap"),
+        exempt: &[],
+        advice: "panics on NaN and invites ad-hoc orderings; use f64::total_cmp or time::Time",
+    },
+    NdRule {
+        code: RuleCode::UnmanagedThread,
+        tokens: &["thread"],
+        and_token: Some("spawn"),
+        exempt: &["crates/par"],
+        advice: "raw threads race; use the deterministic oa-par pool",
+    },
+    NdRule {
+        code: RuleCode::UnsortedDirWalk,
+        tokens: &["read_dir"],
+        and_token: None,
+        exempt: &[],
+        advice: "directory order is platform-dependent; collect and sort entries first",
+    },
+    NdRule {
+        code: RuleCode::RandomHashState,
+        tokens: &["DefaultHasher", "RandomState"],
+        and_token: None,
+        exempt: &[],
+        advice: "randomly seeded hashing differs across processes; use an ordered structure",
+    },
+];
+
+/// The result of one workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct AuditOutcome {
+    /// Findings that survived the allowlist, plus ND007 stale-entry
+    /// warnings, in deterministic (path, line, rule) order.
+    pub report: Report,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by allowlist entries.
+    pub suppressed: usize,
+}
+
+impl AuditOutcome {
+    /// One-line scan summary (`scanned N file(s), …`).
+    #[must_use]
+    pub fn scope_line(&self, root: &Path) -> String {
+        format!(
+            "audit of {}: {} file(s) scanned, {} finding(s) suppressed by allowlist\n",
+            root.display(),
+            self.files_scanned,
+            self.suppressed
+        )
+    }
+}
+
+/// Scans one already-loaded source file. `rel` is the workspace-
+/// relative, `/`-separated path used for exemptions, allowlisting and
+/// locations. Returns raw findings — rule-level path exemptions are
+/// applied, the allowlist is not.
+#[must_use]
+pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let stripped = lexer::strip(text);
+    let mut out = Vec::new();
+    for rule in ND_RULES {
+        if rule.exempt.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        for (idx, line) in stripped.lines().enumerate() {
+            let Some((tok, col)) = rule
+                .tokens
+                .iter()
+                .find_map(|t| lexer::token_column(line, t).map(|c| (*t, c)))
+            else {
+                continue;
+            };
+            if let Some(second) = rule.and_token {
+                let after = &line[col..];
+                if !lexer::has_token(after, second) {
+                    continue;
+                }
+            }
+            let line_no = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+            out.push(
+                Diagnostic::new(rule.code, format!("`{tok}`: {}", rule.advice))
+                    .at(Location::source(rel, line_no)),
+            );
+        }
+    }
+    out
+}
+
+/// Scans the workspace rooted at `root`: every `.rs` file under the
+/// [`SCAN_ROOTS`] directories, in sorted path order, filtered through
+/// `allow`. Unused allowlist entries become ND007 warnings.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or file reads. A missing
+/// scan root is skipped, not an error — `src/` need not exist in every
+/// checkout layout.
+pub fn audit_workspace(root: &Path, allow: &Allowlist) -> std::io::Result<AuditOutcome> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let top = root.join(dir);
+        if top.is_dir() {
+            collect_rs(&top, &mut files)?;
+        }
+    }
+    // Deterministic scan order: sort by workspace-relative path.
+    let mut rels: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rels.sort_unstable();
+
+    let mut outcome = AuditOutcome::default();
+    let mut used = vec![false; allow.entries.len()];
+    for rel in &rels {
+        let text =
+            std::fs::read_to_string(root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR)))?;
+        outcome.files_scanned += 1;
+        for d in scan_file(rel, &text) {
+            if let Some(i) = allow.matches(d.rule.code(), rel) {
+                used[i] = true;
+                outcome.suppressed += 1;
+            } else {
+                outcome.report.diagnostics.push(d);
+            }
+        }
+    }
+    for (entry, used) in allow.entries.iter().zip(&used) {
+        if !used {
+            outcome.report.diagnostics.push(
+                Diagnostic::new(
+                    RuleCode::StaleAllowEntry,
+                    format!(
+                        "allowlist line {} ({} at {}) suppresses nothing; remove it",
+                        entry.line, entry.code, entry.path
+                    ),
+                )
+                .at(Location::source(entry.path.clone(), entry.line)),
+            );
+        }
+    }
+    Ok(outcome)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    // The entries are accumulated and the caller sorts the full list,
+    // so the platform's directory order never reaches a report.
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn flags_unstable_maps_with_location() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let ds = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert_eq!(ds[0].rule.code(), "ND001");
+        assert_eq!(ds[0].location.line, Some(1));
+        assert_eq!(ds[1].location.line, Some(2));
+        assert_eq!(ds[0].location.file.as_deref(), Some("crates/x/src/lib.rs"));
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src =
+            "// a HashMap in prose\nlet s = \"HashMap SystemTime read_dir\";\n/* Instant */\n";
+        assert!(scan_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_may_read_the_clock_elsewhere_not() {
+        let src = "use std::time::Instant;\nlet t = Instant::now();\n";
+        assert!(scan_file("crates/bench/src/lib.rs", src).is_empty());
+        let ds = scan_file("crates/sim/src/engine.rs", src);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|d| d.rule.code() == "ND002"));
+    }
+
+    #[test]
+    fn two_token_rules_need_both_in_order() {
+        let spawn = "let h = std::thread::spawn(move || work());\n";
+        assert_eq!(scan_file("crates/sim/src/x.rs", spawn).len(), 1);
+        assert!(scan_file("crates/par/src/lib.rs", spawn).is_empty());
+        // `thread` without a spawn on the line is fine…
+        assert!(scan_file("crates/sim/src/x.rs", "use std::thread;\n").is_empty());
+        // …and so is a partial_cmp that is not unwrapped.
+        assert!(scan_file("crates/core/src/t.rs", "a.partial_cmp(&b)\n").is_empty());
+        let ds = scan_file("crates/core/src/t.rs", "a.partial_cmp(&b).unwrap()\n");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule.code(), "ND003");
+    }
+
+    #[test]
+    fn workspace_walk_applies_allowlist_and_reports_stale_entries() {
+        let root = std::env::temp_dir().join(format!("oa-audit-walk-{}", std::process::id()));
+        let src_dir = root.join("crates/demo/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "use std::collections::HashSet;\nfn f() { std::fs::read_dir(\".\"); }\n",
+        )
+        .unwrap();
+        // Suppress the set, leave the dir walk, carry one stale entry.
+        let allow = Allowlist::parse(
+            "ND001 crates/demo justified for the test\nND006 crates/nowhere never fires\n",
+        )
+        .unwrap();
+        let out = audit_workspace(&root, &allow).unwrap();
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(out.files_scanned, 1);
+        assert_eq!(out.suppressed, 1);
+        let codes: Vec<&str> = out
+            .report
+            .diagnostics
+            .iter()
+            .map(|d| d.rule.code())
+            .collect();
+        assert_eq!(codes, vec!["ND005", "ND007"], "{:?}", out.report);
+        assert_eq!(out.report.error_count(), 1);
+        assert_eq!(
+            out.report.diagnostics[1].severity,
+            Severity::Warn,
+            "stale entries warn"
+        );
+        assert!(out.scope_line(&root).contains("1 file(s) scanned"));
+    }
+}

@@ -40,6 +40,12 @@ pub enum Layer {
     Schedule,
     /// Cluster descriptions and network feasibility.
     Platform,
+    /// Rust source files of the workspace itself (the determinism
+    /// auditor's ND rules).
+    Source,
+    /// Static campaign certification: analytic bounds and kernel
+    /// eligibility cross-checked against the engine (CT rules).
+    Certify,
 }
 
 impl std::fmt::Display for Layer {
@@ -49,6 +55,8 @@ impl std::fmt::Display for Layer {
             Layer::Scheduling => "scheduling",
             Layer::Schedule => "schedule",
             Layer::Platform => "platform",
+            Layer::Source => "source",
+            Layer::Certify => "certify",
         })
     }
 }
@@ -100,11 +108,39 @@ pub enum RuleCode {
     /// OA018: a campaign configuration (policy × granularity ×
     /// recovery + fault plan) is unrunnable or self-defeating.
     CampaignConfigSanity,
+    /// ND001: an order-unstable map/set (`HashMap`/`HashSet`) in code
+    /// whose iteration can feed records or serialized output.
+    UnstableMapOrder,
+    /// ND002: a wall-clock read (`Instant::now`/`SystemTime`) outside
+    /// the benchmark harness.
+    WallClockRead,
+    /// ND003: `partial_cmp(..).unwrap()` on floats — panics on `NaN`
+    /// and invites ad-hoc orderings; use `total_cmp` or `Time`.
+    PartialCmpUnwrap,
+    /// ND004: a raw `thread::spawn` outside the deterministic worker
+    /// pool crate — scheduling order leaks into results.
+    UnmanagedThread,
+    /// ND005: unsorted filesystem iteration (`read_dir` order is
+    /// platform-dependent).
+    UnsortedDirWalk,
+    /// ND006: a randomly seeded hasher (`DefaultHasher`/`RandomState`).
+    RandomHashState,
+    /// ND007: an allowlist entry that no longer matches any finding —
+    /// the hazard it justified is gone, so the entry should go too.
+    StaleAllowEntry,
+    /// CT001: a simulated makespan escaped the certifier's static
+    /// bounds — the analytic model no longer brackets the engine.
+    BoundsViolated,
+    /// CT002: the certifier's static integer-kernel verdict disagrees
+    /// with the engine's runtime fast-path decision.
+    KernelVerdictMismatch,
 }
 
 impl RuleCode {
-    /// Every rule, in code order.
-    pub const ALL: [RuleCode; 18] = [
+    /// Every rule, in code order: the data-level `OA` rules, then the
+    /// determinism auditor's `ND` rules, then the certifier's `CT`
+    /// rules.
+    pub const ALL: [RuleCode; 27] = [
         RuleCode::DagCycle,
         RuleCode::IncompleteChain,
         RuleCode::FusionInconsistent,
@@ -123,6 +159,15 @@ impl RuleCode {
         RuleCode::ClusterSanity,
         RuleCode::BandwidthInfeasible,
         RuleCode::CampaignConfigSanity,
+        RuleCode::UnstableMapOrder,
+        RuleCode::WallClockRead,
+        RuleCode::PartialCmpUnwrap,
+        RuleCode::UnmanagedThread,
+        RuleCode::UnsortedDirWalk,
+        RuleCode::RandomHashState,
+        RuleCode::StaleAllowEntry,
+        RuleCode::BoundsViolated,
+        RuleCode::KernelVerdictMismatch,
     ];
 
     /// The stable `OAxxx` code.
@@ -146,6 +191,15 @@ impl RuleCode {
             RuleCode::ClusterSanity => "OA016",
             RuleCode::BandwidthInfeasible => "OA017",
             RuleCode::CampaignConfigSanity => "OA018",
+            RuleCode::UnstableMapOrder => "ND001",
+            RuleCode::WallClockRead => "ND002",
+            RuleCode::PartialCmpUnwrap => "ND003",
+            RuleCode::UnmanagedThread => "ND004",
+            RuleCode::UnsortedDirWalk => "ND005",
+            RuleCode::RandomHashState => "ND006",
+            RuleCode::StaleAllowEntry => "ND007",
+            RuleCode::BoundsViolated => "CT001",
+            RuleCode::KernelVerdictMismatch => "CT002",
         }
     }
 
@@ -169,6 +223,14 @@ impl RuleCode {
             | RuleCode::IdleGap
             | RuleCode::PostStarvation => Layer::Schedule,
             RuleCode::ClusterSanity | RuleCode::BandwidthInfeasible => Layer::Platform,
+            RuleCode::UnstableMapOrder
+            | RuleCode::WallClockRead
+            | RuleCode::PartialCmpUnwrap
+            | RuleCode::UnmanagedThread
+            | RuleCode::UnsortedDirWalk
+            | RuleCode::RandomHashState
+            | RuleCode::StaleAllowEntry => Layer::Source,
+            RuleCode::BoundsViolated | RuleCode::KernelVerdictMismatch => Layer::Certify,
         }
     }
 
@@ -195,6 +257,19 @@ impl RuleCode {
             RuleCode::ClusterSanity => "clusters need >=4 procs and a sane timing table",
             RuleCode::BandwidthInfeasible => "the 120 MB inter-month transfer must fit in a month",
             RuleCode::CampaignConfigSanity => "fault plans must target live groups at finite times",
+            RuleCode::UnstableMapOrder => {
+                "no HashMap/HashSet where iteration order can reach output"
+            }
+            RuleCode::WallClockRead => "no Instant::now/SystemTime outside oa-bench",
+            RuleCode::PartialCmpUnwrap => "no partial_cmp().unwrap(); use total_cmp or Time",
+            RuleCode::UnmanagedThread => "no raw thread::spawn outside oa-par",
+            RuleCode::UnsortedDirWalk => "no unsorted read_dir iteration",
+            RuleCode::RandomHashState => "no randomly seeded hashers (DefaultHasher/RandomState)",
+            RuleCode::StaleAllowEntry => "allowlist entries must still match a finding",
+            RuleCode::BoundsViolated => "simulated makespans must stay inside the static bounds",
+            RuleCode::KernelVerdictMismatch => {
+                "static kernel eligibility must match the engine's decision"
+            }
         }
     }
 
@@ -203,7 +278,9 @@ impl RuleCode {
     /// tolerance bands and errors beyond them).
     pub fn default_severity(self) -> Severity {
         match self {
-            RuleCode::IdleGap | RuleCode::PostStarvation => Severity::Warn,
+            RuleCode::IdleGap | RuleCode::PostStarvation | RuleCode::StaleAllowEntry => {
+                Severity::Warn
+            }
             _ => Severity::Error,
         }
     }
@@ -232,6 +309,10 @@ pub struct Location {
     pub task: Option<String>,
     /// Processor range `(first, count)`, if processor-specific.
     pub procs: Option<(u32, u32)>,
+    /// Workspace-relative source file path, for source-layer findings.
+    pub file: Option<String>,
+    /// 1-based line number within [`Location::file`].
+    pub line: Option<u32>,
 }
 
 impl Location {
@@ -241,7 +322,7 @@ impl Location {
             scenario: Some(scenario),
             month: Some(month),
             task: Some("main".into()),
-            procs: None,
+            ..Self::default()
         }
     }
 
@@ -251,7 +332,17 @@ impl Location {
             scenario: Some(scenario),
             month: Some(month),
             task: Some("post".into()),
-            procs: None,
+            ..Self::default()
+        }
+    }
+
+    /// A `file:line` source location (the determinism auditor's
+    /// coordinate system).
+    pub fn source(file: impl Into<String>, line: u32) -> Self {
+        Self {
+            file: Some(file.into()),
+            line: Some(line),
+            ..Self::default()
         }
     }
 
@@ -267,11 +358,18 @@ impl Location {
             && self.month.is_none()
             && self.task.is_none()
             && self.procs.is_none()
+            && self.file.is_none()
     }
 }
 
 impl std::fmt::Display for Location {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(file) = &self.file {
+            return match self.line {
+                Some(line) => write!(f, "{file}:{line}"),
+                None => write!(f, "{file}"),
+            };
+        }
         let mut sep = "";
         if let Some(t) = &self.task {
             match (self.scenario, self.month) {
@@ -468,6 +566,21 @@ impl Report {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report is serializable")
     }
+
+    /// The one rendering every CLI report path shares: pretty JSON when
+    /// `json` is set (trailing newline included), else the `scope`
+    /// header followed by [`Report::render_text`]. `oa analyze` and
+    /// `oa audit` both go through here so their output shapes cannot
+    /// drift apart.
+    pub fn render(&self, scope: &str, json: bool) -> String {
+        if json {
+            let mut out = self.to_json();
+            out.push('\n');
+            out
+        } else {
+            format!("{scope}{}", self.render_text())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -477,12 +590,16 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let mut codes: Vec<&str> = RuleCode::ALL.iter().map(|r| r.code()).collect();
-        assert_eq!(codes.len(), 18);
+        assert_eq!(codes.len(), 27);
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 18, "duplicate rule code");
+        assert_eq!(codes.len(), 27, "duplicate rule code");
         assert_eq!(RuleCode::ALL[0].code(), "OA001");
         assert_eq!(RuleCode::ALL[17].code(), "OA018");
+        assert_eq!(RuleCode::ALL[18].code(), "ND001");
+        assert_eq!(RuleCode::ALL[24].code(), "ND007");
+        assert_eq!(RuleCode::ALL[25].code(), "CT001");
+        assert_eq!(RuleCode::ALL[26].code(), "CT002");
     }
 
     #[test]
@@ -492,12 +609,42 @@ mod tests {
             Layer::Scheduling,
             Layer::Schedule,
             Layer::Platform,
+            Layer::Source,
+            Layer::Certify,
         ] {
             assert!(
                 RuleCode::ALL.iter().any(|r| r.layer() == layer),
                 "no rule covers {layer}"
             );
         }
+    }
+
+    #[test]
+    fn source_locations_render_as_file_line() {
+        let d = Diagnostic::new(RuleCode::UnstableMapOrder, "unstable iteration order")
+            .at(Location::source("crates/sim/src/persist.rs", 105));
+        let line = d.render();
+        assert!(line.contains("error[ND001]"), "{line}");
+        assert!(line.contains("crates/sim/src/persist.rs:105"), "{line}");
+        assert!(line.contains("(source layer)"), "{line}");
+        assert!(!Location::source("x.rs", 1).is_empty());
+    }
+
+    #[test]
+    fn shared_render_switches_between_text_and_json() {
+        let r = Report::from_diagnostics(vec![Diagnostic::new(
+            RuleCode::BoundsViolated,
+            "outside bounds",
+        )]);
+        let text = r.render("scope line\n", false);
+        assert!(text.starts_with("scope line\n"), "{text}");
+        assert!(text.contains("error[CT001]"), "{text}");
+        let json = r.render("ignored\n", true);
+        assert!(
+            json.contains("\"CT001\"") && !json.contains("ignored"),
+            "{json}"
+        );
+        assert!(json.ends_with('\n'));
     }
 
     #[test]

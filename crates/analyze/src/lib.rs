@@ -3,8 +3,8 @@
 //! A rule-based verification engine modeled on rustc's lints: every
 //! check has a stable code (`OA001`…), a severity, a structured
 //! location and a human-readable message, and every checker *collects*
-//! all violations in one pass instead of failing fast. Eighteen rules
-//! cover four layers of the stack:
+//! all violations in one pass instead of failing fast. The rules cover
+//! six layers of the stack:
 //!
 //! | Layer      | Rules               | What they verify                                  |
 //! |------------|---------------------|---------------------------------------------------|
@@ -12,11 +12,14 @@
 //! | scheduling | OA004–OA007, OA018  | group sizes, accounting, estimator cross-checks, campaign configs |
 //! | schedule   | OA008–OA015         | multiplicity, dependences, exclusivity, idleness  |
 //! | platform   | OA016–OA017         | cluster sanity, inter-month bandwidth feasibility |
+//! | source     | ND001–ND007         | reproducibility hazards in the workspace's own Rust sources ([`audit`]) |
+//! | certify    | CT001–CT002         | static makespan bounds bracket the engine; kernel verdicts agree ([`certify`]) |
 //!
 //! The simulator (`oa-sim`) rebuilds its `Schedule::validate` API on
 //! top of [`schedule::check_schedule`]; the `oa analyze` CLI subcommand
-//! runs all four layers over a planned campaign and exits nonzero when
-//! any error-severity diagnostic fires.
+//! runs the data layers over a planned campaign, and `oa audit` runs
+//! the [`audit`] source scan and the [`certify`] pass. Both exit
+//! nonzero when any error-severity diagnostic fires.
 //!
 //! # Examples
 //!
@@ -42,6 +45,8 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod certify;
 pub mod diag;
 pub mod platform;
 pub mod schedule;
@@ -99,16 +104,19 @@ mod tests {
     #[test]
     fn catalog_covers_all_rules_and_layers() {
         let cat = catalog();
-        assert_eq!(cat.len(), 18);
+        assert_eq!(cat.len(), 27);
         for layer in [
             Layer::Workflow,
             Layer::Scheduling,
             Layer::Schedule,
             Layer::Platform,
+            Layer::Source,
+            Layer::Certify,
         ] {
             assert!(cat.iter().any(|r| r.layer == layer));
         }
         let text = render_catalog();
         assert!(text.contains("OA001") && text.contains("OA018"), "{text}");
+        assert!(text.contains("ND001") && text.contains("CT002"), "{text}");
     }
 }

@@ -1,0 +1,85 @@
+//! The determinism auditor self-hosts: running `oa audit` over this
+//! very workspace must come back clean. This is the contract CI's
+//! audit job enforces; keeping it as a plain test means a hazard (or a
+//! stale allowlist entry) fails `cargo test` long before CI.
+
+use oa_analyze::audit::allow::Allowlist;
+use oa_analyze::audit::{audit_workspace, SCAN_ROOTS};
+use std::path::{Path, PathBuf};
+
+/// The workspace root, two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_self_audit_is_clean() {
+    let root = workspace_root();
+    for dir in SCAN_ROOTS {
+        assert!(
+            root.join(dir).is_dir(),
+            "scan root {dir:?} missing under {}",
+            root.display()
+        );
+    }
+    let allow_text =
+        std::fs::read_to_string(root.join("audit.allow")).expect("audit.allow is readable");
+    let allow = Allowlist::parse(&allow_text).expect("audit.allow parses");
+    let outcome = audit_workspace(&root, &allow).expect("workspace sources are readable");
+
+    // The workspace is a dozen crates; a tiny scan count means the
+    // walker silently missed a root.
+    assert!(
+        outcome.files_scanned > 50,
+        "only {} files scanned — the walker lost a scan root",
+        outcome.files_scanned
+    );
+    // Every allowlist entry must be earning its keep (a stale one
+    // would raise ND007 below), so suppressions are non-zero exactly
+    // when the file is non-empty.
+    assert!(
+        outcome.suppressed > 0,
+        "audit.allow has entries but none suppressed anything"
+    );
+
+    let rendered = outcome.report.render(&outcome.scope_line(&root), false);
+    assert_eq!(
+        outcome.report.error_count(),
+        0,
+        "determinism audit found hazards:\n{rendered}"
+    );
+    assert_eq!(
+        outcome.report.warn_count(),
+        0,
+        "stale allowlist entries:\n{rendered}"
+    );
+}
+
+#[test]
+fn allowlist_entries_point_at_real_paths() {
+    // ND007 already flags entries that suppress nothing; this is the
+    // cruder invariant that each recorded path prefix still exists at
+    // all, so renames can't leave the file quietly rotting.
+    let root = workspace_root();
+    let allow_text =
+        std::fs::read_to_string(root.join("audit.allow")).expect("audit.allow is readable");
+    let allow = Allowlist::parse(&allow_text).expect("audit.allow parses");
+    assert!(!allow.entries.is_empty(), "expected a non-empty allowlist");
+    for entry in &allow.entries {
+        assert!(
+            root.join(&entry.path).exists(),
+            "audit.allow line {}: path {:?} no longer exists",
+            entry.line,
+            entry.path
+        );
+        assert!(
+            entry.code.starts_with("ND"),
+            "audit.allow line {}: {:?} is not a determinism rule",
+            entry.line,
+            entry.code
+        );
+    }
+}

@@ -64,11 +64,11 @@ impl std::error::Error for ArgError {}
 
 /// Switch-style flags (no value).
 const SWITCHES: &[&str] = &[
-    "per-proc", "staging", "json", "all", "fused", "rules", "unfused",
+    "per-proc", "staging", "json", "all", "fused", "rules", "unfused", "matrix",
 ];
 
 /// Commands that take a second positional verb (`oa trace export`).
-const VERB_COMMANDS: &[&str] = &["trace"];
+const VERB_COMMANDS: &[&str] = &["trace", "audit"];
 
 impl Args {
     /// Parses `argv` (without the program name).

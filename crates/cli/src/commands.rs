@@ -55,6 +55,7 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "plan" => plan(&args),
         "sim" => sim_cmd(&args),
         "analyze" => analyze_cmd(&args),
+        "audit" => audit_cmd(&args),
         "gantt" => gantt(&args),
         "grid" => grid_cmd(&args),
         "table" => table_cmd(&args),
@@ -85,6 +86,12 @@ COMMANDS
             --ns N --nm N --r N --cluster NAME --heuristic H [--json]
             [--file SCHEDULE.json] [--bandwidth MB/s --latency S] [--rules]
             [--jobs N]
+  audit     static analysis beyond one campaign: source determinism
+            audit (ND001..ND007) and the campaign certifier (CT001..CT002)
+            audit [scan]    [--root DIR] [--allow FILE] [--json] [--rules]
+            audit certify   --ns N --nm N --r N --cluster NAME --heuristic H
+                            [--policy P] [--unfused] [--recovery R]
+                            [--kill G@T,...] [--matrix] [--json]
   gantt     render a schedule as ASCII art
             --ns N --nm N --r N --heuristic H --width N [--per-proc]
   table     print a cluster's timing table
@@ -420,16 +427,238 @@ fn analyze_cmd(args: &Args) -> Result<String, CliError> {
         report.extend(schedule.analyze().diagnostics);
     }
 
-    let rendered = if args.switch("json") {
-        report.to_json() + "\n"
-    } else {
-        scope + &report.render_text()
-    };
+    finish_report(&report, &scope, args.switch("json"))
+}
+
+/// Shared tail of the diagnostic commands (`oa analyze`, `oa audit`):
+/// render through the one [`oa_analyze::Report::render`] path and fail
+/// the process when error-severity findings exist, so CI sees exit 1.
+fn finish_report(report: &oa_analyze::Report, scope: &str, json: bool) -> Result<String, CliError> {
+    let rendered = report.render(scope, json);
     if report.has_errors() {
         Err(CliError::AnalysisFailed(rendered))
     } else {
         Ok(rendered)
     }
+}
+
+fn audit_cmd(args: &Args) -> Result<String, CliError> {
+    match args.verb.as_deref().unwrap_or("scan") {
+        "scan" => audit_scan(args),
+        "certify" => audit_certify(args),
+        other => Err(CliError::Domain(format!(
+            "unknown audit verb {other:?}; try scan or certify"
+        ))),
+    }
+}
+
+/// `oa audit [scan]`: the whole-workspace determinism audit. Scans the
+/// Rust sources under `--root` (default `.`) for the ND rules, filtered
+/// through the allowlist at `--allow` (default `<root>/audit.allow`;
+/// a missing default is simply an empty list, a missing explicit path
+/// is an error).
+fn audit_scan(args: &Args) -> Result<String, CliError> {
+    args.check_known(&["root", "allow", "json", "rules"])?;
+    if args.switch("rules") {
+        return Ok(oa_analyze::render_catalog());
+    }
+    let root = std::path::PathBuf::from(args.str_or("root", "."));
+    let allow_path = args
+        .str_opt("allow")
+        .map_or_else(|| root.join("audit.allow"), std::path::PathBuf::from);
+    let allow = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| CliError::Domain(format!("cannot read {}: {e}", allow_path.display())))?;
+        oa_analyze::audit::allow::Allowlist::parse(&text).map_err(CliError::Domain)?
+    } else if args.str_opt("allow").is_some() {
+        return Err(CliError::Domain(format!(
+            "allowlist {} does not exist",
+            allow_path.display()
+        )));
+    } else {
+        oa_analyze::audit::allow::Allowlist::empty()
+    };
+    let outcome = oa_analyze::audit::audit_workspace(&root, &allow).map_err(|e| {
+        CliError::Domain(format!("audit walk failed under {}: {e}", root.display()))
+    })?;
+    if outcome.files_scanned == 0 {
+        return Err(CliError::Domain(format!(
+            "no Rust sources under {} — is --root pointing at a workspace?",
+            root.display()
+        )));
+    }
+    finish_report(
+        &outcome.report,
+        &outcome.scope_line(&root),
+        args.switch("json"),
+    )
+}
+
+/// One certifier cross-check: certify statically, simulate for real,
+/// and report any `CT001`/`CT002` disagreement. Returns the findings
+/// plus a rendered result row.
+fn certify_one(
+    inst: Instance,
+    cluster: &Cluster,
+    h: Heuristic,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+) -> Result<(oa_analyze::Report, String, serde_json::Value), CliError> {
+    let grouping = h
+        .grouping(inst, &cluster.timing)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let mut report = oa_analyze::Report::from_diagnostics(oa_analyze::scheduling::check_campaign(
+        config, plan, &grouping,
+    ));
+    if report.has_errors() {
+        return Err(CliError::AnalysisFailed(report.render_text()));
+    }
+    let cert = oa_analyze::certify::certify(inst, &cluster.timing, &grouping, config, plan);
+
+    // The engine's own static gate must agree with the certifier's
+    // mirrored one before anything even runs.
+    let static_eligible = kernel_eligibility(inst, &cluster.timing, &grouping, config, plan);
+    let opts = KernelOpts::default();
+    let (outcome, kernel) = simulate_campaign_kernel(
+        inst,
+        &cluster.timing,
+        &grouping,
+        config,
+        plan,
+        opts,
+        &mut NullTracer,
+    )
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let makespan = outcome.completed().map(|run| run.makespan);
+    report.extend(
+        oa_analyze::certify::verify(&cert, makespan, true, kernel.integer_time).diagnostics,
+    );
+    if static_eligible != cert.integer_kernel {
+        report.extend(vec![oa_analyze::Diagnostic::new(
+            oa_analyze::RuleCode::KernelVerdictMismatch,
+            format!(
+                "engine's kernel_eligibility says {static_eligible}, certifier says {}",
+                cert.integer_kernel
+            ),
+        )]);
+    }
+
+    let simulated = makespan.map_or_else(|| "stranded".to_string(), |m| format!("{m:.0} s"));
+    let row = format!(
+        "{:<11} {:<14} {:<7} bounds {}  simulated {simulated}  tightness {}  kernel {}\n",
+        cluster.name,
+        config.policy.to_string(),
+        config.granularity.label(),
+        cert.bounds,
+        cert.tightness()
+            .map_or_else(|| "—".to_string(), |t| format!("{t:.2}")),
+        if cert.integer_kernel { "int" } else { "float" },
+    );
+    let json = serde_json::json!({
+        "cluster": cluster.name,
+        "policy": config.policy.to_string(),
+        "granularity": config.granularity.label(),
+        "bound_lo_secs": cert.bounds.lo,
+        "bound_hi_secs": if cert.bounds.is_bounded() { Some(cert.bounds.hi) } else { None },
+        "tightness": cert.tightness(),
+        "makespan_secs": makespan,
+        "integer_kernel": cert.integer_kernel,
+        "faults": cert.fault_count,
+    });
+    Ok((report, row, json))
+}
+
+/// `oa audit certify`: static makespan bounds and kernel verdicts,
+/// cross-checked against real engine runs. `--matrix` sweeps every
+/// preset cluster × policy × granularity instead of one configuration.
+fn audit_certify(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[
+        "ns",
+        "nm",
+        "r",
+        "cluster",
+        "heuristic",
+        "policy",
+        "recovery",
+        "kill",
+        "unfused",
+        "json",
+        "matrix",
+    ])?;
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 120)?;
+    let r = args.u32_or("r", 53)?;
+    let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
+    let inst = Instance::new(ns, nm, r);
+    let plan = fault_plan_of(args)?;
+
+    let cells: Vec<(Cluster, CampaignConfig)> = if args.switch("matrix") {
+        if args.str_opt("policy").is_some() || args.switch("unfused") {
+            return Err(CliError::Domain(
+                "--matrix sweeps every policy and granularity; drop --policy/--unfused".into(),
+            ));
+        }
+        let names =
+            std::iter::once("reference").chain(PRESET_CLUSTERS.iter().map(|(n, _, _, _)| *n));
+        let mut cells = Vec::new();
+        for name in names {
+            for policy in ScenarioPolicy::ALL {
+                for unfused in [false, true] {
+                    let config = CampaignConfig {
+                        policy,
+                        granularity: if unfused {
+                            Granularity::Unfused
+                        } else {
+                            Granularity::Fused
+                        },
+                        recovery: recovery_of(args)?,
+                    };
+                    cells.push((cluster_of(name, r)?, config));
+                }
+            }
+        }
+        cells
+    } else {
+        let config = CampaignConfig {
+            policy: policy_of(args)?,
+            granularity: if args.switch("unfused") {
+                Granularity::Unfused
+            } else {
+                Granularity::Fused
+            },
+            recovery: recovery_of(args)?,
+        };
+        vec![(cluster_of(&args.str_or("cluster", "reference"), r)?, config)]
+    };
+
+    let mut report = oa_analyze::Report::new();
+    let mut scope = format!(
+        "certify: NS = {ns}, NM = {nm}, R = {r}, heuristic {}, {} kill(s), {} configuration(s)\n",
+        h.label(),
+        plan.failures.len(),
+        cells.len(),
+    );
+    let mut rows = Vec::new();
+    for (cluster, config) in &cells {
+        let (cell_report, row, json) = certify_one(inst, cluster, h, config, &plan)?;
+        report.extend(cell_report.diagnostics);
+        scope.push_str(&row);
+        rows.push(json);
+    }
+    if args.switch("json") {
+        let mut out = serde_json::to_string_pretty(&serde_json::json!({
+            "cells": rows,
+            "findings": report.error_count(),
+        }))
+        .expect("serializable");
+        out.push('\n');
+        if report.has_errors() {
+            out.push_str(&report.render("", false));
+            return Err(CliError::AnalysisFailed(out));
+        }
+        return Ok(out);
+    }
+    finish_report(&report, &scope, false)
 }
 
 fn gantt(args: &Args) -> Result<String, CliError> {
@@ -1149,6 +1378,120 @@ mod tests {
         assert!(plain.contains("s0m0:caif"));
         let fused = oa(&["dot", "--ns", "1", "--nm", "2", "--fused"]).unwrap();
         assert!(fused.contains("s0m1:post"));
+    }
+
+    /// The workspace root, two levels above this crate.
+    fn workspace_root() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root exists")
+    }
+
+    #[test]
+    fn audit_scan_self_hosts_clean() {
+        let root = workspace_root();
+        let out = oa(&["audit", "--root", root.to_str().unwrap()]).unwrap();
+        assert!(out.contains("file(s) scanned"), "{out}");
+        assert!(out.contains("analysis clean"), "{out}");
+        // The explicit verb is the same command.
+        let verbed = oa(&["audit", "scan", "--root", root.to_str().unwrap()]).unwrap();
+        assert_eq!(out, verbed);
+        // JSON mode emits the diagnostics array.
+        let json = oa(&["audit", "--root", root.to_str().unwrap(), "--json"]).unwrap();
+        assert!(json.contains("\"diagnostics\""), "{json}");
+    }
+
+    #[test]
+    fn audit_scan_flags_seeded_hazards_and_stale_entries() {
+        let dir = std::env::temp_dir().join(format!("oa-cli-audit-{}", std::process::id()));
+        let src = dir.join("crates/demo/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(
+            src.join("lib.rs"),
+            "use std::collections::HashMap;\nfn f() -> std::time::Instant { todo!() }\n",
+        )
+        .unwrap();
+        let err = oa(&["audit", "--root", dir.to_str().unwrap()]).unwrap_err();
+        let CliError::AnalysisFailed(report) = err else {
+            panic!("expected findings, got {err:?}");
+        };
+        assert!(report.contains("ND001"), "{report}");
+        assert!(report.contains("ND002"), "{report}");
+        assert!(report.contains("crates/demo/src/lib.rs:1"), "{report}");
+        // An allowlist both suppresses and is audited for staleness;
+        // a stale entry warns (exit 0) so clean-ups aren't blocked on
+        // pruning, but it is always visible in the report.
+        std::fs::write(
+            dir.join("audit.allow"),
+            "ND001 crates/demo seeded for the test\nND002 crates/demo seeded for the test\n\
+             ND006 crates/nowhere never fires\n",
+        )
+        .unwrap();
+        let report = oa(&["audit", "--root", dir.to_str().unwrap()]).unwrap();
+        assert!(report.contains("2 finding(s) suppressed"), "{report}");
+        assert!(report.contains("warning[ND007]"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+        // Pointing --allow at a missing file is a usage error.
+        assert!(matches!(
+            oa(&["audit", "--allow", "/nonexistent/audit.allow"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn audit_certify_cross_checks_the_engine() {
+        // The paper's reference campaign (integral durations → the
+        // kernel goes integer-time, and the certifier must agree).
+        let out = oa(&["audit", "certify", "--ns", "10", "--nm", "24", "--r", "53"]).unwrap();
+        assert!(out.contains("bounds ["), "{out}");
+        assert!(out.contains("kernel int"), "{out}");
+        assert!(out.contains("analysis clean"), "{out}");
+        // A fractional kill instant stands the kernel down and drops
+        // the upper bound, but still certifies.
+        let faulty = oa(&[
+            "audit", "certify", "--ns", "10", "--nm", "24", "--r", "53", "--kill", "0@100.5",
+        ])
+        .unwrap();
+        assert!(faulty.contains("kernel float"), "{faulty}");
+        assert!(faulty.contains("unbounded"), "{faulty}");
+    }
+
+    #[test]
+    fn audit_certify_matrix_sweeps_every_preset() {
+        let out = oa(&[
+            "audit", "certify", "--matrix", "--ns", "4", "--nm", "12", "--r", "26", "--json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"cells\""), "{out}");
+        assert!(out.contains("\"findings\": 0"), "{out}");
+        for cluster in ["reference", "sagittaire", "grelon"] {
+            assert!(out.contains(cluster), "missing {cluster}: {out}");
+        }
+        // 6 clusters × 3 policies × 2 granularities.
+        assert_eq!(out.matches("\"bound_lo_secs\"").count(), 36, "{out}");
+        // --matrix owns the policy/granularity axes.
+        assert!(matches!(
+            oa(&["audit", "certify", "--matrix", "--policy", "round-robin"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn audit_rules_and_errors() {
+        let rules = oa(&["audit", "--rules"]).unwrap();
+        assert!(
+            rules.contains("ND001") && rules.contains("CT002"),
+            "{rules}"
+        );
+        assert!(matches!(
+            oa(&["audit", "frobnicate"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(
+            oa(&["audit", "certify", "--bogus", "1"]),
+            Err(CliError::Args(_))
+        ));
     }
 
     #[test]

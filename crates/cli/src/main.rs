@@ -3,6 +3,9 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // Exit-code contract (relied on by CI): 0 = clean, 1 = a diagnostic
+    // command found error-severity findings, 2 = the invocation itself
+    // was wrong (bad flags, unknown command, unreadable input).
     match oa_cli::run(std::env::args().skip(1)) {
         Ok(text) => {
             print!("{text}");
@@ -14,11 +17,11 @@ fn main() -> ExitCode {
         Err(oa_cli::CliError::AnalysisFailed(report)) => {
             print!("{report}");
             eprintln!("oa: analysis failed");
-            ExitCode::FAILURE
+            ExitCode::from(1)
         }
         Err(e) => {
             eprintln!("oa: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }

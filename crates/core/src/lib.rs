@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::policy::{
         CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy, ScenarioQueue,
     };
-    pub use crate::time::Time;
+    pub use crate::time::{Time, TimeInterval};
 }
 
 #[cfg(test)]

@@ -118,6 +118,115 @@ pub fn is_tick_exact(secs: f64) -> bool {
     exact_ticks(secs).is_some()
 }
 
+/// A closed interval `[lo, hi]` of seconds — the abstract domain of the
+/// static campaign certifier in `oa-analyze`.
+///
+/// Interval endpoints follow the usual outward-rounding convention in
+/// spirit only: the certifier's bounds come from closed-form over- and
+/// under-approximations, so plain `f64` arithmetic on the endpoints is
+/// enough (no directed rounding). An unbounded-above interval uses
+/// `f64::INFINITY` as `hi` — e.g. when a fault plan voids the upper
+/// bound but the lower one still holds.
+///
+/// # Examples
+///
+/// ```
+/// use oa_sched::time::TimeInterval;
+///
+/// let i = TimeInterval::new(10.0, 20.0).add(&TimeInterval::point(5.0));
+/// assert_eq!((i.lo, i.hi), (15.0, 25.0));
+/// assert!(i.contains(18.0));
+/// assert!(!i.contains(14.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeInterval {
+    /// Inclusive lower endpoint, seconds.
+    pub lo: f64,
+    /// Inclusive upper endpoint, seconds (`f64::INFINITY` = unbounded).
+    pub hi: f64,
+}
+
+impl TimeInterval {
+    /// `[lo, hi]`. Panics when the endpoints are inverted or `NaN` —
+    /// certifier bounds are constructed, never parsed, so a bad
+    /// interval is a logic error worth failing on.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[t, t]`.
+    #[must_use]
+    pub fn point(t: f64) -> Self {
+        Self::new(t, t)
+    }
+
+    /// `[lo, +∞)`: a lower bound with no certified upper bound.
+    #[must_use]
+    pub fn at_least(lo: f64) -> Self {
+        Self::new(lo, f64::INFINITY)
+    }
+
+    /// Minkowski sum: `[a+c, b+d]`.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        Self::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Scales both endpoints by a non-negative factor.
+    #[must_use]
+    pub fn scale(&self, k: f64) -> Self {
+        assert!(k >= 0.0, "negative interval scale {k}");
+        Self::new(self.lo * k, self.hi * k)
+    }
+
+    /// Smallest interval containing both.
+    #[must_use]
+    pub fn hull(&self, other: &Self) -> Self {
+        Self::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Whether `t` lies in the closed interval.
+    #[must_use]
+    pub fn contains(&self, t: f64) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// `hi − lo` (`+∞` for half-bounded intervals).
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Tightness ratio `hi / lo` — the certifier's quality metric
+    /// (1.0 = exact). `None` when `lo` is zero or `hi` unbounded.
+    #[must_use]
+    pub fn ratio(&self) -> Option<f64> {
+        if self.lo > 0.0 && self.hi.is_finite() {
+            Some(self.hi / self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the upper endpoint is finite (a certified upper bound).
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.hi.is_finite()
+    }
+}
+
+impl std::fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hi.is_finite() {
+            write!(f, "[{:.0} s, {:.0} s]", self.lo, self.hi)
+        } else {
+            write!(f, "[{:.0} s, unbounded)", self.lo)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +240,36 @@ mod tests {
             Time(1.0).partial_cmp(&Time(2.0)),
             Some(std::cmp::Ordering::Less)
         );
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let i = TimeInterval::new(100.0, 200.0);
+        assert_eq!(
+            i.add(&TimeInterval::point(50.0)),
+            TimeInterval::new(150.0, 250.0)
+        );
+        assert_eq!(i.scale(2.0), TimeInterval::new(200.0, 400.0));
+        assert_eq!(
+            i.hull(&TimeInterval::new(150.0, 300.0)),
+            TimeInterval::new(100.0, 300.0)
+        );
+        assert!(i.contains(100.0) && i.contains(200.0) && !i.contains(200.1));
+        assert_eq!(i.width(), 100.0);
+        assert_eq!(i.ratio(), Some(2.0));
+        assert_eq!(format!("{i}"), "[100 s, 200 s]");
+
+        let half = TimeInterval::at_least(7.0);
+        assert!(!half.is_bounded());
+        assert!(half.contains(1e300));
+        assert_eq!(half.ratio(), None);
+        assert_eq!(format!("{half}"), "[7 s, unbounded)");
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_panics() {
+        let _ = TimeInterval::new(2.0, 1.0);
     }
 
     #[test]

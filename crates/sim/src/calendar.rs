@@ -62,19 +62,29 @@ impl<P: Copy + Ord> CalendarQueue<P> {
         }
     }
 
+    /// Whether a ring sized for pushes `max_span` ticks ahead fits
+    /// within `MAX_RING` — the allocation-free half of
+    /// [`CalendarQueue::configure`]'s decision, usable to predict the
+    /// queue's answer without a queue (see
+    /// `crate::engine::kernel_eligibility`).
+    #[must_use]
+    pub fn ring_fits(max_span: u64) -> bool {
+        match max_span.checked_add(1).map(u64::next_power_of_two) {
+            Some(width) => width.max(64) <= MAX_RING,
+            None => false,
+        }
+    }
+
     /// Sizes the ring for pushes at most `max_span` ticks ahead of the
     /// smallest live tick and empties the queue. Returns `false` (queue
     /// unusable) when the required ring exceeds `MAX_RING` — the
     /// caller keeps its heap in that case. Bucket allocations survive
     /// reconfiguration, so back-to-back runs are allocation-free.
     pub fn configure(&mut self, max_span: u64) -> bool {
-        let Some(width) = max_span.checked_add(1).map(u64::next_power_of_two) else {
-            return false;
-        };
-        let width = width.max(64);
-        if width > MAX_RING {
+        if !Self::ring_fits(max_span) {
             return false;
         }
+        let width = (max_span + 1).next_power_of_two().max(64);
         let w = usize::try_from(width).expect("ring fits in memory");
         if self.buckets.len() < w {
             self.buckets.resize_with(w, Vec::new);

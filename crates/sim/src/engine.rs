@@ -84,6 +84,107 @@ pub use crate::ffwd::{KernelOpts, KernelReport};
 /// Post-chain step kinds at unfused granularity, in chain order.
 const STEP_KINDS: [TaskKind; 3] = [TaskKind::Cof, TaskKind::Emf, TaskKind::Cd];
 
+/// The post model for one granularity: step durations, the pre rescale
+/// folded into the group span, and the index of the last chain step.
+/// Fused runs one `tp` step; unfused runs the Figure 1 chain with the
+/// constants rescaled by the table's post/180 cluster-speed ratio.
+fn post_model(granularity: Granularity, tp: f64) -> ([f64; 3], f64, u8) {
+    match granularity {
+        Granularity::Fused => ([tp, 0.0, 0.0], 0.0, 0),
+        Granularity::Unfused => {
+            let speed = tp / FUSED_POST_SECS;
+            (
+                [COF_SECS * speed, EMF_SECS * speed, CD_SECS * speed],
+                FUSED_PRE_SECS * speed,
+                2,
+            )
+        }
+    }
+}
+
+/// Appends the per-group main durations for `sizes` onto `durs`,
+/// exactly as the event loop will add them to its clock. `trow` is
+/// `table.main_array()`. At unfused granularity the table's duration
+/// includes the pre tasks already; the scaled pre is subtracted and
+/// added back so the group span equals the fused duration *bitwise*.
+fn push_durs(durs: &mut Vec<f64>, sizes: &[u32], trow: &[f64], granularity: Granularity, pre: f64) {
+    match granularity {
+        Granularity::Fused => durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize])),
+        Granularity::Unfused => durs.extend(
+            sizes
+                .iter()
+                .map(|&g| (trow[(g - MIN_PROCS) as usize] - pre) + pre),
+        ),
+    }
+}
+
+/// The integer-time gate: whether a run over `durs` and `failures`
+/// wants the tick representation, and the largest duration in ticks
+/// (the calendar ring's required span). Integer time is sound when
+/// every clock value the run can produce is an exactly-represented
+/// integer: integral task durations, integral failure instants, and a
+/// total horizon with comfortable headroom below 2^53.
+fn kernel_gate(
+    durs: &[f64],
+    failures: &[(usize, f64)],
+    inst: Instance,
+    steps_sum: f64,
+    requested: bool,
+) -> (bool, u64) {
+    let mut max_dur_ticks = 0u64;
+    let mut durs_ticky = true;
+    for &d in durs {
+        match exact_ticks(d) {
+            Some(ticks) if ticks > 0 => max_dur_ticks = max_dur_ticks.max(ticks),
+            _ => {
+                durs_ticky = false;
+                break;
+            }
+        }
+    }
+    let faults_ticky = failures.iter().all(|&(_, t)| is_tick_exact(t));
+    let max_fault = failures.iter().fold(0.0f64, |a, &(_, t)| a.max(t));
+    // Loose serial-work bound on the final clock value; restarts can
+    // re-execute at most one campaign's worth of months per failure.
+    let horizon = max_fault
+        + (f64::from(inst.nm) + 1.0)
+            * (f64::from(inst.ns) + failures.len() as f64 + 1.0)
+            * (max_dur_ticks as f64 + steps_sum + 1.0);
+    let want_ticks = requested && durs_ticky && faults_ticky && horizon < MAX_EXACT_SECS / 2.0;
+    (want_ticks, max_dur_ticks)
+}
+
+/// Whether a campaign qualifies for the integer-time kernel — the
+/// engine's gate, decided without running the event loop. This is the
+/// value [`KernelReport::integer_time`] will report whenever `opts`
+/// requests the kernel (calendar or fast-forward on); with neither
+/// knob set the engine stays on the heap regardless of eligibility.
+///
+/// `oa-analyze`'s static certifier mirrors this decision independently
+/// (it cannot depend on this crate); rule `CT002` cross-checks the two
+/// against each other and against the report of a real run.
+#[must_use]
+pub fn kernel_eligibility(
+    inst: Instance,
+    table: &TimingTable,
+    grouping: &Grouping,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+) -> bool {
+    let (steps, pre, _) = post_model(config.granularity, table.post_secs());
+    let mut durs = Vec::with_capacity(grouping.group_count());
+    push_durs(
+        &mut durs,
+        grouping.groups(),
+        table.main_array(),
+        config.granularity,
+        pre,
+    );
+    let (want_ticks, max_dur_ticks) =
+        kernel_gate(&durs, &plan.failures, inst, steps.iter().sum(), true);
+    want_ticks && CalendarQueue::<u32>::ring_fits(max_dur_ticks)
+}
+
 /// Aggregates of a completed campaign run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignRun {
@@ -441,19 +542,7 @@ fn run<T: Tracer>(
     let tp = table.post_secs();
     let nm = inst.nm;
 
-    // Post model: one fused post step, or the Figure 1 chain with the
-    // constants rescaled by the table's post/180 cluster-speed ratio.
-    let (steps, pre, last_step): ([f64; 3], f64, u8) = match config.granularity {
-        Granularity::Fused => ([tp, 0.0, 0.0], 0.0, 0),
-        Granularity::Unfused => {
-            let speed = tp / FUSED_POST_SECS;
-            (
-                [COF_SECS * speed, EMF_SECS * speed, CD_SECS * speed],
-                FUSED_PRE_SECS * speed,
-                2,
-            )
-        }
-    };
+    let (steps, pre, last_step) = post_model(config.granularity, tp);
 
     let Scratch {
         durs,
@@ -480,17 +569,7 @@ fn run<T: Tracer>(
         tmpl,
     } = scratch;
     durs.clear();
-    match config.granularity {
-        Granularity::Fused => durs.extend(sizes.iter().map(|&g| trow[(g - MIN_PROCS) as usize])),
-        // The table's main duration includes the pre tasks already;
-        // subtract the scaled pre and add it back so the group span
-        // equals the fused duration *bitwise*.
-        Granularity::Unfused => durs.extend(
-            sizes
-                .iter()
-                .map(|&g| (trow[(g - MIN_PROCS) as usize] - pre) + pre),
-        ),
-    }
+    push_durs(durs, sizes, trow, config.granularity, pre);
     let durs: &[f64] = durs;
 
     // Processor layout: groups first (descending sizes, canonical),
@@ -509,34 +588,15 @@ fn run<T: Tracer>(
     failures.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut next_failure = 0usize;
 
-    // Kernel mode selection. Integer time is sound when every clock
-    // value the run can produce is an exactly-represented integer:
-    // integral task durations, integral failure instants, and a total
-    // horizon with comfortable headroom below 2^53.
+    // Kernel mode selection — see [`kernel_gate`] / [`kernel_eligibility`].
     let mut report = KernelReport::default();
-    let mut max_dur_ticks = 0u64;
-    let mut durs_ticky = true;
-    for &d in durs {
-        match exact_ticks(d) {
-            Some(ticks) if ticks > 0 => max_dur_ticks = max_dur_ticks.max(ticks),
-            _ => {
-                durs_ticky = false;
-                break;
-            }
-        }
-    }
-    let faults_ticky = failures.iter().all(|&(_, t)| is_tick_exact(t));
-    let max_fault = failures.iter().fold(0.0f64, |a, &(_, t)| a.max(t));
-    // Loose serial-work bound on the final clock value; restarts can
-    // re-execute at most one campaign's worth of months per failure.
-    let horizon = max_fault
-        + (f64::from(nm) + 1.0)
-            * (f64::from(inst.ns) + failures.len() as f64 + 1.0)
-            * (max_dur_ticks as f64 + steps.iter().sum::<f64>() + 1.0);
-    let want_ticks = (opts.calendar || opts.fast_forward)
-        && durs_ticky
-        && faults_ticky
-        && horizon < MAX_EXACT_SECS / 2.0;
+    let (want_ticks, max_dur_ticks) = kernel_gate(
+        durs,
+        &failures,
+        inst,
+        steps.iter().sum(),
+        opts.calendar || opts.fast_forward,
+    );
     let use_cal = want_ticks && busy_cal.configure(max_dur_ticks);
     report.integer_time = use_cal;
     let ff_on = opts.fast_forward && use_cal;

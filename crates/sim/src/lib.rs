@@ -67,8 +67,8 @@ pub mod unfused;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{
-        simulate_campaign, simulate_campaign_kernel, CampaignOutcome, CampaignRun, KernelOpts,
-        KernelReport,
+        kernel_eligibility, simulate_campaign, simulate_campaign_kernel, CampaignOutcome,
+        CampaignRun, KernelOpts, KernelReport,
     };
     pub use crate::executor::{
         execute, execute_default, execute_traced, ExecConfig, ScenarioPolicy,

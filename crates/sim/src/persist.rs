@@ -102,7 +102,11 @@ pub fn compare(a: &Schedule, b: &Schedule) -> ScheduleDiff {
             r.task.kind == TaskKind::FusedPost,
         )
     };
-    let mut map_a = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the key is an Ord tuple and an ordered map
+    // keeps this path inside the workspace's determinism audit (ND001)
+    // — lookups only today, but map iteration must never be one
+    // refactor away from seed-dependent output.
+    let mut map_a = std::collections::BTreeMap::new();
     for r in &a.records {
         map_a.insert(key(r), *r);
         let f = &mut finish_a[r.task.scenario as usize];
