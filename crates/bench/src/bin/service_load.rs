@@ -1,0 +1,202 @@
+//! Load generator for the `oa-service` daemon: thousands of campaign
+//! sessions through one in-process service, wall-clock latencies on
+//! every request.
+//!
+//! The daemon itself never reads a wall clock (its determinism audit
+//! forbids it); this harness is the one place latency is *measured* —
+//! each `handle()` call is timed with `Instant` and the observation is
+//! fed back into the service's `service_admit_latency_secs` /
+//! `service_decision_latency_secs` histograms, which `{"Metrics": {}}`
+//! then reports. Exact percentiles over the raw samples go to
+//! `results/BENCH_service.json`.
+//!
+//! Run: `cargo run --release -p oa-bench --bin service_load [--fast]`
+//!
+//! The full run keeps > 1000 sessions concurrently admitted before the
+//! first clock advance; `--fast` shrinks everything for CI smoke.
+
+use std::time::Instant;
+
+use oa_bench::write_json;
+use oa_service::daemon::{Service, ServiceConfig};
+use oa_service::wire::{Request, Response};
+use oa_trace::metrics::keys;
+use serde::Value;
+
+/// Exact quantile over a sorted sample set (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summary(samples: &mut [f64]) -> Value {
+    samples.sort_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Value::Object(vec![
+        ("count".into(), Value::U64(samples.len() as u64)),
+        ("mean".into(), Value::F64(mean)),
+        ("p50".into(), Value::F64(quantile(samples, 0.50))),
+        ("p90".into(), Value::F64(quantile(samples, 0.90))),
+        ("p99".into(), Value::F64(quantile(samples, 0.99))),
+        ("max".into(), Value::F64(*samples.last().unwrap())),
+    ])
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    // 1100 singleton sessions plus 100 three-scenario sessions keep
+    // 1200 sessions (1400 scenarios) concurrently admitted.
+    let (singles, triples, capacity, advance_steps) = if fast {
+        (120, 10, 256, 40)
+    } else {
+        (1100, 100, 1536, 400)
+    };
+    let submissions = singles + triples;
+    // Planning with the greedy knapsack: each cluster join prices
+    // `capacity` performance-vector entries, and the exact knapsack
+    // costs ~3x more per entry at this scale for the same counts on
+    // this workload. The per-session execution heuristics are chosen
+    // by each submission, not here.
+    let cfg = ServiceConfig {
+        capacity,
+        planning_heuristic: oa_sched::heuristics::Heuristic::KnapsackGreedy,
+        ..Default::default()
+    };
+    let mut service = Service::new(cfg, oa_par::resolve_jobs(None));
+
+    println!("== oa-service load: {submissions} sessions over 5 clusters ==");
+    let presets = [
+        "sagittaire",
+        "capricorne",
+        "chinqchint",
+        "grillon",
+        "grelon",
+    ];
+    let t0 = Instant::now();
+    for p in presets {
+        let responses = service.handle(Request::ClusterJoin {
+            name: p.to_string(),
+            preset: p.to_string(),
+            resources: 64,
+        });
+        assert!(
+            matches!(responses[0], Response::ClusterUp { .. }),
+            "join failed: {responses:?}"
+        );
+    }
+    println!(
+        "  joined {} clusters (capacity {capacity}) in {:.2}s",
+        presets.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Phase 1: admission storm. No clock advance in between, so every
+    // admitted session stays concurrently active.
+    let mut admit = Vec::with_capacity(submissions);
+    let mut admitted = 0u64;
+    let t_submit = Instant::now();
+    for i in 0..submissions {
+        let ns = if i < singles { 1 } else { 3 };
+        let req = Request::Submit {
+            session: format!("s{i:05}"),
+            ns,
+            nm: 12,
+            heuristic: "knapsack".to_string(),
+            policy: "least-advanced".to_string(),
+            granularity: "fused".to_string(),
+            recovery: "checkpoint".to_string(),
+            kills: String::new(),
+            deadline: 0.0,
+        };
+        let t = Instant::now();
+        let responses = service.handle(req);
+        let secs = t.elapsed().as_secs_f64();
+        admit.push(secs);
+        service.observe_latency(keys::ADMIT_LATENCY_SECS, secs);
+        if matches!(responses[0], Response::Admitted { .. }) {
+            admitted += 1;
+        } else {
+            panic!("submission {i} not admitted: {responses:?}");
+        }
+    }
+    let submit_wall = t_submit.elapsed().as_secs_f64();
+    let max_concurrent = service
+        .metrics()
+        .gauge(keys::SESSIONS_ACTIVE)
+        .unwrap_or(0.0) as u64;
+    println!(
+        "  admitted {admitted} sessions in {submit_wall:.2}s \
+         ({:.0} submissions/s), {max_concurrent} concurrently active",
+        admitted as f64 / submit_wall
+    );
+
+    // Phase 2: scheduling decisions. Advance the virtual clock in
+    // steps; each step releases finished portions, rebalances the
+    // plan and emits completion reports.
+    let horizon = 16.0 * 3600.0 * submissions as f64 / presets.len() as f64;
+    let mut decide = Vec::with_capacity(advance_steps + 1);
+    let mut completed = 0u64;
+    for step in 1..=advance_steps {
+        let to = horizon * step as f64 / advance_steps as f64;
+        let t = Instant::now();
+        let responses = service.handle(Request::Advance { to });
+        let secs = t.elapsed().as_secs_f64();
+        decide.push(secs);
+        service.observe_latency(keys::DECISION_LATENCY_SECS, secs);
+        completed += responses
+            .iter()
+            .filter(|r| matches!(r, Response::Completed { .. }))
+            .count() as u64;
+    }
+    let t = Instant::now();
+    let responses = service.handle(Request::Drain {});
+    let secs = t.elapsed().as_secs_f64();
+    decide.push(secs);
+    service.observe_latency(keys::DECISION_LATENCY_SECS, secs);
+    completed += responses
+        .iter()
+        .filter(|r| matches!(r, Response::Completed { .. }))
+        .count() as u64;
+    assert_eq!(completed, admitted, "every admitted session completes");
+    println!(
+        "  completed {completed} sessions over {} advances; \
+         final virtual clock {:.0}h",
+        decide.len(),
+        service.now() / 3600.0
+    );
+
+    // The service's own histogram view of the same numbers (bucketed,
+    // so coarser than the exact sample percentiles).
+    let snapshot = service.metrics().snapshot();
+    let hist_p99 = snapshot
+        .histogram(keys::ADMIT_LATENCY_SECS)
+        .and_then(|h| h.quantile(0.99))
+        .unwrap_or(0.0);
+
+    let record = Value::Object(vec![
+        ("fast".into(), Value::Bool(fast)),
+        ("clusters".into(), Value::U64(presets.len() as u64)),
+        ("capacity".into(), Value::U64(u64::from(capacity))),
+        ("submissions".into(), Value::U64(submissions as u64)),
+        ("admitted".into(), Value::U64(admitted)),
+        ("completed".into(), Value::U64(completed)),
+        ("max_concurrent_sessions".into(), Value::U64(max_concurrent)),
+        (
+            "submissions_per_sec".into(),
+            Value::F64(admitted as f64 / submit_wall),
+        ),
+        ("admit_latency_secs".into(), summary(&mut admit)),
+        ("decision_latency_secs".into(), summary(&mut decide)),
+        ("admit_p99_histogram_secs".into(), Value::F64(hist_p99)),
+        ("virtual_horizon_secs".into(), Value::F64(service.now())),
+    ]);
+    write_json("BENCH_service", &record);
+    println!(
+        "  admit p50 {:.0}us / p99 {:.0}us; decision p50 {:.0}us / p99 {:.0}us",
+        quantile(&admit, 0.5) * 1e6,
+        quantile(&admit, 0.99) * 1e6,
+        quantile(&decide, 0.5) * 1e6,
+        quantile(&decide, 0.99) * 1e6,
+    );
+}

@@ -64,6 +64,8 @@ pub fn run<I: IntoIterator<Item = String>>(argv: I) -> Result<String, CliError> 
         "profile" => profile_cmd(&args),
         "trace" => trace_cmd(&args),
         "dot" => dot_cmd(&args),
+        "serve" => serve_cmd(&args),
+        "submit" => submit_cmd(&args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -113,6 +115,14 @@ COMMANDS
             trace summarize [--file TRACE.jsonl | campaign flags]
   dot       Graphviz DOT of the application DAG (pipe into `dot -Tsvg`)
             --ns N --nm N [--fused]
+  serve     run the campaign service daemon (line-delimited JSON; see
+            docs/PROTOCOL.md and docs/OPERATIONS.md)
+            --script FILE | --pipe | --socket PATH
+            [--capacity N] [--planning-nm N] [--jobs N]
+  submit    print one service Submit request line (pipe into `oa serve`)
+            --session NAME --ns N --nm N [--heuristic H] [--policy P]
+            [--unfused] [--recovery checkpoint|restart] [--kill G@T,...]
+            [--deadline SECONDS]
   help      this text
 
 HEURISTICS: basic, redistribute (Improvement 1), nopost (Improvement 2),
@@ -998,6 +1008,112 @@ fn dot_cmd(args: &Args) -> Result<String, CliError> {
     })
 }
 
+fn serve_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[
+        "script",
+        "socket",
+        "pipe",
+        "jobs",
+        "capacity",
+        "planning-nm",
+    ])?;
+    let cfg = oa_service::daemon::ServiceConfig {
+        capacity: args.u32_or("capacity", 256)?,
+        planning_nm: args.u32_or("planning-nm", 60)?,
+        ..Default::default()
+    };
+    let jobs = oa_par::resolve_jobs(args.jobs_opt()?);
+    let mut service = oa_service::daemon::Service::new(cfg, jobs);
+    if let Some(path) = args.str_opt("script") {
+        let script = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Domain(format!("cannot read {path:?}: {e}")))?;
+        return Ok(oa_service::daemon::run_script(&mut service, &script));
+    }
+    if args.switch("pipe") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        oa_service::daemon::run_pipe(&mut service, stdin.lock(), &mut stdout.lock())
+            .map_err(|e| CliError::Domain(format!("pipe I/O failed: {e}")))?;
+        return Ok(String::new());
+    }
+    if let Some(path) = args.str_opt("socket") {
+        #[cfg(unix)]
+        {
+            oa_service::socket::run_socket(&mut service, std::path::Path::new(path))
+                .map_err(|e| CliError::Domain(format!("socket {path:?} failed: {e}")))?;
+            return Ok(format!(
+                "served on {path}; shut down at t={:.1}s\n",
+                service.now()
+            ));
+        }
+        #[cfg(not(unix))]
+        return Err(CliError::Domain(format!(
+            "--socket {path} needs a Unix platform; use --pipe"
+        )));
+    }
+    Err(CliError::Domain(
+        "serve needs a transport: --script FILE, --pipe or --socket PATH".to_string(),
+    ))
+}
+
+fn submit_cmd(args: &Args) -> Result<String, CliError> {
+    args.check_known(&[
+        "session",
+        "ns",
+        "nm",
+        "heuristic",
+        "policy",
+        "unfused",
+        "recovery",
+        "kill",
+        "deadline",
+    ])?;
+    let session = args
+        .str_opt("session")
+        .ok_or_else(|| CliError::Domain("submit needs --session NAME".to_string()))?
+        .to_string();
+    let ns = args.u32_or("ns", 10)?;
+    let nm = args.u32_or("nm", 1800)?;
+    let heuristic = args.str_or("heuristic", "knapsack");
+    let policy = args.str_or("policy", "least-advanced");
+    let granularity = if args.switch("unfused") {
+        "unfused"
+    } else {
+        "fused"
+    }
+    .to_string();
+    let recovery = args.str_or("recovery", "checkpoint");
+    let kills = args.str_or("kill", "");
+    let deadline = args.f64_or("deadline", 0.0)?;
+    // Validate client-side so a typo fails here, not at the daemon.
+    oa_service::admission::parse_submission(
+        &session,
+        ns,
+        nm,
+        &heuristic,
+        &policy,
+        &granularity,
+        &recovery,
+        &kills,
+        deadline,
+    )
+    .map_err(|r| CliError::Domain(format!("[{}] {}", r.code, r.message)))?;
+    let req = oa_service::wire::Request::Submit {
+        session,
+        ns,
+        nm,
+        heuristic,
+        policy,
+        granularity,
+        recovery,
+        kills,
+        deadline,
+    };
+    Ok(serde_json::to_string(&req)
+        .map_err(|e| CliError::Domain(format!("serialization failed: {e}")))?
+        + "\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1492,6 +1608,74 @@ mod tests {
             oa(&["audit", "certify", "--bogus", "1"]),
             Err(CliError::Args(_))
         ));
+    }
+
+    #[test]
+    fn submit_builds_a_valid_request_line() {
+        let line = oa(&["submit", "--session", "s1", "--ns", "3", "--nm", "12"]).unwrap();
+        let req = oa_service::wire::parse_request(line.trim()).unwrap();
+        match req {
+            oa_service::wire::Request::Submit {
+                session,
+                ns,
+                heuristic,
+                ..
+            } => {
+                assert_eq!(session, "s1");
+                assert_eq!(ns, 3);
+                assert_eq!(heuristic, "knapsack");
+            }
+            other => panic!("expected Submit, got {other:?}"),
+        }
+        // Client-side validation catches what the daemon would reject.
+        assert!(matches!(
+            oa(&["submit", "--ns", "3"]),
+            Err(CliError::Domain(_))
+        ));
+        assert!(matches!(
+            oa(&["submit", "--session", "s", "--heuristic", "nope"]),
+            Err(CliError::Domain(_))
+        ));
+    }
+
+    #[test]
+    fn serve_runs_a_scripted_transcript() {
+        let path = std::env::temp_dir().join("oa_serve_cli_test.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                r#"{"Hello": {"version": 1}}"#,
+                "\n",
+                r#"{"ClusterJoin": {"name": "ref", "preset": "reference", "resources": 53}}"#,
+                "\n",
+                r#"{"Submit": {"session": "s1", "ns": 2, "nm": 6, "heuristic": "knapsack", "policy": "least-advanced", "granularity": "fused", "recovery": "checkpoint", "kills": "", "deadline": 0.0}}"#,
+                "\n",
+                r#"{"Drain": {}}"#,
+                "\n",
+                r#"{"Shutdown": {}}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let log = oa(&[
+            "serve",
+            "--script",
+            path.to_str().unwrap(),
+            "--capacity",
+            "8",
+            "--jobs",
+            "1",
+        ])
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        for kind in ["Welcome", "ClusterUp", "Admitted", "Completed", "Bye"] {
+            assert!(
+                log.contains(&format!("\"{kind}\"")),
+                "missing {kind}: {log}"
+            );
+        }
+        // No transport is an invocation error.
+        assert!(matches!(oa(&["serve"]), Err(CliError::Domain(_))));
     }
 
     #[test]

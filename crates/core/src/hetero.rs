@@ -69,6 +69,51 @@ pub fn performance_vector(
     PerformanceVector { cluster, makespans }
 }
 
+/// [`performance_vector`] with the `ns` independent heuristic
+/// evaluations fanned out on `pool`. Each entry is a pure function of
+/// its scenario count and results are stitched back in count order, so
+/// the vector is bit-identical to the serial path — this is the
+/// single-cluster entry point an online scheduler uses when a cluster
+/// joins an already-running grid.
+pub fn performance_vector_with(
+    cluster: ClusterId,
+    resources: u32,
+    table: &oa_platform::timing::TimingTable,
+    heuristic: Heuristic,
+    ns: u32,
+    nm: u32,
+    pool: &Pool,
+) -> PerformanceVector {
+    let counts: Vec<u32> = (1..=ns).collect();
+    let makespans = pool.par_map(&counts, |&k| {
+        let inst = Instance::new(k, nm, resources);
+        heuristic.makespan(inst, table).unwrap_or(f64::INFINITY)
+    });
+    PerformanceVector { cluster, makespans }
+}
+
+/// Extends a performance vector in place to cover `1..=upto` scenarios,
+/// evaluating the heuristic only for the counts not yet covered. The
+/// existing prefix is untouched (each entry is a pure function of its
+/// `(cluster, k)` pair), so growing a vector never perturbs decisions
+/// already taken from it — the incremental counterpart of recomputing
+/// [`performance_vector`] from scratch at the larger `NS`.
+pub fn extend_performance_vector(
+    vector: &mut PerformanceVector,
+    resources: u32,
+    table: &oa_platform::timing::TimingTable,
+    heuristic: Heuristic,
+    upto: u32,
+    nm: u32,
+) {
+    for k in (vector.makespans.len() as u32 + 1)..=upto {
+        let inst = Instance::new(k, nm, resources);
+        vector
+            .makespans
+            .push(heuristic.makespan(inst, table).unwrap_or(f64::INFINITY));
+    }
+}
+
 /// Performance vectors for every cluster of a grid.
 pub fn grid_performance(
     grid: &Grid,
@@ -168,14 +213,30 @@ impl Repartition {
 /// assert_eq!(plan.nb_dags, vec![2, 1]); // the faster cluster gets more DAGs
 /// ```
 pub fn repartition(vectors: &[PerformanceVector]) -> Repartition {
+    let ns = vectors.first().map_or(0, PerformanceVector::len);
+    repartition_n(vectors, ns)
+}
+
+/// Algorithm 1 stopped after `ns` scenarios — the batch oracle for the
+/// incremental scheduler in [`crate::incremental`]: because the greedy
+/// state after `n` steps is a pure function of `n`, the counts it
+/// produces after `ns` arrivals are exactly `repartition_n(v, ns)`.
+///
+/// Panics if `vectors` is empty, the vectors disagree on NS, or `ns`
+/// exceeds the vectors' coverage.
+pub fn repartition_n(vectors: &[PerformanceVector], ns: usize) -> Repartition {
     assert!(
         !vectors.is_empty(),
         "repartition needs at least one cluster"
     );
-    let ns = vectors[0].len();
+    let cap = vectors[0].len();
     assert!(
-        vectors.iter().all(|v| v.len() == ns),
+        vectors.iter().all(|v| v.len() == cap),
         "performance vectors disagree on NS"
+    );
+    assert!(
+        ns <= cap,
+        "repartition of {ns} scenarios exceeds vector coverage {cap}"
     );
     let n = vectors.len();
     let mut nb_dags = vec![0u32; n];
@@ -191,7 +252,7 @@ pub fn repartition(vectors: &[PerformanceVector]) -> Repartition {
             }
         }
         nb_dags[cluster_min] += 1;
-        assignment.push(ClusterId(cluster_min as u32));
+        assignment.push(vectors[cluster_min].cluster);
     }
     Repartition {
         assignment,

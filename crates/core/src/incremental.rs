@@ -1,0 +1,418 @@
+//! Incremental scenario repartition — Algorithm 1 as an online
+//! scheduler.
+//!
+//! The batch greedy of [`crate::hetero::repartition`] assigns `NS`
+//! scenarios in one pass. Its state after `n` steps — the per-cluster
+//! counts — is a pure function of `n` alone: step `n+1` looks only at
+//! the counts, so the greedy is *prefix-nested* (the counts after `n`
+//! arrivals extend the counts after `n − 1`). That property makes the
+//! algorithm incremental for free:
+//!
+//! * **arrival** — one more greedy step ([`IncrementalRepartition::push`]);
+//! * **departure** — pop the last greedy choice; when the departing
+//!   scenario sits on a different cluster, a single migration restores
+//!   the greedy counts ([`IncrementalRepartition::remove_from`]);
+//! * **cluster join/leave** — replay the greedy over the *cached*
+//!   performance vectors ([`IncrementalRepartition::join`] /
+//!   [`IncrementalRepartition::leave`]). The replay is a pure scan
+//!   (`O(clusters × n)`); the expensive part — the per-`(cluster, k)`
+//!   heuristic evaluations behind the vectors — is never repeated.
+//!
+//! The hard invariant, pinned by `tests/incremental_repartition.rs`:
+//! after any operation sequence, the counts equal a from-scratch
+//! [`crate::hetero::repartition_n`] over the current vectors, bitwise.
+
+use crate::hetero::{repartition_n, PerformanceVector};
+use oa_platform::cluster::ClusterId;
+
+/// What [`IncrementalRepartition::remove_from`] had to do to restore
+/// the greedy counts after a departure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Departure {
+    /// The cluster the departing scenario vacated.
+    pub vacated: ClusterId,
+    /// The greedy choice that was popped (last arrival's cluster).
+    pub popped: ClusterId,
+    /// `Some((from, to))` when one scenario must migrate to restore
+    /// the greedy counts; `None` when the departure popped cleanly.
+    pub migration: Option<(ClusterId, ClusterId)>,
+}
+
+/// Migrations a cluster join/leave forces: `(from, to, scenarios)`
+/// triples, in ascending `(from, to)` order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Rebalance {
+    /// Scenario moves needed to match the fresh greedy counts.
+    pub moves: Vec<(ClusterId, ClusterId, u32)>,
+}
+
+/// Online Algorithm 1 over cached performance vectors.
+///
+/// # Examples
+///
+/// ```
+/// use oa_platform::cluster::ClusterId;
+/// use oa_sched::hetero::PerformanceVector;
+/// use oa_sched::incremental::IncrementalRepartition;
+///
+/// let fast = PerformanceVector { cluster: ClusterId(0), makespans: vec![10.0, 20.0, 30.0] };
+/// let slow = PerformanceVector { cluster: ClusterId(1), makespans: vec![25.0, 50.0, 75.0] };
+/// let mut rep = IncrementalRepartition::new(vec![fast, slow]);
+///
+/// // Three arrivals reproduce the batch repartition [2, 1]...
+/// assert_eq!(rep.push(), Some(ClusterId(0)));
+/// assert_eq!(rep.push(), Some(ClusterId(0)));
+/// assert_eq!(rep.push(), Some(ClusterId(1)));
+/// assert_eq!(rep.counts(), &[2, 1]);
+///
+/// // ...and a departure from cluster 0 pops back to the 2-arrival state.
+/// let dep = rep.remove_from(ClusterId(0)).unwrap();
+/// assert_eq!(dep.migration, Some((ClusterId(1), ClusterId(0))));
+/// assert_eq!(rep.counts(), &[2, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalRepartition {
+    vectors: Vec<PerformanceVector>,
+    counts: Vec<u32>,
+    choices: Vec<ClusterId>,
+}
+
+impl IncrementalRepartition {
+    /// Starts with `vectors` (possibly empty — clusters may join later)
+    /// and no scenarios. Panics when the vectors disagree on coverage.
+    #[must_use]
+    pub fn new(vectors: Vec<PerformanceVector>) -> Self {
+        if let Some(first) = vectors.first() {
+            assert!(
+                vectors.iter().all(|v| v.len() == first.len()),
+                "performance vectors disagree on NS"
+            );
+        }
+        let counts = vec![0; vectors.len()];
+        Self {
+            vectors,
+            counts,
+            choices: Vec::new(),
+        }
+    }
+
+    /// Scenarios currently placed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True when no scenario is placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// Largest scenario population the cached vectors cover.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.vectors.first().map_or(0, PerformanceVector::len)
+    }
+
+    /// Per-cluster scenario counts, position-aligned with the vectors.
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The cached performance vectors.
+    #[must_use]
+    pub fn vectors(&self) -> &[PerformanceVector] {
+        &self.vectors
+    }
+
+    /// Scenarios currently planned on `cluster` (0 for unknown ids).
+    #[must_use]
+    pub fn count_of(&self, cluster: ClusterId) -> u32 {
+        self.position(cluster).map_or(0, |i| self.counts[i])
+    }
+
+    /// Predicted grid makespan of the current counts: the slowest
+    /// cluster's predicted makespan for its load (0 when idle).
+    #[must_use]
+    pub fn predicted_makespan(&self) -> f64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k > 0)
+            .map(|(i, &k)| self.vectors[i].of(k))
+            .fold(0.0, f64::max)
+    }
+
+    fn position(&self, cluster: ClusterId) -> Option<usize> {
+        self.vectors.iter().position(|v| v.cluster == cluster)
+    }
+
+    /// One arrival: the next greedy step of Algorithm 1 (strict `<`
+    /// scan, ties to the first position — the same comparison as the
+    /// batch loop). Returns the chosen cluster, or `None` when the
+    /// grid is at capacity or no cluster can take one more scenario
+    /// (a fully priced-out grid refuses the arrival instead of
+    /// defaulting to the first cluster as the batch loop would — an
+    /// online scheduler must reject what it cannot place).
+    pub fn push(&mut self) -> Option<ClusterId> {
+        if self.choices.len() >= self.capacity() {
+            return None;
+        }
+        let mut ms_min = f64::INFINITY;
+        let mut cluster_min = usize::MAX;
+        for (i, v) in self.vectors.iter().enumerate() {
+            let temp = v.of(self.counts[i] + 1);
+            if temp < ms_min {
+                ms_min = temp;
+                cluster_min = i;
+            }
+        }
+        if cluster_min == usize::MAX {
+            return None; // every cluster is priced out (all +∞)
+        }
+        self.counts[cluster_min] += 1;
+        let chosen = self.vectors[cluster_min].cluster;
+        self.choices.push(chosen);
+        Some(chosen)
+    }
+
+    /// Undoes the most recent arrival, returning the cluster it had
+    /// been placed on.
+    pub fn pop(&mut self) -> Option<ClusterId> {
+        let last = self.choices.pop()?;
+        let i = self.position(last).expect("choice cluster is live");
+        self.counts[i] -= 1;
+        Some(last)
+    }
+
+    /// One departure from `cluster`: restores the `n − 1`-arrival
+    /// greedy counts by popping the last choice and, when the departed
+    /// scenario lived elsewhere, migrating a single scenario from the
+    /// popped cluster onto the vacated slot. Returns `None` when
+    /// `cluster` is unknown or idle.
+    pub fn remove_from(&mut self, cluster: ClusterId) -> Option<Departure> {
+        let i = self.position(cluster)?;
+        if self.counts[i] == 0 {
+            return None;
+        }
+        let popped = self.choices.pop().expect("counts nonzero implies choices");
+        let p = self.position(popped).expect("choice cluster is live");
+        // Popping the stack decrements `popped` — that *is* the greedy
+        // `n − 1` state. When the scenario actually left a different
+        // cluster, the physical fix-up is one migration: a scenario of
+        // `popped` relabels onto the vacated slot so the decrement
+        // lands on `popped` there too. The counts need no further
+        // adjustment either way.
+        self.counts[p] -= 1;
+        let migration = if popped == cluster {
+            None
+        } else {
+            Some((popped, cluster))
+        };
+        Some(Departure {
+            vacated: cluster,
+            popped,
+            migration,
+        })
+    }
+
+    /// A cluster joins: caches its vector and replays the greedy over
+    /// the enlarged grid (pure scans — no heuristic re-evaluation).
+    /// Panics on coverage mismatch or a duplicate cluster id.
+    pub fn join(&mut self, vector: PerformanceVector) -> Rebalance {
+        assert!(
+            self.vectors.is_empty() || vector.len() == self.capacity(),
+            "joining vector disagrees on NS"
+        );
+        assert!(
+            self.position(vector.cluster).is_none(),
+            "cluster {} already joined",
+            vector.cluster
+        );
+        let old = self.snapshot();
+        self.vectors.push(vector);
+        self.replay(&old)
+    }
+
+    /// A cluster leaves: drops its cached vector and replays the
+    /// greedy over the survivors. Its scenarios are re-placed by the
+    /// replay; the returned moves include their migrations. Returns
+    /// `None` for an unknown cluster. Panics when no cluster survives
+    /// while scenarios are still placed (the caller must drain first).
+    pub fn leave(&mut self, cluster: ClusterId) -> Option<Rebalance> {
+        let i = self.position(cluster)?;
+        let old = self.snapshot();
+        self.vectors.remove(i);
+        Some(self.replay(&old))
+    }
+
+    /// Pre-mutation `(cluster, count)` pairs, for rebalance diffs.
+    fn snapshot(&self) -> Vec<(ClusterId, u32)> {
+        self.vectors
+            .iter()
+            .zip(&self.counts)
+            .map(|(v, &k)| (v.cluster, k))
+            .collect()
+    }
+
+    /// Re-derives counts and choices from scratch over the cached
+    /// vectors and diffs against the pre-mutation counts.
+    fn replay(&mut self, old: &[(ClusterId, u32)]) -> Rebalance {
+        let n = self.choices.len();
+        if self.vectors.is_empty() {
+            assert!(n == 0, "no surviving cluster; cannot hold {n} scenario(s)");
+            self.counts.clear();
+            self.choices.clear();
+            return Rebalance::default();
+        }
+        let fresh = repartition_n(&self.vectors, n);
+        self.counts = fresh.nb_dags;
+        self.choices = fresh.assignment;
+        self.moves_between(old)
+    }
+
+    /// Pairs surpluses with deficits in ascending cluster-id order.
+    fn moves_between(&self, old: &[(ClusterId, u32)]) -> Rebalance {
+        let new_count = |c: ClusterId| self.count_of(c);
+        let mut surplus: Vec<(ClusterId, u32)> = Vec::new(); // must shed
+        let mut deficit: Vec<(ClusterId, u32)> = Vec::new(); // must gain
+        for &(c, was) in old {
+            let now = new_count(c);
+            if was > now {
+                surplus.push((c, was - now));
+            }
+        }
+        for v in &self.vectors {
+            let was = old
+                .iter()
+                .find(|&&(c, _)| c == v.cluster)
+                .map_or(0, |&(_, k)| k);
+            let now = new_count(v.cluster);
+            if now > was {
+                deficit.push((v.cluster, now - was));
+            }
+        }
+        surplus.sort_by_key(|&(c, _)| c);
+        deficit.sort_by_key(|&(c, _)| c);
+        let mut moves = Vec::new();
+        let mut di = 0usize;
+        for (from, mut excess) in surplus {
+            while excess > 0 && di < deficit.len() {
+                let (to, need) = &mut deficit[di];
+                let take = excess.min(*need);
+                moves.push((from, *to, take));
+                excess -= take;
+                *need -= take;
+                if *need == 0 {
+                    di += 1;
+                }
+            }
+        }
+        Rebalance { moves }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors(ms: &[&[f64]]) -> Vec<PerformanceVector> {
+        ms.iter()
+            .enumerate()
+            .map(|(i, v)| PerformanceVector {
+                cluster: ClusterId(i as u32),
+                makespans: v.to_vec(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pushes_match_batch_prefixes() {
+        let v = vectors(&[&[5.0, 11.0, 18.0, 26.0], &[7.0, 15.0, 24.0, 34.0]]);
+        let mut rep = IncrementalRepartition::new(v.clone());
+        for n in 1..=4usize {
+            assert!(rep.push().is_some());
+            let batch = repartition_n(&v, n);
+            assert_eq!(rep.counts(), &batch.nb_dags[..], "after {n} arrivals");
+        }
+        assert_eq!(rep.push(), None, "capacity exhausted");
+    }
+
+    #[test]
+    fn clean_pop_and_migrating_departure() {
+        let v = vectors(&[&[10.0, 20.0, 30.0], &[25.0, 50.0, 75.0]]);
+        let mut rep = IncrementalRepartition::new(v.clone());
+        rep.push();
+        rep.push();
+        rep.push(); // counts [2, 1], last choice cluster 1
+        let dep = rep.remove_from(ClusterId(1)).unwrap();
+        assert_eq!(dep.migration, None, "departing the last choice pops clean");
+        assert_eq!(rep.counts(), repartition_n(&v, 2).nb_dags.as_slice());
+
+        rep.push(); // back to [2, 1]
+        let dep = rep.remove_from(ClusterId(0)).unwrap();
+        assert_eq!(dep.migration, Some((ClusterId(1), ClusterId(0))));
+        assert_eq!(rep.counts(), repartition_n(&v, 2).nb_dags.as_slice());
+    }
+
+    #[test]
+    fn join_and_leave_replay_the_batch() {
+        let v = vectors(&[&[10.0, 20.0, 30.0, 40.0]]);
+        let mut rep = IncrementalRepartition::new(v);
+        rep.push();
+        rep.push();
+        rep.push();
+        assert_eq!(rep.counts(), &[3]);
+
+        // A faster cluster joins and takes over two scenarios.
+        let fast = PerformanceVector {
+            cluster: ClusterId(7),
+            makespans: vec![4.0, 8.0, 12.0, 16.0],
+        };
+        let reb = rep.join(fast);
+        assert_eq!(rep.counts(), &[1, 2]);
+        assert_eq!(reb.moves, vec![(ClusterId(0), ClusterId(7), 2)]);
+
+        // It leaves again; its two scenarios return to the original
+        // cluster (the third never moved).
+        let reb = rep.leave(ClusterId(7)).unwrap();
+        assert_eq!(rep.counts(), &[3]);
+        assert_eq!(reb.moves, vec![(ClusterId(7), ClusterId(0), 2)]);
+        assert_eq!(rep.leave(ClusterId(9)), None);
+    }
+
+    #[test]
+    fn priced_out_grid_refuses_arrivals() {
+        let v = vec![PerformanceVector {
+            cluster: ClusterId(0),
+            makespans: vec![f64::INFINITY; 2],
+        }];
+        let mut rep = IncrementalRepartition::new(v);
+        assert_eq!(rep.push(), None);
+        assert!(rep.is_empty());
+    }
+
+    #[test]
+    fn empty_grid_accepts_joins_later() {
+        let mut rep = IncrementalRepartition::new(Vec::new());
+        assert_eq!(rep.capacity(), 0);
+        assert_eq!(rep.push(), None);
+        rep.join(PerformanceVector {
+            cluster: ClusterId(3),
+            makespans: vec![5.0, 10.0],
+        });
+        assert_eq!(rep.push(), Some(ClusterId(3)));
+        assert_eq!(rep.count_of(ClusterId(3)), 1);
+        assert_eq!(rep.predicted_makespan(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn leave_with_no_room_panics() {
+        let v = vectors(&[&[1.0, 2.0]]);
+        let mut rep = IncrementalRepartition::new(v);
+        rep.push();
+        rep.leave(ClusterId(0));
+    }
+}

@@ -16,6 +16,10 @@
 //!   a greedy-knapsack ablation;
 //! * [`hetero`] — per-cluster performance vectors and the greedy
 //!   scenario repartition of Algorithm 1;
+//! * [`incremental`] — Algorithm 1 as an online scheduler: arrivals,
+//!   departures and cluster churn over cached performance vectors,
+//!   bitwise-equal to the batch greedy (the planning core of
+//!   `oa-service`);
 //! * [`policy`] — campaign policy knobs shared by every event loop:
 //!   scenario-selection queues, task granularity, fault plans and
 //!   recovery models (the configuration of `oa-sim::engine`);
@@ -49,6 +53,7 @@ pub mod generic;
 pub mod grouping;
 pub mod hetero;
 pub mod heuristics;
+pub mod incremental;
 pub mod params;
 pub mod policy;
 pub mod time;
@@ -60,10 +65,12 @@ pub mod prelude {
     pub use crate::generic;
     pub use crate::grouping::{Grouping, GroupingError};
     pub use crate::hetero::{
-        grid_performance, grid_performance_with, performance_vector, repartition,
-        repartition_exact, PerformanceVector, Repartition,
+        extend_performance_vector, grid_performance, grid_performance_with, performance_vector,
+        performance_vector_with, repartition, repartition_exact, repartition_n, PerformanceVector,
+        Repartition,
     };
     pub use crate::heuristics::{gain_pct, Heuristic, HeuristicError};
+    pub use crate::incremental::{Departure, IncrementalRepartition, Rebalance};
     pub use crate::params::Instance;
     pub use crate::policy::{
         CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy, ScenarioQueue,

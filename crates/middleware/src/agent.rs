@@ -179,13 +179,7 @@ impl MasterAgent {
                 makespan: rep.makespan,
             });
         }
-        let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
-        Ok(CampaignReport {
-            request,
-            reports,
-            makespan,
-            trace,
-        })
+        Ok(CampaignReport::from_reports(request, reports, trace))
     }
 
     /// Sends `Shutdown` to every SeD.

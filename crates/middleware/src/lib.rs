@@ -45,7 +45,7 @@ pub mod prelude {
     pub use crate::plugin::{HeuristicPlugin, SchedulerPlugin, UnavailablePlugin};
     pub use crate::protocol::{
         AgentMsg, CampaignReport, ExecReport, ExecRequest, PerfReply, PerfRequest, ProtocolEvent,
-        SedMsg,
+        SedMsg, PROTOCOL_VERSION,
     };
     pub use crate::sed::Sed;
 }

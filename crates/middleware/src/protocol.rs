@@ -12,13 +12,23 @@
 //! 6. each cluster executes its assignment.
 //!
 //! Here the "network" is crossbeam channels between threads; every
-//! message is a plain serializable struct so the protocol could move to
-//! a real transport unchanged.
+//! message is a plain serializable struct so the protocol can move to
+//! a real transport unchanged — and does: the `oa-service` daemon
+//! carries [`ExecReport`], [`CampaignReport`] and [`ProtocolEvent`]
+//! verbatim inside its line-delimited JSON session protocol, so a
+//! campaign completed over the wire reads exactly like one completed
+//! in process. [`PROTOCOL_VERSION`] names the shared wire revision
+//! (see `docs/PROTOCOL.md` for the versioning rules).
 
 use serde::{Deserialize, Serialize};
 
 use oa_platform::cluster::ClusterId;
 use oa_sched::hetero::PerformanceVector;
+
+/// Revision of the wire types in this module. Transports embed it in
+/// their handshake (`oa-service`'s `Hello`/`Welcome`); peers speaking
+/// a different revision are refused rather than misparsed.
+pub const PROTOCOL_VERSION: u32 = 1;
 
 /// Step 1/2: ask a SeD for its performance vector.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +110,23 @@ pub struct CampaignReport {
     pub makespan: f64,
     /// Protocol trace (for inspection/debugging; Figure 9 steps).
     pub trace: Vec<ProtocolEvent>,
+}
+
+impl CampaignReport {
+    /// Assembles a report from per-cluster execution reports: the grid
+    /// makespan is the slowest cluster's. Shared by the in-process
+    /// master agent and the `oa-service` session protocol, so both
+    /// transports aggregate identically.
+    #[must_use]
+    pub fn from_reports(request: u64, reports: Vec<ExecReport>, trace: Vec<ProtocolEvent>) -> Self {
+        let makespan = reports.iter().map(|r| r.makespan).fold(0.0, f64::max);
+        Self {
+            request,
+            reports,
+            makespan,
+            trace,
+        }
+    }
 }
 
 /// One protocol step, as observed by the master agent.

@@ -1,0 +1,241 @@
+//! Session-resumable driver over the generic campaign engine.
+//!
+//! `oa-service` keeps many campaigns alive at once on a virtual clock:
+//! a session is admitted at some instant, its portion of work starts
+//! when its cluster frees up, and the daemon later asks "where is this
+//! session *now*?" as the clock advances. The engine itself answers
+//! only the batch question (one full run, one outcome), so this module
+//! wraps [`simulate_campaign`] in a [`SessionDriver`]: simulate once
+//! at admission, pin the outcome to a virtual start instant, and
+//! resolve any later instant to a [`SessionState`] from the recorded
+//! schedule — no re-simulation, no drift between queries.
+//!
+//! Everything here is virtual-time arithmetic over the engine's
+//! deterministic output, so a driver query is itself deterministic:
+//! the same submission trace yields byte-identical session logs no
+//! matter how often or when the daemon is asked.
+
+use oa_platform::timing::TimingTable;
+use oa_sched::grouping::{Grouping, GroupingError};
+use oa_sched::params::Instance;
+use oa_sched::policy::{CampaignConfig, FaultPlan};
+use oa_trace::prelude::NullTracer;
+use oa_workflow::task::TaskKind;
+
+use crate::engine::{simulate_campaign, CampaignOutcome, CampaignRun};
+
+/// Where a session stands at a queried virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionState {
+    /// The query instant precedes the session's start.
+    Pending,
+    /// Running: months whose fused main task has completed by the
+    /// instant, when the engine recorded a schedule (`None` for
+    /// faulted or unfused runs, which record no replayable schedule).
+    Running {
+        /// Completed months, when resolvable.
+        months_done: Option<u32>,
+    },
+    /// The campaign finished at the carried virtual instant.
+    Completed {
+        /// Absolute finish instant, seconds.
+        finish: f64,
+    },
+    /// Every group died with months still unscheduled.
+    Stranded {
+        /// Months completed before the grid went dark.
+        completed_months: u64,
+    },
+}
+
+/// One simulated campaign pinned to a virtual start instant.
+///
+/// # Examples
+///
+/// ```
+/// use oa_platform::prelude::*;
+/// use oa_sched::prelude::*;
+/// use oa_sim::driver::{SessionDriver, SessionState};
+///
+/// let table = PcrModel::reference().table(1.0).unwrap();
+/// let inst = Instance::new(2, 12, 53);
+/// let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+/// let config = CampaignConfig::default();
+///
+/// // Admitted at t = 100 s of virtual time.
+/// let d = SessionDriver::new(100.0, inst, &table, &grouping, &config, &FaultPlan::none())
+///     .unwrap();
+/// assert_eq!(d.state_at(0.0), SessionState::Pending);
+/// let finish = d.finish().unwrap();
+/// assert!(finish > 100.0);
+/// assert_eq!(d.state_at(finish), SessionState::Completed { finish });
+/// assert!(matches!(d.state_at(finish - 1.0), SessionState::Running { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionDriver {
+    start: f64,
+    outcome: CampaignOutcome,
+}
+
+impl SessionDriver {
+    /// Simulates the campaign once through the generic engine and pins
+    /// the outcome to virtual instant `start`.
+    pub fn new(
+        start: f64,
+        inst: Instance,
+        table: &TimingTable,
+        grouping: &Grouping,
+        config: &CampaignConfig,
+        plan: &FaultPlan,
+    ) -> Result<Self, GroupingError> {
+        let outcome = simulate_campaign(inst, table, grouping, config, plan, &mut NullTracer)?;
+        Ok(Self { start, outcome })
+    }
+
+    /// The virtual instant the session's work begins.
+    #[must_use]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// The engine outcome backing this driver.
+    #[must_use]
+    pub fn outcome(&self) -> &CampaignOutcome {
+        &self.outcome
+    }
+
+    /// The completed run, if the campaign was not stranded.
+    #[must_use]
+    pub fn run(&self) -> Option<&CampaignRun> {
+        self.outcome.completed()
+    }
+
+    /// Simulated makespan, `None` when stranded.
+    #[must_use]
+    pub fn makespan(&self) -> Option<f64> {
+        self.run().map(|r| r.makespan)
+    }
+
+    /// Absolute virtual finish instant (`start + makespan`), `None`
+    /// when stranded.
+    #[must_use]
+    pub fn finish(&self) -> Option<f64> {
+        self.run().map(|r| self.start + r.makespan)
+    }
+
+    /// Resolves a virtual instant to the session's state, using the
+    /// recorded schedule for month-level progress when one exists.
+    #[must_use]
+    pub fn state_at(&self, t: f64) -> SessionState {
+        if t < self.start {
+            return SessionState::Pending;
+        }
+        match &self.outcome {
+            CampaignOutcome::Stranded { completed_months } => SessionState::Stranded {
+                completed_months: *completed_months,
+            },
+            CampaignOutcome::Completed(run) => {
+                let finish = self.start + run.makespan;
+                if t >= finish {
+                    SessionState::Completed { finish }
+                } else {
+                    SessionState::Running {
+                        months_done: self.months_done_at(t),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Months whose fused main task completed by instant `t`, when the
+    /// run recorded a schedule.
+    fn months_done_at(&self, t: f64) -> Option<u32> {
+        let schedule = self.run()?.schedule.as_ref()?;
+        let elapsed = t - self.start;
+        let done = schedule
+            .records
+            .iter()
+            .filter(|r| r.task.kind == TaskKind::FusedMain && r.end <= elapsed)
+            .count();
+        Some(done as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+    use oa_sched::heuristics::Heuristic;
+
+    fn driver(start: f64, plan: FaultPlan) -> SessionDriver {
+        let table = PcrModel::reference().table(1.0).unwrap();
+        let inst = Instance::new(3, 10, 53);
+        let grouping = Heuristic::Knapsack.grouping(inst, &table).unwrap();
+        SessionDriver::new(
+            start,
+            inst,
+            &table,
+            &grouping,
+            &CampaignConfig::default(),
+            &plan,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn states_partition_the_timeline() {
+        let d = driver(500.0, FaultPlan::none());
+        let finish = d.finish().unwrap();
+        assert_eq!(d.state_at(499.9), SessionState::Pending);
+        assert_eq!(d.state_at(1e12), SessionState::Completed { finish });
+        match d.state_at(500.0) {
+            SessionState::Running { months_done } => assert_eq!(months_done, Some(0)),
+            other => panic!("expected Running at start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn month_progress_is_monotone_and_complete() {
+        let d = driver(0.0, FaultPlan::none());
+        let finish = d.finish().unwrap();
+        let total: u32 = 3 * 10;
+        let mut last = 0u32;
+        for i in 0..=10 {
+            let t = finish * f64::from(i) / 10.0;
+            if let SessionState::Running {
+                months_done: Some(m),
+            } = d.state_at(t)
+            {
+                assert!(m >= last, "progress went backwards");
+                assert!(m < total, "all months done but still Running");
+                last = m;
+            }
+        }
+        // Just before the end, nearly everything is done.
+        if let SessionState::Running {
+            months_done: Some(m),
+        } = d.state_at(finish - 1e-6)
+        {
+            assert!(m > 0);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_have_no_month_resolution() {
+        let d = driver(0.0, FaultPlan::none().kill(0, 2000.0));
+        let finish = d.finish().expect("checkpoint recovery completes");
+        match d.state_at(finish / 2.0) {
+            SessionState::Running { months_done } => assert_eq!(months_done, None),
+            SessionState::Completed { .. } => {} // half-point may already be done
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn start_offset_shifts_finish() {
+        let a = driver(0.0, FaultPlan::none());
+        let b = driver(777.0, FaultPlan::none());
+        assert_eq!(a.makespan(), b.makespan());
+        assert!((b.finish().unwrap() - a.finish().unwrap() - 777.0).abs() < 1e-9);
+    }
+}

@@ -15,6 +15,10 @@
 //!   `engine::KernelOpts`;
 //! * [`calendar`] — the O(1) integer-tick bucket queue backing the
 //!   kernel's busy set;
+//! * [`driver`] — session-resumable wrapper over the engine: one
+//!   simulation pinned to a virtual start instant, with any later
+//!   instant resolvable to a session state (the per-session backend
+//!   of the `oa-service` daemon);
 //! * [`executor`] — fused fault-free execution under the paper's
 //!   least-advanced-first policy (plus round-robin and most-advanced
 //!   ablations), producing full schedules;
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod driver;
 pub mod engine;
 pub mod executor;
 pub mod failures;
@@ -66,6 +71,7 @@ pub mod unfused;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::driver::{SessionDriver, SessionState};
     pub use crate::engine::{
         kernel_eligibility, simulate_campaign, simulate_campaign_kernel, CampaignOutcome,
         CampaignRun, KernelOpts, KernelReport,

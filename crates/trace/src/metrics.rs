@@ -46,7 +46,32 @@ pub mod keys {
     pub const MAIN_SECS: &str = "main_task_secs";
     /// Histogram: post task durations, seconds.
     pub const POST_SECS: &str = "post_task_secs";
+    /// Counter: campaign sessions admitted by `oa-service`.
+    pub const SESSIONS_ADMITTED: &str = "service_sessions_admitted";
+    /// Counter: campaign sessions rejected at admission.
+    pub const SESSIONS_REJECTED: &str = "service_sessions_rejected";
+    /// Counter: campaign sessions completed.
+    pub const SESSIONS_COMPLETED: &str = "service_sessions_completed";
+    /// Counter: campaign sessions stranded (every group died).
+    pub const SESSIONS_STRANDED: &str = "service_sessions_stranded";
+    /// Gauge: sessions admitted and not yet completed.
+    pub const SESSIONS_ACTIVE: &str = "service_sessions_active";
+    /// Gauge: clusters currently joined to the service grid.
+    pub const CLUSTERS_LIVE: &str = "service_clusters_live";
+    /// Histogram: virtual seconds a portion waited for its cluster.
+    pub const QUEUE_WAIT_SECS: &str = "service_queue_wait_secs";
+    /// Histogram: wall-clock admission latency, seconds (fed by the
+    /// load harness; the daemon itself never reads a wall clock).
+    pub const ADMIT_LATENCY_SECS: &str = "service_admit_latency_secs";
+    /// Histogram: wall-clock scheduling-decision latency, seconds
+    /// (completion processing and rebalances; harness-fed, like
+    /// [`ADMIT_LATENCY_SECS`]).
+    pub const DECISION_LATENCY_SECS: &str = "service_decision_latency_secs";
 }
+
+/// Histogram bucket upper bounds for sub-second latencies, seconds
+/// (micro- to multi-second; an implicit `+∞` bucket follows).
+pub const LATENCY_BUCKETS: [f64; 8] = [10e-6, 50e-6, 200e-6, 1e-3, 5e-3, 20e-3, 100e-3, 1.0];
 
 /// Default histogram bucket upper bounds, seconds. Spans the one-second
 /// pre-tasks to multi-hour months; an implicit `+∞` bucket follows.
@@ -107,6 +132,61 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) by linear interpolation
+    /// within the bucket holding the target rank — the standard
+    /// cumulative-histogram estimator (what `histogram_quantile` does
+    /// in Prometheus). Returns `None` when the histogram is empty; a
+    /// rank landing in the overflow bucket reports the last finite
+    /// bound (a lower bound on the true quantile).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oa_trace::metrics::Histogram;
+    ///
+    /// let mut h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+    /// for v in [0.5, 1.5, 1.5, 3.0] {
+    ///     h.observe(v);
+    /// }
+    /// assert_eq!(h.quantile(0.5), Some(1.5)); // rank 2 of 4, mid-bucket
+    /// assert_eq!(h.quantile(1.0), Some(4.0));
+    /// assert_eq!(Histogram::new().quantile(0.99), None);
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(
+            (0.0..=1.0).contains(&q) && q > 0.0,
+            "quantile needs 0 < q <= 1"
+        );
+        if self.count == 0 || self.bounds.is_empty() {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if rank <= upto as f64 {
+                let Some(&hi) = self.bounds.get(i) else {
+                    // Overflow bucket: no finite upper edge to
+                    // interpolate toward; report the last bound.
+                    return Some(*self.bounds.last().expect("bounds nonempty"));
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (rank - seen as f64) / c as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            seen = upto;
+        }
+        Some(*self.bounds.last().expect("bounds nonempty"))
+    }
+
+    /// Total observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.count
+    }
 }
 
 impl Default for Histogram {
@@ -154,6 +234,18 @@ impl MetricsRegistry {
         self.histograms
             .entry(name.to_string())
             .or_default()
+            .observe(value);
+    }
+
+    /// Records `value` into histogram `name`, creating it over the
+    /// given bounds on first use — e.g. [`LATENCY_BUCKETS`] for
+    /// sub-second wall-clock samples, which would all collapse into
+    /// the first [`DEFAULT_BUCKETS`] bucket. An existing histogram
+    /// keeps its bounds.
+    pub fn observe_in(&mut self, name: &str, bounds: &[f64], value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::with_bounds(bounds.to_vec()))
             .observe(value);
     }
 
@@ -361,6 +453,20 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bounds_rejected() {
         let _ = Histogram::with_bounds(vec![10.0, 1.0]);
+    }
+
+    #[test]
+    fn observe_in_registers_custom_bounds_once() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_in("lat", &LATENCY_BUCKETS, 30e-6);
+        reg.observe_in("lat", &LATENCY_BUCKETS, 30e-6);
+        let snap = reg.snapshot();
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.observations(), 2);
+        // Sub-second samples resolve inside the latency buckets
+        // instead of collapsing into DEFAULT_BUCKETS' first bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 < 1e-3, "p99 {p99} should be sub-millisecond");
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`sim`] | discrete-event executor, schedule validation, Gantt, metrics, grid runs |
 //! | [`trace`] | structured event tracing, metrics registry, Chrome/Gantt exporters |
 //! | [`middleware`] | DIET-like client / agent / SeD protocol over threads |
+//! | [`service`] | campaign-as-a-service daemon: line-delimited JSON protocol, admission, virtual time |
 //! | [`baselines`] | the related work implemented: list scheduler, CPA, CPR, one-DAG-at-a-time |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use oa_middleware as middleware;
 pub use oa_par as par;
 pub use oa_platform as platform;
 pub use oa_sched as sched;
+pub use oa_service as service;
 pub use oa_sim as sim;
 pub use oa_trace as trace;
 pub use oa_workflow as workflow;

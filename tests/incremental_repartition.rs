@@ -1,0 +1,138 @@
+//! The prefix-nested invariant of the online scheduler: after *any*
+//! sequence of arrivals, departures, cluster joins and cluster leaves,
+//! the counts held by [`IncrementalRepartition`] equal a from-scratch
+//! batch `repartition_n` over the current vectors — bitwise. This is
+//! what lets `oa serve` admit and displace sessions one at a time
+//! while staying plan-equivalent to the paper's batch Algorithm 1.
+
+use ocean_atmosphere::platform::cluster::ClusterId;
+use ocean_atmosphere::sched::hetero::{repartition_n, PerformanceVector};
+use ocean_atmosphere::sched::incremental::IncrementalRepartition;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random makespans (positive, deliberately
+/// non-monotone — the greedy never assumes monotonicity) so churn
+/// scripts exercise varied vectors without a nested generator.
+fn seeded_vector(seed: u32, id: u32, coverage: usize) -> PerformanceVector {
+    let makespans = (0..coverage)
+        .map(|k| {
+            let x = (u64::from(seed) ^ (u64::from(id) << 32))
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(k as u64)
+                .wrapping_mul(1_442_695_040_888_963_407);
+            1.0 + (x % 1_000_000) as f64
+        })
+        .collect();
+    PerformanceVector {
+        cluster: ClusterId(id),
+        makespans,
+    }
+}
+
+/// Asserts the hard invariant: incremental counts == batch greedy of
+/// the same population over the same vectors, bitwise.
+fn assert_matches_batch(rep: &IncrementalRepartition) -> Result<(), TestCaseError> {
+    if rep.vectors().is_empty() {
+        prop_assert!(rep.is_empty());
+    } else {
+        let batch = repartition_n(rep.vectors(), rep.len());
+        prop_assert_eq!(rep.counts(), batch.nb_dags.as_slice());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random churn: arrivals, departures, cluster joins and leaves in
+    /// any interleaving; the invariant is checked after every step.
+    #[test]
+    fn incremental_counts_equal_batch_repartition_under_churn(
+        nc in 1usize..4,
+        cov in 8usize..24,
+        seed in 0u32..1_000_000,
+        script in proptest::collection::vec((0u8..8, 0usize..1000), 1..60),
+    ) {
+        let initial: Vec<PerformanceVector> = (0..nc as u32)
+            .map(|c| seeded_vector(seed, c, cov))
+            .collect();
+        let mut next_id = nc as u32;
+        let mut rep = IncrementalRepartition::new(initial);
+        for (tag, rank) in script {
+            match tag {
+                // Half the steps are arrivals: one greedy push (a
+                // `None` at capacity is the online refusal path).
+                0..=3 => {
+                    rep.push();
+                }
+                // A departure from some busy cluster.
+                4 | 5 => {
+                    let busy: Vec<ClusterId> = rep
+                        .vectors()
+                        .iter()
+                        .map(|v| v.cluster)
+                        .filter(|&c| rep.count_of(c) > 0)
+                        .collect();
+                    if !busy.is_empty() {
+                        let c = busy[rank % busy.len()];
+                        let dep = rep.remove_from(c).expect("busy cluster departs");
+                        prop_assert_eq!(dep.vacated, c);
+                    }
+                }
+                // A fresh cluster joins with a new vector.
+                6 => {
+                    rep.join(seeded_vector(seed ^ rank as u32, next_id, cov));
+                    next_id += 1;
+                }
+                // A live cluster leaves. Keep at least one cluster
+                // while scenarios are placed — `leave` panics on a
+                // stranded population (the daemon handles stranding
+                // above this layer).
+                _ => {
+                    if rep.vectors().len() > 1 || rep.is_empty() {
+                        let live: Vec<ClusterId> =
+                            rep.vectors().iter().map(|v| v.cluster).collect();
+                        if !live.is_empty() {
+                            rep.leave(live[rank % live.len()]);
+                        }
+                    }
+                }
+            }
+            assert_matches_batch(&rep)?;
+        }
+    }
+
+    /// Departure order never matters: filling the grid and removing
+    /// `m` scenarios from arbitrary busy clusters in arbitrary order
+    /// always lands on the `n - m` batch counts.
+    #[test]
+    fn departures_commute_with_the_batch_greedy(
+        cov in 6usize..16,
+        nc in 2usize..4,
+        seed in 0u32..1_000_000,
+        removals in proptest::collection::vec(0usize..8, 1..6),
+    ) {
+        let vectors: Vec<PerformanceVector> = (0..nc as u32)
+            .map(|c| seeded_vector(seed, c, cov))
+            .collect();
+        let mut rep = IncrementalRepartition::new(vectors);
+        while rep.push().is_some() {}
+        let n = rep.len();
+        let mut removed = 0usize;
+        for rank in removals {
+            let busy: Vec<ClusterId> = rep
+                .vectors()
+                .iter()
+                .map(|v| v.cluster)
+                .filter(|&c| rep.count_of(c) > 0)
+                .collect();
+            if busy.is_empty() {
+                break;
+            }
+            rep.remove_from(busy[rank % busy.len()]).unwrap();
+            removed += 1;
+        }
+        let batch = repartition_n(rep.vectors(), n - removed);
+        prop_assert_eq!(rep.counts(), batch.nb_dags.as_slice());
+    }
+}

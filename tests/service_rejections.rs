@@ -1,0 +1,206 @@
+//! Table-driven admission/protocol rejection tests: one row per error
+//! code, asserting the daemon answers each malformed or inadmissible
+//! request with the *stable* code documented in `docs/PROTOCOL.md`.
+//! Clients branch on these codes; changing one is a wire-protocol
+//! break and must bump `PROTOCOL_VERSION`.
+
+use ocean_atmosphere::service::daemon::{run_script, Service, ServiceConfig};
+
+/// A fresh daemon with one 53-processor reference cluster joined —
+/// the smallest grid that can admit work.
+fn with_cluster() -> Service {
+    let cfg = ServiceConfig {
+        capacity: 16,
+        planning_nm: 12,
+        ..Default::default()
+    };
+    let mut s = Service::new(cfg, 1);
+    let log = run_script(
+        &mut s,
+        "{\"Hello\":{\"version\":1}}\n\
+         {\"ClusterJoin\":{\"name\":\"ref\",\"preset\":\"reference\",\"resources\":53}}",
+    );
+    assert!(log.contains("\"ClusterUp\""), "setup failed: {log}");
+    s
+}
+
+fn submit(session: &str, ns: u32, nm: u32, heuristic: &str, kills: &str, deadline: f64) -> String {
+    format!(
+        r#"{{"Submit":{{"session":"{session}","ns":{ns},"nm":{nm},"heuristic":"{heuristic}","policy":"least-advanced","granularity":"fused","recovery":"checkpoint","kills":"{kills}","deadline":{deadline:.1}}}}}"#
+    )
+}
+
+/// Every rejection row: (label, request line, expected stable code).
+/// The table mirrors the error-code table in `docs/PROTOCOL.md`.
+fn rejection_table() -> Vec<(&'static str, String, &'static str)> {
+    vec![
+        // Protocol-layer errors (PROTO...): the line itself is bad.
+        ("malformed JSON", "this is not json".into(), "PROTO001"),
+        ("truncated JSON", r#"{"Submit":{"session""#.into(), "PROTO001"),
+        ("unknown kind", r#"{"Teleport":{}}"#.into(), "PROTO002"),
+        (
+            "two kinds in one line",
+            r#"{"Hello":{"version":1},"Drain":{}}"#.into(),
+            "PROTO002",
+        ),
+        (
+            "bad field type",
+            r#"{"Submit":{"session":"x","ns":"six","nm":12,"heuristic":"knapsack","policy":"least-advanced","granularity":"fused","recovery":"checkpoint","kills":"","deadline":0.0}}"#.into(),
+            "PROTO003",
+        ),
+        (
+            "missing field",
+            r#"{"Submit":{"session":"x"}}"#.into(),
+            "PROTO003",
+        ),
+        (
+            "empty session name",
+            submit("", 2, 12, "knapsack", "", 0.0),
+            "PROTO003",
+        ),
+        (
+            "unknown heuristic",
+            submit("x", 2, 12, "quantum", "", 0.0),
+            "PROTO003",
+        ),
+        (
+            "malformed kill plan",
+            submit("x", 2, 12, "knapsack", "not-a-kill", 0.0),
+            "PROTO003",
+        ),
+        (
+            "negative deadline",
+            submit("x", 2, 12, "knapsack", "", -5.0),
+            "PROTO003",
+        ),
+        (
+            "future protocol version",
+            r#"{"Hello":{"version":99}}"#.into(),
+            "PROTO004",
+        ),
+        (
+            "unknown session status",
+            r#"{"Status":{"session":"ghost"}}"#.into(),
+            "PROTO006",
+        ),
+        (
+            "unknown cluster leave",
+            r#"{"ClusterLeave":{"name":"ghost"}}"#.into(),
+            "PROTO006",
+        ),
+        (
+            "unknown cluster fail",
+            r#"{"ClusterFail":{"name":"ghost","at":10.0}}"#.into(),
+            "PROTO006",
+        ),
+        (
+            "clock regression",
+            r#"{"Advance":{"to":-1.0}}"#.into(),
+            "PROTO008",
+        ),
+        // Admission-layer rejections (OA.../CT...): the request is
+        // well-formed but the campaign is inadmissible; codes are the
+        // analyzer's own rule ids.
+        (
+            "empty campaign shape",
+            submit("x", 0, 12, "knapsack", "", 0.0),
+            "OA002",
+        ),
+        (
+            "over service capacity",
+            submit("x", 40, 12, "knapsack", "", 0.0),
+            "OA005",
+        ),
+        (
+            "kill of a nonexistent group",
+            submit("x", 2, 12, "knapsack", "99@1000", 0.0),
+            "OA018",
+        ),
+        (
+            "unreachable deadline",
+            submit("x", 6, 1800, "knapsack", "", 1.0),
+            "CT001",
+        ),
+    ]
+}
+
+#[test]
+fn every_rejection_answers_with_its_documented_code() {
+    for (label, line, code) in rejection_table() {
+        let mut s = with_cluster();
+        let log = run_script(&mut s, &line);
+        assert!(
+            log.contains(&format!("\"{code}\"")),
+            "{label}: expected {code}, got: {log}"
+        );
+        // A rejection is terminal for the request, not the daemon:
+        // the same service must still admit a valid campaign.
+        let after = run_script(
+            &mut s,
+            &submit("recovery-probe", 2, 12, "knapsack", "", 0.0),
+        );
+        assert!(
+            after.contains("\"Admitted\""),
+            "{label}: daemon wedged after rejection: {after}"
+        );
+    }
+}
+
+/// Duplicate names: a second submit under a live session name is
+/// PROTO005, as is a second cluster join under a taken name.
+#[test]
+fn duplicate_names_are_proto005() {
+    let mut s = with_cluster();
+    let first = run_script(&mut s, &submit("dup", 2, 12, "knapsack", "", 0.0));
+    assert!(first.contains("\"Admitted\""), "{first}");
+    let again = run_script(&mut s, &submit("dup", 2, 12, "knapsack", "", 0.0));
+    assert!(again.contains("\"PROTO005\""), "{again}");
+    let join = run_script(
+        &mut s,
+        r#"{"ClusterJoin":{"name":"ref","preset":"reference","resources":53}}"#,
+    );
+    assert!(join.contains("\"PROTO005\""), "{join}");
+}
+
+/// A busy cluster refuses to leave with PROTO007 until its planned
+/// scenarios drain.
+#[test]
+fn busy_cluster_leave_is_proto007() {
+    let mut s = with_cluster();
+    let log = run_script(
+        &mut s,
+        &format!(
+            "{}\n{}",
+            submit("hold", 3, 12, "knapsack", "", 0.0),
+            r#"{"ClusterLeave":{"name":"ref"}}"#
+        ),
+    );
+    assert!(log.contains("\"PROTO007\""), "{log}");
+    let drained = run_script(
+        &mut s,
+        "{\"Drain\":{}}\n{\"ClusterLeave\":{\"name\":\"ref\"}}",
+    );
+    assert!(drained.contains("\"ClusterGone\""), "{drained}");
+}
+
+/// Sanity checks on grid-shape rejections that need their own setup:
+/// insane cluster sizes (OA016) and zero-cluster admission.
+#[test]
+fn cluster_and_grid_shape_rejections() {
+    let cfg = ServiceConfig {
+        capacity: 16,
+        planning_nm: 12,
+        ..Default::default()
+    };
+    // A cluster below the moldable minimum of 4 processors is OA016.
+    let mut s = Service::new(cfg, 1);
+    let log = run_script(
+        &mut s,
+        r#"{"ClusterJoin":{"name":"tiny","preset":"reference","resources":2}}"#,
+    );
+    assert!(log.contains("\"OA016\""), "{log}");
+    // With no cluster joined at all, a submit cannot be placed.
+    let mut s = Service::new(cfg, 1);
+    let log = run_script(&mut s, &submit("nowhere", 2, 12, "knapsack", "", 0.0));
+    assert!(log.contains("\"Rejected\""), "{log}");
+}
