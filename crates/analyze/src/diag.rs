@@ -108,6 +108,18 @@ pub enum RuleCode {
     /// OA018: a campaign configuration (policy × granularity ×
     /// recovery + fault plan) is unrunnable or self-defeating.
     CampaignConfigSanity,
+    /// OA019: a workflow IR fails structural validation (empty graph,
+    /// cycle, dangling data flow, duplicate task names, impossible
+    /// allocation range or duration model).
+    IrStructureInvalid,
+    /// OA020: every node carries a preset origin annotation, yet the
+    /// graph is not the canonical lowering of that preset — the
+    /// annotations lie about where the IR came from.
+    IrPresetDrift,
+    /// OA021: a data-flow payload is degenerate (zero volume) or the
+    /// annotated mesh's total volume disagrees with the 120 MB
+    /// inter-month hand-off it declares.
+    IrFlowMismatch,
     /// ND001: an order-unstable map/set (`HashMap`/`HashSet`) in code
     /// whose iteration can feed records or serialized output.
     UnstableMapOrder,
@@ -140,7 +152,7 @@ impl RuleCode {
     /// Every rule, in code order: the data-level `OA` rules, then the
     /// determinism auditor's `ND` rules, then the certifier's `CT`
     /// rules.
-    pub const ALL: [RuleCode; 27] = [
+    pub const ALL: [RuleCode; 30] = [
         RuleCode::DagCycle,
         RuleCode::IncompleteChain,
         RuleCode::FusionInconsistent,
@@ -159,6 +171,9 @@ impl RuleCode {
         RuleCode::ClusterSanity,
         RuleCode::BandwidthInfeasible,
         RuleCode::CampaignConfigSanity,
+        RuleCode::IrStructureInvalid,
+        RuleCode::IrPresetDrift,
+        RuleCode::IrFlowMismatch,
         RuleCode::UnstableMapOrder,
         RuleCode::WallClockRead,
         RuleCode::PartialCmpUnwrap,
@@ -191,6 +206,9 @@ impl RuleCode {
             RuleCode::ClusterSanity => "OA016",
             RuleCode::BandwidthInfeasible => "OA017",
             RuleCode::CampaignConfigSanity => "OA018",
+            RuleCode::IrStructureInvalid => "OA019",
+            RuleCode::IrPresetDrift => "OA020",
+            RuleCode::IrFlowMismatch => "OA021",
             RuleCode::UnstableMapOrder => "ND001",
             RuleCode::WallClockRead => "ND002",
             RuleCode::PartialCmpUnwrap => "ND003",
@@ -206,9 +224,12 @@ impl RuleCode {
     /// The layer this rule inspects.
     pub fn layer(self) -> Layer {
         match self {
-            RuleCode::DagCycle | RuleCode::IncompleteChain | RuleCode::FusionInconsistent => {
-                Layer::Workflow
-            }
+            RuleCode::DagCycle
+            | RuleCode::IncompleteChain
+            | RuleCode::FusionInconsistent
+            | RuleCode::IrStructureInvalid
+            | RuleCode::IrPresetDrift
+            | RuleCode::IrFlowMismatch => Layer::Workflow,
             RuleCode::GroupSizeOutOfRange
             | RuleCode::OverSubscribed
             | RuleCode::GroupAccounting
@@ -257,6 +278,9 @@ impl RuleCode {
             RuleCode::ClusterSanity => "clusters need >=4 procs and a sane timing table",
             RuleCode::BandwidthInfeasible => "the 120 MB inter-month transfer must fit in a month",
             RuleCode::CampaignConfigSanity => "fault plans must target live groups at finite times",
+            RuleCode::IrStructureInvalid => "workflow IRs must pass structural validation",
+            RuleCode::IrPresetDrift => "preset-annotated IRs must match their canonical lowering",
+            RuleCode::IrFlowMismatch => "data flows need positive volume matching the hand-off",
             RuleCode::UnstableMapOrder => {
                 "no HashMap/HashSet where iteration order can reach output"
             }
@@ -590,16 +614,18 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let mut codes: Vec<&str> = RuleCode::ALL.iter().map(|r| r.code()).collect();
-        assert_eq!(codes.len(), 27);
+        assert_eq!(codes.len(), 30);
         codes.sort_unstable();
         codes.dedup();
-        assert_eq!(codes.len(), 27, "duplicate rule code");
+        assert_eq!(codes.len(), 30, "duplicate rule code");
         assert_eq!(RuleCode::ALL[0].code(), "OA001");
         assert_eq!(RuleCode::ALL[17].code(), "OA018");
-        assert_eq!(RuleCode::ALL[18].code(), "ND001");
-        assert_eq!(RuleCode::ALL[24].code(), "ND007");
-        assert_eq!(RuleCode::ALL[25].code(), "CT001");
-        assert_eq!(RuleCode::ALL[26].code(), "CT002");
+        assert_eq!(RuleCode::ALL[18].code(), "OA019");
+        assert_eq!(RuleCode::ALL[20].code(), "OA021");
+        assert_eq!(RuleCode::ALL[21].code(), "ND001");
+        assert_eq!(RuleCode::ALL[27].code(), "ND007");
+        assert_eq!(RuleCode::ALL[28].code(), "CT001");
+        assert_eq!(RuleCode::ALL[29].code(), "CT002");
     }
 
     #[test]

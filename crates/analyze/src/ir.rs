@@ -1,0 +1,254 @@
+//! Workflow-IR rules (OA019–OA021, plus generalized OA002/OA004):
+//! shape checks over arbitrary typed workflow DAGs.
+//!
+//! The legacy workflow rules (OA001–OA003) inspect the fused mesh
+//! through its handle tables; these rules inspect any
+//! [`WorkflowIr`], including hand-written or deserialized graphs the
+//! presets never produced:
+//!
+//! * **OA019** — structural validity: the graph must pass
+//!   [`WorkflowIr::validate`] (non-empty, acyclic, no dangling data
+//!   flows, unique names, sane allocation ranges and durations).
+//! * **OA002 (generalized)** — origin-annotated graphs must cover
+//!   their full `NS × NM` mesh: every `(scenario, month)` needs its
+//!   task(s), exactly as the fused handle-table check demands.
+//! * **OA020** — a graph whose every node claims a preset origin must
+//!   *be* the canonical lowering of that preset; annotations that
+//!   survive structural drift are lies.
+//! * **OA004 (generalized, warning)** — moldable allocation ranges
+//!   outside the benchmarked `4..=11` envelope run on clamped timings
+//!   and deserve a flag, though they are legal in the IR.
+//! * **OA021** — data-flow payloads: zero-volume flows are
+//!   meaningless, and an annotated mesh's total volume must equal the
+//!   `NS · (NM − 1)` instances of the 120 MB inter-month hand-off.
+
+use oa_workflow::data::INTER_MONTH_TRANSFER;
+use oa_workflow::ir::{lower_experiment, lower_fused, recognize, IrClass, WorkflowIr};
+use oa_workflow::task::{MAX_PROCS, MIN_PROCS};
+
+use crate::diag::{Diagnostic, Location, RuleCode, Severity};
+
+/// Runs the IR shape rules over a workflow, collecting every finding.
+pub fn check_ir(ir: &WorkflowIr) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // OA019: structural validation. An invalid graph makes the deeper
+    // walks meaningless (a cyclic graph has no lowering to compare
+    // against), so stop here when it fires.
+    if let Err(e) = ir.validate() {
+        out.push(
+            Diagnostic::new(
+                RuleCode::IrStructureInvalid,
+                format!("workflow IR fails validation: {e}"),
+            )
+            .with("nodes", ir.node_count() as f64),
+        );
+        return out;
+    }
+
+    let annotated = ir.dag.iter().all(|(_, n)| n.origin.is_some());
+    if annotated {
+        // The shape the annotations claim.
+        let (mut ns, mut nm) = (0u32, 0u32);
+        for (_, n) in ir.dag.iter() {
+            let o = n.origin.expect("all annotated");
+            ns = ns.max(o.scenario + 1);
+            nm = nm.max(o.month + 1);
+        }
+
+        // OA002 generalized: full mesh coverage. Count distinct months
+        // present per scenario; a hole means an incomplete chain.
+        let mut seen = vec![false; (ns * nm) as usize];
+        for (_, n) in ir.dag.iter() {
+            let o = n.origin.expect("all annotated");
+            seen[(o.scenario * nm + o.month) as usize] = true;
+        }
+        for s in 0..ns {
+            for m in 0..nm {
+                if !seen[(s * nm + m) as usize] {
+                    out.push(
+                        Diagnostic::new(
+                            RuleCode::IncompleteChain,
+                            format!("annotated {ns}x{nm} mesh has no task for month {m} of scenario {s}"),
+                        )
+                        .at(Location {
+                            scenario: Some(s),
+                            month: Some(m),
+                            ..Location::default()
+                        }),
+                    );
+                }
+            }
+        }
+
+        // OA020: the annotations must describe a real preset lowering.
+        if recognize(ir) == IrClass::General {
+            let shape = oa_workflow::chain::ExperimentShape::new(ns.max(1), nm.max(1));
+            let which = if ir.node_count() == lower_fused(shape).node_count() {
+                "fused"
+            } else if ir.node_count() == lower_experiment(shape).node_count() {
+                "unfused"
+            } else {
+                "any"
+            };
+            out.push(
+                Diagnostic::new(
+                    RuleCode::IrPresetDrift,
+                    format!(
+                        "every node claims a {ns}x{nm} preset origin, but the graph is not the {which} lowering of that shape"
+                    ),
+                )
+                .with("scenarios", ns as f64)
+                .with("months", nm as f64),
+            );
+        }
+
+        // OA021: the mesh hand-off budget. NS scenarios with NM months
+        // carry exactly NS · (NM − 1) inter-month transfers.
+        let expected = INTER_MONTH_TRANSFER.0 * (ns as u64) * (nm as u64).saturating_sub(1);
+        let actual = ir.total_flow().0;
+        if actual != expected {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::IrFlowMismatch,
+                    format!(
+                        "annotated {ns}x{nm} mesh should carry {expected} B of inter-month hand-off, found {actual} B"
+                    ),
+                )
+                .with("expected_bytes", expected as f64)
+                .with("actual_bytes", actual as f64),
+            );
+        }
+    }
+
+    // OA004 generalized: moldable ranges off the benchmarked envelope.
+    for (id, n) in ir.dag.iter() {
+        if !n.kind.is_moldable() {
+            continue;
+        }
+        let (lo, hi) = (n.kind.min_procs(), n.kind.max_procs());
+        if lo < MIN_PROCS || hi > MAX_PROCS {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::GroupSizeOutOfRange,
+                    format!(
+                        "moldable task '{}' allows {lo}..={hi} processors, outside the benchmarked {MIN_PROCS}..={MAX_PROCS}: timings will be clamped",
+                        n.name
+                    ),
+                )
+                .severity(Severity::Warn)
+                .with("node", id.index() as f64)
+                .with("min_procs", lo as f64)
+                .with("max_procs", hi as f64),
+            );
+        }
+    }
+
+    // OA021 (general): zero-volume flows say "data moves here" while
+    // carrying nothing — always a modeling bug.
+    for f in &ir.flows {
+        if f.volume.0 == 0 {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::IrFlowMismatch,
+                    format!(
+                        "flow {} -> {} declares zero volume",
+                        f.from.index(),
+                        f.to.index()
+                    ),
+                )
+                .with("from", f.from.index() as f64)
+                .with("to", f.to.index() as f64),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_workflow::chain::ExperimentShape;
+    use oa_workflow::data::DataVolume;
+    use oa_workflow::ir::{DurationModel, IrTaskKind};
+    use oa_workflow::moldable::MoldableSpec;
+
+    #[test]
+    fn lowered_presets_are_clean() {
+        for shape in [ExperimentShape::new(3, 4), ExperimentShape::new(1, 1)] {
+            assert!(check_ir(&lower_fused(shape)).is_empty());
+            assert!(check_ir(&lower_experiment(shape)).is_empty());
+        }
+    }
+
+    #[test]
+    fn invalid_graphs_fire_oa019_and_stop() {
+        let ir = WorkflowIr::new();
+        let ds = check_ir(&ir);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, RuleCode::IrStructureInvalid);
+    }
+
+    #[test]
+    fn drifted_annotations_fire_oa020() {
+        // An extra edge breaks structural equality with the lowering
+        // while every origin annotation survives.
+        let mut ir = lower_fused(ExperimentShape::new(2, 3));
+        let ids: Vec<_> = ir.dag.node_ids().collect();
+        ir.add_dep(ids[0], *ids.last().unwrap()).unwrap();
+        let ds = check_ir(&ir);
+        assert!(
+            ds.iter().any(|d| d.rule == RuleCode::IrPresetDrift),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn missing_flows_fire_oa021_on_annotated_meshes() {
+        let mut ir = lower_fused(ExperimentShape::new(2, 3));
+        ir.flows.pop();
+        let ds = check_ir(&ir);
+        let d = ds
+            .iter()
+            .find(|d| d.rule == RuleCode::IrFlowMismatch)
+            .expect("flow mismatch");
+        assert_eq!(
+            d.quantity("expected_bytes").unwrap() - d.quantity("actual_bytes").unwrap(),
+            INTER_MONTH_TRANSFER.0 as f64
+        );
+    }
+
+    #[test]
+    fn off_envelope_ranges_warn_via_oa004() {
+        let mut ir = WorkflowIr::new();
+        ir.add_task(
+            "wide",
+            IrTaskKind::Moldable(MoldableSpec {
+                min_procs: 2,
+                max_procs: 64,
+            }),
+            DurationModel::Fixed(10.0),
+        );
+        let ds = check_ir(&ir);
+        let d = ds
+            .iter()
+            .find(|d| d.rule == RuleCode::GroupSizeOutOfRange)
+            .expect("range warning");
+        assert_eq!(d.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn zero_volume_flows_fire_oa021() {
+        let mut ir = WorkflowIr::new();
+        let a = ir.add_task("a", IrTaskKind::Rigid(1), DurationModel::Fixed(1.0));
+        let b = ir.add_task("b", IrTaskKind::Rigid(1), DurationModel::Fixed(1.0));
+        ir.add_dep(a, b).unwrap();
+        ir.add_flow(a, b, DataVolume(0)).unwrap();
+        let ds = check_ir(&ir);
+        assert!(
+            ds.iter().any(|d| d.rule == RuleCode::IrFlowMismatch),
+            "{ds:?}"
+        );
+    }
+}

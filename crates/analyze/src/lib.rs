@@ -8,7 +8,7 @@
 //!
 //! | Layer      | Rules               | What they verify                                  |
 //! |------------|---------------------|---------------------------------------------------|
-//! | workflow   | OA001–OA003         | fused-DAG acyclicity, chain completeness, fusion  |
+//! | workflow   | OA001–OA003, OA019–OA021 | fused-DAG acyclicity, chain completeness, fusion; IR validity, preset drift, data-flow payloads ([`ir`]) |
 //! | scheduling | OA004–OA007, OA018  | group sizes, accounting, estimator cross-checks, campaign configs |
 //! | schedule   | OA008–OA015         | multiplicity, dependences, exclusivity, idleness  |
 //! | platform   | OA016–OA017         | cluster sanity, inter-month bandwidth feasibility |
@@ -48,6 +48,7 @@
 pub mod audit;
 pub mod certify;
 pub mod diag;
+pub mod ir;
 pub mod platform;
 pub mod schedule;
 pub mod scheduling;
@@ -104,7 +105,7 @@ mod tests {
     #[test]
     fn catalog_covers_all_rules_and_layers() {
         let cat = catalog();
-        assert_eq!(cat.len(), 27);
+        assert_eq!(cat.len(), 30);
         for layer in [
             Layer::Workflow,
             Layer::Scheduling,
@@ -117,6 +118,7 @@ mod tests {
         }
         let text = render_catalog();
         assert!(text.contains("OA001") && text.contains("OA018"), "{text}");
+        assert!(text.contains("OA019") && text.contains("OA021"), "{text}");
         assert!(text.contains("ND001") && text.contains("CT002"), "{text}");
     }
 }

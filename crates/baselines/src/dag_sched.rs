@@ -1,0 +1,111 @@
+//! Shared schedule shape for the DAG baselines ([`mod@crate::heft`],
+//! [`mod@crate::coalloc`]): tasks of a [`WorkflowIr`] pinned to start
+//! times and allocation sizes on a flat pool, with a structural
+//! validator mirroring the one the list scheduler has.
+
+use oa_workflow::dag::NodeId;
+use oa_workflow::ir::{IrError, WorkflowIr};
+
+/// One scheduled IR task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagRecord {
+    /// The task.
+    pub node: NodeId,
+    /// Processors occupied.
+    pub procs: u32,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// A complete DAG schedule on a flat pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSchedule {
+    /// Pool size.
+    pub resources: u32,
+    /// Records in start order.
+    pub records: Vec<DagRecord>,
+    /// Latest end time.
+    pub makespan: f64,
+}
+
+/// Errors from the DAG baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagSchedError {
+    /// The workflow failed structural validation.
+    Invalid(IrError),
+    /// A task needs more processors than the pool has.
+    DoesNotFit {
+        /// The task concerned.
+        node: NodeId,
+        /// Its minimum allocation.
+        needs: u32,
+        /// Pool size.
+        resources: u32,
+    },
+}
+
+impl std::fmt::Display for DagSchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagSchedError::Invalid(e) => write!(f, "invalid workflow: {e}"),
+            DagSchedError::DoesNotFit {
+                node,
+                needs,
+                resources,
+            } => write!(
+                f,
+                "node {} needs {needs} processors, the pool has {resources}",
+                node.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DagSchedError {}
+
+/// Validates a DAG schedule: every task exactly once, precedence
+/// respected, capacity never exceeded.
+pub fn validate_dag(s: &DagSchedule, ir: &WorkflowIr) -> Result<(), String> {
+    let n = ir.node_count();
+    if s.records.len() != n {
+        return Err(format!("{} records for {n} tasks", s.records.len()));
+    }
+    let mut iv = vec![None; n];
+    for rec in &s.records {
+        if !(rec.end.is_finite() && rec.end > rec.start) {
+            return Err(format!("bad interval for node {}", rec.node.0));
+        }
+        if iv[rec.node.index()].replace((rec.start, rec.end)).is_some() {
+            return Err(format!("node {} ran twice", rec.node.0));
+        }
+    }
+    const TOL: f64 = 1e-9;
+    for v in ir.dag.node_ids() {
+        let (start, _) = iv[v.index()].ok_or_else(|| format!("node {} never ran", v.0))?;
+        for &p in ir.dag.predecessors(v) {
+            let (_, pend) = iv[p.index()].unwrap();
+            if start + TOL < pend {
+                return Err(format!("node {} started before {} finished", v.0, p.0));
+            }
+        }
+    }
+    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(n * 2);
+    for rec in &s.records {
+        deltas.push((rec.start, rec.procs as i64));
+        deltas.push((rec.end, -(rec.procs as i64)));
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut used = 0i64;
+    for (t, delta) in deltas {
+        used += delta;
+        if used > s.resources as i64 {
+            return Err(format!(
+                "capacity exceeded at t={t}: {used} > {}",
+                s.resources
+            ));
+        }
+    }
+    Ok(())
+}

@@ -15,20 +15,34 @@
 //!   the one-step makespan-guided variant — which *plateaus* on this
 //!   workload, exactly as the paper predicts — plus a batched
 //!   multi-critical-path adaptation ([`cpr::cpr_batched`]);
-//! * [`naive`] — the Section 3.1 strawman: one DAG at a time.
+//! * [`naive`] — the Section 3.1 strawman: one DAG at a time;
+//! * [`mod@heft`] — moldable HEFT over the generalized workflow IR:
+//!   upward-rank ordering with insertion-based earliest-finish
+//!   placement, where the per-task choice is the allocation size;
+//! * [`mod@coalloc`] — a level-synchronized co-allocation baseline (after
+//!   arXiv:1106.5309): each precedence level runs as one all-granted
+//!   reservation wave, the pool split evenly among its members;
+//! * [`dag_sched`] — the schedule shape and validator the two IR
+//!   baselines share.
 //!
 //! The `baselines_compare` binary in `oa-bench` runs all of them
 //! against the paper's heuristics across a resource sweep.
 
 #![warn(missing_docs)]
 
+pub mod coalloc;
 pub mod cpa;
 pub mod cpr;
+pub mod dag_sched;
+pub mod heft;
 pub mod list_sched;
 pub mod naive;
 
+pub use coalloc::coalloc;
 pub use cpa::{cpa, cpa_allocations};
 pub use cpr::{cpr, cpr_batched, CprResult};
+pub use dag_sched::{validate_dag, DagRecord, DagSchedError, DagSchedule};
+pub use heft::heft;
 pub use list_sched::{list_schedule, validate, Allocations, ListError, ListRecord, ListSchedule};
 pub use naive::{best_single_allocation, one_dag_at_a_time};
 

@@ -8,10 +8,11 @@
 //!
 //! Run: `cargo run --release -p oa-bench --bin baselines_compare [--fast] [--jobs N]`
 
-use oa_baselines::{cpa, cpr, cpr_batched, one_dag_at_a_time};
+use oa_baselines::{coalloc, cpa, cpr, cpr_batched, heft, one_dag_at_a_time};
 use oa_bench::{fast_mode, pool, row, write_json, SweepRecorder};
 use oa_platform::prelude::*;
 use oa_sched::prelude::*;
+use oa_workflow::ir::lower_fused;
 
 fn main() {
     let (ns, nm) = (10u32, if fast_mode() { 60 } else { 240 });
@@ -19,7 +20,7 @@ fn main() {
 
     println!("== Baselines vs the paper's heuristics (NS = {ns}, NM = {nm}) ==");
     println!("(makespans in hours; smaller is better)\n");
-    let widths = [5usize, 10, 10, 10, 10, 10, 10];
+    let widths = [5usize, 10, 10, 10, 10, 10, 10, 10, 10];
     println!(
         "{}",
         row(
@@ -31,6 +32,8 @@ fn main() {
                 "CPR-b".into(),
                 "CPR-1".into(),
                 "1-by-1".into(),
+                "HEFT".into(),
+                "coalloc".into(),
             ],
             &widths
         )
@@ -45,6 +48,8 @@ fn main() {
         cpr_batched: f64,
         cpr_single: f64,
         one_by_one: f64,
+        heft: f64,
+        coalloc: f64,
     }
     let rs: Vec<u32> = (12..=120).step_by(12).collect();
     let pool = pool();
@@ -52,6 +57,7 @@ fn main() {
     let series: Vec<Point> = rec.phase("baseline_sweep", rs.len(), || {
         pool.par_map(&rs, |&r| {
             let inst = Instance::new(ns, nm, r);
+            let ir = lower_fused(inst.shape());
             Point {
                 r,
                 basic: Heuristic::Basic.makespan(inst, &table).expect("feasible"),
@@ -65,6 +71,8 @@ fn main() {
                     .makespan,
                 cpr_single: cpr(inst, &table).expect("feasible").schedule.makespan,
                 one_by_one: one_dag_at_a_time(inst, &table).expect("feasible").makespan,
+                heft: heft(&ir, &table, r).expect("feasible").makespan,
+                coalloc: coalloc(&ir, &table, r).expect("feasible").makespan,
             }
         })
     });
@@ -81,6 +89,8 @@ fn main() {
                     h(p.cpr_batched),
                     h(p.cpr_single),
                     h(p.one_by_one),
+                    h(p.heft),
+                    h(p.coalloc),
                 ],
                 &widths
             )
@@ -110,6 +120,18 @@ fn main() {
         series.len()
     );
     println!("one-DAG-at-a-time is on average {naive_ratio:.1}× slower than the knapsack grouping");
+    let knap_beats_heft = series
+        .iter()
+        .filter(|p| p.knapsack <= p.heft * 1.001)
+        .count();
+    let heft_ratio: f64 =
+        series.iter().map(|p| p.heft / p.knapsack).sum::<f64>() / series.len() as f64;
+    let coalloc_ratio: f64 =
+        series.iter().map(|p| p.coalloc / p.knapsack).sum::<f64>() / series.len() as f64;
+    println!(
+        "knapsack ≤ IR HEFT on {knap_beats_heft}/{} resource counts (HEFT avg {heft_ratio:.2}×, co-allocation avg {coalloc_ratio:.2}× the knapsack makespan)",
+        series.len()
+    );
     write_json("baselines_compare", &series);
     rec.finish();
 }

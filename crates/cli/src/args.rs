@@ -64,7 +64,7 @@ impl std::error::Error for ArgError {}
 
 /// Switch-style flags (no value).
 const SWITCHES: &[&str] = &[
-    "per-proc", "staging", "json", "all", "fused", "rules", "unfused", "matrix", "pipe",
+    "per-proc", "staging", "json", "all", "fused", "rules", "unfused", "matrix", "pipe", "dot",
 ];
 
 /// Commands that take a second positional verb (`oa trace export`).

@@ -83,6 +83,11 @@ COMMANDS
             --ns N --nm N --r N --cluster NAME --heuristic H
             [--policy P] [--unfused] [--recovery checkpoint|restart]
             [--kill G@T,G@T,...] [--jobs N] [--json]
+            [--workflow preset|FILE.json] [--dot]
+            --workflow lifts the campaign into the typed workflow IR:
+            preset meshes run the legacy engine byte-identically, any
+            other DAG runs the generic IR engine; --dot prints the IR
+            as Graphviz instead of simulating
   analyze   statically verify a campaign: DAG, grouping, schedule and
             platform rules (OA001..OA018); exits nonzero on errors
             --ns N --nm N --r N --cluster NAME --heuristic H [--json]
@@ -260,6 +265,69 @@ fn plan(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds the workflow IR behind `oa sim --workflow SPEC`: the literal
+/// `preset` lowers the ocean-atmosphere mesh of the `--ns`/`--nm`
+/// shape (fused unless `--unfused`); anything else is a path to a JSON
+/// workflow spec in the `oa_workflow::ir::from_value` format.
+fn workflow_of(args: &Args, spec: &str) -> Result<oa_workflow::ir::WorkflowIr, CliError> {
+    if spec == "preset" {
+        let ns = args.u32_or("ns", 10)?;
+        let nm = args.u32_or("nm", 120)?;
+        if ns == 0 || nm == 0 {
+            return Err(CliError::Domain(format!(
+                "empty workflow shape: ns={ns}, nm={nm}"
+            )));
+        }
+        let shape = oa_workflow::chain::ExperimentShape::new(ns, nm);
+        return Ok(if args.switch("unfused") {
+            oa_workflow::ir::lower_experiment(shape)
+        } else {
+            oa_workflow::ir::lower_fused(shape)
+        });
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::Domain(format!("cannot read {spec}: {e}")))?;
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| CliError::Domain(format!("{spec} is not JSON: {e}")))?;
+    oa_workflow::ir::from_value(&value).map_err(|e| CliError::Domain(format!("{spec}: {e}")))
+}
+
+/// Runs a general (non-preset) workflow through the IR engine and
+/// renders the schedule.
+fn sim_general(
+    args: &Args,
+    ir: &oa_workflow::ir::WorkflowIr,
+    cluster: &Cluster,
+    r: u32,
+    h: Heuristic,
+    config: &CampaignConfig,
+    plan: &FaultPlan,
+) -> Result<String, CliError> {
+    let outcome = simulate_ir(ir, &cluster.timing, r, h, config, plan, &mut NullTracer)
+        .map_err(|e| CliError::Domain(e.to_string()))?;
+    let schedule = match outcome {
+        IrOutcome::Generic(s) => s,
+        IrOutcome::Campaign(_) => unreachable!("general workflows stay on the IR engine"),
+    };
+    if args.switch("json") {
+        let mut json =
+            serde_json::to_string_pretty(&schedule).expect("IR schedules are serializable");
+        json.push('\n');
+        return Ok(json);
+    }
+    Ok(format!(
+        "workflow on {}: {} task(s), {} edge(s), R = {r}\n\
+         general DAG: scheduled by the IR engine (bottom-level priority)\n\
+         completed: makespan {:.1} h ({:.0} s), {} record(s)\n",
+        cluster.name,
+        ir.node_count(),
+        ir.edge_count(),
+        schedule.makespan / 3600.0,
+        schedule.makespan,
+        schedule.records.len(),
+    ))
+}
+
 fn sim_cmd(args: &Args) -> Result<String, CliError> {
     args.check_known(&[
         "ns",
@@ -273,23 +341,57 @@ fn sim_cmd(args: &Args) -> Result<String, CliError> {
         "jobs",
         "unfused",
         "json",
+        "workflow",
+        "dot",
     ])?;
-    let ns = args.u32_or("ns", 10)?;
-    let nm = args.u32_or("nm", 120)?;
+    let mut ns = args.u32_or("ns", 10)?;
+    let mut nm = args.u32_or("nm", 120)?;
     let r = args.u32_or("r", 53)?;
     let cluster = cluster_of(&args.str_or("cluster", "reference"), r)?;
     let h = heuristic_of(&args.str_or("heuristic", "knapsack"))?;
     let pool = pool_of(args)?;
-    let config = CampaignConfig {
-        policy: policy_of(args)?,
-        granularity: if args.switch("unfused") {
-            Granularity::Unfused
-        } else {
-            Granularity::Fused
-        },
-        recovery: recovery_of(args)?,
+    let mut granularity = if args.switch("unfused") {
+        Granularity::Unfused
+    } else {
+        Granularity::Fused
     };
     let plan = fault_plan_of(args)?;
+
+    // The IR front end: `--workflow` (or bare `--dot`) lifts the
+    // campaign into the typed workflow IR first. Recognized preset
+    // meshes fall through to the legacy engine path below with the
+    // shape read off the mesh — byte-identical output by construction
+    // — while general DAGs run on the IR engine.
+    if args.str_opt("workflow").is_some() || args.switch("dot") {
+        let ir = workflow_of(args, args.str_opt("workflow").unwrap_or("preset"))?;
+        if args.switch("dot") {
+            return Ok(oa_workflow::dot::ir_dot(&ir, "workflow"));
+        }
+        match oa_workflow::ir::recognize(&ir) {
+            oa_workflow::ir::IrClass::FusedMesh(shape) => {
+                (ns, nm) = (shape.scenarios, shape.months);
+                granularity = Granularity::Fused;
+            }
+            oa_workflow::ir::IrClass::UnfusedMesh(shape) => {
+                (ns, nm) = (shape.scenarios, shape.months);
+                granularity = Granularity::Unfused;
+            }
+            oa_workflow::ir::IrClass::General => {
+                let config = CampaignConfig {
+                    policy: policy_of(args)?,
+                    granularity,
+                    recovery: recovery_of(args)?,
+                };
+                return sim_general(args, &ir, &cluster, r, h, &config, &plan);
+            }
+        }
+    }
+
+    let config = CampaignConfig {
+        policy: policy_of(args)?,
+        granularity,
+        recovery: recovery_of(args)?,
+    };
     let inst = Instance::new(ns, nm, r);
     let grouping = h
         .grouping_with(inst, &cluster.timing, &pool)
@@ -1160,6 +1262,80 @@ mod tests {
             "{out} vs {}",
             est.makespan
         );
+    }
+
+    /// The IR front end keeps preset campaigns byte-identical: `oa sim
+    /// --workflow preset` must print exactly what the legacy path does,
+    /// for both granularities.
+    #[test]
+    fn sim_workflow_preset_matches_the_legacy_path() {
+        let legacy = oa(&["sim", "--ns", "4", "--nm", "24", "--r", "26"]).unwrap();
+        let ir = oa(&[
+            "sim",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--workflow",
+            "preset",
+        ])
+        .unwrap();
+        assert_eq!(ir, legacy);
+        let legacy = oa(&["sim", "--ns", "4", "--nm", "24", "--r", "26", "--unfused"]).unwrap();
+        let ir = oa(&[
+            "sim",
+            "--ns",
+            "4",
+            "--nm",
+            "24",
+            "--r",
+            "26",
+            "--unfused",
+            "--workflow",
+            "preset",
+        ])
+        .unwrap();
+        assert_eq!(ir, legacy);
+    }
+
+    #[test]
+    fn sim_workflow_file_runs_general_dags_on_the_ir_engine() {
+        let path = std::env::temp_dir().join("oa-cli-workflow-test.json");
+        std::fs::write(
+            &path,
+            r#"{"nodes":[{"name":"a","min_procs":4,"max_procs":11,"secs":"main"},
+                         {"name":"b","min_procs":4,"max_procs":11,"secs":"main"},
+                         {"name":"post","procs":1,"secs":"post"}],
+                "edges":[{"from":"a","to":"b","mb":120.0},{"from":"b","to":"post"}]}"#,
+        )
+        .unwrap();
+        let out = oa(&["sim", "--r", "26", "--workflow", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("general DAG"), "{out}");
+        assert!(out.contains("3 task(s), 2 edge(s)"), "{out}");
+        let json = oa(&[
+            "sim",
+            "--r",
+            "26",
+            "--workflow",
+            path.to_str().unwrap(),
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"makespan\""), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sim_dot_renders_the_workflow_ir() {
+        let out = oa(&["sim", "--ns", "2", "--nm", "3", "--dot"]).unwrap();
+        assert!(out.starts_with("digraph"), "{out}");
+        // 2×3 fused mesh: 6 mains + 6 posts.
+        assert_eq!(out.matches("fillcolor").count(), 12, "{out}");
+        // A malformed workflow file is a domain error, not a panic.
+        let err = oa(&["sim", "--workflow", "/nonexistent/wf.json"]).unwrap_err();
+        assert!(matches!(err, CliError::Domain(_)));
     }
 
     #[test]

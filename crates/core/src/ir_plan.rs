@@ -1,0 +1,252 @@
+//! Grouping/G-selection over the workflow IR.
+//!
+//! The paper's heuristics take an [`Instance`] `(NS, NM, R)` — the
+//! shape of the ocean-atmosphere mesh. This module generalizes the
+//! front end: any [`WorkflowIr`] is reduced to an *equivalent
+//! instance* and then planned with the unchanged heuristics.
+//!
+//! * Recognized preset meshes ([`IrClass::FusedMesh`] /
+//!   [`IrClass::UnfusedMesh`]) map to exactly the legacy instance
+//!   `(NS, NM, R)` — the produced grouping is byte-identical to the
+//!   pre-IR path, which is what keeps campaign outputs stable.
+//! * General workflows derive `NS` from the *moldable width* (the
+//!   maximum number of moldable tasks overlapping in the ASAP
+//!   schedule, from `oa_workflow::analysis`) and `NM` from the
+//!   moldable task count, so the knapsack sizes groups for the
+//!   parallelism the DAG can actually feed.
+
+use oa_platform::timing::TimingTable;
+use oa_workflow::dag::DagError;
+use oa_workflow::ir::{recognize, Durations, IrClass, IrError, IrProfile, WorkflowIr};
+
+use crate::grouping::Grouping;
+use crate::heuristics::{Heuristic, HeuristicError};
+use crate::params::Instance;
+
+/// Why a workflow could not be planned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The workflow failed structural validation.
+    Invalid(IrError),
+    /// A graph query failed (cycle discovered during analysis).
+    Graph(DagError),
+    /// The heuristic could not produce a grouping (e.g. `R < 4`).
+    Heuristic(HeuristicError),
+    /// The workflow has no moldable tasks — there is nothing for the
+    /// grouping heuristics to size.
+    NoMoldableTasks,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Invalid(e) => write!(f, "invalid workflow: {e}"),
+            PlanError::Graph(e) => write!(f, "workflow analysis failed: {e}"),
+            PlanError::Heuristic(e) => write!(f, "grouping failed: {e}"),
+            PlanError::NoMoldableTasks => write!(f, "workflow has no moldable tasks to group"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<IrError> for PlanError {
+    fn from(e: IrError) -> Self {
+        PlanError::Invalid(e)
+    }
+}
+
+impl From<DagError> for PlanError {
+    fn from(e: DagError) -> Self {
+        PlanError::Graph(e)
+    }
+}
+
+impl From<HeuristicError> for PlanError {
+    fn from(e: HeuristicError) -> Self {
+        PlanError::Heuristic(e)
+    }
+}
+
+/// A planned workflow: classification, the equivalent instance, and
+/// the grouping the heuristic chose for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowPlan {
+    /// What the recognizer found.
+    pub class: IrClass,
+    /// The `(NS, NM, R)` instance the heuristics planned.
+    pub instance: Instance,
+    /// The chosen processor grouping.
+    pub grouping: Grouping,
+    /// Shape profile of the workflow.
+    pub profile: IrProfile,
+}
+
+/// Maximum number of *moldable* tasks overlapping in the ASAP schedule
+/// — the parallel width the grouping must feed. Rigid tasks ride the
+/// post pool and do not count.
+pub fn moldable_width(ir: &WorkflowIr, d: &impl Durations) -> Result<usize, DagError> {
+    let levels = ir.levels(d)?;
+    let mut events: Vec<(f64, i32)> = Vec::new();
+    for (id, n) in ir.dag.iter() {
+        if !n.kind.is_moldable() {
+            continue;
+        }
+        let (s, f) = (
+            levels.asap_start[id.index()],
+            levels.asap_finish[id.index()],
+        );
+        if f > s {
+            events.push((s, 1));
+            events.push((f, -1));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut cur = 0i32;
+    let mut max = 0i32;
+    for (_, delta) in events {
+        cur += delta;
+        max = max.max(cur);
+    }
+    Ok(max as usize)
+}
+
+/// Reduces a workflow to the `(NS, NM, R)` instance the paper's
+/// heuristics understand. Recognized meshes map to their exact legacy
+/// instance; general workflows use moldable width and count.
+pub fn equivalent_instance(
+    ir: &WorkflowIr,
+    d: &impl Durations,
+    r: u32,
+) -> Result<Instance, PlanError> {
+    match recognize(ir) {
+        IrClass::FusedMesh(shape) | IrClass::UnfusedMesh(shape) => {
+            Ok(Instance::for_shape(shape, r))
+        }
+        IrClass::General => {
+            let moldable = ir.dag.iter().filter(|(_, n)| n.kind.is_moldable()).count() as u64;
+            if moldable == 0 {
+                return Err(PlanError::NoMoldableTasks);
+            }
+            let width = moldable_width(ir, d)?.max(1) as u64;
+            let months = moldable.div_ceil(width).max(1);
+            Ok(Instance::new(width as u32, months as u32, r))
+        }
+    }
+}
+
+/// Validates, classifies and plans a workflow on `r` processors with
+/// heuristic `h`. For preset meshes the resulting grouping is
+/// byte-identical to `h.grouping(Instance::for_shape(shape, r), table)`
+/// — the legacy planning path.
+pub fn plan_workflow(
+    ir: &WorkflowIr,
+    table: &TimingTable,
+    r: u32,
+    h: Heuristic,
+) -> Result<WorkflowPlan, PlanError> {
+    ir.validate()?;
+    let class = recognize(ir);
+    let profile = ir.profile(table)?;
+    let instance = equivalent_instance(ir, table, r)?;
+    let grouping = h.grouping(instance, table)?;
+    Ok(WorkflowPlan {
+        class,
+        instance,
+        grouping,
+        profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oa_platform::speedup::PcrModel;
+    use oa_workflow::chain::ExperimentShape;
+    use oa_workflow::ir::{lower_experiment, lower_fused, DurationModel, IrTaskKind};
+    use oa_workflow::moldable::MoldableSpec;
+
+    fn table() -> TimingTable {
+        PcrModel::reference().table(1.0).unwrap()
+    }
+
+    #[test]
+    fn mesh_plans_match_the_legacy_path_exactly() {
+        let table = table();
+        for shape in [ExperimentShape::new(10, 18), ExperimentShape::new(3, 40)] {
+            for r in [11, 53, 120] {
+                for h in Heuristic::PAPER {
+                    let legacy = h.grouping(Instance::for_shape(shape, r), &table);
+                    for ir in [lower_fused(shape), lower_experiment(shape)] {
+                        match (plan_workflow(&ir, &table, r, h), &legacy) {
+                            (Ok(plan), Ok(g)) => {
+                                assert_eq!(&plan.grouping, g, "{h:?} r={r}");
+                                assert_eq!(plan.instance, Instance::for_shape(shape, r));
+                            }
+                            (Err(PlanError::Heuristic(_)), Err(_)) => {}
+                            (a, b) => panic!("{h:?} r={r}: {a:?} vs {b:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_moldable_width_is_ns() {
+        let table = table();
+        let shape = ExperimentShape::new(7, 9);
+        assert_eq!(moldable_width(&lower_fused(shape), &table).unwrap(), 7);
+        assert_eq!(moldable_width(&lower_experiment(shape), &table).unwrap(), 7);
+    }
+
+    #[test]
+    fn general_workflows_plan_from_width_and_count() {
+        let table = table();
+        // Two independent 3-deep moldable chains → width 2, months 3.
+        let mut ir = WorkflowIr::new();
+        let mut last = None;
+        for c in 0..2 {
+            let mut prev: Option<_> = None;
+            for i in 0..3 {
+                let n = ir.add_task(
+                    &format!("c{c}t{i}"),
+                    IrTaskKind::Moldable(MoldableSpec::pcr()),
+                    DurationModel::MainTable,
+                );
+                if let Some(p) = prev {
+                    ir.add_dep(p, n).unwrap();
+                }
+                prev = Some(n);
+                last = Some(n);
+            }
+        }
+        let sink = ir.add_task("merge", IrTaskKind::Rigid(1), DurationModel::Fixed(30.0));
+        ir.add_dep(last.unwrap(), sink).unwrap();
+        let plan = plan_workflow(&ir, &table, 30, Heuristic::Knapsack).unwrap();
+        assert_eq!(plan.class, IrClass::General);
+        assert_eq!(plan.instance, Instance::new(2, 3, 30));
+        assert!(plan.grouping.validate(plan.instance).is_ok());
+    }
+
+    #[test]
+    fn rigid_only_workflows_are_rejected() {
+        let table = table();
+        let mut ir = WorkflowIr::new();
+        ir.add_task("only", IrTaskKind::Rigid(1), DurationModel::Fixed(5.0));
+        assert_eq!(
+            plan_workflow(&ir, &table, 30, Heuristic::Knapsack),
+            Err(PlanError::NoMoldableTasks)
+        );
+    }
+
+    #[test]
+    fn invalid_workflows_are_rejected() {
+        let table = table();
+        let ir = WorkflowIr::new();
+        assert!(matches!(
+            plan_workflow(&ir, &table, 30, Heuristic::Knapsack),
+            Err(PlanError::Invalid(IrError::Empty))
+        ));
+    }
+}

@@ -20,6 +20,9 @@
 //!   departures and cluster churn over cached performance vectors,
 //!   bitwise-equal to the batch greedy (the planning core of
 //!   `oa-service`);
+//! * [`ir_plan`] — grouping/G-selection over the generalized workflow
+//!   IR: preset meshes plan exactly like their legacy instance, general
+//!   DAGs reduce to an equivalent `(NS, NM, R)` via moldable width;
 //! * [`policy`] — campaign policy knobs shared by every event loop:
 //!   scenario-selection queues, task granularity, fault plans and
 //!   recovery models (the configuration of `oa-sim::engine`);
@@ -54,6 +57,7 @@ pub mod grouping;
 pub mod hetero;
 pub mod heuristics;
 pub mod incremental;
+pub mod ir_plan;
 pub mod params;
 pub mod policy;
 pub mod time;
@@ -71,6 +75,9 @@ pub mod prelude {
     };
     pub use crate::heuristics::{gain_pct, Heuristic, HeuristicError};
     pub use crate::incremental::{Departure, IncrementalRepartition, Rebalance};
+    pub use crate::ir_plan::{
+        equivalent_instance, moldable_width, plan_workflow, PlanError, WorkflowPlan,
+    };
     pub use crate::params::Instance;
     pub use crate::policy::{
         CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy, ScenarioQueue,

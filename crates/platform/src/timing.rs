@@ -152,6 +152,23 @@ impl TimingTable {
     }
 }
 
+impl oa_workflow::ir::Durations for TimingTable {
+    /// `T[procs]`, clamped into the benchmarked `4..=11` range: a
+    /// workflow task asking for fewer processors than the smallest
+    /// benchmarked group runs at the `G = 4` speed, and extra
+    /// processors past 11 buy nothing (the atmosphere stops scaling).
+    fn main_secs(&self, procs: u32) -> f64 {
+        TimingTable::main_secs(
+            self,
+            procs.clamp(oa_workflow::task::MIN_PROCS, oa_workflow::task::MAX_PROCS),
+        )
+    }
+
+    fn post_secs(&self) -> f64 {
+        self.post
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +239,19 @@ mod tests {
     fn error_messages_render() {
         let e = TimingTable::new([1.0; 8], -1.0).unwrap_err();
         assert!(e.to_string().contains("TP"));
+    }
+
+    #[test]
+    fn durations_trait_clamps_and_derives_pcr() {
+        use oa_workflow::ir::Durations;
+        let t = table();
+        // In range: identical to the inherent accessor.
+        assert_eq!(Durations::main_secs(&t, 11), 1260.0);
+        // Out of range: clamped, not panicking.
+        assert_eq!(Durations::main_secs(&t, 1), t.main_secs(4));
+        assert_eq!(Durations::main_secs(&t, 64), t.main_secs(11));
+        // pcr = main − scaled pre; at the reference speed (TP = 180)
+        // that is the fused entry minus the 2 s of pre-processing.
+        assert!((t.pcr_secs(11) - 1258.0).abs() < 1e-9);
     }
 }

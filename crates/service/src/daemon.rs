@@ -37,6 +37,7 @@ use oa_sched::params::Instance;
 use oa_sched::policy::FaultPlan;
 use oa_sim::driver::{SessionDriver, SessionState};
 use oa_trace::metrics::{self, MetricsRegistry};
+use oa_workflow::ir::{recognize, IrClass, SpecError};
 
 use crate::admission::{admit_portion, parse_submission, Refusal, Submission};
 use crate::wire::{codes, parse_request, render_response, ClusterLoad, PortionInfo, Response};
@@ -278,6 +279,17 @@ impl Service {
                 &kills,
                 deadline,
             ),
+            Request::SubmitWorkflow {
+                session,
+                workflow,
+                heuristic,
+                policy,
+                recovery,
+                kills,
+                deadline,
+            } => self.submit_workflow(
+                &session, &workflow, &heuristic, &policy, &recovery, &kills, deadline,
+            ),
             Request::Status { session } => self.status(&session),
             Request::Advance { to } => self.advance(to),
             Request::Drain {} => self.drain(),
@@ -493,6 +505,68 @@ impl Service {
                 reject(code, message)
             }
         }
+    }
+
+    /// Admits a workflow-spec submission. Recognized ocean-atmosphere
+    /// preset meshes route through exactly the legacy [`Self::submit`]
+    /// path — same placement, same admission pipeline, byte-identical
+    /// responses — with the granularity read off the mesh class.
+    /// Structurally malformed DAGs are `PROTO009`; well-formed general
+    /// DAGs are outside the service's admission scope and answer
+    /// `PROTO003`.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_workflow(
+        &mut self,
+        session: &str,
+        workflow: &serde::Value,
+        heuristic: &str,
+        policy: &str,
+        recovery: &str,
+        kills: &str,
+        deadline: f64,
+    ) -> Vec<Response> {
+        let reject = |code: &str, message: String| {
+            vec![Response::Rejected {
+                session: session.to_string(),
+                code: code.to_string(),
+                message,
+            }]
+        };
+        let ir = match oa_workflow::ir::from_value(workflow) {
+            Ok(ir) => ir,
+            Err(e) => {
+                self.metrics.inc(metrics::keys::SESSIONS_REJECTED, 1);
+                let code = match &e {
+                    SpecError::Malformed(_) => codes::MALFORMED_WORKFLOW,
+                    SpecError::BadField(_) => codes::BAD_FIELD,
+                };
+                return reject(code, e.to_string());
+            }
+        };
+        let (shape, granularity) = match recognize(&ir) {
+            IrClass::FusedMesh(shape) => (shape, "fused"),
+            IrClass::UnfusedMesh(shape) => (shape, "unfused"),
+            IrClass::General => {
+                self.metrics.inc(metrics::keys::SESSIONS_REJECTED, 1);
+                return reject(
+                    codes::BAD_FIELD,
+                    "the service admits only the ocean-atmosphere preset meshes; \
+                     run general workflows through `oa sim --workflow`"
+                        .to_string(),
+                );
+            }
+        };
+        self.submit(
+            session,
+            shape.scenarios,
+            shape.months,
+            heuristic,
+            policy,
+            granularity,
+            recovery,
+            kills,
+            deadline,
+        )
     }
 
     fn rollback(&mut self, pushed: usize) {
@@ -1092,6 +1166,30 @@ mod tests {
         format!(
             r#"{{"Submit": {{"session": "{session}", "ns": {ns}, "nm": 12, "heuristic": "knapsack", "policy": "least-advanced", "granularity": "fused", "recovery": "checkpoint", "kills": "", "deadline": 0.0}}}}"#
         )
+    }
+
+    /// The workflow front-end invariant: a recognized preset mesh
+    /// admitted through `SubmitWorkflow` produces byte-for-byte the
+    /// transcript of the equivalent `Submit`.
+    #[test]
+    fn workflow_preset_submissions_match_submit_byte_for_byte() {
+        let setup = "{\"Hello\": {\"version\": 1}}\n\
+             {\"ClusterJoin\": {\"name\": \"ref\", \"preset\": \"reference\", \"resources\": 53}}\n";
+        let tail = "{\"Drain\": {}}\n{\"Shutdown\": {}}";
+        for granularity in ["fused", "unfused"] {
+            let mut a = small();
+            let submit = format!(
+                r#"{{"Submit": {{"session": "s1", "ns": 5, "nm": 12, "heuristic": "knapsack", "policy": "least-advanced", "granularity": "{granularity}", "recovery": "checkpoint", "kills": "", "deadline": 0.0}}}}"#
+            );
+            let legacy = run_script(&mut a, &format!("{setup}{submit}\n{tail}"));
+            assert!(legacy.contains("\"Completed\""), "log: {legacy}");
+            let mut b = small();
+            let wf = format!(
+                r#"{{"SubmitWorkflow": {{"session": "s1", "workflow": {{"preset": {{"ns": 5, "nm": 12, "granularity": "{granularity}"}}}}, "heuristic": "knapsack", "policy": "least-advanced", "recovery": "checkpoint", "kills": "", "deadline": 0.0}}}}"#
+            );
+            let log = run_script(&mut b, &format!("{setup}{wf}\n{tail}"));
+            assert_eq!(log, legacy, "{granularity} preset drifted from Submit");
+        }
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub mod codes {
     pub const BUSY: &str = "PROTO007";
     /// `Advance`/`ClusterFail` targets an instant before the clock.
     pub const TIME_REGRESSION: &str = "PROTO008";
+    /// `SubmitWorkflow` carried a structurally malformed DAG: empty
+    /// graph, cycle, dangling edge, or duplicate node name.
+    pub const MALFORMED_WORKFLOW: &str = "PROTO009";
 
     /// Admission: the campaign shape is empty (`ns` or `nm` is zero).
     pub const EMPTY_CAMPAIGN: &str = "OA002";
@@ -124,6 +127,29 @@ pub enum Request {
         /// the certified lower bound at admission (CT001).
         deadline: f64,
     },
+    /// Submit a campaign session described as a workflow-IR spec
+    /// (the `oa_workflow::ir::from_value` document) instead of an
+    /// `(ns, nm, granularity)` triple. Recognized ocean-atmosphere
+    /// preset meshes admit exactly like the equivalent `Submit`;
+    /// malformed DAGs are refused with `PROTO009`.
+    SubmitWorkflow {
+        /// Service-unique session name.
+        session: String,
+        /// The workflow spec: `{"preset": {...}}` or
+        /// `{"nodes": [...], "edges": [...]}`.
+        workflow: serde::Value,
+        /// Grouping heuristic label, as in `Submit`.
+        heuristic: String,
+        /// Scenario policy label, as in `Submit`.
+        policy: String,
+        /// `checkpoint` or `restart`. Granularity is not a field: the
+        /// workflow itself is fused or unfused.
+        recovery: String,
+        /// Fault plan, `"G@T,G@T"` pairs; empty string for none.
+        kills: String,
+        /// Virtual deadline, seconds; `0.0` for none.
+        deadline: f64,
+    },
     /// Query one session's state at the current virtual instant.
     Status {
         /// Session to query.
@@ -144,12 +170,13 @@ pub enum Request {
 }
 
 /// Request kind names, for unknown-message classification.
-pub const REQUEST_KINDS: [&str; 10] = [
+pub const REQUEST_KINDS: [&str; 11] = [
     "Hello",
     "ClusterJoin",
     "ClusterLeave",
     "ClusterFail",
     "Submit",
+    "SubmitWorkflow",
     "Status",
     "Advance",
     "Drain",
@@ -408,6 +435,18 @@ mod tests {
                 heuristic: "knapsack".into(),
                 policy: "least-advanced".into(),
                 granularity: "fused".into(),
+                recovery: "checkpoint".into(),
+                kills: "".into(),
+                deadline: 0.0,
+            },
+            Request::SubmitWorkflow {
+                session: "w1".into(),
+                workflow: oa_workflow::ir::preset_value(
+                    oa_workflow::chain::ExperimentShape::new(3, 12),
+                    true,
+                ),
+                heuristic: "knapsack".into(),
+                policy: "least-advanced".into(),
                 recovery: "checkpoint".into(),
                 kills: "".into(),
                 deadline: 0.0,

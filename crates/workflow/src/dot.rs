@@ -4,11 +4,19 @@
 //! pictures straight from the code; the export is also handy for
 //! debugging generated experiments ("is the cross-month edge where the
 //! paper says it is?").
+//!
+//! There is one renderer, [`ir_dot`], which draws any [`WorkflowIr`]:
+//! nodes are colour-coded by phase (preset lowerings) or by task shape
+//! (hand-written workflows), and precedence edges that carry a data
+//! flow are labelled with the volume. The legacy `experiment_dot` /
+//! `fused_dot` entry points are thin wrappers that lower the preset
+//! and delegate.
 
 use crate::chain::ExperimentDag;
 use crate::dag::Dag;
 use crate::fusion::FusedExperiment;
-use crate::task::{Phase, Task};
+use crate::ir::{lower_experiment, lower_fused, IrNode, WorkflowIr};
+use crate::task::Phase;
 
 /// Escapes a DOT identifier/label.
 fn esc(s: &str) -> String {
@@ -33,40 +41,57 @@ pub fn to_dot<N>(dag: &Dag<N>, name: &str, mut label: impl FnMut(&N) -> String) 
     out
 }
 
-/// DOT for an unfused experiment, phases colour-coded as in the paper's
-/// figures (main tasks hatched ⇒ filled here).
-pub fn experiment_dot(e: &ExperimentDag) -> String {
-    let mut out =
-        String::from("digraph experiment {\n  rankdir=LR;\n  node [shape=box, style=filled];\n");
-    for (id, t) in e.dag.iter() {
-        let color = phase_color(t);
+/// Renders a workflow IR as DOT: phase/shape colour-coding plus
+/// data-volume labels on flow-carrying edges.
+pub fn ir_dot(ir: &WorkflowIr, name: &str) -> String {
+    let mut out = format!(
+        "digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box, style=filled];\n",
+        esc(name)
+    );
+    for (id, n) in ir.dag.iter() {
         out.push_str(&format!(
-            "  n{} [label=\"{}\", fillcolor=\"{color}\"];\n",
+            "  n{} [label=\"{}\", fillcolor=\"{}\"];\n",
             id.0,
-            esc(&t.id.to_string())
+            esc(&n.name),
+            node_color(n)
         ));
     }
-    for from in e.dag.node_ids() {
-        for &to in e.dag.successors(from) {
-            out.push_str(&format!("  n{} -> n{};\n", from.0, to.0));
+    for from in ir.dag.node_ids() {
+        for &to in ir.dag.successors(from) {
+            match ir.flow(from, to) {
+                Some(v) => out.push_str(&format!(
+                    "  n{} -> n{} [label=\"{} MB\"];\n",
+                    from.0,
+                    to.0,
+                    v.as_mb()
+                )),
+                None => out.push_str(&format!("  n{} -> n{};\n", from.0, to.0)),
+            }
         }
     }
     out.push_str("}\n");
     out
 }
 
-/// DOT for a fused experiment.
-pub fn fused_dot(f: &FusedExperiment) -> String {
-    to_dot(&f.dag, "fused", |t| {
-        format!("s{}m{}:{}", t.scenario, t.month, t.kind.mnemonic())
-    })
+/// DOT for an unfused experiment, phases colour-coded as in the paper's
+/// figures (main tasks hatched ⇒ filled here).
+pub fn experiment_dot(e: &ExperimentDag) -> String {
+    ir_dot(&lower_experiment(e.shape), "experiment")
 }
 
-fn phase_color(t: &Task) -> &'static str {
-    match t.id.kind.phase() {
-        Phase::Pre => "lightyellow",
-        Phase::Main => "lightblue",
-        Phase::Post => "lightgrey",
+/// DOT for a fused experiment.
+pub fn fused_dot(f: &FusedExperiment) -> String {
+    ir_dot(&lower_fused(f.shape), "fused")
+}
+
+fn node_color(n: &IrNode) -> &'static str {
+    match n.origin.map(|id| id.kind.phase()) {
+        Some(Phase::Pre) => "lightyellow",
+        Some(Phase::Main) => "lightblue",
+        Some(Phase::Post) => "lightgrey",
+        // Hand-written workflows: colour by task shape.
+        None if n.kind.is_moldable() => "lightblue",
+        None => "white",
     }
 }
 
@@ -75,16 +100,19 @@ mod tests {
     use super::*;
     use crate::chain::{build_experiment, ExperimentShape};
     use crate::fusion::build_fused;
+    use crate::ir::{DurationModel, IrTaskKind};
     use crate::task::TaskKind;
 
     #[test]
     fn dot_contains_every_node_and_edge() {
         let e = build_experiment(ExperimentShape::new(2, 2));
         let dot = experiment_dot(&e);
-        assert_eq!(dot.matches("label=").count(), e.dag.node_count());
+        assert_eq!(dot.matches("fillcolor").count(), e.dag.node_count());
         assert_eq!(dot.matches(" -> ").count(), e.dag.edge_count());
         assert!(dot.contains("s0m0:caif"));
         assert!(dot.contains("s1m1:cd"));
+        // The cross-month hand-off is drawn with its volume.
+        assert!(dot.contains("120 MB"));
     }
 
     #[test]
@@ -95,6 +123,7 @@ mod tests {
         assert!(dot.contains("s0m1:post"));
         assert!(dot.starts_with("digraph"));
         assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("120 MB"));
     }
 
     #[test]
@@ -103,6 +132,14 @@ mod tests {
         dag.add_node(String::from("weird \"label\" \\ here"));
         let dot = to_dot(&dag, "esc", std::clone::Clone::clone);
         assert!(dot.contains("weird \\\"label\\\" \\\\ here"));
+
+        let mut ir = WorkflowIr::new();
+        ir.add_task(
+            "odd \"name\"",
+            IrTaskKind::Rigid(1),
+            DurationModel::Fixed(1.0),
+        );
+        assert!(ir_dot(&ir, "esc").contains("odd \\\"name\\\""));
     }
 
     #[test]
@@ -112,6 +149,22 @@ mod tests {
         assert!(dot.contains("lightyellow")); // pre
         assert!(dot.contains("lightblue")); // main
         assert!(dot.contains("lightgrey")); // post
+    }
+
+    #[test]
+    fn general_workflows_color_by_shape() {
+        let mut ir = WorkflowIr::new();
+        let a = ir.add_task(
+            "solve",
+            IrTaskKind::Moldable(crate::moldable::MoldableSpec::pcr()),
+            DurationModel::Fixed(100.0),
+        );
+        let b = ir.add_task("reduce", IrTaskKind::Rigid(1), DurationModel::Fixed(10.0));
+        ir.add_dep(a, b).unwrap();
+        let dot = ir_dot(&ir, "custom");
+        assert!(dot.contains("lightblue")); // moldable
+        assert!(dot.contains("white")); // rigid
+        assert_eq!(dot.matches(" -> ").count(), 1);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * moldable-task allocation ranges ([`moldable`]);
 //! * data volumes — the 120 MB inter-month hand-off ([`data`]);
 //! * static analysis: ASAP/ALAP levels, slack, parallelism width
-//!   ([`analysis`]).
+//!   ([`analysis`]);
+//! * the typed workflow IR — arbitrary DAGs of moldable/rigid tasks
+//!   with duration models and data-flow edge payloads, plus the
+//!   lowering of the ocean-atmosphere presets into it ([`ir`]).
 //!
 //! The crate is deliberately free of scheduling policy: it describes
 //! *what* must run and in which order, nothing about *where* or *when*.
@@ -44,6 +47,7 @@ pub mod dag;
 pub mod data;
 pub mod dot;
 pub mod fusion;
+pub mod ir;
 pub mod moldable;
 pub mod monthly;
 pub mod task;
@@ -56,9 +60,13 @@ pub mod prelude {
     };
     pub use crate::dag::{Dag, DagError, NodeId};
     pub use crate::data::{DataVolume, INTER_MONTH_TRANSFER};
-    pub use crate::dot::{experiment_dot, fused_dot, to_dot};
+    pub use crate::dot::{experiment_dot, fused_dot, ir_dot, to_dot};
     pub use crate::fusion::{
         build_fused, fused_main_secs, fused_post_secs, FusedExperiment, FusedTask,
+    };
+    pub use crate::ir::{
+        lower_experiment, lower_fused, recognize, DataFlow, DurationModel, Durations, IrClass,
+        IrError, IrNode, IrProfile, IrTaskKind, ReferenceDurations, SpecError, WorkflowIr,
     };
     pub use crate::moldable::{Allocation, MoldableSpec};
     pub use crate::monthly::{add_month, monthly_dag, MonthNodes};

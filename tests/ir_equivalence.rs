@@ -1,0 +1,225 @@
+//! IR-vs-legacy equivalence: the workflow-IR tentpole's hard
+//! invariant. Lowering the ocean-atmosphere presets into the typed IR
+//! and running every downstream layer off it must be *observationally
+//! invisible*: topological orders and critical paths match the legacy
+//! `chain`/`fusion` builders exactly, campaign outcomes through
+//! `simulate_ir` are bitwise the legacy engine's, the generic IR
+//! executor reproduces the independent list scheduler record for
+//! record, and a service `SubmitWorkflow` transcript is byte-identical
+//! to the equivalent `Submit`.
+//!
+//! Case counts scale with the build profile: the release-mode CI
+//! differential job runs the full 256 cases, a debug `cargo test`
+//! keeps the quick count (the vendored proptest is deterministic, so
+//! the release run strictly extends the debug one).
+
+use ocean_atmosphere::prelude::*;
+use ocean_atmosphere::service::daemon::{run_script, Service, ServiceConfig};
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(debug_assertions) { 32 } else { 256 };
+
+fn arb_table() -> impl Strategy<Value = TimingTable> {
+    (
+        50.0f64..3000.0,
+        1.0f64..400.0,
+        proptest::collection::vec(0.0f64..400.0, 8),
+    )
+        .prop_map(|(t11, tp, bumps)| {
+            let mut main = [0.0f64; 8];
+            let mut acc = t11;
+            for i in (0..8).rev() {
+                main[i] = acc;
+                acc += bumps[i];
+            }
+            TimingTable::new(main, tp).expect("non-increasing by construction")
+        })
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (1u32..=8, 1u32..=20, 4u32..=120).prop_map(|(ns, nm, r)| Instance::new(ns, nm, r))
+}
+
+/// Satellite invariant: the canonical 10×1800 preset lowers into an IR
+/// whose node ids, topological order and critical path are exactly the
+/// legacy builders' — at full paper scale, not just toy shapes.
+#[test]
+fn canonical_preset_lowering_matches_the_legacy_builders() {
+    let shape = ExperimentShape::new(CANONICAL_SCENARIOS, CANONICAL_MONTHS);
+
+    let ir = oa_workflow::ir::lower_fused(shape);
+    let legacy = build_fused(shape);
+    assert_eq!(ir.node_count(), legacy.dag.node_count());
+    assert_eq!(ir.edge_count(), legacy.dag.edge_count());
+    assert_eq!(
+        ir.dag.topo_sort().unwrap(),
+        legacy.dag.topo_sort().unwrap(),
+        "fused topological order drifted"
+    );
+    let cp = ir.critical_path(&ReferenceDurations).unwrap();
+    let legacy_cp = legacy
+        .dag
+        .critical_path(|_, t| t.kind.reference_secs())
+        .unwrap();
+    assert_eq!(cp.to_bits(), legacy_cp.to_bits(), "fused critical path");
+
+    let ir = oa_workflow::ir::lower_experiment(shape);
+    let legacy = build_experiment(shape);
+    assert_eq!(ir.node_count(), legacy.dag.node_count());
+    assert_eq!(ir.edge_count(), legacy.dag.edge_count());
+    assert_eq!(
+        ir.dag.topo_sort().unwrap(),
+        legacy.dag.topo_sort().unwrap(),
+        "unfused topological order drifted"
+    );
+    let cp = ir.critical_path(&ReferenceDurations).unwrap();
+    assert!(
+        (cp - legacy.reference_critical_path()).abs() < 1e-9,
+        "unfused critical path: {cp} vs {}",
+        legacy.reference_critical_path()
+    );
+
+    // The 120 MB inter-month hand-off is one flow instance per
+    // cross-month edge, not a constant wired through the consumers.
+    let ir = oa_workflow::ir::lower_fused(shape);
+    let expected = u64::from(CANONICAL_SCENARIOS) * u64::from(CANONICAL_MONTHS - 1);
+    assert_eq!(ir.flows.len() as u64, expected);
+    assert_eq!(ir.total_flow().0, INTER_MONTH_TRANSFER.0 * expected);
+}
+
+/// A `SubmitWorkflow` carrying the preset spec produces a transcript
+/// byte-identical to the equivalent `Submit` — admission, completion
+/// report, metrics and all — on a grid with queueing and a fault plan.
+#[test]
+fn service_workflow_transcripts_match_submit_byte_for_byte() {
+    let mk = || {
+        Service::new(
+            ServiceConfig {
+                capacity: 16,
+                planning_nm: 12,
+                ..Default::default()
+            },
+            1,
+        )
+    };
+    let setup = "{\"Hello\":{\"version\":1}}\n\
+         {\"ClusterJoin\":{\"name\":\"a\",\"preset\":\"reference\",\"resources\":53}}\n\
+         {\"ClusterJoin\":{\"name\":\"b\",\"preset\":\"sagittaire\",\"resources\":30}}\n";
+    let tail = "{\"Status\":{\"session\":\"s1\"}}\n{\"Drain\":{}}\n\
+         {\"Metrics\":{}}\n{\"Shutdown\":{}}";
+    for granularity in ["fused", "unfused"] {
+        let submit = format!(
+            r#"{{"Submit":{{"session":"s1","ns":5,"nm":12,"heuristic":"knapsack","policy":"least-advanced","granularity":"{granularity}","recovery":"checkpoint","kills":"0@4000","deadline":0.0}}}}"#
+        );
+        let workflow = format!(
+            r#"{{"SubmitWorkflow":{{"session":"s1","workflow":{{"preset":{{"ns":5,"nm":12,"granularity":"{granularity}"}}}},"heuristic":"knapsack","policy":"least-advanced","recovery":"checkpoint","kills":"0@4000","deadline":0.0}}}}"#
+        );
+        let mut a = mk();
+        let legacy = run_script(&mut a, &format!("{setup}{submit}\n{tail}"));
+        let mut b = mk();
+        let lifted = run_script(&mut b, &format!("{setup}{workflow}\n{tail}"));
+        assert!(legacy.contains("\"Admitted\""), "setup broke: {legacy}");
+        assert_eq!(lifted, legacy, "{granularity} transcript drifted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// The tentpole's byte-identity invariant, end to end: routing a
+    /// lowered preset mesh through `simulate_ir` reproduces the legacy
+    /// `simulate_campaign` outcome *bitwise* — schedule records,
+    /// makespan bits, damage accounting — for both granularities,
+    /// with and without fault injection.
+    #[test]
+    fn preset_meshes_through_the_ir_router_are_bitwise_legacy(
+        (inst, table) in (arb_instance(), arb_table()),
+        frac in 0.05f64..0.95,
+    ) {
+        let Ok(grouping) = Heuristic::Knapsack.grouping(inst, &table) else { return Ok(()) };
+        let clean = match simulate_campaign(
+            inst, &table, &grouping,
+            &CampaignConfig::fused(ScenarioPolicy::LeastAdvanced),
+            &FaultPlan::none(), &mut NullTracer,
+        ).expect("valid grouping") {
+            CampaignOutcome::Completed(run) => run.makespan,
+            CampaignOutcome::Stranded { .. } => panic!("fault-free runs never strand"),
+        };
+        let plans = [FaultPlan::none(), FaultPlan::none().kill(0, frac * clean)];
+        for (fused, config) in [
+            (true, CampaignConfig::fused(ScenarioPolicy::LeastAdvanced)),
+            (false, CampaignConfig::unfused(ScenarioPolicy::RoundRobin)),
+        ] {
+            let ir = if fused {
+                oa_workflow::ir::lower_fused(inst.shape())
+            } else {
+                oa_workflow::ir::lower_experiment(inst.shape())
+            };
+            for plan in &plans {
+                let legacy = simulate_campaign(
+                    inst, &table, &grouping, &config, plan, &mut NullTracer,
+                ).expect("valid grouping");
+                let routed = simulate_ir(
+                    &ir, &table, inst.r, Heuristic::Knapsack, &config, plan, &mut NullTracer,
+                ).expect("recognized mesh");
+                match routed {
+                    IrOutcome::Campaign(outcome) => {
+                        prop_assert_eq!(&outcome, &legacy, "fused={}", fused);
+                    }
+                    IrOutcome::Generic(_) => {
+                        prop_assert!(false, "preset mesh fell off the legacy route");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The generic IR executor against the independently written list
+    /// scheduler: identical record order, bitwise start/end times and
+    /// makespan on lowered fused meshes at the paper's uniform
+    /// allocation.
+    #[test]
+    fn ir_executor_matches_the_list_scheduler_bitwise(
+        (inst, table) in (arb_instance(), arb_table()),
+    ) {
+        use oa_baselines::list_sched::{list_schedule, Allocations};
+        let ir = oa_workflow::ir::lower_fused(inst.shape());
+        let s = execute_ir(&ir, &table, inst.r).unwrap();
+        let l = list_schedule(inst, &table, &Allocations::uniform(inst.ns, 11.min(inst.r))).unwrap();
+        prop_assert_eq!(s.records.len(), l.records.len());
+        prop_assert_eq!(s.makespan.to_bits(), l.makespan.to_bits());
+        for (a, b) in s.records.iter().zip(&l.records) {
+            let origin = ir.dag.node(a.node).origin.expect("lowered nodes are annotated");
+            prop_assert_eq!(
+                (origin.scenario, origin.month, origin.kind == TaskKind::FusedMain),
+                (b.scenario, b.month, b.main)
+            );
+            prop_assert_eq!(
+                (a.procs, a.start.to_bits(), a.end.to_bits()),
+                (b.procs, b.start.to_bits(), b.end.to_bits())
+            );
+        }
+    }
+
+    /// Shape-level equivalence at every mesh size the sweep covers:
+    /// topological order and critical path of the lowering match the
+    /// legacy builders (the canonical-shape test above pins 10×1800).
+    #[test]
+    fn lowerings_match_legacy_structure_at_every_shape(
+        ns in 1u32..=10, nm in 1u32..=40,
+    ) {
+        let shape = ExperimentShape::new(ns, nm);
+        let ir = oa_workflow::ir::lower_fused(shape);
+        let legacy = build_fused(shape);
+        prop_assert_eq!(ir.dag.topo_sort().unwrap(), legacy.dag.topo_sort().unwrap());
+        let cp = ir.critical_path(&ReferenceDurations).unwrap();
+        let lcp = legacy.dag.critical_path(|_, t| t.kind.reference_secs()).unwrap();
+        prop_assert_eq!(cp.to_bits(), lcp.to_bits());
+
+        let ir = oa_workflow::ir::lower_experiment(shape);
+        let legacy = build_experiment(shape);
+        prop_assert_eq!(ir.dag.topo_sort().unwrap(), legacy.dag.topo_sort().unwrap());
+        let cp = ir.critical_path(&ReferenceDurations).unwrap();
+        prop_assert!((cp - legacy.reference_critical_path()).abs() < 1e-9);
+    }
+}

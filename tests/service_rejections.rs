@@ -30,6 +30,12 @@ fn submit(session: &str, ns: u32, nm: u32, heuristic: &str, kills: &str, deadlin
     )
 }
 
+fn submit_workflow(session: &str, workflow: &str) -> String {
+    format!(
+        r#"{{"SubmitWorkflow":{{"session":"{session}","workflow":{workflow},"heuristic":"knapsack","policy":"least-advanced","recovery":"checkpoint","kills":"","deadline":0.0}}}}"#
+    )
+}
+
 /// Every rejection row: (label, request line, expected stable code).
 /// The table mirrors the error-code table in `docs/PROTOCOL.md`.
 fn rejection_table() -> Vec<(&'static str, String, &'static str)> {
@@ -97,6 +103,63 @@ fn rejection_table() -> Vec<(&'static str, String, &'static str)> {
             "clock regression",
             r#"{"Advance":{"to":-1.0}}"#.into(),
             "PROTO008",
+        ),
+        // Workflow submissions: structural DAG defects are PROTO009;
+        // field-level problems and out-of-scope shapes stay PROTO003.
+        (
+            "empty workflow graph",
+            submit_workflow("x", r#"{"nodes":[]}"#),
+            "PROTO009",
+        ),
+        (
+            "cyclic workflow",
+            submit_workflow(
+                "x",
+                r#"{"nodes":[{"name":"a","procs":4,"secs":10.0},{"name":"b","procs":4,"secs":10.0}],"edges":[{"from":"a","to":"b"},{"from":"b","to":"a"}]}"#,
+            ),
+            "PROTO009",
+        ),
+        (
+            "self-loop workflow",
+            submit_workflow(
+                "x",
+                r#"{"nodes":[{"name":"a","procs":4,"secs":10.0}],"edges":[{"from":"a","to":"a"}]}"#,
+            ),
+            "PROTO009",
+        ),
+        (
+            "dangling workflow edge",
+            submit_workflow(
+                "x",
+                r#"{"nodes":[{"name":"a","procs":4,"secs":10.0}],"edges":[{"from":"a","to":"ghost"}]}"#,
+            ),
+            "PROTO009",
+        ),
+        (
+            "duplicate workflow node name",
+            submit_workflow(
+                "x",
+                r#"{"nodes":[{"name":"a","procs":4,"secs":10.0},{"name":"a","procs":4,"secs":10.0}]}"#,
+            ),
+            "PROTO009",
+        ),
+        (
+            "empty workflow preset shape",
+            submit_workflow("x", r#"{"preset":{"ns":0,"nm":12}}"#),
+            "PROTO009",
+        ),
+        (
+            "workflow spec missing nodes",
+            submit_workflow("x", r#"{"tasks":[]}"#),
+            "PROTO003",
+        ),
+        (
+            "general workflow out of service scope",
+            submit_workflow(
+                "x",
+                r#"{"nodes":[{"name":"a","min_procs":4,"max_procs":11,"secs":"main"},{"name":"b","min_procs":4,"max_procs":11,"secs":"main"}],"edges":[{"from":"a","to":"b"}]}"#,
+            ),
+            "PROTO003",
         ),
         // Admission-layer rejections (OA.../CT...): the request is
         // well-formed but the campaign is inadmissible; codes are the
