@@ -15,6 +15,16 @@
 //! `--smoke` is the CI gate: the NM = 18000 fused point only, asserting
 //! that the fast-forward actually engaged and skipped cycles within a
 //! generous wall-clock budget.
+//!
+//! `--batch-smoke` gates the mass-batch engine: a 2000-variant Monte
+//! Carlo sweep must agree with the naive per-variant loop bitwise
+//! (checksums) and beat it by a comfortable margin even on a loaded
+//! runner.
+//!
+//! The full run also records the batch engine's campaigns/sec against
+//! the naive loop at 10³ and 10⁴ variants (single-fault Monte Carlo at
+//! the reference shape, one core); pass `--big` to add the 10⁵ point
+//! (the naive baseline alone takes ~90 s there).
 
 use std::time::Instant;
 
@@ -23,6 +33,7 @@ use oa_platform::presets::reference_cluster;
 use oa_sched::heuristics::Heuristic;
 use oa_sched::params::Instance;
 use oa_sched::policy::{CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy};
+use oa_sim::batch::{run_batch, run_naive, BatchSpec};
 use oa_sim::engine::{simulate_campaign_kernel, KernelOpts, KernelReport};
 use oa_trace::NullTracer;
 use serde::Value;
@@ -64,9 +75,58 @@ fn time_config(
     (best, report)
 }
 
+/// Best-of-N wall-clock of one sweep; the returned report is the last
+/// run's (identical across repetitions — the sweep is deterministic).
+fn time_sweep(
+    spec: &BatchSpec,
+    pool: &oa_par::Pool,
+    share: bool,
+    reps: usize,
+) -> (f64, oa_sim::batch::BatchReport) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let rep = if share {
+            run_batch(spec, pool)
+        } else {
+            run_naive(spec, pool)
+        }
+        .expect("reference sweeps are valid");
+        best = best.min(t.elapsed().as_secs_f64());
+        report = Some(rep);
+    }
+    (best, report.expect("reps >= 1"))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let batch_smoke = std::env::args().any(|a| a == "--batch-smoke");
+    let big = std::env::args().any(|a| a == "--big");
     let table = reference_cluster(R).timing;
+
+    if batch_smoke {
+        // CI gate: the mass-batch engine must agree with the naive
+        // loop bitwise and beat it clearly, even on a loaded runner.
+        let spec = BatchSpec::reference_mc(2_000, 42);
+        let pool = oa_par::Pool::serial();
+        let (batch_secs, batch) = time_sweep(&spec, &pool, true, 1);
+        let (naive_secs, naive) = time_sweep(&spec, &pool, false, 1);
+        let (bs, ns) = (batch.summary(), naive.summary());
+        assert_eq!(bs.checksum, ns.checksum, "batch/naive outcomes diverge");
+        assert_eq!(batch.heads, 1, "the reference shape must share a head");
+        let speedup = naive_secs / batch_secs;
+        assert!(
+            speedup > 3.0,
+            "batch engine only {speedup:.1}x over naive (expected >3x even loaded)"
+        );
+        println!(
+            "batch smoke ok: 2000 variants, batch {batch_secs:.3}s vs naive {naive_secs:.3}s \
+             ({speedup:.1}x), checksum {}",
+            bs.checksum
+        );
+        return;
+    }
 
     if smoke {
         // CI gate: the big fused point must fast-forward and finish
@@ -138,6 +198,13 @@ fn main() {
                 reps,
             );
             let speedup = base / fast;
+            // The post-skip column only exists at fused granularity:
+            // the unfused drain replays the recorded chain with no
+            // fast-forward wiring, so its counter is structurally
+            // zero — printing (or recording) it would read as "the
+            // kernel found nothing to skip" when there is nothing to
+            // look for (see DESIGN.md, "Unfused post phase").
+            let fused = granularity == Granularity::Fused;
             println!(
                 "{:>8} {:>9} {:>13.5}s {:>11.5}s {:>8.2}x {:>13} {:>13}",
                 granularity.label(),
@@ -146,26 +213,33 @@ fn main() {
                 fast,
                 speedup,
                 rep.main_cycles_skipped,
-                rep.post_cycles_skipped
+                if fused {
+                    rep.post_cycles_skipped.to_string()
+                } else {
+                    "—".into()
+                }
             );
+            let mut fields = vec![
+                ("granularity".into(), Value::Str(granularity.label().into())),
+                ("nm".into(), Value::U64(u64::from(nm))),
+                ("event_by_event_secs".into(), Value::F64(base)),
+                ("kernel_secs".into(), Value::F64(fast)),
+                ("speedup".into(), Value::F64(speedup)),
+                ("integer_time".into(), Value::Bool(rep.integer_time)),
+                (
+                    "main_cycles_skipped".into(),
+                    Value::U64(rep.main_cycles_skipped),
+                ),
+            ];
+            if fused {
+                fields.push((
+                    "post_cycles_skipped".into(),
+                    Value::U64(rep.post_cycles_skipped),
+                ));
+            }
             entries.push((
                 format!("{}_nm{}", granularity.label(), nm),
-                Value::Object(vec![
-                    ("granularity".into(), Value::Str(granularity.label().into())),
-                    ("nm".into(), Value::U64(u64::from(nm))),
-                    ("event_by_event_secs".into(), Value::F64(base)),
-                    ("kernel_secs".into(), Value::F64(fast)),
-                    ("speedup".into(), Value::F64(speedup)),
-                    ("integer_time".into(), Value::Bool(rep.integer_time)),
-                    (
-                        "main_cycles_skipped".into(),
-                        Value::U64(rep.main_cycles_skipped),
-                    ),
-                    (
-                        "post_cycles_skipped".into(),
-                        Value::U64(rep.post_cycles_skipped),
-                    ),
-                ]),
+                Value::Object(fields),
             ));
         }
     }
@@ -215,6 +289,53 @@ fn main() {
                 ("critical_path_secs".into(), Value::F64(cp)),
             ]),
         ));
+    }
+
+    // The mass-batch variant engine against the naive per-variant
+    // loop: single-fault Monte Carlo sweeps at the reference shape
+    // (NS = 10, NM = 1800, R = 53, basic 7×7 grouping), one core —
+    // the acceptance configuration of the batch engine.
+    {
+        println!("\n== Mass-batch variant engine: campaigns/sec vs the naive loop (one core) ==");
+        println!(
+            "{:>9} {:>11} {:>11} {:>13} {:>13} {:>9} {:>18}",
+            "variants", "naive", "batch", "naive c/s", "batch c/s", "speedup", "checksum"
+        );
+        let pool = oa_par::Pool::serial();
+        let mut counts = vec![1_000u64, 10_000];
+        if big {
+            counts.push(100_000);
+        }
+        for n in counts {
+            let spec = BatchSpec::reference_mc(n, 42);
+            let reps = if n >= 10_000 { 1 } else { 3 };
+            let (batch_secs, batch) = time_sweep(&spec, &pool, true, reps);
+            let (naive_secs, naive) = time_sweep(&spec, &pool, false, reps);
+            let (bs, ns) = (batch.summary(), naive.summary());
+            assert_eq!(bs.checksum, ns.checksum, "batch/naive outcomes diverge");
+            let speedup = naive_secs / batch_secs;
+            let (ncs, bcs) = (n as f64 / naive_secs, n as f64 / batch_secs);
+            println!(
+                "{n:>9} {naive_secs:>10.3}s {batch_secs:>10.3}s {ncs:>13.0} {bcs:>13.0} \
+                 {speedup:>8.1}x {:>18}",
+                bs.checksum
+            );
+            entries.push((
+                format!("batch_mc{n}"),
+                Value::Object(vec![
+                    ("variants".into(), Value::U64(n)),
+                    ("max_faults".into(), Value::U64(1)),
+                    ("nm".into(), Value::U64(1800)),
+                    ("naive_secs".into(), Value::F64(naive_secs)),
+                    ("batch_secs".into(), Value::F64(batch_secs)),
+                    ("naive_campaigns_per_sec".into(), Value::F64(ncs)),
+                    ("batch_campaigns_per_sec".into(), Value::F64(bcs)),
+                    ("speedup".into(), Value::F64(speedup)),
+                    ("heads".into(), Value::U64(batch.heads as u64)),
+                    ("checksum".into(), Value::Str(bs.checksum)),
+                ]),
+            ));
+        }
     }
 
     // Merge by key into the wall-clock history.

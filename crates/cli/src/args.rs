@@ -65,6 +65,7 @@ impl std::error::Error for ArgError {}
 /// Switch-style flags (no value).
 const SWITCHES: &[&str] = &[
     "per-proc", "staging", "json", "all", "fused", "rules", "unfused", "matrix", "pipe", "dot",
+    "naive",
 ];
 
 /// Commands that take a second positional verb (`oa trace export`).

@@ -88,6 +88,12 @@ COMMANDS
             preset meshes run the legacy engine byte-identically, any
             other DAG runs the generic IR engine; --dot prints the IR
             as Graphviz instead of simulating
+            [--batch SPEC.json] [--naive]
+            --batch runs a mass-batch variant sweep (parameter grid ×
+            Monte Carlo fault plans) with cross-variant sharing;
+            --naive disables the sharing (baseline); every field of
+            the spec is optional (defaults: the 10^4-variant
+            reference sweep)
   analyze   statically verify a campaign: DAG, grouping, schedule and
             platform rules (OA001..OA018); exits nonzero on errors
             --ns N --nm N --r N --cluster NAME --heuristic H [--json]
@@ -328,6 +334,80 @@ fn sim_general(
     ))
 }
 
+/// `oa sim --batch spec.json`: the mass-batch variant engine.
+fn sim_batch(args: &Args, path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Domain(format!("cannot read {path}: {e}")))?;
+    let value: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| CliError::Domain(format!("{path} is not JSON: {e}")))?;
+    let spec = BatchSpec::from_json(&value).map_err(|e| CliError::Domain(e.to_string()))?;
+    let pool = pool_of(args)?;
+    let naive = args.switch("naive");
+    let report = if naive {
+        run_naive(&spec, &pool)
+    } else {
+        run_batch(&spec, &pool)
+    }
+    .map_err(|e| CliError::Domain(e.to_string()))?;
+    let s = report.summary();
+    if args.switch("json") {
+        #[derive(serde::Serialize)]
+        struct BatchCliReport {
+            engine: String,
+            shapes: u64,
+            heads: u64,
+            memo: MemoStats,
+            summary: SweepSummary,
+        }
+        let doc = BatchCliReport {
+            engine: if naive { "naive" } else { "batch" }.to_string(),
+            shapes: report.shapes as u64,
+            heads: report.heads as u64,
+            memo: report.memo,
+            summary: s,
+        };
+        let mut json = serde_json::to_string_pretty(&doc).expect("sweep reports serialize");
+        json.push('\n');
+        return Ok(json);
+    }
+    let mut out = format!(
+        "batch sweep {path}: {} shape(s), {} variant(s)\n\
+         engine: {}, {} shared head(s), {} jobs\n\
+         completed {}, stranded {}\n",
+        report.shapes,
+        s.variants,
+        if naive {
+            "naive per-variant loop"
+        } else {
+            "cross-variant sharing"
+        },
+        report.heads,
+        pool.jobs(),
+        s.completed,
+        s.stranded,
+    );
+    if s.completed > 0 {
+        out.push_str(&format!(
+            "makespan min/mean/max: {:.1} / {:.1} / {:.1} h\n",
+            s.makespan_min / 3600.0,
+            s.makespan_mean / 3600.0,
+            s.makespan_max / 3600.0,
+        ));
+    }
+    out.push_str(&format!(
+        "damage: {} month(s) lost, {:.0} proc·s destroyed\n\
+         memo: {} hit(s), {} miss(es), {} DP build(s)\n\
+         checksum {}\n",
+        s.months_lost_total,
+        s.lost_proc_secs_total,
+        report.memo.hits,
+        report.memo.misses,
+        report.memo.dp_builds,
+        s.checksum,
+    ));
+    Ok(out)
+}
+
 fn sim_cmd(args: &Args) -> Result<String, CliError> {
     args.check_known(&[
         "ns",
@@ -343,7 +423,12 @@ fn sim_cmd(args: &Args) -> Result<String, CliError> {
         "json",
         "workflow",
         "dot",
+        "batch",
+        "naive",
     ])?;
+    if let Some(path) = args.str_opt("batch") {
+        return sim_batch(args, path);
+    }
     let mut ns = args.u32_or("ns", 10)?;
     let mut nm = args.u32_or("nm", 120)?;
     let r = args.u32_or("r", 53)?;
@@ -1324,6 +1409,38 @@ mod tests {
         ])
         .unwrap();
         assert!(json.contains("\"makespan\""), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// `--batch` runs the mass-batch sweep; `--naive` replays it
+    /// variant by variant with the same checksum (the bitwise
+    /// invariant, surfaced at the CLI level).
+    #[test]
+    fn sim_batch_runs_sweeps_and_naive_agrees() {
+        let path = std::env::temp_dir().join("oa-cli-batch-test.json");
+        std::fs::write(
+            &path,
+            r#"{"r": 30, "ns": 4, "nm": 40, "variants": 24, "max_faults": 2, "seed": 5}"#,
+        )
+        .unwrap();
+        let p = path.to_str().unwrap();
+        let out = oa(&["sim", "--batch", p]).unwrap();
+        assert!(out.contains("1 shape(s), 24 variant(s)"), "{out}");
+        assert!(out.contains("cross-variant sharing"), "{out}");
+        let naive = oa(&["sim", "--batch", p, "--naive"]).unwrap();
+        assert!(naive.contains("naive per-variant loop"), "{naive}");
+        let sum = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("checksum"))
+                .map(str::to_string)
+        };
+        assert_eq!(sum(&out), sum(&naive), "batch/naive checksums differ");
+        let json = oa(&["sim", "--batch", p, "--json"]).unwrap();
+        assert!(json.contains("\"checksum\""), "{json}");
+        assert!(json.contains("\"engine\": \"batch\""), "{json}");
+        // Bad specs fail as domain errors, not panics.
+        std::fs::write(&path, r#"{"variants": 0}"#).unwrap();
+        assert!(oa(&["sim", "--batch", p]).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -23,6 +23,10 @@
 //! * [`ir_plan`] — grouping/G-selection over the generalized workflow
 //!   IR: preset meshes plan exactly like their legacy instance, general
 //!   DAGs reduce to an equivalent `(NS, NM, R)` via moldable width;
+//! * [`memo`] — the cross-variant planning memo: retained knapsack DP
+//!   tables and a makespan cache keyed by timing fingerprint, bitwise
+//!   equal to the uncached heuristics (the pricing core of mass-batch
+//!   sweeps and `oa-service` `ClusterJoin`);
 //! * [`policy`] — campaign policy knobs shared by every event loop:
 //!   scenario-selection queues, task granularity, fault plans and
 //!   recovery models (the configuration of `oa-sim::engine`);
@@ -58,6 +62,7 @@ pub mod hetero;
 pub mod heuristics;
 pub mod incremental;
 pub mod ir_plan;
+pub mod memo;
 pub mod params;
 pub mod policy;
 pub mod time;
@@ -78,6 +83,7 @@ pub mod prelude {
     pub use crate::ir_plan::{
         equivalent_instance, moldable_width, plan_workflow, PlanError, WorkflowPlan,
     };
+    pub use crate::memo::{table_fingerprint, MemoStats, PlanMemo};
     pub use crate::params::Instance;
     pub use crate::policy::{
         CampaignConfig, FaultPlan, Granularity, Recovery, ScenarioPolicy, ScenarioQueue,
@@ -170,6 +176,40 @@ mod proptests {
                 Heuristic::Knapsack.makespan(big, &table),
             ) {
                 prop_assert!(b + 1e-9 >= a);
+            }
+        }
+
+        #[test]
+        fn memoized_planning_is_bitwise_uncached((inst, table) in (arb_instance(), arb_table())) {
+            // The planning-memo invariant: groupings and performance
+            // vectors answered from the retained DP table and the
+            // makespan cache equal the uncached heuristic bitwise,
+            // regardless of query history.
+            let mut memo = crate::memo::PlanMemo::new();
+            let pool = oa_par::Pool::serial();
+            for _ in 0..2 { // second lap replays from the cache
+                prop_assert_eq!(
+                    memo.knapsack_grouping(inst, &table),
+                    Heuristic::Knapsack.grouping(inst, &table)
+                );
+                for h in [Heuristic::Knapsack, Heuristic::Basic] {
+                    let id = oa_platform::cluster::ClusterId(1);
+                    let want = crate::hetero::performance_vector_with(
+                        id, inst.r, &table, h, inst.ns, inst.nm, &pool);
+                    let got = memo.performance_vector(
+                        id, inst.r, &table, h, inst.ns, inst.nm, &pool);
+                    let wb: Vec<u64> = want.makespans.iter().map(|m| m.to_bits()).collect();
+                    let gb: Vec<u64> = got.makespans.iter().map(|m| m.to_bits()).collect();
+                    prop_assert_eq!(gb, wb);
+                }
+            }
+            // ±1-delta neighbours ride (or grow) the same table.
+            for r in [inst.r.saturating_sub(1).max(4), inst.r + 1] {
+                let d = Instance::new(inst.ns, inst.nm, r);
+                prop_assert_eq!(
+                    memo.knapsack_grouping(d, &table),
+                    Heuristic::Knapsack.grouping(d, &table)
+                );
             }
         }
 

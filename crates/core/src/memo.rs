@@ -1,0 +1,350 @@
+//! Cross-variant planning memo: knapsack solutions and G-selection
+//! scans cached across `(cluster table, R, capacity)` keys.
+//!
+//! Mass-batch studies (and the service's `ClusterJoin` pricing) solve
+//! the *same* planning instances over and over: a performance vector
+//! prices `1..=capacity` scenario counts against one timing table, a
+//! parameter grid re-asks neighbouring `(R, NS)` cells, and every new
+//! cluster with the same hardware profile repeats all of it. Two layers
+//! of sharing remove the redundancy without changing a single bit:
+//!
+//! 1. **A retained knapsack table per timing fingerprint** —
+//!    [`oa_knapsack::DpTable`] runs the exact bounded-cardinality DP
+//!    once over the full `(R, saturated-NS)` rectangle; every
+//!    sub-instance (±1-delta neighbours included) is then answered by
+//!    O(kinds) reconstruction. The table's equality contract makes the
+//!    reconstructed selection bitwise-identical to the per-instance
+//!    `solve_dp` the heuristic would have run.
+//! 2. **A makespan cache keyed `(fingerprint, heuristic, R, NS, NM)`**
+//!    — each entry is a pure function of its key, so cache hits are
+//!    bitwise replays regardless of query history or job count.
+//!
+//! Determinism: both maps are `BTreeMap`s, population order never
+//! affects values (pure keys), and [`PlanMemo::performance_vector`]
+//! stitches results back in scenario-count order exactly like
+//! [`crate::hetero::performance_vector_with`].
+
+use std::collections::BTreeMap;
+
+use oa_knapsack::{DpTable, Item};
+use oa_par::Pool;
+use oa_platform::cluster::ClusterId;
+use oa_platform::timing::TimingTable;
+use oa_workflow::moldable::MoldableSpec;
+
+use crate::estimate::estimate;
+use crate::grouping::Grouping;
+use crate::hetero::PerformanceVector;
+use crate::heuristics::{Heuristic, HeuristicError};
+use crate::params::Instance;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A collision-free-in-practice identity for a timing table: FNV-1a
+/// over the bit patterns of the eight main durations and the post
+/// duration. Tables that hash alike plan alike — every planning
+/// decision reads the table only through these nine numbers.
+#[must_use]
+pub fn table_fingerprint(table: &TimingTable) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut eat = |v: f64| {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for &m in table.main_array() {
+        eat(m);
+    }
+    eat(table.post_secs());
+    h
+}
+
+/// Hit/miss counters of a [`PlanMemo`]; observability only — they
+/// never feed back into any planning decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct MemoStats {
+    /// Makespan queries answered from the cache.
+    pub hits: u64,
+    /// Makespan queries that had to be computed.
+    pub misses: u64,
+    /// Retained DP tables built (one per fingerprint × capacity bump).
+    pub dp_builds: u64,
+}
+
+/// Cache key: `(table fingerprint, heuristic, R, NS, NM)`.
+type MakespanKey = (u64, u8, u32, u32, u32);
+
+fn heuristic_tag(h: Heuristic) -> u8 {
+    match h {
+        Heuristic::Basic => 0,
+        Heuristic::RedistributeIdle => 1,
+        Heuristic::NoPostReservation => 2,
+        Heuristic::Knapsack => 3,
+        Heuristic::KnapsackGreedy => 4,
+        Heuristic::Balanced => 5,
+    }
+}
+
+/// The planning memo. One instance is typically owned by a service
+/// daemon or a batch executor and shared across every variant/cluster
+/// it plans for.
+#[derive(Debug, Default)]
+pub struct PlanMemo {
+    /// Retained knapsack DP tables, keyed by timing fingerprint.
+    dp: BTreeMap<u64, DpTable>,
+    /// Makespan cache; values are `f64` bit patterns (`+∞` encodes
+    /// "priced out": the cluster cannot run that many scenarios).
+    makespans: BTreeMap<MakespanKey, u64>,
+    stats: MemoStats,
+}
+
+impl PlanMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters since construction (or the last [`PlanMemo::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Zeroes the hit/miss counters without dropping any cached work.
+    pub fn reset_stats(&mut self) {
+        self.stats = MemoStats::default();
+    }
+
+    /// Ensures the retained DP table for `table` covers at least
+    /// `resources` capacity, (re)building it if not. The cardinality
+    /// axis is built at its saturation point `capacity / min_cost`, so
+    /// any `NS` can be answered via the clamp.
+    fn ensure_dp(&mut self, fp: u64, table: &TimingTable, resources: u32) {
+        let needs_build = match self.dp.get(&fp) {
+            Some(t) => t.capacity() < resources,
+            None => true,
+        };
+        if needs_build {
+            let cap = resources.max(self.dp.get(&fp).map_or(0, DpTable::capacity));
+            let spec = MoldableSpec::pcr();
+            let min_cost = spec.allocations().min().expect("spec is non-empty");
+            let card = cap / min_cost;
+            let items: Vec<Item> = spec
+                .allocations()
+                .map(|g| Item::new(g, 1.0 / table.main_secs(g), card.max(1)))
+                .collect();
+            self.dp.insert(fp, DpTable::build(items, cap, card));
+            self.stats.dp_builds += 1;
+        }
+    }
+
+    /// The knapsack heuristic's grouping for `inst`, answered from the
+    /// retained DP table — bitwise-identical to
+    /// `Heuristic::Knapsack.grouping(inst, table)`.
+    pub fn knapsack_grouping(
+        &mut self,
+        inst: Instance,
+        table: &TimingTable,
+    ) -> Result<Grouping, HeuristicError> {
+        let fp = table_fingerprint(table);
+        self.ensure_dp(fp, table, inst.r);
+        let dp = self.dp.get(&fp).expect("ensured above");
+        knapsack_grouping_from(dp, inst)
+    }
+
+    /// The heuristic's makespan for `inst` (`+∞` when the cluster is
+    /// priced out), through the cache. Hits replay the stored bits;
+    /// misses compute exactly what
+    /// [`Heuristic::makespan`] would and remember it.
+    pub fn makespan(&mut self, heuristic: Heuristic, inst: Instance, table: &TimingTable) -> f64 {
+        let fp = table_fingerprint(table);
+        let key = (fp, heuristic_tag(heuristic), inst.r, inst.ns, inst.nm);
+        if let Some(&bits) = self.makespans.get(&key) {
+            self.stats.hits += 1;
+            return f64::from_bits(bits);
+        }
+        self.stats.misses += 1;
+        let ms = if heuristic == Heuristic::Knapsack {
+            self.ensure_dp(fp, table, inst.r);
+            let dp = self.dp.get(&fp).expect("ensured above");
+            knapsack_makespan_from(dp, inst, table)
+        } else {
+            heuristic.makespan(inst, table).unwrap_or(f64::INFINITY)
+        };
+        self.makespans.insert(key, ms.to_bits());
+        ms
+    }
+
+    /// The cluster's performance vector through the memo: cached
+    /// scenario counts replay their bits, the missing counts fan out on
+    /// `pool` and are stitched back in count order. Bitwise-identical
+    /// to [`crate::hetero::performance_vector_with`] for any query
+    /// history and any job count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn performance_vector(
+        &mut self,
+        cluster: ClusterId,
+        resources: u32,
+        table: &TimingTable,
+        heuristic: Heuristic,
+        ns: u32,
+        nm: u32,
+        pool: &Pool,
+    ) -> PerformanceVector {
+        let fp = table_fingerprint(table);
+        let tag = heuristic_tag(heuristic);
+        let misses: Vec<u32> = (1..=ns)
+            .filter(|&k| !self.makespans.contains_key(&(fp, tag, resources, k, nm)))
+            .collect();
+        self.stats.hits += u64::from(ns) - misses.len() as u64;
+        self.stats.misses += misses.len() as u64;
+        if !misses.is_empty() {
+            if heuristic == Heuristic::Knapsack {
+                self.ensure_dp(fp, table, resources);
+            }
+            let dp = (heuristic == Heuristic::Knapsack).then(|| &self.dp[&fp]);
+            let computed = pool.par_map(&misses, |&k| {
+                let inst = Instance::new(k, nm, resources);
+                match dp {
+                    Some(dp) => knapsack_makespan_from(dp, inst, table),
+                    None => heuristic.makespan(inst, table).unwrap_or(f64::INFINITY),
+                }
+            });
+            for (&k, &ms) in misses.iter().zip(&computed) {
+                self.makespans
+                    .insert((fp, tag, resources, k, nm), ms.to_bits());
+            }
+        }
+        let makespans = (1..=ns)
+            .map(|k| f64::from_bits(self.makespans[&(fp, tag, resources, k, nm)]))
+            .collect();
+        PerformanceVector { cluster, makespans }
+    }
+}
+
+/// Grouping reconstruction from a retained DP table — the memoized
+/// mirror of the private `knapsack` heuristic in
+/// [`crate::heuristics`], kept in lockstep with it.
+fn knapsack_grouping_from(dp: &DpTable, inst: Instance) -> Result<Grouping, HeuristicError> {
+    let spec = MoldableSpec::pcr();
+    let sol = dp.solve_clamped(inst.r, inst.ns);
+    let mut groups = Vec::with_capacity(sol.copies as usize);
+    for (i, &n) in sol.counts.iter().enumerate() {
+        let g = spec.allocation_at(i).expect("items follow the spec");
+        groups.extend(std::iter::repeat_n(g, n as usize));
+    }
+    if groups.is_empty() {
+        return Err(HeuristicError::ClusterTooSmall { resources: inst.r });
+    }
+    let post = inst.r - sol.cost;
+    Ok(Grouping::new(groups, post))
+}
+
+/// `Heuristic::Knapsack.makespan` via the retained table (`+∞` when
+/// the cluster is priced out).
+fn knapsack_makespan_from(dp: &DpTable, inst: Instance, table: &TimingTable) -> f64 {
+    match knapsack_grouping_from(dp, inst) {
+        Ok(g) => {
+            estimate(inst, table, &g)
+                .expect("heuristics construct valid groupings")
+                .makespan
+        }
+        Err(_) => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hetero::performance_vector_with;
+    use oa_platform::speedup::PcrModel;
+
+    fn table() -> TimingTable {
+        PcrModel::reference().table(1.0).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_tables() {
+        let a = table();
+        let b = PcrModel::reference().table(2.0).unwrap();
+        assert_ne!(table_fingerprint(&a), table_fingerprint(&b));
+        assert_eq!(table_fingerprint(&a), table_fingerprint(&table()));
+    }
+
+    #[test]
+    fn memo_grouping_matches_heuristic() {
+        let t = table();
+        let mut memo = PlanMemo::new();
+        for r in [4u32, 11, 23, 53, 100, 256] {
+            for ns in [1u32, 3, 10, 17] {
+                let inst = Instance::new(ns, 1800, r);
+                assert_eq!(
+                    memo.knapsack_grouping(inst, &t),
+                    Heuristic::Knapsack.grouping(inst, &t),
+                    "r={r} ns={ns}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memo_vector_matches_plain_bitwise() {
+        let t = table();
+        let pool = Pool::serial();
+        let mut memo = PlanMemo::new();
+        for h in [Heuristic::Knapsack, Heuristic::Basic, Heuristic::Balanced] {
+            for r in [16u32, 53, 128] {
+                let want = performance_vector_with(ClusterId(7), r, &t, h, 24, 60, &pool);
+                let got = memo.performance_vector(ClusterId(7), r, &t, h, 24, 60, &pool);
+                assert_eq!(got.cluster, want.cluster);
+                let wb: Vec<u64> = want.makespans.iter().map(|m| m.to_bits()).collect();
+                let gb: Vec<u64> = got.makespans.iter().map(|m| m.to_bits()).collect();
+                assert_eq!(gb, wb, "{h:?} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn hits_replay_and_capacity_grows() {
+        let t = table();
+        let pool = Pool::serial();
+        let mut memo = PlanMemo::new();
+        let first =
+            memo.performance_vector(ClusterId(1), 53, &t, Heuristic::Knapsack, 10, 60, &pool);
+        let s0 = memo.stats();
+        assert_eq!(s0.misses, 10);
+        assert_eq!(s0.dp_builds, 1);
+        // Same query: pure hits, identical bits.
+        let again =
+            memo.performance_vector(ClusterId(1), 53, &t, Heuristic::Knapsack, 10, 60, &pool);
+        assert_eq!(memo.stats().hits, s0.hits + 10);
+        assert_eq!(again, first);
+        // ±1-delta capacity reuse: R = 52 and 54; 54 forces a rebuild,
+        // 52 rides the table — both still match the plain path bitwise.
+        for r in [52u32, 54, 53] {
+            let want =
+                performance_vector_with(ClusterId(1), r, &t, Heuristic::Knapsack, 10, 60, &pool);
+            let got =
+                memo.performance_vector(ClusterId(1), r, &t, Heuristic::Knapsack, 10, 60, &pool);
+            assert_eq!(got, want, "r={r}");
+        }
+        assert_eq!(memo.stats().dp_builds, 2);
+    }
+
+    #[test]
+    fn too_small_cluster_prices_out() {
+        let t = table();
+        let mut memo = PlanMemo::new();
+        let inst = Instance::new(2, 12, 3);
+        assert_eq!(
+            memo.knapsack_grouping(inst, &t),
+            Err(HeuristicError::ClusterTooSmall { resources: 3 })
+        );
+        assert_eq!(memo.makespan(Heuristic::Knapsack, inst, &t), f64::INFINITY);
+    }
+}

@@ -37,7 +37,7 @@ pub mod problem;
 
 pub use branch_bound::solve_branch_bound;
 pub use brute::brute_force;
-pub use dp::solve_dp;
+pub use dp::{solve_dp, DpTable};
 pub use greedy::solve_greedy;
 pub use problem::{Item, Problem, Solution};
 
@@ -84,6 +84,30 @@ mod proptests {
             let d = solve_dp(&p);
             let g = solve_greedy(&p);
             prop_assert!(g.value <= d.value + 1e-9 * (1.0 + d.value.abs()));
+        }
+
+        #[test]
+        fn retained_table_matches_solve_dp(
+            items in proptest::collection::vec(
+                (1u32..=9, 0.0f64..10.0).prop_map(|(c, v)| Item::new(c, v, 1000)),
+                0..5,
+            ),
+            cap in 0u32..=30,
+            queries in proptest::collection::vec((0u32..=30, 0u32..=12), 1..8),
+        ) {
+            // Unconstrained per-item bounds: the DpTable equality
+            // contract then covers every sub-instance bitwise.
+            let card = items.iter().map(|it| cap / it.cost).max().unwrap_or(0).min(cap);
+            let table = DpTable::build(items.clone(), cap, card);
+            for (c, k) in queries {
+                let c = c.min(cap);
+                let want = solve_dp(&Problem::new(items.clone(), c, k));
+                let got = table.solve_clamped(c, k);
+                prop_assert_eq!(&got.counts, &want.counts);
+                prop_assert_eq!(got.value.to_bits(), want.value.to_bits());
+                prop_assert_eq!(got.cost, want.cost);
+                prop_assert_eq!(got.copies, want.copies);
+            }
         }
 
         #[test]

@@ -30,11 +30,12 @@ use oa_middleware::protocol::{CampaignReport, ExecReport, ProtocolEvent, PROTOCO
 use oa_par::Pool;
 use oa_platform::cluster::{Cluster, ClusterId};
 use oa_platform::presets::{preset_cluster, reference_cluster, PRESET_CLUSTERS};
-use oa_sched::hetero::performance_vector_with;
 use oa_sched::heuristics::Heuristic;
 use oa_sched::incremental::IncrementalRepartition;
+use oa_sched::memo::PlanMemo;
 use oa_sched::params::Instance;
 use oa_sched::policy::FaultPlan;
+use oa_sim::batch::{run_batch_with, BatchSpec};
 use oa_sim::driver::{SessionDriver, SessionState};
 use oa_trace::metrics::{self, MetricsRegistry};
 use oa_workflow::ir::{recognize, IrClass, SpecError};
@@ -177,6 +178,9 @@ pub struct Service {
     /// Session name → index in `sessions`.
     index: BTreeMap<String, usize>,
     next_seq: u64,
+    /// The planning memo: knapsack DP tables and makespan scans shared
+    /// by `ClusterJoin` pricing and `VariantSweep` execution.
+    memo: PlanMemo,
     metrics: MetricsRegistry,
     shut_down: bool,
     admitted_total: u64,
@@ -197,6 +201,7 @@ impl Service {
             sessions: Vec::new(),
             index: BTreeMap::new(),
             next_seq: 1,
+            memo: PlanMemo::new(),
             metrics: MetricsRegistry::new(),
             shut_down: false,
             admitted_total: 0,
@@ -290,6 +295,7 @@ impl Service {
             } => self.submit_workflow(
                 &session, &workflow, &heuristic, &policy, &recovery, &kills, deadline,
             ),
+            Request::VariantSweep { spec } => self.variant_sweep(&spec),
             Request::Status { session } => self.status(&session),
             Request::Advance { to } => self.advance(to),
             Request::Drain {} => self.drain(),
@@ -367,7 +373,7 @@ impl Service {
         let cluster = Cluster::new(name, resources, template.timing);
         let id = self.next_cluster_id;
         self.next_cluster_id += 1;
-        let vector = performance_vector_with(
+        let vector = self.memo.performance_vector(
             ClusterId(id),
             resources,
             &cluster.timing,
@@ -736,6 +742,41 @@ impl Service {
         }
     }
 
+    /// Runs a mass-batch variant sweep through the daemon's planning
+    /// memo and worker pool. The sweep is clock-free — it neither
+    /// creates a session nor advances virtual time — and its answer
+    /// is bitwise-deterministic at every `--jobs` setting, so sweep
+    /// lines in a scripted transcript replay byte-identically.
+    fn variant_sweep(&mut self, spec: &serde::Value) -> Vec<Response> {
+        let spec = match BatchSpec::from_json(spec) {
+            Ok(spec) => spec,
+            Err(e) => return Self::error(codes::BAD_SWEEP, e.to_string()),
+        };
+        let report = match run_batch_with(&spec, &self.pool, &mut self.memo) {
+            Ok(report) => report,
+            Err(e) => return Self::error(codes::BAD_SWEEP, e.to_string()),
+        };
+        let s = report.summary();
+        self.metrics
+            .add(metrics::keys::SWEEP_VARIANTS_TOTAL, s.variants as f64);
+        vec![Response::SweepReport {
+            variants: s.variants,
+            completed: s.completed,
+            stranded: s.stranded,
+            shapes: report.shapes as u64,
+            heads: report.heads as u64,
+            makespan_min: s.makespan_min,
+            makespan_max: s.makespan_max,
+            makespan_mean: s.makespan_mean,
+            months_lost_total: s.months_lost_total,
+            lost_proc_secs_total: s.lost_proc_secs_total,
+            checksum: s.checksum,
+            memo_hits: report.memo.hits,
+            memo_misses: report.memo.misses,
+            memo_dp_builds: report.memo.dp_builds,
+        }]
+    }
+
     fn status(&self, session: &str) -> Vec<Response> {
         let Some(&idx) = self.index.get(session) else {
             return Self::error(codes::UNKNOWN_ID, format!("unknown session {session:?}"));
@@ -1099,6 +1140,53 @@ mod tests {
             ..Default::default()
         };
         Service::new(cfg, 1)
+    }
+
+    /// `VariantSweep` answers a deterministic `SweepReport`, leaves
+    /// the virtual clock untouched, and replays byte-identically at
+    /// any worker count; invalid specs are refused with `PROTO010`.
+    #[test]
+    fn variant_sweep_is_deterministic_and_clock_free() {
+        let script = "{\"Hello\": {\"version\": 1}}\n\
+            {\"VariantSweep\": {\"spec\": {\"r\": 30, \"ns\": 4, \"nm\": 40, \
+             \"variants\": 32, \"max_faults\": 2, \"seed\": 9}}}\n\
+            {\"VariantSweep\": {\"spec\": {\"variants\": 0}}}\n";
+        let log1 = run_script(&mut small(), script);
+        let mut wide = Service::new(
+            ServiceConfig {
+                capacity: 16,
+                planning_nm: 12,
+                ..Default::default()
+            },
+            4,
+        );
+        let log4 = run_script(&mut wide, script);
+        assert_eq!(log1, log4, "sweep log varies with --jobs");
+        assert!(log1.contains("\"SweepReport\""), "log:\n{log1}");
+        assert!(log1.contains("\"variants\":32"));
+        assert!(log1.contains("\"checksum\""));
+        assert!(log1.contains("\"PROTO010\""));
+        // Clock-free: the sweep admitted nothing and moved nothing.
+        let mut s = small();
+        let _ = run_script(&mut s, script);
+        assert_eq!(s.now(), 0.0);
+    }
+
+    /// `ClusterJoin` pricing flows through the planning memo: joining
+    /// identical clusters replays cached vectors, and the plan is the
+    /// same as the uncached service's.
+    #[test]
+    fn cluster_join_pricing_replays_from_the_memo() {
+        let script = "{\"Hello\": {\"version\": 1}}\n\
+            {\"ClusterJoin\": {\"name\": \"a\", \"preset\": \"reference\", \"resources\": 53}}\n\
+            {\"ClusterJoin\": {\"name\": \"b\", \"preset\": \"reference\", \"resources\": 53}}\n\
+            {\"ClusterJoin\": {\"name\": \"c\", \"preset\": \"grillon\", \"resources\": 47}}\n";
+        let log = run_script(&mut small(), script);
+        assert_eq!(log.matches("\"ClusterUp\"").count(), 3, "log:\n{log}");
+        // Replaying the same joins yields a byte-identical plan: the
+        // memoized vectors are bitwise the uncached ones.
+        let replay = run_script(&mut small(), script);
+        assert_eq!(log, replay);
     }
 
     #[test]

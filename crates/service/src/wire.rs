@@ -51,6 +51,9 @@ pub mod codes {
     /// `SubmitWorkflow` carried a structurally malformed DAG: empty
     /// graph, cycle, dangling edge, or duplicate node name.
     pub const MALFORMED_WORKFLOW: &str = "PROTO009";
+    /// `VariantSweep` carried an invalid batch spec: unknown label,
+    /// empty axis, zero variant count, or an infeasible shape.
+    pub const BAD_SWEEP: &str = "PROTO010";
 
     /// Admission: the campaign shape is empty (`ns` or `nm` is zero).
     pub const EMPTY_CAMPAIGN: &str = "OA002";
@@ -150,6 +153,19 @@ pub enum Request {
         /// Virtual deadline, seconds; `0.0` for none.
         deadline: f64,
     },
+    /// Execute a mass-batch variant sweep (`oa_sim::batch`) and
+    /// return its deterministic aggregate. The sweep runs to
+    /// completion inside the request — it does not create a session
+    /// or touch the virtual clock — and prices its groupings through
+    /// the daemon's planning memo, so repeated sweeps over the same
+    /// timing rectangle replay their knapsack tables. Invalid specs
+    /// are refused with `PROTO010`.
+    VariantSweep {
+        /// The batch-spec document, same schema as `oa sim --batch`
+        /// (every field optional; defaults are the 10⁴-variant
+        /// reference Monte Carlo sweep).
+        spec: serde::Value,
+    },
     /// Query one session's state at the current virtual instant.
     Status {
         /// Session to query.
@@ -170,13 +186,14 @@ pub enum Request {
 }
 
 /// Request kind names, for unknown-message classification.
-pub const REQUEST_KINDS: [&str; 11] = [
+pub const REQUEST_KINDS: [&str; 12] = [
     "Hello",
     "ClusterJoin",
     "ClusterLeave",
     "ClusterFail",
     "Submit",
     "SubmitWorkflow",
+    "VariantSweep",
     "Status",
     "Advance",
     "Drain",
@@ -293,6 +310,40 @@ pub enum Response {
         portions: Vec<PortionInfo>,
         /// Months of work lost to the failure so far.
         months_lost: u32,
+    },
+    /// Answer to `VariantSweep`: the deterministic sweep aggregate.
+    /// The `checksum` fingerprints every variant outcome bitwise, so
+    /// two services given the same spec must answer byte-identically.
+    SweepReport {
+        /// Variants executed.
+        variants: u64,
+        /// Variants that completed.
+        completed: u64,
+        /// Variants stranded.
+        stranded: u64,
+        /// Grid shapes enumerated by the spec.
+        shapes: u64,
+        /// Shapes that qualified for a shared kernel head.
+        heads: u64,
+        /// Smallest completed makespan (0 when none completed).
+        makespan_min: f64,
+        /// Largest completed makespan (0 when none completed).
+        makespan_max: f64,
+        /// Mean completed makespan (0 when none completed).
+        makespan_mean: f64,
+        /// Total months lost across variants.
+        months_lost_total: u64,
+        /// Total crash losses, processor-seconds.
+        lost_proc_secs_total: f64,
+        /// FNV-1a fingerprint over every variant row, hex.
+        checksum: String,
+        /// Planning-memo makespan queries answered from cache.
+        memo_hits: u64,
+        /// Planning-memo makespan queries computed fresh.
+        memo_misses: u64,
+        /// Knapsack DP tables built for the sweep's shapes (reused
+        /// across variants and later identical joins).
+        memo_dp_builds: u64,
     },
     /// Answer to `Status`.
     State {
@@ -450,6 +501,9 @@ mod tests {
                 recovery: "checkpoint".into(),
                 kills: "".into(),
                 deadline: 0.0,
+            },
+            Request::VariantSweep {
+                spec: serde_json::from_str(r#"{"r": 30, "ns": 4, "variants": 8}"#).unwrap(),
             },
             Request::Drain {},
             Request::Shutdown {},

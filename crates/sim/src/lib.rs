@@ -15,6 +15,10 @@
 //!   `engine::KernelOpts`;
 //! * [`calendar`] — the O(1) integer-tick bucket queue backing the
 //!   kernel's busy set;
+//! * [`batch`] — the mass-batch variant engine: 10⁵–10⁶ Monte Carlo /
+//!   grid variants per run with cross-variant sharing (planning memo,
+//!   checkpoint-resume kernel heads, SoA result streaming), bitwise
+//!   identical to running each variant individually;
 //! * [`driver`] — session-resumable wrapper over the engine: one
 //!   simulation pinned to a virtual start instant, with any later
 //!   instant resolvable to a session state (the per-session backend
@@ -57,6 +61,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod calendar;
 pub mod driver;
 pub mod engine;
@@ -77,6 +82,10 @@ pub mod unfused;
 
 /// One-stop imports for downstream crates.
 pub mod prelude {
+    pub use crate::batch::{
+        expand_shapes, faults_for, run_batch, run_naive, BatchError, BatchReport, BatchSoA,
+        BatchSpec, ShapePlan, SweepSummary, VariantOut,
+    };
     pub use crate::driver::{SessionDriver, SessionState};
     pub use crate::engine::{
         kernel_eligibility, simulate_campaign, simulate_campaign_kernel, CampaignOutcome,

@@ -67,6 +67,8 @@ pub mod keys {
     /// (completion processing and rebalances; harness-fed, like
     /// [`ADMIT_LATENCY_SECS`]).
     pub const DECISION_LATENCY_SECS: &str = "service_decision_latency_secs";
+    /// Counter: variants executed by `VariantSweep` requests.
+    pub const SWEEP_VARIANTS_TOTAL: &str = "service_sweep_variants_total";
 }
 
 /// Histogram bucket upper bounds for sub-second latencies, seconds
